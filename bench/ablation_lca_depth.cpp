@@ -1,0 +1,90 @@
+// Ablation: the three TJ LCA algorithms across fork-tree depth. The paper
+// (Sec. 6) argues TJ-JP "may only pay off if the fork tree is very deep" and
+// picks TJ-SP for cache locality since their benchmarks never exceed depth 8.
+// This bench measures the join-check cost on chains of depth 2^k to expose
+// the crossover: TJ-GT/TJ-SP are O(h), TJ-JP is O(log h).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace {
+
+using tj::core::PolicyChoice;
+using tj::core::PolicyNode;
+
+void bench_less_on_chain(benchmark::State& state, PolicyChoice policy) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  auto v = tj::core::make_verifier(policy);
+  std::vector<PolicyNode*> chain;
+  chain.reserve(depth + 1);
+  chain.push_back(v->add_child(nullptr));
+  for (std::size_t i = 0; i < depth; ++i) {
+    chain.push_back(v->add_child(chain.back()));
+  }
+  // Query random ancestor/descendant pairs: the worst case walks the
+  // whole depth difference.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::size_t> pick(0, depth);
+  for (auto _ : state) {
+    const bool r = v->permits_join(chain[pick(rng)], chain[pick(rng)]);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(tj::core::to_string(policy)));
+  for (PolicyNode* n : chain) v->release(n);
+}
+
+void bench_less_shallow_wide(benchmark::State& state, PolicyChoice policy) {
+  // The benchmark regime of the paper: depth ≤ 8, wide fan-out. TJ-SP's
+  // task-local arrays should shine here.
+  const auto width = static_cast<std::size_t>(state.range(0));
+  auto v = tj::core::make_verifier(policy);
+  std::vector<PolicyNode*> nodes;
+  nodes.push_back(v->add_child(nullptr));
+  for (std::size_t d = 0; d < 4; ++d) {
+    const std::size_t level_base = nodes.size() - 1;
+    for (std::size_t i = 0; i < width; ++i) {
+      nodes.push_back(v->add_child(nodes[level_base]));
+    }
+  }
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<std::size_t> pick(0, nodes.size() - 1);
+  for (auto _ : state) {
+    const bool r = v->permits_join(nodes[pick(rng)], nodes[pick(rng)]);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(tj::core::to_string(policy)));
+  for (PolicyNode* n : nodes) v->release(n);
+}
+
+void register_all() {
+  for (PolicyChoice p :
+       {PolicyChoice::TJ_GT, PolicyChoice::TJ_JP, PolicyChoice::TJ_SP}) {
+    const std::string name(tj::core::to_string(p));
+    benchmark::RegisterBenchmark(
+        ("Ablation/LessOnChainDepth/" + name).c_str(),
+        [p](benchmark::State& st) { bench_less_on_chain(st, p); })
+        // Cap at 4096: a TJ-SP chain holds O(h²) path words in total.
+        ->RangeMultiplier(4)
+        ->Range(8, 1 << 12);
+    benchmark::RegisterBenchmark(
+        ("Ablation/LessShallowWide/" + name).c_str(),
+        [p](benchmark::State& st) { bench_less_shallow_wide(st, p); })
+        ->Arg(64)
+        ->Arg(512);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: cooperative vs blocking work-sharing runtimes (paper footnote 4:
+// NQueens had to run on the cooperative runtime because KJ-SS anomalously
+// timed out under the blocking one). Runs Strassen and NQueens under TJ-SP
+// and the baseline in both scheduler modes.
+
+#include <cstdio>
+
+#include "apps/app_registry.hpp"
+#include "harness/runner.hpp"
+
+namespace {
+
+using tj::core::PolicyChoice;
+using tj::runtime::SchedulerMode;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tj::harness::RunConfig run;
+  run.size = tj::apps::AppSize::Small;
+  run.reps = 3;
+  run.warmups = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--size=", 0) == 0) {
+      const std::string s = arg.substr(7);
+      run.size = s == "tiny"     ? tj::apps::AppSize::Tiny
+                 : s == "small"  ? tj::apps::AppSize::Small
+                 : s == "medium" ? tj::apps::AppSize::Medium
+                                 : tj::apps::AppSize::Large;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      run.reps = static_cast<unsigned>(std::atoi(arg.c_str() + 7));
+    }
+  }
+
+  std::printf("Scheduler ablation (footnote 4): cooperative vs blocking\n\n");
+  std::printf("%-14s %-13s %-10s %10s %10s %8s\n", "benchmark", "scheduler",
+              "policy", "time[s]", "ci95[s]", "valid");
+  bool ok = true;
+  for (const char* name : {"strassen", "nqueens", "jacobi"}) {
+    const tj::apps::AppInfo* app = tj::apps::find_app(name);
+    for (SchedulerMode mode :
+         {SchedulerMode::Cooperative, SchedulerMode::Blocking}) {
+      run.scheduler = mode;
+      for (PolicyChoice p : {PolicyChoice::None, PolicyChoice::TJ_SP}) {
+        const tj::harness::Measurement m = tj::harness::measure(*app, p, run);
+        ok = ok && m.app_valid;
+        std::printf("%-14s %-13s %-10s %10.4f %10.4f %8s\n", name,
+                    std::string(to_string(mode)).c_str(),
+                    std::string(tj::core::to_string(p)).c_str(), m.time_s.mean,
+                    m.time_s.ci95, m.app_valid ? "yes" : "NO");
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}

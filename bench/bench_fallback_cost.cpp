@@ -1,0 +1,88 @@
+// The cost of falling back to cycle detection (Sec. 6 motivation: "because
+// the fallback cycle detection is slow, the performance of each verifier can
+// be impacted if the policy frequently triggers false positives").
+//
+// Micro: per-join cost of (a) a policy-approved join, (b) a policy-rejected
+// join cleared by the fallback, (c) an Armus-style always-checked join, as a
+// function of how many blocked tasks the waits-for graph holds.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/guarded.hpp"
+
+namespace {
+
+using tj::core::FaultMode;
+using tj::core::JoinGate;
+using tj::core::PolicyChoice;
+using tj::core::PolicyNode;
+
+struct Setup {
+  std::unique_ptr<tj::core::Verifier> verifier;
+  std::unique_ptr<JoinGate> gate;
+  std::vector<PolicyNode*> nodes;  // star under a root
+
+  explicit Setup(PolicyChoice p, std::size_t n) {
+    verifier = tj::core::make_verifier(p);
+    gate = std::make_unique<JoinGate>(
+        p, verifier.get(), FaultMode::Fallback);
+    if (verifier) {
+      nodes.push_back(verifier->add_child(nullptr));
+      for (std::size_t i = 1; i < n; ++i) {
+        nodes.push_back(verifier->add_child(nodes.front()));
+      }
+    }
+  }
+
+  // Pre-populates `blocked` wait edges forming a long chain so cycle checks
+  // have something to walk: task i waits on task i+1, starting at task 2.
+  void preblock(std::size_t blocked) {
+    for (std::size_t i = 2; i < 2 + blocked; ++i) {
+      PolicyNode* a = nodes.empty() ? nullptr : nodes[i];
+      PolicyNode* b = nodes.empty() ? nullptr : nodes[i + 1];
+      (void)gate->enter_join(i, i + 1, a, b, false);
+    }
+  }
+};
+
+void approved_join(benchmark::State& state) {
+  Setup s(PolicyChoice::TJ_SP, 4096);
+  for (auto _ : state) {
+    // Root joins a child: approved, registers and removes an edge.
+    (void)s.gate->enter_join(0, 1, s.nodes[0], s.nodes[1], false);
+    s.gate->leave_join(0, s.nodes[0], s.nodes[1], true);
+  }
+}
+BENCHMARK(approved_join);
+
+void rejected_join_cleared_by_fallback(benchmark::State& state) {
+  Setup s(PolicyChoice::TJ_SP, 4096);
+  s.preblock(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    // Child 1 joins child 2: TJ-rejected (1 is the older sibling), the
+    // probation cycle check walks the chain of blocked tasks.
+    (void)s.gate->enter_join(1, 2, s.nodes[1], s.nodes[2], false);
+    s.gate->leave_join(1, s.nodes[1], s.nodes[2], true);
+  }
+  state.SetLabel("blocked=" + std::to_string(state.range(0)));
+}
+BENCHMARK(rejected_join_cleared_by_fallback)->Arg(0)->Arg(64)->Arg(1024);
+
+void armus_only_join(benchmark::State& state) {
+  Setup s(PolicyChoice::CycleOnly, 4096);
+  s.preblock(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    // Join the head of the blocked chain so the check walks its length.
+    (void)s.gate->enter_join(0, 2, nullptr, nullptr, false);
+    s.gate->leave_join(0, nullptr, nullptr, true);
+  }
+  state.SetLabel("blocked=" + std::to_string(state.range(0)));
+}
+BENCHMARK(armus_only_join)->Arg(0)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

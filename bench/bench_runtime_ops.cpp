@@ -1,0 +1,98 @@
+// Runtime-primitive microbenchmarks: the per-operation cost the verifiers
+// add to async (fork) and to Future::get on an already-completed task (the
+// non-blocking join fast path). This is the micro-level view behind Table
+// 2's whole-program overheads.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "runtime/api.hpp"
+
+namespace {
+
+using tj::core::PolicyChoice;
+using tj::runtime::Config;
+using tj::runtime::Future;
+using tj::runtime::Runtime;
+
+constexpr PolicyChoice kPolicies[] = {
+    PolicyChoice::None,  PolicyChoice::TJ_GT, PolicyChoice::TJ_JP,
+    PolicyChoice::TJ_SP, PolicyChoice::KJ_VC, PolicyChoice::KJ_SS,
+    PolicyChoice::CycleOnly,
+};
+
+void bench_spawn(benchmark::State& state, PolicyChoice p) {
+  Runtime rt({.policy = p, .workers = 2});
+  rt.root([&state] {
+    // Spawn trivial tasks; each iteration measures async() itself. The
+    // tasks drain concurrently; root() quiesces afterwards.
+    for (auto _ : state) {
+      auto f = tj::runtime::async([] {});
+      benchmark::DoNotOptimize(f);
+    }
+  });
+  state.SetLabel(std::string(tj::core::to_string(p)));
+}
+
+void bench_completed_join(benchmark::State& state, PolicyChoice p) {
+  Runtime rt({.policy = p, .workers = 2});
+  rt.root([&state] {
+    auto f = tj::runtime::async([] { return 1; });
+    f.join();  // ensure completion: joins below never block
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(f.get());
+    }
+  });
+  state.SetLabel(std::string(tj::core::to_string(p)));
+}
+
+void bench_sibling_join_chain(benchmark::State& state, PolicyChoice p) {
+  // Ten thousand siblings joined in fork order per iteration: the Series
+  // pattern, as one number.
+  const std::size_t kTasks = 10'000;
+  Runtime rt({.policy = p});
+  rt.root([&state, kTasks] {
+    for (auto _ : state) {
+      std::vector<Future<int>> fs;
+      fs.reserve(kTasks);
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        fs.push_back(tj::runtime::async([] { return 1; }));
+      }
+      int acc = 0;
+      for (const auto& f : fs) acc += f.get();
+      benchmark::DoNotOptimize(acc);
+    }
+  });
+  state.SetLabel(std::string(tj::core::to_string(p)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks));
+}
+
+void register_all() {
+  for (PolicyChoice p : kPolicies) {
+    const std::string name(tj::core::to_string(p));
+    benchmark::RegisterBenchmark(
+        ("RuntimeOps/Spawn/" + name).c_str(),
+        [p](benchmark::State& st) { bench_spawn(st, p); })
+        ->Iterations(50000);
+    benchmark::RegisterBenchmark(
+        ("RuntimeOps/CompletedJoin/" + name).c_str(),
+        [p](benchmark::State& st) { bench_completed_join(st, p); });
+    benchmark::RegisterBenchmark(
+        ("RuntimeOps/ForkAllJoinAll10k/" + name).c_str(),
+        [p](benchmark::State& st) { bench_sibling_join_chain(st, p); })
+        ->Iterations(3)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Table 1 (time columns): empirical per-operation cost of Fork (add_child)
+// and of the Join check (permits_join / Less) for each verifier, across tree
+// shapes. Expected asymptotics:
+//
+//            KJ-VC     KJ-SS     TJ-GT       TJ-JP       TJ-SP
+//   Fork     O(n)      O(1)      O(1)        O(log h)    O(h)
+//   Join     O(n)      O(n)      O(h)        O(log h)    O(h)
+//
+// Chains maximize h (= n); stars minimize it (h = 1), separating the n- and
+// h-dependent verifiers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace {
+
+using tj::core::PolicyChoice;
+using tj::core::PolicyNode;
+using tj::core::Verifier;
+
+enum class Shape { Chain, Star, Balanced4 };
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::Chain:
+      return "chain";
+    case Shape::Star:
+      return "star";
+    case Shape::Balanced4:
+      return "balanced4";
+  }
+  return "?";
+}
+
+// Builds a tree of `n` tasks with the given shape; returns all nodes.
+std::vector<PolicyNode*> build_tree(Verifier& v, Shape shape, std::size_t n) {
+  std::vector<PolicyNode*> nodes;
+  nodes.reserve(n);
+  nodes.push_back(v.add_child(nullptr));
+  for (std::size_t i = 1; i < n; ++i) {
+    switch (shape) {
+      case Shape::Chain:
+        nodes.push_back(v.add_child(nodes.back()));
+        break;
+      case Shape::Star:
+        nodes.push_back(v.add_child(nodes.front()));
+        break;
+      case Shape::Balanced4:
+        nodes.push_back(v.add_child(nodes[(i - 1) / 4]));
+        break;
+    }
+  }
+  return nodes;
+}
+
+void bench_fork(benchmark::State& state, PolicyChoice policy, Shape shape) {
+  // Build the tree once, then repeatedly fork (and immediately release) a
+  // child at the frontier node — the deep end of a chain, the hub of a star.
+  // The release is included in the timing; it is O(state size), the same
+  // order as the fork itself, so trends are preserved.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto v = tj::core::make_verifier(policy);
+  auto nodes = build_tree(*v, shape, n);
+  PolicyNode* frontier = nodes.back();
+  for (auto _ : state) {
+    PolicyNode* child = v->add_child(frontier);
+    benchmark::DoNotOptimize(child);
+    v->release(child);
+  }
+  state.SetLabel(std::string(tj::core::to_string(policy)) + "/" +
+                 shape_name(shape));
+  for (PolicyNode* node : nodes) v->release(node);
+}
+
+void bench_join_check(benchmark::State& state, PolicyChoice policy,
+                      Shape shape) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto v = tj::core::make_verifier(policy);
+  auto nodes = build_tree(*v, shape, n);
+  // For KJ verifiers, teach the root about everything first so the checks
+  // exercise real membership queries rather than early misses.
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    v->on_join_complete(nodes.front(), nodes[i]);
+  }
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  for (auto _ : state) {
+    const bool r = v->permits_join(nodes[pick(rng)], nodes[pick(rng)]);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(tj::core::to_string(policy)) + "/" +
+                 shape_name(shape));
+  for (PolicyNode* node : nodes) v->release(node);
+}
+
+void register_all() {
+  constexpr PolicyChoice kPolicies[] = {PolicyChoice::KJ_VC,
+                                        PolicyChoice::KJ_SS,
+                                        PolicyChoice::TJ_GT,
+                                        PolicyChoice::TJ_JP,
+                                        PolicyChoice::TJ_SP};
+  constexpr Shape kShapes[] = {Shape::Chain, Shape::Star, Shape::Balanced4};
+  for (PolicyChoice p : kPolicies) {
+    for (Shape s : kShapes) {
+      const std::string pname(tj::core::to_string(p));
+      benchmark::RegisterBenchmark(
+          ("Table1/Fork/" + pname + "/" + shape_name(s)).c_str(),
+          [p, s](benchmark::State& st) { bench_fork(st, p, s); })
+          ->Arg(256)
+          ->Arg(1024)
+          ->Arg(4096)
+          // Fixed iteration budget: TJ-GT/TJ-JP keep tree nodes alive for
+          // the verifier's lifetime, so unbounded iteration counts would
+          // grow memory without bound.
+          ->Iterations(100000);
+      benchmark::RegisterBenchmark(
+          ("Table1/JoinCheck/" + pname + "/" + shape_name(s)).c_str(),
+          [p, s](benchmark::State& st) { bench_join_check(st, p, s); })
+          ->Arg(256)
+          ->Arg(1024)
+          ->Arg(4096);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 2: mean execution time with a 95% confidence interval per benchmark
+// per policy, rendered as ASCII interval plots plus a CSV block for external
+// plotting. Same measurement pipeline as Table 2 with more repetitions per
+// cell (the paper uses 30 post-warmup runs; default here is 8 to keep the
+// default bench sweep quick — pass --reps=30 for the full methodology).
+//
+// Flags: --size=..., --reps=N, --warmups=N, --apps=a,b,c (as table2).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using tj::core::PolicyChoice;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tj::harness::RunConfig run;
+  run.size = tj::apps::AppSize::Small;
+  run.reps = 8;
+  run.warmups = 1;
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--size=", 0) == 0) {
+      const std::string s = arg.substr(7);
+      run.size = s == "tiny"     ? tj::apps::AppSize::Tiny
+                 : s == "small"  ? tj::apps::AppSize::Small
+                 : s == "medium" ? tj::apps::AppSize::Medium
+                                 : tj::apps::AppSize::Large;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      run.reps = static_cast<unsigned>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--warmups=", 0) == 0) {
+      run.warmups = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--apps=", 0) == 0) {
+      std::string rest = arg.substr(7);
+      std::size_t pos = 0;
+      while (pos <= rest.size()) {
+        const std::size_t comma = rest.find(',', pos);
+        only.push_back(rest.substr(pos, comma - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const PolicyChoice policies[] = {PolicyChoice::KJ_VC, PolicyChoice::KJ_SS,
+                                   PolicyChoice::TJ_SP};
+  std::vector<tj::harness::BenchmarkRecord> rows;
+  for (const tj::apps::AppInfo& app : tj::apps::all_apps()) {
+    if (only.empty() ? app.extra
+                     : std::find(only.begin(), only.end(), app.name) ==
+                           only.end()) {
+      continue;  // extras run only when named via --apps
+    }
+    std::fprintf(stderr, "[fig2] %s (interleaved rounds)...\n",
+                 app.name.c_str());
+    const tj::harness::BenchmarkRun measured = tj::harness::measure_interleaved(
+        app, {policies[0], policies[1], policies[2]}, run);
+    tj::harness::BenchmarkRecord rec;
+    rec.name = app.name;
+    rec.baseline = measured.baseline;
+    rec.policies = measured.policies;
+    rows.push_back(std::move(rec));
+  }
+
+  std::printf("%s\n", tj::harness::render_figure2(rows).c_str());
+  std::printf("CSV for external plotting:\n%s\n",
+              tj::harness::render_csv(rows).c_str());
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Table 2: runtime and memory overheads of the verifiers on the six paper
+// benchmarks (baseline + KJ-VC + KJ-SS + TJ-SP by default), with geometric
+// means — the paper's headline result. Also prints the gate statistics that
+// explain the NQueens row (KJ violates, TJ does not).
+//
+// Measurement runs INTERLEAVED: every round executes the baseline and each
+// policy once (warmup rounds discarded), so heap/page warm-up is symmetric
+// across cells — see docs/benchmarks.md.
+//
+// Flags:
+//   --size=tiny|small|medium|large   workload scale        (default small)
+//   --reps=N                         measured reps per cell (default 5)
+//   --warmups=N                      discarded warmup runs  (default 1)
+//   --apps=a,b,c                     subset of benchmarks
+//   --policies=TJ-SP,KJ-VC,...       subset of verifiers (baseline implied)
+//   --scheduler=cooperative|blocking
+//   --csv                            also dump machine-readable CSV
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using tj::core::PolicyChoice;
+
+struct Options {
+  tj::harness::RunConfig run;
+  std::vector<std::string> apps;
+  std::vector<PolicyChoice> policies{PolicyChoice::KJ_VC, PolicyChoice::KJ_SS,
+                                     PolicyChoice::TJ_SP};
+  bool csv = false;
+};
+
+std::vector<std::string> split(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    out.push_back(s.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+PolicyChoice parse_policy(const std::string& name) {
+  for (PolicyChoice p :
+       {PolicyChoice::TJ_GT, PolicyChoice::TJ_JP, PolicyChoice::TJ_SP,
+        PolicyChoice::KJ_VC, PolicyChoice::KJ_SS, PolicyChoice::CycleOnly}) {
+    if (name == std::string(tj::core::to_string(p))) return p;
+  }
+  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  o.run.size = tj::apps::AppSize::Small;
+  o.run.reps = 5;
+  o.run.warmups = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--size=")) {
+      const std::string s = v;
+      o.run.size = s == "tiny"     ? tj::apps::AppSize::Tiny
+                   : s == "small"  ? tj::apps::AppSize::Small
+                   : s == "medium" ? tj::apps::AppSize::Medium
+                                   : tj::apps::AppSize::Large;
+    } else if (const char* v2 = value("--reps=")) {
+      o.run.reps = static_cast<unsigned>(std::atoi(v2));
+    } else if (const char* v3 = value("--warmups=")) {
+      o.run.warmups = static_cast<unsigned>(std::atoi(v3));
+    } else if (const char* v4 = value("--apps=")) {
+      o.apps = split(v4);
+    } else if (const char* v5 = value("--policies=")) {
+      o.policies.clear();
+      for (const std::string& p : split(v5)) o.policies.push_back(parse_policy(p));
+    } else if (const char* v6 = value("--scheduler=")) {
+      o.run.scheduler = std::string(v6) == "blocking"
+                            ? tj::runtime::SchedulerMode::Blocking
+                            : tj::runtime::SchedulerMode::Cooperative;
+    } else if (arg == "--csv") {
+      o.csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  std::vector<tj::harness::BenchmarkRecord> rows;
+  bool all_valid = true;
+  for (const tj::apps::AppInfo& app : tj::apps::all_apps()) {
+    if (o.apps.empty() ? app.extra
+                       : std::find(o.apps.begin(), o.apps.end(), app.name) ==
+                             o.apps.end()) {
+      continue;  // extras run only when named via --apps
+    }
+    std::fprintf(stderr, "[table2] %s (interleaved rounds)...\n",
+                 app.name.c_str());
+    const tj::harness::BenchmarkRun run =
+        tj::harness::measure_interleaved(app, o.policies, o.run);
+    tj::harness::BenchmarkRecord rec;
+    rec.name = app.name;
+    rec.baseline = run.baseline;
+    rec.policies = run.policies;
+    all_valid = all_valid && rec.baseline.app_valid;
+    for (const auto& p : rec.policies) all_valid = all_valid && p.app_valid;
+    rows.push_back(std::move(rec));
+  }
+
+  std::printf("%s\n", tj::harness::render_table2(rows).c_str());
+  std::printf("%s\n", tj::harness::render_gate_stats(rows).c_str());
+  if (o.csv) {
+    std::printf("%s\n", tj::harness::render_csv(rows).c_str());
+  }
+  if (!all_valid) {
+    std::fprintf(stderr, "SELF-CHECK FAILURE: at least one run invalid\n");
+    return 1;
+  }
+  return 0;
+}

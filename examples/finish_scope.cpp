@@ -1,0 +1,64 @@
+// The `finish` construct of Sec. 2.3 built on Futures: a parallel directory
+// walker that spawns one task per "directory" of a synthetic tree, each task
+// spawning children for its subdirectories. The scope's await() joins every
+// transitively spawned task in arrival order — arbitrary descendants — the
+// pattern Transitive Joins admits outright.
+
+#include <atomic>
+#include <cstdio>
+
+#include "runtime/finish.hpp"
+
+namespace rtj = tj::runtime;
+
+namespace {
+
+// Synthetic filesystem: node (depth, index) has `kFanout` children until
+// kDepth; every node carries (index % 7) "files".
+constexpr int kDepth = 6;
+constexpr int kFanout = 4;
+
+void walk(rtj::FinishScope& scope, std::atomic<long>& files, int depth,
+          long index) {
+  files.fetch_add(index % 7, std::memory_order_relaxed);
+  if (depth == kDepth) return;
+  for (int c = 0; c < kFanout; ++c) {
+    const long child = index * kFanout + c + 1;
+    scope.spawn([&scope, &files, depth, child] {
+      walk(scope, files, depth + 1, child);
+    });
+  }
+}
+
+}  // namespace
+
+int main() {
+  rtj::Runtime rt({.policy = tj::core::PolicyChoice::TJ_SP});
+
+  // Count "files" with a FinishScope...
+  std::atomic<long> files{0};
+  rt.root([&files] {
+    rtj::FinishScope scope;
+    walk(scope, files, 0, 0);
+    scope.await();  // joins all descendants, in whatever order they landed
+  });
+
+  std::printf("finish scope counted %ld files across the tree\n",
+              files.load());
+  std::printf("tasks: %llu, rejections: %llu (TJ admits every join)\n",
+              static_cast<unsigned long long>(rt.tasks_created()),
+              static_cast<unsigned long long>(
+                  rt.gate_stats().policy_rejections));
+
+  // ...and sum a reduction with a finish accumulator (Shirako et al. [30]).
+  rtj::Runtime rt2({.policy = tj::core::PolicyChoice::TJ_SP});
+  const long total = rt2.root([] {
+    rtj::FinishAccumulator<long> acc(0, [](long a, long b) { return a + b; });
+    for (long i = 1; i <= 1000; ++i) {
+      acc.spawn([i] { return i * i; });
+    }
+    return acc.await();
+  });
+  std::printf("finish accumulator: sum of squares 1..1000 = %ld\n", total);
+  return total == 333'833'500L ? 0 : 1;
+}

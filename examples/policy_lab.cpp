@@ -1,0 +1,45 @@
+// Policy lab: runs one real workload (Strassen) under every verifier and
+// prints times, verifier state sizes and gate statistics side by side —
+// a miniature of the Table-2 harness, showing how to use the library's
+// measurement pieces programmatically.
+
+#include <cstdio>
+
+#include "apps/app_registry.hpp"
+#include "harness/runner.hpp"
+
+namespace {
+
+constexpr tj::core::PolicyChoice kPolicies[] = {
+    tj::core::PolicyChoice::None,  tj::core::PolicyChoice::TJ_GT,
+    tj::core::PolicyChoice::TJ_JP, tj::core::PolicyChoice::TJ_SP,
+    tj::core::PolicyChoice::KJ_VC, tj::core::PolicyChoice::KJ_SS,
+    tj::core::PolicyChoice::CycleOnly,
+};
+
+}  // namespace
+
+int main() {
+  const tj::apps::AppInfo* app = tj::apps::find_app("strassen");
+  if (app == nullptr) return 1;
+
+  tj::harness::RunConfig cfg;
+  cfg.size = tj::apps::AppSize::Small;
+  cfg.reps = 3;
+  cfg.warmups = 1;
+
+  std::printf("%-12s %10s %14s %10s %10s %10s\n", "policy", "time[s]",
+              "verifier[B]", "joins", "rejected", "valid");
+  bool all_valid = true;
+  for (tj::core::PolicyChoice p : kPolicies) {
+    const tj::harness::Measurement m = tj::harness::measure(*app, p, cfg);
+    all_valid = all_valid && m.app_valid;
+    std::printf("%-12s %10.4f %14.0f %10llu %10llu %10s\n",
+                std::string(tj::core::to_string(p)).c_str(), m.time_s.mean,
+                m.verifier_peak_bytes,
+                static_cast<unsigned long long>(m.gate.joins_checked),
+                static_cast<unsigned long long>(m.gate.policy_rejections),
+                m.app_valid ? "yes" : "NO");
+  }
+  return all_valid ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+#pragma once
+// Uniform handle over the six evaluation benchmarks so the harness, tests
+// and Table-2/Figure-2 binaries can iterate them.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+enum class AppSize : std::uint8_t { Tiny, Small, Medium, Large };
+
+std::string_view to_string(AppSize s);
+
+/// Outcome of one application run: a self-check plus scale counters.
+struct AppOutcome {
+  bool valid = false;        ///< app-specific self-check passed
+  double metric = 0.0;       ///< app-specific result (checksum/score/count)
+  double seconds = 0.0;      ///< wall time of the parallel run only
+                             ///< (self-check/reference work excluded)
+  std::uint64_t tasks = 0;   ///< tasks created
+  std::string detail;        ///< human-readable result summary
+};
+
+struct AppInfo {
+  std::string name;
+  std::string description;
+  /// True iff the app's join pattern satisfies Known Joins (all but NQueens).
+  bool kj_valid = true;
+  /// Extra benchmark beyond the paper's six (Appendix A.7 customization);
+  /// the Table-2/Figure-2 harnesses skip extras unless explicitly named.
+  bool extra = false;
+  /// Runs the app on an already-configured runtime.
+  std::function<AppOutcome(runtime::Runtime&, AppSize)> run;
+};
+
+/// The paper's six benchmarks in Table-2 order, followed by the extras
+/// (mergesort, fft).
+const std::vector<AppInfo>& all_apps();
+
+/// Lookup by name ("jacobi", "smithwaterman", "crypt", "strassen", "series",
+/// "nqueens"); nullptr if unknown.
+const AppInfo* find_app(std::string_view name);
+
+}  // namespace tj::apps

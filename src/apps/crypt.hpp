@@ -1,0 +1,35 @@
+#pragma once
+// Crypt benchmark (Java Grande Forum, Sec. 6.1): IDEA-encrypt then decrypt a
+// buffer, each phase embarrassingly parallel across tasks forked and joined
+// by the root — KJ-valid and TJ-valid. The paper uses 50 MB across 8192
+// tasks per phase.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct CryptParams {
+  std::size_t bytes = 1 << 20;      ///< data size (multiple of 8)
+  std::size_t tasks_per_phase = 64;
+  std::uint64_t seed = 7;
+
+  static CryptParams tiny() { return {1 << 14, 16, 7}; }
+  static CryptParams small() { return {1 << 23, 128, 7}; }
+  static CryptParams medium() { return {1 << 25, 1024, 7}; }
+  static CryptParams large() { return {1 << 26, 4096, 7}; }
+  /// The paper encrypts/decrypts 50 MB over 8192 tasks per phase.
+  static CryptParams paper() { return {50u << 20, 8192, 7}; }
+};
+
+struct CryptResult {
+  bool roundtrip_ok = false;  ///< decrypt(encrypt(x)) == x
+  std::uint64_t ciphertext_checksum = 0;
+  std::uint64_t tasks = 0;
+};
+
+CryptResult run_crypt(runtime::Runtime& rt, const CryptParams& p);
+
+}  // namespace tj::apps

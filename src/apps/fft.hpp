@@ -1,0 +1,37 @@
+#pragma once
+// Parallel radix-2 FFT (Cooley–Tukey) — a second "experiment customization"
+// benchmark. The recursion forks the even/odd halves as tasks and the parent
+// joins its own children before the butterfly combine: fully strict again,
+// but with a memory-traffic-bound profile very different from mergesort's.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct FftParams {
+  std::size_t n = 1 << 16;       ///< transform size (power of two)
+  std::size_t cutoff = 1 << 10;  ///< sequential-FFT threshold
+  std::uint64_t seed = 31;
+
+  static FftParams tiny() { return {1 << 10, 1 << 6, 31}; }
+  static FftParams small() { return {1 << 20, 1 << 14, 31}; }
+  static FftParams medium() { return {1 << 22, 1 << 15, 31}; }
+  static FftParams large() { return {1 << 23, 1 << 15, 31}; }
+};
+
+struct FftResult {
+  bool roundtrip_ok = false;  ///< inverse(forward(x)) ≈ x
+  double spectrum_energy = 0.0;
+  std::uint64_t tasks = 0;
+};
+
+FftResult run_fft(runtime::Runtime& rt, const FftParams& p);
+
+/// Sequential reference transform (in place; inverse when `inverse`).
+void fft_sequential(std::vector<std::complex<double>>& xs, bool inverse);
+
+}  // namespace tj::apps

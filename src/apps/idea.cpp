@@ -1,0 +1,150 @@
+#include "apps/idea.hpp"
+
+#include <cassert>
+
+namespace tj::apps::idea {
+
+std::uint16_t mul(std::uint16_t a, std::uint16_t b) {
+  // Low-High algorithm for multiplication mod 2^16 + 1 with 0 ≡ 2^16.
+  if (a == 0) return static_cast<std::uint16_t>(0x10001u - b);
+  if (b == 0) return static_cast<std::uint16_t>(0x10001u - a);
+  const std::uint32_t p = static_cast<std::uint32_t>(a) * b;
+  const std::uint16_t lo = static_cast<std::uint16_t>(p);
+  const std::uint16_t hi = static_cast<std::uint16_t>(p >> 16);
+  return static_cast<std::uint16_t>(lo - hi + (lo < hi ? 1 : 0));
+}
+
+std::uint16_t mul_inv(std::uint16_t x) {
+  // Fermat: x^(p-2) mod p for prime p = 2^16 + 1; 0 stands for 2^16, which
+  // is its own inverse, so inv(0) = 0.
+  if (x <= 1) return x;
+  std::uint64_t base = x;
+  std::uint64_t acc = 1;
+  std::uint32_t e = 0x10001u - 2;
+  while (e != 0) {
+    if (e & 1u) acc = acc * base % 0x10001u;
+    base = base * base % 0x10001u;
+    e >>= 1;
+  }
+  return static_cast<std::uint16_t>(acc == 0x10000u ? 0 : acc);
+}
+
+KeySchedule encrypt_schedule(const Key& key) {
+  KeySchedule z{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    z[i] = static_cast<std::uint16_t>((key[2 * i] << 8) | key[2 * i + 1]);
+  }
+  // Each further subkey is extracted from the user key rotated left by 25
+  // bits per group of eight (the classic shift recurrence).
+  for (std::size_t i = 8; i < kSubkeys; ++i) {
+    if ((i & 7) < 6) {
+      z[i] = static_cast<std::uint16_t>(((z[i - 7] & 127) << 9) |
+                                        (z[i - 6] >> 7));
+    } else if ((i & 7) == 6) {
+      z[i] = static_cast<std::uint16_t>(((z[i - 7] & 127) << 9) |
+                                        (z[i - 14] >> 7));
+    } else {
+      z[i] = static_cast<std::uint16_t>(((z[i - 15] & 127) << 9) |
+                                        (z[i - 14] >> 7));
+    }
+  }
+  return z;
+}
+
+KeySchedule decrypt_schedule(const KeySchedule& enc) {
+  // Schneier-style inversion: build the schedule back-to-front. The two
+  // middle (additive) keys swap roles in every round except the outermost
+  // transforms, tracking the x2/x3 swap in the round function.
+  KeySchedule dk{};
+  const std::uint16_t* z = enc.data();
+  std::uint16_t* p = dk.data() + kSubkeys;
+  auto neg = [](std::uint16_t v) {
+    return static_cast<std::uint16_t>(0u - v);
+  };
+
+  std::uint16_t t1 = mul_inv(*z++);
+  std::uint16_t t2 = neg(*z++);
+  std::uint16_t t3 = neg(*z++);
+  *--p = mul_inv(*z++);
+  *--p = t3;
+  *--p = t2;
+  *--p = t1;
+
+  for (int r = 1; r < 8; ++r) {
+    t1 = *z++;
+    *--p = *z++;
+    *--p = t1;
+    t1 = mul_inv(*z++);
+    t2 = neg(*z++);
+    t3 = neg(*z++);
+    *--p = mul_inv(*z++);
+    *--p = t2;
+    *--p = t3;
+    *--p = t1;
+  }
+
+  t1 = *z++;
+  *--p = *z++;
+  *--p = t1;
+  // The first decryption round pairs with the encryption output transform:
+  // like the final transform above, its additive keys are NOT swapped.
+  t1 = mul_inv(*z++);
+  t2 = neg(*z++);
+  t3 = neg(*z++);
+  *--p = mul_inv(*z++);
+  *--p = t3;
+  *--p = t2;
+  *--p = t1;
+  assert(p == dk.data());
+  return dk;
+}
+
+void crypt_block(std::span<std::uint8_t, kBlockBytes> block,
+                 const KeySchedule& ks) {
+  auto load16 = [&](std::size_t i) {
+    return static_cast<std::uint16_t>((block[2 * i] << 8) | block[2 * i + 1]);
+  };
+  std::uint16_t x1 = load16(0);
+  std::uint16_t x2 = load16(1);
+  std::uint16_t x3 = load16(2);
+  std::uint16_t x4 = load16(3);
+
+  const std::uint16_t* k = ks.data();
+  for (int round = 0; round < 8; ++round) {
+    x1 = mul(x1, *k++);
+    x2 = static_cast<std::uint16_t>(x2 + *k++);
+    x3 = static_cast<std::uint16_t>(x3 + *k++);
+    x4 = mul(x4, *k++);
+    const std::uint16_t s3 = x3;
+    x3 = mul(static_cast<std::uint16_t>(x1 ^ x3), *k++);
+    const std::uint16_t s2 = x2;
+    x2 = mul(static_cast<std::uint16_t>((x2 ^ x4) + x3), *k++);
+    x3 = static_cast<std::uint16_t>(x3 + x2);
+    x1 ^= x2;
+    x4 ^= x3;
+    x2 ^= s3;
+    x3 ^= s2;
+  }
+  const std::uint16_t y1 = mul(x1, *k++);
+  const std::uint16_t y2 = static_cast<std::uint16_t>(x3 + *k++);
+  const std::uint16_t y3 = static_cast<std::uint16_t>(x2 + *k++);
+  const std::uint16_t y4 = mul(x4, *k++);
+
+  auto store16 = [&](std::size_t i, std::uint16_t v) {
+    block[2 * i] = static_cast<std::uint8_t>(v >> 8);
+    block[2 * i + 1] = static_cast<std::uint8_t>(v);
+  };
+  store16(0, y1);
+  store16(1, y2);
+  store16(2, y3);
+  store16(3, y4);
+}
+
+void crypt_range(std::span<std::uint8_t> data, std::size_t first_block,
+                 std::size_t last_block, const KeySchedule& ks) {
+  for (std::size_t b = first_block; b < last_block; ++b) {
+    crypt_block(data.subspan(b * kBlockBytes).first<kBlockBytes>(), ks);
+  }
+}
+
+}  // namespace tj::apps::idea

@@ -1,0 +1,43 @@
+#pragma once
+// IDEA block cipher (International Data Encryption Algorithm), the kernel of
+// the Java Grande Forum Crypt benchmark the paper adapts. 64-bit blocks,
+// 128-bit key, 8.5 rounds over three 16-bit group operations: XOR, addition
+// mod 2^16 and multiplication in GF(2^16 + 1) with 0 ≡ 2^16.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tj::apps::idea {
+
+inline constexpr std::size_t kBlockBytes = 8;
+inline constexpr std::size_t kKeyBytes = 16;
+inline constexpr std::size_t kSubkeys = 52;
+
+using Key = std::array<std::uint8_t, kKeyBytes>;
+using KeySchedule = std::array<std::uint16_t, kSubkeys>;
+
+/// Multiplication in GF(2^16 + 1); operand 0 represents 2^16.
+std::uint16_t mul(std::uint16_t a, std::uint16_t b);
+
+/// Multiplicative inverse in GF(2^16 + 1); inv(0) == 0 (2^16 is self-inverse).
+std::uint16_t mul_inv(std::uint16_t x);
+
+/// Expands the 128-bit user key into the 52 encryption subkeys.
+KeySchedule encrypt_schedule(const Key& key);
+
+/// Derives the decryption schedule from an encryption schedule.
+KeySchedule decrypt_schedule(const KeySchedule& enc);
+
+/// Transforms one 8-byte block in place (big-endian 16-bit words), using
+/// either schedule: the cipher is its own inverse under the derived keys.
+void crypt_block(std::span<std::uint8_t, kBlockBytes> block,
+                 const KeySchedule& ks);
+
+/// Transforms `data` (whole blocks only; size must be a multiple of 8)
+/// over the half-open block range [first_block, last_block).
+void crypt_range(std::span<std::uint8_t> data, std::size_t first_block,
+                 std::size_t last_block, const KeySchedule& ks);
+
+}  // namespace tj::apps::idea

@@ -1,0 +1,39 @@
+#pragma once
+// Jacobi benchmark (Sec. 6.1): iterative 5-point stencil over a square grid,
+// computed in blocks. Each iteration forks a blocks×blocks array of tasks;
+// a block task first joins the previous-iteration tasks of its own block and
+// of up to four neighbours, then relaxes its block. All tasks are forked by
+// the root, so every join targets an older sibling — KJ-valid and TJ-valid.
+// The paper runs an 8192×8192 grid, 16×16 blocks, 30 iterations.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct JacobiParams {
+  std::size_t n = 512;      ///< interior grid dimension
+  std::size_t blocks = 8;   ///< blocks per side (blocks² tasks per iteration)
+  std::size_t iterations = 10;
+
+  static JacobiParams tiny() { return {64, 4, 4}; }
+  static JacobiParams small() { return {2048, 16, 20}; }
+  static JacobiParams medium() { return {4096, 16, 30}; }
+  static JacobiParams large() { return {8192, 16, 30}; }
+  /// The paper's configuration.
+  static JacobiParams paper() { return {8192, 16, 30}; }
+};
+
+struct JacobiResult {
+  double checksum = 0.0;  ///< sum of the final grid's interior
+  std::uint64_t tasks = 0;
+};
+
+JacobiResult run_jacobi(runtime::Runtime& rt, const JacobiParams& p);
+
+/// Sequential reference computing the identical relaxation.
+double jacobi_reference(const JacobiParams& p);
+
+}  // namespace tj::apps

@@ -1,0 +1,81 @@
+#include "apps/jacobi_barrier.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "runtime/barrier.hpp"
+
+namespace tj::apps {
+
+namespace {
+
+// Identical grid setup to apps/jacobi.cpp so the checksums agree.
+std::vector<double> initial_grid(std::size_t n) {
+  const std::size_t w = n + 2;
+  std::vector<double> g(w * w, 0.0);
+  for (std::size_t c = 0; c < w; ++c) g[c] = 1.0;
+  for (std::size_t r = 0; r < w; ++r) {
+    g[r * w] = std::sin(static_cast<double>(r) * 0.01);
+  }
+  return g;
+}
+
+}  // namespace
+
+JacobiBarrierResult run_jacobi_barrier(runtime::Runtime& rt,
+                                       const JacobiBarrierParams& p) {
+  using runtime::Future;
+  const std::size_t n = p.n;
+  const std::size_t w = n + 2;
+  const std::size_t nw = p.workers;
+
+  JacobiBarrierResult out;
+  out.checksum = rt.root([&] {
+    std::vector<double> a = initial_grid(n);
+    std::vector<double> b = a;
+    runtime::BarrierDomain domain;
+    runtime::CheckedBarrier& bar = domain.create_barrier();
+
+    std::atomic<bool> start{false};
+    std::vector<Future<void>> workers;
+    workers.reserve(nw);
+    for (std::size_t me = 0; me < nw; ++me) {
+      // Worker `me` owns interior rows [r0, r1) for the whole run.
+      const std::size_t r0 = 1 + me * n / nw;
+      const std::size_t r1 = 1 + (me + 1) * n / nw;
+      workers.push_back(runtime::async([&, r0, r1] {
+        while (!start.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        for (std::size_t it = 0; it < p.iterations; ++it) {
+          const std::vector<double>& src = (it % 2 == 0) ? a : b;
+          std::vector<double>& dst = (it % 2 == 0) ? b : a;
+          for (std::size_t r = r0; r < r1; ++r) {
+            for (std::size_t c = 1; c <= n; ++c) {
+              dst[r * w + c] =
+                  0.25 * (src[(r - 1) * w + c] + src[(r + 1) * w + c] +
+                          src[r * w + c - 1] + src[r * w + c + 1]);
+            }
+          }
+          bar.await();  // iteration boundary replaces the 5-way joins
+        }
+      }));
+      bar.register_party(workers.back().task().uid());
+    }
+    start.store(true, std::memory_order_release);
+    for (const auto& f : workers) f.join();
+    out.barrier_phases = bar.phase();
+
+    const std::vector<double>& final_grid = (p.iterations % 2 == 0) ? a : b;
+    double acc = 0.0;
+    for (std::size_t r = 1; r <= n; ++r) {
+      for (std::size_t c = 1; c <= n; ++c) acc += final_grid[r * w + c];
+    }
+    return acc;
+  });
+  out.tasks = rt.tasks_created();
+  return out;
+}
+
+}  // namespace tj::apps

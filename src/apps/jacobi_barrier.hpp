@@ -1,0 +1,37 @@
+#pragma once
+// Barrier-style Jacobi: the same stencil as apps/jacobi.hpp, but synchronised
+// by P persistent worker tasks and a CheckedBarrier per iteration instead of
+// per-block futures-and-joins. Enables the sync-style ablation
+// (bench/ablation_sync_style.cpp): fine-grained join dependencies vs a
+// global barrier on identical numerics — the design space around the
+// paper's critical-path discussion (Sec. 2.4).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct JacobiBarrierParams {
+  std::size_t n = 512;       ///< interior grid dimension
+  std::size_t workers = 8;   ///< persistent worker tasks (row strips)
+  std::size_t iterations = 10;
+
+  static JacobiBarrierParams tiny() { return {64, 4, 4}; }
+  static JacobiBarrierParams small() { return {2048, 16, 20}; }
+  static JacobiBarrierParams medium() { return {4096, 16, 30}; }
+};
+
+struct JacobiBarrierResult {
+  double checksum = 0.0;  ///< sum of the final grid's interior
+  std::uint64_t tasks = 0;
+  std::uint64_t barrier_phases = 0;
+};
+
+/// Must produce the same checksum as jacobi_reference with matching n and
+/// iterations (the block structure does not affect the arithmetic).
+JacobiBarrierResult run_jacobi_barrier(runtime::Runtime& rt,
+                                       const JacobiBarrierParams& p);
+
+}  // namespace tj::apps

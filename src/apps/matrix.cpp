@@ -1,0 +1,105 @@
+#include "apps/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace tj::apps {
+
+Matrix Matrix::random(std::size_t n, std::uint64_t seed) {
+  Matrix m(n);
+  // splitmix64 per entry: deterministic and cheap.
+  std::uint64_t s = seed;
+  for (double& v : m.data_) {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    v = static_cast<double>(z % 2000) / 1000.0 - 1.0;  // in [-1, 1)
+  }
+  return m;
+}
+
+Matrix Matrix::quadrant(int qr, int qc) const {
+  assert(n_ % 2 == 0);
+  const std::size_t h = n_ / 2;
+  Matrix q(h);
+  const std::size_t r0 = static_cast<std::size_t>(qr) * h;
+  const std::size_t c0 = static_cast<std::size_t>(qc) * h;
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < h; ++c) {
+      q.at(r, c) = at(r0 + r, c0 + c);
+    }
+  }
+  return q;
+}
+
+void Matrix::set_quadrant(int qr, int qc, const Matrix& q) {
+  const std::size_t h = q.n();
+  assert(h * 2 == n_);
+  const std::size_t r0 = static_cast<std::size_t>(qr) * h;
+  const std::size_t c0 = static_cast<std::size_t>(qc) * h;
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < h; ++c) {
+      at(r0 + r, c0 + c) = q.at(r, c);
+    }
+  }
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  assert(a.n() == b.n());
+  Matrix out(a.n());
+  for (std::size_t i = 0; i < out.data_.size(); ++i) {
+    out.data_[i] = a.data_[i] + b.data_[i];
+  }
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  assert(a.n() == b.n());
+  Matrix out(a.n());
+  for (std::size_t i = 0; i < out.data_.size(); ++i) {
+    out.data_[i] = a.data_[i] - b.data_[i];
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::checksum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.n() == b.n());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+Matrix naive_multiply(const Matrix& a, const Matrix& b) {
+  assert(a.n() == b.n());
+  const std::size_t n = a.n();
+  Matrix c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace tj::apps

@@ -1,0 +1,46 @@
+#pragma once
+// Dense square matrices for the Strassen benchmark: value semantics,
+// quadrant split/assemble, and a blocked sequential multiply used both as
+// the recursion cutoff kernel and as the validation reference.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tj::apps {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  std::size_t n() const { return n_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Deterministic pseudo-random fill (for workload generation).
+  static Matrix random(std::size_t n, std::uint64_t seed);
+
+  /// Quadrant extraction/insertion; `qr`,`qc` in {0,1}. Pre: n is even.
+  Matrix quadrant(int qr, int qc) const;
+  void set_quadrant(int qr, int qc, const Matrix& q);
+
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+
+  double frobenius_norm() const;
+  double checksum() const;
+
+  /// Max |a-b| entrywise (for validation tolerances).
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cache-blocked sequential multiply (i-k-j loop order).
+Matrix naive_multiply(const Matrix& a, const Matrix& b);
+
+}  // namespace tj::apps

@@ -1,0 +1,72 @@
+#include "apps/mergesort.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "runtime/api.hpp"
+
+namespace tj::apps {
+
+namespace {
+
+// Sorts [lo, hi) of `data` using `scratch` as the merge buffer.
+void sort_range(std::vector<std::uint32_t>& data,
+                std::vector<std::uint32_t>& scratch, std::size_t lo,
+                std::size_t hi, std::size_t cutoff) {
+  if (hi - lo <= cutoff) {
+    std::sort(data.begin() + static_cast<long>(lo),
+              data.begin() + static_cast<long>(hi));
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  auto left = runtime::async([&data, &scratch, lo, mid, cutoff] {
+    sort_range(data, scratch, lo, mid, cutoff);
+  });
+  auto right = runtime::async([&data, &scratch, mid, hi, cutoff] {
+    sort_range(data, scratch, mid, hi, cutoff);
+  });
+  left.join();
+  right.join();
+  // Merge the sorted halves through the scratch buffer (disjoint ranges per
+  // recursion level, so sibling merges never overlap).
+  std::merge(data.begin() + static_cast<long>(lo),
+             data.begin() + static_cast<long>(mid),
+             data.begin() + static_cast<long>(mid),
+             data.begin() + static_cast<long>(hi),
+             scratch.begin() + static_cast<long>(lo));
+  std::copy(scratch.begin() + static_cast<long>(lo),
+            scratch.begin() + static_cast<long>(hi),
+            data.begin() + static_cast<long>(lo));
+}
+
+std::uint64_t content_hash(const std::vector<std::uint32_t>& xs) {
+  // Order-independent: sum of a per-element mix.
+  std::uint64_t acc = 0;
+  for (std::uint32_t x : xs) {
+    std::uint64_t z = x + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    acc += z ^ (z >> 27);
+  }
+  return acc;
+}
+
+}  // namespace
+
+MergesortResult run_mergesort(runtime::Runtime& rt, const MergesortParams& p) {
+  std::vector<std::uint32_t> data(p.elements);
+  std::mt19937_64 rng(p.seed);
+  for (auto& x : data) x = static_cast<std::uint32_t>(rng());
+  const std::uint64_t before = content_hash(data);
+
+  std::vector<std::uint32_t> scratch(p.elements);
+  rt.root([&] { sort_range(data, scratch, 0, data.size(), p.cutoff); });
+
+  MergesortResult out;
+  out.checksum = content_hash(data);
+  out.sorted = out.checksum == before &&
+               std::is_sorted(data.begin(), data.end());
+  out.tasks = rt.tasks_created();
+  return out;
+}
+
+}  // namespace tj::apps

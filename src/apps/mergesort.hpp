@@ -1,0 +1,34 @@
+#pragma once
+// Parallel merge sort — an "experiment customization" benchmark beyond the
+// paper's six (its Appendix A.7 invites adding programs to the harness).
+// Divide-and-conquer with parent-joins-children only: fully strict, hence
+// valid under KJ and TJ alike; a useful sanity workload where every policy
+// should cost next to nothing.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct MergesortParams {
+  std::size_t elements = 1 << 20;
+  std::size_t cutoff = 1 << 14;  ///< sequential-sort threshold
+  std::uint64_t seed = 21;
+
+  static MergesortParams tiny() { return {1 << 12, 1 << 8, 21}; }
+  static MergesortParams small() { return {1 << 22, 1 << 16, 21}; }
+  static MergesortParams medium() { return {1 << 24, 1 << 17, 21}; }
+  static MergesortParams large() { return {1 << 25, 1 << 17, 21}; }
+};
+
+struct MergesortResult {
+  bool sorted = false;          ///< output is a sorted permutation of input
+  std::uint64_t checksum = 0;   ///< order-independent content hash
+  std::uint64_t tasks = 0;
+};
+
+MergesortResult run_mergesort(runtime::Runtime& rt, const MergesortParams& p);
+
+}  // namespace tj::apps

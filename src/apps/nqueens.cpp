@@ -1,0 +1,92 @@
+#include "apps/nqueens.hpp"
+
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "runtime/concurrent_queue.hpp"
+
+namespace tj::apps {
+
+namespace {
+
+using Placement = std::vector<std::uint8_t>;  // column per placed row
+
+bool safe(const Placement& rows, std::size_t col) {
+  const std::size_t r = rows.size();
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t c = rows[i];
+    if (c == col) return false;
+    const std::size_t dr = r - i;
+    if (c + dr == col || col + dr == c) return false;
+  }
+  return true;
+}
+
+std::uint64_t count_sequential(std::size_t board, Placement& rows) {
+  if (rows.size() == board) return 1;
+  std::uint64_t total = 0;
+  for (std::size_t col = 0; col < board; ++col) {
+    if (!safe(rows, col)) continue;
+    rows.push_back(static_cast<std::uint8_t>(col));
+    total += count_sequential(board, rows);
+    rows.pop_back();
+  }
+  return total;
+}
+
+using TaskQueue = runtime::ConcurrentQueue<runtime::Future<std::uint64_t>>;
+
+// Expands one partial placement: below the cutoff it forks one child per
+// safe column (pushing each Future onto the shared queue — Listing 1's
+// "child launches before being pushed" included); at the cutoff it counts
+// sequentially. Expansion tasks contribute 0 themselves.
+std::uint64_t expand(std::size_t board, std::size_t cutoff, Placement rows,
+                     TaskQueue& tasks) {
+  if (rows.size() >= cutoff || rows.size() == board) {
+    return count_sequential(board, rows);
+  }
+  for (std::size_t col = 0; col < board; ++col) {
+    if (!safe(rows, col)) continue;
+    Placement next = rows;
+    next.push_back(static_cast<std::uint8_t>(col));
+    tasks.push(runtime::async([board, cutoff, next = std::move(next),
+                               &tasks]() mutable {
+      return expand(board, cutoff, std::move(next), tasks);
+    }));
+  }
+  return 0;
+}
+
+}  // namespace
+
+NQueensResult run_nqueens(runtime::Runtime& rt, const NQueensParams& p) {
+  NQueensResult out;
+  out.solutions = rt.root([&] {
+    TaskQueue tasks;
+    std::uint64_t total = expand(p.board, p.parallel_depth, Placement{}, tasks);
+    // The root joins all tasks "in any order" (Sec. 6.1): drain both queue
+    // ends pseudo-randomly. Joining a late-pushed task typically reaches a
+    // descendant before its parent — the nondeterministic KJ violation the
+    // paper reports (always TJ-valid: the root precedes every task in <T).
+    // Quiescence on empty still holds: each joined task pushed its children
+    // before terminating.
+    std::uint64_t lcg = 0x243f6a8885a308d3ull ^ (p.board << 8);
+    auto next_from_back = [&lcg] {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      return (lcg >> 62) & 1;
+    };
+    while (auto f = next_from_back() ? tasks.poll_back() : tasks.poll()) {
+      total += f->get();
+    }
+    return total;
+  });
+  out.tasks = rt.tasks_created();
+  return out;
+}
+
+std::uint64_t nqueens_reference(std::size_t board) {
+  Placement rows;
+  return count_sequential(board, rows);
+}
+
+}  // namespace tj::apps

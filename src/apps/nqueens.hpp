@@ -1,0 +1,39 @@
+#pragma once
+// NQueens benchmark (Sec. 6.1): divide-and-conquer solution counting. Tasks
+// expand partial placements down to a cutoff depth and solve the remainder
+// sequentially; every spawned task is pushed onto a shared concurrent queue
+// which the ROOT drains, joining tasks in whatever order they surface
+// (Listing 1's pattern). The root may join a descendant before that task's
+// parent — nondeterministically KJ-INVALID, but always TJ-valid: this is the
+// benchmark that forces the KJ verifiers onto the cycle-detection fallback.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct NQueensParams {
+  std::size_t board = 10;         ///< board size n
+  std::size_t parallel_depth = 3; ///< rows expanded as tasks
+
+  static NQueensParams tiny() { return {7, 2}; }
+  static NQueensParams small() { return {12, 5}; }
+  static NQueensParams medium() { return {13, 6}; }
+  static NQueensParams large() { return {14, 7}; }
+  /// The paper spawns ~3.4M tasks with 14 recursion levels (8 parallel).
+  static NQueensParams paper() { return {14, 8}; }
+};
+
+struct NQueensResult {
+  std::uint64_t solutions = 0;
+  std::uint64_t tasks = 0;
+};
+
+NQueensResult run_nqueens(runtime::Runtime& rt, const NQueensParams& p);
+
+/// Sequential reference count.
+std::uint64_t nqueens_reference(std::size_t board);
+
+}  // namespace tj::apps

@@ -1,0 +1,62 @@
+#include "apps/series.hpp"
+
+#include <cmath>
+
+#include "runtime/api.hpp"
+
+namespace tj::apps {
+
+namespace {
+
+double f(double x) { return std::pow(x + 1.0, x); }
+
+// Trapezoid rule on [0,2] for f(x)·w(x).
+template <typename W>
+double integrate(std::size_t steps, W&& w) {
+  const double h = 2.0 / static_cast<double>(steps);
+  double acc = 0.5 * (f(0.0) * w(0.0) + f(2.0) * w(2.0));
+  for (std::size_t i = 1; i < steps; ++i) {
+    const double x = h * static_cast<double>(i);
+    acc += f(x) * w(x);
+  }
+  return acc * h;
+}
+
+}  // namespace
+
+CoefficientPair series_coefficient(std::size_t k,
+                                   std::size_t integration_steps) {
+  if (k == 0) {
+    // a_0 = (1/2)·∫ f dx over one period of length 2.
+    return {0.5 * integrate(integration_steps, [](double) { return 1.0; }),
+            0.0};
+  }
+  const double w = M_PI * static_cast<double>(k);
+  return {integrate(integration_steps, [w](double x) { return std::cos(w * x); }),
+          integrate(integration_steps, [w](double x) { return std::sin(w * x); })};
+}
+
+SeriesResult run_series(runtime::Runtime& rt, const SeriesParams& p) {
+  SeriesResult out;
+  out.checksum = rt.root([&] {
+    std::vector<runtime::Future<CoefficientPair>> tasks;
+    tasks.reserve(p.coefficients);
+    for (std::size_t k = 0; k < p.coefficients; ++k) {
+      tasks.push_back(runtime::async(
+          [k, steps = p.integration_steps] {
+            return series_coefficient(k, steps);
+          }));
+    }
+    double sum = 0.0;
+    for (std::size_t k = 0; k < p.coefficients; ++k) {
+      const CoefficientPair c = tasks[k].get();
+      if (k == 0) out.a0 = c.a;
+      sum += c.a + c.b;
+    }
+    return sum;
+  });
+  out.tasks = rt.tasks_created();
+  return out;
+}
+
+}  // namespace tj::apps

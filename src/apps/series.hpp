@@ -1,0 +1,45 @@
+#pragma once
+// Series benchmark (Java Grande Forum, adapted as in Sec. 6.1): the first N
+// Fourier coefficient pairs of f(x) = (x+1)^x on [0,2], one independent task
+// per pair, all forked by the root and joined by the root in fork order —
+// KJ-valid and TJ-valid. The paper runs N = 10^6 tasks; the policy-state
+// footprint relative to the tiny baseline data makes Series the memory
+// stress test of the evaluation.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct SeriesParams {
+  std::size_t coefficients = 10'000;  ///< number of (a_k, b_k) tasks
+  std::size_t integration_steps = 100;
+
+  static SeriesParams tiny() { return {200, 100}; }
+  static SeriesParams small() { return {4'000, 500}; }
+  static SeriesParams medium() { return {20'000, 500}; }
+  static SeriesParams large() { return {100'000, 250}; }
+  /// The paper spawns one million tasks.
+  static SeriesParams paper() { return {1'000'000, 1'000}; }
+};
+
+struct SeriesResult {
+  double a0 = 0.0;           ///< leading coefficient (≈ 2.8729 at convergence)
+  double checksum = 0.0;     ///< sum over all coefficients
+  std::uint64_t tasks = 0;
+};
+
+SeriesResult run_series(runtime::Runtime& rt, const SeriesParams& p);
+
+/// Sequential reference: the (a_k, b_k) pair for one k (k = 0 → (a_0, 0)).
+struct CoefficientPair {
+  double a;
+  double b;
+};
+CoefficientPair series_coefficient(std::size_t k,
+                                   std::size_t integration_steps);
+
+}  // namespace tj::apps

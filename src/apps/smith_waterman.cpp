@@ -1,0 +1,96 @@
+#include "apps/smith_waterman.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <vector>
+
+#include "runtime/api.hpp"
+
+namespace tj::apps {
+
+namespace {
+
+// Fills H over the half-open cell ranges [r0,r1)×[c0,c1); 1-based cells,
+// row/col 0 is the all-zero DP border. Returns the chunk's max score.
+int fill_chunk(std::vector<int>& h, std::size_t w, const std::string& s1,
+               const std::string& s2, const SmithWatermanParams& p,
+               std::size_t r0, std::size_t r1, std::size_t c0,
+               std::size_t c1) {
+  int best = 0;
+  for (std::size_t r = r0; r < r1; ++r) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      const int sub =
+          (s1[r - 1] == s2[c - 1]) ? p.match : p.mismatch;
+      const int diag = h[(r - 1) * w + (c - 1)] + sub;
+      const int up = h[(r - 1) * w + c] + p.gap;
+      const int left = h[r * w + (c - 1)] + p.gap;
+      const int v = std::max({0, diag, up, left});
+      h[r * w + c] = v;
+      best = std::max(best, v);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string random_dna(std::size_t length, std::uint64_t seed) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::mt19937_64 rng(seed);
+  std::string s(length, 'A');
+  for (char& ch : s) ch = kBases[rng() % 4];
+  return s;
+}
+
+SmithWatermanResult run_smith_waterman(runtime::Runtime& rt,
+                                       const SmithWatermanParams& p) {
+  using runtime::Future;
+  const std::string s1 = random_dna(p.length, p.seed);
+  const std::string s2 = random_dna(p.length, p.seed ^ 0x5eed);
+  const std::size_t n = p.length;
+  const std::size_t nb = p.chunks;
+  const std::size_t w = n + 1;
+
+  SmithWatermanResult out;
+  out.best_score = rt.root([&] {
+    std::vector<int> h(w * w, 0);
+    std::vector<Future<int>> chunk(nb * nb);
+    // Fork all chunk tasks in wavefront-compatible row-major order; each
+    // waits on its N/W/NW neighbours, which were forked earlier.
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      for (std::size_t bj = 0; bj < nb; ++bj) {
+        std::vector<Future<int>> deps;
+        deps.reserve(3);
+        if (bi > 0) deps.push_back(chunk[(bi - 1) * nb + bj]);
+        if (bj > 0) deps.push_back(chunk[bi * nb + (bj - 1)]);
+        if (bi > 0 && bj > 0) deps.push_back(chunk[(bi - 1) * nb + (bj - 1)]);
+        const std::size_t r0 = 1 + bi * n / nb;
+        const std::size_t r1 = 1 + (bi + 1) * n / nb;
+        const std::size_t c0 = 1 + bj * n / nb;
+        const std::size_t c1 = 1 + (bj + 1) * n / nb;
+        chunk[bi * nb + bj] = runtime::async(
+            [deps = std::move(deps), &h, w, &s1, &s2, &p, r0, r1, c0, c1] {
+              for (const Future<int>& d : deps) d.join();
+              return fill_chunk(h, w, s1, s2, p, r0, r1, c0, c1);
+            });
+      }
+    }
+    int best = 0;
+    for (const Future<int>& f : chunk) best = std::max(best, f.get());
+    return best;
+  });
+  out.tasks = rt.tasks_created();
+  return out;
+}
+
+int smith_waterman_reference(const SmithWatermanParams& p) {
+  const std::string s1 = random_dna(p.length, p.seed);
+  const std::string s2 = random_dna(p.length, p.seed ^ 0x5eed);
+  const std::size_t n = p.length;
+  const std::size_t w = n + 1;
+  std::vector<int> h(w * w, 0);
+  return fill_chunk(h, w, s1, s2, p, 1, n + 1, 1, n + 1);
+}
+
+}  // namespace tj::apps

@@ -1,0 +1,46 @@
+#pragma once
+// Smith-Waterman benchmark (Sec. 6.1): local DNA sequence alignment by
+// dynamic programming over a chunked score matrix. Each chunk task joins the
+// tasks of its north, west and north-west neighbour chunks (older siblings,
+// all forked by the root) before filling its chunk — KJ-valid and TJ-valid.
+// The paper aligns two 21,726-base sequences over 40×40 chunks.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct SmithWatermanParams {
+  std::size_t length = 2'000;  ///< bases per sequence
+  std::size_t chunks = 10;     ///< chunk grid side (chunks² tasks)
+  std::uint64_t seed = 11;
+  int match = 2;
+  int mismatch = -1;
+  int gap = -1;
+
+  static SmithWatermanParams tiny() { return {128, 4, 11, 2, -1, -1}; }
+  static SmithWatermanParams small() { return {4'000, 20, 11, 2, -1, -1}; }
+  static SmithWatermanParams medium() { return {8'000, 40, 11, 2, -1, -1}; }
+  static SmithWatermanParams large() { return {12'000, 40, 11, 2, -1, -1}; }
+  /// The paper's configuration.
+  static SmithWatermanParams paper() { return {21'726, 40, 11, 2, -1, -1}; }
+};
+
+struct SmithWatermanResult {
+  int best_score = 0;  ///< maximum local-alignment score
+  std::uint64_t tasks = 0;
+};
+
+SmithWatermanResult run_smith_waterman(runtime::Runtime& rt,
+                                       const SmithWatermanParams& p);
+
+/// Sequential reference DP (same scoring) for validation.
+int smith_waterman_reference(const SmithWatermanParams& p);
+
+/// Deterministic random DNA sequence over {A,C,G,T}.
+std::string random_dna(std::size_t length, std::uint64_t seed);
+
+}  // namespace tj::apps

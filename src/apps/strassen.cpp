@@ -1,0 +1,117 @@
+#include "apps/strassen.hpp"
+
+#include "runtime/api.hpp"
+
+namespace tj::apps {
+
+namespace {
+
+using runtime::Future;
+using runtime::async;
+
+Matrix strassen_combine_11(const Matrix& m1, const Matrix& m4,
+                           const Matrix& m5, const Matrix& m7) {
+  return m1 + m4 - m5 + m7;
+}
+Matrix strassen_combine_12(const Matrix& m3, const Matrix& m5) {
+  return m3 + m5;
+}
+Matrix strassen_combine_21(const Matrix& m2, const Matrix& m4) {
+  return m2 + m4;
+}
+Matrix strassen_combine_22(const Matrix& m1, const Matrix& m2,
+                           const Matrix& m3, const Matrix& m6) {
+  return m1 - m2 + m3 + m6;
+}
+
+Matrix assemble(const Matrix& c11, const Matrix& c12, const Matrix& c21,
+                const Matrix& c22) {
+  Matrix c(c11.n() * 2);
+  c.set_quadrant(0, 0, c11);
+  c.set_quadrant(0, 1, c12);
+  c.set_quadrant(1, 0, c21);
+  c.set_quadrant(1, 1, c22);
+  return c;
+}
+
+// Parallel recursion: runs inside a task context. Spawns the seven product
+// tasks, then four combine tasks that join the products they need, then
+// joins the combines.
+Matrix strassen_par(const Matrix& a, const Matrix& b, std::size_t cutoff) {
+  const std::size_t n = a.n();
+  if (n <= cutoff) return naive_multiply(a, b);
+
+  const Matrix a11 = a.quadrant(0, 0), a12 = a.quadrant(0, 1);
+  const Matrix a21 = a.quadrant(1, 0), a22 = a.quadrant(1, 1);
+  const Matrix b11 = b.quadrant(0, 0), b12 = b.quadrant(0, 1);
+  const Matrix b21 = b.quadrant(1, 0), b22 = b.quadrant(1, 1);
+
+  // The seven Strassen products.
+  Future<Matrix> m1 =
+      async([=] { return strassen_par(a11 + a22, b11 + b22, cutoff); });
+  Future<Matrix> m2 =
+      async([=] { return strassen_par(a21 + a22, b11, cutoff); });
+  Future<Matrix> m3 =
+      async([=] { return strassen_par(a11, b12 - b22, cutoff); });
+  Future<Matrix> m4 =
+      async([=] { return strassen_par(a22, b21 - b11, cutoff); });
+  Future<Matrix> m5 =
+      async([=] { return strassen_par(a11 + a12, b22, cutoff); });
+  Future<Matrix> m6 =
+      async([=] { return strassen_par(a21 - a11, b11 + b12, cutoff); });
+  Future<Matrix> m7 =
+      async([=] { return strassen_par(a12 - a22, b21 + b22, cutoff); });
+
+  // Four addition tasks; each joins its older product siblings.
+  Future<Matrix> c11 = async([=] {
+    return strassen_combine_11(m1.get(), m4.get(), m5.get(), m7.get());
+  });
+  Future<Matrix> c12 = async([=] {
+    return strassen_combine_12(m3.get(), m5.get());
+  });
+  Future<Matrix> c21 = async([=] {
+    return strassen_combine_21(m2.get(), m4.get());
+  });
+  Future<Matrix> c22 = async([=] {
+    return strassen_combine_22(m1.get(), m2.get(), m3.get(), m6.get());
+  });
+
+  return assemble(c11.get(), c12.get(), c21.get(), c22.get());
+}
+
+}  // namespace
+
+Matrix strassen_sequential(const Matrix& a, const Matrix& b,
+                           std::size_t cutoff) {
+  const std::size_t n = a.n();
+  if (n <= cutoff) return naive_multiply(a, b);
+
+  const Matrix a11 = a.quadrant(0, 0), a12 = a.quadrant(0, 1);
+  const Matrix a21 = a.quadrant(1, 0), a22 = a.quadrant(1, 1);
+  const Matrix b11 = b.quadrant(0, 0), b12 = b.quadrant(0, 1);
+  const Matrix b21 = b.quadrant(1, 0), b22 = b.quadrant(1, 1);
+
+  const Matrix m1 = strassen_sequential(a11 + a22, b11 + b22, cutoff);
+  const Matrix m2 = strassen_sequential(a21 + a22, b11, cutoff);
+  const Matrix m3 = strassen_sequential(a11, b12 - b22, cutoff);
+  const Matrix m4 = strassen_sequential(a22, b21 - b11, cutoff);
+  const Matrix m5 = strassen_sequential(a11 + a12, b22, cutoff);
+  const Matrix m6 = strassen_sequential(a21 - a11, b11 + b12, cutoff);
+  const Matrix m7 = strassen_sequential(a12 - a22, b21 + b22, cutoff);
+
+  return assemble(strassen_combine_11(m1, m4, m5, m7),
+                  strassen_combine_12(m3, m5), strassen_combine_21(m2, m4),
+                  strassen_combine_22(m1, m2, m3, m6));
+}
+
+StrassenResult run_strassen(runtime::Runtime& rt, const StrassenParams& p) {
+  const Matrix a = Matrix::random(p.n, p.seed);
+  const Matrix b = Matrix::random(p.n, p.seed ^ 0xabcdef);
+  StrassenResult out;
+  const Matrix c = rt.root([&] { return strassen_par(a, b, p.cutoff); });
+  out.checksum = c.checksum();
+  out.tasks = rt.tasks_created();
+  return out;
+}
+
+}  // namespace tj::apps

@@ -1,0 +1,41 @@
+#pragma once
+// Strassen benchmark (Sec. 6.1): block-wise matrix multiplication with seven
+// recursive multiplications per level. At every level the current task
+// spawns the seven product tasks and four quadrant-assembly tasks; each
+// assembly task joins the product tasks it needs (its older siblings) and
+// the parent joins the assembly tasks — KJ-valid and TJ-valid.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "apps/matrix.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+
+struct StrassenParams {
+  std::size_t n = 256;       ///< matrix dimension (power of two)
+  std::size_t cutoff = 64;   ///< direct-multiply block size
+  std::uint64_t seed = 42;   ///< workload seed
+
+  static StrassenParams tiny() { return {64, 16, 42}; }
+  static StrassenParams small() { return {512, 64, 42}; }
+  static StrassenParams medium() { return {1024, 128, 42}; }
+  static StrassenParams large() { return {2048, 128, 42}; }
+  /// The paper multiplies 4096×4096 with cutoff 128 (30,811 tasks, depth 5).
+  static StrassenParams paper() { return {4096, 128, 42}; }
+};
+
+struct StrassenResult {
+  double checksum = 0.0;     ///< sum of entries of the product
+  std::uint64_t tasks = 0;   ///< tasks created by the run
+};
+
+/// Parallel Strassen under the given (already-configured) runtime.
+StrassenResult run_strassen(runtime::Runtime& rt, const StrassenParams& p);
+
+/// Sequential Strassen (same arithmetic, no tasks) for cross-checking.
+Matrix strassen_sequential(const Matrix& a, const Matrix& b,
+                           std::size_t cutoff);
+
+}  // namespace tj::apps

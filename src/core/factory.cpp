@@ -1,0 +1,31 @@
+#include <memory>
+
+#include "core/tj_gt.hpp"
+#include "core/tj_jp.hpp"
+#include "core/tj_sp.hpp"
+#include "core/verifier.hpp"
+#include "kj/kj_ss.hpp"
+#include "kj/kj_vc.hpp"
+
+namespace tj::core {
+
+std::unique_ptr<Verifier> make_verifier(PolicyChoice p) {
+  switch (p) {
+    case PolicyChoice::None:
+    case PolicyChoice::CycleOnly:
+      return nullptr;  // no per-join policy check
+    case PolicyChoice::TJ_GT:
+      return std::make_unique<TjGtVerifier>();
+    case PolicyChoice::TJ_JP:
+      return std::make_unique<TjJpVerifier>();
+    case PolicyChoice::TJ_SP:
+      return std::make_unique<TjSpVerifier>();
+    case PolicyChoice::KJ_VC:
+      return std::make_unique<kj::KjVcVerifier>();
+    case PolicyChoice::KJ_SS:
+      return std::make_unique<kj::KjSsVerifier>();
+  }
+  return nullptr;
+}
+
+}  // namespace tj::core

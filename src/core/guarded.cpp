@@ -1,0 +1,80 @@
+#include "core/guarded.hpp"
+
+namespace tj::core {
+
+JoinGate::JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode)
+    : kind_(kind), verifier_(verifier), mode_(mode) {}
+
+JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
+                                  PolicyNode* waiter_state,
+                                  const PolicyNode* target_state,
+                                  bool target_done) {
+  joins_checked_.fetch_add(1, std::memory_order_relaxed);
+
+  if (kind_ == PolicyChoice::None) {
+    // Baseline: unchecked joins, no graph maintenance at all.
+    return JoinDecision::Proceed;
+  }
+
+  if (kind_ == PolicyChoice::CycleOnly) {
+    // The Armus-alone baseline: every blocking join pays a cycle check.
+    if (target_done) return JoinDecision::Proceed;
+    if (wfg_.add_checked_wait(waiter, target) ==
+        wfg::WaitVerdict::WouldDeadlock) {
+      deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+      return JoinDecision::FaultDeadlock;
+    }
+    return JoinDecision::Proceed;
+  }
+
+  if (verifier_->permits_join(waiter_state, target_state)) {
+    if (target_done) return JoinDecision::Proceed;
+    // Approved blocking joins still register their edge: a probation edge
+    // elsewhere may need it to witness (or rule out) a cycle.
+    if (wfg_.add_wait(waiter, target) == wfg::WaitVerdict::WouldDeadlock) {
+      deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+      return JoinDecision::FaultDeadlock;
+    }
+    return JoinDecision::Proceed;
+  }
+
+  policy_rejections_.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == FaultMode::Throw) {
+    return JoinDecision::FaultPolicy;
+  }
+  if (target_done) {
+    // A join on a terminated task cannot block, hence cannot deadlock:
+    // trivially a false positive of the policy.
+    false_positives_.fetch_add(1, std::memory_order_relaxed);
+    return JoinDecision::ProceedFalsePositive;
+  }
+  if (wfg_.add_probation_wait(waiter, target) ==
+      wfg::WaitVerdict::WouldDeadlock) {
+    deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+    return JoinDecision::FaultDeadlock;
+  }
+  false_positives_.fetch_add(1, std::memory_order_relaxed);
+  return JoinDecision::ProceedFalsePositive;
+}
+
+void JoinGate::leave_join(wfg::NodeId waiter, PolicyNode* waiter_state,
+                          const PolicyNode* target_state, bool completed) {
+  if (kind_ != PolicyChoice::None) {
+    wfg_.remove_wait(waiter);  // no-op if the join never registered an edge
+  }
+  if (completed && verifier_ != nullptr) {
+    verifier_->on_join_complete(waiter_state, target_state);
+  }
+}
+
+GateStats JoinGate::stats() const {
+  GateStats s;
+  s.joins_checked = joins_checked_.load(std::memory_order_relaxed);
+  s.policy_rejections = policy_rejections_.load(std::memory_order_relaxed);
+  s.false_positives = false_positives_.load(std::memory_order_relaxed);
+  s.deadlocks_averted = deadlocks_averted_.load(std::memory_order_relaxed);
+  s.cycle_checks = wfg_.cycle_checks();
+  return s;
+}
+
+}  // namespace tj::core

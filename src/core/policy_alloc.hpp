@@ -1,0 +1,46 @@
+#pragma once
+// Byte accounting for verifier state. The paper reports verifier *memory
+// overhead*; on a JVM that is RSS sampling, here the primary, deterministic
+// metric is exact live bytes of policy state, tracked through this counter.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tj::core {
+
+class PolicyAllocator {
+ public:
+  void add(std::size_t bytes) {
+    live_.fetch_add(bytes, std::memory_order_relaxed);
+    total_.fetch_add(bytes, std::memory_order_relaxed);
+    // Peak tracking is approximate under concurrency (relaxed CAS loop);
+    // exactness is not required for overhead factors.
+    std::size_t cur = live_.load(std::memory_order_relaxed);
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (cur > peak &&
+           !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
+    }
+  }
+
+  void sub(std::size_t bytes) {
+    live_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::size_t live_bytes() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_allocated() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace tj::core

@@ -1,0 +1,39 @@
+#pragma once
+// Identifiers for the verifier implementations evaluated in the paper.
+
+#include <cstdint>
+#include <string_view>
+
+namespace tj::core {
+
+enum class PolicyChoice : std::uint8_t {
+  None,       ///< baseline: joins are unchecked
+  TJ_GT,      ///< Transitive Joins, shared global tree (Alg. 2)
+  TJ_JP,      ///< Transitive Joins, jump pointers (Sec. 5.2.2)
+  TJ_SP,      ///< Transitive Joins, spawn paths (Alg. 3) — the evaluated one
+  KJ_VC,      ///< Known Joins, vector clocks
+  KJ_SS,      ///< Known Joins, snapshot sets
+  CycleOnly,  ///< no policy; every join verified by cycle detection (Armus)
+};
+
+constexpr std::string_view to_string(PolicyChoice p) {
+  switch (p) {
+    case PolicyChoice::None:
+      return "none";
+    case PolicyChoice::TJ_GT:
+      return "TJ-GT";
+    case PolicyChoice::TJ_JP:
+      return "TJ-JP";
+    case PolicyChoice::TJ_SP:
+      return "TJ-SP";
+    case PolicyChoice::KJ_VC:
+      return "KJ-VC";
+    case PolicyChoice::KJ_SS:
+      return "KJ-SS";
+    case PolicyChoice::CycleOnly:
+      return "cycle-only";
+  }
+  return "<bad policy>";
+}
+
+}  // namespace tj::core

@@ -1,0 +1,41 @@
+#pragma once
+// TJ-GT (Algorithm 2): the shared-global-tree verifier. Each task's state is
+// one tree vertex {parent, ix, depth, children}. Fork is O(1); a join check
+// walks two root-ward paths, O(h). All fields read by Less are immutable
+// after add_child returns, so no synchronization is needed (Sec. 5.2.1).
+
+#include <atomic>
+
+#include "core/verifier.hpp"
+
+namespace tj::core {
+
+class TjGtVerifier final : public Verifier {
+ public:
+  TjGtVerifier() = default;
+  ~TjGtVerifier() override;
+
+  PolicyNode* add_child(PolicyNode* parent) override;
+  bool permits_join(const PolicyNode* joiner,
+                    const PolicyNode* joinee) override;
+  PolicyChoice kind() const override { return PolicyChoice::TJ_GT; }
+
+  struct Node final : PolicyNode {
+    const Node* parent = nullptr;  // immutable after construction
+    std::uint32_t ix = 0;          // index among parent's children; immutable
+    std::uint32_t depth = 0;       // immutable
+    std::uint32_t children = 0;    // mutated only by the owning task's forks
+    Node* next_alloc = nullptr;    // intrusive arena chain (owner bookkeeping)
+  };
+
+  /// The <T decision: v1 <T v2 per Theorem 3.15. Exposed for direct testing
+  /// and the Table-1 micro-benchmarks.
+  static bool less(const Node* v1, const Node* v2);
+
+ private:
+  // Lock-free intrusive allocation chain; the verifier owns every node for
+  // its whole lifetime (the paper's monotonically growing tree).
+  std::atomic<Node*> alloc_head_{nullptr};
+};
+
+}  // namespace tj::core

@@ -1,0 +1,82 @@
+#include "core/tj_jp.hpp"
+
+#include <bit>
+
+namespace tj::core {
+
+TjJpVerifier::~TjJpVerifier() {
+  Node* cur = alloc_head_.load(std::memory_order_acquire);
+  while (cur != nullptr) {
+    Node* next = cur->next_alloc;
+    delete cur;
+    cur = next;
+  }
+}
+
+PolicyNode* TjJpVerifier::add_child(PolicyNode* parent) {
+  auto* u = static_cast<Node*>(parent);
+  auto* v = new Node;
+  if (u != nullptr) {
+    v->depth = u->depth + 1;
+    v->ix = u->children;
+    u->children += 1;
+    // jumps[i] is the 2^i-th ancestor: jumps[0] = parent, and
+    // jumps[i] = jumps[i-1]->jumps[i-1] while it exists.
+    v->jump_count = std::bit_width(v->depth);  // ⌊log2(depth)⌋ + 1
+    v->jumps = new const Node*[v->jump_count];
+    v->jumps[0] = u;
+    for (std::uint32_t i = 1; i < v->jump_count; ++i) {
+      const Node* half = v->jumps[i - 1];
+      v->jumps[i] = half->jumps[i - 1];
+    }
+  }
+  alloc_.add(sizeof(Node) + v->jump_count * sizeof(const Node*));
+  Node* head = alloc_head_.load(std::memory_order_relaxed);
+  do {
+    v->next_alloc = head;
+  } while (!alloc_head_.compare_exchange_weak(head, v,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+  return v;
+}
+
+const TjJpVerifier::Node* TjJpVerifier::ancestor_at_depth(
+    const Node* v, std::uint32_t depth) {
+  while (v->depth > depth) {
+    std::uint32_t step = v->depth - depth;
+    // Largest power of two ≤ step.
+    const std::uint32_t i = std::bit_width(step) - 1;
+    v = v->jumps[i];
+  }
+  return v;
+}
+
+bool TjJpVerifier::less(const Node* v1, const Node* v2) {
+  if (v1 == v2) return false;
+  if (v1->depth < v2->depth) {
+    const Node* lifted = ancestor_at_depth(v2, v1->depth);
+    if (lifted == v1) return true;  // anc+: v1 is a proper ancestor of v2
+    v2 = lifted;
+  } else if (v1->depth > v2->depth) {
+    const Node* lifted = ancestor_at_depth(v1, v2->depth);
+    if (lifted == v2) return false;  // dec*: v2 is a proper ancestor of v1
+    v1 = lifted;
+  }
+  // Same depth, different nodes: binary-descend to just below the LCA.
+  while (v1->jumps[0] != v2->jumps[0]) {
+    // Find the highest jump that keeps them apart and take it on both sides.
+    std::uint32_t i = std::min(v1->jump_count, v2->jump_count) - 1;
+    while (i > 0 && v1->jumps[i] == v2->jumps[i]) --i;
+    v1 = v1->jumps[i];
+    v2 = v2->jumps[i];
+  }
+  return v1->ix > v2->ix;  // Theorem 3.15(c)
+}
+
+bool TjJpVerifier::permits_join(const PolicyNode* joiner,
+                                const PolicyNode* joinee) {
+  return less(static_cast<const Node*>(joiner),
+              static_cast<const Node*>(joinee));
+}
+
+}  // namespace tj::core

@@ -1,0 +1,48 @@
+#pragma once
+// TJ-JP (Sec. 5.2.2): jump-pointer verifier. Each node keeps pointers to its
+// 2^i-th ancestors, so the LCA walk of TJ-GT becomes a binary search:
+// O(log h) per fork (building the table) and O(log h) per join check, at
+// O(n log h) space.
+//
+// Deviation from the paper's sketch: the paper pairs each jump pointer with
+// the child index it arrives through. We binary-descend both nodes to the two
+// sibling ancestors *just below* the LCA and compare their own `ix` fields
+// directly, which makes the arrival indices redundant.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/verifier.hpp"
+
+namespace tj::core {
+
+class TjJpVerifier final : public Verifier {
+ public:
+  TjJpVerifier() = default;
+  ~TjJpVerifier() override;
+
+  PolicyNode* add_child(PolicyNode* parent) override;
+  bool permits_join(const PolicyNode* joiner,
+                    const PolicyNode* joinee) override;
+  PolicyChoice kind() const override { return PolicyChoice::TJ_JP; }
+
+  struct Node final : PolicyNode {
+    ~Node() override { delete[] jumps; }
+    const Node** jumps = nullptr;   // jumps[i] = 2^i-th ancestor; immutable
+    std::uint32_t jump_count = 0;   // ⌊log2(depth)⌋+1 for depth ≥ 1
+    std::uint32_t ix = 0;           // index among parent's children; immutable
+    std::uint32_t depth = 0;        // immutable
+    std::uint32_t children = 0;     // mutated only by the owning task
+    Node* next_alloc = nullptr;     // intrusive arena chain
+  };
+
+  /// v1 <T v2 by binary lifting; exposed for tests and Table-1 benches.
+  static bool less(const Node* v1, const Node* v2);
+
+ private:
+  static const Node* ancestor_at_depth(const Node* v, std::uint32_t depth);
+
+  std::atomic<Node*> alloc_head_{nullptr};
+};
+
+}  // namespace tj::core

@@ -1,0 +1,43 @@
+#include "core/tj_sp.hpp"
+
+namespace tj::core {
+
+PolicyNode* TjSpVerifier::add_child(PolicyNode* parent) {
+  auto* u = static_cast<Node*>(parent);
+  auto* v = new Node;
+  if (u != nullptr) {
+    // Algorithm 3 line 4: p ← append(copy(u.path), u.children).
+    v->path.reserve(u->path.size() + 1);
+    v->path = u->path;
+    v->path.push_back(u->children);
+    u->children += 1;
+  }
+  alloc_.add(node_bytes(*v));
+  return v;
+}
+
+void TjSpVerifier::release(PolicyNode* node) {
+  auto* v = static_cast<Node*>(node);
+  alloc_.sub(node_bytes(*v));
+  delete v;  // spawn paths are task-local: reclaimed with the task
+}
+
+bool TjSpVerifier::less(const Node* v1, const Node* v2) {
+  const auto& p1 = v1->path;
+  const auto& p2 = v2->path;
+  const std::size_t common = std::min(p1.size(), p2.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (p1[i] != p2[i]) return p1[i] > p2[i];  // diverging sibling indices
+  }
+  // One path is a prefix of the other: the shorter is the ancestor
+  // (anc+ → true when v1 is shorter; dec*/equal → false).
+  return p1.size() < p2.size();
+}
+
+bool TjSpVerifier::permits_join(const PolicyNode* joiner,
+                                const PolicyNode* joinee) {
+  return less(static_cast<const Node*>(joiner),
+              static_cast<const Node*>(joinee));
+}
+
+}  // namespace tj::core

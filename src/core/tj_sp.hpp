@@ -1,0 +1,39 @@
+#pragma once
+// TJ-SP (Algorithm 3): the spawn-path verifier — the variant evaluated in the
+// paper. The shared tree is replaced by a task-local array recording the
+// task's path from the root: each fork copies the parent's path and appends
+// the child's sibling index. A join check scans for the longest common prefix
+// and compares the diverging indices; prefix containment discriminates the
+// anc+/dec* cases by path length. O(h) fork, O(h) join check, O(nh) space —
+// but fully task-local (cache-friendly, reclaimable with the task).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace tj::core {
+
+class TjSpVerifier final : public Verifier {
+ public:
+  PolicyNode* add_child(PolicyNode* parent) override;
+  bool permits_join(const PolicyNode* joiner,
+                    const PolicyNode* joinee) override;
+  void release(PolicyNode* node) override;
+  PolicyChoice kind() const override { return PolicyChoice::TJ_SP; }
+
+  struct Node final : PolicyNode {
+    std::vector<std::uint32_t> path;  // sibling indices root → task; immutable
+    std::uint32_t children = 0;       // mutated only by the owning task
+  };
+
+  /// v1 <T v2 by spawn-path comparison (Algorithm 3 Less).
+  static bool less(const Node* v1, const Node* v2);
+
+ private:
+  static std::size_t node_bytes(const Node& n) {
+    return sizeof(Node) + n.path.capacity() * sizeof(std::uint32_t);
+  }
+};
+
+}  // namespace tj::core

@@ -1,0 +1,82 @@
+#pragma once
+// The verifier interface of Section 5.1 (Algorithm 1). A verifier maintains a
+// real or virtual fork tree T through AddChild and answers join-permission
+// queries through Less-style checks. The runtime upholds the paper's
+// contract:
+//   (3) AddChild is never called concurrently with itself on the same parent
+//       (only the task owning a node forks children under it);
+//   (4) every node passed to permits_join was previously returned by
+//       add_child.
+// In exchange the verifiers promise:
+//   (1) every add_child call returns a distinct node;
+//   (2) add_child and permits_join may be called concurrently.
+//
+// The KJ verifiers additionally use on_join_complete (the KJ-learn rule);
+// for TJ verifiers it is a no-op — the paper highlights exactly this
+// simplification (Sec. 7.2: a join updates no permission state under TJ).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/policy_alloc.hpp"
+#include "core/policy_ids.hpp"
+
+namespace tj::core {
+
+/// Opaque per-task policy state. Concrete verifiers subclass this.
+class PolicyNode {
+ public:
+  virtual ~PolicyNode() = default;
+
+ protected:
+  PolicyNode() = default;
+  PolicyNode(const PolicyNode&) = delete;
+  PolicyNode& operator=(const PolicyNode&) = delete;
+};
+
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+
+  /// Creates per-task state for a new task forked by `parent`
+  /// (nullptr → root task). Must return a distinct node per call.
+  virtual PolicyNode* add_child(PolicyNode* parent) = 0;
+
+  /// Whether the policy permits joiner to block on joinee.
+  /// Thread-safe against concurrent add_child / permits_join.
+  virtual bool permits_join(const PolicyNode* joiner,
+                            const PolicyNode* joinee) = 0;
+
+  /// Invoked after a join on `joinee` by `joiner` completed successfully.
+  /// Only the joiner's owning thread calls this, and `joinee`'s task has
+  /// terminated (its state is stable). Default: no-op (TJ needs no join rule).
+  virtual void on_join_complete(PolicyNode* joiner, const PolicyNode* joinee) {
+    (void)joiner;
+    (void)joinee;
+  }
+
+  /// Invoked when the owning task record dies. Verifiers for which per-task
+  /// state is task-local (TJ-SP, KJ-*) reclaim it here; tree-based verifiers
+  /// keep nodes alive for the lifetime of the verifier (the paper's
+  /// monotonically growing structure). After this call the node must not be
+  /// passed to any other method.
+  virtual void release(PolicyNode* node) { (void)node; }
+
+  virtual PolicyChoice kind() const = 0;
+  std::string_view name() const { return to_string(kind()); }
+
+  /// Exact live bytes of verifier state (policy memory-overhead metric).
+  std::size_t bytes_in_use() const { return alloc_.live_bytes(); }
+  std::size_t peak_bytes() const { return alloc_.peak_bytes(); }
+
+ protected:
+  PolicyAllocator alloc_;
+};
+
+/// Factory for every verifier the evaluation exercises (PolicyChoice::None
+/// and CycleOnly yield nullptr: no per-join policy check).
+std::unique_ptr<Verifier> make_verifier(PolicyChoice p);
+
+}  // namespace tj::core

@@ -1,0 +1,53 @@
+#include "harness/memory_sampler.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+
+namespace tj::harness {
+
+std::size_t current_rss_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  std::size_t total_pages = 0;
+  std::size_t rss_pages = 0;
+  statm >> total_pages >> rss_pages;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<std::size_t>(page > 0 ? page : 4096);
+}
+
+MemorySampler::MemorySampler(unsigned interval_ms)
+    : thread_([this, interval_ms] { loop(interval_ms); }) {}
+
+MemorySampler::~MemorySampler() { stop(); }
+
+void MemorySampler::stop() {
+  bool expected = false;
+  if (stop_.compare_exchange_strong(expected, true) && thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void MemorySampler::loop(unsigned interval_ms) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const std::size_t rss = current_rss_bytes();
+    sum_bytes_.fetch_add(rss, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (rss > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, rss, std::memory_order_relaxed)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+double MemorySampler::average_bytes() const {
+  const std::uint64_t n = count_.load();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_bytes_.load()) / static_cast<double>(n);
+}
+
+std::size_t MemorySampler::peak_bytes() const { return peak_bytes_.load(); }
+
+}  // namespace tj::harness

@@ -1,0 +1,43 @@
+#pragma once
+// Resident-set-size sampling, mirroring the paper's methodology ("memory
+// usage is the average amount of memory in use ... sampled once every
+// 100 ms"). A background thread reads /proc/self/statm on an interval and
+// records average and peak RSS. The deterministic verifier-byte counter
+// (Verifier::bytes_in_use) is the primary memory metric; this is the
+// secondary, whole-process one.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace tj::harness {
+
+/// Current resident set size in bytes (0 if /proc is unavailable).
+std::size_t current_rss_bytes();
+
+class MemorySampler {
+ public:
+  explicit MemorySampler(unsigned interval_ms = 10);
+  ~MemorySampler();
+  MemorySampler(const MemorySampler&) = delete;
+  MemorySampler& operator=(const MemorySampler&) = delete;
+
+  /// Stops sampling (idempotent); average/peak are stable afterwards.
+  void stop();
+
+  double average_bytes() const;
+  std::size_t peak_bytes() const;
+  std::uint64_t samples() const { return count_.load(); }
+
+ private:
+  void loop(unsigned interval_ms);
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bytes_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+  std::thread thread_;
+};
+
+}  // namespace tj::harness

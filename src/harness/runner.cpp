@@ -1,0 +1,156 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+
+#include "harness/memory_sampler.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::harness {
+
+namespace {
+
+void accumulate(core::GateStats& into, const core::GateStats& s) {
+  into.joins_checked += s.joins_checked;
+  into.policy_rejections += s.policy_rejections;
+  into.false_positives += s.false_positives;
+  into.deadlocks_averted += s.deadlocks_averted;
+  into.cycle_checks += s.cycle_checks;
+}
+
+}  // namespace
+
+Measurement measure(const apps::AppInfo& app, core::PolicyChoice policy,
+                    const RunConfig& cfg) {
+  Measurement m;
+  m.policy = policy;
+
+  runtime::Config rt_cfg;
+  rt_cfg.policy = policy;
+  rt_cfg.fault = core::FaultMode::Fallback;
+  rt_cfg.scheduler = cfg.scheduler;
+  rt_cfg.workers = cfg.workers;
+
+  std::vector<double> times;
+  std::vector<double> verifier_bytes;
+  std::vector<double> rss_deltas;
+  times.reserve(cfg.reps);
+
+  const unsigned total = cfg.warmups + cfg.reps;
+  for (unsigned rep = 0; rep < total; ++rep) {
+    const bool counted = rep >= cfg.warmups;
+    const std::size_t rss_start = current_rss_bytes();
+    MemorySampler sampler(/*interval_ms=*/5);
+    runtime::Runtime rt(rt_cfg);
+    // The app reports the wall time of its parallel section; reference
+    // computations and self-checks stay off the clock.
+    const apps::AppOutcome outcome = app.run(rt, cfg.size);
+    sampler.stop();
+    if (!counted) continue;
+    times.push_back(outcome.seconds);
+    verifier_bytes.push_back(static_cast<double>(rt.policy_peak_bytes()));
+    const std::size_t peak = std::max(sampler.peak_bytes(), rss_start);
+    rss_deltas.push_back(static_cast<double>(peak - rss_start));
+    accumulate(m.gate, rt.gate_stats());
+    m.app_valid = m.app_valid && outcome.valid;
+    m.tasks = outcome.tasks;
+  }
+
+  m.time_s = summarize(times);
+  m.verifier_peak_bytes = verifier_bytes.empty() ? 0.0 : mean(verifier_bytes);
+  m.rss_peak_delta_bytes = rss_deltas.empty() ? 0.0 : mean(rss_deltas);
+  return m;
+}
+
+BenchmarkRun measure_interleaved(
+    const apps::AppInfo& app, const std::vector<core::PolicyChoice>& policies,
+    const RunConfig& cfg) {
+  struct Cell {
+    core::PolicyChoice policy;
+    std::vector<double> times;
+    std::vector<double> verifier_bytes;
+    std::vector<double> rss_deltas;
+    core::GateStats gate;
+    bool valid = true;
+    std::uint64_t tasks = 0;
+  };
+  std::vector<Cell> cells;
+  cells.push_back({core::PolicyChoice::None, {}, {}, {}, {}, true, 0});
+  for (core::PolicyChoice p : policies) {
+    cells.push_back({p, {}, {}, {}, {}, true, 0});
+  }
+
+  // The app's memory footprint is captured on the very first (cold)
+  // execution: once the retained heap is warm, per-run RSS deltas are ~0.
+  double first_run_delta = 0.0;
+  bool first_run = true;
+
+  const unsigned rounds = cfg.warmups + cfg.reps;
+  for (unsigned round = 0; round < rounds; ++round) {
+    const bool counted = round >= cfg.warmups;
+    for (Cell& cell : cells) {
+      runtime::Config rt_cfg;
+      rt_cfg.policy = cell.policy;
+      rt_cfg.fault = core::FaultMode::Fallback;
+      rt_cfg.scheduler = cfg.scheduler;
+      rt_cfg.workers = cfg.workers;
+      const std::size_t rss_start = current_rss_bytes();
+      MemorySampler sampler(/*interval_ms=*/5);
+      runtime::Runtime rt(rt_cfg);
+      const apps::AppOutcome outcome = app.run(rt, cfg.size);
+      sampler.stop();
+      if (first_run) {
+        first_run = false;
+        first_run_delta = static_cast<double>(
+            std::max(sampler.peak_bytes(), rss_start) - rss_start);
+      }
+      if (!counted) continue;
+      cell.times.push_back(outcome.seconds);
+      cell.verifier_bytes.push_back(
+          static_cast<double>(rt.policy_peak_bytes()));
+      const std::size_t peak = std::max(sampler.peak_bytes(), rss_start);
+      cell.rss_deltas.push_back(static_cast<double>(peak - rss_start));
+      accumulate(cell.gate, rt.gate_stats());
+      cell.valid = cell.valid && outcome.valid;
+      cell.tasks = outcome.tasks;
+    }
+  }
+
+  auto finish = [](const Cell& cell) {
+    Measurement m;
+    m.policy = cell.policy;
+    m.time_s = summarize(cell.times);
+    m.verifier_peak_bytes =
+        cell.verifier_bytes.empty() ? 0.0 : mean(cell.verifier_bytes);
+    m.rss_peak_delta_bytes =
+        cell.rss_deltas.empty() ? 0.0 : mean(cell.rss_deltas);
+    m.gate = cell.gate;
+    m.app_valid = cell.valid;
+    m.tasks = cell.tasks;
+    return m;
+  };
+
+  BenchmarkRun out;
+  out.baseline = finish(cells.front());
+  out.baseline.rss_peak_delta_bytes =
+      std::max(out.baseline.rss_peak_delta_bytes, first_run_delta);
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    out.policies.push_back(finish(cells[i]));
+  }
+  return out;
+}
+
+double time_factor(const Measurement& policy, const Measurement& baseline) {
+  if (baseline.time_s.mean <= 0.0) return 0.0;
+  return policy.time_s.mean / baseline.time_s.mean;
+}
+
+double memory_factor(const Measurement& policy, const Measurement& baseline) {
+  // The app footprint is taken from the baseline's RSS delta; the verifier
+  // term is the deterministic byte counter. Floor the footprint at 1 MiB so
+  // tiny workloads don't divide by RSS sampling noise.
+  const double footprint =
+      std::max(baseline.rss_peak_delta_bytes, 1.0 * (1 << 20));
+  return (footprint + policy.verifier_peak_bytes) / footprint;
+}
+
+}  // namespace tj::harness

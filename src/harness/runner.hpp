@@ -1,0 +1,62 @@
+#pragma once
+// Benchmark runner: executes one application under one policy for several
+// repetitions on fresh runtimes, recording execution times, verifier bytes,
+// RSS, and gate statistics — the data behind Table 2 and Figure 2.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "core/guarded.hpp"
+#include "core/policy_ids.hpp"
+#include "harness/stats.hpp"
+#include "runtime/config.hpp"
+
+namespace tj::harness {
+
+struct RunConfig {
+  apps::AppSize size = apps::AppSize::Small;
+  unsigned reps = 10;
+  unsigned warmups = 1;
+  runtime::SchedulerMode scheduler = runtime::SchedulerMode::Cooperative;
+  unsigned workers = 0;  ///< 0 → hardware concurrency
+};
+
+struct Measurement {
+  core::PolicyChoice policy = core::PolicyChoice::None;
+  Summary time_s;                  ///< post-warmup execution times
+  double verifier_peak_bytes = 0;  ///< mean across reps (deterministic metric)
+  double rss_peak_delta_bytes = 0; ///< mean of per-rep (peak − start) RSS
+  core::GateStats gate;            ///< accumulated across reps
+  bool app_valid = true;           ///< every rep passed the app self-check
+  std::uint64_t tasks = 0;         ///< tasks per rep (last rep)
+};
+
+/// Runs `app` under `policy` per `cfg`. Throws only on harness misuse; app
+/// self-check failures are reported through `app_valid`.
+Measurement measure(const apps::AppInfo& app, core::PolicyChoice policy,
+                    const RunConfig& cfg);
+
+/// Measures one benchmark under the baseline AND each policy with the reps
+/// INTERLEAVED round-robin (warmup rounds first, then `reps` measured
+/// rounds, each running every cell once). Interleaving keeps heap/page
+/// warm-up symmetric across cells — measuring cells back-to-back makes
+/// whichever runs first look systematically slower. Prefer this for any
+/// cross-policy comparison (it is what the Table-2/Figure-2 binaries use).
+struct BenchmarkRun {
+  Measurement baseline;
+  std::vector<Measurement> policies;
+};
+BenchmarkRun measure_interleaved(const apps::AppInfo& app,
+                                 const std::vector<core::PolicyChoice>& policies,
+                                 const RunConfig& cfg);
+
+/// Overhead factor helpers (paper Table 2 semantics).
+double time_factor(const Measurement& policy, const Measurement& baseline);
+
+/// Memory factor: (baseline footprint + verifier peak) / baseline footprint,
+/// with the baseline footprint taken from the baseline run's RSS delta.
+/// Deterministic in the verifier term; see EXPERIMENTS.md for rationale.
+double memory_factor(const Measurement& policy, const Measurement& baseline);
+
+}  // namespace tj::harness

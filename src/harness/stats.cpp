@@ -1,0 +1,73 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tj::harness {
+
+namespace {
+
+// Two-sided 97.5% Student-t quantiles for 1..30 degrees of freedom.
+constexpr double kT975[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+double t975(std::size_t df) {
+  if (df == 0) return 0.0;
+  if (df <= 30) return kT975[df - 1];
+  return 1.96;
+}
+
+}  // namespace
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty sample");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double geometric_mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("geometric_mean: empty sample");
+  double log_acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) {
+      throw std::invalid_argument("geometric_mean: non-positive input");
+    }
+    log_acc += std::log(x);
+  }
+  return std::exp(log_acc / static_cast<double>(xs.size()));
+}
+
+double ci95_half_width(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return t975(xs.size() - 1) * stddev(xs) /
+         std::sqrt(static_cast<double>(xs.size()));
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.n = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.ci95 = ci95_half_width(xs);
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *lo;
+  s.max = *hi;
+  return s;
+}
+
+}  // namespace tj::harness

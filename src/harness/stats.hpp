@@ -1,0 +1,33 @@
+#pragma once
+// Statistics used by the evaluation: the paper reports steady-state means of
+// 30 post-warmup runs, 95% confidence intervals (Figure 2) and geometric
+// means of overhead factors (Table 2).
+
+#include <cstddef>
+#include <vector>
+
+namespace tj::harness {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // sample variance (n-1)
+double stddev(const std::vector<double>& xs);
+
+/// Geometric mean; requires strictly positive inputs.
+double geometric_mean(const std::vector<double>& xs);
+
+/// Half-width of the 95% confidence interval for the mean, using Student's
+/// t quantile for n-1 degrees of freedom (normal approximation for n > 30).
+double ci95_half_width(const std::vector<double>& xs);
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< half-width
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace tj::harness

@@ -1,0 +1,164 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace tj::harness {
+
+namespace {
+
+std::string fmt(double v, int prec = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string pad(std::string s, std::size_t width, bool left = false) {
+  if (s.size() < width) {
+    const std::string fill(width - s.size(), ' ');
+    s = left ? s + fill : fill + s;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string render_table2(const std::vector<BenchmarkRecord>& rows) {
+  std::ostringstream os;
+  os << "Table 2: runtime and memory overheads for verification\n";
+  os << "('*' marks the best factor in each row, as the paper's bold face)\n\n";
+  if (rows.empty()) return os.str();
+
+  const std::size_t np = rows.front().policies.size();
+  os << pad("Benchmark", 14, true) << pad("Base", 10);
+  for (const Measurement& p : rows.front().policies) {
+    os << pad(std::string(core::to_string(p.policy)), 10);
+  }
+  os << "\n";
+
+  std::vector<std::vector<double>> time_factors(np);
+  std::vector<std::vector<double>> mem_factors(np);
+
+  for (const BenchmarkRecord& r : rows) {
+    // Time row.
+    std::vector<double> tf(np);
+    for (std::size_t i = 0; i < np; ++i) {
+      tf[i] = time_factor(r.policies[i], r.baseline);
+      time_factors[i].push_back(tf[i]);
+    }
+    const double best_t = *std::min_element(tf.begin(), tf.end());
+    os << pad(r.name, 14, true) << pad(fmt(r.baseline.time_s.mean, 3) + "s", 10);
+    for (std::size_t i = 0; i < np; ++i) {
+      std::string cell = fmt(tf[i]) + "x";
+      if (tf[i] == best_t) cell += "*";
+      os << pad(cell, 10);
+    }
+    os << "\n";
+    // Memory row.
+    std::vector<double> mf(np);
+    for (std::size_t i = 0; i < np; ++i) {
+      mf[i] = memory_factor(r.policies[i], r.baseline);
+      mem_factors[i].push_back(mf[i]);
+    }
+    const double best_m = *std::min_element(mf.begin(), mf.end());
+    const double base_mb = r.baseline.rss_peak_delta_bytes / (1 << 20);
+    os << pad("", 14, true) << pad(fmt(base_mb, 1) + "MB", 10);
+    for (std::size_t i = 0; i < np; ++i) {
+      std::string cell = fmt(mf[i]) + "x";
+      if (mf[i] == best_m) cell += "*";
+      os << pad(cell, 10);
+    }
+    os << "\n";
+  }
+
+  os << "\n" << pad("Geom. mean", 14, true) << pad("time", 10);
+  for (std::size_t i = 0; i < np; ++i) {
+    os << pad(fmt(geometric_mean(time_factors[i])) + "x", 10);
+  }
+  os << "\n" << pad("", 14, true) << pad("mem", 10);
+  for (std::size_t i = 0; i < np; ++i) {
+    os << pad(fmt(geometric_mean(mem_factors[i])) + "x", 10);
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string render_figure2(const std::vector<BenchmarkRecord>& rows) {
+  std::ostringstream os;
+  os << "Figure 2: execution times per policy (mean with 95% CI)\n\n";
+  for (const BenchmarkRecord& r : rows) {
+    // Scale all bars of a benchmark to its slowest policy mean + CI.
+    double top = r.baseline.time_s.mean + r.baseline.time_s.ci95;
+    for (const Measurement& p : r.policies) {
+      top = std::max(top, p.time_s.mean + p.time_s.ci95);
+    }
+    if (top <= 0.0) top = 1.0;
+    os << r.name << "\n";
+    auto bar = [&](const std::string& label, const Summary& t) {
+      constexpr int kWidth = 50;
+      const int m = static_cast<int>(std::lround(t.mean / top * kWidth));
+      const int lo =
+          static_cast<int>(std::lround((t.mean - t.ci95) / top * kWidth));
+      const int hi =
+          static_cast<int>(std::lround((t.mean + t.ci95) / top * kWidth));
+      std::string lane(kWidth + 2, ' ');
+      for (int i = std::max(0, lo); i <= std::min(kWidth + 1, hi); ++i) {
+        lane[static_cast<std::size_t>(i)] = '-';
+      }
+      if (m >= 0 && m <= kWidth + 1) lane[static_cast<std::size_t>(m)] = 'o';
+      os << "  " << pad(label, 10, true) << "|" << lane << "| "
+         << fmt(t.mean, 4) << "s +/- " << fmt(t.ci95, 4) << "\n";
+    };
+    bar("baseline", r.baseline.time_s);
+    for (const Measurement& p : r.policies) {
+      bar(std::string(core::to_string(p.policy)), p.time_s);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_gate_stats(const std::vector<BenchmarkRecord>& rows) {
+  std::ostringstream os;
+  os << "Verifier gate statistics (accumulated over reps)\n\n";
+  os << pad("Benchmark", 14, true) << pad("Policy", 10) << pad("joins", 12)
+     << pad("rejected", 12) << pad("false-pos", 12) << pad("cycle-chk", 12)
+     << pad("averted", 10) << "\n";
+  for (const BenchmarkRecord& r : rows) {
+    for (const Measurement& p : r.policies) {
+      os << pad(r.name, 14, true)
+         << pad(std::string(core::to_string(p.policy)), 10)
+         << pad(std::to_string(p.gate.joins_checked), 12)
+         << pad(std::to_string(p.gate.policy_rejections), 12)
+         << pad(std::to_string(p.gate.false_positives), 12)
+         << pad(std::to_string(p.gate.cycle_checks), 12)
+         << pad(std::to_string(p.gate.deadlocks_averted), 10) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_csv(const std::vector<BenchmarkRecord>& rows) {
+  std::ostringstream os;
+  os << "benchmark,policy,time_mean_s,time_ci95_s,time_factor,"
+        "verifier_peak_bytes,rss_peak_delta_bytes,mem_factor,joins,"
+        "rejections,false_positives,cycle_checks,app_valid\n";
+  for (const BenchmarkRecord& r : rows) {
+    auto line = [&](const Measurement& m) {
+      os << r.name << "," << core::to_string(m.policy) << ","
+         << m.time_s.mean << "," << m.time_s.ci95 << ","
+         << time_factor(m, r.baseline) << "," << m.verifier_peak_bytes << ","
+         << m.rss_peak_delta_bytes << "," << memory_factor(m, r.baseline)
+         << "," << m.gate.joins_checked << "," << m.gate.policy_rejections
+         << "," << m.gate.false_positives << "," << m.gate.cycle_checks << ","
+         << (m.app_valid ? 1 : 0) << "\n";
+    };
+    line(r.baseline);
+    for (const Measurement& p : r.policies) line(p);
+  }
+  return os.str();
+}
+
+}  // namespace tj::harness

@@ -1,0 +1,36 @@
+#pragma once
+// Text renderers for the reproduced artifacts: Table 2 (overhead factors and
+// geometric means), Figure 2 (means with 95% confidence intervals as ASCII
+// interval plots) and a CSV dump for external plotting.
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace tj::harness {
+
+/// One benchmark's measurements: baseline first, then one entry per policy.
+struct BenchmarkRecord {
+  std::string name;
+  Measurement baseline;
+  std::vector<Measurement> policies;
+};
+
+/// Table 2: per benchmark the baseline absolute time (s) and memory (MB),
+/// then time/memory overhead factors per policy; geometric-mean footer.
+/// The best factor in each row is marked with '*' (the paper bold-faces it).
+std::string render_table2(const std::vector<BenchmarkRecord>& rows);
+
+/// Figure 2: per benchmark, mean execution time ± 95% CI per policy as a
+/// horizontal interval plot.
+std::string render_figure2(const std::vector<BenchmarkRecord>& rows);
+
+/// Verifier diagnostics: joins checked, rejections, false positives, cycle
+/// checks — the mechanism behind the NQueens narrative (Sec. 6.2).
+std::string render_gate_stats(const std::vector<BenchmarkRecord>& rows);
+
+/// Machine-readable dump (one line per benchmark × policy).
+std::string render_csv(const std::vector<BenchmarkRecord>& rows);
+
+}  // namespace tj::harness

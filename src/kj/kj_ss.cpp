@@ -1,0 +1,43 @@
+#include "kj/kj_ss.hpp"
+
+namespace tj::kj {
+
+core::PolicyNode* KjSsVerifier::add_child(core::PolicyNode* parent) {
+  auto* u = static_cast<Node*>(parent);
+  auto* v = new Node;
+  v->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  alloc_.add(sizeof(Node));
+  if (u != nullptr) {
+    // KJ-inherit: the child snapshots the parent's set (pre KJ-child) —
+    // a pointer copy thanks to persistence.
+    v->knows = u->knows;
+    // KJ-child: the parent's new version additionally knows the child.
+    u->knows = u->knows.insert(v->id, &alloc_);
+  }
+  return v;
+}
+
+bool KjSsVerifier::permits_join(const core::PolicyNode* joiner,
+                                const core::PolicyNode* joinee) {
+  return knows(static_cast<const Node*>(joiner),
+               static_cast<const Node*>(joinee));
+}
+
+void KjSsVerifier::on_join_complete(core::PolicyNode* joiner,
+                                    const core::PolicyNode* joinee) {
+  auto* a = static_cast<Node*>(joiner);
+  const auto* b = static_cast<const Node*>(joinee);
+  // KJ-learn: structural union with the joinee's final set (the joinee has
+  // terminated; completion synchronization orders this read). Snapshots
+  // taken from a common history share subtrees, which the merge reuses.
+  a->knows = PersistentIdSet::union_of(a->knows, b->knows, &alloc_);
+}
+
+void KjSsVerifier::release(core::PolicyNode* node) {
+  auto* v = static_cast<Node*>(node);
+  alloc_.sub(sizeof(Node));
+  delete v;  // drops this version's references; shared trie nodes die with
+             // their last referencing task
+}
+
+}  // namespace tj::kj

@@ -1,0 +1,45 @@
+#pragma once
+// KJ-SS: the Known Joins policy implemented with snapshot sets. A task's
+// knowledge is a persistent id set (kj/persistent_id_set.hpp): forking
+// snapshots the parent's set for the child in O(1) (shared root pointer),
+// the parent then inserts the new child id via an O(log n) path copy
+// (KJ-child), a membership check is O(log n) and allocation-free, and a
+// completed join unions the joinee's final set into the joiner's with
+// structural sharing (KJ-learn). These are the Table-1 KJ-SS bounds — O(1)
+// fork, O(n) worst-case join (the union), O(n) shared space.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/verifier.hpp"
+#include "kj/persistent_id_set.hpp"
+
+namespace tj::kj {
+
+class KjSsVerifier final : public core::Verifier {
+ public:
+  core::PolicyNode* add_child(core::PolicyNode* parent) override;
+  bool permits_join(const core::PolicyNode* joiner,
+                    const core::PolicyNode* joinee) override;
+  void on_join_complete(core::PolicyNode* joiner,
+                        const core::PolicyNode* joinee) override;
+  void release(core::PolicyNode* node) override;
+  core::PolicyChoice kind() const override {
+    return core::PolicyChoice::KJ_SS;
+  }
+
+  struct Node final : core::PolicyNode {
+    std::uint32_t id = 0;    // dense task id; immutable
+    PersistentIdSet knows;   // mutated (re-pointed) by the owning task only
+  };
+
+  /// The knowledge query (exposed for tests): joiner ≺-knows joinee.
+  static bool knows(const Node* joiner, const Node* joinee) {
+    return joiner->knows.contains(joinee->id);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_id_{0};
+};
+
+}  // namespace tj::kj

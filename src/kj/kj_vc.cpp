@@ -1,0 +1,65 @@
+#include "kj/kj_vc.hpp"
+
+#include <algorithm>
+
+namespace tj::kj {
+
+core::PolicyNode* KjVcVerifier::add_child(core::PolicyNode* parent) {
+  auto* u = static_cast<Node*>(parent);
+  auto* v = new Node;
+  v->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (u != nullptr) {
+    // Copy the parent's clock BEFORE bumping it: the child inherits the
+    // parent's knowledge but not its own birth (KJ-inherit).
+    v->clock = u->clock;
+    v->parent_id = u->id;
+    v->birth = u->forks + 1;
+    // KJ-child: the parent observes its own new fork.
+    u->forks += 1;
+    const std::size_t old_cap = u->clock.capacity();
+    if (u->clock.size() <= u->id) u->clock.resize(u->id + 1, 0);
+    u->clock[u->id] = u->forks;
+    if (u->clock.capacity() != old_cap) {
+      alloc_.add((u->clock.capacity() - old_cap) * sizeof(std::uint32_t));
+    }
+  }
+  alloc_.add(node_bytes(*v));
+  return v;
+}
+
+bool KjVcVerifier::knows(const Node* joiner, const Node* joinee) {
+  if (joinee->birth == 0) return false;  // nothing ever knows the root
+  const std::uint32_t p = joinee->parent_id;
+  if (p >= joiner->clock.size()) return false;
+  return joiner->clock[p] >= joinee->birth;
+}
+
+bool KjVcVerifier::permits_join(const core::PolicyNode* joiner,
+                                const core::PolicyNode* joinee) {
+  return knows(static_cast<const Node*>(joiner),
+               static_cast<const Node*>(joinee));
+}
+
+void KjVcVerifier::on_join_complete(core::PolicyNode* joiner,
+                                    const core::PolicyNode* joinee) {
+  auto* a = static_cast<Node*>(joiner);
+  const auto* b = static_cast<const Node*>(joinee);
+  // KJ-learn: componentwise max. The joinee has terminated, so its clock is
+  // stable; the runtime's completion synchronization orders this read.
+  const std::size_t old_cap = a->clock.capacity();
+  if (b->clock.size() > a->clock.size()) a->clock.resize(b->clock.size(), 0);
+  for (std::size_t i = 0; i < b->clock.size(); ++i) {
+    a->clock[i] = std::max(a->clock[i], b->clock[i]);
+  }
+  if (a->clock.capacity() != old_cap) {
+    alloc_.add((a->clock.capacity() - old_cap) * sizeof(std::uint32_t));
+  }
+}
+
+void KjVcVerifier::release(core::PolicyNode* node) {
+  auto* v = static_cast<Node*>(node);
+  alloc_.sub(node_bytes(*v));
+  delete v;
+}
+
+}  // namespace tj::kj

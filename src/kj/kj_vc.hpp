@@ -1,0 +1,54 @@
+#pragma once
+// KJ-VC: the Known Joins policy (Cogumbreiro et al. 2017) implemented with
+// vector clocks. Each task carries a clock indexed by task id whose component
+// for task p counts how many of p's forks this task has observed. Task x
+// knows task y iff clock_x[parent(y)] ≥ birth(y), where birth(y) is y's
+// 1-based index among its parent's forks.
+//
+// Knowledge flows exactly along the KJ rules: the child receives a copy of
+// the parent's clock taken *before* the parent's component is bumped for this
+// fork (KJ-inherit — a task does not know itself), the bump itself encodes
+// KJ-child, and a completed join merges the joinee's final clock into the
+// joiner's (KJ-learn). Fork is O(n) (clock copy), join check O(1) plus the
+// O(n) merge, total space O(n²) — the Table-1 bounds.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace tj::kj {
+
+class KjVcVerifier final : public core::Verifier {
+ public:
+  core::PolicyNode* add_child(core::PolicyNode* parent) override;
+  bool permits_join(const core::PolicyNode* joiner,
+                    const core::PolicyNode* joinee) override;
+  void on_join_complete(core::PolicyNode* joiner,
+                        const core::PolicyNode* joinee) override;
+  void release(core::PolicyNode* node) override;
+  core::PolicyChoice kind() const override {
+    return core::PolicyChoice::KJ_VC;
+  }
+
+  struct Node final : core::PolicyNode {
+    std::uint32_t id = 0;         // dense task id; immutable
+    std::uint32_t parent_id = 0;  // immutable; meaningless for the root
+    std::uint32_t birth = 0;      // 1-based fork index at the parent; 0 = root
+    std::uint32_t forks = 0;      // forks performed; mutated by owner only
+    std::vector<std::uint32_t> clock;  // mutated by owner only
+  };
+
+  /// The knowledge query (exposed for tests): joiner ≺-knows joinee.
+  static bool knows(const Node* joiner, const Node* joinee);
+
+ private:
+  std::size_t node_bytes(const Node& n) const {
+    return sizeof(Node) + n.clock.capacity() * sizeof(std::uint32_t);
+  }
+
+  std::atomic<std::uint32_t> next_id_{0};
+};
+
+}  // namespace tj::kj

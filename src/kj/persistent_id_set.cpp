@@ -1,0 +1,156 @@
+#include "kj/persistent_id_set.hpp"
+
+#include <bit>
+
+namespace tj::kj {
+
+// One node type serves both roles: height 0 → `bits` is the 64-id bitmap;
+// height > 0 → `kids` are the 16 children. Immutable after construction.
+struct PersistentIdSet::Node {
+  explicit Node(core::PolicyAllocator* a) : alloc(a) {
+    if (alloc != nullptr) alloc->add(sizeof(Node));
+  }
+  ~Node() {
+    if (alloc != nullptr) alloc->sub(sizeof(Node));
+  }
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  core::PolicyAllocator* alloc;
+  std::uint64_t bits = 0;
+  NodePtr kids[1u << kFanBits];
+};
+
+PersistentIdSet::NodePtr PersistentIdSet::make_leaf(
+    std::uint64_t bits, core::PolicyAllocator* alloc) {
+  auto n = std::make_shared<Node>(alloc);
+  n->bits = bits;
+  return n;
+}
+
+PersistentIdSet::NodePtr PersistentIdSet::make_inner(
+    core::PolicyAllocator* alloc) {
+  return std::make_shared<Node>(alloc);
+}
+
+bool PersistentIdSet::contains(std::uint32_t id) const {
+  if (root_ == nullptr || id >= capacity(height_)) return false;
+  const Node* node = root_.get();
+  for (std::uint32_t h = height_; h > 0; --h) {
+    const std::uint32_t slot =
+        (id >> (kLeafBits + kFanBits * (h - 1))) & ((1u << kFanBits) - 1);
+    node = node->kids[slot].get();
+    if (node == nullptr) return false;
+  }
+  return (node->bits >> (id & 63)) & 1u;
+}
+
+PersistentIdSet::NodePtr PersistentIdSet::insert_rec(
+    const NodePtr& node, std::uint32_t height, std::uint32_t id,
+    core::PolicyAllocator* alloc) {
+  if (height == 0) {
+    const std::uint64_t bit = 1ull << (id & 63);
+    if (node != nullptr && (node->bits & bit)) return node;  // already present
+    return make_leaf((node != nullptr ? node->bits : 0) | bit, alloc);
+  }
+  const std::uint32_t slot =
+      (id >> (kLeafBits + kFanBits * (height - 1))) & ((1u << kFanBits) - 1);
+  auto fresh = std::make_shared<Node>(alloc);
+  if (node != nullptr) {
+    for (std::uint32_t i = 0; i < (1u << kFanBits); ++i) {
+      fresh->kids[i] = node->kids[i];
+    }
+  }
+  fresh->kids[slot] = insert_rec(node != nullptr ? node->kids[slot] : nullptr,
+                                 height - 1, id, alloc);
+  return fresh;
+}
+
+PersistentIdSet PersistentIdSet::insert(std::uint32_t id,
+                                        core::PolicyAllocator* alloc) const {
+  NodePtr root = root_;
+  std::uint32_t height = height_;
+  if (root == nullptr) {
+    // Start with the smallest trie that fits `id`.
+    height = 0;
+    while (id >= capacity(height)) ++height;
+  } else {
+    while (id >= capacity(height)) {
+      // Lift: the old root becomes child 0 of a taller root.
+      auto lifted = std::make_shared<Node>(alloc);
+      lifted->kids[0] = root;
+      root = std::move(lifted);
+      ++height;
+    }
+  }
+  return PersistentIdSet(insert_rec(root, height, id, alloc), height);
+}
+
+PersistentIdSet::NodePtr PersistentIdSet::merge_rec(
+    const NodePtr& a, const NodePtr& b, std::uint32_t height,
+    core::PolicyAllocator* alloc) {
+  if (a == b || b == nullptr) return a;  // pointer equality: shared history
+  if (a == nullptr) return b;
+  if (height == 0) {
+    if ((a->bits | b->bits) == a->bits) return a;
+    if ((a->bits | b->bits) == b->bits) return b;
+    return make_leaf(a->bits | b->bits, alloc);
+  }
+  NodePtr merged[1u << kFanBits];
+  bool all_a = true;
+  bool all_b = true;
+  for (std::uint32_t i = 0; i < (1u << kFanBits); ++i) {
+    merged[i] = merge_rec(a->kids[i], b->kids[i], height - 1, alloc);
+    all_a = all_a && merged[i] == a->kids[i];
+    all_b = all_b && merged[i] == b->kids[i];
+  }
+  if (all_a) return a;  // b ⊆ a below this point: reuse a wholesale
+  if (all_b) return b;
+  auto fresh = std::make_shared<Node>(alloc);
+  for (std::uint32_t i = 0; i < (1u << kFanBits); ++i) {
+    fresh->kids[i] = std::move(merged[i]);
+  }
+  return fresh;
+}
+
+PersistentIdSet PersistentIdSet::union_of(const PersistentIdSet& a,
+                                          const PersistentIdSet& b,
+                                          core::PolicyAllocator* alloc) {
+  if (a.root_ == nullptr) return b;
+  if (b.root_ == nullptr) return a;
+  // Lift the shorter trie to the taller one's height.
+  NodePtr ra = a.root_;
+  NodePtr rb = b.root_;
+  std::uint32_t ha = a.height_;
+  std::uint32_t hb = b.height_;
+  while (ha < hb) {
+    auto lifted = std::make_shared<Node>(alloc);
+    lifted->kids[0] = ra;
+    ra = std::move(lifted);
+    ++ha;
+  }
+  while (hb < ha) {
+    auto lifted = std::make_shared<Node>(alloc);
+    lifted->kids[0] = rb;
+    rb = std::move(lifted);
+    ++hb;
+  }
+  return PersistentIdSet(merge_rec(ra, rb, ha, alloc), ha);
+}
+
+std::size_t PersistentIdSet::count_rec(const NodePtr& node,
+                                       std::uint32_t height) {
+  if (node == nullptr) return 0;
+  if (height == 0) return static_cast<std::size_t>(std::popcount(node->bits));
+  std::size_t total = 0;
+  for (const NodePtr& kid : node->kids) {
+    total += count_rec(kid, height - 1);
+  }
+  return total;
+}
+
+std::size_t PersistentIdSet::size() const {
+  return count_rec(root_, height_);
+}
+
+}  // namespace tj::kj

@@ -1,0 +1,68 @@
+#pragma once
+// A persistent (immutable, structurally shared) set of dense integer ids —
+// the "snapshot set" substrate for KJ-SS. Implemented as a 16-ary radix trie
+// over 64-bit leaf bitmaps:
+//   * snapshot:   O(1)   (copy the root pointer)
+//   * insert:     O(log n) path copy, returning a new version
+//   * contains:   O(log n), allocation-free
+//   * union:      structural merge with pointer-equality short-circuits, so
+//                 merging a set with its own descendant snapshot is cheap
+// Task ids are dense (assigned sequentially by the verifier), which keeps
+// the trie compact without hashing.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/policy_alloc.hpp"
+
+namespace tj::kj {
+
+class PersistentIdSet {
+ public:
+  /// The empty set.
+  PersistentIdSet() = default;
+
+  bool empty() const { return root_ == nullptr; }
+  bool contains(std::uint32_t id) const;
+
+  /// A new version containing `id`. Allocations are charged to `alloc`.
+  PersistentIdSet insert(std::uint32_t id,
+                         core::PolicyAllocator* alloc) const;
+
+  /// The union of two versions. Shared subtrees are reused wholesale.
+  static PersistentIdSet union_of(const PersistentIdSet& a,
+                                  const PersistentIdSet& b,
+                                  core::PolicyAllocator* alloc);
+
+  /// Number of ids in the set (walks the trie; for tests/diagnostics).
+  std::size_t size() const;
+
+ private:
+  static constexpr std::uint32_t kLeafBits = 6;   // 64 ids per leaf
+  static constexpr std::uint32_t kFanBits = 4;    // 16 children per node
+
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  PersistentIdSet(NodePtr root, std::uint32_t height)
+      : root_(std::move(root)), height_(height) {}
+
+  /// Ids representable at `height`: 64 · 16^height.
+  static std::uint64_t capacity(std::uint32_t height) {
+    return 1ull << (kLeafBits + kFanBits * height);
+  }
+
+  static NodePtr make_leaf(std::uint64_t bits, core::PolicyAllocator* alloc);
+  static NodePtr make_inner(core::PolicyAllocator* alloc);
+  static NodePtr insert_rec(const NodePtr& node, std::uint32_t height,
+                            std::uint32_t id, core::PolicyAllocator* alloc);
+  static NodePtr merge_rec(const NodePtr& a, const NodePtr& b,
+                           std::uint32_t height,
+                           core::PolicyAllocator* alloc);
+  static std::size_t count_rec(const NodePtr& node, std::uint32_t height);
+
+  NodePtr root_;
+  std::uint32_t height_ = 0;  // levels of inner nodes above the leaves
+};
+
+}  // namespace tj::kj

@@ -1,0 +1,10 @@
+#include "models/async_finish.hpp"
+
+namespace tj::models::detail {
+
+runtime::FinishScope*& current_finish() {
+  thread_local runtime::FinishScope* scope = nullptr;
+  return scope;
+}
+
+}  // namespace tj::models::detail

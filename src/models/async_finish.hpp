@@ -1,0 +1,68 @@
+#pragma once
+// The async-finish model of X10/Habanero (Sec. 1: "rather than join with
+// arbitrary tasks, a task can join all at once with the collection of tasks
+// it created (transitively) within a given computation"). finish { ... }
+// waits for every async spawned inside the dynamic extent of the block,
+// across nesting. Programs in this model produce terminally strict
+// computation graphs (Guo et al.) — a strict superset of Cilk's fully
+// strict graphs and a strict subset of what Futures allow.
+//
+// Implementation: a finish block carries a FinishScope; `fa.async(fn)`
+// registers the task with the *innermost enclosing* finish of the calling
+// task, which is threaded through a thread-local stack (mirroring HJ's
+// dynamic scoping of finish).
+
+#include <functional>
+#include <utility>
+
+#include "runtime/finish.hpp"
+
+namespace tj::models {
+
+namespace detail {
+runtime::FinishScope*& current_finish();
+}  // namespace detail
+
+/// Runs `body` as a finish block: returns only after every task spawned via
+/// af_async() within the block's dynamic extent (on any task) terminated.
+template <typename F>
+void finish(F&& body) {
+  runtime::FinishScope scope;
+  runtime::FinishScope* const prev = detail::current_finish();
+  detail::current_finish() = &scope;
+  try {
+    body();
+  } catch (...) {
+    detail::current_finish() = prev;
+    scope.await();  // even on exceptions, a finish joins its asyncs
+    throw;
+  }
+  detail::current_finish() = prev;
+  scope.await();
+}
+
+/// Spawns `fn` registered with the innermost enclosing finish block of this
+/// task. Throws UsageError when no finish block is active.
+template <typename F>
+void af_async(F&& fn) {
+  runtime::FinishScope* scope = detail::current_finish();
+  if (scope == nullptr) {
+    throw runtime::UsageError("af_async: no enclosing finish block");
+  }
+  // The child may itself call af_async: it must see the same innermost
+  // finish. Thread-locals don't flow to the child task, so re-establish the
+  // scope inside the child body.
+  scope->spawn([scope, fn = std::forward<F>(fn)]() mutable {
+    runtime::FinishScope* const prev = detail::current_finish();
+    detail::current_finish() = scope;
+    try {
+      fn();
+    } catch (...) {
+      detail::current_finish() = prev;
+      throw;
+    }
+    detail::current_finish() = prev;
+  });
+}
+
+}  // namespace tj::models

@@ -1,0 +1,80 @@
+#pragma once
+// Cilk-style spawn/sync on top of the futures runtime (Sec. 1: "Cilk's model
+// is more limited than Futures in general because a Cilk function is
+// compelled to join with all the tasks it has spawned"). A SpawnScope owns
+// the Futures of the tasks the *current* task spawned; sync() joins exactly
+// those. Programs written against this interface produce fully strict
+// computation graphs (Blumofe & Leiserson): every join edge goes from a task
+// to its own child — trivially valid under KJ and TJ (rule I).
+
+#include <utility>
+#include <vector>
+
+#include "runtime/api.hpp"
+
+namespace tj::models {
+
+/// One Cilk "function frame": spawn children, then sync with all of them.
+/// Destruction without sync() is allowed only after sync() has run or when
+/// nothing was spawned (enforced: the destructor syncs defensively so no
+/// child outlives its frame, preserving full strictness).
+class SpawnScope {
+ public:
+  SpawnScope() = default;
+  SpawnScope(const SpawnScope&) = delete;
+  SpawnScope& operator=(const SpawnScope&) = delete;
+
+  ~SpawnScope() {
+    // A Cilk function cannot return before its children: implicit sync.
+    for (const auto& f : children_) {
+      if (f.valid() && !f.ready()) f.join();
+    }
+  }
+
+  /// cilk_spawn: fork a child of the current task.
+  template <typename F>
+  void spawn(F&& fn) {
+    children_.push_back(runtime::async(
+        [fn = std::forward<F>(fn)]() mutable { fn(); }));
+  }
+
+  /// cilk_sync: join every child spawned so far, in spawn order.
+  void sync() {
+    for (const auto& f : children_) f.join();
+    children_.clear();
+  }
+
+  std::size_t spawned() const { return children_.size(); }
+
+ private:
+  std::vector<runtime::Future<void>> children_;
+};
+
+/// Value-returning flavour: spawn yields a handle usable ONLY by this frame.
+template <typename T>
+class SpawnGroup {
+ public:
+  SpawnGroup() = default;
+  SpawnGroup(const SpawnGroup&) = delete;
+  SpawnGroup& operator=(const SpawnGroup&) = delete;
+
+  template <typename F>
+  std::size_t spawn(F&& fn) {
+    children_.push_back(runtime::async(std::forward<F>(fn)));
+    return children_.size() - 1;
+  }
+
+  /// Joins all children and returns their results in spawn order.
+  std::vector<T> sync() {
+    std::vector<T> out;
+    out.reserve(children_.size());
+    for (const auto& f : children_) out.push_back(f.get());
+    children_.clear();
+    return out;
+  }
+
+ private:
+  std::vector<runtime::Future<T>> children_;
+};
+
+}  // namespace tj::models

@@ -1,0 +1,31 @@
+#pragma once
+// Public convenience API mirroring the paper's program model (Sec. 2.2):
+//
+//   tj::runtime::Runtime rt({.policy = tj::core::PolicyChoice::TJ_SP});
+//   rt.root([] {
+//     auto f = tj::runtime::async([] { return 41; });
+//     int x = f.get() + 1;  // a verified join
+//   });
+//
+// async() forks a child of the *current* task; Future::get()/join() performs
+// a policy-checked join and may fault with DeadlockAvoidedError instead of
+// blocking into a deadlock.
+
+#include "runtime/config.hpp"
+#include "runtime/errors.hpp"
+#include "runtime/future.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+
+namespace tj::runtime {
+
+/// Forks `fn` as a child task of the current task (the paper's `async`).
+/// Must be called from within a task context (root or another task).
+template <typename F>
+auto async(F&& fn) {
+  TaskBase& cur = current_task();
+  return cur.runtime()->spawn(std::forward<F>(fn));
+}
+
+}  // namespace tj::runtime

@@ -1,0 +1,134 @@
+#include "runtime/barrier.hpp"
+
+#include <algorithm>
+
+#include "runtime/runtime.hpp"
+
+namespace tj::runtime {
+
+namespace {
+// RAII compensation bracket around a non-join blocking wait.
+class BlockingRegion {
+ public:
+  explicit BlockingRegion(Scheduler& s) : sched_(s) {
+    sched_.enter_blocking_region();
+  }
+  ~BlockingRegion() { sched_.exit_blocking_region(); }
+  BlockingRegion(const BlockingRegion&) = delete;
+  BlockingRegion& operator=(const BlockingRegion&) = delete;
+
+ private:
+  Scheduler& sched_;
+};
+
+void erase_value(std::vector<wfg::TaskUid>& xs, wfg::TaskUid v) {
+  xs.erase(std::remove(xs.begin(), xs.end(), v), xs.end());
+}
+}  // namespace
+
+CheckedBarrier& BarrierDomain::create_barrier() {
+  std::scoped_lock lock(barriers_mu_);
+  barriers_.push_back(std::unique_ptr<CheckedBarrier>(
+      new CheckedBarrier(this, next_id_.fetch_add(1))));
+  return *barriers_.back();
+}
+
+void CheckedBarrier::register_party() {
+  register_party(current_task().uid());
+}
+
+void CheckedBarrier::register_party(wfg::TaskUid uid) {
+  std::scoped_lock lock(mu_);
+  ++parties_;
+  // The party gates every phase until it arrives: it provides the resource.
+  domain_->graph_.add_provider(id_, uid);
+}
+
+void CheckedBarrier::deregister() {
+  const wfg::TaskUid uid = current_task().uid();
+  std::scoped_lock lock(mu_);
+  if (parties_ == 0) {
+    throw UsageError("CheckedBarrier: deregister without registration");
+  }
+  --parties_;
+  domain_->graph_.remove_provider(id_, uid);
+  // Revoke a pending arrival in the current phase (arrive() then leave).
+  const auto it =
+      std::find(arrived_uids_.begin(), arrived_uids_.end(), uid);
+  if (it != arrived_uids_.end()) {
+    arrived_uids_.erase(it);
+  }
+  if (arrived_uids_.size() == parties_ && parties_ > 0) {
+    release_phase_locked();
+  }
+}
+
+void CheckedBarrier::release_phase_locked() {
+  // Every arrived party provides the next phase again; blocked parties'
+  // wait entries are cleared HERE — leaving them until the waiters wake
+  // would let stale edges poison other tasks' cycle checks.
+  for (wfg::TaskUid uid : arrived_uids_) {
+    domain_->graph_.add_provider(id_, uid);
+  }
+  for (wfg::TaskUid uid : blocked_uids_) {
+    domain_->graph_.clear_wait(uid);
+  }
+  arrived_uids_.clear();
+  blocked_uids_.clear();
+  ++phase_;
+  cv_.notify_all();
+}
+
+bool CheckedBarrier::arrive_locked(wfg::TaskUid uid) {
+  domain_->graph_.remove_provider(id_, uid);
+  arrived_uids_.push_back(uid);
+  if (arrived_uids_.size() == parties_) {
+    release_phase_locked();
+    return true;
+  }
+  return false;
+}
+
+void CheckedBarrier::arrive() {
+  const wfg::TaskUid uid = current_task().uid();
+  std::scoped_lock lock(mu_);
+  (void)arrive_locked(uid);
+}
+
+bool CheckedBarrier::await() {
+  TaskBase& cur = current_task();
+  const wfg::TaskUid uid = cur.uid();
+  std::unique_lock lock(mu_);
+  if (arrive_locked(uid)) {
+    return true;  // this arrival completed the phase: the serial party
+  }
+  // Blocking: verify against the shared resource graph first.
+  if (!domain_->graph_.try_wait(uid, {id_})) {
+    // Roll the arrival back: this await faults without blocking.
+    erase_value(arrived_uids_, uid);
+    domain_->graph_.add_provider(id_, uid);
+    domain_->averted_.fetch_add(1, std::memory_order_relaxed);
+    throw DeadlockAvoidedError(
+        "barrier await aborted: blocking would create a deadlock cycle "
+        "across barriers");
+  }
+  blocked_uids_.push_back(uid);
+  const std::uint64_t my_phase = phase_;
+  {
+    BlockingRegion region(cur.runtime()->scheduler());
+    cv_.wait(lock, [this, my_phase] { return phase_ != my_phase; });
+  }
+  return false;
+}
+
+std::size_t CheckedBarrier::parties() const {
+  std::scoped_lock lock(mu_);
+  return parties_;
+}
+
+std::uint64_t CheckedBarrier::phase() const {
+  std::scoped_lock lock(mu_);
+  return phase_;
+}
+
+}  // namespace tj::runtime

@@ -1,0 +1,110 @@
+#pragma once
+// CheckedBarrier: a cyclic barrier whose await() is verified for deadlock by
+// the generalized (Armus-style) resource graph before blocking — extending
+// the library's avoidance guarantees from joins to barrier synchronisation,
+// the domain of the paper's fallback detector.
+//
+// Barriers belonging to one BarrierDomain share a ResourceGraph, so cycles
+// *across* barriers (task A awaits barrier X while holding up barrier Y that
+// task B awaits while holding up X) are caught, not just single-barrier
+// misuse. Join-based waits remain the TJ verifier's business; a barrier
+// domain covers the barrier-only cycles among its own barriers.
+//
+// Registration: a party is a task uid. A task registers itself with
+// register_party(), or a coordinator that holds the Future of a spawned task
+// pre-registers it with register_party(uid) BEFORE the task's first await —
+// mirroring HJ's phased-async registration-at-spawn, and required whenever
+// parties outnumber workers (self-registering parties would have to
+// rendezvous, which can starve a bounded pool).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/errors.hpp"
+#include "runtime/scheduler.hpp"
+#include "wfg/resource_graph.hpp"
+
+namespace tj::runtime {
+
+class BarrierDomain;
+
+/// A cyclic barrier over a dynamic set of parties.
+class CheckedBarrier {
+ public:
+  /// Registers the calling task as a party.
+  void register_party();
+  /// Registers a known task (by uid) as a party — coordinator-side, must
+  /// happen-before that task's first await/arrive on this barrier.
+  void register_party(wfg::TaskUid uid);
+
+  /// Blocks until every registered party arrived at the current phase.
+  /// Verified against the domain's resource graph: if blocking would close
+  /// a cross-barrier cycle, throws DeadlockAvoidedError WITHOUT blocking
+  /// (and without consuming the arrival). Returns true for exactly one
+  /// party per phase (the releaser).
+  bool await();
+
+  /// Arrives at the current phase without waiting for it to complete.
+  void arrive();
+
+  /// Removes the calling task from the parties. A pending arrival by this
+  /// task in the current phase is revoked.
+  void deregister();
+
+  std::size_t parties() const;
+  std::uint64_t phase() const;
+
+ private:
+  friend class BarrierDomain;
+  CheckedBarrier(BarrierDomain* domain, wfg::ResId id)
+      : domain_(domain), id_(id) {}
+
+  // Pre: mu_ held. Records an arrival; releases the phase when complete.
+  // Returns true when this arrival released the phase.
+  bool arrive_locked(wfg::TaskUid uid);
+
+  // Pre: mu_ held. Releases the phase: re-arms every arrived party as a
+  // provider of the next phase and clears blocked parties' wait entries
+  // (stale entries would poison later cycle checks).
+  void release_phase_locked();
+
+  BarrierDomain* domain_;
+  const wfg::ResId id_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t parties_ = 0;                    // registered parties
+  std::uint64_t phase_ = 0;
+  std::vector<wfg::TaskUid> arrived_uids_;     // arrivals this phase
+  std::vector<wfg::TaskUid> blocked_uids_;     // of those, the blocked ones
+};
+
+/// Owns the shared resource graph and creates barriers bound to it.
+class BarrierDomain {
+ public:
+  BarrierDomain() = default;
+  BarrierDomain(const BarrierDomain&) = delete;
+  BarrierDomain& operator=(const BarrierDomain&) = delete;
+
+  /// Creates a barrier; the domain keeps ownership (stable addresses).
+  CheckedBarrier& create_barrier();
+
+  const wfg::ResourceGraph& graph() const { return graph_; }
+  std::uint64_t deadlocks_averted() const {
+    return averted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CheckedBarrier;
+
+  wfg::ResourceGraph graph_;
+  std::mutex barriers_mu_;
+  std::vector<std::unique_ptr<CheckedBarrier>> barriers_;
+  std::atomic<wfg::ResId> next_id_{1};
+  std::atomic<std::uint64_t> averted_{0};
+};
+
+}  // namespace tj::runtime

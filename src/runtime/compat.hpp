@@ -1,0 +1,53 @@
+#pragma once
+// std::async-flavoured adapter (Sec. 1 notes the Futures model maps directly
+// onto C++'s standard futures): tj::compat::async(fn, args...) forks an
+// instrumented task binding the arguments, so code written against the
+// std::async idiom can adopt the verified runtime with a namespace swap.
+// Differences from std::async, by design:
+//   * must run within a Runtime task context (root() / another task);
+//   * returns tj::runtime::Future (copyable, joinable repeatedly);
+//   * get() may fault with DeadlockAvoidedError instead of deadlocking.
+
+#include <functional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/api.hpp"
+
+namespace tj::compat {
+
+/// Forks `fn(args...)` as a child of the current task.
+template <typename F, typename... Args>
+auto async(F&& fn, Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return runtime::async(std::forward<F>(fn));
+  } else {
+    return runtime::async(
+        [fn = std::forward<F>(fn),
+         tup = std::make_tuple(std::forward<Args>(args)...)]() mutable {
+          return std::apply(std::move(fn), std::move(tup));
+        });
+  }
+}
+
+/// std::packaged_task-ish helper: wraps a callable so each invocation forks
+/// a verified task and returns its Future.
+template <typename Sig>
+class TaskLauncher;
+
+template <typename R, typename... Args>
+class TaskLauncher<R(Args...)> {
+ public:
+  template <typename F>
+  explicit TaskLauncher(F&& fn) : fn_(std::forward<F>(fn)) {}
+
+  runtime::Future<R> operator()(Args... args) {
+    return compat::async(fn_, std::move(args)...);
+  }
+
+ private:
+  std::function<R(Args...)> fn_;
+};
+
+}  // namespace tj::compat

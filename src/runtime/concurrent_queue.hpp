@@ -1,0 +1,57 @@
+#pragma once
+// A small sequentially-consistent FIFO queue (the paper's examples use
+// Java's ConcurrentLinkedQueue; Listing 1 and NQueens collect Futures in
+// one). Mutex-based: contention on it is part of the modeled workloads, not
+// of the verifier overhead being measured.
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tj::runtime {
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  void push(T value) {
+    std::scoped_lock lock(mu_);
+    items_.push_back(std::move(value));
+  }
+
+  /// Pops the oldest element, or nullopt when currently empty.
+  std::optional<T> poll() {
+    std::scoped_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Pops the newest element, or nullopt when currently empty. Consumers
+  /// that mix poll()/poll_back() observe elements "in any order" — the
+  /// NQueens root uses this to join arbitrary descendants.
+  std::optional<T> poll_back() {
+    std::scoped_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.back());
+    items_.pop_back();
+    return out;
+  }
+
+  bool empty() const {
+    std::scoped_lock lock(mu_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace tj::runtime

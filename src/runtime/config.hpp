@@ -1,0 +1,54 @@
+#pragma once
+// Runtime configuration: which policy verifies joins, how rejections fault,
+// and which of the two HJ-style schedulers executes tasks (paper footnote 4
+// evaluates both a blocking and a cooperative work-sharing runtime).
+
+#include <cstdint>
+#include <string_view>
+#include <thread>
+
+#include "core/guarded.hpp"
+#include "core/policy_ids.hpp"
+
+namespace tj::runtime {
+
+enum class SchedulerMode : std::uint8_t {
+  /// A worker whose join must wait blocks its thread; the pool spawns a
+  /// bounded number of compensation workers to preserve parallelism
+  /// (HJ's blocking work-sharing runtime).
+  Blocking,
+  /// A worker whose join target is still queued claims and runs it inline
+  /// (help-first work sharing); it only blocks when the target is already
+  /// running elsewhere (HJ's cooperative runtime, used for NQueens).
+  Cooperative,
+};
+
+constexpr std::string_view to_string(SchedulerMode m) {
+  return m == SchedulerMode::Blocking ? "blocking" : "cooperative";
+}
+
+struct Config {
+  core::PolicyChoice policy = core::PolicyChoice::TJ_SP;
+  core::FaultMode fault = core::FaultMode::Fallback;
+  SchedulerMode scheduler = SchedulerMode::Cooperative;
+  /// Worker threads; 0 → std::thread::hardware_concurrency().
+  unsigned workers = 0;
+  /// Upper bound on total pool threads in Blocking mode (compensation cap).
+  unsigned max_threads = 256;
+  /// Record the execution's init/fork/join actions as a trace (Def. 3.1),
+  /// retrievable via Runtime::recorded_trace(). For tests and debugging;
+  /// adds a lock per fork/join.
+  bool record_trace = false;
+  /// Non-zero: inject pseudo-random yields at fork/join boundaries to
+  /// perturb interleavings (schedule fuzzing for tests). Different seeds
+  /// explore different schedules; 0 disables injection entirely.
+  std::uint64_t chaos_seed = 0;
+
+  unsigned effective_workers() const {
+    if (workers != 0) return workers;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 4;
+  }
+};
+
+}  // namespace tj::runtime

@@ -1,0 +1,39 @@
+#pragma once
+// Exceptions raised by the instrumented runtime. A faulting join raises
+// *in the joining task* (the paper's "fault" in Algorithm 1), giving the
+// program the chance to recover — the stated advantage of avoidance over
+// detection.
+
+#include <stdexcept>
+#include <string>
+
+namespace tj::runtime {
+
+/// Base class of all runtime errors.
+class TjError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The join was rejected by the policy and cycle detection confirmed that
+/// blocking would truly deadlock. Raised without blocking.
+class DeadlockAvoidedError : public TjError {
+ public:
+  using TjError::TjError;
+};
+
+/// The join was rejected by the policy and FaultMode::Throw is active (no
+/// precise fallback requested): raised without blocking.
+class PolicyViolationError : public TjError {
+ public:
+  using TjError::TjError;
+};
+
+/// API misuse: e.g. async()/get() outside a runtime task context, or a
+/// second root task on one runtime.
+class UsageError : public TjError {
+ public:
+  using TjError::TjError;
+};
+
+}  // namespace tj::runtime

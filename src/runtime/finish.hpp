@@ -1,0 +1,86 @@
+#pragma once
+// The `finish` construct of X10/Habanero, built on Futures exactly as
+// Section 2.3 describes: every task spawned through a FinishScope (at any
+// nesting depth) registers its Future on a shared queue, and await() joins
+// each queued Future until the queue stays empty. Because joins hit
+// arbitrary descendants in arbitrary order, this is the pattern that is
+// TJ-valid outright but nondeterministically violates Known Joins — the
+// paper's argument for transitivity.
+//
+// FinishAccumulator extends it with the 'finish accumulator' reduction
+// (Shirako et al., cited as [30]): values returned by the spawned tasks are
+// combined with a user reducer as the joins complete.
+
+#include <functional>
+#include <utility>
+
+#include "runtime/api.hpp"
+#include "runtime/concurrent_queue.hpp"
+
+namespace tj::runtime {
+
+class FinishScope {
+ public:
+  FinishScope() = default;
+  FinishScope(const FinishScope&) = delete;
+  FinishScope& operator=(const FinishScope&) = delete;
+  /// Joining in the destructor would hide faults; call await() explicitly.
+  ~FinishScope() = default;
+
+  /// Forks `fn` as a child of the *current* task (which may itself be a task
+  /// spawned through this scope — nesting is the point) and registers it.
+  template <typename F>
+  void spawn(F&& fn) {
+    tasks_.push(async([fn = std::forward<F>(fn)]() mutable {
+      fn();
+    }));
+  }
+
+  /// Blocks until every task spawned through this scope (transitively
+  /// registered) has terminated. Safe against tasks that keep spawning:
+  /// each joined task registered its children before terminating, so an
+  /// empty queue after draining means quiescence (Listing 1's invariant).
+  void await() {
+    while (auto f = tasks_.poll()) {
+      f->join();
+    }
+  }
+
+  std::size_t pending() const { return tasks_.size(); }
+
+ private:
+  ConcurrentQueue<Future<void>> tasks_;
+};
+
+/// finish-accumulator: spawned tasks return T; await() reduces all results.
+template <typename T>
+class FinishAccumulator {
+ public:
+  using Reducer = std::function<T(T, T)>;
+
+  FinishAccumulator(T identity, Reducer reduce)
+      : acc_(std::move(identity)), reduce_(std::move(reduce)) {}
+  FinishAccumulator(const FinishAccumulator&) = delete;
+  FinishAccumulator& operator=(const FinishAccumulator&) = delete;
+
+  template <typename F>
+  void spawn(F&& fn) {
+    tasks_.push(async(std::forward<F>(fn)));
+  }
+
+  /// Joins every registered task (in arrival order — arbitrary descendants)
+  /// and returns the reduction of their results.
+  T await() {
+    while (auto f = tasks_.poll()) {
+      acc_ = reduce_(std::move(acc_), f->get());
+    }
+    return acc_;
+  }
+
+ private:
+  ConcurrentQueue<Future<T>> tasks_;
+  T acc_;
+  Reducer reduce_;
+};
+
+}  // namespace tj::runtime

@@ -1,0 +1,63 @@
+#pragma once
+// Future: a copyable handle to an asynchronously executing task (the paper's
+// program model, Sec. 2.2). get() performs a *join*: it is verified by the
+// runtime's active policy and may fault with DeadlockAvoidedError /
+// PolicyViolationError instead of blocking.
+
+#include <memory>
+#include <utility>
+
+#include "runtime/errors.hpp"
+#include "runtime/task.hpp"
+
+namespace tj::runtime {
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return task_ != nullptr; }
+
+  /// True iff the task already terminated (never blocks).
+  bool ready() const {
+    require_valid();
+    return task_->done();
+  }
+
+  /// Joins on the task: verified by the active policy, blocks until the task
+  /// terminates, then returns its result (copy; a Future may be joined by
+  /// several tasks). Rethrows the task's exception if it failed.
+  T get() const {
+    require_valid();
+    detail::join_current_on(*task_);
+    task_->rethrow_if_error();
+    if constexpr (!std::is_void_v<T>) {
+      return task_->result();
+    }
+  }
+
+  /// Alias for get() discarding the value — the paper's join().
+  void join() const { (void)get(); }
+
+  /// The underlying task record (for diagnostics/tests).
+  const TaskBase& task() const {
+    require_valid();
+    return *task_;
+  }
+
+ private:
+  friend class Runtime;
+
+  explicit Future(std::shared_ptr<Task<T>> t) : task_(std::move(t)) {}
+
+  void require_valid() const {
+    if (task_ == nullptr) {
+      throw UsageError("Future: empty handle");
+    }
+  }
+
+  std::shared_ptr<Task<T>> task_;
+};
+
+}  // namespace tj::runtime

@@ -1,0 +1,136 @@
+#include "runtime/runtime.hpp"
+
+#include <thread>
+
+namespace tj::runtime {
+
+namespace {
+// Cheap per-thread xorshift for chaos scheduling; distinct streams per
+// thread via the TLS address, reproducibility comes from the seed salt.
+bool chaos_roll(std::uint64_t seed) {
+  thread_local std::uint64_t state = 0;
+  if (state == 0) {
+    state = seed ^ (reinterpret_cast<std::uintptr_t>(&state) | 1);
+  }
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return (state & 7) == 0;
+}
+}  // namespace
+
+TaskBase::~TaskBase() {
+  if (rt_ != nullptr && pnode_ != nullptr) {
+    rt_->release_node(pnode_);
+  }
+}
+
+namespace detail {
+
+void join_current_on(TaskBase& target) {
+  Runtime* rt = target.runtime();
+  if (rt == nullptr) {
+    throw UsageError("join: task was never registered with a runtime");
+  }
+  rt->join(target);
+}
+
+}  // namespace detail
+
+Runtime::Runtime(Config cfg)
+    : cfg_(cfg),
+      verifier_(core::make_verifier(cfg.policy)),
+      gate_(cfg.policy, verifier_.get(), cfg.fault),
+      sched_(cfg.scheduler, cfg.effective_workers(), cfg.max_threads) {}
+
+Runtime::~Runtime() {
+  // All spawned tasks must finish before the scheduler can be torn down;
+  // root() already quiesces, this covers error paths.
+  sched_.quiesce();
+}
+
+void Runtime::claim_root() {
+  if (current_task_or_null() != nullptr) {
+    throw UsageError("root: already inside a task context");
+  }
+  bool expected = false;
+  if (!root_claimed_.compare_exchange_strong(expected, true)) {
+    throw UsageError("root: a runtime hosts exactly one root task");
+  }
+}
+
+void Runtime::register_task(TaskBase& t, const TaskBase* parent) {
+  if (cfg_.chaos_seed != 0 && chaos_roll(cfg_.chaos_seed)) {
+    std::this_thread::yield();
+  }
+  t.uid_ = next_uid_.fetch_add(1, std::memory_order_relaxed);
+  t.rt_ = this;
+  if (verifier_ != nullptr) {
+    t.pnode_ =
+        verifier_->add_child(parent != nullptr ? parent->policy_node()
+                                               : nullptr);
+  }
+  if (cfg_.record_trace) {
+    const auto id = static_cast<trace::TaskId>(t.uid_);
+    record(parent != nullptr
+               ? trace::fork(static_cast<trace::TaskId>(parent->uid()), id)
+               : trace::init(id));
+  }
+}
+
+void Runtime::record(const trace::Action& a) {
+  std::scoped_lock lock(trace_mu_);
+  recorded_.push_back(a);
+}
+
+trace::Trace Runtime::recorded_trace() const {
+  std::scoped_lock lock(trace_mu_);
+  return trace::Trace(recorded_);
+}
+
+void Runtime::release_node(core::PolicyNode* node) {
+  if (verifier_ != nullptr) {
+    verifier_->release(node);
+  }
+}
+
+void Runtime::join(TaskBase& target) {
+  if (cfg_.chaos_seed != 0 && chaos_roll(cfg_.chaos_seed)) {
+    std::this_thread::yield();
+  }
+  TaskBase& cur = current_task();
+  if (cur.runtime() != this) {
+    throw UsageError("join: current task belongs to another runtime");
+  }
+  const bool was_done = target.done();
+  const core::JoinDecision d =
+      gate_.enter_join(cur.uid(), target.uid(), cur.policy_node(),
+                       target.policy_node(), was_done);
+  switch (d) {
+    case core::JoinDecision::FaultDeadlock:
+      throw DeadlockAvoidedError(
+          "join aborted: blocking would create a deadlock cycle");
+    case core::JoinDecision::FaultPolicy:
+      throw PolicyViolationError("join rejected by the active policy");
+    case core::JoinDecision::Proceed:
+    case core::JoinDecision::ProceedFalsePositive:
+      break;
+  }
+  try {
+    if (!was_done) {
+      sched_.join_wait(target);
+    }
+  } catch (...) {
+    gate_.leave_join(cur.uid(), cur.policy_node(), target.policy_node(),
+                     /*completed=*/false);
+    throw;
+  }
+  gate_.leave_join(cur.uid(), cur.policy_node(), target.policy_node(),
+                   /*completed=*/true);
+  if (cfg_.record_trace) {
+    record(trace::join(static_cast<trace::TaskId>(cur.uid()),
+                       static_cast<trace::TaskId>(target.uid())));
+  }
+}
+
+}  // namespace tj::runtime

@@ -1,0 +1,117 @@
+#pragma once
+// Runtime: owns the verifier, the join gate (policy + cycle-detection
+// fallback) and the scheduler; implements the instrumented Fork and Join of
+// Algorithm 1. One root task per Runtime (the trace's init action); every
+// other task is created by async() from within a task context.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+#include "core/guarded.hpp"
+#include "trace/trace.hpp"
+#include "core/verifier.hpp"
+#include "runtime/config.hpp"
+#include "runtime/errors.hpp"
+#include "runtime/future.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+
+namespace tj::runtime {
+
+class Runtime {
+ public:
+  explicit Runtime(Config cfg = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes `f` as the root task on the calling thread (the init action),
+  /// returns its result after every spawned task has terminated. A Runtime
+  /// hosts exactly one root; create a fresh Runtime per program run.
+  template <typename F>
+  auto root(F&& f) {
+    using T = std::invoke_result_t<std::decay_t<F>>;
+    claim_root();
+    auto task = std::make_shared<detail::TaskImpl<T, std::decay_t<F>>>(
+        std::forward<F>(f));
+    register_task(*task, nullptr);  // the init action
+    task->try_claim();
+    {
+      detail::CurrentTaskGuard guard(task.get());
+      task->run();
+    }
+    sched_.quiesce();
+    task->rethrow_if_error();
+    if constexpr (!std::is_void_v<T>) {
+      return task->result();
+    }
+  }
+
+  /// Forks a task executing `fn` as a child of the current task
+  /// (Algorithm 1 Fork). Used through the free function async().
+  template <typename F>
+  auto spawn(F&& fn) {
+    using T = std::invoke_result_t<std::decay_t<F>>;
+    TaskBase& parent = current_task();
+    if (parent.runtime() != this) {
+      throw UsageError("spawn: current task belongs to another runtime");
+    }
+    auto task = std::make_shared<detail::TaskImpl<T, std::decay_t<F>>>(
+        std::forward<F>(fn));
+    register_task(*task, &parent);
+    std::shared_ptr<Task<T>> handle = task;
+    sched_.submit(std::move(task));
+    return Future<T>(std::move(handle));
+  }
+
+  /// Instrumented join of the current task on `target` (Algorithm 1 Join):
+  /// policy check, fault or wait, then completion bookkeeping.
+  void join(TaskBase& target);
+
+  const Config& config() const { return cfg_; }
+  core::GateStats gate_stats() const { return gate_.stats(); }
+  core::Verifier* verifier() { return verifier_.get(); }
+  Scheduler& scheduler() { return sched_; }
+
+  /// Exact live/peak bytes of verifier state (0 when no policy is active).
+  std::size_t policy_bytes() const {
+    return verifier_ ? verifier_->bytes_in_use() : 0;
+  }
+  std::size_t policy_peak_bytes() const {
+    return verifier_ ? verifier_->peak_bytes() : 0;
+  }
+
+  /// Number of tasks created (root included) — the trace's |A|.
+  std::uint64_t tasks_created() const {
+    return next_uid_.load(std::memory_order_relaxed);
+  }
+
+  /// The recorded execution trace (Def. 3.1): init/fork actions at task
+  /// creation, join actions at join completion. Empty unless
+  /// Config::record_trace; meaningful once the runtime is quiescent.
+  trace::Trace recorded_trace() const;
+
+ private:
+  friend class TaskBase;
+  friend void detail::join_current_on(TaskBase&);
+
+  void claim_root();
+  void register_task(TaskBase& t, const TaskBase* parent);
+  void release_node(core::PolicyNode* node);
+  void record(const trace::Action& a);
+
+  Config cfg_;
+  std::unique_ptr<core::Verifier> verifier_;
+  core::JoinGate gate_;
+  Scheduler sched_;
+  std::atomic<std::uint64_t> next_uid_{0};
+  std::atomic<bool> root_claimed_{false};
+  mutable std::mutex trace_mu_;
+  std::vector<trace::Action> recorded_;  // guarded by trace_mu_
+};
+
+}  // namespace tj::runtime

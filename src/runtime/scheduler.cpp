@@ -1,0 +1,172 @@
+#include "runtime/scheduler.hpp"
+
+#include "runtime/errors.hpp"
+
+namespace tj::runtime {
+
+namespace {
+thread_local TaskBase* t_current = nullptr;
+thread_local bool t_is_worker = false;
+}  // namespace
+
+TaskBase* current_task_or_null() { return t_current; }
+
+TaskBase& current_task() {
+  if (t_current == nullptr) {
+    throw UsageError(
+        "operation requires a task context (use Runtime::root or call from "
+        "within a task)");
+  }
+  return *t_current;
+}
+
+namespace detail {
+CurrentTaskGuard::CurrentTaskGuard(TaskBase* t) : prev_(t_current) {
+  t_current = t;
+}
+CurrentTaskGuard::~CurrentTaskGuard() { t_current = prev_; }
+}  // namespace detail
+
+Scheduler::Scheduler(SchedulerMode mode, unsigned workers,
+                     unsigned max_threads)
+    : mode_(mode),
+      target_parallelism_(workers),
+      max_threads_(std::max(max_threads, workers)) {
+  std::scoped_lock lock(mu_);
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) add_worker_locked();
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // Compensation workers are only added while tasks run; by the time the
+  // scheduler is destroyed the runtime has quiesced, so the thread list is
+  // stable once stop_ is visible.
+  std::vector<std::thread> threads;
+  {
+    std::scoped_lock lock(mu_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void Scheduler::add_worker_locked() {
+  threads_.emplace_back([this] { worker_loop(); });
+}
+
+unsigned Scheduler::thread_count() const {
+  std::scoped_lock lock(mu_);
+  return static_cast<unsigned>(threads_.size());
+}
+
+std::uint64_t Scheduler::tasks_executed() const {
+  return executed_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Scheduler::tasks_inlined() const {
+  return inlined_.load(std::memory_order_relaxed);
+}
+
+void Scheduler::submit(std::shared_ptr<TaskBase> task) {
+  live_tasks_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void Scheduler::worker_loop() {
+  t_is_worker = true;
+  std::unique_lock lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::shared_ptr<TaskBase> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    if (task->try_claim()) {
+      run_claimed(*task);
+    }
+    // else: a cooperative joiner inlined it; nothing to do.
+    task.reset();
+    lock.lock();
+  }
+}
+
+void Scheduler::run_claimed(TaskBase& task) {
+  {
+    detail::CurrentTaskGuard guard(&task);
+    task.run();
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  note_task_done();
+}
+
+void Scheduler::note_task_done() {
+  if (live_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::scoped_lock lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+void Scheduler::join_wait(TaskBase& target) {
+  if (mode_ == SchedulerMode::Cooperative) {
+    if (!target.done() && target.try_claim()) {
+      inlined_.fetch_add(1, std::memory_order_relaxed);
+      run_claimed(target);
+      return;
+    }
+    // try_claim can only fail when the target is Running or Done; Done wakes
+    // us via notify_all, Running will reach Done on its own thread.
+    target.wait_done();
+    return;
+  }
+
+  // Blocking mode: never help; preserve parallelism with compensation
+  // workers while this worker blocks.
+  if (t_is_worker) {
+    {
+      std::scoped_lock lock(mu_);
+      ++blocked_workers_;
+      if (!stop_ && threads_.size() - blocked_workers_ < target_parallelism_ &&
+          threads_.size() < max_threads_) {
+        add_worker_locked();
+      }
+    }
+    target.wait_done();
+    std::scoped_lock lock(mu_);
+    --blocked_workers_;
+  } else {
+    target.wait_done();
+  }
+}
+
+void Scheduler::enter_blocking_region() {
+  if (!t_is_worker) return;
+  std::scoped_lock lock(mu_);
+  ++blocked_workers_;
+  if (!stop_ && threads_.size() - blocked_workers_ < target_parallelism_ &&
+      threads_.size() < max_threads_) {
+    add_worker_locked();
+  }
+}
+
+void Scheduler::exit_blocking_region() {
+  if (!t_is_worker) return;
+  std::scoped_lock lock(mu_);
+  --blocked_workers_;
+}
+
+void Scheduler::quiesce() {
+  std::unique_lock lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [this] {
+    return live_tasks_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace tj::runtime

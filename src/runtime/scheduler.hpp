@@ -1,0 +1,103 @@
+#pragma once
+// Work-sharing scheduler with the two join disciplines of HJ's runtimes
+// (paper footnote 4):
+//   Blocking    — a worker blocks in join; compensation workers (up to a cap)
+//                 keep the pool busy;
+//   Cooperative — a joiner claims a still-queued target and runs it inline
+//                 (help-first); it blocks only on an already-running target.
+//
+// Progress argument for Cooperative (given task-level deadlock freedom,
+// which the TJ policy guarantees): a blocked joiner waits on a *running*
+// task; every running task sits on some thread whose stack top is either
+// executing (progress) or itself blocked on a running task; following that
+// chain must terminate because the task waits-for graph is acyclic.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/task.hpp"
+
+namespace tj::runtime {
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerMode mode, unsigned workers, unsigned max_threads);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a spawned task.
+  void submit(std::shared_ptr<TaskBase> task);
+
+  /// Waits until `target` terminates, per the configured mode. Called with
+  /// the joining task's context current; the policy check already passed.
+  void join_wait(TaskBase& target);
+
+  /// Blocks until every submitted task has terminated.
+  void quiesce();
+
+  /// Brackets a blocking wait performed OUTSIDE join_wait (e.g. a barrier
+  /// await): when the caller is a worker thread, the pool may grow a
+  /// compensation worker so queued tasks keep running — in both scheduler
+  /// modes, since cooperative inlining cannot help with non-join blocking.
+  void enter_blocking_region();
+  void exit_blocking_region();
+
+  SchedulerMode mode() const { return mode_; }
+  unsigned thread_count() const;
+  std::uint64_t tasks_executed() const;
+  std::uint64_t tasks_inlined() const;
+
+ private:
+  friend class Runtime;
+
+  void worker_loop();
+  void run_claimed(TaskBase& task);
+  void add_worker_locked();  // pre: mu_ held
+  void note_task_done();
+
+  const SchedulerMode mode_;
+  const unsigned target_parallelism_;
+  const unsigned max_threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<TaskBase>> queue_;  // guarded by mu_
+  std::vector<std::thread> threads_;             // guarded by mu_
+  unsigned blocked_workers_ = 0;                 // guarded by mu_
+  bool stop_ = false;                            // guarded by mu_
+
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+  std::atomic<std::size_t> live_tasks_{0};
+
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> inlined_{0};
+};
+
+/// Thread-local task context (set around every task body execution,
+/// including inline runs and the root task).
+TaskBase* current_task_or_null();
+TaskBase& current_task();  // throws UsageError when not in a task
+
+namespace detail {
+/// RAII swap of the thread-local current task.
+class CurrentTaskGuard {
+ public:
+  explicit CurrentTaskGuard(TaskBase* t);
+  ~CurrentTaskGuard();
+  CurrentTaskGuard(const CurrentTaskGuard&) = delete;
+  CurrentTaskGuard& operator=(const CurrentTaskGuard&) = delete;
+
+ private:
+  TaskBase* prev_;
+};
+}  // namespace detail
+
+}  // namespace tj::runtime

@@ -1,0 +1,145 @@
+#pragma once
+// Task records. A task is a unit of asynchronous work whose eventual result
+// is exposed through a Future handle (Sec. 2.2's program model). The record
+// carries the verifier's per-task policy state and a tiny lock-free state
+// machine used both by the scheduler (claiming) and by joiners (waiting).
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/verifier.hpp"
+
+namespace tj::runtime {
+
+class Runtime;
+
+enum class TaskState : std::uint32_t {
+  Queued,   ///< spawned, waiting in the scheduler queue
+  Running,  ///< claimed by a worker (or inlined by a cooperative joiner)
+  Done,     ///< terminated; result or error available
+};
+
+class TaskBase {
+ public:
+  virtual ~TaskBase();  // releases the policy node (defined in runtime.cpp)
+  TaskBase(const TaskBase&) = delete;
+  TaskBase& operator=(const TaskBase&) = delete;
+
+  bool done() const {
+    return state_.load(std::memory_order_acquire) == TaskState::Done;
+  }
+
+  /// CAS Queued → Running; exactly one claimer wins a queued task.
+  bool try_claim() {
+    TaskState expected = TaskState::Queued;
+    return state_.compare_exchange_strong(expected, TaskState::Running,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  /// Executes the body, captures any exception, publishes Done and wakes
+  /// every blocked joiner. Pre: this thread claimed the task.
+  void run() {
+    try {
+      execute();
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+    state_.store(TaskState::Done, std::memory_order_release);
+    state_.notify_all();
+  }
+
+  /// Blocks the calling thread until the task is Done (futex-style wait).
+  void wait_done() const {
+    TaskState s = state_.load(std::memory_order_acquire);
+    while (s != TaskState::Done) {
+      state_.wait(s, std::memory_order_acquire);
+      s = state_.load(std::memory_order_acquire);
+    }
+  }
+
+  TaskState state() const { return state_.load(std::memory_order_acquire); }
+
+  /// Rethrows the task's captured exception, if any. Pre: done().
+  void rethrow_if_error() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+  bool failed() const { return static_cast<bool>(error_); }
+
+  std::uint64_t uid() const { return uid_; }
+  Runtime* runtime() const { return rt_; }
+  core::PolicyNode* policy_node() const { return pnode_; }
+
+ protected:
+  TaskBase() = default;
+  virtual void execute() = 0;
+
+ private:
+  friend class Runtime;
+
+  std::uint64_t uid_ = 0;
+  Runtime* rt_ = nullptr;
+  core::PolicyNode* pnode_ = nullptr;  // owned by the runtime's verifier
+  std::atomic<TaskState> state_{TaskState::Queued};
+  std::exception_ptr error_;
+};
+
+/// Typed task: adds the result slot.
+template <typename T>
+class Task : public TaskBase {
+ public:
+  /// Pre: done() and !failed().
+  const T& result() const { return *result_; }
+
+ protected:
+  std::optional<T> result_;
+};
+
+template <>
+class Task<void> : public TaskBase {};
+
+namespace detail {
+
+/// Concrete task holding the user callable. The callable is destroyed right
+/// after it runs so captured data (e.g. big closures) is not retained by a
+/// long-lived Future.
+template <typename T, typename F>
+class TaskImpl final : public Task<T> {
+ public:
+  explicit TaskImpl(F fn) : fn_(std::move(fn)) {}
+
+ private:
+  void execute() override {
+    this->result_.emplace((*fn_)());
+    fn_.reset();
+  }
+
+  std::optional<F> fn_;
+};
+
+template <typename F>
+class TaskImpl<void, F> final : public Task<void> {
+ public:
+  explicit TaskImpl(F fn) : fn_(std::move(fn)) {}
+
+ private:
+  void execute() override {
+    (*fn_)();
+    fn_.reset();
+  }
+
+  std::optional<F> fn_;
+};
+
+/// Performs an instrumented join of the *current* task on `target`
+/// (policy check → fault or wait → completion bookkeeping).
+/// Defined in runtime.cpp.
+void join_current_on(TaskBase& target);
+
+}  // namespace detail
+
+}  // namespace tj::runtime

@@ -1,0 +1,37 @@
+#pragma once
+// Trace actions per Definition 3.1 of the paper: init(a), fork(a,b), join(a,b).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace tj::trace {
+
+/// Tasks are denoted by dense integer ids; the root is conventionally 0.
+using TaskId = std::uint32_t;
+
+inline constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+
+enum class ActionKind : std::uint8_t {
+  Init,  ///< init(a): a is the root task
+  Fork,  ///< fork(a,b): a forks b
+  Join,  ///< join(a,b): a awaits the termination of b
+};
+
+/// One action of a trace. For Init, `target` is unused (kNoTask).
+struct Action {
+  ActionKind kind;
+  TaskId actor;   ///< a in init(a)/fork(a,b)/join(a,b)
+  TaskId target;  ///< b in fork(a,b)/join(a,b)
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+constexpr Action init(TaskId a) { return {ActionKind::Init, a, kNoTask}; }
+constexpr Action fork(TaskId a, TaskId b) { return {ActionKind::Fork, a, b}; }
+constexpr Action join(TaskId a, TaskId b) { return {ActionKind::Join, a, b}; }
+
+std::string to_string(const Action& a);
+std::ostream& operator<<(std::ostream& os, const Action& a);
+
+}  // namespace tj::trace

@@ -1,0 +1,74 @@
+#include "trace/deadlock.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tj::trace {
+
+namespace {
+
+enum class Mark : std::uint8_t { White, Grey, Black };
+
+// Iterative DFS looking for a back edge; fills `cycle` with the witness.
+bool dfs_cycle(TaskId start,
+               const std::unordered_map<TaskId, std::vector<TaskId>>& adj,
+               std::unordered_map<TaskId, Mark>& mark,
+               std::vector<TaskId>& cycle) {
+  struct Frame {
+    TaskId node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack{{start}};
+  mark[start] = Mark::Grey;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto it = adj.find(f.node);
+    const std::vector<TaskId>* out = it == adj.end() ? nullptr : &it->second;
+    if (out == nullptr || f.next_child >= out->size()) {
+      mark[f.node] = Mark::Black;
+      stack.pop_back();
+      continue;
+    }
+    const TaskId next = (*out)[f.next_child++];
+    const Mark m = mark.contains(next) ? mark[next] : Mark::White;
+    if (m == Mark::Grey) {
+      // Back edge: the cycle is the grey suffix of the stack from `next`.
+      auto first = std::find_if(stack.begin(), stack.end(),
+                                [next](const Frame& fr) {
+                                  return fr.node == next;
+                                });
+      for (auto jt = first; jt != stack.end(); ++jt) cycle.push_back(jt->node);
+      return true;
+    }
+    if (m == Mark::White) {
+      mark[next] = Mark::Grey;
+      stack.push_back({next});
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<TaskId>> find_deadlock_cycle(const Trace& t) {
+  std::unordered_map<TaskId, std::vector<TaskId>> adj;
+  std::unordered_set<TaskId> nodes;
+  for (const Action& a : t.actions()) {
+    if (a.kind != ActionKind::Join) continue;
+    if (a.actor == a.target) return std::vector<TaskId>{a.actor};  // n = 0
+    adj[a.actor].push_back(a.target);
+    nodes.insert(a.actor);
+    nodes.insert(a.target);
+  }
+  std::unordered_map<TaskId, Mark> mark;
+  for (TaskId n : nodes) {
+    if (mark.contains(n) && mark[n] != Mark::White) continue;
+    std::vector<TaskId> cycle;
+    if (dfs_cycle(n, adj, mark, cycle)) return cycle;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tj::trace

@@ -1,0 +1,22 @@
+#pragma once
+// Deadlock per Definition 3.9: a trace contains a deadlock if there are tasks
+// a0..an with join(an,a0) and join(ai,ai+1) for all i < n — i.e. the directed
+// graph whose edges are the trace's join actions contains a cycle
+// (including self-loops, the n = 0 case).
+
+#include <optional>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+/// Returns a witness cycle (task sequence a0..an as in Def. 3.9) if the
+/// trace's join actions form a cycle, std::nullopt otherwise.
+std::optional<std::vector<TaskId>> find_deadlock_cycle(const Trace& t);
+
+inline bool contains_deadlock(const Trace& t) {
+  return find_deadlock_cycle(t).has_value();
+}
+
+}  // namespace tj::trace

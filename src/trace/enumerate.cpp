@@ -1,0 +1,72 @@
+#include "trace/enumerate.hpp"
+
+namespace tj::trace {
+
+namespace {
+
+struct Enumerator {
+  const EnumBounds& bounds;
+  const std::function<bool(const Trace&)>& visit;
+  Trace trace;
+  std::uint32_t tasks = 1;  // task 0 is the root
+  std::uint32_t joins = 0;
+  std::uint64_t visited = 0;
+  bool stopped = false;
+
+  bool emit() {
+    ++visited;
+    if (!visit(trace)) {
+      stopped = true;
+    }
+    return !stopped;
+  }
+
+  void recurse() {
+    if (stopped) return;
+    // Extend with a fork: the new task is named `tasks` (canonical order);
+    // any existing task may be the parent.
+    if (tasks < bounds.max_tasks) {
+      for (TaskId parent = 0; parent < tasks && !stopped; ++parent) {
+        trace.push_fork(parent, tasks);
+        ++tasks;
+        if (emit()) recurse();
+        --tasks;
+        trace.pop();
+      }
+    }
+    // Extend with a join between any ordered pair of existing tasks
+    // (self-joins included: they are the n = 0 deadlock of Def. 3.9).
+    if (joins < bounds.max_joins) {
+      for (TaskId a = 0; a < tasks && !stopped; ++a) {
+        for (TaskId b = 0; b < tasks && !stopped; ++b) {
+          const Action j = join(a, b);
+          if (bounds.skip_duplicate_joins && !trace.empty() &&
+              trace[trace.size() - 1] == j) {
+            continue;
+          }
+          trace.push(j);
+          ++joins;
+          if (emit()) recurse();
+          --joins;
+          trace.pop();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t for_each_trace(const EnumBounds& bounds,
+                             const std::function<bool(const Trace&)>& visit) {
+  Enumerator e{bounds, visit, Trace{init(0)}};
+  if (!e.emit()) return e.visited;
+  e.recurse();
+  return e.visited;
+}
+
+std::uint64_t count_traces(const EnumBounds& bounds) {
+  return for_each_trace(bounds, [](const Trace&) { return true; });
+}
+
+}  // namespace tj::trace

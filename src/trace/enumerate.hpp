@@ -1,0 +1,37 @@
+#pragma once
+// Bounded-exhaustive trace enumeration: every structurally valid trace with
+// at most `max_tasks` tasks and `max_joins` joins (task names canonicalized
+// to creation order, so enumeration is up to renaming). Used to check the
+// paper's theorems exhaustively at small scope — a complement to the random
+// property tests:
+//   * Theorem 3.11: no TJ-valid trace contains a deadlock;
+//   * Corollary 4.4: every KJ-valid trace is TJ-valid;
+//   * maximal permissiveness (Sec. 4): for every pair b ≮ a there is an
+//     extension whose joins deadlock once join(b, a) is admitted.
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+struct EnumBounds {
+  std::uint32_t max_tasks = 4;  ///< including the root
+  std::uint32_t max_joins = 3;
+  /// When true, identical consecutive joins are skipped (they never change
+  /// any judgment and inflate the space).
+  bool skip_duplicate_joins = true;
+};
+
+/// Calls `visit` for every canonical structurally-valid trace within bounds
+/// (including the bare init(0) trace). Traces are visited in DFS order:
+/// every visited trace's prefixes were visited before it. Returns the number
+/// of traces visited. Enumeration stops early if `visit` returns false.
+std::uint64_t for_each_trace(const EnumBounds& bounds,
+                             const std::function<bool(const Trace&)>& visit);
+
+/// Number of traces within bounds (for test sanity checks).
+std::uint64_t count_traces(const EnumBounds& bounds);
+
+}  // namespace tj::trace

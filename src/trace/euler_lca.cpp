@@ -1,0 +1,100 @@
+#include "trace/euler_lca.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tj::trace {
+
+EulerLca::EulerLca(const ForkTree& tree) : tree_(tree) {
+  const std::size_t n = tree.task_count();
+  first_.assign(n, 0);
+
+  // Iterative Euler tour: push the node every time the walk visits it.
+  tour_.reserve(2 * n);
+  depth_at_.reserve(2 * n);
+  struct Frame {
+    TaskId node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack{{tree.root()}};
+  first_[tree.root()] = 0;
+  tour_.push_back(tree.root());
+  depth_at_.push_back(tree.depth(tree.root()));
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& kids = tree.children(f.node);
+    if (f.next_child >= kids.size()) {
+      stack.pop_back();
+      if (!stack.empty()) {
+        tour_.push_back(stack.back().node);
+        depth_at_.push_back(tree.depth(stack.back().node));
+      }
+      continue;
+    }
+    const TaskId child = kids[f.next_child++];
+    first_[child] = static_cast<std::uint32_t>(tour_.size());
+    tour_.push_back(child);
+    depth_at_.push_back(tree.depth(child));
+    stack.push_back({child});
+  }
+
+  // Sparse table over tour positions; ties prefer the RIGHT position so a
+  // range minimum is the LAST occurrence of the LCA in the range — which
+  // makes tour[argmin + 1] the LCA's child toward the range's right end.
+  const std::size_t m = tour_.size();
+  log2_.assign(m + 1, 0);
+  for (std::size_t i = 2; i <= m; ++i) log2_[i] = log2_[i / 2] + 1;
+  const std::uint32_t levels = log2_[m] + 1;
+  table_.assign(levels, std::vector<std::uint32_t>(m));
+  for (std::size_t i = 0; i < m; ++i) {
+    table_[0][i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::uint32_t k = 1; k < levels; ++k) {
+    const std::size_t half = 1ull << (k - 1);
+    for (std::size_t i = 0; i + (1ull << k) <= m; ++i) {
+      table_[k][i] = min_pos(table_[k - 1][i], table_[k - 1][i + half]);
+    }
+  }
+}
+
+std::uint32_t EulerLca::range_min(std::uint32_t l, std::uint32_t r) const {
+  if (l > r) std::swap(l, r);
+  const std::uint32_t k = log2_[r - l + 1];
+  return min_pos(table_[k][l], table_[k][r + 1 - (1u << k)]);
+}
+
+TaskId EulerLca::lca(TaskId a, TaskId b) const {
+  if (!tree_.contains(a) || !tree_.contains(b)) {
+    throw std::invalid_argument("EulerLca: unknown task");
+  }
+  return tour_[range_min(first_[a], first_[b])];
+}
+
+TaskId EulerLca::child_toward(TaskId anc, TaskId v) const {
+  // Rightmost occurrence of `anc` in [first(anc), first(v)]: the next tour
+  // entry is the child of anc whose subtree holds v.
+  const std::uint32_t pos = range_min(first_[anc], first_[v]);
+  return tour_[pos + 1];
+}
+
+LcaPlus EulerLca::lca_plus(TaskId a, TaskId b) const {
+  const TaskId l = lca(a, b);
+  if (a == b || l == b) return {LcaPlusKind::DecStar};
+  if (l == a) return {LcaPlusKind::AncPlus};
+  return {LcaPlusKind::Sib, child_toward(l, a), child_toward(l, b)};
+}
+
+bool EulerLca::preorder_less(TaskId a, TaskId b) const {
+  const LcaPlus r = lca_plus(a, b);
+  switch (r.kind) {
+    case LcaPlusKind::AncPlus:
+      return true;
+    case LcaPlusKind::DecStar:
+      return false;
+    case LcaPlusKind::Sib:
+      return tree_.child_index(r.a_side) > tree_.child_index(r.b_side);
+  }
+  return false;
+}
+
+}  // namespace tj::trace

@@ -1,0 +1,58 @@
+#pragma once
+// Offline O(1)-query lowest common ancestors via Euler tour + sparse-table
+// RMQ — the classic construction the paper cites (Harel & Tarjan 1984;
+// Bender & Farach-Colton 2004 simplify it, and TJ-JP adapts their jump
+// pointers to the online setting). Built once over a complete fork tree;
+// used to cross-check the online algorithms at scale and as the natural
+// batch decision procedure for <T (Theorem 3.15).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "trace/fork_tree.hpp"
+
+namespace tj::trace {
+
+class EulerLca {
+ public:
+  /// Preprocesses the tree: O(n log n) time and space.
+  explicit EulerLca(const ForkTree& tree);
+
+  /// Traditional LCA in O(1).
+  TaskId lca(TaskId a, TaskId b) const;
+
+  /// Extended LCA (Definition 3.14) in O(1) using the precomputed sibling
+  /// ancestors: which children of lca(a,b) lead to a and b.
+  LcaPlus lca_plus(TaskId a, TaskId b) const;
+
+  /// a <T b (Theorem 3.15) in O(1).
+  bool preorder_less(TaskId a, TaskId b) const;
+
+ private:
+  // Minimum by depth of two Euler-tour positions; ties prefer the RIGHT
+  // position (see the sparse-table comment in the .cpp).
+  std::uint32_t min_pos(std::uint32_t x, std::uint32_t y) const {
+    if (depth_at_[x] < depth_at_[y]) return x;
+    if (depth_at_[y] < depth_at_[x]) return y;
+    return std::max(x, y);
+  }
+  // Position of the minimum-depth node within tour range [l, r].
+  std::uint32_t range_min(std::uint32_t l, std::uint32_t r) const;
+
+  // The node just below `anc` on the path to `v` (anc must be a proper
+  // ancestor of v): child_toward(anc, v). O(1) via the tour position right
+  // after anc's first occurrence within [first(anc), first(v)]... computed
+  // with one extra RMQ-style step; see the .cpp.
+  TaskId child_toward(TaskId anc, TaskId v) const;
+
+  const ForkTree& tree_;
+  std::vector<std::uint32_t> first_;     // first tour position per task
+  std::vector<TaskId> tour_;             // Euler tour nodes (2n-1 entries)
+  std::vector<std::uint32_t> depth_at_;  // depth per tour position
+  std::vector<std::vector<std::uint32_t>> table_;  // sparse table of
+                                                   // min-positions
+  std::vector<std::uint32_t> log2_;      // floor(log2(i)) lookup
+};
+
+}  // namespace tj::trace

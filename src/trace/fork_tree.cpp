@@ -1,0 +1,135 @@
+#include "trace/fork_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tj::trace {
+
+namespace {
+
+void ensure_size(std::size_t need, std::vector<TaskId>& parent,
+                 std::vector<std::uint32_t>& index,
+                 std::vector<std::uint32_t>& depth,
+                 std::vector<std::vector<TaskId>>& children,
+                 std::vector<bool>& known) {
+  if (need <= parent.size()) return;
+  parent.resize(need, kNoTask);
+  index.resize(need, 0);
+  depth.resize(need, 0);
+  children.resize(need);
+  known.resize(need, false);
+}
+
+}  // namespace
+
+ForkTree::ForkTree(const Trace& t) {
+  for (const Action& a : t.actions()) {
+    switch (a.kind) {
+      case ActionKind::Init: {
+        if (root_ != kNoTask) {
+          throw std::invalid_argument("ForkTree: multiple init actions");
+        }
+        ensure_size(a.actor + 1, parent_, index_, depth_, children_, known_);
+        root_ = a.actor;
+        known_[a.actor] = true;
+        break;
+      }
+      case ActionKind::Fork: {
+        if (root_ == kNoTask) {
+          throw std::invalid_argument("ForkTree: fork before init");
+        }
+        ensure_size(std::max(a.actor, a.target) + 1, parent_, index_, depth_,
+                    children_, known_);
+        if (!known_[a.actor]) {
+          throw std::invalid_argument("ForkTree: fork by unknown task");
+        }
+        if (known_[a.target]) {
+          throw std::invalid_argument("ForkTree: fork of existing task");
+        }
+        known_[a.target] = true;
+        parent_[a.target] = a.actor;
+        index_[a.target] =
+            static_cast<std::uint32_t>(children_[a.actor].size());
+        depth_[a.target] = depth_[a.actor] + 1;
+        children_[a.actor].push_back(a.target);
+        break;
+      }
+      case ActionKind::Join:
+        break;  // joins do not shape the tree
+    }
+  }
+  if (root_ == kNoTask) {
+    throw std::invalid_argument("ForkTree: trace has no init action");
+  }
+}
+
+bool ForkTree::is_ancestor(TaskId a, TaskId b) const {
+  if (!contains(a) || !contains(b) || a == b) return false;
+  while (depth_[b] > depth_[a]) b = parent_[b];
+  return a == b;
+}
+
+LcaPlus ForkTree::lca_plus(TaskId a, TaskId b) const {
+  if (!contains(a) || !contains(b)) {
+    throw std::invalid_argument("lca_plus: unknown task");
+  }
+  if (is_ancestor(a, b)) return {LcaPlusKind::AncPlus};
+  if (a == b || is_ancestor(b, a)) return {LcaPlusKind::DecStar};
+  // Lift both to a common depth, remembering the last node passed on each
+  // side; then walk up in lockstep until the parents coincide.
+  TaskId x = a;
+  TaskId y = b;
+  while (depth_[x] > depth_[y]) x = parent_[x];
+  while (depth_[y] > depth_[x]) y = parent_[y];
+  while (parent_[x] != parent_[y]) {
+    x = parent_[x];
+    y = parent_[y];
+  }
+  return {LcaPlusKind::Sib, x, y};
+}
+
+TaskId ForkTree::lca(TaskId a, TaskId b) const {
+  const LcaPlus r = lca_plus(a, b);
+  switch (r.kind) {
+    case LcaPlusKind::AncPlus:
+      return a;
+    case LcaPlusKind::DecStar:
+      return b;
+    case LcaPlusKind::Sib:
+      return parent_[r.a_side];
+  }
+  return kNoTask;
+}
+
+bool ForkTree::preorder_less(TaskId a, TaskId b) const {
+  const LcaPlus r = lca_plus(a, b);
+  switch (r.kind) {
+    case LcaPlusKind::AncPlus:
+      return true;
+    case LcaPlusKind::DecStar:
+      return false;
+    case LcaPlusKind::Sib:
+      // Theorem 3.15(c): a <T b iff I(a') > I(b'). Note the inversion: the
+      // *later*-forked subtree precedes in the TJ order, i.e. <T enumerates
+      // children newest-first under each node.
+      return index_[r.a_side] > index_[r.b_side];
+  }
+  return false;
+}
+
+std::vector<TaskId> ForkTree::preorder() const {
+  std::vector<TaskId> out;
+  out.reserve(task_count());
+  std::vector<TaskId> stack{root_};
+  while (!stack.empty()) {
+    const TaskId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    // Children pushed oldest-first so the newest child is visited first,
+    // matching Theorem 3.15(c)'s I(a') > I(b') orientation.
+    for (TaskId c : children_[v]) stack.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace tj::trace

@@ -1,0 +1,72 @@
+#pragma once
+// The fork tree T of a trace (Definition 3.12), with the extended lowest
+// common ancestor lca+ (Definition 3.14) and the preorder decision procedure
+// of Theorem 3.15. This is the *offline reference*: the online algorithms in
+// src/core implement the same queries incrementally and concurrently.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+/// Outcome of lca+(a,b) per Definition 3.14.
+enum class LcaPlusKind : std::uint8_t {
+  AncPlus,  ///< a is a proper ancestor of b
+  DecStar,  ///< a is a descendant of, or equal to, b
+  Sib,      ///< siblings a',b' (ancestors of a,b resp.) under the LCA
+};
+
+struct LcaPlus {
+  LcaPlusKind kind;
+  /// For Sib: the sibling ancestors of a and b. Unused otherwise (kNoTask).
+  TaskId a_side = kNoTask;
+  TaskId b_side = kNoTask;
+};
+
+/// Immutable fork tree built from the fork actions of a trace.
+/// Requires the trace to satisfy valid-init / valid-fork structure
+/// (checked; throws std::invalid_argument otherwise).
+class ForkTree {
+ public:
+  explicit ForkTree(const Trace& t);
+
+  std::size_t task_count() const { return parent_.size(); }
+  TaskId root() const { return root_; }
+  bool contains(TaskId a) const { return a < parent_.size() && known_[a]; }
+
+  /// Parent of a (Definition 3.7); kNoTask for the root.
+  TaskId parent(TaskId a) const { return parent_[a]; }
+  /// Local child index I(a): position among siblings in fork order (Def 3.12).
+  std::uint32_t child_index(TaskId a) const { return index_[a]; }
+  std::uint32_t depth(TaskId a) const { return depth_[a]; }
+  const std::vector<TaskId>& children(TaskId a) const { return children_[a]; }
+
+  /// True iff a is a proper ancestor of b (Definition 3.7).
+  bool is_ancestor(TaskId a, TaskId b) const;
+
+  /// Extended lowest common ancestor (Definition 3.14).
+  LcaPlus lca_plus(TaskId a, TaskId b) const;
+
+  /// Traditional lowest common ancestor.
+  TaskId lca(TaskId a, TaskId b) const;
+
+  /// The preorder decision procedure of Theorem 3.15: a <T b.
+  bool preorder_less(TaskId a, TaskId b) const;
+
+  /// The full preorder traversal sequence (root first). By Theorem 3.17 this
+  /// linearizes the TJ join-permission total order.
+  std::vector<TaskId> preorder() const;
+
+ private:
+  TaskId root_ = kNoTask;
+  std::vector<TaskId> parent_;
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::vector<TaskId>> children_;
+  std::vector<bool> known_;
+};
+
+}  // namespace tj::trace

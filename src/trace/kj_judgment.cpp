@@ -1,0 +1,68 @@
+#include "trace/kj_judgment.hpp"
+
+namespace tj::trace {
+
+void KjJudgment::ensure(TaskId a) {
+  if (a >= known_.size()) {
+    const std::size_t need = a + 1;
+    known_.resize(need, false);
+    knows_.resize(need);
+    for (auto& row : knows_) row.resize(need, false);
+  }
+  if (!known_[a]) {
+    known_[a] = true;
+    ++tasks_;
+  }
+}
+
+void KjJudgment::push(const Action& act) {
+  switch (act.kind) {
+    case ActionKind::Init:
+      ensure(act.actor);
+      break;
+    case ActionKind::Fork: {
+      const TaskId a = act.actor;
+      const TaskId b = act.target;
+      ensure(a);
+      ensure(b);
+      // KJ-inherit: the child receives the parent's knowledge at fork time.
+      knows_[b] = knows_[a];
+      // KJ-child: the parent knows the child.
+      knows_[a][b] = true;
+      break;
+    }
+    case ActionKind::Join: {
+      const TaskId a = act.actor;
+      const TaskId b = act.target;
+      ensure(a);
+      ensure(b);
+      // KJ-learn: the waiting task acquires the joinee's knowledge.
+      const std::size_t n = known_.size();
+      for (std::size_t c = 0; c < n; ++c) {
+        if (knows_[b][c]) knows_[a][c] = true;
+      }
+      break;
+    }
+  }
+}
+
+void KjJudgment::push_all(const Trace& t) {
+  for (const Action& a : t.actions()) push(a);
+}
+
+bool KjJudgment::knows(TaskId a, TaskId b) const {
+  if (a >= known_.size() || b >= known_.size()) return false;
+  if (!known_[a] || !known_[b]) return false;
+  return knows_[a][b];
+}
+
+std::vector<TaskId> KjJudgment::knowledge_of(TaskId a) const {
+  std::vector<TaskId> out;
+  if (a >= known_.size() || !known_[a]) return out;
+  for (TaskId b = 0; b < knows_[a].size(); ++b) {
+    if (knows_[a][b]) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace tj::trace

@@ -1,0 +1,41 @@
+#pragma once
+// Reference implementation of the Known Joins judgment t ⊢ a ≺ b
+// (Definition 4.1), i.e. the knowledge relation of Cogumbreiro et al. 2017
+// recapitulated in Section 4 of the TJ paper. Implemented as explicit
+// knowledge sets: K(a) = { b | a ≺ b }.
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+class KjJudgment {
+ public:
+  KjJudgment() = default;
+  explicit KjJudgment(const Trace& t) { push_all(t); }
+
+  /// Extends the judgment with one more action. Unlike TJ, KJ consumes join
+  /// actions (KJ-learn): join(a,b) merges b's knowledge into a's.
+  void push(const Action& a);
+  void push_all(const Trace& t);
+
+  /// t ⊢ a ≺ b (a knows b) for the trace pushed so far.
+  bool knows(TaskId a, TaskId b) const;
+
+  /// The knowledge set K(a) as a list of task ids.
+  std::vector<TaskId> knowledge_of(TaskId a) const;
+
+  std::size_t task_count() const { return tasks_; }
+  bool knows_task(TaskId a) const { return a < known_.size() && known_[a]; }
+
+ private:
+  void ensure(TaskId a);
+
+  std::vector<std::vector<bool>> knows_;  // knows_[a][b] == a ≺ b
+  std::vector<bool> known_;
+  std::size_t tasks_ = 0;
+};
+
+}  // namespace tj::trace

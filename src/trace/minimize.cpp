@@ -1,0 +1,115 @@
+#include "trace/minimize.hpp"
+
+#include <unordered_set>
+
+namespace tj::trace {
+
+Trace drop_join(const Trace& t, std::size_t index) {
+  Trace out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == index && t[i].kind == ActionKind::Join) continue;
+    out.push(t[i]);
+  }
+  return out;
+}
+
+Trace drop_task(const Trace& t, TaskId victim) {
+  // Collect the victim's whole subtree: descendants' forks would dangle.
+  std::unordered_set<TaskId> doomed{victim};
+  for (const Action& a : t.actions()) {
+    if (a.kind == ActionKind::Fork && doomed.contains(a.actor)) {
+      doomed.insert(a.target);
+    }
+  }
+  Trace out;
+  for (const Action& a : t.actions()) {
+    switch (a.kind) {
+      case ActionKind::Init:
+        if (!doomed.contains(a.actor)) out.push(a);
+        break;
+      case ActionKind::Fork:
+        if (!doomed.contains(a.actor) && !doomed.contains(a.target)) {
+          out.push(a);
+        }
+        break;
+      case ActionKind::Join:
+        if (!doomed.contains(a.actor) && !doomed.contains(a.target)) {
+          out.push(a);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+Trace splice_task(const Trace& t, TaskId victim) {
+  // Locate the victim's parent; the root (or an unknown task) is unsplicable.
+  TaskId parent = kNoTask;
+  for (const Action& a : t.actions()) {
+    if (a.kind == ActionKind::Fork && a.target == victim) {
+      parent = a.actor;
+      break;
+    }
+  }
+  if (parent == kNoTask) return t;
+  Trace out;
+  for (const Action& a : t.actions()) {
+    switch (a.kind) {
+      case ActionKind::Init:
+        out.push(a);
+        break;
+      case ActionKind::Fork:
+        if (a.target == victim) break;  // the victim's own fork disappears
+        if (a.actor == victim) {
+          out.push(fork(parent, a.target));  // re-parent the children
+        } else {
+          out.push(a);
+        }
+        break;
+      case ActionKind::Join:
+        if (a.actor != victim && a.target != victim) out.push(a);
+        break;
+    }
+  }
+  return out;
+}
+
+Trace minimize_trace(const Trace& t, const TracePredicate& keep) {
+  Trace current = t;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Pass 1: drop joins, last-to-first (later joins depend on nothing).
+    for (std::size_t i = current.size(); i-- > 0;) {
+      if (current[i].kind != ActionKind::Join) continue;
+      Trace candidate = drop_join(current, i);
+      if (keep(candidate)) {
+        current = std::move(candidate);
+        progressed = true;
+      }
+    }
+    // Pass 2: drop whole tasks (never the root).
+    for (TaskId task : current.tasks()) {
+      if (current.empty()) break;
+      if (current[0].kind == ActionKind::Init && task == current[0].actor) {
+        continue;
+      }
+      Trace candidate = drop_task(current, task);
+      if (candidate.size() != current.size() && keep(candidate)) {
+        current = std::move(candidate);
+        progressed = true;
+      }
+    }
+    // Pass 3: splice single tasks out (collapses chains a drop would sever).
+    for (TaskId task : current.tasks()) {
+      Trace candidate = splice_task(current, task);
+      if (candidate.size() != current.size() && keep(candidate)) {
+        current = std::move(candidate);
+        progressed = true;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace tj::trace

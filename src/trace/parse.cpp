@@ -1,0 +1,112 @@
+#include "trace/parse.hpp"
+
+#include <cctype>
+
+namespace tj::trace {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Trace run() {
+    Trace out;
+    skip_noise();
+    if (peek() == '[') {
+      ++pos_;
+      skip_noise();
+    }
+    while (!done() && peek() != ']') {
+      out.push(action());
+      skip_noise();
+      while (!done() && (peek() == ';' || peek() == ',')) {
+        ++pos_;
+        skip_noise();
+      }
+    }
+    if (!done() && peek() == ']') {
+      ++pos_;
+      skip_noise();
+    }
+    if (!done()) fail("trailing input after trace");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError(what + " (at offset " + std::to_string(pos_) + ")",
+                     pos_);
+  }
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return done() ? '\0' : text_[pos_]; }
+
+  void skip_noise() {
+    while (!done()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (!done() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view word() {
+    const std::size_t start = pos_;
+    while (!done() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected an action name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  TaskId number() {
+    skip_noise();
+    if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("expected a task id");
+    }
+    std::uint64_t v = 0;
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      v = v * 10 + static_cast<std::uint64_t>(peek() - '0');
+      if (v > 0xffffffffull) fail("task id out of range");
+      ++pos_;
+    }
+    return static_cast<TaskId>(v);
+  }
+
+  void expect(char c) {
+    skip_noise();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Action action() {
+    const std::string_view name = word();
+    expect('(');
+    const TaskId a = number();
+    if (name == "init") {
+      expect(')');
+      return init(a);
+    }
+    expect(',');
+    const TaskId b = number();
+    expect(')');
+    if (name == "fork") return fork(a, b);
+    if (name == "join") return join(a, b);
+    fail("unknown action '" + std::string(name) + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Trace parse_trace(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace tj::trace

@@ -1,0 +1,32 @@
+#pragma once
+// Textual trace format: a ';'- or newline-separated list of actions in the
+// paper's notation, e.g. "init(0); fork(0,1); join(0,1)". Round-trips with
+// Trace::to_string() (modulo brackets and whitespace).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t offset)
+      : std::runtime_error(std::move(message)), offset_(offset) {}
+
+  /// Byte offset into the input where parsing failed.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parses a trace. Accepts optional surrounding '[' ']', ';' or newline
+/// separators, '#'-to-end-of-line comments, and arbitrary whitespace.
+/// Throws ParseError on malformed input (syntax only — validity per
+/// Definition 3.2 is a separate check, see trace/validity.hpp).
+Trace parse_trace(std::string_view text);
+
+}  // namespace tj::trace

@@ -1,0 +1,23 @@
+#include "trace/strictness.hpp"
+
+#include "trace/fork_tree.hpp"
+
+namespace tj::trace {
+
+Strictness classify_strictness(const Trace& t) {
+  const ForkTree tree(t);
+  bool fully = true;
+  for (const Action& a : t.actions()) {
+    if (a.kind != ActionKind::Join) continue;
+    if (tree.contains(a.target) && tree.parent(a.target) == a.actor) {
+      continue;  // parent → child: fine for every class
+    }
+    fully = false;
+    if (!tree.is_ancestor(a.actor, a.target)) {
+      return Strictness::Arbitrary;  // crosses subtrees (or goes upward)
+    }
+  }
+  return fully ? Strictness::FullyStrict : Strictness::TerminallyStrict;
+}
+
+}  // namespace tj::trace

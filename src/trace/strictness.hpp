@@ -1,0 +1,42 @@
+#pragma once
+// Strictness classification of a trace's computation graph, per the models
+// discussed in Sec. 1:
+//   * fully strict (Cilk):        every join targets a child of the joiner;
+//   * terminally strict (async-finish): every join targets a descendant of
+//     the joiner (the "join all tasks created transitively within a scope"
+//     discipline can only produce descendant joins);
+//   * arbitrary (Futures):        anything else.
+// The hierarchy is strict: FullyStrict ⊂ TerminallyStrict ⊂ Arbitrary, and
+// both restricted classes are KJ-expressible only up to join ordering —
+// which is exactly the gap TJ closes (Sec. 2.3).
+
+#include <cstdint>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+enum class Strictness : std::uint8_t {
+  FullyStrict,      ///< all joins are parent → child
+  TerminallyStrict, ///< all joins are ancestor → descendant
+  Arbitrary,        ///< at least one join crosses subtrees
+};
+
+constexpr std::string_view to_string(Strictness s) {
+  switch (s) {
+    case Strictness::FullyStrict:
+      return "fully-strict";
+    case Strictness::TerminallyStrict:
+      return "terminally-strict";
+    case Strictness::Arbitrary:
+      return "arbitrary";
+  }
+  return "<bad strictness>";
+}
+
+/// Classifies the trace's join edges against its fork tree. A trace without
+/// joins is fully strict. Pre: the trace is structurally valid.
+Strictness classify_strictness(const Trace& t);
+
+}  // namespace tj::trace

@@ -1,0 +1,60 @@
+#include "trace/tj_judgment.hpp"
+
+#include <algorithm>
+
+namespace tj::trace {
+
+void TjJudgment::ensure(TaskId a) {
+  if (a >= known_.size()) {
+    const std::size_t need = a + 1;
+    known_.resize(need, false);
+    less_.resize(need);
+    for (auto& row : less_) row.resize(need, false);
+  }
+  if (!known_[a]) {
+    known_[a] = true;
+    ++tasks_;
+  }
+}
+
+void TjJudgment::push(const Action& act) {
+  switch (act.kind) {
+    case ActionKind::Init:
+      ensure(act.actor);
+      break;
+    case ActionKind::Fork: {
+      const TaskId a = act.actor;
+      const TaskId b = act.target;
+      ensure(a);
+      ensure(b);
+      const std::size_t n = known_.size();
+      // Both rules' premises refer to the relation BEFORE this fork;
+      // snapshot a's row since TJ-left extends it (with a < b) while
+      // TJ-right still needs the pre-fork contents.
+      const std::vector<bool> a_row = less_[a];
+      // TJ-left: for every c with t ⊢ c ≤ a, derive c < b.
+      for (TaskId c = 0; c < n; ++c) {
+        if (known_[c] && (c == a || less_[c][a])) less_[c][b] = true;
+      }
+      // TJ-right: for every c with t ⊢ a < c, derive b < c.
+      for (TaskId c = 0; c < n; ++c) {
+        if (known_[c] && a_row[c]) less_[b][c] = true;
+      }
+      break;
+    }
+    case ActionKind::Join:
+      break;  // no TJ rule consumes joins; TJ-mono preserves the relation
+  }
+}
+
+void TjJudgment::push_all(const Trace& t) {
+  for (const Action& a : t.actions()) push(a);
+}
+
+bool TjJudgment::less(TaskId a, TaskId b) const {
+  if (a >= known_.size() || b >= known_.size()) return false;
+  if (!known_[a] || !known_[b]) return false;
+  return less_[a][b];
+}
+
+}  // namespace tj::trace

@@ -1,0 +1,42 @@
+#pragma once
+// Reference implementation of the Transitive Joins judgment t ⊢ a < b
+// (Definition 3.3) by direct incremental closure of the inference rules
+// TJ-left, TJ-right, TJ-mono. Quadratic in the number of tasks; intended for
+// property tests and cross-validation against the O(·) online algorithms.
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+class TjJudgment {
+ public:
+  TjJudgment() = default;
+  explicit TjJudgment(const Trace& t) { push_all(t); }
+
+  /// Extends the judgment with one more action.
+  /// Only fork actions change the relation (TJ has no join rule).
+  void push(const Action& a);
+  void push_all(const Trace& t);
+
+  /// t ⊢ a < b for the trace pushed so far.
+  bool less(TaskId a, TaskId b) const;
+
+  /// t ⊢ a ≤ b, i.e. a = b or a < b.
+  bool less_eq(TaskId a, TaskId b) const { return a == b || less(a, b); }
+
+  std::size_t task_count() const { return tasks_; }
+  bool knows_task(TaskId a) const { return a < known_.size() && known_[a]; }
+
+ private:
+  void ensure(TaskId a);
+
+  // less_[a][b] == true iff a < b has been derived.
+  std::vector<std::vector<bool>> less_;
+  std::vector<bool> known_;
+  std::size_t tasks_ = 0;
+};
+
+}  // namespace tj::trace

@@ -1,0 +1,94 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace tj::trace {
+
+std::string to_string(const Action& a) {
+  std::ostringstream os;
+  os << a;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Action& a) {
+  switch (a.kind) {
+    case ActionKind::Init:
+      return os << "init(" << a.actor << ")";
+    case ActionKind::Fork:
+      return os << "fork(" << a.actor << "," << a.target << ")";
+    case ActionKind::Join:
+      return os << "join(" << a.actor << "," << a.target << ")";
+  }
+  return os << "<bad action>";
+}
+
+Trace::Trace(std::initializer_list<Action> actions) : actions_(actions) {}
+
+Trace::Trace(std::vector<Action> actions) : actions_(std::move(actions)) {}
+
+Trace& Trace::push(const Action& a) {
+  actions_.push_back(a);
+  return *this;
+}
+
+void Trace::pop() {
+  if (!actions_.empty()) actions_.pop_back();
+}
+
+std::vector<TaskId> Trace::tasks() const {
+  std::vector<TaskId> out;
+  auto add = [&out](TaskId t) {
+    if (t != kNoTask && std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    }
+  };
+  for (const Action& a : actions_) {
+    add(a.actor);
+    if (a.kind == ActionKind::Fork) add(a.target);
+  }
+  return out;
+}
+
+std::size_t Trace::fork_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(actions_.begin(), actions_.end(),
+                    [](const Action& a) { return a.kind == ActionKind::Fork; }));
+}
+
+std::size_t Trace::join_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(actions_.begin(), actions_.end(),
+                    [](const Action& a) { return a.kind == ActionKind::Join; }));
+}
+
+Trace operator+(const Trace& t1, const Trace& t2) {
+  Trace out = t1;
+  out.actions_.insert(out.actions_.end(), t2.actions_.begin(),
+                      t2.actions_.end());
+  return out;
+}
+
+Trace Trace::prefix(std::size_t n) const {
+  n = std::min(n, actions_.size());
+  return Trace(std::vector<Action>(actions_.begin(),
+                                   actions_.begin() + static_cast<long>(n)));
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Trace& t) {
+  os << "[";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i) os << "; ";
+    os << t[i];
+  }
+  return os << "]";
+}
+
+}  // namespace tj::trace

@@ -1,0 +1,61 @@
+#pragma once
+// A trace is a sequence of actions (Definition 3.1). This type also caches
+// the task set and offers convenience constructors used throughout the tests
+// and generators.
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/action.hpp"
+
+namespace tj::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::initializer_list<Action> actions);
+  explicit Trace(std::vector<Action> actions);
+
+  /// Appends an action; returns *this for fluent building.
+  Trace& push(const Action& a);
+  Trace& push_init(TaskId a) { return push(init(a)); }
+  Trace& push_fork(TaskId a, TaskId b) { return push(fork(a, b)); }
+  Trace& push_join(TaskId a, TaskId b) { return push(join(a, b)); }
+
+  /// Removes the last action (no-op on an empty trace).
+  void pop();
+
+  const std::vector<Action>& actions() const { return actions_; }
+  std::size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+  const Action& operator[](std::size_t i) const { return actions_[i]; }
+
+  /// All task ids mentioned as actor or (fork) target, in first-mention order.
+  std::vector<TaskId> tasks() const;
+
+  /// Number of fork actions (== number of non-root tasks in a valid trace).
+  std::size_t fork_count() const;
+
+  /// Number of join actions.
+  std::size_t join_count() const;
+
+  /// Trace concatenation t1; t2.
+  friend Trace operator+(const Trace& t1, const Trace& t2);
+
+  /// A prefix of the first n actions.
+  Trace prefix(std::size_t n) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Trace& t);
+
+}  // namespace tj::trace

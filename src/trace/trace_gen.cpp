@@ -1,0 +1,200 @@
+#include "trace/trace_gen.hpp"
+
+#include <vector>
+
+#include "trace/kj_judgment.hpp"
+#include "trace/tj_judgment.hpp"
+
+namespace tj::trace {
+
+Trace chain_trace(std::uint32_t n_tasks) {
+  Trace t;
+  t.push_init(0);
+  for (TaskId i = 1; i < n_tasks; ++i) t.push_fork(i - 1, i);
+  return t;
+}
+
+Trace star_trace(std::uint32_t n_tasks) {
+  Trace t;
+  t.push_init(0);
+  for (TaskId i = 1; i < n_tasks; ++i) t.push_fork(0, i);
+  return t;
+}
+
+Trace balanced_tree_trace(std::uint32_t arity, std::uint32_t depth) {
+  Trace t;
+  t.push_init(0);
+  TaskId next = 1;
+  // Breadth-first: level d holds arity^d tasks.
+  std::vector<TaskId> level{0};
+  for (std::uint32_t d = 0; d < depth; ++d) {
+    std::vector<TaskId> next_level;
+    next_level.reserve(level.size() * arity);
+    for (TaskId p : level) {
+      for (std::uint32_t c = 0; c < arity; ++c) {
+        t.push_fork(p, next);
+        next_level.push_back(next);
+        ++next;
+      }
+    }
+    level = std::move(next_level);
+  }
+  return t;
+}
+
+namespace {
+
+// Shared fork-schedule: decides which existing task forks each new task.
+std::vector<TaskId> fork_parents(std::uint32_t n_tasks, Rng& rng,
+                                 double depth_bias) {
+  std::vector<TaskId> parents(n_tasks, kNoTask);
+  std::bernoulli_distribution deep(depth_bias);
+  for (TaskId b = 1; b < n_tasks; ++b) {
+    if (b == 1 || deep(rng)) {
+      parents[b] = b - 1;  // most recently created
+    } else {
+      parents[b] = std::uniform_int_distribution<TaskId>(0, b - 1)(rng);
+    }
+  }
+  return parents;
+}
+
+// Interleaves forks with joins drawn by `pick_join`, which returns false when
+// no join is currently possible. `on_action` observes every emitted action so
+// callers can keep incremental judgments in sync.
+template <typename PickJoin, typename OnAction>
+Trace interleaved_trace(std::uint32_t n_tasks, std::uint32_t n_joins, Rng& rng,
+                        double depth_bias, PickJoin&& pick_join,
+                        OnAction&& on_action) {
+  Trace t;
+  auto emit = [&](const Action& a) {
+    t.push(a);
+    on_action(a);
+  };
+  emit(init(0));
+  const std::vector<TaskId> parents = fork_parents(n_tasks, rng, depth_bias);
+  TaskId next_fork = 1;
+  std::uint32_t joins_left = n_joins;
+  // Random interleave: at each step flip between fork and join weighted by
+  // how many of each remain.
+  while (next_fork < n_tasks || joins_left > 0) {
+    const std::uint64_t forks_rem = n_tasks - next_fork;
+    const std::uint64_t total = forks_rem + joins_left;
+    const bool do_fork =
+        forks_rem > 0 &&
+        (joins_left == 0 ||
+         std::uniform_int_distribution<std::uint64_t>(0, total - 1)(rng) <
+             forks_rem);
+    if (do_fork) {
+      emit(fork(parents[next_fork], next_fork));
+      ++next_fork;
+    } else {
+      Action j = join(0, 0);
+      if (pick_join(next_fork, j)) {
+        emit(j);
+        --joins_left;
+      } else if (forks_rem > 0) {
+        emit(fork(parents[next_fork], next_fork));
+        ++next_fork;
+      } else {
+        break;  // no joins possible and no forks left
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Trace random_tree_trace(std::uint32_t n_tasks, std::uint64_t seed,
+                        double depth_bias) {
+  Rng rng(seed);
+  Trace t;
+  t.push_init(0);
+  const std::vector<TaskId> parents = fork_parents(n_tasks, rng, depth_bias);
+  for (TaskId b = 1; b < n_tasks; ++b) t.push_fork(parents[b], b);
+  return t;
+}
+
+Trace random_tj_valid_trace(std::uint32_t n_tasks, std::uint32_t n_joins,
+                            std::uint64_t seed, double depth_bias) {
+  Rng rng(seed);
+  TjJudgment tj;
+  auto pick_join = [&](TaskId created, Action& out) {
+    if (created < 2) return false;
+    // < is a total order over created tasks, so a uniformly random ordered
+    // pair is TJ-valid with probability 1/2; orient it by the judgment.
+    std::uniform_int_distribution<TaskId> pick(0, created - 1);
+    for (int tries = 0; tries < 16; ++tries) {
+      const TaskId a = pick(rng);
+      const TaskId b = pick(rng);
+      if (a == b) continue;
+      if (tj.less(a, b)) {
+        out = join(a, b);
+        return true;
+      }
+      if (tj.less(b, a)) {
+        out = join(b, a);
+        return true;
+      }
+    }
+    return false;
+  };
+  return interleaved_trace(n_tasks, n_joins, rng, depth_bias, pick_join,
+                           [&](const Action& a) { tj.push(a); });
+}
+
+Trace random_kj_valid_trace(std::uint32_t n_tasks, std::uint32_t n_joins,
+                            std::uint64_t seed, double depth_bias) {
+  Rng rng(seed);
+  KjJudgment kj;
+  auto pick_join = [&](TaskId created, Action& out) {
+    if (created < 2) return false;
+    std::uniform_int_distribution<TaskId> pick(0, created - 1);
+    for (int tries = 0; tries < 16; ++tries) {
+      const TaskId a = pick(rng);
+      const auto ks = kj.knowledge_of(a);
+      if (ks.empty()) continue;
+      const TaskId b =
+          ks[std::uniform_int_distribution<std::size_t>(0, ks.size() - 1)(rng)];
+      out = join(a, b);
+      return true;
+    }
+    return false;
+  };
+  return interleaved_trace(n_tasks, n_joins, rng, depth_bias, pick_join,
+                           [&](const Action& a) { kj.push(a); });
+}
+
+Trace random_structural_trace(std::uint32_t n_tasks, std::uint32_t n_joins,
+                              std::uint64_t seed, double depth_bias) {
+  Rng rng(seed);
+  auto pick_join = [&](TaskId created, Action& out) {
+    if (created < 2) return false;
+    std::uniform_int_distribution<TaskId> pick(0, created - 1);
+    const TaskId a = pick(rng);
+    TaskId b = pick(rng);
+    if (a == b) b = (b + 1) % created;
+    out = join(a, b);
+    return true;
+  };
+  return interleaved_trace(n_tasks, n_joins, rng, depth_bias, pick_join,
+                           [](const Action&) {});
+}
+
+Trace deadlocking_trace(std::uint32_t cycle_len) {
+  Trace t;
+  t.push_init(0);
+  if (cycle_len == 0) cycle_len = 1;
+  if (cycle_len == 1) {
+    t.push_fork(0, 1);
+    t.push_join(1, 1);  // self-loop, the n = 0 case of Def. 3.9
+    return t;
+  }
+  for (TaskId i = 1; i <= cycle_len; ++i) t.push_fork(0, i);
+  for (TaskId i = 1; i < cycle_len; ++i) t.push_join(i, i + 1);
+  t.push_join(cycle_len, 1);
+  return t;
+}
+
+}  // namespace tj::trace

@@ -1,0 +1,50 @@
+#pragma once
+// Deterministic (seeded) generators for traces and fork trees, used by the
+// property-test suites and by the Table-1 complexity benches.
+
+#include <cstdint>
+#include <random>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+using Rng = std::mt19937_64;
+
+/// init(0); fork(0,1); fork(1,2); ... — height n-1 (worst case h = n).
+Trace chain_trace(std::uint32_t n_tasks);
+
+/// init(0); fork(0,1); ... fork(0,n-1) — height 1.
+Trace star_trace(std::uint32_t n_tasks);
+
+/// Complete `arity`-ary tree of the given depth (root at depth 0).
+Trace balanced_tree_trace(std::uint32_t arity, std::uint32_t depth);
+
+/// Random tree over n tasks. `depth_bias` in [0,1]: probability that each new
+/// task is forked by the most recently created task (1.0 → chain) instead of
+/// a uniformly random existing task (0.0 → shallow, star-ish trees).
+Trace random_tree_trace(std::uint32_t n_tasks, std::uint64_t seed,
+                        double depth_bias = 0.3);
+
+/// Random TJ-valid trace: the forks of random_tree_trace interleaved with
+/// n_joins joins, each drawn uniformly from the pairs the TJ judgment
+/// permits at that point.
+Trace random_tj_valid_trace(std::uint32_t n_tasks, std::uint32_t n_joins,
+                            std::uint64_t seed, double depth_bias = 0.3);
+
+/// Random KJ-valid trace (analogous, drawn from the KJ knowledge relation).
+/// KJ-valid joins also change the relation (KJ-learn), which the generator
+/// tracks.
+Trace random_kj_valid_trace(std::uint32_t n_tasks, std::uint32_t n_joins,
+                            std::uint64_t seed, double depth_bias = 0.3);
+
+/// Random structurally-valid trace: joins pair arbitrary existing tasks.
+/// May violate both policies and may contain deadlock cycles.
+Trace random_structural_trace(std::uint32_t n_tasks, std::uint32_t n_joins,
+                              std::uint64_t seed, double depth_bias = 0.3);
+
+/// A trace whose join actions form a cycle of the given length ≥ 1 over
+/// sibling tasks (guaranteed deadlock per Definition 3.9).
+Trace deadlocking_trace(std::uint32_t cycle_len);
+
+}  // namespace tj::trace

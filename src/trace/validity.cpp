@@ -1,0 +1,83 @@
+#include "trace/validity.hpp"
+
+#include <unordered_set>
+
+#include "trace/kj_judgment.hpp"
+#include "trace/tj_judgment.hpp"
+
+namespace tj::trace {
+
+std::string to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::Structural:
+      return "Structural";
+    case PolicyKind::TJ:
+      return "TJ";
+    case PolicyKind::KJ:
+      return "KJ";
+  }
+  return "<bad policy>";
+}
+
+ValidityResult check_valid(const Trace& t, PolicyKind policy) {
+  std::unordered_set<TaskId> tasks;
+  bool saw_init = false;
+  TjJudgment tj;
+  KjJudgment kj;
+
+  auto fail = [&](std::size_t i, std::string reason) {
+    return ValidityResult{false, Violation{i, t[i], std::move(reason)}};
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Action& a = t[i];
+    switch (a.kind) {
+      case ActionKind::Init:
+        if (saw_init) return fail(i, "valid-init: second init action");
+        if (i != 0) return fail(i, "valid-init: init must be first");
+        saw_init = true;
+        tasks.insert(a.actor);
+        break;
+      case ActionKind::Fork:
+        if (!saw_init) return fail(i, "valid-fork: trace must start with init");
+        if (!tasks.contains(a.actor)) {
+          return fail(i, "valid-fork: forking task not in A");
+        }
+        if (tasks.contains(a.target)) {
+          return fail(i, "valid-fork: forked task already in A");
+        }
+        tasks.insert(a.target);
+        break;
+      case ActionKind::Join:
+        if (!saw_init) return fail(i, "valid-join: trace must start with init");
+        if (!tasks.contains(a.actor) || !tasks.contains(a.target)) {
+          return fail(i, "valid-join: tasks not in A");
+        }
+        switch (policy) {
+          case PolicyKind::Structural:
+            break;
+          case PolicyKind::TJ:
+            if (!tj.less(a.actor, a.target)) {
+              return fail(i, "valid-join-R: not t ⊢ a < b (TJ)");
+            }
+            break;
+          case PolicyKind::KJ:
+            if (!kj.knows(a.actor, a.target)) {
+              return fail(i, "valid-join-R: not t ⊢ a ≺ b (KJ)");
+            }
+            break;
+        }
+        break;
+    }
+    // Judgments track the trace-so-far regardless of which policy is active,
+    // so both are in sync when queried.
+    tj.push(a);
+    kj.push(a);
+  }
+  if (!saw_init && !t.empty()) {
+    return fail(0, "valid-init: trace must start with init");
+  }
+  return {};
+}
+
+}  // namespace tj::trace

@@ -1,0 +1,50 @@
+#pragma once
+// Trace validity per Definition 3.2 (valid-init / valid-fork / valid-join-R),
+// instantiated with a choice of join-permission relation R: the structural
+// relation (any join between existing tasks), the TJ relation < (Def. 3.4),
+// or the KJ relation ≺ (Def. 4.2).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+enum class PolicyKind : std::uint8_t {
+  Structural,  ///< R relates all pairs of existing tasks (shape checks only)
+  TJ,          ///< Transitive Joins: R_t(a,b) := t ⊢ a < b
+  KJ,          ///< Known Joins: R_t(a,b) := t ⊢ a ≺ b
+};
+
+std::string to_string(PolicyKind k);
+
+struct Violation {
+  std::size_t index;   ///< position of the offending action in the trace
+  Action action;       ///< the offending action
+  std::string reason;  ///< human-readable rule that failed
+};
+
+struct ValidityResult {
+  bool valid = true;
+  std::optional<Violation> violation;
+
+  explicit operator bool() const { return valid; }
+};
+
+/// Checks the full trace. The first violating action (if any) is reported.
+ValidityResult check_valid(const Trace& t, PolicyKind policy);
+
+/// Convenience wrappers.
+inline bool is_tj_valid(const Trace& t) {
+  return check_valid(t, PolicyKind::TJ).valid;
+}
+inline bool is_kj_valid(const Trace& t) {
+  return check_valid(t, PolicyKind::KJ).valid;
+}
+inline bool is_structurally_valid(const Trace& t) {
+  return check_valid(t, PolicyKind::Structural).valid;
+}
+
+}  // namespace tj::trace

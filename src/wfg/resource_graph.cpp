@@ -1,0 +1,123 @@
+#include "wfg/resource_graph.hpp"
+
+#include <algorithm>
+
+namespace tj::wfg {
+
+void ResourceGraph::add_provider(ResId res, TaskUid task) {
+  std::scoped_lock lock(mu_);
+  providers_[res].insert(task);
+}
+
+void ResourceGraph::remove_provider(ResId res, TaskUid task) {
+  std::scoped_lock lock(mu_);
+  const auto it = providers_.find(res);
+  if (it == providers_.end()) return;
+  it->second.erase(task);
+  if (it->second.empty()) providers_.erase(it);
+}
+
+bool ResourceGraph::reaches_task(const std::vector<ResId>& first_hop,
+                                 TaskUid needle,
+                                 std::vector<TaskUid>* path) const {
+  // DFS over task→res→task edges. `path` (when requested) accumulates the
+  // provider tasks along the current branch.
+  std::unordered_set<TaskUid> visited;
+  struct Frame {
+    TaskUid task;
+    std::size_t next = 0;          // index into its wait set walk state
+    std::vector<TaskUid> fanout;   // provider tasks reachable in one hop
+  };
+
+  auto expand = [this](const std::vector<ResId>& waits) {
+    std::vector<TaskUid> out;
+    for (ResId r : waits) {
+      const auto pit = providers_.find(r);
+      if (pit == providers_.end()) continue;
+      out.insert(out.end(), pit->second.begin(), pit->second.end());
+    }
+    return out;
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back({needle, 0, expand(first_hop)});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next >= f.fanout.size()) {
+      stack.pop_back();
+      if (path != nullptr && !path->empty()) path->pop_back();
+      continue;
+    }
+    const TaskUid t = f.fanout[f.next++];
+    if (t == needle) {
+      return true;  // `path` holds the intermediate tasks of the cycle
+    }
+    if (!visited.insert(t).second) continue;
+    const auto wit = waiting_.find(t);
+    if (wit == waiting_.end()) continue;  // t is runnable: chain ends
+    if (path != nullptr) path->push_back(t);
+    stack.push_back({t, 0, expand(wit->second)});
+  }
+  return false;
+}
+
+bool ResourceGraph::try_wait(TaskUid task,
+                             const std::vector<ResId>& resources) {
+  std::scoped_lock lock(mu_);
+  ++checks_;
+  if (reaches_task(resources, task, nullptr)) return false;
+  waiting_[task] = resources;
+  return true;
+}
+
+void ResourceGraph::clear_wait(TaskUid task) {
+  std::scoped_lock lock(mu_);
+  waiting_.erase(task);
+}
+
+std::vector<TaskUid> ResourceGraph::witness_cycle(
+    TaskUid task, const std::vector<ResId>& resources) const {
+  std::scoped_lock lock(mu_);
+  std::vector<TaskUid> path;
+  if (!reaches_task(resources, task, &path)) return {};
+  path.insert(path.begin(), task);
+  return path;
+}
+
+std::vector<std::pair<TaskUid, TaskUid>> ResourceGraph::wfg_projection()
+    const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::pair<TaskUid, TaskUid>> edges;
+  for (const auto& [task, waits] : waiting_) {
+    for (ResId r : waits) {
+      const auto pit = providers_.find(r);
+      if (pit == providers_.end()) continue;
+      for (TaskUid p : pit->second) edges.emplace_back(task, p);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::vector<std::pair<ResId, ResId>> ResourceGraph::sg_projection() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::pair<ResId, ResId>> edges;
+  for (const auto& [res, provs] : providers_) {
+    for (TaskUid p : provs) {
+      const auto wit = waiting_.find(p);
+      if (wit == waiting_.end()) continue;
+      for (ResId s : wit->second) edges.emplace_back(res, s);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::size_t ResourceGraph::blocked_count() const {
+  std::scoped_lock lock(mu_);
+  return waiting_.size();
+}
+
+}  // namespace tj::wfg

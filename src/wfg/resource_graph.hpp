@@ -1,0 +1,76 @@
+#pragma once
+// Generalized waits-for bookkeeping in the style of Armus (Cogumbreiro et
+// al., PPoPP'15 — the fallback detector the TJ paper builds on). Armus
+// models *barrier* synchronisation, which single-target join edges cannot
+// express: a blocked task waits on a set of resources (events/phases), and
+// each resource is signalled by a set of provider tasks.
+//
+// Deadlock = a cycle alternating task → resource (waits-on) and resource →
+// task (provided-by) edges. Armus checks either projection, whichever is
+// smaller; both are exposed here:
+//   * WFG mode: task a → task b  iff a waits on a resource b provides;
+//   * SG  mode: res  r → res  s  iff some provider of r waits on s.
+//
+// This substrate powers the runtime's CheckedBarrier (see
+// runtime/barrier.hpp) and is independently testable.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tj::wfg {
+
+using ResId = std::uint64_t;
+using TaskUid = std::uint64_t;
+
+class ResourceGraph {
+ public:
+  ResourceGraph() = default;
+  ResourceGraph(const ResourceGraph&) = delete;
+  ResourceGraph& operator=(const ResourceGraph&) = delete;
+
+  /// Declares that `task` can signal `res` (e.g. a registered barrier party
+  /// that has not arrived yet). Idempotent.
+  void add_provider(ResId res, TaskUid task);
+
+  /// Removes a provider (the party arrived / deregistered). Idempotent.
+  void remove_provider(ResId res, TaskUid task);
+
+  /// Atomically checks whether blocking `task` on all of `resources` would
+  /// create a deadlock cycle; if not, records the wait. A task has at most
+  /// one wait set at a time (it is single-threaded).
+  /// Returns false (and records nothing) if blocking would deadlock.
+  bool try_wait(TaskUid task, const std::vector<ResId>& resources);
+
+  /// Clears `task`'s wait set (it unblocked or faulted).
+  void clear_wait(TaskUid task);
+
+  /// Diagnostic: the tasks on some deadlock cycle through `task` if it were
+  /// to block on `resources` (empty when safe). Read-only.
+  std::vector<TaskUid> witness_cycle(TaskUid task,
+                                     const std::vector<ResId>& resources) const;
+
+  /// Armus's two projections (diagnostics/tests; cycle checks use the
+  /// bipartite graph directly).
+  std::vector<std::pair<TaskUid, TaskUid>> wfg_projection() const;
+  std::vector<std::pair<ResId, ResId>> sg_projection() const;
+
+  std::size_t blocked_count() const;
+  std::uint64_t cycle_checks() const { return checks_; }
+
+ private:
+  // Pre: lock held. DFS over task→res→task edges from `start` looking for
+  // `needle`; optionally records the task path.
+  bool reaches_task(const std::vector<ResId>& first_hop, TaskUid needle,
+                    std::vector<TaskUid>* path) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ResId, std::unordered_set<TaskUid>> providers_;
+  std::unordered_map<TaskUid, std::vector<ResId>> waiting_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace tj::wfg

@@ -1,0 +1,119 @@
+#include "wfg/waits_for_graph.hpp"
+
+#include <algorithm>
+
+namespace tj::wfg {
+
+bool WaitsForGraph::closes_cycle(NodeId waiter, NodeId target) const {
+  // Functional graph: follow the unique out-edge chain from `target`; the
+  // new edge waiter → target closes a cycle iff the chain reaches `waiter`.
+  NodeId cur = target;
+  while (true) {
+    if (cur == waiter) return true;
+    const auto it = edges_.find(cur);
+    if (it == edges_.end()) return false;
+    cur = it->second.target;
+  }
+}
+
+WaitVerdict WaitsForGraph::add_wait(NodeId waiter, NodeId target) {
+  std::scoped_lock lock(mu_);
+  if (probation_ > 0) {
+    ++cycle_checks_;
+    if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
+  }
+  edges_[waiter] = Edge{target, false};
+  return WaitVerdict::Added;
+}
+
+WaitVerdict WaitsForGraph::add_probation_wait(NodeId waiter, NodeId target) {
+  std::scoped_lock lock(mu_);
+  ++cycle_checks_;
+  if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
+  edges_[waiter] = Edge{target, true};
+  ++probation_;
+  return WaitVerdict::Added;
+}
+
+WaitVerdict WaitsForGraph::add_checked_wait(NodeId waiter, NodeId target) {
+  std::scoped_lock lock(mu_);
+  ++cycle_checks_;
+  if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
+  edges_[waiter] = Edge{target, false};
+  return WaitVerdict::Added;
+}
+
+void WaitsForGraph::remove_wait(NodeId waiter) {
+  std::scoped_lock lock(mu_);
+  const auto it = edges_.find(waiter);
+  if (it == edges_.end()) return;
+  if (it->second.probation) --probation_;
+  edges_.erase(it);
+}
+
+bool WaitsForGraph::is_waiting(NodeId waiter) const {
+  std::scoped_lock lock(mu_);
+  return edges_.contains(waiter);
+}
+
+std::size_t WaitsForGraph::edge_count() const {
+  std::scoped_lock lock(mu_);
+  return edges_.size();
+}
+
+std::size_t WaitsForGraph::probation_count() const {
+  std::scoped_lock lock(mu_);
+  return probation_;
+}
+
+std::vector<std::vector<NodeId>> WaitsForGraph::find_all_cycles() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::vector<NodeId>> cycles;
+  // Functional graph: colour nodes by the walk that first reached them.
+  // A walk that re-enters ITS OWN trail found a cycle; one that reaches a
+  // previously coloured node merges into known territory.
+  std::unordered_map<NodeId, std::size_t> colour;
+  std::size_t walk = 0;
+  for (const auto& [start, edge] : edges_) {
+    (void)edge;
+    if (colour.contains(start)) continue;
+    ++walk;
+    std::vector<NodeId> trail;
+    NodeId cur = start;
+    while (true) {
+      const auto seen = colour.find(cur);
+      if (seen != colour.end()) {
+        if (seen->second == walk) {
+          // Re-entered this walk's trail: the cycle is the suffix from cur.
+          const auto first =
+              std::find(trail.begin(), trail.end(), cur);
+          cycles.emplace_back(first, trail.end());
+        }
+        break;
+      }
+      colour[cur] = walk;
+      trail.push_back(cur);
+      const auto it = edges_.find(cur);
+      if (it == edges_.end()) break;
+      cur = it->second.target;
+    }
+  }
+  return cycles;
+}
+
+std::vector<NodeId> WaitsForGraph::chain_from(NodeId from) const {
+  std::scoped_lock lock(mu_);
+  std::vector<NodeId> out{from};
+  NodeId cur = from;
+  while (true) {
+    const auto it = edges_.find(cur);
+    if (it == edges_.end()) break;
+    cur = it->second.target;
+    // Guard against concurrent-cycle display; cap at edge count.
+    if (out.size() > edges_.size() + 1) break;
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace tj::wfg

@@ -1,0 +1,89 @@
+#pragma once
+// Waits-for graph with on-demand cycle detection. Plays the role Armus plays
+// in the paper's evaluation (Sec. 6): when a conservative policy flags a join,
+// the graph decides precisely whether blocking would truly deadlock.
+//
+// Every *blocking* join registers a wait edge here (waiter → target); a task
+// waits on at most one target at a time, so the graph is functional (at most
+// one out-edge per node) and a cycle check is a simple chain walk.
+//
+// Soundness note (an explicit fix over a naive fallback): a cycle can be
+// closed by a *policy-approved* edge if some policy-rejected ("probation")
+// edge is already present in the graph. TJ/KJ soundness only rules out
+// all-approved cycles. We therefore check every insertion for cycles whenever
+// at least one probation edge is live; when no probation edge exists,
+// insertions are unchecked O(1). Deadlock-free programs that never trip the
+// policy thus pay no cycle-detection cost, matching the paper's fast path.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace tj::wfg {
+
+using NodeId = std::uint64_t;
+
+/// Result of attempting to register a wait edge.
+enum class WaitVerdict : std::uint8_t {
+  Added,          ///< edge registered; safe to block
+  WouldDeadlock,  ///< edge would close a cycle; not registered
+};
+
+class WaitsForGraph {
+ public:
+  WaitsForGraph() = default;
+  WaitsForGraph(const WaitsForGraph&) = delete;
+  WaitsForGraph& operator=(const WaitsForGraph&) = delete;
+
+  /// Registers waiter → target for a policy-approved join. Checks for a cycle
+  /// only if probation edges are live (see header comment).
+  WaitVerdict add_wait(NodeId waiter, NodeId target);
+
+  /// Registers waiter → target for a policy-rejected join; always cycle-checks
+  /// and marks the edge as probation while it lasts.
+  WaitVerdict add_probation_wait(NodeId waiter, NodeId target);
+
+  /// Unconditionally cycle-checks and registers (the Armus-only baseline,
+  /// where every join is verified by cycle detection).
+  WaitVerdict add_checked_wait(NodeId waiter, NodeId target);
+
+  /// Removes the waiter's edge once its join completed (or was aborted).
+  void remove_wait(NodeId waiter);
+
+  /// True iff waiter currently has a registered edge.
+  bool is_waiting(NodeId waiter) const;
+
+  std::size_t edge_count() const;
+  std::size_t probation_count() const;
+
+  /// Total cycle checks performed (for evaluation counters).
+  std::uint64_t cycle_checks() const { return cycle_checks_; }
+
+  /// The wait chain starting at `from` (follows out-edges until none).
+  std::vector<NodeId> chain_from(NodeId from) const;
+
+  /// Scans the whole graph for cycles among the currently blocked tasks —
+  /// the *detection* flavour of the deadlock problem (Sec. 7.1 category 2),
+  /// usable as a diagnostic sweep. Since each task waits on at most one
+  /// target, cycles are disjoint; every cycle is returned once.
+  std::vector<std::vector<NodeId>> find_all_cycles() const;
+
+ private:
+  struct Edge {
+    NodeId target;
+    bool probation;
+  };
+
+  // Pre: lock held. True iff target ⇝ waiter through current edges.
+  bool closes_cycle(NodeId waiter, NodeId target) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, Edge> edges_;  // guarded by mu_
+  std::size_t probation_ = 0;               // guarded by mu_
+  std::uint64_t cycle_checks_ = 0;          // guarded by mu_
+};
+
+}  // namespace tj::wfg

@@ -1,0 +1,155 @@
+// IDEA cipher unit tests (known vectors, group algebra) and the Crypt
+// benchmark's roundtrip validation.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "apps/crypt.hpp"
+#include "apps/idea.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::apps::idea {
+namespace {
+
+TEST(IdeaMul, GroupIdentities) {
+  EXPECT_EQ(mul(1, 1), 1);
+  EXPECT_EQ(mul(1, 12345), 12345);
+  EXPECT_EQ(mul(12345, 1), 12345);
+}
+
+TEST(IdeaMul, ZeroMeansTwoToTheSixteen) {
+  // 0 ≡ 2^16 and 2^16 · 2^16 = 2^32 ≡ 1 (mod 2^16 + 1).
+  EXPECT_EQ(mul(0, 0), 1);
+  // 2^16 · x ≡ -x ≡ 65537 - x.
+  EXPECT_EQ(mul(0, 5), 65532);
+  EXPECT_EQ(mul(7, 0), 65530);
+}
+
+TEST(IdeaMul, Commutes) {
+  for (std::uint32_t a = 0; a < 300; a += 7) {
+    for (std::uint32_t b = 0; b < 300; b += 11) {
+      EXPECT_EQ(mul(static_cast<std::uint16_t>(a * 217),
+                    static_cast<std::uint16_t>(b * 131)),
+                mul(static_cast<std::uint16_t>(b * 131),
+                    static_cast<std::uint16_t>(a * 217)));
+    }
+  }
+}
+
+TEST(IdeaMulInv, InverseLaw) {
+  for (std::uint32_t x = 0; x < 70000; x += 97) {
+    const auto v = static_cast<std::uint16_t>(x);
+    EXPECT_EQ(mul(v, mul_inv(v)), 1) << "x=" << v;
+  }
+}
+
+TEST(IdeaMulInv, SpecialValues) {
+  EXPECT_EQ(mul_inv(0), 0);  // 2^16 is self-inverse
+  EXPECT_EQ(mul_inv(1), 1);
+}
+
+TEST(IdeaKeySchedule, FirstEightSubkeysAreTheUserKey) {
+  Key key{};
+  for (int i = 0; i < 16; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i + 1);
+  const KeySchedule z = encrypt_schedule(key);
+  EXPECT_EQ(z[0], 0x0102);
+  EXPECT_EQ(z[7], 0x0F10);
+}
+
+TEST(IdeaBlock, PublishedTestVector) {
+  // Key 0001 0002 ... 0008, plaintext 0000 0001 0002 0003
+  // → ciphertext 11FB ED2B 0198 6DE5 (the classic IDEA vector).
+  const Key key{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0, 8};
+  std::array<std::uint8_t, 8> block{0, 0, 0, 1, 0, 2, 0, 3};
+  crypt_block(std::span<std::uint8_t, 8>(block), encrypt_schedule(key));
+  const std::array<std::uint8_t, 8> want{0x11, 0xFB, 0xED, 0x2B,
+                                         0x01, 0x98, 0x6D, 0xE5};
+  EXPECT_EQ(block, want);
+}
+
+TEST(IdeaBlock, RoundtripAcrossKeys) {
+  for (std::uint8_t k = 0; k < 12; ++k) {
+    Key key{};
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      key[i] = static_cast<std::uint8_t>(k * 17 + i * 31 + 5);
+    }
+    const KeySchedule enc = encrypt_schedule(key);
+    const KeySchedule dec = decrypt_schedule(enc);
+    std::array<std::uint8_t, 8> block{};
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      block[i] = static_cast<std::uint8_t>(k ^ (i * 73));
+    }
+    const auto original = block;
+    crypt_block(std::span<std::uint8_t, 8>(block), enc);
+    EXPECT_NE(block, original) << "encryption must change the block";
+    crypt_block(std::span<std::uint8_t, 8>(block), dec);
+    EXPECT_EQ(block, original) << "k=" << static_cast<int>(k);
+  }
+}
+
+TEST(IdeaRange, RangesComposeToWholeBuffer) {
+  const Key key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  const KeySchedule enc = encrypt_schedule(key);
+  std::vector<std::uint8_t> whole(64);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    whole[i] = static_cast<std::uint8_t>(i);
+  }
+  std::vector<std::uint8_t> parts = whole;
+  crypt_range(std::span<std::uint8_t>(whole), 0, 8, enc);
+  crypt_range(std::span<std::uint8_t>(parts), 0, 3, enc);
+  crypt_range(std::span<std::uint8_t>(parts), 3, 8, enc);
+  EXPECT_EQ(whole, parts);
+}
+
+}  // namespace
+}  // namespace tj::apps::idea
+
+namespace tj::apps {
+namespace {
+
+TEST(CryptApp, RoundtripTiny) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const CryptResult r = run_crypt(rt, CryptParams::tiny());
+  EXPECT_TRUE(r.roundtrip_ok);
+  EXPECT_GT(r.tasks, 1u);
+}
+
+TEST(CryptApp, DeterministicCiphertextChecksum) {
+  runtime::Runtime rt1({.policy = core::PolicyChoice::None});
+  runtime::Runtime rt2({.policy = core::PolicyChoice::TJ_SP});
+  const CryptResult a = run_crypt(rt1, CryptParams::tiny());
+  const CryptResult b = run_crypt(rt2, CryptParams::tiny());
+  EXPECT_EQ(a.ciphertext_checksum, b.ciphertext_checksum)
+      << "ciphertext must not depend on scheduling or policy";
+}
+
+TEST(CryptApp, TaskCountMatchesPhases) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  CryptParams p = CryptParams::tiny();
+  p.tasks_per_phase = 8;
+  const CryptResult r = run_crypt(rt, p);
+  EXPECT_TRUE(r.roundtrip_ok);
+  EXPECT_EQ(r.tasks, 1u + 2u * 8u);  // root + two phases
+}
+
+TEST(CryptApp, OddTaskSplitStillCoversAllBlocks) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  CryptParams p = CryptParams::tiny();
+  p.tasks_per_phase = 7;  // does not divide the block count evenly
+  EXPECT_TRUE(run_crypt(rt, p).roundtrip_ok);
+}
+
+TEST(CryptApp, NoPolicyRejectionsUnderAnyVerifier) {
+  // Crypt's fork-all/join-all per phase is valid under KJ and TJ alike.
+  for (auto pol : {core::PolicyChoice::TJ_SP, core::PolicyChoice::KJ_VC,
+                   core::PolicyChoice::KJ_SS}) {
+    runtime::Runtime rt({.policy = pol});
+    EXPECT_TRUE(run_crypt(rt, CryptParams::tiny()).roundtrip_ok);
+    EXPECT_EQ(rt.gate_stats().policy_rejections, 0u) << core::to_string(pol);
+  }
+}
+
+}  // namespace
+}  // namespace tj::apps

@@ -1,0 +1,128 @@
+// The extra benchmarks (mergesort, FFT): correctness against references and
+// policy validity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "apps/fft.hpp"
+#include "apps/mergesort.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+namespace {
+
+TEST(Mergesort, SortsTiny) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const MergesortResult r = run_mergesort(rt, MergesortParams::tiny());
+  EXPECT_TRUE(r.sorted);
+  EXPECT_GT(r.tasks, 1u);
+}
+
+TEST(Mergesort, TaskCountMatchesRecursionShape) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  MergesortParams p{.elements = 1 << 10, .cutoff = 1 << 8, .seed = 1};
+  const MergesortResult r = run_mergesort(rt, p);
+  EXPECT_TRUE(r.sorted);
+  // 1024/256 = 4 leaves → 3 internal splits × 2 children + root.
+  EXPECT_EQ(r.tasks, 1u + 6u);
+}
+
+TEST(Mergesort, CutoffLargerThanInputIsSequential) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  MergesortParams p{.elements = 512, .cutoff = 4096, .seed = 2};
+  const MergesortResult r = run_mergesort(rt, p);
+  EXPECT_TRUE(r.sorted);
+  EXPECT_EQ(r.tasks, 1u);  // root only
+}
+
+TEST(Mergesort, ChecksumIsOrderIndependent) {
+  runtime::Runtime rt1({.policy = core::PolicyChoice::None});
+  runtime::Runtime rt2({.policy = core::PolicyChoice::KJ_SS});
+  const auto a = run_mergesort(rt1, MergesortParams::tiny());
+  const auto b = run_mergesort(rt2, MergesortParams::tiny());
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST(Mergesort, ValidUnderEveryPolicy) {
+  for (auto pol : {core::PolicyChoice::TJ_SP, core::PolicyChoice::KJ_VC,
+                   core::PolicyChoice::KJ_SS}) {
+    runtime::Runtime rt({.policy = pol});
+    EXPECT_TRUE(run_mergesort(rt, MergesortParams::tiny()).sorted);
+    EXPECT_EQ(rt.gate_stats().policy_rejections, 0u) << core::to_string(pol);
+  }
+}
+
+TEST(Fft, SequentialMatchesDirectDftOnSmallInput) {
+  // 8-point transform vs the O(n²) DFT definition.
+  std::vector<std::complex<double>> xs(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    xs[i] = {std::cos(0.7 * static_cast<double>(i)),
+             std::sin(1.3 * static_cast<double>(i))};
+  }
+  std::vector<std::complex<double>> dft(8);
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * j) / 8.0;
+      dft[k] += xs[j] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+  }
+  fft_sequential(xs, /*inverse=*/false);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(std::abs(xs[k] - dft[k]), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fft, SequentialRoundtrip) {
+  std::vector<std::complex<double>> xs(256);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = {static_cast<double>(i % 17) - 8.0,
+             static_cast<double>(i % 5) - 2.0};
+  }
+  const auto original = xs;
+  fft_sequential(xs, false);
+  fft_sequential(xs, true);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(std::abs(xs[i] - original[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParallelRoundtripTiny) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const FftResult r = run_fft(rt, FftParams::tiny());
+  EXPECT_TRUE(r.roundtrip_ok);
+  EXPECT_GT(r.tasks, 1u);
+  EXPECT_GT(r.spectrum_energy, 0.0);
+}
+
+TEST(Fft, ParsevalHolds) {
+  // Energy in time domain × n == energy in frequency domain.
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  FftParams p = FftParams::tiny();
+  const FftResult r = run_fft(rt, p);
+  // Recreate the deterministic input to compute its energy.
+  std::vector<std::complex<double>> signal(p.n);
+  std::mt19937_64 rng(p.seed);
+  std::uniform_real_distribution<double> ampd(-1.0, 1.0);
+  double time_energy = 0.0;
+  for (auto& x : signal) {
+    x = {ampd(rng), ampd(rng)};
+    time_energy += std::norm(x);
+  }
+  EXPECT_NEAR(r.spectrum_energy,
+              time_energy * static_cast<double>(p.n),
+              1e-6 * time_energy * static_cast<double>(p.n));
+}
+
+TEST(Fft, ValidUnderEveryPolicy) {
+  for (auto pol : {core::PolicyChoice::TJ_SP, core::PolicyChoice::KJ_VC,
+                   core::PolicyChoice::KJ_SS}) {
+    runtime::Runtime rt({.policy = pol});
+    EXPECT_TRUE(run_fft(rt, FftParams::tiny()).roundtrip_ok);
+    EXPECT_EQ(rt.gate_stats().policy_rejections, 0u) << core::to_string(pol);
+  }
+}
+
+}  // namespace
+}  // namespace tj::apps

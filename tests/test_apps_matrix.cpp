@@ -1,0 +1,103 @@
+// Matrix utilities and the Strassen benchmark: algebraic identities,
+// sequential-vs-parallel agreement, and policy validity.
+
+#include <gtest/gtest.h>
+
+#include "apps/matrix.hpp"
+#include "apps/strassen.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+namespace {
+
+TEST(Matrix, RandomIsDeterministicPerSeed) {
+  const Matrix a = Matrix::random(16, 3);
+  const Matrix b = Matrix::random(16, 3);
+  const Matrix c = Matrix::random(16, 4);
+  EXPECT_EQ(Matrix::max_abs_diff(a, b), 0.0);
+  EXPECT_GT(Matrix::max_abs_diff(a, c), 0.0);
+}
+
+TEST(Matrix, QuadrantRoundtrip) {
+  const Matrix m = Matrix::random(8, 1);
+  Matrix rebuilt(8);
+  for (int qr = 0; qr < 2; ++qr) {
+    for (int qc = 0; qc < 2; ++qc) {
+      rebuilt.set_quadrant(qr, qc, m.quadrant(qr, qc));
+    }
+  }
+  EXPECT_EQ(Matrix::max_abs_diff(m, rebuilt), 0.0);
+}
+
+TEST(Matrix, AddSubInverse) {
+  const Matrix a = Matrix::random(8, 5);
+  const Matrix b = Matrix::random(8, 6);
+  const Matrix c = (a + b) - b;
+  EXPECT_LT(Matrix::max_abs_diff(a, c), 1e-12);
+}
+
+TEST(Matrix, NaiveMultiplyIdentity) {
+  Matrix id(8);
+  for (std::size_t i = 0; i < 8; ++i) id.at(i, i) = 1.0;
+  const Matrix a = Matrix::random(8, 9);
+  EXPECT_LT(Matrix::max_abs_diff(naive_multiply(a, id), a), 1e-12);
+  EXPECT_LT(Matrix::max_abs_diff(naive_multiply(id, a), a), 1e-12);
+}
+
+TEST(Matrix, NaiveMultiplyKnownProduct) {
+  Matrix a(2), b(2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  const Matrix c = naive_multiply(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(StrassenSeq, MatchesNaive) {
+  const Matrix a = Matrix::random(64, 10);
+  const Matrix b = Matrix::random(64, 11);
+  const Matrix fast = strassen_sequential(a, b, /*cutoff=*/8);
+  const Matrix slow = naive_multiply(a, b);
+  EXPECT_LT(Matrix::max_abs_diff(fast, slow), 1e-9);
+}
+
+TEST(StrassenSeq, CutoffAtFullSizeIsNaive) {
+  const Matrix a = Matrix::random(32, 12);
+  const Matrix b = Matrix::random(32, 13);
+  EXPECT_EQ(Matrix::max_abs_diff(strassen_sequential(a, b, 32),
+                                 naive_multiply(a, b)),
+            0.0);
+}
+
+TEST(StrassenApp, ParallelMatchesSequential) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const StrassenParams p = StrassenParams::tiny();
+  const StrassenResult r = run_strassen(rt, p);
+  const Matrix a = Matrix::random(p.n, p.seed);
+  const Matrix b = Matrix::random(p.n, p.seed ^ 0xabcdef);
+  const double ref = strassen_sequential(a, b, p.cutoff).checksum();
+  EXPECT_NEAR(r.checksum, ref, 1e-6 * (1.0 + std::abs(ref)));
+}
+
+TEST(StrassenApp, SpawnsElevenTasksPerLevel) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  StrassenParams p;
+  p.n = 64;
+  p.cutoff = 32;  // exactly one level of recursion
+  p.seed = 1;
+  const StrassenResult r = run_strassen(rt, p);
+  EXPECT_EQ(r.tasks, 1u + 7u + 4u);  // root + 7 products + 4 combines
+}
+
+TEST(StrassenApp, ValidUnderKjAndTj) {
+  for (auto pol : {core::PolicyChoice::TJ_SP, core::PolicyChoice::KJ_SS}) {
+    runtime::Runtime rt({.policy = pol});
+    (void)run_strassen(rt, StrassenParams::tiny());
+    EXPECT_EQ(rt.gate_stats().policy_rejections, 0u) << core::to_string(pol);
+  }
+}
+
+}  // namespace
+}  // namespace tj::apps

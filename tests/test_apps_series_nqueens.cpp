@@ -1,0 +1,113 @@
+// Series and NQueens: numeric/combinatorial validation, plus the policy
+// behaviour the paper's evaluation hinges on (NQueens violates KJ
+// nondeterministically but never TJ).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/nqueens.hpp"
+#include "apps/series.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+namespace {
+
+TEST(Series, LeadingCoefficientOfXPlusOneToTheX) {
+  // a0 = (1/2)∫₀² (x+1)^x dx ≈ 2.8819 (converged trapezoid value; JGF's
+  // published 2.8729 reflects its coarser fixed-step quadrature).
+  const CoefficientPair c = series_coefficient(0, 20'000);
+  EXPECT_NEAR(c.a, 2.8819, 2e-3);
+  EXPECT_EQ(c.b, 0.0);
+}
+
+TEST(Series, FirstHarmonics) {
+  // Converged values for k=1: a1 ≈ 1.1340, b1 ≈ -1.8821.
+  const CoefficientPair c = series_coefficient(1, 20'000);
+  EXPECT_NEAR(c.a, 1.1340, 2e-3);
+  EXPECT_NEAR(c.b, -1.8821, 2e-3);
+}
+
+TEST(Series, CoefficientsDecay) {
+  const CoefficientPair c2 = series_coefficient(2, 5'000);
+  const CoefficientPair c40 = series_coefficient(40, 5'000);
+  EXPECT_GT(std::hypot(c2.a, c2.b), std::hypot(c40.a, c40.b));
+}
+
+TEST(Series, ParallelMatchesSequentialSum) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const SeriesParams p = SeriesParams::tiny();
+  const SeriesResult r = run_series(rt, p);
+  double expected = 0.0;
+  for (std::size_t k = 0; k < p.coefficients; ++k) {
+    const CoefficientPair c = series_coefficient(k, p.integration_steps);
+    expected += c.a + c.b;
+  }
+  EXPECT_NEAR(r.checksum, expected, 1e-9);
+  EXPECT_EQ(r.tasks, 1u + p.coefficients);
+}
+
+TEST(Series, RootJoinsAllInForkOrderIsKjValid) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::KJ_SS});
+  (void)run_series(rt, SeriesParams::tiny());
+  EXPECT_EQ(rt.gate_stats().policy_rejections, 0u);
+}
+
+TEST(NQueens, SequentialReferenceCounts) {
+  EXPECT_EQ(nqueens_reference(4), 2u);
+  EXPECT_EQ(nqueens_reference(5), 10u);
+  EXPECT_EQ(nqueens_reference(6), 4u);
+  EXPECT_EQ(nqueens_reference(7), 40u);
+  EXPECT_EQ(nqueens_reference(8), 92u);
+}
+
+TEST(NQueens, ParallelCountMatchesReference) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  NQueensParams p{.board = 8, .parallel_depth = 3};
+  EXPECT_EQ(run_nqueens(rt, p).solutions, 92u);
+}
+
+TEST(NQueens, CutoffDepthDoesNotChangeTheCount) {
+  for (std::size_t depth : {0u, 1u, 2u, 4u}) {
+    runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+    NQueensParams p{.board = 7, .parallel_depth = depth};
+    EXPECT_EQ(run_nqueens(rt, p).solutions, 40u) << "depth=" << depth;
+  }
+}
+
+TEST(NQueens, NeverViolatesTj) {
+  // Sec. 6.2: "it never violates TJ". Repeat to cover schedule variety.
+  for (int i = 0; i < 5; ++i) {
+    runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+    (void)run_nqueens(rt, NQueensParams::small());
+    EXPECT_EQ(rt.gate_stats().policy_rejections, 0u);
+  }
+}
+
+TEST(NQueens, ViolatesKjAndFallbackFiltersEveryFalsePositive) {
+  // Sec. 6.2: NQueens violates KJ (nondeterministically) and triggers cycle
+  // detection; the program is deadlock-free so every rejection must be
+  // filtered as a false positive and the count still correct.
+  std::uint64_t rejections = 0;
+  for (int i = 0; i < 5 && rejections == 0; ++i) {
+    runtime::Runtime rt({.policy = core::PolicyChoice::KJ_SS});
+    const NQueensResult r = run_nqueens(rt, NQueensParams::small());
+    EXPECT_EQ(r.solutions, 14200u);
+    const auto s = rt.gate_stats();
+    EXPECT_EQ(s.policy_rejections, s.false_positives);
+    EXPECT_EQ(s.deadlocks_averted, 0u);
+    rejections += s.policy_rejections;
+  }
+  EXPECT_GT(rejections, 0u) << "expected at least one KJ violation";
+}
+
+TEST(NQueens, KjVcAgreesWithKjSsOnViolationBehaviour) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::KJ_VC});
+  const NQueensResult r = run_nqueens(rt, NQueensParams::small());
+  EXPECT_EQ(r.solutions, 14200u);
+  const auto s = rt.gate_stats();
+  EXPECT_EQ(s.policy_rejections, s.false_positives);
+}
+
+}  // namespace
+}  // namespace tj::apps

@@ -1,0 +1,130 @@
+// Jacobi and Smith-Waterman: parallel results must equal the sequential
+// references bit-for-bit / exactly, under every verifier.
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.hpp"
+#include "apps/smith_waterman.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+namespace {
+
+TEST(JacobiApp, MatchesSequentialReference) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const JacobiParams p = JacobiParams::tiny();
+  const JacobiResult r = run_jacobi(rt, p);
+  EXPECT_DOUBLE_EQ(r.checksum, jacobi_reference(p));
+}
+
+TEST(JacobiApp, TaskCount) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  JacobiParams p = JacobiParams::tiny();  // 4 blocks/side, 4 iterations
+  const JacobiResult r = run_jacobi(rt, p);
+  EXPECT_EQ(r.tasks, 1u + p.iterations * p.blocks * p.blocks);
+}
+
+TEST(JacobiApp, UnevenBlockSplit) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  JacobiParams p{.n = 50, .blocks = 3, .iterations = 3};
+  EXPECT_DOUBLE_EQ(run_jacobi(rt, p).checksum, jacobi_reference(p));
+}
+
+TEST(JacobiApp, SingleIteration) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  JacobiParams p{.n = 32, .blocks = 2, .iterations = 1};
+  EXPECT_DOUBLE_EQ(run_jacobi(rt, p).checksum, jacobi_reference(p));
+}
+
+TEST(JacobiApp, HeatFlowsIntoTheGrid) {
+  // The hot boundary must raise the interior sum across iterations.
+  JacobiParams p1{.n = 32, .blocks = 2, .iterations = 1};
+  JacobiParams p8{.n = 32, .blocks = 2, .iterations = 8};
+  EXPECT_GT(jacobi_reference(p8), jacobi_reference(p1));
+}
+
+TEST(JacobiApp, ValidUnderEveryVerifier) {
+  for (auto pol : {core::PolicyChoice::TJ_GT, core::PolicyChoice::TJ_SP,
+                   core::PolicyChoice::KJ_VC, core::PolicyChoice::KJ_SS}) {
+    runtime::Runtime rt({.policy = pol});
+    const JacobiParams p = JacobiParams::tiny();
+    EXPECT_DOUBLE_EQ(run_jacobi(rt, p).checksum, jacobi_reference(p))
+        << core::to_string(pol);
+    EXPECT_EQ(rt.gate_stats().policy_rejections, 0u) << core::to_string(pol);
+  }
+}
+
+TEST(SmithWaterman, RandomDnaDeterministicAndWellFormed) {
+  const std::string a = random_dna(500, 1);
+  EXPECT_EQ(a, random_dna(500, 1));
+  EXPECT_NE(a, random_dna(500, 2));
+  for (char c : a) {
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+  }
+}
+
+TEST(SmithWaterman, IdenticalSequencesScorePerfect) {
+  SmithWatermanParams p = SmithWatermanParams::tiny();
+  p.seed = 5;
+  // Aligning a sequence against itself: best local alignment is the whole
+  // sequence, score = length * match.
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const std::string s = random_dna(p.length, p.seed);
+  // Use the reference DP directly on equal sequences via a tweaked params
+  // run: seed ^ 0x5eed produces the second sequence, so instead check the
+  // invariant on the reference function with equal inputs by construction.
+  // (The app API fixes the seeds; this test validates the DP kernel.)
+  std::vector<int> h((p.length + 1) * (p.length + 1), 0);
+  int best = 0;
+  for (std::size_t r = 1; r <= p.length; ++r) {
+    for (std::size_t c = 1; c <= p.length; ++c) {
+      const int sub = (s[r - 1] == s[c - 1]) ? p.match : p.mismatch;
+      const int diag = h[(r - 1) * (p.length + 1) + c - 1] + sub;
+      const int up = h[(r - 1) * (p.length + 1) + c] + p.gap;
+      const int left = h[r * (p.length + 1) + c - 1] + p.gap;
+      const int v = std::max({0, diag, up, left});
+      h[r * (p.length + 1) + c] = v;
+      best = std::max(best, v);
+    }
+  }
+  EXPECT_EQ(best, static_cast<int>(p.length) * p.match);
+}
+
+TEST(SmithWaterman, ParallelMatchesSequential) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const SmithWatermanParams p = SmithWatermanParams::tiny();
+  const SmithWatermanResult r = run_smith_waterman(rt, p);
+  EXPECT_EQ(r.best_score, smith_waterman_reference(p));
+  EXPECT_GT(r.best_score, 0);
+}
+
+TEST(SmithWaterman, UnevenChunkSplit) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  SmithWatermanParams p = SmithWatermanParams::tiny();
+  p.length = 130;
+  p.chunks = 7;
+  EXPECT_EQ(run_smith_waterman(rt, p).best_score,
+            smith_waterman_reference(p));
+}
+
+TEST(SmithWaterman, TaskCountIsChunksSquared) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const SmithWatermanParams p = SmithWatermanParams::tiny();
+  const SmithWatermanResult r = run_smith_waterman(rt, p);
+  EXPECT_EQ(r.tasks, 1u + p.chunks * p.chunks);
+}
+
+TEST(SmithWaterman, ValidUnderEveryVerifier) {
+  for (auto pol : {core::PolicyChoice::TJ_SP, core::PolicyChoice::KJ_VC,
+                   core::PolicyChoice::KJ_SS}) {
+    runtime::Runtime rt({.policy = pol});
+    const SmithWatermanParams p = SmithWatermanParams::tiny();
+    EXPECT_EQ(run_smith_waterman(rt, p).best_score,
+              smith_waterman_reference(p))
+        << core::to_string(pol);
+    EXPECT_EQ(rt.gate_stats().policy_rejections, 0u) << core::to_string(pol);
+  }
+}
+
+}  // namespace
+}  // namespace tj::apps

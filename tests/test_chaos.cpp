@@ -1,0 +1,72 @@
+// Schedule fuzzing: chaos_seed perturbs interleavings at fork/join
+// boundaries. Results and policy verdicts must be schedule-independent.
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.hpp"
+#include "runtime/api.hpp"
+#include "runtime/concurrent_queue.hpp"
+#include "trace/validity.hpp"
+
+namespace tj::runtime {
+namespace {
+
+class ChaosSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSeeds, AppsComputeTheSameResultUnderPerturbedSchedules) {
+  for (const char* name : {"strassen", "nqueens", "crypt"}) {
+    const apps::AppInfo* app = apps::find_app(name);
+    ASSERT_NE(app, nullptr);
+    Runtime rt({.policy = core::PolicyChoice::TJ_SP,
+                .chaos_seed = GetParam()});
+    const apps::AppOutcome out = app->run(rt, apps::AppSize::Tiny);
+    EXPECT_TRUE(out.valid) << name << ": " << out.detail;
+  }
+}
+
+TEST_P(ChaosSeeds, TjNeverRejectsUnderAnySchedule) {
+  Runtime rt({.policy = core::PolicyChoice::TJ_SP,
+              .record_trace = true,
+              .chaos_seed = GetParam()});
+  rt.root([] {
+    ConcurrentQueue<Future<int>> q;
+    std::function<void(int)> spread = [&q, &spread](int depth) {
+      if (depth == 0) return;
+      q.push(async([&spread, depth] {
+        spread(depth - 1);
+        return depth;
+      }));
+      q.push(async([&spread, depth] {
+        spread(depth - 1);
+        return depth;
+      }));
+    };
+    spread(5);
+    while (auto f = q.poll()) (void)f->get();
+  });
+  EXPECT_EQ(rt.gate_stats().policy_rejections, 0u);
+  EXPECT_TRUE(trace::is_tj_valid(rt.recorded_trace()));
+}
+
+TEST_P(ChaosSeeds, KjRejectionsStayFalsePositivesUnderAnySchedule) {
+  const apps::AppInfo* app = apps::find_app("nqueens");
+  Runtime rt({.policy = core::PolicyChoice::KJ_SS,
+              .chaos_seed = GetParam()});
+  const apps::AppOutcome out = app->run(rt, apps::AppSize::Tiny);
+  EXPECT_TRUE(out.valid);
+  const auto s = rt.gate_stats();
+  EXPECT_EQ(s.policy_rejections, s.false_positives);
+  EXPECT_EQ(s.deadlocks_averted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeeds,
+                         ::testing::Values(0x1111, 0x2222, 0x3333, 0x4444,
+                                           0xdeadbeef));
+
+TEST(Chaos, DisabledByDefault) {
+  const Config cfg;
+  EXPECT_EQ(cfg.chaos_seed, 0u);
+}
+
+}  // namespace
+}  // namespace tj::runtime

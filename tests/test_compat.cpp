@@ -1,0 +1,85 @@
+// Tests for the std::async-style compat adapter.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/compat.hpp"
+
+namespace tj::compat {
+namespace {
+
+runtime::Config cfg() {
+  return runtime::Config{.policy = core::PolicyChoice::TJ_SP};
+}
+
+TEST(CompatAsync, NoArguments) {
+  runtime::Runtime rt(cfg());
+  const int v = rt.root([] {
+    auto f = async([] { return 5; });
+    return f.get();
+  });
+  EXPECT_EQ(v, 5);
+}
+
+TEST(CompatAsync, BindsArgumentsByValue) {
+  runtime::Runtime rt(cfg());
+  const int v = rt.root([] {
+    auto f = async([](int a, int b) { return a * b; }, 6, 7);
+    return f.get();
+  });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(CompatAsync, MovesMoveOnlyArguments) {
+  runtime::Runtime rt(cfg());
+  const std::size_t n = rt.root([] {
+    auto ptr = std::make_unique<std::string>(100, 'x');
+    auto f = async([](std::unique_ptr<std::string> s) { return s->size(); },
+                   std::move(ptr));
+    return f.get();
+  });
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(CompatAsync, MixedArgumentTypes) {
+  runtime::Runtime rt(cfg());
+  const std::string v = rt.root([] {
+    auto f = async(
+        [](const std::string& s, int n) {
+          std::string out;
+          for (int i = 0; i < n; ++i) out += s;
+          return out;
+        },
+        std::string("ab"), 3);
+    return f.get();
+  });
+  EXPECT_EQ(v, "ababab");
+}
+
+TEST(CompatAsync, JoinsAreVerified) {
+  runtime::Runtime rt(cfg());
+  rt.root([] {
+    auto f = async([](int x) { return x; }, 1);
+    f.join();
+  });
+  EXPECT_EQ(rt.gate_stats().joins_checked, 1u);
+}
+
+TEST(TaskLauncher, LaunchesRepeatedly) {
+  runtime::Runtime rt(cfg());
+  const int total = rt.root([] {
+    TaskLauncher<int(int)> square([](int x) { return x * x; });
+    auto a = square(3);
+    auto b = square(4);
+    return a.get() + b.get();
+  });
+  EXPECT_EQ(total, 25);
+}
+
+TEST(CompatAsync, OutsideTaskContextThrows) {
+  EXPECT_THROW((void)async([] { return 1; }), runtime::UsageError);
+}
+
+}  // namespace
+}  // namespace tj::compat

@@ -1,0 +1,94 @@
+// Tests for the offline deadlock definition (Definition 3.9).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/deadlock.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(DeadlockDef, NoJoinsNoDeadlock) {
+  EXPECT_FALSE(contains_deadlock(Trace{init(0), fork(0, 1), fork(0, 2)}));
+}
+
+TEST(DeadlockDef, SelfJoinIsTheNZeroCase) {
+  const Trace t{init(0), fork(0, 1), join(1, 1)};
+  const auto cycle = find_deadlock_cycle(t);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 1u);
+  EXPECT_EQ(cycle->front(), 1u);
+}
+
+TEST(DeadlockDef, TwoCycle) {
+  const Trace t{init(0), fork(0, 1), fork(0, 2), join(1, 2), join(2, 1)};
+  const auto cycle = find_deadlock_cycle(t);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 2u);
+}
+
+TEST(DeadlockDef, LongCycleDetected) {
+  for (std::uint32_t len : {3u, 5u, 17u}) {
+    const Trace t = deadlocking_trace(len);
+    const auto cycle = find_deadlock_cycle(t);
+    ASSERT_TRUE(cycle.has_value()) << "len=" << len;
+    EXPECT_EQ(cycle->size(), len);
+  }
+}
+
+TEST(DeadlockDef, WitnessIsARealCycle) {
+  const Trace t = deadlocking_trace(6);
+  const auto cycle = find_deadlock_cycle(t);
+  ASSERT_TRUE(cycle.has_value());
+  // Every consecutive pair (and the wrap-around) must be a join in t.
+  auto has_join = [&t](TaskId a, TaskId b) {
+    return std::any_of(t.actions().begin(), t.actions().end(),
+                       [&](const Action& act) {
+                         return act == join(a, b);
+                       });
+  };
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    EXPECT_TRUE(has_join((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+  }
+}
+
+TEST(DeadlockDef, ChainOfJoinsIsNotACycle) {
+  const Trace t{init(0), fork(0, 1), fork(0, 2), fork(0, 3),
+                join(1, 2), join(2, 3)};
+  EXPECT_FALSE(contains_deadlock(t));
+}
+
+TEST(DeadlockDef, DiamondIsNotACycle) {
+  // 1 and 2 both join 3; 0 joins 1 and 2: a DAG, not a cycle.
+  const Trace t{init(0), fork(0, 1), fork(0, 2), fork(0, 3),
+                join(1, 3), join(2, 3), join(0, 1), join(0, 2)};
+  EXPECT_FALSE(contains_deadlock(t));
+}
+
+TEST(DeadlockDef, CycleBuriedAmongOtherJoins) {
+  Trace t = star_trace(10);
+  t.push_join(0, 1).push_join(0, 2).push_join(5, 6).push_join(6, 7)
+      .push_join(7, 5);  // 5→6→7→5
+  EXPECT_TRUE(contains_deadlock(t));
+}
+
+TEST(DeadlockDef, RandomTjTracesAreDeadlockFree) {
+  // Theorem 3.11 (deadlock-freedom of TJ), property-tested.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Trace t = random_tj_valid_trace(40, 60, seed, 0.4);
+    EXPECT_FALSE(contains_deadlock(t)) << "seed=" << seed;
+  }
+}
+
+TEST(DeadlockDef, RandomKjTracesAreDeadlockFree) {
+  // KJ is also sound; its traces never deadlock either.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Trace t = random_kj_valid_trace(40, 60, seed, 0.4);
+    EXPECT_FALSE(contains_deadlock(t)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tj::trace

@@ -1,0 +1,103 @@
+// Euler-tour LCA: unit cases plus property agreement with the fork tree's
+// walking implementation and the TJ judgment, across tree shapes and sizes.
+
+#include <gtest/gtest.h>
+
+#include "trace/euler_lca.hpp"
+#include "trace/tj_judgment.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(EulerLca, SingleNodeTree) {
+  const ForkTree tree(Trace{init(0)});
+  const EulerLca lca(tree);
+  EXPECT_EQ(lca.lca(0, 0), 0u);
+  EXPECT_EQ(lca.lca_plus(0, 0).kind, LcaPlusKind::DecStar);
+  EXPECT_FALSE(lca.preorder_less(0, 0));
+}
+
+TEST(EulerLca, Figure1Tree) {
+  // a=0 forks b=1 then d=3; b forks c=2.
+  const ForkTree tree(Trace{init(0), fork(0, 1), fork(1, 2), fork(0, 3)});
+  const EulerLca lca(tree);
+  EXPECT_EQ(lca.lca(2, 3), 0u);
+  EXPECT_EQ(lca.lca(1, 2), 1u);
+  EXPECT_EQ(lca.lca(0, 2), 0u);
+  const LcaPlus sib = lca.lca_plus(3, 2);
+  EXPECT_EQ(sib.kind, LcaPlusKind::Sib);
+  EXPECT_EQ(sib.a_side, 3u);
+  EXPECT_EQ(sib.b_side, 1u);
+  EXPECT_EQ(lca.lca_plus(0, 2).kind, LcaPlusKind::AncPlus);
+  EXPECT_EQ(lca.lca_plus(2, 1).kind, LcaPlusKind::DecStar);
+  EXPECT_TRUE(lca.preorder_less(3, 2));
+  EXPECT_FALSE(lca.preorder_less(2, 3));
+}
+
+TEST(EulerLca, ChainTree) {
+  const ForkTree tree(chain_trace(50));
+  const EulerLca lca(tree);
+  EXPECT_EQ(lca.lca(10, 40), 10u);
+  EXPECT_EQ(lca.lca(49, 0), 0u);
+  EXPECT_TRUE(lca.preorder_less(3, 44));
+  EXPECT_FALSE(lca.preorder_less(44, 3));
+}
+
+TEST(EulerLca, UnknownTaskThrows) {
+  const ForkTree tree(star_trace(4));
+  const EulerLca lca(tree);
+  EXPECT_THROW((void)lca.lca(0, 99), std::invalid_argument);
+}
+
+struct ShapeCase {
+  std::uint64_t seed;
+  double bias;
+  std::uint32_t n;
+};
+
+class EulerLcaProperty : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(EulerLcaProperty, AgreesWithWalkingImplementationEverywhere) {
+  const auto [seed, bias, n] = GetParam();
+  const Trace t = random_tree_trace(n, seed, bias);
+  const ForkTree tree(t);
+  const EulerLca lca(tree);
+  for (TaskId a = 0; a < n; ++a) {
+    for (TaskId b = 0; b < n; ++b) {
+      EXPECT_EQ(lca.lca(a, b), tree.lca(a, b)) << "a=" << a << " b=" << b;
+      const LcaPlus fast = lca.lca_plus(a, b);
+      const LcaPlus slow = tree.lca_plus(a, b);
+      EXPECT_EQ(fast.kind, slow.kind) << "a=" << a << " b=" << b;
+      if (fast.kind == LcaPlusKind::Sib) {
+        EXPECT_EQ(fast.a_side, slow.a_side) << "a=" << a << " b=" << b;
+        EXPECT_EQ(fast.b_side, slow.b_side) << "a=" << a << " b=" << b;
+      }
+      EXPECT_EQ(lca.preorder_less(a, b), tree.preorder_less(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(EulerLcaProperty, LinearizesTheTjOrder) {
+  const auto [seed, bias, n] = GetParam();
+  const Trace t = random_tree_trace(n, seed, bias);
+  const ForkTree tree(t);
+  const EulerLca lca(tree);
+  const TjJudgment tj(t);
+  for (TaskId a = 0; a < n; ++a) {
+    for (TaskId b = 0; b < n; ++b) {
+      EXPECT_EQ(lca.preorder_less(a, b), tj.less(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EulerLcaProperty,
+    ::testing::Values(ShapeCase{1, 0.0, 40}, ShapeCase{2, 0.4, 60},
+                      ShapeCase{3, 0.8, 50}, ShapeCase{4, 1.0, 30},
+                      ShapeCase{5, 0.2, 80}));
+
+}  // namespace
+}  // namespace tj::trace

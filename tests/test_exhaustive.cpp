@@ -1,0 +1,153 @@
+// Bounded-exhaustive verification of the paper's claims: enumerate EVERY
+// structurally valid trace at small scope and check the theorems on each —
+// no randomness, no sampling gaps (within the bounds).
+
+#include <gtest/gtest.h>
+
+#include "trace/deadlock.hpp"
+#include "trace/enumerate.hpp"
+#include "trace/kj_judgment.hpp"
+#include "trace/tj_judgment.hpp"
+#include "trace/validity.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(Enumerate, CountsSmallSpaces) {
+  // Only the root, no joins beyond duplicates: init alone.
+  EXPECT_EQ(count_traces({1, 0, true}), 1u);
+  // One possible fork plus the bare init.
+  EXPECT_EQ(count_traces({2, 0, true}), 2u);
+  // init; init+join(0,0) — self-join of the root.
+  EXPECT_EQ(count_traces({1, 1, true}), 2u);
+}
+
+TEST(Enumerate, VisitOrderIsPrefixClosed) {
+  std::vector<Trace> seen;
+  for_each_trace({3, 1, true}, [&seen](const Trace& t) {
+    if (t.size() > 1) {
+      // The immediate prefix must have been visited already.
+      const Trace prefix = t.prefix(t.size() - 1);
+      bool found = false;
+      for (const Trace& s : seen) found = found || s == prefix;
+      EXPECT_TRUE(found) << t.to_string();
+    }
+    seen.push_back(t);
+    return true;
+  });
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(Enumerate, EarlyStopIsHonoured) {
+  std::uint64_t calls = 0;
+  const std::uint64_t visited = for_each_trace({4, 2, true},
+                                               [&calls](const Trace&) {
+                                                 ++calls;
+                                                 return calls < 5;
+                                               });
+  EXPECT_EQ(visited, 5u);
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(Enumerate, AllTracesAreStructurallyValid) {
+  const std::uint64_t n =
+      for_each_trace({4, 2, true}, [](const Trace& t) {
+        EXPECT_TRUE(is_structurally_valid(t)) << t.to_string();
+        return true;
+      });
+  EXPECT_GT(n, 1000u);
+}
+
+TEST(ExhaustiveTheorems, TjValidTracesNeverDeadlock) {
+  // Theorem 3.11, exhaustively at scope (4 tasks, 3 joins).
+  std::uint64_t tj_valid = 0;
+  for_each_trace({4, 3, true}, [&tj_valid](const Trace& t) {
+    if (is_tj_valid(t)) {
+      ++tj_valid;
+      EXPECT_FALSE(contains_deadlock(t)) << t.to_string();
+    }
+    return true;
+  });
+  EXPECT_GT(tj_valid, 500u);
+}
+
+TEST(ExhaustiveTheorems, KjValidImpliesTjValid) {
+  // Corollary 4.4, exhaustively; also count the strict gap.
+  std::uint64_t kj_valid = 0;
+  std::uint64_t tj_only = 0;
+  for_each_trace({4, 3, true}, [&](const Trace& t) {
+    const bool kj = is_kj_valid(t);
+    const bool tj = is_tj_valid(t);
+    if (kj) {
+      ++kj_valid;
+      EXPECT_TRUE(tj) << t.to_string();
+    }
+    if (tj && !kj) ++tj_only;
+    return true;
+  });
+  EXPECT_GT(kj_valid, 100u);
+  EXPECT_GT(tj_only, 0u) << "the subsumption must be strict at this scope";
+}
+
+TEST(ExhaustiveTheorems, KnowledgeIsAlwaysASubsetOfTjPermission) {
+  // Theorem 4.3 over every enumerated KJ-VALID trace and every task pair.
+  for_each_trace({4, 2, true}, [](const Trace& t) {
+    if (!is_kj_valid(t)) return true;  // Thm 4.3's hypothesis
+    const KjJudgment kj(t);
+    const TjJudgment tj(t);
+    const auto tasks = t.tasks();
+    for (TaskId a : tasks) {
+      for (TaskId b : tasks) {
+        if (kj.knows(a, b)) {
+          EXPECT_TRUE(tj.less(a, b))
+              << t.to_string() << " a=" << a << " b=" << b;
+        }
+      }
+    }
+    return true;
+  });
+}
+
+TEST(ExhaustiveTheorems, TotalOrderAtEveryPrefix) {
+  // Theorem 3.10 on every enumerated fork structure.
+  for_each_trace({5, 0, true}, [](const Trace& t) {
+    const TjJudgment tj(t);
+    const auto tasks = t.tasks();
+    for (TaskId a : tasks) {
+      for (TaskId b : tasks) {
+        const int holds = (a == b ? 1 : 0) + (tj.less(a, b) ? 1 : 0) +
+                          (tj.less(b, a) ? 1 : 0);
+        EXPECT_EQ(holds, 1) << t.to_string() << " a=" << a << " b=" << b;
+      }
+    }
+    return true;
+  });
+}
+
+TEST(ExhaustiveTheorems, TjIsMaximallyPermissive) {
+  // Sec. 4's closing claim, exhaustively: on every enumerated fork tree and
+  // for every ordered pair (a, b) that TJ FORBIDS (b < a, a ≠ b), admitting
+  // join(a, b) would admit a deadlocking completion — namely the 2-cycle
+  // join(b, a); join(a, b), whose first half TJ itself permits. So no pair
+  // can be added to < without losing soundness.
+  for_each_trace({4, 0, true}, [](const Trace& t) {
+    const TjJudgment tj(t);
+    const auto tasks = t.tasks();
+    for (TaskId a : tasks) {
+      for (TaskId b : tasks) {
+        if (a == b || tj.less(a, b)) continue;
+        EXPECT_TRUE(tj.less(b, a));  // trichotomy
+        Trace extended = t;
+        extended.push_join(b, a);  // TJ-valid so far
+        EXPECT_TRUE(is_tj_valid(extended));
+        extended.push_join(a, b);  // the hypothetically-admitted join
+        EXPECT_TRUE(contains_deadlock(extended))
+            << t.to_string() << " a=" << a << " b=" << b;
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace tj::trace

@@ -1,0 +1,163 @@
+// Tests for the offline fork tree (Definitions 3.12/3.14, Theorem 3.15).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/fork_tree.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace tj::trace {
+namespace {
+
+// The paper's Figure 1 (left): a forks b then d; b forks c.
+Trace figure1_left() {
+  return Trace{init(0), fork(0, 1), fork(1, 2), fork(0, 3)};
+  // a=0, b=1, c=2, d=3
+}
+
+TEST(ForkTree, StructureBasics) {
+  const ForkTree t(figure1_left());
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.task_count(), 4u);
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(2), 1u);
+  EXPECT_EQ(t.parent(3), 0u);
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(2), 2u);
+  EXPECT_EQ(t.child_index(1), 0u);
+  EXPECT_EQ(t.child_index(3), 1u);  // d forked after b
+  EXPECT_EQ(t.children(0).size(), 2u);
+}
+
+TEST(ForkTree, AncestorRelation) {
+  const ForkTree t(figure1_left());
+  EXPECT_TRUE(t.is_ancestor(0, 1));
+  EXPECT_TRUE(t.is_ancestor(0, 2));
+  EXPECT_TRUE(t.is_ancestor(1, 2));
+  EXPECT_FALSE(t.is_ancestor(2, 1));
+  EXPECT_FALSE(t.is_ancestor(1, 3));
+  EXPECT_FALSE(t.is_ancestor(1, 1));  // proper ancestorship only
+}
+
+TEST(ForkTree, LcaPlusCases) {
+  const ForkTree t(figure1_left());
+  EXPECT_EQ(t.lca_plus(0, 2).kind, LcaPlusKind::AncPlus);
+  EXPECT_EQ(t.lca_plus(2, 0).kind, LcaPlusKind::DecStar);
+  EXPECT_EQ(t.lca_plus(1, 1).kind, LcaPlusKind::DecStar);  // equal → dec*
+  const LcaPlus sib = t.lca_plus(3, 2);  // d vs c: siblings d and b below a
+  EXPECT_EQ(sib.kind, LcaPlusKind::Sib);
+  EXPECT_EQ(sib.a_side, 3u);
+  EXPECT_EQ(sib.b_side, 1u);
+}
+
+TEST(ForkTree, TraditionalLca) {
+  const ForkTree t(figure1_left());
+  EXPECT_EQ(t.lca(0, 2), 0u);
+  EXPECT_EQ(t.lca(2, 0), 0u);
+  EXPECT_EQ(t.lca(3, 2), 0u);
+  EXPECT_EQ(t.lca(1, 2), 1u);
+}
+
+TEST(ForkTree, PreorderLessFigure1) {
+  const ForkTree t(figure1_left());
+  // Rule I: parents precede children.
+  EXPECT_TRUE(t.preorder_less(0, 1));
+  EXPECT_TRUE(t.preorder_less(0, 3));
+  EXPECT_TRUE(t.preorder_less(1, 2));
+  EXPECT_TRUE(t.preorder_less(0, 2));  // transitive: grandchild
+  // Figure 1's highlight: d may join b and c (younger sibling precedes).
+  EXPECT_TRUE(t.preorder_less(3, 1));
+  EXPECT_TRUE(t.preorder_less(3, 2));
+  // And never the reverse.
+  EXPECT_FALSE(t.preorder_less(1, 3));
+  EXPECT_FALSE(t.preorder_less(2, 3));
+  EXPECT_FALSE(t.preorder_less(2, 0));
+  EXPECT_FALSE(t.preorder_less(1, 1));
+}
+
+TEST(ForkTree, PreorderSequenceNewestChildFirst) {
+  const ForkTree t(figure1_left());
+  const std::vector<TaskId> expected{0, 3, 1, 2};
+  EXPECT_EQ(t.preorder(), expected);
+}
+
+TEST(ForkTree, PreorderSequenceMatchesPairwiseLess) {
+  const Trace tr = random_tree_trace(60, /*seed=*/99, /*depth_bias=*/0.4);
+  const ForkTree t(tr);
+  const std::vector<TaskId> order = t.preorder();
+  ASSERT_EQ(order.size(), t.task_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      EXPECT_TRUE(t.preorder_less(order[i], order[j]));
+      EXPECT_FALSE(t.preorder_less(order[j], order[i]));
+    }
+  }
+}
+
+TEST(ForkTree, RejectsMalformedTraces) {
+  EXPECT_THROW(ForkTree(Trace{}), std::invalid_argument);
+  EXPECT_THROW(ForkTree(Trace{fork(0, 1)}), std::invalid_argument);
+  EXPECT_THROW(ForkTree(Trace{init(0), init(1)}), std::invalid_argument);
+  EXPECT_THROW(ForkTree(Trace{init(0), fork(1, 2)}), std::invalid_argument);
+  EXPECT_THROW(ForkTree(Trace{init(0), fork(0, 0)}), std::invalid_argument);
+  EXPECT_THROW(ForkTree(Trace{init(0), fork(0, 1), fork(0, 1)}),
+               std::invalid_argument);
+}
+
+TEST(ForkTree, LcaPlusUnknownTaskThrows) {
+  const ForkTree t(figure1_left());
+  EXPECT_THROW((void)t.lca_plus(0, 42), std::invalid_argument);
+}
+
+TEST(ForkTree, ChainShape) {
+  const ForkTree t(chain_trace(10));
+  EXPECT_EQ(t.depth(9), 9u);
+  EXPECT_TRUE(t.is_ancestor(0, 9));
+  EXPECT_TRUE(t.preorder_less(3, 7));  // ancestor precedes
+  EXPECT_FALSE(t.preorder_less(7, 3));
+}
+
+TEST(ForkTree, StarShape) {
+  const ForkTree t(star_trace(10));
+  for (TaskId i = 1; i < 10; ++i) {
+    EXPECT_EQ(t.depth(i), 1u);
+    EXPECT_EQ(t.child_index(i), i - 1);
+  }
+  // Later-forked siblings precede earlier ones.
+  EXPECT_TRUE(t.preorder_less(9, 1));
+  EXPECT_FALSE(t.preorder_less(1, 9));
+}
+
+class ForkTreeShapes : public ::testing::TestWithParam<double> {};
+
+TEST_P(ForkTreeShapes, LcaPlusConsistentWithAncestorQueries) {
+  const Trace tr = random_tree_trace(40, /*seed=*/7, GetParam());
+  const ForkTree t(tr);
+  for (TaskId a = 0; a < 40; ++a) {
+    for (TaskId b = 0; b < 40; ++b) {
+      const LcaPlus r = t.lca_plus(a, b);
+      switch (r.kind) {
+        case LcaPlusKind::AncPlus:
+          EXPECT_TRUE(t.is_ancestor(a, b));
+          break;
+        case LcaPlusKind::DecStar:
+          EXPECT_TRUE(a == b || t.is_ancestor(b, a));
+          break;
+        case LcaPlusKind::Sib:
+          EXPECT_EQ(t.parent(r.a_side), t.parent(r.b_side));
+          EXPECT_NE(r.a_side, r.b_side);
+          EXPECT_TRUE(r.a_side == a || t.is_ancestor(r.a_side, a));
+          EXPECT_TRUE(r.b_side == b || t.is_ancestor(r.b_side, b));
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DepthBias, ForkTreeShapes,
+                         ::testing::Values(0.0, 0.3, 0.7, 1.0));
+
+}  // namespace
+}  // namespace tj::trace

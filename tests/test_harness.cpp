@@ -1,0 +1,203 @@
+// Harness pieces: statistics, memory sampling, the benchmark runner and the
+// table/figure renderers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app_registry.hpp"
+#include "harness/memory_sampler.hpp"
+#include "harness/runner.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+
+namespace tj::harness {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.5));
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> xs{7.5};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(ci95_half_width(xs), 0.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+  EXPECT_THROW(geometric_mean({}), std::invalid_argument);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({2.0, 2.0, 2.0}), 2.0);
+  EXPECT_NEAR(geometric_mean({1.06, 1.09}), 1.0749, 1e-3);
+  EXPECT_THROW(geometric_mean({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Stats, Ci95UsesStudentT) {
+  // n=2, df=1: t = 12.706; stddev of {0,2} is √2.
+  const std::vector<double> xs{0.0, 2.0};
+  EXPECT_NEAR(ci95_half_width(xs), 12.706 * std::sqrt(2.0) / std::sqrt(2.0),
+              1e-9);
+  // Large n approaches the normal quantile.
+  std::vector<double> big;
+  for (int i = 0; i < 100; ++i) big.push_back(i % 2 ? 1.0 : -1.0);
+  const double expected = 1.96 * stddev(big) / 10.0;
+  EXPECT_NEAR(ci95_half_width(big), expected, 1e-9);
+}
+
+TEST(Stats, SummarizeMinMax) {
+  const Summary s = summarize({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Memory, CurrentRssIsPositive) { EXPECT_GT(current_rss_bytes(), 0u); }
+
+TEST(Memory, SamplerObservesAllocations) {
+  MemorySampler sampler(1);
+  // Touch a chunk of memory so RSS moves.
+  std::vector<char> block(64 << 20);
+  for (std::size_t i = 0; i < block.size(); i += 4096) block[i] = 1;
+  sampler.stop();
+  EXPECT_GT(sampler.samples(), 0u);
+  EXPECT_GT(sampler.peak_bytes(), 0u);
+  EXPECT_GT(sampler.average_bytes(), 0.0);
+  EXPECT_GE(static_cast<double>(sampler.peak_bytes()),
+            sampler.average_bytes());
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2'000'000; ++i) sink = sink + 1.0;
+  const double first = t.seconds();
+  EXPECT_GT(first, 0.0);
+  EXPECT_GE(t.seconds(), first);  // monotone
+  t.reset();
+  EXPECT_LT(t.seconds(), first + 1.0);  // reset restarts the clock
+}
+
+TEST(AppRegistry, PaperBenchmarksAndExtrasRegistered) {
+  const auto& apps = apps::all_apps();
+  ASSERT_EQ(apps.size(), 8u);
+  EXPECT_EQ(apps[0].name, "jacobi");
+  EXPECT_EQ(apps[5].name, "nqueens");
+  EXPECT_FALSE(apps[5].kj_valid);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_FALSE(apps[i].extra) << apps[i].name;
+  }
+  EXPECT_TRUE(apps[6].extra);
+  EXPECT_TRUE(apps[7].extra);
+  for (const auto& a : apps) {
+    if (a.name != "nqueens") {
+      EXPECT_TRUE(a.kj_valid) << a.name;
+    }
+  }
+}
+
+TEST(AppRegistry, FindByName) {
+  EXPECT_NE(apps::find_app("crypt"), nullptr);
+  EXPECT_EQ(apps::find_app("nope"), nullptr);
+}
+
+TEST(Runner, MeasuresBaselineAndPolicy) {
+  const apps::AppInfo* app = apps::find_app("series");
+  ASSERT_NE(app, nullptr);
+  RunConfig cfg;
+  cfg.size = apps::AppSize::Tiny;
+  cfg.reps = 2;
+  cfg.warmups = 0;
+  const Measurement base = measure(*app, core::PolicyChoice::None, cfg);
+  const Measurement tjsp = measure(*app, core::PolicyChoice::TJ_SP, cfg);
+  EXPECT_TRUE(base.app_valid);
+  EXPECT_TRUE(tjsp.app_valid);
+  EXPECT_EQ(base.time_s.n, 2u);
+  EXPECT_GT(base.time_s.mean, 0.0);
+  EXPECT_EQ(base.verifier_peak_bytes, 0.0);
+  EXPECT_GT(tjsp.verifier_peak_bytes, 0.0);
+  EXPECT_GT(time_factor(tjsp, base), 0.0);
+  EXPECT_GT(memory_factor(tjsp, base), 1.0);
+  EXPECT_DOUBLE_EQ(memory_factor(base, base), 1.0);
+}
+
+TEST(Runner, InterleavedMeasuresBaselineAndPolicies) {
+  const apps::AppInfo* app = apps::find_app("crypt");
+  ASSERT_NE(app, nullptr);
+  RunConfig cfg;
+  cfg.size = apps::AppSize::Tiny;
+  cfg.reps = 2;
+  cfg.warmups = 1;
+  const BenchmarkRun run = measure_interleaved(
+      *app, {core::PolicyChoice::TJ_SP, core::PolicyChoice::KJ_SS}, cfg);
+  EXPECT_TRUE(run.baseline.app_valid);
+  EXPECT_EQ(run.baseline.policy, core::PolicyChoice::None);
+  EXPECT_EQ(run.baseline.time_s.n, 2u);
+  ASSERT_EQ(run.policies.size(), 2u);
+  EXPECT_EQ(run.policies[0].policy, core::PolicyChoice::TJ_SP);
+  EXPECT_EQ(run.policies[1].policy, core::PolicyChoice::KJ_SS);
+  for (const Measurement& m : run.policies) {
+    EXPECT_TRUE(m.app_valid);
+    EXPECT_EQ(m.time_s.n, 2u);
+    EXPECT_GT(m.verifier_peak_bytes, 0.0);
+    EXPECT_GT(m.gate.joins_checked, 0u);
+  }
+  // The cold-run footprint must be captured even though later runs reuse
+  // the warm heap.
+  EXPECT_GT(run.baseline.rss_peak_delta_bytes, 0.0);
+}
+
+TEST(Runner, InterleavedWithNoPolicies) {
+  const apps::AppInfo* app = apps::find_app("series");
+  RunConfig cfg;
+  cfg.size = apps::AppSize::Tiny;
+  cfg.reps = 1;
+  cfg.warmups = 0;
+  const BenchmarkRun run = measure_interleaved(*app, {}, cfg);
+  EXPECT_TRUE(run.policies.empty());
+  EXPECT_TRUE(run.baseline.app_valid);
+}
+
+TEST(Tables, RenderAllFormats) {
+  // Small end-to-end render from real measurements.
+  const apps::AppInfo* app = apps::find_app("crypt");
+  ASSERT_NE(app, nullptr);
+  RunConfig cfg;
+  cfg.size = apps::AppSize::Tiny;
+  cfg.reps = 2;
+  cfg.warmups = 0;
+  BenchmarkRecord rec;
+  rec.name = app->name;
+  rec.baseline = measure(*app, core::PolicyChoice::None, cfg);
+  rec.policies.push_back(measure(*app, core::PolicyChoice::TJ_SP, cfg));
+  rec.policies.push_back(measure(*app, core::PolicyChoice::KJ_VC, cfg));
+  const std::vector<BenchmarkRecord> rows{rec};
+
+  const std::string t2 = render_table2(rows);
+  EXPECT_NE(t2.find("crypt"), std::string::npos);
+  EXPECT_NE(t2.find("Geom. mean"), std::string::npos);
+  EXPECT_NE(t2.find("TJ-SP"), std::string::npos);
+
+  const std::string f2 = render_figure2(rows);
+  EXPECT_NE(f2.find("baseline"), std::string::npos);
+  EXPECT_NE(f2.find("o"), std::string::npos);
+
+  const std::string gs = render_gate_stats(rows);
+  EXPECT_NE(gs.find("KJ-VC"), std::string::npos);
+
+  const std::string csv = render_csv(rows);
+  EXPECT_NE(csv.find("benchmark,policy"), std::string::npos);
+  // Header + baseline + two policies.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace tj::harness

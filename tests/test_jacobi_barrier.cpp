@@ -1,0 +1,55 @@
+// Barrier-based Jacobi must reproduce the futures-based (and sequential)
+// arithmetic exactly, regardless of worker count.
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.hpp"
+#include "apps/jacobi_barrier.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::apps {
+namespace {
+
+TEST(JacobiBarrier, MatchesSequentialReference) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const JacobiBarrierParams p = JacobiBarrierParams::tiny();
+  const JacobiBarrierResult r = run_jacobi_barrier(rt, p);
+  const JacobiParams ref{.n = p.n, .blocks = 1, .iterations = p.iterations};
+  EXPECT_DOUBLE_EQ(r.checksum, jacobi_reference(ref));
+  EXPECT_EQ(r.barrier_phases, p.iterations);
+  EXPECT_EQ(r.tasks, 1u + p.workers);
+}
+
+TEST(JacobiBarrier, WorkerCountDoesNotChangeTheResult) {
+  double first = 0.0;
+  for (std::size_t workers : {1u, 3u, 8u}) {
+    runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+    JacobiBarrierParams p{.n = 50, .workers = workers, .iterations = 6};
+    const double checksum = run_jacobi_barrier(rt, p).checksum;
+    if (workers == 1u) {
+      first = checksum;
+    } else {
+      EXPECT_DOUBLE_EQ(checksum, first) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(JacobiBarrier, AgreesWithFuturesBasedJacobi) {
+  runtime::Runtime rt1({.policy = core::PolicyChoice::TJ_SP});
+  runtime::Runtime rt2({.policy = core::PolicyChoice::TJ_SP});
+  const JacobiParams fp{.n = 64, .blocks = 4, .iterations = 5};
+  const JacobiBarrierParams bp{.n = 64, .workers = 4, .iterations = 5};
+  EXPECT_DOUBLE_EQ(run_jacobi(rt1, fp).checksum,
+                   run_jacobi_barrier(rt2, bp).checksum);
+}
+
+TEST(JacobiBarrier, MoreWorkersThanPoolThreads) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP, .workers = 2});
+  JacobiBarrierParams p{.n = 40, .workers = 6, .iterations = 4};
+  const JacobiBarrierResult r = run_jacobi_barrier(rt, p);
+  const JacobiParams ref{.n = p.n, .blocks = 1, .iterations = p.iterations};
+  EXPECT_DOUBLE_EQ(r.checksum, jacobi_reference(ref));
+}
+
+}  // namespace
+}  // namespace tj::apps

@@ -1,0 +1,151 @@
+// Tests for the JoinGate composition: policy + cycle-detection fallback,
+// fault modes, non-blocking joins, and the evaluation counters.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/guarded.hpp"
+
+namespace tj::core {
+namespace {
+
+using wfg::NodeId;
+
+struct Gates {
+  std::unique_ptr<Verifier> verifier;
+  std::unique_ptr<JoinGate> gate;
+  PolicyNode* root;
+  PolicyNode* a;  // first child
+  PolicyNode* b;  // second child (forked after a: b < a under TJ)
+
+  explicit Gates(PolicyChoice p, FaultMode m = FaultMode::Fallback) {
+    verifier = make_verifier(p);
+    gate = std::make_unique<JoinGate>(p, verifier.get(), m);
+    if (verifier) {
+      root = verifier->add_child(nullptr);
+      a = verifier->add_child(root);
+      b = verifier->add_child(root);
+    } else {
+      root = a = b = nullptr;
+    }
+  }
+};
+
+TEST(JoinGate, NonePolicyApprovesEverythingUnchecked) {
+  Gates g(PolicyChoice::None);
+  EXPECT_EQ(g.gate->enter_join(1, 1, nullptr, nullptr, false),
+            JoinDecision::Proceed);  // even a self-join
+  const GateStats s = g.gate->stats();
+  EXPECT_EQ(s.joins_checked, 1u);
+  EXPECT_EQ(s.cycle_checks, 0u);
+  EXPECT_EQ(g.gate->graph().edge_count(), 0u);  // no graph maintenance
+}
+
+TEST(JoinGate, TjApprovedJoinProceedsAndRegisters) {
+  Gates g(PolicyChoice::TJ_SP);
+  EXPECT_EQ(g.gate->enter_join(0, 1, g.root, g.a, false),
+            JoinDecision::Proceed);
+  EXPECT_TRUE(g.gate->graph().is_waiting(0));
+  g.gate->leave_join(0, g.root, g.a, true);
+  EXPECT_FALSE(g.gate->graph().is_waiting(0));
+}
+
+TEST(JoinGate, TjRejectionClearedByFallbackIsFalsePositive) {
+  Gates g(PolicyChoice::TJ_SP);
+  // a joining b is TJ-rejected (b < a) but no cycle exists.
+  EXPECT_EQ(g.gate->enter_join(1, 2, g.a, g.b, false),
+            JoinDecision::ProceedFalsePositive);
+  const GateStats s = g.gate->stats();
+  EXPECT_EQ(s.policy_rejections, 1u);
+  EXPECT_EQ(s.false_positives, 1u);
+  EXPECT_EQ(s.deadlocks_averted, 0u);
+  g.gate->leave_join(1, g.a, g.b, true);
+}
+
+TEST(JoinGate, CrossJoinCycleIsAverted) {
+  Gates g(PolicyChoice::TJ_SP);
+  // b joins a: TJ-approved (b younger sibling). a then joins b: rejected,
+  // and the fallback finds the cycle.
+  EXPECT_EQ(g.gate->enter_join(2, 1, g.b, g.a, false),
+            JoinDecision::Proceed);
+  EXPECT_EQ(g.gate->enter_join(1, 2, g.a, g.b, false),
+            JoinDecision::FaultDeadlock);
+  EXPECT_EQ(g.gate->stats().deadlocks_averted, 1u);
+}
+
+TEST(JoinGate, ApprovedEdgeClosingProbationCycleFaults) {
+  Gates g(PolicyChoice::TJ_SP);
+  // a's rejected join on b is admitted on probation first...
+  EXPECT_EQ(g.gate->enter_join(1, 2, g.a, g.b, false),
+            JoinDecision::ProceedFalsePositive);
+  // ...then b's TJ-approved join on a would close the cycle: caught.
+  EXPECT_EQ(g.gate->enter_join(2, 1, g.b, g.a, false),
+            JoinDecision::FaultDeadlock);
+}
+
+TEST(JoinGate, ThrowModeFaultsWithoutFallback) {
+  Gates g(PolicyChoice::TJ_SP, FaultMode::Throw);
+  EXPECT_EQ(g.gate->enter_join(1, 2, g.a, g.b, false),
+            JoinDecision::FaultPolicy);
+  EXPECT_EQ(g.gate->stats().cycle_checks, 0u);
+}
+
+TEST(JoinGate, DoneTargetNeverBlocksSoNeverDeadlocks) {
+  Gates g(PolicyChoice::TJ_SP);
+  // Rejected join on a terminated task: trivially a false positive.
+  EXPECT_EQ(g.gate->enter_join(1, 2, g.a, g.b, /*target_done=*/true),
+            JoinDecision::ProceedFalsePositive);
+  EXPECT_EQ(g.gate->graph().edge_count(), 0u);
+  // Approved join on a terminated task: no bookkeeping at all.
+  EXPECT_EQ(g.gate->enter_join(0, 1, g.root, g.a, /*target_done=*/true),
+            JoinDecision::Proceed);
+  EXPECT_EQ(g.gate->graph().edge_count(), 0u);
+}
+
+TEST(JoinGate, CycleOnlyChecksEveryBlockingJoin) {
+  Gates g(PolicyChoice::CycleOnly);
+  EXPECT_EQ(g.gate->enter_join(1, 2, nullptr, nullptr, false),
+            JoinDecision::Proceed);
+  EXPECT_EQ(g.gate->enter_join(2, 1, nullptr, nullptr, false),
+            JoinDecision::FaultDeadlock);
+  const GateStats s = g.gate->stats();
+  EXPECT_EQ(s.cycle_checks, 2u);
+  EXPECT_EQ(s.deadlocks_averted, 1u);
+  EXPECT_EQ(s.policy_rejections, 0u);  // there is no policy to reject
+}
+
+TEST(JoinGate, CycleOnlySkipsDoneTargets) {
+  Gates g(PolicyChoice::CycleOnly);
+  EXPECT_EQ(g.gate->enter_join(1, 2, nullptr, nullptr, /*target_done=*/true),
+            JoinDecision::Proceed);
+  EXPECT_EQ(g.gate->stats().cycle_checks, 0u);
+}
+
+TEST(JoinGate, KjLearnRunsOnCompletedJoinsOnly) {
+  Gates g(PolicyChoice::KJ_VC);
+  PolicyNode* grand = g.verifier->add_child(g.a);
+  // root does not know its grandchild yet.
+  EXPECT_EQ(g.gate->enter_join(0, 3, g.root, grand, false),
+            JoinDecision::ProceedFalsePositive);
+  // Abandoned join (completed=false): no learning.
+  g.gate->leave_join(0, g.root, g.a, /*completed=*/false);
+  EXPECT_EQ(g.gate->enter_join(0, 3, g.root, grand, true),
+            JoinDecision::ProceedFalsePositive);
+  // Completed join on a: root learns the grandchild.
+  g.gate->leave_join(0, g.root, g.a, /*completed=*/true);
+  EXPECT_EQ(g.gate->enter_join(0, 3, g.root, grand, true),
+            JoinDecision::Proceed);
+}
+
+TEST(JoinGate, StatsAccumulate) {
+  Gates g(PolicyChoice::TJ_SP);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(g.gate->enter_join(0, 1, g.root, g.a, true),
+              JoinDecision::Proceed);
+  }
+  EXPECT_EQ(g.gate->stats().joins_checked, 5u);
+}
+
+}  // namespace
+}  // namespace tj::core

@@ -1,0 +1,118 @@
+// Tests for the reference KJ judgment (Definition 4.1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/kj_judgment.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(KjJudgment, KjChildParentKnowsChild) {
+  KjJudgment kj(Trace{init(0), fork(0, 1)});
+  EXPECT_TRUE(kj.knows(0, 1));
+  EXPECT_FALSE(kj.knows(1, 0));  // the child does not know the parent
+}
+
+TEST(KjJudgment, NothingKnowsTheRoot) {
+  KjJudgment kj(Trace{init(0), fork(0, 1), fork(1, 2), join(0, 1)});
+  EXPECT_FALSE(kj.knows(1, 0));
+  EXPECT_FALSE(kj.knows(2, 0));
+  EXPECT_FALSE(kj.knows(0, 0));
+}
+
+TEST(KjJudgment, KjInheritChildGetsParentKnowledgeAtForkTime) {
+  // 0 forks 1, then forks 2: 2 inherits knowledge of 1.
+  KjJudgment kj(Trace{init(0), fork(0, 1), fork(0, 2)});
+  EXPECT_TRUE(kj.knows(2, 1));
+  EXPECT_FALSE(kj.knows(1, 2));  // 1 was forked before 2 existed
+}
+
+TEST(KjJudgment, InheritanceIsASnapshotNotALiveView) {
+  // 1 is forked before 2, so 1 never learns about 2 through inheritance,
+  // even though their shared parent later knows both.
+  KjJudgment kj(Trace{init(0), fork(0, 1), fork(0, 2), fork(0, 3)});
+  EXPECT_TRUE(kj.knows(3, 1));
+  EXPECT_TRUE(kj.knows(3, 2));
+  EXPECT_FALSE(kj.knows(1, 2));
+  EXPECT_FALSE(kj.knows(2, 3));
+}
+
+TEST(KjJudgment, TasksDoNotKnowThemselves) {
+  KjJudgment kj(Trace{init(0), fork(0, 1), fork(1, 2)});
+  EXPECT_FALSE(kj.knows(0, 0));
+  EXPECT_FALSE(kj.knows(1, 1));
+  EXPECT_FALSE(kj.knows(2, 2));
+}
+
+TEST(KjJudgment, GrandchildrenAreStrangers) {
+  // The root does NOT know its grandchild until it joins the child —
+  // the motivating gap of Sec. 2.3.
+  KjJudgment kj(Trace{init(0), fork(0, 1), fork(1, 2)});
+  EXPECT_FALSE(kj.knows(0, 2));
+}
+
+TEST(KjJudgment, KjLearnJoinMergesKnowledge) {
+  Trace t{init(0), fork(0, 1), fork(1, 2)};
+  KjJudgment kj(t);
+  EXPECT_FALSE(kj.knows(0, 2));
+  kj.push(join(0, 1));
+  EXPECT_TRUE(kj.knows(0, 2));  // learned 2 from 1
+}
+
+TEST(KjJudgment, LearnedKnowledgeFlowsToLaterChildren) {
+  KjJudgment kj(
+      Trace{init(0), fork(0, 1), fork(1, 2), join(0, 1), fork(0, 3)});
+  EXPECT_TRUE(kj.knows(3, 2));  // 3 inherits what 0 learned from 1
+}
+
+TEST(KjJudgment, Figure1RightEJoinCIsNotKnown) {
+  // a=0 forks b=1, d=3; b forks c=2; d forks e=4. KJ rejects join(e, c).
+  KjJudgment kj(
+      Trace{init(0), fork(0, 1), fork(1, 2), fork(0, 3), fork(3, 4)});
+  EXPECT_TRUE(kj.knows(4, 1));   // e knows b (inherited from d from a)
+  EXPECT_FALSE(kj.knows(4, 2));  // e does NOT know c — the KJ ✗ of Fig. 1
+}
+
+TEST(KjJudgment, KnowledgeOfListsExactly) {
+  KjJudgment kj(Trace{init(0), fork(0, 1), fork(0, 2), fork(1, 3)});
+  const std::vector<TaskId> k0 = kj.knowledge_of(0);
+  EXPECT_EQ(k0, (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(kj.knowledge_of(1), (std::vector<TaskId>{3}));
+  EXPECT_TRUE(kj.knowledge_of(42).empty());
+}
+
+TEST(KjJudgment, MonotoneUnderTraceExtension) {
+  const Trace t = random_kj_valid_trace(30, 20, /*seed=*/17);
+  KjJudgment partial;
+  KjJudgment full(t);
+  for (const Action& a : t.actions()) {
+    partial.push(a);
+    // Every fact in the prefix judgment must persist in the full one.
+    for (TaskId x = 0; x < 30; ++x) {
+      for (TaskId y = 0; y < 30; ++y) {
+        if (partial.knows(x, y)) {
+          EXPECT_TRUE(full.knows(x, y)) << "x=" << x << " y=" << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(KjJudgment, KnowledgeImpliesExistence) {
+  const Trace t = random_kj_valid_trace(40, 30, /*seed=*/23);
+  KjJudgment kj(t);
+  for (TaskId a = 0; a < 40; ++a) {
+    for (TaskId b = 0; b < 40; ++b) {
+      if (kj.knows(a, b)) {
+        EXPECT_TRUE(kj.knows_task(a));
+        EXPECT_TRUE(kj.knows_task(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tj::trace

@@ -1,0 +1,180 @@
+// Unit tests for the Known Joins verifier internals: KJ-VC vector clocks and
+// KJ-SS snapshot cells, including the KJ-learn hook and byte accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kj/kj_ss.hpp"
+#include "kj/kj_vc.hpp"
+
+namespace tj::kj {
+namespace {
+
+template <typename V>
+class KjVerifierTyped : public ::testing::Test {};
+
+using KjImpls = ::testing::Types<KjVcVerifier, KjSsVerifier>;
+TYPED_TEST_SUITE(KjVerifierTyped, KjImpls);
+
+TYPED_TEST(KjVerifierTyped, ParentKnowsChildOnly) {
+  TypeParam v;
+  auto* root = v.add_child(nullptr);
+  auto* child = v.add_child(root);
+  EXPECT_TRUE(v.permits_join(root, child));
+  EXPECT_FALSE(v.permits_join(child, root));
+  EXPECT_FALSE(v.permits_join(child, child));
+}
+
+TYPED_TEST(KjVerifierTyped, GrandchildIsAStranger) {
+  TypeParam v;
+  auto* root = v.add_child(nullptr);
+  auto* child = v.add_child(root);
+  auto* grand = v.add_child(child);
+  EXPECT_FALSE(v.permits_join(root, grand));
+  EXPECT_TRUE(v.permits_join(child, grand));
+}
+
+TYPED_TEST(KjVerifierTyped, JoinLearnsKnowledge) {
+  TypeParam v;
+  auto* root = v.add_child(nullptr);
+  auto* child = v.add_child(root);
+  auto* grand = v.add_child(child);
+  v.on_join_complete(root, child);
+  EXPECT_TRUE(v.permits_join(root, grand));
+}
+
+TYPED_TEST(KjVerifierTyped, InheritanceIsASnapshot) {
+  TypeParam v;
+  auto* root = v.add_child(nullptr);
+  auto* a = v.add_child(root);
+  auto* b = v.add_child(root);  // b inherits knowledge of a
+  auto* c = v.add_child(root);  // c inherits knowledge of a and b
+  EXPECT_TRUE(v.permits_join(b, a));
+  EXPECT_TRUE(v.permits_join(c, a));
+  EXPECT_TRUE(v.permits_join(c, b));
+  EXPECT_FALSE(v.permits_join(a, b));  // a existed before b
+  EXPECT_FALSE(v.permits_join(b, c));
+}
+
+TYPED_TEST(KjVerifierTyped, LearnedKnowledgePropagatesToLaterChildren) {
+  TypeParam v;
+  auto* root = v.add_child(nullptr);
+  auto* a = v.add_child(root);
+  auto* deep = v.add_child(a);
+  v.on_join_complete(root, a);
+  auto* late = v.add_child(root);
+  EXPECT_TRUE(v.permits_join(late, deep));
+}
+
+TYPED_TEST(KjVerifierTyped, TransitiveLearningThroughChains) {
+  TypeParam v;
+  auto* root = v.add_child(nullptr);
+  auto* a = v.add_child(root);
+  auto* b = v.add_child(a);
+  auto* c = v.add_child(b);
+  // a learns c from b; root learns b and c from a.
+  v.on_join_complete(a, b);
+  v.on_join_complete(root, a);
+  EXPECT_TRUE(v.permits_join(root, b));
+  EXPECT_TRUE(v.permits_join(root, c));
+}
+
+TYPED_TEST(KjVerifierTyped, ReleaseIsSafeWhileOthersHoldKnowledge) {
+  TypeParam v;
+  auto* root = v.add_child(nullptr);
+  auto* a = v.add_child(root);
+  auto* b = v.add_child(a);
+  v.on_join_complete(root, a);
+  v.release(a);  // a's record dies; root's learned knowledge must survive
+  EXPECT_TRUE(v.permits_join(root, b));
+  v.release(b);
+  v.release(root);
+  EXPECT_EQ(v.bytes_in_use(), 0u);
+}
+
+TEST(KjVc, ForkCostGrowsWithDepth) {
+  // O(n) fork: cloning the parent's clock. In a chain every ancestor has a
+  // clock component, so a deep fork copies more than a shallow one — the
+  // mechanism behind Table 1's O(n) fork time and O(n²) space.
+  KjVcVerifier v;
+  core::PolicyNode* cur = v.add_child(nullptr);
+  std::size_t before = v.bytes_in_use();
+  cur = v.add_child(cur);
+  const std::size_t first_delta = v.bytes_in_use() - before;
+  for (int i = 0; i < 200; ++i) cur = v.add_child(cur);
+  before = v.bytes_in_use();
+  v.add_child(cur);
+  const std::size_t late_delta = v.bytes_in_use() - before;
+  EXPECT_GT(late_delta, first_delta + 100 * sizeof(std::uint32_t));
+}
+
+TEST(KjVc, MergeResizesTheJoinerClock) {
+  // Joining a task with a wider clock widens the joiner's clock (KJ-learn).
+  KjVcVerifier v;
+  auto* root = v.add_child(nullptr);
+  core::PolicyNode* deep = root;
+  for (int i = 0; i < 20; ++i) deep = v.add_child(deep);
+  auto* tip = v.add_child(deep);
+  auto* leaf = v.add_child(tip);  // tip knows leaf
+  const std::size_t before = v.bytes_in_use();
+  v.on_join_complete(root, tip);  // root's 1-wide clock must widen
+  EXPECT_GT(v.bytes_in_use(), before);
+  // And the learned knowledge is queryable: root now knows what tip knew.
+  EXPECT_TRUE(v.permits_join(root, leaf));
+}
+
+TEST(KjSs, StructuralSharingKeepsSpaceNearLinear) {
+  // Snapshot sets share structure: forking n children of one parent costs
+  // an O(log n) path copy each, not an O(n) set copy. Verify sub-quadratic
+  // growth: doubling the child count far less than quadruples the bytes.
+  auto bytes_for = [](int n) {
+    KjSsVerifier v;
+    auto* root = v.add_child(nullptr);
+    std::vector<core::PolicyNode*> kids;
+    for (int i = 0; i < n; ++i) kids.push_back(v.add_child(root));
+    const std::size_t bytes = v.bytes_in_use();
+    for (auto* k : kids) v.release(k);
+    v.release(root);
+    return bytes;
+  };
+  const std::size_t b1 = bytes_for(2'000);
+  const std::size_t b2 = bytes_for(4'000);
+  EXPECT_LT(b2, b1 * 3) << "expected near-linear growth, got " << b1 << " -> "
+                        << b2;
+}
+
+TEST(KjSs, MassJoinTeardownIsCheapAndComplete) {
+  // A root that learns from 200k sequential joins: unions against its own
+  // snapshots must share structure, and release must return every byte.
+  KjSsVerifier v;
+  auto* root = v.add_child(nullptr);
+  std::vector<core::PolicyNode*> kids;
+  kids.reserve(200'000);
+  for (int i = 0; i < 200'000; ++i) {
+    auto* k = v.add_child(root);
+    v.on_join_complete(root, k);
+    kids.push_back(k);
+  }
+  // Spot-check the accumulated knowledge.
+  EXPECT_TRUE(v.permits_join(root, kids[0]));
+  EXPECT_TRUE(v.permits_join(root, kids[199'999]));
+  for (auto* k : kids) v.release(k);
+  v.release(root);
+  EXPECT_EQ(v.bytes_in_use(), 0u);
+}
+
+TEST(KjVc, SelfKnowledgeOnlyThroughLearning) {
+  // Literal Definition 4.1 semantics: a task can come to "know itself" only
+  // by joining a task that knows it.
+  KjVcVerifier v;
+  auto* root = v.add_child(nullptr);
+  auto* a = v.add_child(root);
+  auto* b = v.add_child(root);  // b knows a
+  EXPECT_FALSE(v.permits_join(a, a));
+  v.on_join_complete(a, b);  // a learns b's knowledge, which includes a
+  EXPECT_TRUE(v.permits_join(a, a));
+}
+
+}  // namespace
+}  // namespace tj::kj

@@ -1,0 +1,124 @@
+// Tests for the trace minimizer.
+
+#include <gtest/gtest.h>
+
+#include "trace/deadlock.hpp"
+#include "trace/minimize.hpp"
+#include "trace/trace_gen.hpp"
+#include "trace/validity.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(DropJoin, RemovesOnlyTheIndexedJoin) {
+  const Trace t{init(0), fork(0, 1), join(0, 1), join(0, 1)};
+  const Trace d = drop_join(t, 2);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.join_count(), 1u);
+  // Non-join indices are left alone.
+  EXPECT_EQ(drop_join(t, 1), t);
+}
+
+TEST(DropTask, RemovesTaskAndItsActions) {
+  const Trace t{init(0), fork(0, 1), fork(0, 2),
+                join(0, 1), join(2, 1), join(0, 2)};
+  const Trace d = drop_task(t, 1);
+  EXPECT_EQ(d, (Trace{init(0), fork(0, 2), join(0, 2)}));
+}
+
+TEST(DropTask, RemovesDescendantsToo) {
+  const Trace t{init(0), fork(0, 1), fork(1, 2), fork(2, 3), join(0, 3)};
+  const Trace d = drop_task(t, 1);
+  EXPECT_EQ(d, Trace{init(0)});
+}
+
+TEST(DropTask, KeepsStructuralValidity) {
+  const Trace t = random_structural_trace(30, 40, /*seed=*/3);
+  for (TaskId victim = 1; victim < 30; ++victim) {
+    EXPECT_TRUE(is_structurally_valid(drop_task(t, victim)))
+        << "victim=" << victim;
+  }
+}
+
+TEST(SpliceTask, ReparentsChildren) {
+  const Trace t{init(0), fork(0, 1), fork(1, 2), join(0, 2)};
+  const Trace s = splice_task(t, 1);
+  EXPECT_EQ(s, (Trace{init(0), fork(0, 2), join(0, 2)}));
+}
+
+TEST(SpliceTask, DropsJoinsMentioningVictim) {
+  const Trace t{init(0), fork(0, 1), fork(1, 2), join(0, 1), join(1, 2)};
+  const Trace s = splice_task(t, 1);
+  EXPECT_EQ(s, (Trace{init(0), fork(0, 2)}));
+}
+
+TEST(SpliceTask, RootIsUnsplicable) {
+  const Trace t{init(0), fork(0, 1)};
+  EXPECT_EQ(splice_task(t, 0), t);
+  EXPECT_EQ(splice_task(t, 99), t);  // unknown task: unchanged
+}
+
+TEST(SpliceTask, KeepsStructuralValidity) {
+  const Trace t = random_structural_trace(25, 25, /*seed=*/5);
+  for (TaskId victim = 1; victim < 25; ++victim) {
+    EXPECT_TRUE(is_structurally_valid(splice_task(t, victim)))
+        << "victim=" << victim;
+  }
+}
+
+TEST(Minimize, ShrinksDeadlockWitness) {
+  // Bury a 3-cycle in a big random trace; the minimizer should isolate it.
+  Trace t = random_tj_valid_trace(40, 60, /*seed=*/8);
+  const TaskId n = 40;
+  Trace buried = t;
+  buried.push_fork(0, n).push_fork(0, n + 1).push_fork(0, n + 2);
+  buried.push_join(n, n + 1).push_join(n + 1, n + 2).push_join(n + 2, n);
+  ASSERT_TRUE(contains_deadlock(buried));
+
+  const Trace min = minimize_trace(buried, [](const Trace& c) {
+    return contains_deadlock(c);
+  });
+  EXPECT_TRUE(contains_deadlock(min));
+  // A 3-cycle needs 3 tasks + the root and exactly 3 joins.
+  EXPECT_EQ(min.join_count(), 3u);
+  EXPECT_LE(min.tasks().size(), 4u);
+}
+
+TEST(Minimize, ShrinksTjKjGapWitnessToListing1Core) {
+  // Start from a large "root joins all descendants in arbitrary order" run
+  // and minimize the property "TJ-valid but not KJ-valid".
+  Trace t = chain_trace(12);
+  for (TaskId d = 11; d >= 1; --d) t.push_join(0, d);
+  auto keep = [](const Trace& c) {
+    return is_tj_valid(c) && !is_kj_valid(c);
+  };
+  ASSERT_TRUE(keep(t));
+  const Trace min = minimize_trace(t, keep);
+  EXPECT_TRUE(keep(min));
+  // The canonical witness: root, child, grandchild, one join.
+  EXPECT_EQ(min.tasks().size(), 3u);
+  EXPECT_EQ(min.join_count(), 1u);
+}
+
+TEST(Minimize, FixedPointWhenAlreadyMinimal) {
+  const Trace t{init(0), fork(0, 1), fork(1, 2), join(0, 2)};
+  auto keep = [](const Trace& c) {
+    return is_tj_valid(c) && !is_kj_valid(c);
+  };
+  ASSERT_TRUE(keep(t));
+  EXPECT_EQ(minimize_trace(t, keep), t);
+}
+
+TEST(Minimize, PreservesThePredicateAlways) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Trace t = random_structural_trace(25, 30, seed);
+    auto keep = [](const Trace& c) { return c.join_count() >= 3; };
+    if (!keep(t)) continue;
+    const Trace min = minimize_trace(t, keep);
+    EXPECT_TRUE(keep(min));
+    EXPECT_LE(min.size(), t.size());
+  }
+}
+
+}  // namespace
+}  // namespace tj::trace

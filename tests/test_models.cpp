@@ -1,0 +1,214 @@
+// The restricted programming models of Sec. 1 layered over the runtime:
+// Cilk spawn/sync (fully strict) and async-finish (terminally strict).
+// Their recorded traces must sit in the corresponding strictness classes and
+// be valid under BOTH policies — the models hierarchy the paper describes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+
+#include "models/async_finish.hpp"
+#include "models/cilk.hpp"
+#include "runtime/api.hpp"
+#include "trace/strictness.hpp"
+#include "trace/validity.hpp"
+
+namespace tj {
+namespace {
+
+runtime::Config recording(core::PolicyChoice p = core::PolicyChoice::TJ_SP) {
+  runtime::Config cfg;
+  cfg.policy = p;
+  cfg.record_trace = true;
+  return cfg;
+}
+
+TEST(CilkModel, SpawnSyncComputesFib) {
+  runtime::Runtime rt(recording());
+  std::function<long(int)> fib = [&fib](int n) -> long {
+    if (n < 2) return n;
+    models::SpawnGroup<long> g;
+    g.spawn([&fib, n] { return fib(n - 1); });
+    g.spawn([&fib, n] { return fib(n - 2); });
+    const auto results = g.sync();
+    return results[0] + results[1];
+  };
+  long out = 0;
+  rt.root([&] { out = fib(15); });
+  EXPECT_EQ(out, 610);
+}
+
+TEST(CilkModel, TracesAreFullyStrict) {
+  runtime::Runtime rt(recording());
+  std::function<void(int)> work = [&work](int depth) {
+    if (depth == 0) return;
+    models::SpawnScope scope;
+    scope.spawn([&work, depth] { work(depth - 1); });
+    scope.spawn([&work, depth] { work(depth - 1); });
+    scope.sync();
+  };
+  rt.root([&] { work(5); });
+  const trace::Trace t = rt.recorded_trace();
+  EXPECT_GT(t.join_count(), 0u);
+  EXPECT_EQ(trace::classify_strictness(t), trace::Strictness::FullyStrict);
+  // Fully strict programs satisfy KJ and TJ outright.
+  EXPECT_TRUE(trace::is_kj_valid(t));
+  EXPECT_TRUE(trace::is_tj_valid(t));
+  EXPECT_EQ(rt.gate_stats().policy_rejections, 0u);
+}
+
+TEST(CilkModel, ImplicitSyncOnScopeExit) {
+  runtime::Runtime rt(recording());
+  std::atomic<int> hits{0};
+  rt.root([&hits] {
+    {
+      models::SpawnScope scope;
+      for (int i = 0; i < 32; ++i) {
+        scope.spawn([&hits] { hits.fetch_add(1); });
+      }
+      // No explicit sync: the destructor must join the children.
+    }
+    EXPECT_EQ(hits.load(), 32);
+  });
+}
+
+TEST(CilkModel, SyncClearsAndCanRespawn) {
+  runtime::Runtime rt(recording());
+  rt.root([] {
+    models::SpawnScope scope;
+    scope.spawn([] {});
+    EXPECT_EQ(scope.spawned(), 1u);
+    scope.sync();
+    EXPECT_EQ(scope.spawned(), 0u);
+    scope.spawn([] {});
+    scope.sync();
+  });
+}
+
+TEST(CilkModel, NeverViolatesEitherPolicyOnline) {
+  for (auto p : {core::PolicyChoice::KJ_VC, core::PolicyChoice::KJ_SS,
+                 core::PolicyChoice::TJ_SP}) {
+    runtime::Runtime rt({.policy = p});
+    std::function<void(int)> work = [&work](int depth) {
+      if (depth == 0) return;
+      models::SpawnScope scope;
+      scope.spawn([&work, depth] { work(depth - 1); });
+      scope.spawn([&work, depth] { work(depth - 1); });
+      scope.sync();
+    };
+    rt.root([&] { work(6); });
+    EXPECT_EQ(rt.gate_stats().policy_rejections, 0u) << core::to_string(p);
+  }
+}
+
+TEST(AsyncFinishModel, FinishAwaitsTransitiveAsyncs) {
+  runtime::Runtime rt(recording());
+  std::atomic<int> hits{0};
+  rt.root([&hits] {
+    models::finish([&hits] {
+      std::function<void(int)> tree = [&hits, &tree](int depth) {
+        hits.fetch_add(1);
+        if (depth == 0) return;
+        models::af_async([&tree, depth] { tree(depth - 1); });
+        models::af_async([&tree, depth] { tree(depth - 1); });
+      };
+      tree(5);
+    });
+    EXPECT_EQ(hits.load(), (1 << 6) - 1);
+  });
+}
+
+TEST(AsyncFinishModel, TracesAreTerminallyStrict) {
+  runtime::Runtime rt(recording());
+  rt.root([] {
+    models::finish([] {
+      std::function<void(int)> tree = [&tree](int depth) {
+        if (depth == 0) return;
+        models::af_async([&tree, depth] { tree(depth - 1); });
+        models::af_async([&tree, depth] { tree(depth - 1); });
+      };
+      tree(4);
+    });
+  });
+  const trace::Trace t = rt.recorded_trace();
+  EXPECT_GT(t.join_count(), 0u);
+  // The finish owner joins descendants (not only children): terminally
+  // strict but not fully strict.
+  const auto s = trace::classify_strictness(t);
+  EXPECT_EQ(s, trace::Strictness::TerminallyStrict);
+  EXPECT_TRUE(trace::is_tj_valid(t)) << "TJ admits every descendant join";
+}
+
+TEST(AsyncFinishModel, NestedFinishBlocksScopeIndependently) {
+  runtime::Runtime rt(recording());
+  std::atomic<int> stage{0};
+  rt.root([&stage] {
+    models::finish([&stage] {
+      models::af_async([&stage] {
+        models::finish([&stage] {
+          models::af_async([&stage] { stage.fetch_add(1); });
+        });
+        // Inner finish done: its async completed.
+        EXPECT_EQ(stage.load(), 1);
+        stage.fetch_add(10);
+      });
+    });
+    EXPECT_EQ(stage.load(), 11);
+  });
+}
+
+TEST(AsyncFinishModel, AsyncOutsideFinishThrows) {
+  runtime::Runtime rt(recording());
+  rt.root([] {
+    EXPECT_THROW(models::af_async([] {}), runtime::UsageError);
+  });
+}
+
+TEST(AsyncFinishModel, NeverViolatesTjOnline) {
+  runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  rt.root([] {
+    models::finish([] {
+      std::function<void(int)> tree = [&tree](int depth) {
+        if (depth == 0) return;
+        for (int i = 0; i < 3; ++i) {
+          models::af_async([&tree, depth] { tree(depth - 1); });
+        }
+      };
+      tree(4);
+    });
+  });
+  EXPECT_EQ(rt.gate_stats().policy_rejections, 0u);
+}
+
+TEST(Strictness, Classification) {
+  using trace::Strictness;
+  using namespace trace;
+  // No joins: fully strict.
+  EXPECT_EQ(classify_strictness(Trace{init(0), fork(0, 1)}),
+            Strictness::FullyStrict);
+  // Parent joins child: fully strict.
+  EXPECT_EQ(classify_strictness(Trace{init(0), fork(0, 1), join(0, 1)}),
+            Strictness::FullyStrict);
+  // Grandparent joins grandchild: terminally strict.
+  EXPECT_EQ(classify_strictness(
+                Trace{init(0), fork(0, 1), fork(1, 2), join(0, 2)}),
+            Strictness::TerminallyStrict);
+  // Sibling join: arbitrary.
+  EXPECT_EQ(classify_strictness(
+                Trace{init(0), fork(0, 1), fork(0, 2), join(2, 1)}),
+            Strictness::Arbitrary);
+  // Child joins parent (upward): arbitrary.
+  EXPECT_EQ(classify_strictness(Trace{init(0), fork(0, 1), join(1, 0)}),
+            Strictness::Arbitrary);
+}
+
+TEST(Strictness, Names) {
+  EXPECT_EQ(trace::to_string(trace::Strictness::FullyStrict), "fully-strict");
+  EXPECT_EQ(trace::to_string(trace::Strictness::TerminallyStrict),
+            "terminally-strict");
+  EXPECT_EQ(trace::to_string(trace::Strictness::Arbitrary), "arbitrary");
+}
+
+}  // namespace
+}  // namespace tj

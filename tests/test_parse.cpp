@@ -1,0 +1,74 @@
+// Tests for the textual trace parser.
+
+#include <gtest/gtest.h>
+
+#include "trace/parse.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(Parse, EmptyInput) {
+  EXPECT_TRUE(parse_trace("").empty());
+  EXPECT_TRUE(parse_trace("   \n\t ").empty());
+  EXPECT_TRUE(parse_trace("[]").empty());
+}
+
+TEST(Parse, SingleActions) {
+  EXPECT_EQ(parse_trace("init(0)"), Trace{init(0)});
+  EXPECT_EQ(parse_trace("fork(1,2)"), Trace{fork(1, 2)});
+  EXPECT_EQ(parse_trace("join(3,4)"), Trace{join(3, 4)});
+}
+
+TEST(Parse, SemicolonAndNewlineSeparators) {
+  const Trace expected{init(0), fork(0, 1), join(0, 1)};
+  EXPECT_EQ(parse_trace("init(0); fork(0,1); join(0,1)"), expected);
+  EXPECT_EQ(parse_trace("init(0)\nfork(0,1)\njoin(0,1)"), expected);
+  EXPECT_EQ(parse_trace("init(0);fork(0,1);;join(0,1);"), expected);
+}
+
+TEST(Parse, WhitespaceTolerance) {
+  EXPECT_EQ(parse_trace("  fork ( 1 , 2 )  "), Trace{fork(1, 2)});
+}
+
+TEST(Parse, Comments) {
+  const Trace t = parse_trace(
+      "# a divide-and-conquer run\n"
+      "init(0)   # the root\n"
+      "fork(0,1) # first child\n");
+  EXPECT_EQ(t, (Trace{init(0), fork(0, 1)}));
+}
+
+TEST(Parse, RoundTripsWithToString) {
+  const Trace t = random_tj_valid_trace(30, 40, /*seed=*/12);
+  EXPECT_EQ(parse_trace(t.to_string()), t);
+}
+
+TEST(Parse, LargeTaskIds) {
+  const Trace t = parse_trace("fork(4000000000,4294967295)");
+  EXPECT_EQ(t[0].actor, 4000000000u);
+  EXPECT_EQ(t[0].target, 4294967295u);
+}
+
+TEST(Parse, Errors) {
+  EXPECT_THROW(parse_trace("frobnicate(1,2)"), ParseError);
+  EXPECT_THROW(parse_trace("init(0) garbage"), ParseError);
+  EXPECT_THROW(parse_trace("fork(1)"), ParseError);
+  EXPECT_THROW(parse_trace("fork(1,2"), ParseError);
+  EXPECT_THROW(parse_trace("fork(,2)"), ParseError);
+  EXPECT_THROW(parse_trace("init(99999999999)"), ParseError);
+  EXPECT_THROW(parse_trace("join(1,2) ]extra"), ParseError);
+  EXPECT_THROW(parse_trace("(0)"), ParseError);
+}
+
+TEST(Parse, ErrorCarriesOffset) {
+  try {
+    parse_trace("init(0); bogus(1,2)");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.offset(), 9u);
+  }
+}
+
+}  // namespace
+}  // namespace tj::trace

@@ -1,0 +1,148 @@
+// Unit and property tests for the persistent bitmap trie behind KJ-SS.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "kj/persistent_id_set.hpp"
+
+namespace tj::kj {
+namespace {
+
+core::PolicyAllocator g_alloc;
+
+TEST(PersistentIdSet, EmptySet) {
+  const PersistentIdSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(123456));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(PersistentIdSet, InsertAndContains) {
+  PersistentIdSet s;
+  s = s.insert(5, &g_alloc);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_FALSE(s.contains(6));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(PersistentIdSet, InsertIsPersistent) {
+  PersistentIdSet v1;
+  v1 = v1.insert(1, &g_alloc);
+  const PersistentIdSet v2 = v1.insert(2, &g_alloc);
+  EXPECT_TRUE(v2.contains(1));
+  EXPECT_TRUE(v2.contains(2));
+  EXPECT_TRUE(v1.contains(1));
+  EXPECT_FALSE(v1.contains(2)) << "older version must be unaffected";
+}
+
+TEST(PersistentIdSet, DuplicateInsertIsIdempotent) {
+  PersistentIdSet s;
+  s = s.insert(42, &g_alloc);
+  const PersistentIdSet t = s.insert(42, &g_alloc);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.contains(42));
+}
+
+TEST(PersistentIdSet, GrowsAcrossLeafBoundaries) {
+  PersistentIdSet s;
+  const std::vector<std::uint32_t> ids{0,    63,    64,     65,    1023,
+                                       1024, 99999, 100000, 1 << 20};
+  for (std::uint32_t id : ids) s = s.insert(id, &g_alloc);
+  for (std::uint32_t id : ids) {
+    EXPECT_TRUE(s.contains(id)) << id;
+  }
+  EXPECT_FALSE(s.contains(62));
+  EXPECT_FALSE(s.contains(66));
+  EXPECT_FALSE(s.contains((1 << 20) - 1));
+  EXPECT_EQ(s.size(), ids.size());
+}
+
+TEST(PersistentIdSet, UnionBasics) {
+  PersistentIdSet a;
+  PersistentIdSet b;
+  a = a.insert(1, &g_alloc).insert(100, &g_alloc);
+  b = b.insert(2, &g_alloc).insert(100000, &g_alloc);
+  const PersistentIdSet u = PersistentIdSet::union_of(a, b, &g_alloc);
+  for (std::uint32_t id : {1u, 2u, 100u, 100000u}) {
+    EXPECT_TRUE(u.contains(id)) << id;
+  }
+  EXPECT_EQ(u.size(), 4u);
+  // Inputs unchanged.
+  EXPECT_FALSE(a.contains(2));
+  EXPECT_FALSE(b.contains(1));
+}
+
+TEST(PersistentIdSet, UnionWithEmpty) {
+  PersistentIdSet a;
+  a = a.insert(7, &g_alloc);
+  const PersistentIdSet e;
+  EXPECT_EQ(PersistentIdSet::union_of(a, e, &g_alloc).size(), 1u);
+  EXPECT_EQ(PersistentIdSet::union_of(e, a, &g_alloc).size(), 1u);
+  EXPECT_TRUE(PersistentIdSet::union_of(e, e, &g_alloc).empty());
+}
+
+TEST(PersistentIdSet, UnionOfSnapshotIsCheapInBytes) {
+  // Merging a set with its own earlier snapshot should allocate (almost)
+  // nothing: every subtree is shared.
+  core::PolicyAllocator alloc;
+  PersistentIdSet big;
+  for (std::uint32_t i = 0; i < 10'000; ++i) big = big.insert(i, &alloc);
+  const PersistentIdSet snapshot = big;  // O(1)
+  for (std::uint32_t i = 10'000; i < 10'100; ++i) big = big.insert(i, &alloc);
+  const std::size_t before = alloc.total_allocated();
+  const PersistentIdSet u = PersistentIdSet::union_of(big, snapshot, &alloc);
+  EXPECT_EQ(alloc.total_allocated(), before) << "subset union must not allocate";
+  EXPECT_EQ(u.size(), 10'100u);
+}
+
+TEST(PersistentIdSet, MatchesStdSetOnRandomWorkload) {
+  std::mt19937_64 rng(99);
+  PersistentIdSet s;
+  std::set<std::uint32_t> ref;
+  std::vector<PersistentIdSet> versions;
+  std::vector<std::set<std::uint32_t>> ref_versions;
+  for (int step = 0; step < 3'000; ++step) {
+    const auto id = static_cast<std::uint32_t>(rng() % 50'000);
+    s = s.insert(id, &g_alloc);
+    ref.insert(id);
+    if (step % 500 == 0) {
+      versions.push_back(s);
+      ref_versions.push_back(ref);
+    }
+  }
+  EXPECT_EQ(s.size(), ref.size());
+  std::uniform_int_distribution<std::uint32_t> probe(0, 60'000);
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint32_t id = probe(rng);
+    EXPECT_EQ(s.contains(id), ref.contains(id)) << id;
+  }
+  // Unions of random versions match reference unions.
+  for (std::size_t i = 0; i + 1 < versions.size(); ++i) {
+    const PersistentIdSet u =
+        PersistentIdSet::union_of(versions[i], versions[i + 1], &g_alloc);
+    std::set<std::uint32_t> ru = ref_versions[i];
+    ru.insert(ref_versions[i + 1].begin(), ref_versions[i + 1].end());
+    EXPECT_EQ(u.size(), ru.size());
+    for (std::uint32_t id : ru) {
+      EXPECT_TRUE(u.contains(id)) << id;
+    }
+  }
+}
+
+TEST(PersistentIdSet, ByteAccountingReturnsToZero) {
+  core::PolicyAllocator alloc;
+  {
+    PersistentIdSet s;
+    for (std::uint32_t i = 0; i < 5'000; ++i) s = s.insert(i * 3, &alloc);
+    EXPECT_GT(alloc.live_bytes(), 0u);
+  }
+  EXPECT_EQ(alloc.live_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tj::kj

@@ -1,0 +1,210 @@
+// Runtime fundamentals: async/get semantics, result types, exceptions,
+// nesting, usage errors, and scale.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/api.hpp"
+
+namespace tj::runtime {
+namespace {
+
+Config tj_cfg() { return Config{.policy = core::PolicyChoice::TJ_SP}; }
+
+TEST(RuntimeBasic, RootReturnsValue) {
+  Runtime rt(tj_cfg());
+  EXPECT_EQ(rt.root([] { return 7; }), 7);
+}
+
+TEST(RuntimeBasic, RootVoid) {
+  Runtime rt(tj_cfg());
+  int side = 0;
+  rt.root([&side] { side = 1; });
+  EXPECT_EQ(side, 1);
+}
+
+TEST(RuntimeBasic, AsyncReturnsResult) {
+  Runtime rt(tj_cfg());
+  const int v = rt.root([] {
+    auto f = async([] { return 6 * 7; });
+    return f.get();
+  });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(RuntimeBasic, VoidFuture) {
+  Runtime rt(tj_cfg());
+  std::atomic<int> side{0};
+  rt.root([&side] {
+    auto f = async([&side] { side.store(5); });
+    f.join();
+    EXPECT_EQ(side.load(), 5);
+  });
+}
+
+TEST(RuntimeBasic, MoveOnlyResultTypesViaSharedState) {
+  Runtime rt(tj_cfg());
+  const std::string v = rt.root([] {
+    auto f = async([] { return std::string(1000, 'x'); });
+    return f.get();
+  });
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+TEST(RuntimeBasic, FutureIsCopyableAndJoinableTwice) {
+  Runtime rt(tj_cfg());
+  rt.root([] {
+    auto f = async([] { return 3; });
+    Future<int> g = f;  // copy
+    EXPECT_EQ(f.get() + g.get() + f.get(), 9);
+  });
+}
+
+TEST(RuntimeBasic, TaskExceptionRethrownAtGet) {
+  Runtime rt(tj_cfg());
+  rt.root([] {
+    auto f = async([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW((void)f.get(), std::runtime_error);
+    // A second get rethrows again.
+    EXPECT_THROW((void)f.get(), std::runtime_error);
+  });
+}
+
+TEST(RuntimeBasic, RootExceptionPropagates) {
+  Runtime rt(tj_cfg());
+  EXPECT_THROW(rt.root([]() -> int { throw std::logic_error("root"); }),
+               std::logic_error);
+}
+
+TEST(RuntimeBasic, NestedAsyncChains) {
+  Runtime rt(tj_cfg());
+  const int v = rt.root([] {
+    auto outer = async([] {
+      auto inner = async([] { return 10; });
+      return inner.get() + 1;
+    });
+    return outer.get() + 1;
+  });
+  EXPECT_EQ(v, 12);
+}
+
+TEST(RuntimeBasic, DeepRecursiveForkJoin) {
+  Runtime rt(tj_cfg());
+  // fib(14) with a task per call: exercises deep nesting under TJ.
+  std::function<int(int)> fib = [&fib](int n) -> int {
+    if (n < 2) return n;
+    auto a = async([&fib, n] { return fib(n - 1); });
+    auto b = async([&fib, n] { return fib(n - 2); });
+    return a.get() + b.get();
+  };
+  EXPECT_EQ(rt.root([&] { return fib(14); }), 377);
+}
+
+TEST(RuntimeBasic, ManySiblingsJoinedInOrder) {
+  Runtime rt(tj_cfg());
+  const long total = rt.root([] {
+    std::vector<Future<long>> fs;
+    for (long i = 0; i < 2000; ++i) {
+      fs.push_back(async([i] { return i; }));
+    }
+    long acc = 0;
+    for (const auto& f : fs) acc += f.get();
+    return acc;
+  });
+  EXPECT_EQ(total, 2000L * 1999 / 2);
+}
+
+TEST(RuntimeBasic, ReadyBecomesTrueAfterJoin) {
+  Runtime rt(tj_cfg());
+  rt.root([] {
+    auto f = async([] { return 1; });
+    f.join();
+    EXPECT_TRUE(f.ready());
+  });
+}
+
+TEST(RuntimeBasic, EmptyFutureThrowsUsageError) {
+  Future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_THROW((void)f.get(), UsageError);
+  EXPECT_THROW((void)f.ready(), UsageError);
+}
+
+TEST(RuntimeBasic, AsyncOutsideTaskContextThrows) {
+  EXPECT_THROW((void)async([] { return 1; }), UsageError);
+}
+
+TEST(RuntimeBasic, GetOutsideTaskContextThrows) {
+  Runtime rt(tj_cfg());
+  Future<int> escaped;
+  rt.root([&escaped] { escaped = async([] { return 1; }); });
+  // The task finished (root quiesces), but joining from outside any task
+  // context is a usage error.
+  EXPECT_THROW((void)escaped.get(), UsageError);
+}
+
+TEST(RuntimeBasic, SecondRootThrows) {
+  Runtime rt(tj_cfg());
+  rt.root([] {});
+  EXPECT_THROW(rt.root([] {}), UsageError);
+}
+
+TEST(RuntimeBasic, NestedRootThrows) {
+  Runtime rt1(tj_cfg());
+  Runtime rt2(tj_cfg());
+  rt1.root([&rt2] { EXPECT_THROW(rt2.root([] {}), UsageError); });
+}
+
+TEST(RuntimeBasic, TasksCreatedCountsRootAndChildren) {
+  Runtime rt(tj_cfg());
+  rt.root([] {
+    auto a = async([] {});
+    auto b = async([] {});
+    a.join();
+    b.join();
+  });
+  EXPECT_EQ(rt.tasks_created(), 3u);
+}
+
+TEST(RuntimeBasic, RootQuiescesStragglers) {
+  // A task that is never joined still completes before root() returns.
+  Runtime rt(tj_cfg());
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  rt.root([flag] {
+    (void)async([flag] { flag->store(true); });
+  });
+  EXPECT_TRUE(flag->load());
+}
+
+TEST(RuntimeBasic, WorksWithSingleWorker) {
+  Config cfg = tj_cfg();
+  cfg.workers = 1;
+  Runtime rt(cfg);
+  const int v = rt.root([] {
+    auto a = async([] { return 1; });
+    auto b = async([] {
+      auto c = async([] { return 2; });
+      return c.get() + 4;
+    });
+    return a.get() + b.get();
+  });
+  EXPECT_EQ(v, 7);
+}
+
+TEST(RuntimeBasic, NoPolicyBaselineStillRuns) {
+  Runtime rt({.policy = core::PolicyChoice::None});
+  EXPECT_EQ(rt.root([] {
+    auto f = async([] { return 5; });
+    return f.get();
+  }),
+            5);
+  EXPECT_EQ(rt.policy_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tj::runtime

@@ -1,0 +1,119 @@
+// Section 4: TJ subsumes KJ. Theorem 4.3 (a ≺ b implies a < b on KJ-valid
+// traces), Corollary 4.4 (KJ-valid traces are TJ-valid), and the strictness
+// witnesses from Sections 2.3/2.4 and Figure 1.
+
+#include <gtest/gtest.h>
+
+#include "trace/kj_judgment.hpp"
+#include "trace/tj_judgment.hpp"
+#include "trace/trace_gen.hpp"
+#include "trace/validity.hpp"
+
+namespace tj::trace {
+namespace {
+
+class Subsumption : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Subsumption, KnowledgeImpliesTjPermission) {
+  // Theorem 4.3 on random KJ-valid traces.
+  const Trace t = random_kj_valid_trace(40, 60, GetParam(), 0.4);
+  ASSERT_TRUE(is_kj_valid(t));
+  const KjJudgment kj(t);
+  const TjJudgment tj(t);
+  for (TaskId a = 0; a < 40; ++a) {
+    for (TaskId b = 0; b < 40; ++b) {
+      if (kj.knows(a, b)) {
+        EXPECT_TRUE(tj.less(a, b)) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_P(Subsumption, KjValidTracesAreTjValid) {
+  // Corollary 4.4.
+  const Trace t = random_kj_valid_trace(40, 60, GetParam(), 0.4);
+  ASSERT_TRUE(is_kj_valid(t));
+  EXPECT_TRUE(is_tj_valid(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Subsumption,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+TEST(SubsumptionStrictness, Figure1RightIsTjOnly) {
+  // a=0, b=1, c=2, d=3, e=4; e joins c without joining b first.
+  const Trace t{init(0),    fork(0, 1), fork(1, 2),
+                fork(0, 3), fork(3, 4), join(4, 2)};
+  EXPECT_TRUE(is_tj_valid(t));
+  EXPECT_FALSE(is_kj_valid(t));
+}
+
+TEST(SubsumptionStrictness, Listing1UnorderedDescendantJoin) {
+  // main=0 forks 1; 1 forks 2 and 3 (the divide-and-conquer). A run where
+  // main polls a grandchild from the queue before its parent:
+  const Trace t{init(0),    fork(0, 1), fork(1, 2), fork(1, 3),
+                join(0, 2), join(0, 1), join(0, 3)};
+  EXPECT_TRUE(is_tj_valid(t));
+  EXPECT_FALSE(is_kj_valid(t));
+  // The KJ-friendly ordering of the same joins is accepted by both.
+  const Trace ordered{init(0),    fork(0, 1), fork(1, 2), fork(1, 3),
+                      join(0, 1), join(0, 2), join(0, 3)};
+  EXPECT_TRUE(is_kj_valid(ordered));
+  EXPECT_TRUE(is_tj_valid(ordered));
+}
+
+TEST(SubsumptionStrictness, Listing2MapReduceAlwaysViolatesKj) {
+  // main=0; spawner=1 (async mapper spawning); mappers=2,3 (children of 1);
+  // reducer=4 (child of 0, forked after 1) joins the mappers directly.
+  const Trace t{init(0),    fork(0, 1), fork(1, 2), fork(1, 3), fork(0, 4),
+                join(4, 2), join(4, 3), join(0, 4), join(0, 1)};
+  EXPECT_TRUE(is_tj_valid(t));
+  EXPECT_FALSE(is_kj_valid(t));
+}
+
+TEST(SubsumptionStrictness, ArbitraryDescendantJoinIsTjValid) {
+  // Sec. 7.2: a task may join ANY descendant regardless of join order.
+  Trace t = chain_trace(8);
+  for (TaskId d = 7; d >= 1; --d) t.push_join(0, d);  // deepest first
+  EXPECT_TRUE(is_tj_valid(t));
+  EXPECT_FALSE(is_kj_valid(t));
+}
+
+TEST(SubsumptionStrictness, TjPermissionIsStrictlyLarger) {
+  // On the Figure-1 fork tree, count the permitted pairs under each policy.
+  const Trace t{init(0), fork(0, 1), fork(1, 2), fork(0, 3), fork(3, 4)};
+  const TjJudgment tj(t);
+  const KjJudgment kj(t);
+  int tj_pairs = 0;
+  int kj_pairs = 0;
+  for (TaskId a = 0; a < 5; ++a) {
+    for (TaskId b = 0; b < 5; ++b) {
+      tj_pairs += tj.less(a, b);
+      kj_pairs += kj.knows(a, b);
+      if (kj.knows(a, b)) EXPECT_TRUE(tj.less(a, b));
+    }
+  }
+  EXPECT_GT(tj_pairs, kj_pairs);
+  EXPECT_EQ(tj_pairs, 10);  // total order over 5 tasks: C(5,2)
+}
+
+TEST(SubsumptionStrictness, TjIsMaximallyPermissive) {
+  // Sec. 4's closing argument: < is a total order, so adding any pair (b,a)
+  // with a < b would let a trace join both ways — a 2-cycle deadlock.
+  const Trace t{init(0), fork(0, 1), fork(0, 2)};
+  const TjJudgment tj(t);
+  // For every ordered pair exactly one direction is permitted...
+  for (TaskId a = 0; a < 3; ++a) {
+    for (TaskId b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_NE(tj.less(a, b), tj.less(b, a));
+    }
+  }
+  // ...and joining along permitted edges in both orders cannot cycle,
+  // while adding the reverse pair would (2 < 1 permitted; 1 < 2 would
+  // close join(2,1);join(1,2)).
+  EXPECT_TRUE(tj.less(2, 1));
+  EXPECT_FALSE(tj.less(1, 2));
+}
+
+}  // namespace
+}  // namespace tj::trace

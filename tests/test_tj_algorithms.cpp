@@ -1,0 +1,204 @@
+// Unit tests for the three TJ verifier algorithms' internals: TJ-GT tree
+// fields (Algorithm 2), TJ-JP jump tables, TJ-SP spawn paths (Algorithm 3),
+// byte accounting, and lock-free concurrent use per the Sec. 5.1 contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/tj_gt.hpp"
+#include "core/tj_jp.hpp"
+#include "core/tj_sp.hpp"
+
+namespace tj::core {
+namespace {
+
+TEST(TjGt, NodeFieldsPerAlgorithm2) {
+  TjGtVerifier v;
+  auto* root = static_cast<TjGtVerifier::Node*>(v.add_child(nullptr));
+  EXPECT_EQ(root->parent, nullptr);
+  EXPECT_EQ(root->depth, 0u);
+  EXPECT_EQ(root->children, 0u);
+
+  auto* c0 = static_cast<TjGtVerifier::Node*>(v.add_child(root));
+  auto* c1 = static_cast<TjGtVerifier::Node*>(v.add_child(root));
+  EXPECT_EQ(root->children, 2u);
+  EXPECT_EQ(c0->ix, 0u);
+  EXPECT_EQ(c1->ix, 1u);
+  EXPECT_EQ(c0->depth, 1u);
+  EXPECT_EQ(c0->parent, root);
+}
+
+TEST(TjGt, LessCases) {
+  TjGtVerifier v;
+  auto* a = v.add_child(nullptr);
+  auto* b = v.add_child(a);   // first child
+  auto* c = v.add_child(b);   // grandchild via b
+  auto* d = v.add_child(a);   // second child
+  // anc+ / dec*
+  EXPECT_TRUE(v.permits_join(a, b));
+  EXPECT_TRUE(v.permits_join(a, c));
+  EXPECT_FALSE(v.permits_join(c, a));
+  EXPECT_FALSE(v.permits_join(b, a));
+  // sib: the later-forked subtree precedes
+  EXPECT_TRUE(v.permits_join(d, b));
+  EXPECT_TRUE(v.permits_join(d, c));
+  EXPECT_FALSE(v.permits_join(b, d));
+  EXPECT_FALSE(v.permits_join(c, d));
+  // irreflexive
+  EXPECT_FALSE(v.permits_join(b, b));
+}
+
+TEST(TjGt, DeepChainBothDirections) {
+  TjGtVerifier v;
+  std::vector<PolicyNode*> chain{v.add_child(nullptr)};
+  for (int i = 0; i < 200; ++i) chain.push_back(v.add_child(chain.back()));
+  EXPECT_TRUE(v.permits_join(chain.front(), chain.back()));
+  EXPECT_FALSE(v.permits_join(chain.back(), chain.front()));
+  EXPECT_TRUE(v.permits_join(chain[50], chain[180]));
+  EXPECT_FALSE(v.permits_join(chain[180], chain[50]));
+}
+
+TEST(TjGt, BytesGrowLinearly) {
+  TjGtVerifier v;
+  auto* root = v.add_child(nullptr);
+  const std::size_t one = v.bytes_in_use();
+  EXPECT_GT(one, 0u);
+  for (int i = 0; i < 99; ++i) v.add_child(root);
+  EXPECT_EQ(v.bytes_in_use(), 100 * one);  // constant per task (Table 1)
+}
+
+TEST(TjJp, JumpTableShape) {
+  TjJpVerifier v;
+  std::vector<PolicyNode*> chain{v.add_child(nullptr)};
+  for (int i = 0; i < 16; ++i) chain.push_back(v.add_child(chain.back()));
+  const auto* n16 = static_cast<const TjJpVerifier::Node*>(chain[16]);
+  EXPECT_EQ(n16->depth, 16u);
+  ASSERT_EQ(n16->jump_count, 5u);  // ⌊log2(16)⌋+1
+  EXPECT_EQ(n16->jumps[0], chain[15]);
+  EXPECT_EQ(n16->jumps[1], chain[14]);
+  EXPECT_EQ(n16->jumps[2], chain[12]);
+  EXPECT_EQ(n16->jumps[3], chain[8]);
+  EXPECT_EQ(n16->jumps[4], chain[0]);
+}
+
+TEST(TjJp, LessOnDeepChain) {
+  TjJpVerifier v;
+  std::vector<PolicyNode*> chain{v.add_child(nullptr)};
+  for (int i = 0; i < 1000; ++i) chain.push_back(v.add_child(chain.back()));
+  EXPECT_TRUE(v.permits_join(chain[0], chain[1000]));
+  EXPECT_TRUE(v.permits_join(chain[123], chain[777]));
+  EXPECT_FALSE(v.permits_join(chain[777], chain[123]));
+  EXPECT_FALSE(v.permits_join(chain[42], chain[42]));
+}
+
+TEST(TjJp, LessAcrossSubtrees) {
+  TjJpVerifier v;
+  auto* root = v.add_child(nullptr);
+  // Two subtrees of different depths under the root.
+  auto* s0 = v.add_child(root);
+  PolicyNode* deep = s0;
+  for (int i = 0; i < 40; ++i) deep = v.add_child(deep);
+  auto* s1 = v.add_child(root);
+  PolicyNode* shallow = v.add_child(s1);
+  // s1 forked after s0: the s1 subtree precedes all of s0's.
+  EXPECT_TRUE(v.permits_join(shallow, deep));
+  EXPECT_FALSE(v.permits_join(deep, shallow));
+}
+
+TEST(TjSp, PathsPerAlgorithm3) {
+  TjSpVerifier v;
+  auto* root = static_cast<TjSpVerifier::Node*>(v.add_child(nullptr));
+  EXPECT_TRUE(root->path.empty());
+  auto* c0 = static_cast<TjSpVerifier::Node*>(v.add_child(root));
+  auto* c1 = static_cast<TjSpVerifier::Node*>(v.add_child(root));
+  auto* g = static_cast<TjSpVerifier::Node*>(v.add_child(c1));
+  EXPECT_EQ(c0->path, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(c1->path, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(g->path, (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(TjSp, LessPrefixAndDivergence) {
+  TjSpVerifier v;
+  auto* root = v.add_child(nullptr);
+  auto* c0 = v.add_child(root);
+  auto* c1 = v.add_child(root);
+  auto* g = v.add_child(c1);
+  EXPECT_TRUE(v.permits_join(root, g));   // shorter path is ancestor (anc+)
+  EXPECT_FALSE(v.permits_join(g, root));  // dec*
+  EXPECT_TRUE(v.permits_join(c1, g));
+  EXPECT_TRUE(v.permits_join(g, c0));     // diverge at index 0: 1 > 0
+  EXPECT_FALSE(v.permits_join(c0, g));
+  EXPECT_FALSE(v.permits_join(g, g));
+}
+
+TEST(TjSp, ReleaseReturnsBytes) {
+  TjSpVerifier v;
+  auto* root = v.add_child(nullptr);
+  auto* child = v.add_child(root);
+  const std::size_t with_two = v.bytes_in_use();
+  v.release(child);
+  EXPECT_LT(v.bytes_in_use(), with_two);
+  v.release(root);
+  EXPECT_EQ(v.bytes_in_use(), 0u);
+}
+
+TEST(TjSp, BytesGrowWithDepth) {
+  // O(h) state per task: a deep task costs more than a shallow one (Table 1).
+  TjSpVerifier v;
+  auto* root = v.add_child(nullptr);
+  PolicyNode* deep = root;
+  const std::size_t before = v.bytes_in_use();
+  deep = v.add_child(deep);
+  const std::size_t d1 = v.bytes_in_use() - before;
+  for (int i = 0; i < 62; ++i) deep = v.add_child(deep);
+  const std::size_t before_last = v.bytes_in_use();
+  v.add_child(deep);
+  const std::size_t d64 = v.bytes_in_use() - before_last;
+  EXPECT_GT(d64, d1);
+}
+
+template <typename V>
+void concurrent_contract_smoke() {
+  // Sec. 5.1: add_child and Less may be called concurrently, as long as no
+  // two add_child calls share a parent. Each thread owns a private subtree
+  // under its own child of the root and concurrently queries across trees.
+  V v;
+  auto* root = v.add_child(nullptr);
+  constexpr int kThreads = 8;
+  std::vector<PolicyNode*> bases;
+  for (int i = 0; i < kThreads; ++i) bases.push_back(v.add_child(root));
+
+  std::atomic<PolicyNode*> latest[kThreads];
+  for (int i = 0; i < kThreads; ++i) latest[i].store(bases[i]);
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      PolicyNode* mine = bases[static_cast<std::size_t>(i)];
+      for (int step = 0; step < 300; ++step) {
+        mine = v.add_child(mine);
+        latest[i].store(mine, std::memory_order_release);
+        // Query against some other thread's latest published node.
+        PolicyNode* other =
+            latest[(i + 1) % kThreads].load(std::memory_order_acquire);
+        const bool fwd = v.permits_join(mine, other);
+        const bool bwd = v.permits_join(other, mine);
+        if (fwd && bwd) failed.store(true);  // would break trichotomy
+        if (!v.permits_join(root, mine)) failed.store(true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(TjConcurrency, GtSmoke) { concurrent_contract_smoke<TjGtVerifier>(); }
+TEST(TjConcurrency, JpSmoke) { concurrent_contract_smoke<TjJpVerifier>(); }
+TEST(TjConcurrency, SpSmoke) { concurrent_contract_smoke<TjSpVerifier>(); }
+
+}  // namespace
+}  // namespace tj::core

@@ -1,0 +1,151 @@
+// Tests for the reference TJ judgment (Definition 3.3) and its metatheory:
+// irreflexivity (Lemma 3.5), transitivity (Lemma 3.8), total order
+// (Theorem 3.10), and agreement with the preorder characterization
+// (Theorems 3.15/3.17).
+
+#include <gtest/gtest.h>
+
+#include "trace/fork_tree.hpp"
+#include "trace/tj_judgment.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(TjJudgment, RuleTjLeftParentPrecedesChild) {
+  TjJudgment tj(Trace{init(0), fork(0, 1)});
+  EXPECT_TRUE(tj.less(0, 1));
+  EXPECT_FALSE(tj.less(1, 0));
+}
+
+TEST(TjJudgment, RuleTjLeftTransfersLessEq) {
+  // c ≤ a at fork(a,b) yields c < b; with c = grandparent.
+  TjJudgment tj(Trace{init(0), fork(0, 1), fork(1, 2)});
+  EXPECT_TRUE(tj.less(0, 2));
+}
+
+TEST(TjJudgment, RuleTjRightYoungerSiblingPrecedes) {
+  // fork(a,b) after a < c makes b < c: forking d after b gives d < b.
+  TjJudgment tj(Trace{init(0), fork(0, 1), fork(0, 3)});
+  EXPECT_TRUE(tj.less(3, 1));
+  EXPECT_FALSE(tj.less(1, 3));
+}
+
+TEST(TjJudgment, JoinsDoNotChangeTheRelation) {
+  const Trace base{init(0), fork(0, 1), fork(0, 2)};
+  TjJudgment without(base);
+  TjJudgment with(base + Trace{join(0, 1), join(2, 1)});
+  for (TaskId a = 0; a < 3; ++a) {
+    for (TaskId b = 0; b < 3; ++b) {
+      EXPECT_EQ(without.less(a, b), with.less(a, b));
+    }
+  }
+}
+
+TEST(TjJudgment, Figure1LeftPermissions) {
+  // a=0 forks b=1 then d=3; b forks c=2. TJ allows d to join c directly.
+  TjJudgment tj(Trace{init(0), fork(0, 1), fork(1, 2), fork(0, 3)});
+  EXPECT_TRUE(tj.less(3, 1));  // d < b
+  EXPECT_TRUE(tj.less(3, 2));  // d < c (transitively through b)
+  EXPECT_TRUE(tj.less(0, 2));  // a < c
+  EXPECT_FALSE(tj.less(2, 3));
+}
+
+TEST(TjJudgment, Figure1RightPermissions) {
+  // Right diagram: a=0 forks b=1, d=3; b forks c=2; d forks e=4; e joins c.
+  TjJudgment tj(
+      Trace{init(0), fork(0, 1), fork(1, 2), fork(0, 3), fork(3, 4)});
+  EXPECT_TRUE(tj.less(4, 1));  // e inherits d's permission on b
+  EXPECT_TRUE(tj.less(4, 2));  // e < c — the join KJ rejects, TJ accepts
+  EXPECT_FALSE(tj.less(2, 4));
+}
+
+TEST(TjJudgment, UnknownTasksAreUnrelated) {
+  TjJudgment tj(Trace{init(0), fork(0, 1)});
+  EXPECT_FALSE(tj.less(0, 9));
+  EXPECT_FALSE(tj.less(9, 0));
+  EXPECT_FALSE(tj.less(8, 9));
+}
+
+TEST(TjJudgment, LessEqIsReflexive) {
+  TjJudgment tj(Trace{init(0), fork(0, 1)});
+  EXPECT_TRUE(tj.less_eq(0, 0));
+  EXPECT_TRUE(tj.less_eq(1, 1));
+  EXPECT_TRUE(tj.less_eq(0, 1));
+  EXPECT_FALSE(tj.less_eq(1, 0));
+}
+
+TEST(TjJudgment, IncrementalMatchesBatch) {
+  const Trace t = random_tree_trace(30, /*seed=*/5);
+  TjJudgment batch(t);
+  TjJudgment inc;
+  for (const Action& a : t.actions()) inc.push(a);
+  for (TaskId a = 0; a < 30; ++a) {
+    for (TaskId b = 0; b < 30; ++b) {
+      EXPECT_EQ(batch.less(a, b), inc.less(a, b));
+    }
+  }
+}
+
+struct PropertyParams {
+  std::uint64_t seed;
+  double depth_bias;
+};
+
+class TjJudgmentProperties : public ::testing::TestWithParam<PropertyParams> {
+ protected:
+  static constexpr std::uint32_t kTasks = 48;
+  Trace trace_ = random_tree_trace(kTasks, GetParam().seed,
+                                   GetParam().depth_bias);
+  TjJudgment tj_{trace_};
+};
+
+TEST_P(TjJudgmentProperties, Irreflexivity) {
+  for (TaskId a = 0; a < kTasks; ++a) {
+    EXPECT_FALSE(tj_.less(a, a)) << "a=" << a;
+  }
+}
+
+TEST_P(TjJudgmentProperties, Transitivity) {
+  for (TaskId a = 0; a < kTasks; ++a) {
+    for (TaskId b = 0; b < kTasks; ++b) {
+      if (!tj_.less(a, b)) continue;
+      for (TaskId c = 0; c < kTasks; ++c) {
+        if (tj_.less(b, c)) {
+          EXPECT_TRUE(tj_.less(a, c))
+              << "a=" << a << " b=" << b << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TjJudgmentProperties, Trichotomy) {
+  for (TaskId a = 0; a < kTasks; ++a) {
+    for (TaskId b = 0; b < kTasks; ++b) {
+      const int count = (a == b ? 1 : 0) + (tj_.less(a, b) ? 1 : 0) +
+                        (tj_.less(b, a) ? 1 : 0);
+      EXPECT_EQ(count, 1) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(TjJudgmentProperties, AgreesWithPreorderDecisionProcedure) {
+  const ForkTree tree(trace_);
+  for (TaskId a = 0; a < kTasks; ++a) {
+    for (TaskId b = 0; b < kTasks; ++b) {
+      EXPECT_EQ(tj_.less(a, b), tree.preorder_less(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, TjJudgmentProperties,
+    ::testing::Values(PropertyParams{1, 0.0}, PropertyParams{2, 0.3},
+                      PropertyParams{3, 0.5}, PropertyParams{4, 0.8},
+                      PropertyParams{5, 1.0}, PropertyParams{6, 0.3},
+                      PropertyParams{7, 0.6}, PropertyParams{8, 0.9}));
+
+}  // namespace
+}  // namespace tj::trace

@@ -1,0 +1,108 @@
+// Unit tests for the trace language (Definition 3.1).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(Action, EqualityAndConstruction) {
+  EXPECT_EQ(init(0), init(0));
+  EXPECT_NE(init(0), init(1));
+  EXPECT_EQ(fork(1, 2), fork(1, 2));
+  EXPECT_NE(fork(1, 2), fork(2, 1));
+  EXPECT_NE(fork(1, 2), join(1, 2));
+  EXPECT_EQ(join(3, 4).actor, 3u);
+  EXPECT_EQ(join(3, 4).target, 4u);
+  EXPECT_EQ(init(7).target, kNoTask);
+}
+
+TEST(Action, Printing) {
+  EXPECT_EQ(to_string(init(0)), "init(0)");
+  EXPECT_EQ(to_string(fork(0, 1)), "fork(0,1)");
+  EXPECT_EQ(to_string(join(2, 1)), "join(2,1)");
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.tasks().empty());
+  EXPECT_EQ(t.fork_count(), 0u);
+  EXPECT_EQ(t.join_count(), 0u);
+}
+
+TEST(Trace, FluentBuilding) {
+  Trace t;
+  t.push_init(0).push_fork(0, 1).push_join(0, 1);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], init(0));
+  EXPECT_EQ(t[1], fork(0, 1));
+  EXPECT_EQ(t[2], join(0, 1));
+}
+
+TEST(Trace, InitializerList) {
+  const Trace t{init(0), fork(0, 1), fork(1, 2)};
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.fork_count(), 2u);
+  EXPECT_EQ(t.join_count(), 0u);
+}
+
+TEST(Trace, TasksInFirstMentionOrder) {
+  const Trace t{init(5), fork(5, 3), fork(3, 8), join(5, 8)};
+  const std::vector<TaskId> expected{5, 3, 8};
+  EXPECT_EQ(t.tasks(), expected);
+}
+
+TEST(Trace, TasksDeduplicated) {
+  const Trace t{init(0), fork(0, 1), join(0, 1), join(0, 1)};
+  EXPECT_EQ(t.tasks().size(), 2u);
+}
+
+TEST(Trace, Concatenation) {
+  const Trace t1{init(0), fork(0, 1)};
+  const Trace t2{join(0, 1)};
+  const Trace t = t1 + t2;
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[2], join(0, 1));
+}
+
+TEST(Trace, Prefix) {
+  const Trace t{init(0), fork(0, 1), fork(0, 2), join(0, 2)};
+  EXPECT_EQ(t.prefix(0).size(), 0u);
+  EXPECT_EQ(t.prefix(2).size(), 2u);
+  EXPECT_EQ(t.prefix(2)[1], fork(0, 1));
+  EXPECT_EQ(t.prefix(100), t);  // clamped
+}
+
+TEST(Trace, PopRemovesLastAction) {
+  Trace t{init(0), fork(0, 1), join(0, 1)};
+  t.pop();
+  EXPECT_EQ(t, (Trace{init(0), fork(0, 1)}));
+  t.pop();
+  t.pop();
+  EXPECT_TRUE(t.empty());
+  t.pop();  // no-op on empty
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Trace, Printing) {
+  const Trace t{init(0), fork(0, 1)};
+  EXPECT_EQ(t.to_string(), "[init(0); fork(0,1)]");
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), "[init(0); fork(0,1)]");
+}
+
+TEST(Trace, CountsSeparateKinds) {
+  const Trace t{init(0), fork(0, 1), fork(0, 2), join(0, 1), join(0, 2),
+                join(0, 1)};
+  EXPECT_EQ(t.fork_count(), 2u);
+  EXPECT_EQ(t.join_count(), 3u);
+}
+
+}  // namespace
+}  // namespace tj::trace

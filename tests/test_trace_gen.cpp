@@ -1,0 +1,99 @@
+// Tests for the trace/tree generators: shape guarantees, policy validity of
+// generated traces, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "trace/fork_tree.hpp"
+#include "trace/trace_gen.hpp"
+#include "trace/validity.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(TraceGen, ChainShape) {
+  const Trace t = chain_trace(8);
+  EXPECT_EQ(t.fork_count(), 7u);
+  const ForkTree tree(t);
+  EXPECT_EQ(tree.depth(7), 7u);
+  for (TaskId i = 1; i < 8; ++i) EXPECT_EQ(tree.parent(i), i - 1);
+}
+
+TEST(TraceGen, StarShape) {
+  const Trace t = star_trace(8);
+  const ForkTree tree(t);
+  for (TaskId i = 1; i < 8; ++i) EXPECT_EQ(tree.parent(i), 0u);
+}
+
+TEST(TraceGen, BalancedTreeTaskCount) {
+  const Trace t = balanced_tree_trace(/*arity=*/2, /*depth=*/4);
+  EXPECT_EQ(t.fork_count(), 30u);  // 2+4+8+16
+  const ForkTree tree(t);
+  EXPECT_EQ(tree.children(0).size(), 2u);
+  // Every internal node has exactly two children.
+  for (TaskId v = 0; v < 15; ++v) {
+    EXPECT_EQ(tree.children(v).size(), 2u) << "v=" << v;
+  }
+}
+
+TEST(TraceGen, BalancedTreeDepths) {
+  const Trace t = balanced_tree_trace(3, 3);
+  const ForkTree tree(t);
+  std::size_t max_depth = 0;
+  for (TaskId v = 0; v < tree.task_count(); ++v) {
+    max_depth = std::max<std::size_t>(max_depth, tree.depth(v));
+  }
+  EXPECT_EQ(max_depth, 3u);
+}
+
+TEST(TraceGen, RandomTreeIsStructurallyValid) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    EXPECT_TRUE(is_structurally_valid(random_tree_trace(50, seed, 0.5)));
+  }
+}
+
+TEST(TraceGen, RandomTreeDeterministicPerSeed) {
+  EXPECT_EQ(random_tree_trace(40, 9, 0.5), random_tree_trace(40, 9, 0.5));
+  EXPECT_NE(random_tree_trace(40, 9, 0.5), random_tree_trace(40, 10, 0.5));
+}
+
+TEST(TraceGen, DepthBiasOneIsAChain) {
+  const Trace t = random_tree_trace(20, 3, 1.0);
+  const ForkTree tree(t);
+  EXPECT_EQ(tree.depth(19), 19u);
+}
+
+TEST(TraceGen, TjTracesAreTjValid) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const Trace t = random_tj_valid_trace(40, 50, seed, 0.4);
+    EXPECT_TRUE(is_tj_valid(t)) << "seed=" << seed;
+  }
+}
+
+TEST(TraceGen, TjTracesContainJoins) {
+  const Trace t = random_tj_valid_trace(40, 50, /*seed=*/1, 0.4);
+  EXPECT_GT(t.join_count(), 25u);  // most requested joins should be emitted
+}
+
+TEST(TraceGen, KjTracesAreKjValid) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const Trace t = random_kj_valid_trace(40, 50, seed, 0.4);
+    EXPECT_TRUE(is_kj_valid(t)) << "seed=" << seed;
+  }
+}
+
+TEST(TraceGen, StructuralTracesAreStructurallyValid) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Trace t = random_structural_trace(30, 40, seed, 0.4);
+    EXPECT_TRUE(is_structurally_valid(t)) << "seed=" << seed;
+    EXPECT_GT(t.join_count(), 0u);
+  }
+}
+
+TEST(TraceGen, DeadlockingTraceSizes) {
+  EXPECT_EQ(deadlocking_trace(1).join_count(), 1u);
+  EXPECT_EQ(deadlocking_trace(4).join_count(), 4u);
+  EXPECT_EQ(deadlocking_trace(0).join_count(), 1u);  // clamped to 1
+}
+
+}  // namespace
+}  // namespace tj::trace

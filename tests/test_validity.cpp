@@ -1,0 +1,113 @@
+// Tests for trace validity (Definition 3.2) under the structural, TJ and KJ
+// instantiations of the valid-* rules.
+
+#include <gtest/gtest.h>
+
+#include "trace/validity.hpp"
+
+namespace tj::trace {
+namespace {
+
+TEST(Validity, PolicyNames) {
+  EXPECT_EQ(to_string(PolicyKind::Structural), "Structural");
+  EXPECT_EQ(to_string(PolicyKind::TJ), "TJ");
+  EXPECT_EQ(to_string(PolicyKind::KJ), "KJ");
+}
+
+TEST(Validity, EmptyTraceIsValid) {
+  EXPECT_TRUE(is_structurally_valid(Trace{}));
+  EXPECT_TRUE(is_tj_valid(Trace{}));
+}
+
+TEST(Validity, InitMustComeFirst) {
+  const auto r = check_valid(Trace{fork(0, 1)}, PolicyKind::Structural);
+  EXPECT_FALSE(r.valid);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->index, 0u);
+}
+
+TEST(Validity, SecondInitIsRejected) {
+  const auto r =
+      check_valid(Trace{init(0), init(1)}, PolicyKind::Structural);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.violation->index, 1u);
+}
+
+TEST(Validity, ForkRequiresExistingActor) {
+  EXPECT_FALSE(is_structurally_valid(Trace{init(0), fork(5, 6)}));
+}
+
+TEST(Validity, ForkRequiresFreshTarget) {
+  EXPECT_FALSE(is_structurally_valid(Trace{init(0), fork(0, 1), fork(0, 1)}));
+  EXPECT_FALSE(is_structurally_valid(Trace{init(0), fork(0, 0)}));
+}
+
+TEST(Validity, JoinRequiresExistingTasks) {
+  EXPECT_FALSE(is_structurally_valid(Trace{init(0), join(0, 1)}));
+  EXPECT_FALSE(is_structurally_valid(Trace{init(0), fork(0, 1), join(2, 1)}));
+}
+
+TEST(Validity, StructuralAcceptsAnyExistingJoinPair) {
+  // Even a child joining its parent — structure only.
+  EXPECT_TRUE(is_structurally_valid(Trace{init(0), fork(0, 1), join(1, 0)}));
+}
+
+TEST(Validity, TjRejectsChildJoiningParent) {
+  const auto r =
+      check_valid(Trace{init(0), fork(0, 1), join(1, 0)}, PolicyKind::TJ);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.violation->index, 2u);
+  EXPECT_NE(r.violation->reason.find("TJ"), std::string::npos);
+}
+
+TEST(Validity, TjAcceptsParentJoiningChild) {
+  EXPECT_TRUE(is_tj_valid(Trace{init(0), fork(0, 1), join(0, 1)}));
+}
+
+TEST(Validity, TjAcceptsGrandchildJoinWithoutIntermediate) {
+  // The Sec. 2.3 scenario: the root joins a grandchild directly.
+  EXPECT_TRUE(
+      is_tj_valid(Trace{init(0), fork(0, 1), fork(1, 2), join(0, 2)}));
+}
+
+TEST(Validity, KjRejectsGrandchildJoinWithoutIntermediate) {
+  EXPECT_FALSE(
+      is_kj_valid(Trace{init(0), fork(0, 1), fork(1, 2), join(0, 2)}));
+}
+
+TEST(Validity, KjAcceptsGrandchildJoinAfterLearning) {
+  EXPECT_TRUE(is_kj_valid(
+      Trace{init(0), fork(0, 1), fork(1, 2), join(0, 1), join(0, 2)}));
+}
+
+TEST(Validity, KjLearnHappensEvenWhenCheckingTj) {
+  // TJ-validity of a trace is unaffected by joins; this KJ-invalid trace is
+  // TJ-valid.
+  const Trace t{init(0), fork(0, 1), fork(1, 2), join(0, 2), join(0, 1)};
+  EXPECT_TRUE(is_tj_valid(t));
+  EXPECT_FALSE(is_kj_valid(t));
+}
+
+TEST(Validity, SelfJoinRejectedByBothPolicies) {
+  const Trace t{init(0), fork(0, 1), join(1, 1)};
+  EXPECT_FALSE(is_tj_valid(t));
+  EXPECT_FALSE(is_kj_valid(t));
+  EXPECT_TRUE(is_structurally_valid(t));
+}
+
+TEST(Validity, ReportsFirstViolationOnly) {
+  const Trace t{init(0), fork(0, 1), join(1, 0), join(1, 1)};
+  const auto r = check_valid(t, PolicyKind::TJ);
+  ASSERT_FALSE(r.valid);
+  EXPECT_EQ(r.violation->index, 2u);
+  EXPECT_EQ(r.violation->action, join(1, 0));
+}
+
+TEST(Validity, RepeatedJoinsAreAllowed) {
+  // Futures may be joined several times (copyable handles).
+  EXPECT_TRUE(is_tj_valid(
+      Trace{init(0), fork(0, 1), join(0, 1), join(0, 1), join(0, 1)}));
+}
+
+}  // namespace
+}  // namespace tj::trace

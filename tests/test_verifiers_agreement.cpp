@@ -1,0 +1,139 @@
+// Cross-validation: each online verifier must agree with its reference
+// judgment on random traces — the three TJ algorithms with t ⊢ a < b
+// (Definition 3.3 / Theorem 3.17), the two KJ implementations with
+// t ⊢ a ≺ b (Definition 4.1).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/verifier.hpp"
+#include "trace/kj_judgment.hpp"
+#include "trace/tj_judgment.hpp"
+#include "trace/trace_gen.hpp"
+#include "trace_replay.hpp"
+
+namespace tj {
+namespace {
+
+using core::PolicyChoice;
+
+struct AgreementCase {
+  PolicyChoice policy;
+  std::uint64_t seed;
+  double depth_bias;
+};
+
+void PrintTo(const AgreementCase& c, std::ostream* os) {
+  *os << core::to_string(c.policy) << "/seed" << c.seed << "/bias"
+      << c.depth_bias;
+}
+
+class VerifierAgreement : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(VerifierAgreement, MatchesReferenceJudgmentOnRandomTraces) {
+  const auto [policy, seed, bias] = GetParam();
+  const bool is_kj =
+      policy == PolicyChoice::KJ_VC || policy == PolicyChoice::KJ_SS;
+  constexpr trace::TaskId kTasks = 40;
+  // KJ verifiers also consume joins (KJ-learn), so replay KJ-valid traces
+  // with joins for them; TJ verifiers only care about the fork tree.
+  const trace::Trace t = is_kj
+                             ? trace::random_kj_valid_trace(kTasks, 50, seed, bias)
+                             : trace::random_tree_trace(kTasks, seed, bias);
+
+  auto verifier = core::make_verifier(policy);
+  ASSERT_NE(verifier, nullptr);
+  testing::TraceReplay replay(*verifier);
+  replay.feed_all(t);
+
+  const trace::TjJudgment tj(t);
+  const trace::KjJudgment kj(t);
+  for (trace::TaskId a = 0; a < kTasks; ++a) {
+    for (trace::TaskId b = 0; b < kTasks; ++b) {
+      const bool expected = is_kj ? kj.knows(a, b) : tj.less(a, b);
+      EXPECT_EQ(replay.permits(a, b), expected)
+          << "a=" << a << " b=" << b << " policy="
+          << core::to_string(policy);
+    }
+  }
+}
+
+TEST_P(VerifierAgreement, MatchesReferenceAtEveryPrefix) {
+  // Permission is checked online, i.e. against the trace-so-far: verify the
+  // verifier's answers against the incremental judgment after every action.
+  const auto [policy, seed, bias] = GetParam();
+  const bool is_kj =
+      policy == PolicyChoice::KJ_VC || policy == PolicyChoice::KJ_SS;
+  constexpr trace::TaskId kTasks = 16;
+  const trace::Trace t =
+      is_kj ? trace::random_kj_valid_trace(kTasks, 20, seed, bias)
+            : trace::random_tree_trace(kTasks, seed, bias);
+
+  auto verifier = core::make_verifier(policy);
+  testing::TraceReplay replay(*verifier);
+  trace::TjJudgment tj;
+  trace::KjJudgment kj;
+  for (const trace::Action& act : t.actions()) {
+    replay.feed(act);
+    tj.push(act);
+    kj.push(act);
+    for (trace::TaskId a = 0; a < kTasks; ++a) {
+      if (!replay.has(a)) continue;
+      for (trace::TaskId b = 0; b < kTasks; ++b) {
+        if (!replay.has(b)) continue;
+        const bool expected = is_kj ? kj.knows(a, b) : tj.less(a, b);
+        EXPECT_EQ(replay.permits(a, b), expected)
+            << "after " << trace::to_string(act) << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+std::vector<AgreementCase> agreement_cases() {
+  std::vector<AgreementCase> cases;
+  for (PolicyChoice p :
+       {PolicyChoice::TJ_GT, PolicyChoice::TJ_JP, PolicyChoice::TJ_SP,
+        PolicyChoice::KJ_VC, PolicyChoice::KJ_SS}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      for (double bias : {0.0, 0.5, 1.0}) {
+        cases.push_back({p, seed, bias});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVerifiers, VerifierAgreement,
+                         ::testing::ValuesIn(agreement_cases()));
+
+class TjVariantsIdentical : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TjVariantsIdentical, GtJpSpAgreePairwise) {
+  // The three TJ algorithms implement one decision procedure (Thm 3.15);
+  // they must agree on every pair, including deep chains and wide stars.
+  constexpr trace::TaskId kTasks = 60;
+  const trace::Trace t =
+      trace::random_tree_trace(kTasks, GetParam(), 0.01 * (GetParam() % 100));
+
+  auto gt = core::make_verifier(PolicyChoice::TJ_GT);
+  auto jp = core::make_verifier(PolicyChoice::TJ_JP);
+  auto sp = core::make_verifier(PolicyChoice::TJ_SP);
+  testing::TraceReplay rg(*gt), rj(*jp), rs(*sp);
+  rg.feed_all(t);
+  rj.feed_all(t);
+  rs.feed_all(t);
+  for (trace::TaskId a = 0; a < kTasks; ++a) {
+    for (trace::TaskId b = 0; b < kTasks; ++b) {
+      const bool g = rg.permits(a, b);
+      EXPECT_EQ(g, rj.permits(a, b)) << "a=" << a << " b=" << b;
+      EXPECT_EQ(g, rs.permits(a, b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TjVariantsIdentical,
+                         ::testing::Values(11, 37, 58, 83, 99));
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,53 @@
+#pragma once
+// Test helper: replays an offline trace through an online Verifier, exactly
+// as the runtime would — add_child on forks, on_join_complete on joins —
+// yielding the per-task PolicyNode map so tests can compare permits_join
+// against the reference judgments.
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "trace/trace.hpp"
+
+namespace tj::testing {
+
+class TraceReplay {
+ public:
+  explicit TraceReplay(core::Verifier& v) : v_(v) {}
+
+  ~TraceReplay() {
+    for (auto& [id, node] : nodes_) v_.release(node);
+  }
+
+  void feed(const trace::Action& a) {
+    switch (a.kind) {
+      case trace::ActionKind::Init:
+        nodes_[a.actor] = v_.add_child(nullptr);
+        break;
+      case trace::ActionKind::Fork:
+        nodes_[a.target] = v_.add_child(nodes_.at(a.actor));
+        break;
+      case trace::ActionKind::Join:
+        v_.on_join_complete(nodes_.at(a.actor), nodes_.at(a.target));
+        break;
+    }
+  }
+
+  void feed_all(const trace::Trace& t) {
+    for (const trace::Action& a : t.actions()) feed(a);
+  }
+
+  bool permits(trace::TaskId a, trace::TaskId b) const {
+    return v_.permits_join(nodes_.at(a), nodes_.at(b));
+  }
+
+  core::PolicyNode* node(trace::TaskId a) const { return nodes_.at(a); }
+  bool has(trace::TaskId a) const { return nodes_.contains(a); }
+
+ private:
+  core::Verifier& v_;
+  std::unordered_map<trace::TaskId, core::PolicyNode*> nodes_;
+};
+
+}  // namespace tj::testing

@@ -1,0 +1,187 @@
+// Differential fuzzer: generates random traces and cross-checks every online
+// verifier against the reference judgments, the preorder decision procedure,
+// and the metatheory (total order, deadlock-freedom, subsumption). On a
+// discrepancy it MINIMIZES the witness and prints it in parseable notation.
+//
+//   fuzz_policies [--iterations=N] [--tasks=N] [--joins=N] [--seed=S]
+//
+// Runs forever-ish by default budget (10k traces); exit 0 = no discrepancy.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/verifier.hpp"
+#include "trace/deadlock.hpp"
+#include "trace/fork_tree.hpp"
+#include "trace/kj_judgment.hpp"
+#include "trace/minimize.hpp"
+#include "trace/tj_judgment.hpp"
+#include "trace/trace_gen.hpp"
+#include "trace/validity.hpp"
+
+namespace {
+
+using namespace tj;
+using trace::TaskId;
+using trace::Trace;
+
+struct Options {
+  std::uint64_t iterations = 10'000;
+  std::uint32_t tasks = 24;
+  std::uint32_t joins = 24;
+  std::uint64_t seed = 12345;
+};
+
+// Replays the trace through a verifier; returns per-task nodes.
+struct Replay {
+  std::unique_ptr<core::Verifier> verifier;
+  std::vector<core::PolicyNode*> nodes;
+
+  explicit Replay(core::PolicyChoice p, const Trace& t)
+      : verifier(core::make_verifier(p)) {
+    for (const trace::Action& a : t.actions()) {
+      switch (a.kind) {
+        case trace::ActionKind::Init:
+          at(a.actor) = verifier->add_child(nullptr);
+          break;
+        case trace::ActionKind::Fork:
+          at(a.target) = verifier->add_child(nodes[a.actor]);
+          break;
+        case trace::ActionKind::Join:
+          verifier->on_join_complete(nodes[a.actor], nodes[a.target]);
+          break;
+      }
+    }
+  }
+
+  ~Replay() {
+    for (core::PolicyNode* n : nodes) {
+      if (n != nullptr) verifier->release(n);
+    }
+  }
+
+  core::PolicyNode*& at(TaskId id) {
+    if (id >= nodes.size()) nodes.resize(id + 1, nullptr);
+    return nodes[id];
+  }
+
+  bool permits(TaskId a, TaskId b) {
+    return verifier->permits_join(nodes[a], nodes[b]);
+  }
+};
+
+// Returns an explanation of the first discrepancy found, or "".
+std::string check_one(const Trace& t) {
+  const trace::TjJudgment tj(t);
+  const trace::KjJudgment kj(t);
+  const trace::ForkTree tree(t);
+  const auto tasks = t.tasks();
+  // Theorem 4.3's hypothesis: subsumption is only promised on KJ-valid
+  // traces (an *invalid* join can KJ-learn facts like a ≺ a).
+  const bool kj_valid = trace::is_kj_valid(t);
+
+  Replay gt(core::PolicyChoice::TJ_GT, t);
+  Replay jp(core::PolicyChoice::TJ_JP, t);
+  Replay sp(core::PolicyChoice::TJ_SP, t);
+  Replay vc(core::PolicyChoice::KJ_VC, t);
+  Replay ss(core::PolicyChoice::KJ_SS, t);
+
+  char buf[160];
+  for (TaskId a : tasks) {
+    for (TaskId b : tasks) {
+      const bool ref_tj = tj.less(a, b);
+      const bool ref_kj = kj.knows(a, b);
+      if (tree.preorder_less(a, b) != ref_tj) {
+        std::snprintf(buf, sizeof buf, "preorder!=judgment a=%u b=%u", a, b);
+        return buf;
+      }
+      if (gt.permits(a, b) != ref_tj || jp.permits(a, b) != ref_tj ||
+          sp.permits(a, b) != ref_tj) {
+        std::snprintf(buf, sizeof buf, "TJ verifier mismatch a=%u b=%u", a, b);
+        return buf;
+      }
+      if (vc.permits(a, b) != ref_kj || ss.permits(a, b) != ref_kj) {
+        std::snprintf(buf, sizeof buf, "KJ verifier mismatch a=%u b=%u", a, b);
+        return buf;
+      }
+      if (kj_valid && ref_kj && !ref_tj) {
+        std::snprintf(buf, sizeof buf, "subsumption broken a=%u b=%u", a, b);
+        return buf;
+      }
+      const int tri = (a == b ? 1 : 0) + (ref_tj ? 1 : 0) +
+                      (tj.less(b, a) ? 1 : 0);
+      if (tri != 1) {
+        std::snprintf(buf, sizeof buf, "trichotomy broken a=%u b=%u", a, b);
+        return buf;
+      }
+    }
+  }
+  if (trace::is_tj_valid(t) && trace::contains_deadlock(t)) {
+    return "TJ-valid trace contains a deadlock";
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--iterations=")) {
+      o.iterations = std::strtoull(v, nullptr, 10);
+    } else if (const char* v2 = val("--tasks=")) {
+      o.tasks = static_cast<std::uint32_t>(std::atoi(v2));
+    } else if (const char* v3 = val("--joins=")) {
+      o.joins = static_cast<std::uint32_t>(std::atoi(v3));
+    } else if (const char* v4 = val("--seed=")) {
+      o.seed = std::strtoull(v4, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  for (std::uint64_t i = 0; i < o.iterations; ++i) {
+    const std::uint64_t seed = o.seed + i;
+    // Alternate the three generators for coverage.
+    const double bias = 0.1 * static_cast<double>(i % 11);
+    Trace t;
+    switch (i % 3) {
+      case 0:
+        t = trace::random_structural_trace(o.tasks, o.joins, seed, bias);
+        break;
+      case 1:
+        t = trace::random_tj_valid_trace(o.tasks, o.joins, seed, bias);
+        break;
+      default:
+        t = trace::random_kj_valid_trace(o.tasks, o.joins, seed, bias);
+        break;
+    }
+    const std::string why = check_one(t);
+    if (!why.empty()) {
+      // Shrink to the smallest trace that still shows a discrepancy.
+      const Trace min = trace::minimize_trace(t, [](const Trace& c) {
+        return !check_one(c).empty();
+      });
+      std::fprintf(stderr, "DISCREPANCY after %llu traces: %s\n",
+                   static_cast<unsigned long long>(i), why.c_str());
+      std::fprintf(stderr, "minimized witness: %s\n",
+                   min.to_string().c_str());
+      return 1;
+    }
+    if ((i + 1) % 1000 == 0) {
+      std::fprintf(stderr, "[fuzz] %llu traces ok\n",
+                   static_cast<unsigned long long>(i + 1));
+    }
+  }
+  std::printf("fuzz_policies: %llu traces, no discrepancies\n",
+              static_cast<unsigned long long>(o.iterations));
+  return 0;
+}
