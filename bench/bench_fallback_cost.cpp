@@ -53,7 +53,7 @@ void approved_join(benchmark::State& state) {
   for (auto _ : state) {
     // Root joins a child: approved, registers and removes an edge.
     (void)s.gate->enter_join(0, 1, s.nodes[0], s.nodes[1], false);
-    s.gate->leave_join(0, s.nodes[0], s.nodes[1], true);
+    s.gate->leave_join(0, 1, s.nodes[0], s.nodes[1], true);
   }
 }
 BENCHMARK(approved_join);
@@ -65,7 +65,7 @@ void rejected_join_cleared_by_fallback(benchmark::State& state) {
     // Child 1 joins child 2: TJ-rejected (1 is the older sibling), the
     // probation cycle check walks the chain of blocked tasks.
     (void)s.gate->enter_join(1, 2, s.nodes[1], s.nodes[2], false);
-    s.gate->leave_join(1, s.nodes[1], s.nodes[2], true);
+    s.gate->leave_join(1, 2, s.nodes[1], s.nodes[2], true);
   }
   state.SetLabel("blocked=" + std::to_string(state.range(0)));
 }
@@ -77,7 +77,7 @@ void armus_only_join(benchmark::State& state) {
   for (auto _ : state) {
     // Join the head of the blocked chain so the check walks its length.
     (void)s.gate->enter_join(0, 2, nullptr, nullptr, false);
-    s.gate->leave_join(0, nullptr, nullptr, true);
+    s.gate->leave_join(0, 2, nullptr, nullptr, true);
   }
   state.SetLabel("blocked=" + std::to_string(state.range(0)));
 }

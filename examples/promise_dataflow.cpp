@@ -1,0 +1,65 @@
+// Promise dataflow with ownership-policy (OWP) deadlock avoidance: two
+// sibling tasks each own a promise the *other* awaits. An unchecked runtime
+// deadlocks — each side blocks on a value only the blocked peer can produce.
+// Under OWP the second await closes an obligation cycle in the ownership
+// graph; the WFG fallback confirms the cycle and the await FAULTS — without
+// blocking — inside the offending task, which recovers by fulfilling its own
+// promise with a fallback value. The promise counterpart of
+// deadlock_recovery.cpp's cross-join.
+
+#include <cstdio>
+
+#include "runtime/api.hpp"
+
+namespace rtj = tj::runtime;
+
+namespace {
+
+// Awaits the sibling's promise; on a deadlock fault recovers locally. Either
+// way this task discharges its own obligation by fulfilling `mine`.
+int cross_await(rtj::Promise<int> mine, rtj::Promise<int> theirs,
+                const char* name) {
+  try {
+    const int got = theirs.get();
+    mine.fulfill(got + 1);
+    return got + 1;
+  } catch (const rtj::DeadlockAvoidedError& e) {
+    std::printf("[%s] await faulted: %s — recovering with fallback\n", name,
+                e.what());
+    mine.fulfill(100);  // unblocks the sibling's (legal) await
+    return 100;
+  }
+}
+
+}  // namespace
+
+int main() {
+  rtj::Runtime rt({.policy = tj::core::PolicyChoice::TJ_SP, .workers = 4});
+
+  const int total = rt.root([] {
+    // Root makes both promises and hands each to the task obligated to
+    // fulfill it; async_owning transfers ownership before the child runs.
+    rtj::Promise<int> p1 = rtj::make_promise<int>();
+    rtj::Promise<int> p2 = rtj::make_promise<int>();
+
+    rtj::Future<int> t1 =
+        rtj::async_owning(p1, [p1, p2] { return cross_await(p1, p2, "t1"); });
+    rtj::Future<int> t2 =
+        rtj::async_owning(p2, [p1, p2] { return cross_await(p2, p1, "t2"); });
+
+    return t1.get() + t2.get();  // both terminate: no deadlock happened
+  });
+
+  const auto gs = rt.gate_stats();
+  std::printf("both tasks completed; total = %d\n", total);
+  std::printf("awaits checked: %llu, OWP rejections: %llu, deadlocks "
+              "averted: %llu\n",
+              static_cast<unsigned long long>(gs.awaits_checked),
+              static_cast<unsigned long long>(gs.owp_rejections),
+              static_cast<unsigned long long>(gs.deadlocks_averted));
+  // Exactly one side of the cross faulted and recovered: one task returns
+  // 100 (fallback), the other 100 + 1.
+  return (total == 201 && gs.owp_rejections >= 1 && gs.deadlocks_averted >= 1)
+             ? 0
+             : 1;
+}

@@ -1,14 +1,20 @@
 // Offline trace checker: reads a trace in the paper's notation from a file
 // (or stdin) and reports structural validity, TJ validity (Def. 3.4), KJ
-// validity (Def. 4.2) and deadlock cycles (Def. 3.9).
+// validity (Def. 4.2), ownership-policy (OWP) validity for promise actions
+// and deadlock cycles (extended Def. 3.9).
 //
 //   $ echo "init(0); fork(0,1); fork(1,2); join(0,2)" | ./trace_check -
 //   structural : VALID
 //   TJ         : VALID
 //   KJ         : INVALID at #3 join(0,2): valid-join-R: not t ⊢ a ≺ b (KJ)
+//   OWP        : VALID
 //   deadlock   : none
 //
-// Exit code: 0 if TJ-valid and deadlock-free, 1 otherwise, 2 on bad input.
+// Promise actions use make(task,pN); fulfill(task,pN); await(task,pN);
+// transfer(from,to,pN) notation.
+//
+// Exit code: 0 if TJ-valid, OWP-valid and deadlock-free, 1 otherwise,
+// 2 on bad input.
 
 #include <fstream>
 #include <iostream>
@@ -63,15 +69,19 @@ int main(int argc, char** argv) {
   }
   std::cout << "parsed " << t.size() << " actions over " << t.tasks().size()
             << " tasks (" << t.fork_count() << " forks, " << t.join_count()
-            << " joins)\n";
+            << " joins) and " << t.promises().size() << " promises ("
+            << t.make_count() << " makes, " << t.await_count()
+            << " awaits)\n";
 
   const auto structural =
       tj::trace::check_valid(t, tj::trace::PolicyKind::Structural);
   const auto tj_v = tj::trace::check_valid(t, tj::trace::PolicyKind::TJ);
   const auto kj_v = tj::trace::check_valid(t, tj::trace::PolicyKind::KJ);
+  const auto owp_v = tj::trace::check_valid(t, tj::trace::PolicyKind::OWP);
   report("structural", structural);
   report("TJ        ", tj_v);
   report("KJ        ", kj_v);
+  report("OWP       ", owp_v);
 
   const auto cycle = tj::trace::find_deadlock_cycle(t);
   if (cycle.has_value()) {
@@ -81,5 +91,5 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "deadlock  : none\n";
   }
-  return (tj_v.valid && !cycle.has_value()) ? 0 : 1;
+  return (tj_v.valid && owp_v.valid && !cycle.has_value()) ? 0 : 1;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: build + full test suite for each configured preset.
+# Defaults to the release build and a ThreadSanitizer build — the latter is
+# what shakes out races in the runtime's concurrent machinery (scheduler,
+# join gate, promise fulfil/orphan paths), which plain ctest cannot see.
+#
+# Usage: scripts/ci.sh                 # release + tsan
+#        PRESETS="release" scripts/ci.sh   # subset
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PRESETS="${PRESETS:-release tsan}"
+
+for p in $PRESETS; do
+  echo "== [$p] configure"
+  cmake --preset "$p"
+  echo "== [$p] build"
+  cmake --build --preset "$p" -j"$(nproc)"
+  echo "== [$p] test"
+  ctest --preset "$p" --output-on-failure -j"$(nproc)"
+done
+
+echo "ci: all presets green ($PRESETS)"

@@ -40,10 +40,11 @@ echo "== ablations"
 ./build/bench/ablation_sync_style > "$OUT/ablation_sync_style.txt"
 ./build/bench/bench_fallback_cost 2>/dev/null > "$OUT/fallback_cost.txt"
 ./build/bench/bench_runtime_ops 2>/dev/null > "$OUT/runtime_ops.txt"
+./build/bench/bench_promise_ops 2>/dev/null > "$OUT/promise_ops.txt"
 
 echo "== examples"
 for ex in quickstart unordered_descendants map_reduce deadlock_recovery \
-          policy_lab finish_scope; do
+          policy_lab finish_scope promise_dataflow; do
   echo "--- $ex" >> "$OUT/examples.txt"
   ./build/examples/$ex >> "$OUT/examples.txt" 2>&1
 done

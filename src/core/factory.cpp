@@ -1,5 +1,6 @@
 #include <memory>
 
+#include "core/owp.hpp"
 #include "core/tj_gt.hpp"
 #include "core/tj_jp.hpp"
 #include "core/tj_sp.hpp"
@@ -24,6 +25,16 @@ std::unique_ptr<Verifier> make_verifier(PolicyChoice p) {
       return std::make_unique<kj::KjVcVerifier>();
     case PolicyChoice::KJ_SS:
       return std::make_unique<kj::KjSsVerifier>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<OwpVerifier> make_ownership_verifier(PromisePolicy p) {
+  switch (p) {
+    case PromisePolicy::Unverified:
+      return nullptr;
+    case PromisePolicy::OWP:
+      return std::make_unique<OwpVerifier>();
   }
   return nullptr;
 }

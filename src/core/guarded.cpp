@@ -2,22 +2,28 @@
 
 namespace tj::core {
 
-JoinGate::JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode)
-    : kind_(kind), verifier_(verifier), mode_(mode) {}
+JoinGate::JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode,
+                   OwpVerifier* owp)
+    : kind_(kind), verifier_(verifier), mode_(mode), owp_(owp) {}
 
 JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
                                   PolicyNode* waiter_state,
                                   const PolicyNode* target_state,
                                   bool target_done) {
   joins_checked_.fetch_add(1, std::memory_order_relaxed);
+  // TJ/KJ soundness covers futures only; once a promise exists, joins are
+  // additionally screened by the ownership policy's obligation history.
+  const bool owp_live = owp_ != nullptr && owp_->active();
 
-  if (kind_ == PolicyChoice::None) {
+  if (kind_ == PolicyChoice::None && !owp_live) {
     // Baseline: unchecked joins, no graph maintenance at all.
     return JoinDecision::Proceed;
   }
 
   if (kind_ == PolicyChoice::CycleOnly) {
     // The Armus-alone baseline: every blocking join pays a cycle check.
+    // Owner edges are visible to the chain walk, so mixed future/promise
+    // cycles are covered with no extra OWP consultation.
     if (target_done) return JoinDecision::Proceed;
     if (wfg_.add_checked_wait(waiter, target) ==
         wfg::WaitVerdict::WouldDeadlock) {
@@ -27,7 +33,15 @@ JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
     return JoinDecision::Proceed;
   }
 
-  if (verifier_->permits_join(waiter_state, target_state)) {
+  bool approved = verifier_ == nullptr ||  // PolicyChoice::None with live OWP
+                  verifier_->permits_join(waiter_state, target_state);
+  bool owp_rejected = false;
+  if (approved && owp_live && !owp_->permits_join(waiter, target)) {
+    approved = false;
+    owp_rejected = true;
+  }
+
+  if (approved) {
     if (target_done) return JoinDecision::Proceed;
     // Approved blocking joins still register their edge: a probation edge
     // elsewhere may need it to witness (or rule out) a cycle.
@@ -38,14 +52,16 @@ JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
     return JoinDecision::Proceed;
   }
 
-  policy_rejections_.fetch_add(1, std::memory_order_relaxed);
+  auto& rejections = owp_rejected ? owp_rejections_ : policy_rejections_;
+  auto& cleared = owp_rejected ? owp_false_positives_ : false_positives_;
+  rejections.fetch_add(1, std::memory_order_relaxed);
   if (mode_ == FaultMode::Throw) {
     return JoinDecision::FaultPolicy;
   }
   if (target_done) {
     // A join on a terminated task cannot block, hence cannot deadlock:
     // trivially a false positive of the policy.
-    false_positives_.fetch_add(1, std::memory_order_relaxed);
+    cleared.fetch_add(1, std::memory_order_relaxed);
     return JoinDecision::ProceedFalsePositive;
   }
   if (wfg_.add_probation_wait(waiter, target) ==
@@ -53,18 +69,154 @@ JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
     deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
     return JoinDecision::FaultDeadlock;
   }
-  false_positives_.fetch_add(1, std::memory_order_relaxed);
+  cleared.fetch_add(1, std::memory_order_relaxed);
   return JoinDecision::ProceedFalsePositive;
 }
 
-void JoinGate::leave_join(wfg::NodeId waiter, PolicyNode* waiter_state,
+void JoinGate::leave_join(wfg::NodeId waiter, wfg::NodeId target,
+                          PolicyNode* waiter_state,
                           const PolicyNode* target_state, bool completed) {
-  if (kind_ != PolicyChoice::None) {
+  const bool owp_live = owp_ != nullptr && owp_->active();
+  if (kind_ != PolicyChoice::None || owp_live) {
     wfg_.remove_wait(waiter);  // no-op if the join never registered an edge
   }
   if (completed && verifier_ != nullptr) {
     verifier_->on_join_complete(waiter_state, target_state);
   }
+  if (completed && owp_live) {
+    // The completed join's obligation edge enters H: a later await must not
+    // send target's fulfilment duties back through this waiter.
+    owp_->on_join(waiter, target);
+  }
+}
+
+PromiseNode* JoinGate::promise_made(std::uint64_t owner_uid,
+                                    std::uint64_t promise_uid) {
+  if (owp_ == nullptr) return nullptr;
+  PromiseNode* node = owp_->on_make(owner_uid, promise_uid);
+  wfg_.add_owner_edge(wfg::promise_node_id(promise_uid), owner_uid);
+  return node;
+}
+
+TransferDecision JoinGate::promise_transfer(PromiseNode* p,
+                                            std::uint64_t from_uid,
+                                            std::uint64_t to_uid) {
+  if (owp_ == nullptr) return TransferDecision::Ok;  // unverified: no owners
+  switch (owp_->check_transfer(p, from_uid, to_uid)) {
+    case TransferResult::Fulfilled:
+    case TransferResult::Orphaned:
+      return TransferDecision::FaultSettled;
+    case TransferResult::NotOwner:
+      ownership_violations_.fetch_add(1, std::memory_order_relaxed);
+      return TransferDecision::FaultNotOwner;
+    case TransferResult::TargetDead:
+      ownership_violations_.fetch_add(1, std::memory_order_relaxed);
+      return TransferDecision::FaultTargetDead;
+    case TransferResult::Ok:
+      break;
+  }
+  // The new owner must not already (transitively) wait on this promise.
+  const wfg::NodeId pnode = wfg::promise_node_id(p->uid());
+  if (wfg_.retarget_owner_edge(pnode, to_uid) ==
+      wfg::WaitVerdict::WouldDeadlock) {
+    deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+    return TransferDecision::FaultWouldDeadlock;
+  }
+  if (owp_->commit_transfer(p, to_uid)) {
+    // Receiver died between check and commit: the promise is orphaned.
+    wfg_.remove_owner_edge(pnode);
+    promises_orphaned_.fetch_add(1, std::memory_order_relaxed);
+    return TransferDecision::OrphanedReceiverDead;
+  }
+  return TransferDecision::Ok;
+}
+
+JoinDecision JoinGate::enter_await(std::uint64_t waiter_uid, PromiseNode* p,
+                                   bool fulfilled) {
+  awaits_checked_.fetch_add(1, std::memory_order_relaxed);
+  if (fulfilled || owp_ == nullptr) {
+    // A settled promise cannot block; unverified promises are never checked.
+    return JoinDecision::Proceed;
+  }
+  const wfg::NodeId pnode = wfg::promise_node_id(p->uid());
+  // Check-and-insert must be atomic across both graphs (see await_mu_).
+  std::lock_guard<std::mutex> lock(await_mu_);
+  switch (owp_->permits_await(waiter_uid, p)) {
+    case AwaitVerdict::RejectOrphaned:
+      // Nobody is obligated to fulfill the promise: blocking on it is a
+      // certain deadlock, and no WFG cycle can witness the absence of a
+      // fulfiller — fault directly.
+      owp_rejections_.fetch_add(1, std::memory_order_relaxed);
+      deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+      return JoinDecision::FaultDeadlock;
+    case AwaitVerdict::Allow:
+      if (wfg_.add_wait(waiter_uid, pnode) ==
+          wfg::WaitVerdict::WouldDeadlock) {
+        deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+        return JoinDecision::FaultDeadlock;
+      }
+      owp_->on_await(waiter_uid, p);
+      return JoinDecision::Proceed;
+    case AwaitVerdict::RejectCycle:
+      break;
+  }
+  owp_rejections_.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == FaultMode::Throw) {
+    return JoinDecision::FaultPolicy;
+  }
+  if (wfg_.add_probation_wait(waiter_uid, pnode) ==
+      wfg::WaitVerdict::WouldDeadlock) {
+    deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+    return JoinDecision::FaultDeadlock;
+  }
+  // A historical obligation path that is no longer live: proceed, but keep
+  // the (now probationary) edge and still learn the obligation.
+  owp_false_positives_.fetch_add(1, std::memory_order_relaxed);
+  owp_->on_await(waiter_uid, p);
+  return JoinDecision::ProceedFalsePositive;
+}
+
+void JoinGate::leave_await(std::uint64_t waiter_uid) {
+  if (owp_ == nullptr) return;
+  wfg_.remove_wait(waiter_uid);
+}
+
+FulfillDecision JoinGate::enter_fulfill(PromiseNode* p, std::uint64_t by_uid) {
+  if (owp_ == nullptr) return FulfillDecision::Proceed;
+  switch (owp_->check_fulfill(p, by_uid)) {
+    case FulfillResult::Settled:
+      return FulfillDecision::AlreadySettled;
+    case FulfillResult::NotOwner:
+      // The value still gets published either way (the fulfilment itself is
+      // benign); the *violation* is what the policy reports.
+      ownership_violations_.fetch_add(1, std::memory_order_relaxed);
+      return mode_ == FaultMode::Throw ? FulfillDecision::FaultNotOwner
+                                       : FulfillDecision::Proceed;
+    case FulfillResult::Ok:
+      break;
+  }
+  return FulfillDecision::Proceed;
+}
+
+void JoinGate::fulfill_committed(PromiseNode* p) {
+  if (owp_ == nullptr || p == nullptr) return;
+  owp_->commit_fulfill(p);
+  wfg_.remove_owner_edge(wfg::promise_node_id(p->uid()));
+}
+
+std::vector<std::uint64_t> JoinGate::task_exited(std::uint64_t uid) {
+  if (owp_ == nullptr) return {};
+  std::vector<std::uint64_t> orphans = owp_->on_task_exit(uid);
+  for (const std::uint64_t promise_uid : orphans) {
+    wfg_.remove_owner_edge(wfg::promise_node_id(promise_uid));
+  }
+  promises_orphaned_.fetch_add(orphans.size(), std::memory_order_relaxed);
+  return orphans;
+}
+
+void JoinGate::promise_released(PromiseNode* p) {
+  if (owp_ == nullptr || p == nullptr) return;
+  owp_->release(p);
 }
 
 GateStats JoinGate::stats() const {
@@ -74,6 +226,13 @@ GateStats JoinGate::stats() const {
   s.false_positives = false_positives_.load(std::memory_order_relaxed);
   s.deadlocks_averted = deadlocks_averted_.load(std::memory_order_relaxed);
   s.cycle_checks = wfg_.cycle_checks();
+  s.awaits_checked = awaits_checked_.load(std::memory_order_relaxed);
+  s.owp_rejections = owp_rejections_.load(std::memory_order_relaxed);
+  s.owp_false_positives =
+      owp_false_positives_.load(std::memory_order_relaxed);
+  s.ownership_violations =
+      ownership_violations_.load(std::memory_order_relaxed);
+  s.promises_orphaned = promises_orphaned_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -5,10 +5,18 @@
 // determine if the join would truly create a deadlock or if it is just a
 // false positive" — sound *and* precise as implemented.
 
+// Promises route through the same composition (the follow-up paper's
+// Ownership Policy): OWP rejections on awaits fall back to the WFG exactly
+// like TJ rejections on joins, and the WFG's persistent owner edges make
+// mixed future/promise cycles visible to either side's fallback.
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
 
+#include "core/owp.hpp"
 #include "core/verifier.hpp"
 #include "wfg/waits_for_graph.hpp"
 
@@ -39,13 +47,40 @@ struct GateStats {
   std::uint64_t false_positives = 0;    ///< rejections cleared by the fallback
   std::uint64_t deadlocks_averted = 0;  ///< joins faulted on a real cycle
   std::uint64_t cycle_checks = 0;       ///< WFG cycle detections performed
+  // Promise / ownership-policy counters (zero unless promises are in play).
+  std::uint64_t awaits_checked = 0;
+  std::uint64_t owp_rejections = 0;       ///< OWP flagged an await or join
+  std::uint64_t owp_false_positives = 0;  ///< ...that the fallback cleared
+  std::uint64_t ownership_violations = 0;  ///< non-owner fulfill/transfer tries
+  std::uint64_t promises_orphaned = 0;  ///< owner died holding them unfulfilled
+};
+
+/// Gate ruling on a fulfill attempt.
+enum class FulfillDecision : std::uint8_t {
+  Proceed,         ///< fulfill may commit
+  FaultNotOwner,   ///< ownership violation under FaultMode::Throw
+  AlreadySettled,  ///< promise already fulfilled or orphaned (usage error)
+};
+
+/// Gate ruling on an ownership transfer.
+enum class TransferDecision : std::uint8_t {
+  Ok,
+  OrphanedReceiverDead,  ///< transfer landed on a task that died meanwhile;
+                         ///< the promise is now orphaned — propagate it
+  FaultNotOwner,         ///< caller does not own the promise
+  FaultWouldDeadlock,    ///< new owner transitively waits on this promise
+  FaultSettled,          ///< promise already fulfilled or orphaned
+  FaultTargetDead,       ///< receiving task already terminated
 };
 
 class JoinGate {
  public:
   /// `verifier` may be nullptr for PolicyChoice::None (every join approved
-  /// unchecked) and CycleOnly (every join cycle-checked).
-  JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode);
+  /// unchecked) and CycleOnly (every join cycle-checked). `owp` may be
+  /// nullptr (PromisePolicy::Unverified): promise operations are then
+  /// recorded but never checked.
+  JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode,
+           OwpVerifier* owp = nullptr);
 
   /// Rules on a join (waiter → target). Unless the target has already
   /// terminated (`target_done`, which cannot deadlock) or the verdict is a
@@ -56,24 +91,71 @@ class JoinGate {
                           PolicyNode* waiter_state,
                           const PolicyNode* target_state, bool target_done);
 
-  /// Unregisters the wait edge and applies the policy's join rule (KJ-learn).
+  /// Unregisters the wait edge and applies the policy's join rule (KJ-learn)
+  /// plus, when promises are live, the OWP's obligation edge.
   /// `completed` is false when the join was abandoned (e.g. an exception).
-  void leave_join(wfg::NodeId waiter, PolicyNode* waiter_state,
-                  const PolicyNode* target_state, bool completed);
+  void leave_join(wfg::NodeId waiter, wfg::NodeId target,
+                  PolicyNode* waiter_state, const PolicyNode* target_state,
+                  bool completed);
+
+  // ---- promise path (all no-ops / Proceed when no OwpVerifier is wired) ----
+
+  /// Registers a fresh promise: OWP node + persistent WFG owner edge.
+  /// Returns nullptr when promises are unverified.
+  PromiseNode* promise_made(std::uint64_t owner_uid, std::uint64_t promise_uid);
+
+  /// Rules on and (if clean) commits an ownership transfer p: from → to.
+  TransferDecision promise_transfer(PromiseNode* p, std::uint64_t from_uid,
+                                    std::uint64_t to_uid);
+
+  /// Rules on a blocking await. `fulfilled` short-circuits (cannot block).
+  /// On a Proceed* verdict the caller MUST eventually call leave_await().
+  JoinDecision enter_await(std::uint64_t waiter_uid, PromiseNode* p,
+                           bool fulfilled);
+
+  /// Unregisters the await's wait edge.
+  void leave_await(std::uint64_t waiter_uid);
+
+  /// Ownership check before fulfilling. The caller performs the state
+  /// transition itself and then calls fulfill_committed().
+  FulfillDecision enter_fulfill(PromiseNode* p, std::uint64_t by_uid);
+
+  /// Marks the promise settled in the OWP and drops its owner edge.
+  void fulfill_committed(PromiseNode* p);
+
+  /// Records a task's termination; orphans every unfulfilled promise it still
+  /// owned and returns their uids so the runtime can fault their awaiters.
+  std::vector<std::uint64_t> task_exited(std::uint64_t uid);
+
+  /// Releases a promise's policy state when its last handle dies.
+  void promise_released(PromiseNode* p);
 
   GateStats stats() const;
   const wfg::WaitsForGraph& graph() const { return wfg_; }
   PolicyChoice kind() const { return kind_; }
+  OwpVerifier* ownership_verifier() const { return owp_; }
 
  private:
   PolicyChoice kind_;
   Verifier* verifier_;  // not owned
   FaultMode mode_;
+  OwpVerifier* owp_;  // not owned; nullptr ⇒ promises unverified
   wfg::WaitsForGraph wfg_;
+  // Serializes {permits_await, WFG edge insertion, on_await} so two racing
+  // awaits cannot both observe a cycle-free obligation graph and insert the
+  // edges that jointly close a cycle. Without it the WFG still averts the
+  // deadlock (it sees the union atomically) but attributes the fault to the
+  // fallback instead of an OWP rejection.
+  std::mutex await_mu_;
   std::atomic<std::uint64_t> joins_checked_{0};
   std::atomic<std::uint64_t> policy_rejections_{0};
   std::atomic<std::uint64_t> false_positives_{0};
   std::atomic<std::uint64_t> deadlocks_averted_{0};
+  std::atomic<std::uint64_t> awaits_checked_{0};
+  std::atomic<std::uint64_t> owp_rejections_{0};
+  std::atomic<std::uint64_t> owp_false_positives_{0};
+  std::atomic<std::uint64_t> ownership_violations_{0};
+  std::atomic<std::uint64_t> promises_orphaned_{0};
 };
 
 }  // namespace tj::core

@@ -1,0 +1,157 @@
+#include "core/owp.hpp"
+
+#include <vector>
+
+namespace tj::core {
+
+OwpVerifier::~OwpVerifier() = default;
+
+bool OwpVerifier::reaches_locked(std::uint64_t from, std::uint64_t to) const {
+  if (from == to) return true;
+  std::vector<std::uint64_t> stack{from};
+  std::unordered_set<std::uint64_t> visited{from};
+  while (!stack.empty()) {
+    const std::uint64_t cur = stack.back();
+    stack.pop_back();
+    const auto it = edges_.find(cur);
+    if (it == edges_.end()) continue;
+    for (const std::uint64_t next : it->second) {
+      if (next == to) return true;
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void OwpVerifier::add_edge_locked(std::uint64_t from, std::uint64_t to) {
+  if (edges_[from].insert(to).second) alloc_.add(edge_bytes());
+}
+
+PromiseNode* OwpVerifier::on_make(std::uint64_t owner_uid,
+                                  std::uint64_t promise_uid) {
+  active_.store(true, std::memory_order_relaxed);
+  auto* node = new PromiseNode(promise_uid, owner_uid);
+  alloc_.add(node_bytes());
+  std::scoped_lock lock(mu_);
+  owned_[owner_uid].insert(node);
+  return node;
+}
+
+TransferResult OwpVerifier::check_transfer(const PromiseNode* p,
+                                           std::uint64_t from_uid,
+                                           std::uint64_t to_uid) const {
+  std::scoped_lock lock(mu_);
+  switch (p->state_) {
+    case PromiseNode::State::Fulfilled:
+      return TransferResult::Fulfilled;
+    case PromiseNode::State::Orphaned:
+      return TransferResult::Orphaned;
+    case PromiseNode::State::Unfulfilled:
+      break;
+  }
+  if (p->owner_ != from_uid) return TransferResult::NotOwner;
+  if (dead_tasks_.contains(to_uid)) return TransferResult::TargetDead;
+  return TransferResult::Ok;
+}
+
+bool OwpVerifier::commit_transfer(PromiseNode* p, std::uint64_t to_uid) {
+  std::scoped_lock lock(mu_);
+  if (p->state_ != PromiseNode::State::Unfulfilled) return false;
+  const auto it = owned_.find(p->owner_);
+  if (it != owned_.end()) it->second.erase(p);
+  p->owner_ = to_uid;
+  if (dead_tasks_.contains(to_uid)) {
+    // The receiver terminated between check and commit: nobody is left to
+    // fulfill the promise — orphan it now rather than losing it.
+    p->state_ = PromiseNode::State::Orphaned;
+    return true;
+  }
+  owned_[to_uid].insert(p);
+  return false;
+}
+
+FulfillResult OwpVerifier::check_fulfill(const PromiseNode* p,
+                                         std::uint64_t by_uid) const {
+  std::scoped_lock lock(mu_);
+  if (p->state_ != PromiseNode::State::Unfulfilled) {
+    return FulfillResult::Settled;
+  }
+  return p->owner_ == by_uid ? FulfillResult::Ok : FulfillResult::NotOwner;
+}
+
+void OwpVerifier::commit_fulfill(PromiseNode* p) {
+  std::scoped_lock lock(mu_);
+  if (p->state_ != PromiseNode::State::Unfulfilled) return;
+  const auto it = owned_.find(p->owner_);
+  if (it != owned_.end()) it->second.erase(p);
+  p->state_ = PromiseNode::State::Fulfilled;
+}
+
+AwaitVerdict OwpVerifier::permits_await(std::uint64_t waiter_uid,
+                                        const PromiseNode* p) const {
+  std::scoped_lock lock(mu_);
+  switch (p->state_) {
+    case PromiseNode::State::Fulfilled:
+      return AwaitVerdict::Allow;  // never blocks
+    case PromiseNode::State::Orphaned:
+      return AwaitVerdict::RejectOrphaned;
+    case PromiseNode::State::Unfulfilled:
+      break;
+  }
+  // Blocking on a promise whose obligation already reaches the waiter
+  // (including owning it yourself) could self-deadlock: reject and let the
+  // precise fallback rule.
+  return reaches_locked(p->owner_, waiter_uid) ? AwaitVerdict::RejectCycle
+                                               : AwaitVerdict::Allow;
+}
+
+void OwpVerifier::on_await(std::uint64_t waiter_uid, const PromiseNode* p) {
+  std::scoped_lock lock(mu_);
+  if (p->state_ != PromiseNode::State::Unfulfilled) return;
+  add_edge_locked(waiter_uid, p->owner_);
+}
+
+bool OwpVerifier::permits_join(std::uint64_t waiter_uid,
+                               std::uint64_t target_uid) const {
+  std::scoped_lock lock(mu_);
+  return !reaches_locked(target_uid, waiter_uid);
+}
+
+void OwpVerifier::on_join(std::uint64_t waiter_uid, std::uint64_t target_uid) {
+  std::scoped_lock lock(mu_);
+  add_edge_locked(waiter_uid, target_uid);
+}
+
+std::vector<std::uint64_t> OwpVerifier::on_task_exit(std::uint64_t uid) {
+  // Unconditional (no active() fast-path): the dead-task set must be complete
+  // for check_transfer/commit_transfer to reliably refuse handoffs to
+  // terminated tasks — a stale relaxed read of active_ here could let a
+  // transfer land on a dead receiver and strand its awaiters.
+  std::scoped_lock lock(mu_);
+  dead_tasks_.insert(uid);
+  const auto it = owned_.find(uid);
+  if (it == owned_.end()) return {};
+  std::vector<std::uint64_t> orphans;
+  orphans.reserve(it->second.size());
+  for (PromiseNode* p : it->second) {
+    p->state_ = PromiseNode::State::Orphaned;
+    orphans.push_back(p->uid_);
+  }
+  owned_.erase(it);
+  return orphans;
+}
+
+void OwpVerifier::release(PromiseNode* p) {
+  if (p == nullptr) return;
+  {
+    std::scoped_lock lock(mu_);
+    if (p->state_ == PromiseNode::State::Unfulfilled) {
+      const auto it = owned_.find(p->owner_);
+      if (it != owned_.end()) it->second.erase(p);
+    }
+  }
+  alloc_.sub(node_bytes());
+  delete p;
+}
+
+}  // namespace tj::core

@@ -16,6 +16,25 @@ enum class PolicyChoice : std::uint8_t {
   CycleOnly,  ///< no policy; every join verified by cycle detection (Armus)
 };
 
+/// Verification applied to *promise* operations (make/fulfill/transfer/
+/// await), orthogonal to the join policy above. Futures are covered by
+/// PolicyChoice; promises — which any task may fulfill — need the ownership
+/// discipline of the authors' follow-up paper (arXiv:2101.01312).
+enum class PromisePolicy : std::uint8_t {
+  Unverified,  ///< baseline: promise operations are unchecked
+  OWP,         ///< Ownership Policy verifier (Voss & Sarkar 2021)
+};
+
+constexpr std::string_view to_string(PromisePolicy p) {
+  switch (p) {
+    case PromisePolicy::Unverified:
+      return "unverified";
+    case PromisePolicy::OWP:
+      return "OWP";
+  }
+  return "<bad promise policy>";
+}
+
 constexpr std::string_view to_string(PolicyChoice p) {
   switch (p) {
     case PolicyChoice::None:

@@ -14,6 +14,7 @@
 #include "runtime/config.hpp"
 #include "runtime/errors.hpp"
 #include "runtime/future.hpp"
+#include "runtime/promise.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
@@ -26,6 +27,23 @@ template <typename F>
 auto async(F&& fn) {
   TaskBase& cur = current_task();
   return cur.runtime()->spawn(std::forward<F>(fn));
+}
+
+/// Makes a promise owned by the current task (the `make` action of the
+/// ownership-policy model). The owner must fulfill it or transfer the
+/// obligation before terminating, or the promise is orphaned.
+template <typename T>
+Promise<T> make_promise() {
+  TaskBase& cur = current_task();
+  return cur.runtime()->template make_promise<T>();
+}
+
+/// Forks `fn` as a child of the current task and hands it ownership of `p`
+/// before it can run: the child is now the task obligated to fulfill `p`.
+template <typename T, typename F>
+auto async_owning(const Promise<T>& p, F&& fn) {
+  TaskBase& cur = current_task();
+  return cur.runtime()->spawn_owning(p, std::forward<F>(fn));
 }
 
 }  // namespace tj::runtime

@@ -29,6 +29,10 @@ constexpr std::string_view to_string(SchedulerMode m) {
 
 struct Config {
   core::PolicyChoice policy = core::PolicyChoice::TJ_SP;
+  /// Verification of promise operations (orthogonal to `policy`, which
+  /// covers futures/joins). OWP is cheap when unused — a program that never
+  /// makes a promise pays one relaxed load per join — so it defaults on.
+  core::PromisePolicy promise_policy = core::PromisePolicy::OWP;
   core::FaultMode fault = core::FaultMode::Fallback;
   SchedulerMode scheduler = SchedulerMode::Cooperative;
   /// Worker threads; 0 → std::thread::hardware_concurrency().

@@ -1,0 +1,292 @@
+#pragma once
+// Promise<T>: a single-assignment cell that is *fulfillable by any task*
+// holding the handle and readable by many — the promises of the follow-up
+// paper (Voss & Sarkar, arXiv:2101.01312), as opposed to a Future, whose
+// producing task is fixed at fork time. get() performs a verified await:
+// under PromisePolicy::OWP the runtime checks the ownership policy first and
+// may raise DeadlockAvoidedError / PolicyViolationError instead of blocking
+// into a deadlock; under PromisePolicy::Unverified awaits are unchecked.
+//
+// Ownership: the making task owns the promise (is obligated to fulfill it)
+// until it fulfills it or transfers ownership — explicitly via transfer_to()
+// or at spawn time via async_owning(). A task that terminates still owning
+// an unfulfilled promise *orphans* it: every present or future get() on an
+// orphaned promise faults with DeadlockAvoidedError, since no task is
+// obligated to fulfill it any more.
+//
+// Handles are copyable and shared; they must not outlive their Runtime
+// (same rule as Future).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "runtime/errors.hpp"
+
+namespace tj::core {
+class PromiseNode;
+}  // namespace tj::core
+
+namespace tj::runtime {
+
+class Runtime;
+class TaskBase;
+
+namespace detail {
+
+/// Type-erased shared state. The phase machine serializes fulfillment:
+/// exactly one fulfiller CASes Unfulfilled → Fulfilling, publishes the value
+/// and releases Fulfilled; orphaning CASes Unfulfilled → Orphaned (losing to
+/// an in-flight fulfill, whose value then still arrives).
+class PromiseStateBase {
+ public:
+  enum Phase : std::uint32_t {
+    kUnfulfilled = 0,
+    kFulfilling = 1,
+    kFulfilled = 2,
+    kOrphaned = 3,
+  };
+
+  virtual ~PromiseStateBase();  // unregisters from the runtime (runtime.cpp)
+  PromiseStateBase() = default;
+  PromiseStateBase(const PromiseStateBase&) = delete;
+  PromiseStateBase& operator=(const PromiseStateBase&) = delete;
+
+  bool fulfilled() const {
+    return phase_.load(std::memory_order_acquire) == kFulfilled;
+  }
+  bool settled() const {
+    const std::uint32_t p = phase_.load(std::memory_order_acquire);
+    return p == kFulfilled || p == kOrphaned;
+  }
+
+  /// CAS Unfulfilled → Fulfilling; the winner is the unique fulfiller.
+  bool try_begin_fulfill() {
+    std::uint32_t expected = kUnfulfilled;
+    return phase_.compare_exchange_strong(expected, kFulfilling,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  /// Publishes Fulfilled (the value, if any, must be stored already) and
+  /// wakes every blocked awaiter.
+  void publish_fulfilled() {
+    phase_.store(kFulfilled, std::memory_order_release);
+    phase_.notify_all();
+  }
+
+  /// Marks the fulfill as failed (e.g. the value's copy threw): awaiters are
+  /// woken and fault as if the promise were orphaned. Pre: the caller holds
+  /// the kFulfilling claim (unconditional store is safe only then).
+  void publish_orphaned() {
+    phase_.store(kOrphaned, std::memory_order_release);
+    phase_.notify_all();
+  }
+
+  /// CAS Unfulfilled → Orphaned; loses to an in-flight fulfill (whose value
+  /// then still arrives). Used by the runtime's orphan sweep.
+  bool try_orphan() {
+    std::uint32_t expected = kUnfulfilled;
+    if (phase_.compare_exchange_strong(expected, kOrphaned,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      phase_.notify_all();
+      return true;
+    }
+    return false;
+  }
+
+  /// Blocks (futex-style) until fulfilled or orphaned.
+  void wait_settled() const {
+    std::uint32_t p = phase_.load(std::memory_order_acquire);
+    while (p == kUnfulfilled || p == kFulfilling) {
+      phase_.wait(p, std::memory_order_acquire);
+      p = phase_.load(std::memory_order_acquire);
+    }
+  }
+
+  std::uint64_t uid() const { return uid_; }
+  Runtime* runtime() const { return rt_; }
+
+ private:
+  friend class tj::runtime::Runtime;
+  friend void await_promise_state(PromiseStateBase&);
+  friend void fulfill_check(PromiseStateBase&);
+  friend void fulfill_record(PromiseStateBase&);
+  friend void fulfill_committed(PromiseStateBase&);
+  friend void transfer_promise_state(PromiseStateBase&, const TaskBase&);
+
+  std::uint64_t uid_ = 0;
+  Runtime* rt_ = nullptr;
+  core::PromiseNode* pnode_ = nullptr;  // owned by the runtime's OwpVerifier
+  std::atomic<std::uint32_t> phase_{kUnfulfilled};
+};
+
+template <typename T>
+class PromiseState final : public PromiseStateBase {
+ public:
+  // Written by the unique fulfiller before publish_fulfilled(); read by
+  // awaiters after observing kFulfilled (release/acquire on phase_).
+  std::optional<T> value_;
+};
+
+template <>
+class PromiseState<void> final : public PromiseStateBase {};
+
+// Runtime operations on promise state, defined in runtime.cpp (keeps this
+// header free of a cycle with runtime.hpp).
+
+/// Verified await of the *current* task on `s`: OWP check → fault or block →
+/// bookkeeping. Post: s.fulfilled() — an orphaned promise faults instead.
+void await_promise_state(PromiseStateBase& s);
+
+/// Ownership-policy check before fulfilling; throws on a violation in
+/// FaultMode::Throw or when the promise has already settled.
+void fulfill_check(PromiseStateBase& s);
+
+/// Records the fulfill action in the trace (called by the CAS winner before
+/// the value is published, so recorded fulfills precede recorded awaits).
+void fulfill_record(PromiseStateBase& s);
+
+/// Settles the promise in the OWP and drops its WFG owner edge.
+void fulfill_committed(PromiseStateBase& s);
+
+/// Transfers ownership of `s` from the current task to `to`.
+void transfer_promise_state(PromiseStateBase& s, const TaskBase& to);
+
+}  // namespace detail
+
+template <typename T>
+class Promise {
+ public:
+  Promise() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True iff a value has been published (never blocks).
+  bool ready() const {
+    require_valid();
+    return state_->fulfilled();
+  }
+
+  /// Fulfills the promise with `value`. Any task may call this, but under
+  /// PromisePolicy::OWP a non-owner fulfill is an ownership violation
+  /// (PolicyViolationError in FaultMode::Throw, counted otherwise), and a
+  /// second fulfill is a UsageError.
+  void fulfill(T value) const {
+    require_valid();
+    detail::fulfill_check(*state_);
+    if (!state_->try_begin_fulfill()) {
+      throw UsageError("promise already settled");
+    }
+    detail::fulfill_record(*state_);
+    try {
+      state_->value_.emplace(std::move(value));
+    } catch (...) {
+      state_->publish_orphaned();
+      throw;
+    }
+    state_->publish_fulfilled();
+    detail::fulfill_committed(*state_);
+  }
+
+  /// Awaits the promise: verified by the ownership policy, blocks until a
+  /// value arrives, then returns it (copy; many tasks may await one
+  /// promise). Faults with DeadlockAvoidedError if blocking would deadlock
+  /// or the promise is orphaned.
+  T get() const {
+    require_valid();
+    detail::await_promise_state(*state_);
+    return *state_->value_;
+  }
+
+  /// Alias for get() discarding the value.
+  void await() const { (void)get(); }
+
+  /// Transfers the fulfilment obligation to `to` (which must still be
+  /// live). Only the owner may transfer; a transfer that would make the new
+  /// owner wait on its own obligation faults with DeadlockAvoidedError.
+  void transfer_to(const TaskBase& to) const {
+    require_valid();
+    detail::transfer_promise_state(*state_, to);
+  }
+
+  /// Promise uid (for diagnostics/tests).
+  std::uint64_t uid() const {
+    require_valid();
+    return state_->uid();
+  }
+
+ private:
+  friend class Runtime;
+
+  explicit Promise(std::shared_ptr<detail::PromiseState<T>> s)
+      : state_(std::move(s)) {}
+
+  void require_valid() const {
+    if (state_ == nullptr) {
+      throw UsageError("Promise: empty handle");
+    }
+  }
+
+  std::shared_ptr<detail::PromiseState<T>> state_;
+};
+
+template <>
+class Promise<void> {
+ public:
+  Promise() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool ready() const {
+    require_valid();
+    return state_->fulfilled();
+  }
+
+  void fulfill() const {
+    require_valid();
+    detail::fulfill_check(*state_);
+    if (!state_->try_begin_fulfill()) {
+      throw UsageError("promise already settled");
+    }
+    detail::fulfill_record(*state_);
+    state_->publish_fulfilled();
+    detail::fulfill_committed(*state_);
+  }
+
+  void get() const {
+    require_valid();
+    detail::await_promise_state(*state_);
+  }
+
+  void await() const { get(); }
+
+  void transfer_to(const TaskBase& to) const {
+    require_valid();
+    detail::transfer_promise_state(*state_, to);
+  }
+
+  std::uint64_t uid() const {
+    require_valid();
+    return state_->uid();
+  }
+
+ private:
+  friend class Runtime;
+
+  explicit Promise(std::shared_ptr<detail::PromiseState<void>> s)
+      : state_(std::move(s)) {}
+
+  void require_valid() const {
+    if (state_ == nullptr) {
+      throw UsageError("Promise: empty handle");
+    }
+  }
+
+  std::shared_ptr<detail::PromiseState<void>> state_;
+};
+
+}  // namespace tj::runtime

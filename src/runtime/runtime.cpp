@@ -25,6 +25,21 @@ TaskBase::~TaskBase() {
   }
 }
 
+void TaskBase::run() {
+  try {
+    execute();
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  if (rt_ != nullptr) {
+    // Must complete before the Done store: transfer_promise relies on
+    // "done() implies the exit hook ran" (see Runtime::task_exiting).
+    rt_->task_exiting(*this);
+  }
+  state_.store(TaskState::Done, std::memory_order_release);
+  state_.notify_all();
+}
+
 namespace detail {
 
 void join_current_on(TaskBase& target) {
@@ -35,12 +50,68 @@ void join_current_on(TaskBase& target) {
   rt->join(target);
 }
 
+PromiseStateBase::~PromiseStateBase() {
+  if (rt_ != nullptr) {
+    rt_->promise_state_released(*this);
+  }
+}
+
+void await_promise_state(PromiseStateBase& s) {
+  Runtime* rt = s.rt_;
+  if (rt == nullptr) {
+    throw UsageError("await: promise was never registered with a runtime");
+  }
+  rt->await_promise(s);
+}
+
+void fulfill_check(PromiseStateBase& s) {
+  Runtime* rt = s.rt_;
+  if (rt == nullptr) {
+    throw UsageError("fulfill: promise was never registered with a runtime");
+  }
+  TaskBase& cur = current_task();
+  if (cur.runtime() != rt) {
+    throw UsageError("fulfill: current task belongs to another runtime");
+  }
+  switch (rt->gate_.enter_fulfill(s.pnode_, cur.uid())) {
+    case core::FulfillDecision::AlreadySettled:
+      throw UsageError("promise already settled");
+    case core::FulfillDecision::FaultNotOwner:
+      throw PolicyViolationError(
+          "fulfill rejected: the calling task does not own the promise");
+    case core::FulfillDecision::Proceed:
+      break;
+  }
+}
+
+void fulfill_record(PromiseStateBase& s) {
+  Runtime* rt = s.rt_;
+  if (rt->cfg_.record_trace) {
+    rt->record(trace::fulfill(
+        static_cast<trace::TaskId>(current_task().uid()),
+        static_cast<trace::PromiseId>(s.uid_)));
+  }
+}
+
+void fulfill_committed(PromiseStateBase& s) {
+  s.rt_->gate_.fulfill_committed(s.pnode_);
+}
+
+void transfer_promise_state(PromiseStateBase& s, const TaskBase& to) {
+  Runtime* rt = s.rt_;
+  if (rt == nullptr) {
+    throw UsageError("transfer: promise was never registered with a runtime");
+  }
+  rt->transfer_promise(s, to);
+}
+
 }  // namespace detail
 
 Runtime::Runtime(Config cfg)
     : cfg_(cfg),
       verifier_(core::make_verifier(cfg.policy)),
-      gate_(cfg.policy, verifier_.get(), cfg.fault),
+      owp_(core::make_ownership_verifier(cfg.promise_policy)),
+      gate_(cfg.policy, verifier_.get(), cfg.fault, owp_.get()),
       sched_(cfg.scheduler, cfg.effective_workers(), cfg.max_threads) {}
 
 Runtime::~Runtime() {
@@ -121,15 +192,142 @@ void Runtime::join(TaskBase& target) {
       sched_.join_wait(target);
     }
   } catch (...) {
-    gate_.leave_join(cur.uid(), cur.policy_node(), target.policy_node(),
-                     /*completed=*/false);
+    gate_.leave_join(cur.uid(), target.uid(), cur.policy_node(),
+                     target.policy_node(), /*completed=*/false);
     throw;
   }
-  gate_.leave_join(cur.uid(), cur.policy_node(), target.policy_node(),
-                   /*completed=*/true);
+  gate_.leave_join(cur.uid(), target.uid(), cur.policy_node(),
+                   target.policy_node(), /*completed=*/true);
   if (cfg_.record_trace) {
     record(trace::join(static_cast<trace::TaskId>(cur.uid()),
                        static_cast<trace::TaskId>(target.uid())));
+  }
+}
+
+void Runtime::init_promise_state(detail::PromiseStateBase& s) {
+  TaskBase& cur = current_task();
+  if (cur.runtime() != this) {
+    throw UsageError("make_promise: current task belongs to another runtime");
+  }
+  s.uid_ = next_promise_uid_.fetch_add(1, std::memory_order_relaxed);
+  s.rt_ = this;
+  s.pnode_ = gate_.promise_made(cur.uid(), s.uid_);
+  {
+    std::scoped_lock lock(promises_mu_);
+    promises_.emplace(s.uid_, &s);
+  }
+  if (cfg_.record_trace) {
+    record(trace::make(static_cast<trace::TaskId>(cur.uid()),
+                       static_cast<trace::PromiseId>(s.uid_)));
+  }
+}
+
+void Runtime::await_promise(detail::PromiseStateBase& s) {
+  if (cfg_.chaos_seed != 0 && chaos_roll(cfg_.chaos_seed)) {
+    std::this_thread::yield();
+  }
+  TaskBase& cur = current_task();
+  if (cur.runtime() != this) {
+    throw UsageError("await: current task belongs to another runtime");
+  }
+  const bool was_fulfilled = s.fulfilled();
+  const core::JoinDecision d =
+      gate_.enter_await(cur.uid(), s.pnode_, was_fulfilled);
+  switch (d) {
+    case core::JoinDecision::FaultDeadlock:
+      throw DeadlockAvoidedError(
+          "await aborted: the promise is orphaned or blocking on it would "
+          "create a deadlock cycle");
+    case core::JoinDecision::FaultPolicy:
+      throw PolicyViolationError("await rejected by the ownership policy");
+    case core::JoinDecision::Proceed:
+    case core::JoinDecision::ProceedFalsePositive:
+      break;
+  }
+  if (!was_fulfilled) {
+    try {
+      // Awaits cannot be helped by cooperative inlining (no known fulfiller
+      // task to run), so both scheduler modes treat them as a blocking
+      // region and may grow a compensation worker.
+      sched_.enter_blocking_region();
+      s.wait_settled();
+      sched_.exit_blocking_region();
+    } catch (...) {
+      gate_.leave_await(cur.uid());
+      throw;
+    }
+    gate_.leave_await(cur.uid());
+  }
+  if (!s.fulfilled()) {
+    // Woken by orphaning, not by a value: the promise's owner terminated
+    // while we were blocked. Certain deadlock without the wake-up.
+    throw DeadlockAvoidedError(
+        "await aborted: the promise was orphaned while blocking (its owner "
+        "terminated without fulfilling it)");
+  }
+  if (cfg_.record_trace) {
+    record(trace::await(static_cast<trace::TaskId>(cur.uid()),
+                        static_cast<trace::PromiseId>(s.uid_)));
+  }
+}
+
+void Runtime::transfer_promise(detail::PromiseStateBase& s,
+                               const TaskBase& to) {
+  TaskBase& cur = current_task();
+  if (cur.runtime() != this || to.runtime() != this) {
+    throw UsageError("transfer: task belongs to another runtime");
+  }
+  if (to.done()) {
+    throw UsageError("transfer: receiving task already terminated");
+  }
+  switch (gate_.promise_transfer(s.pnode_, cur.uid(), to.uid())) {
+    case core::TransferDecision::FaultNotOwner:
+      throw PolicyViolationError(
+          "transfer rejected: the calling task does not own the promise");
+    case core::TransferDecision::FaultSettled:
+      throw UsageError("transfer: promise already settled");
+    case core::TransferDecision::FaultTargetDead:
+      throw UsageError("transfer: receiving task already terminated");
+    case core::TransferDecision::FaultWouldDeadlock:
+      throw DeadlockAvoidedError(
+          "transfer aborted: the new owner transitively waits on this "
+          "promise");
+    case core::TransferDecision::OrphanedReceiverDead:
+      // Ownership moved, but the receiver died in the handoff window: the
+      // promise is orphaned exactly as if the receiver had died owning it.
+      s.try_orphan();
+      break;
+    case core::TransferDecision::Ok:
+      break;
+  }
+  if (cfg_.record_trace) {
+    record(trace::transfer(static_cast<trace::TaskId>(cur.uid()),
+                           static_cast<trace::TaskId>(to.uid()),
+                           static_cast<trace::PromiseId>(s.uid_)));
+  }
+}
+
+void Runtime::promise_state_released(detail::PromiseStateBase& s) {
+  {
+    std::scoped_lock lock(promises_mu_);
+    promises_.erase(s.uid_);
+  }
+  gate_.promise_released(s.pnode_);
+}
+
+void Runtime::task_exiting(TaskBase& t) {
+  const std::vector<std::uint64_t> orphans = gate_.task_exited(t.uid());
+  if (!orphans.empty()) {
+    orphan_states(orphans);
+  }
+}
+
+void Runtime::orphan_states(const std::vector<std::uint64_t>& promise_uids) {
+  std::scoped_lock lock(promises_mu_);
+  for (const std::uint64_t uid : promise_uids) {
+    const auto it = promises_.find(uid);
+    if (it == promises_.end()) continue;  // last handle already dropped
+    it->second->try_orphan();  // loses to an in-flight (non-owner) fulfill
   }
 }
 

@@ -9,14 +9,17 @@
 #include <memory>
 #include <mutex>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 
 #include "core/guarded.hpp"
+#include "core/owp.hpp"
 #include "trace/trace.hpp"
 #include "core/verifier.hpp"
 #include "runtime/config.hpp"
 #include "runtime/errors.hpp"
 #include "runtime/future.hpp"
+#include "runtime/promise.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
 
@@ -72,8 +75,39 @@ class Runtime {
   /// policy check, fault or wait, then completion bookkeeping.
   void join(TaskBase& target);
 
+  /// Makes a promise owned by the current task. Used through make_promise()
+  /// in api.hpp.
+  template <typename T>
+  Promise<T> make_promise() {
+    auto state = std::make_shared<detail::PromiseState<T>>();
+    init_promise_state(*state);
+    return Promise<T>(std::move(state));
+  }
+
+  /// Forks `fn` as a child of the current task and transfers ownership of
+  /// `p` to it before it can run — the canonical "spawn the task obligated
+  /// to fulfill this promise" idiom, with no window in which the child could
+  /// terminate before receiving ownership.
+  template <typename T, typename F>
+  auto spawn_owning(const Promise<T>& p, F&& fn) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    TaskBase& parent = current_task();
+    if (parent.runtime() != this) {
+      throw UsageError("spawn: current task belongs to another runtime");
+    }
+    auto task = std::make_shared<detail::TaskImpl<R, std::decay_t<F>>>(
+        std::forward<F>(fn));
+    register_task(*task, &parent);
+    p.transfer_to(*task);  // child not yet submitted: cannot race its exit
+    std::shared_ptr<Task<R>> handle = task;
+    sched_.submit(std::move(task));
+    return Future<R>(std::move(handle));
+  }
+
   const Config& config() const { return cfg_; }
   core::GateStats gate_stats() const { return gate_.stats(); }
+  /// The gate itself (diagnostics/tests: e.g. polling graph().is_waiting()).
+  const core::JoinGate& gate() const { return gate_; }
   core::Verifier* verifier() { return verifier_.get(); }
   Scheduler& scheduler() { return sched_; }
 
@@ -85,9 +119,20 @@ class Runtime {
     return verifier_ ? verifier_->peak_bytes() : 0;
   }
 
+  /// Exact live/peak bytes of ownership-policy state (0 when unverified).
+  std::size_t owp_bytes() const { return owp_ ? owp_->bytes_in_use() : 0; }
+  std::size_t owp_peak_bytes() const {
+    return owp_ ? owp_->peak_bytes() : 0;
+  }
+
   /// Number of tasks created (root included) — the trace's |A|.
   std::uint64_t tasks_created() const {
     return next_uid_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of promises made — the trace's |P|.
+  std::uint64_t promises_made() const {
+    return next_promise_uid_.load(std::memory_order_relaxed);
   }
 
   /// The recorded execution trace (Def. 3.1): init/fork actions at task
@@ -98,20 +143,44 @@ class Runtime {
  private:
   friend class TaskBase;
   friend void detail::join_current_on(TaskBase&);
+  friend class detail::PromiseStateBase;
+  friend void detail::await_promise_state(detail::PromiseStateBase&);
+  friend void detail::fulfill_check(detail::PromiseStateBase&);
+  friend void detail::fulfill_record(detail::PromiseStateBase&);
+  friend void detail::fulfill_committed(detail::PromiseStateBase&);
+  friend void detail::transfer_promise_state(detail::PromiseStateBase&,
+                                             const TaskBase&);
 
   void claim_root();
   void register_task(TaskBase& t, const TaskBase* parent);
   void release_node(core::PolicyNode* node);
   void record(const trace::Action& a);
 
+  // Promise plumbing (implementations in runtime.cpp).
+  void init_promise_state(detail::PromiseStateBase& s);
+  void await_promise(detail::PromiseStateBase& s);
+  void transfer_promise(detail::PromiseStateBase& s, const TaskBase& to);
+  void promise_state_released(detail::PromiseStateBase& s);
+  /// Task-exit hook, called by TaskBase::run() *before* Done is published:
+  /// a transfer that commits after this ran observes the task in the OWP's
+  /// dead set; one that committed before is swept here. Either way no
+  /// promise is stranded on a terminated owner.
+  void task_exiting(TaskBase& t);
+  void orphan_states(const std::vector<std::uint64_t>& promise_uids);
+
   Config cfg_;
   std::unique_ptr<core::Verifier> verifier_;
+  std::unique_ptr<core::OwpVerifier> owp_;
   core::JoinGate gate_;
   Scheduler sched_;
   std::atomic<std::uint64_t> next_uid_{0};
+  std::atomic<std::uint64_t> next_promise_uid_{0};
   std::atomic<bool> root_claimed_{false};
   mutable std::mutex trace_mu_;
   std::vector<trace::Action> recorded_;  // guarded by trace_mu_
+  mutable std::mutex promises_mu_;
+  // Live promise states by uid (for the orphan sweep).  guarded by promises_mu_
+  std::unordered_map<std::uint64_t, detail::PromiseStateBase*> promises_;
 };
 
 }  // namespace tj::runtime

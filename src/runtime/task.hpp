@@ -41,17 +41,12 @@ class TaskBase {
                                           std::memory_order_acquire);
   }
 
-  /// Executes the body, captures any exception, publishes Done and wakes
-  /// every blocked joiner. Pre: this thread claimed the task.
-  void run() {
-    try {
-      execute();
-    } catch (...) {
-      error_ = std::current_exception();
-    }
-    state_.store(TaskState::Done, std::memory_order_release);
-    state_.notify_all();
-  }
+  /// Executes the body, captures any exception, runs the runtime's task-exit
+  /// hook (which orphans promises the task still owns — it must complete
+  /// *before* Done is published, see Runtime::task_exiting), then publishes
+  /// Done and wakes every blocked joiner. Pre: this thread claimed the task.
+  /// Defined in runtime.cpp.
+  void run();
 
   /// Blocks the calling thread until the task is Done (futex-style wait).
   void wait_done() const {

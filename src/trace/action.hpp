@@ -1,5 +1,8 @@
 #pragma once
-// Trace actions per Definition 3.1 of the paper: init(a), fork(a,b), join(a,b).
+// Trace actions per Definition 3.1 of the paper — init(a), fork(a,b),
+// join(a,b) — extended with the promise operations of the authors' follow-up
+// ("An Ownership Policy and Deadlock Detector for Promises", Voss & Sarkar,
+// arXiv:2101.01312): make(a,p), fulfill(a,p), transfer(a,b,p), await(a,p).
 
 #include <cstdint>
 #include <iosfwd>
@@ -10,19 +13,35 @@ namespace tj::trace {
 /// Tasks are denoted by dense integer ids; the root is conventionally 0.
 using TaskId = std::uint32_t;
 
+/// Promises live in their own dense id space (printed with a `p` prefix).
+using PromiseId = std::uint32_t;
+
 inline constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+inline constexpr PromiseId kNoPromise = static_cast<PromiseId>(-1);
 
 enum class ActionKind : std::uint8_t {
-  Init,  ///< init(a): a is the root task
-  Fork,  ///< fork(a,b): a forks b
-  Join,  ///< join(a,b): a awaits the termination of b
+  Init,      ///< init(a): a is the root task
+  Fork,      ///< fork(a,b): a forks b
+  Join,      ///< join(a,b): a awaits the termination of b
+  Make,      ///< make(a,p): a allocates promise p and becomes its owner
+  Fulfill,   ///< fulfill(a,p): a writes p's value (single assignment)
+  Transfer,  ///< transfer(a,b,p): a hands ownership of p to task b
+  Await,     ///< await(a,p): a blocks until p is fulfilled
 };
 
-/// One action of a trace. For Init, `target` is unused (kNoTask).
+/// True for the four promise operations.
+constexpr bool is_promise_action(ActionKind k) {
+  return k == ActionKind::Make || k == ActionKind::Fulfill ||
+         k == ActionKind::Transfer || k == ActionKind::Await;
+}
+
+/// One action of a trace. For Init, `target` is unused (kNoTask); `promise`
+/// is used only by the promise actions (kNoPromise otherwise).
 struct Action {
   ActionKind kind;
-  TaskId actor;   ///< a in init(a)/fork(a,b)/join(a,b)
-  TaskId target;  ///< b in fork(a,b)/join(a,b)
+  TaskId actor;                    ///< a in every action
+  TaskId target;                   ///< b in fork(a,b)/join(a,b)/transfer(a,b,p)
+  PromiseId promise = kNoPromise;  ///< p in make/fulfill/transfer/await
 
   friend bool operator==(const Action&, const Action&) = default;
 };
@@ -30,6 +49,18 @@ struct Action {
 constexpr Action init(TaskId a) { return {ActionKind::Init, a, kNoTask}; }
 constexpr Action fork(TaskId a, TaskId b) { return {ActionKind::Fork, a, b}; }
 constexpr Action join(TaskId a, TaskId b) { return {ActionKind::Join, a, b}; }
+constexpr Action make(TaskId a, PromiseId p) {
+  return {ActionKind::Make, a, kNoTask, p};
+}
+constexpr Action fulfill(TaskId a, PromiseId p) {
+  return {ActionKind::Fulfill, a, kNoTask, p};
+}
+constexpr Action transfer(TaskId a, TaskId b, PromiseId p) {
+  return {ActionKind::Transfer, a, b, p};
+}
+constexpr Action await(TaskId a, PromiseId p) {
+  return {ActionKind::Await, a, kNoTask, p};
+}
 
 std::string to_string(const Action& a);
 std::ostream& operator<<(std::ostream& os, const Action& a);

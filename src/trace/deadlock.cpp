@@ -55,12 +55,48 @@ bool dfs_cycle(TaskId start,
 std::optional<std::vector<TaskId>> find_deadlock_cycle(const Trace& t) {
   std::unordered_map<TaskId, std::vector<TaskId>> adj;
   std::unordered_set<TaskId> nodes;
+  // Replayed promise state: who owns each unfulfilled promise *at this point*
+  // of the trace (await edges freeze the owner of their moment).
+  std::unordered_map<PromiseId, TaskId> owner;
+  std::unordered_set<PromiseId> fulfilled;
+  auto add_edge = [&](TaskId from, TaskId to) {
+    adj[from].push_back(to);
+    nodes.insert(from);
+    nodes.insert(to);
+  };
   for (const Action& a : t.actions()) {
-    if (a.kind != ActionKind::Join) continue;
-    if (a.actor == a.target) return std::vector<TaskId>{a.actor};  // n = 0
-    adj[a.actor].push_back(a.target);
-    nodes.insert(a.actor);
-    nodes.insert(a.target);
+    switch (a.kind) {
+      case ActionKind::Join:
+        if (a.actor == a.target) {
+          return std::vector<TaskId>{a.actor};  // n = 0
+        }
+        add_edge(a.actor, a.target);
+        break;
+      case ActionKind::Make:
+        if (!owner.contains(a.promise) && !fulfilled.contains(a.promise)) {
+          owner[a.promise] = a.actor;
+        }
+        break;
+      case ActionKind::Fulfill:
+        owner.erase(a.promise);
+        fulfilled.insert(a.promise);
+        break;
+      case ActionKind::Transfer:
+        if (owner.contains(a.promise)) owner[a.promise] = a.target;
+        break;
+      case ActionKind::Await: {
+        const auto it = owner.find(a.promise);
+        if (it == owner.end()) break;  // fulfilled or unknown: never blocks
+        if (it->second == a.actor) {
+          return std::vector<TaskId>{a.actor};  // awaits own obligation
+        }
+        add_edge(a.actor, it->second);
+        break;
+      }
+      case ActionKind::Init:
+      case ActionKind::Fork:
+        break;
+    }
   }
   std::unordered_map<TaskId, Mark> mark;
   for (TaskId n : nodes) {

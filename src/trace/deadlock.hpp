@@ -3,6 +3,13 @@
 // a0..an with join(an,a0) and join(ai,ai+1) for all i < n — i.e. the directed
 // graph whose edges are the trace's join actions contains a cycle
 // (including self-loops, the n = 0 case).
+//
+// Extended for promises (Voss & Sarkar, arXiv:2101.01312): an await(a,p) on a
+// promise that is *unfulfilled at that point of the trace* contributes the
+// edge a → owner(p), with the owner frozen at await time — the obligated task
+// is the one that must make progress for `a` to unblock. Awaits on already-
+// fulfilled promises never block and contribute nothing. A self-edge
+// (awaiting a promise you own) is a deadlock of its own, the n = 0 case.
 
 #include <optional>
 #include <vector>
@@ -11,8 +18,9 @@
 
 namespace tj::trace {
 
-/// Returns a witness cycle (task sequence a0..an as in Def. 3.9) if the
-/// trace's join actions form a cycle, std::nullopt otherwise.
+/// Returns a witness cycle (task sequence a0..an as in Def. 3.9, extended
+/// with ownership-obligation edges for awaits) if the trace's blocking
+/// actions form a cycle, std::nullopt otherwise.
 std::optional<std::vector<TaskId>> find_deadlock_cycle(const Trace& t);
 
 inline bool contains_deadlock(const Trace& t) {

@@ -55,7 +55,11 @@ ForkTree::ForkTree(const Trace& t) {
         break;
       }
       case ActionKind::Join:
-        break;  // joins do not shape the tree
+      case ActionKind::Make:
+      case ActionKind::Fulfill:
+      case ActionKind::Transfer:
+      case ActionKind::Await:
+        break;  // neither joins nor promise actions shape the tree
     }
   }
   if (root_ == kNoTask) {

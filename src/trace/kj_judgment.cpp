@@ -43,6 +43,11 @@ void KjJudgment::push(const Action& act) {
       }
       break;
     }
+    case ActionKind::Make:
+    case ActionKind::Fulfill:
+    case ActionKind::Transfer:
+    case ActionKind::Await:
+      break;  // KJ's knowledge relation is over tasks; promises are invisible
   }
 }
 

@@ -4,13 +4,27 @@
 
 namespace tj::trace {
 
-Trace drop_join(const Trace& t, std::size_t index) {
+namespace {
+
+constexpr bool droppable(ActionKind k) {
+  return k == ActionKind::Join || k == ActionKind::Await ||
+         k == ActionKind::Transfer || k == ActionKind::Fulfill;
+}
+
+}  // namespace
+
+Trace drop_action(const Trace& t, std::size_t index) {
   Trace out;
   for (std::size_t i = 0; i < t.size(); ++i) {
-    if (i == index && t[i].kind == ActionKind::Join) continue;
+    if (i == index && droppable(t[i].kind)) continue;
     out.push(t[i]);
   }
   return out;
+}
+
+Trace drop_join(const Trace& t, std::size_t index) {
+  if (index < t.size() && t[index].kind != ActionKind::Join) return t;
+  return drop_action(t, index);
 }
 
 Trace drop_task(const Trace& t, TaskId victim) {
@@ -21,23 +35,34 @@ Trace drop_task(const Trace& t, TaskId victim) {
       doomed.insert(a.target);
     }
   }
+  // Promises made by doomed tasks lose their make: doom them too.
+  std::unordered_set<PromiseId> doomed_promises;
+  for (const Action& a : t.actions()) {
+    if (a.kind == ActionKind::Make && doomed.contains(a.actor)) {
+      doomed_promises.insert(a.promise);
+    }
+  }
   Trace out;
   for (const Action& a : t.actions()) {
-    switch (a.kind) {
-      case ActionKind::Init:
-        if (!doomed.contains(a.actor)) out.push(a);
-        break;
-      case ActionKind::Fork:
-        if (!doomed.contains(a.actor) && !doomed.contains(a.target)) {
-          out.push(a);
-        }
-        break;
-      case ActionKind::Join:
-        if (!doomed.contains(a.actor) && !doomed.contains(a.target)) {
-          out.push(a);
-        }
-        break;
+    if (doomed.contains(a.actor)) continue;
+    if ((a.kind == ActionKind::Fork || a.kind == ActionKind::Join ||
+         a.kind == ActionKind::Transfer) &&
+        doomed.contains(a.target)) {
+      continue;
     }
+    if (a.promise != kNoPromise && doomed_promises.contains(a.promise)) {
+      continue;
+    }
+    out.push(a);
+  }
+  return out;
+}
+
+Trace drop_promise(const Trace& t, PromiseId victim) {
+  Trace out;
+  for (const Action& a : t.actions()) {
+    if (is_promise_action(a.kind) && a.promise == victim) continue;
+    out.push(a);
   }
   return out;
 }
@@ -69,6 +94,24 @@ Trace splice_task(const Trace& t, TaskId victim) {
       case ActionKind::Join:
         if (a.actor != victim && a.target != victim) out.push(a);
         break;
+      case ActionKind::Make:
+        // Re-attribute the victim's promises to the parent so they survive.
+        out.push(a.actor == victim ? make(parent, a.promise) : a);
+        break;
+      case ActionKind::Fulfill:
+        out.push(a.actor == victim ? fulfill(parent, a.promise) : a);
+        break;
+      case ActionKind::Transfer: {
+        const TaskId from = a.actor == victim ? parent : a.actor;
+        const TaskId to = a.target == victim ? parent : a.target;
+        if (from == to) break;  // a self-transfer says nothing; drop it
+        out.push(transfer(from, to, a.promise));
+        break;
+      }
+      case ActionKind::Await:
+        // The victim's blocking disappears with it (like its joins).
+        if (a.actor != victim) out.push(a);
+        break;
     }
   }
   return out;
@@ -79,16 +122,25 @@ Trace minimize_trace(const Trace& t, const TracePredicate& keep) {
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    // Pass 1: drop joins, last-to-first (later joins depend on nothing).
+    // Pass 1: drop joins/awaits/transfers/fulfills, last-to-first (later
+    // actions depend on nothing after them).
     for (std::size_t i = current.size(); i-- > 0;) {
-      if (current[i].kind != ActionKind::Join) continue;
-      Trace candidate = drop_join(current, i);
+      if (!droppable(current[i].kind)) continue;
+      Trace candidate = drop_action(current, i);
       if (keep(candidate)) {
         current = std::move(candidate);
         progressed = true;
       }
     }
-    // Pass 2: drop whole tasks (never the root).
+    // Pass 2: drop whole promises (make + every action on them).
+    for (PromiseId p : current.promises()) {
+      Trace candidate = drop_promise(current, p);
+      if (candidate.size() != current.size() && keep(candidate)) {
+        current = std::move(candidate);
+        progressed = true;
+      }
+    }
+    // Pass 3: drop whole tasks (never the root).
     for (TaskId task : current.tasks()) {
       if (current.empty()) break;
       if (current[0].kind == ActionKind::Init && task == current[0].actor) {
@@ -100,10 +152,10 @@ Trace minimize_trace(const Trace& t, const TracePredicate& keep) {
         progressed = true;
       }
     }
-    // Pass 3: splice single tasks out (collapses chains a drop would sever).
+    // Pass 4: splice single tasks out (collapses chains a drop would sever).
     for (TaskId task : current.tasks()) {
       Trace candidate = splice_task(current, task);
-      if (candidate.size() != current.size() && keep(candidate)) {
+      if (candidate != current && keep(candidate)) {
         current = std::move(candidate);
         progressed = true;
       }

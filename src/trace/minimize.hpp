@@ -2,11 +2,12 @@
 // Trace minimization: given a trace exhibiting a property (e.g. "TJ-valid
 // but KJ-invalid", or "contains a deadlock"), shrink it to a locally minimal
 // witness while preserving the property — ddmin-style, adapted to traces:
-// dropping a fork also drops every action mentioning the forked task, so
-// candidates stay structurally well-formed.
+// dropping a fork also drops every action mentioning the forked task, and
+// dropping a make drops every action on the made promise, so candidates stay
+// structurally well-formed.
 //
-// Research tooling: the examples and tests use it to boil benchmark-sized
-// policy discrepancies down to readable counterexamples.
+// Research tooling: the examples, tests and the differential fuzzer use it to
+// boil benchmark-sized policy discrepancies down to readable counterexamples.
 
 #include <functional>
 
@@ -17,24 +18,36 @@ namespace tj::trace {
 using TracePredicate = std::function<bool(const Trace&)>;
 
 /// Returns a trace that still satisfies `keep` and from which no single
-/// join can be removed — and no single task (with all its actions) can be
-/// removed — without violating it. Pre: keep(t) is true.
+/// join/await/transfer/fulfill can be removed — and no single task or promise
+/// (with all its actions) can be removed — without violating it.
+/// Pre: keep(t) is true.
 Trace minimize_trace(const Trace& t, const TracePredicate& keep);
 
 /// One reduction step helpers (exposed for tests):
 
-/// The trace without action index `i` (joins only; removing forks this way
-/// would break well-formedness).
+/// The trace without action index `i`. Applies only to joins, awaits,
+/// transfers and fulfills; removing inits, forks or makes this way would
+/// break well-formedness (use drop_task / drop_promise for those).
+Trace drop_action(const Trace& t, std::size_t index);
+
+/// Backwards-compatible alias of drop_action restricted to joins.
 Trace drop_join(const Trace& t, std::size_t index);
 
 /// The trace without task `victim`: its fork and every action it performs
 /// or receives are removed. Removing a task with descendants also removes
-/// the descendants (their forks would dangle).
+/// the descendants (their forks would dangle), and removing a task removes
+/// every promise it made (their makes would dangle).
 Trace drop_task(const Trace& t, TaskId victim);
 
+/// The trace without promise `victim`: its make and every fulfill, transfer
+/// and await on it are removed.
+Trace drop_promise(const Trace& t, PromiseId victim);
+
 /// The trace with task `victim` spliced out: its children are re-parented to
-/// the victim's own parent (fork actors rewritten in place), and every join
-/// mentioning the victim is dropped. The root cannot be spliced (returns t).
+/// the victim's own parent (fork actors rewritten in place), its promise
+/// operations are re-attributed to the parent, and every join/await that
+/// blocks the victim (or joins on it) is dropped. The root cannot be spliced
+/// (returns t).
 Trace splice_task(const Trace& t, TaskId victim);
 
 }  // namespace tj::trace

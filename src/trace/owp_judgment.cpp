@@ -1,0 +1,86 @@
+#include "trace/owp_judgment.hpp"
+
+#include <vector>
+
+namespace tj::trace {
+
+void OwpJudgment::push(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::Init:
+    case ActionKind::Fork:
+      break;  // no ownership effect; forks transfer nothing implicitly
+    case ActionKind::Join:
+      edges_[a.actor].insert(a.target);
+      break;
+    case ActionKind::Make:
+      if (!has_promise(a.promise)) owner_[a.promise] = a.actor;
+      break;
+    case ActionKind::Fulfill:
+      owner_.erase(a.promise);
+      fulfilled_.insert(a.promise);
+      break;
+    case ActionKind::Transfer:
+      // The trace is ground truth: ownership moves even if the transfer was
+      // OWP-invalid (validity is judged separately, before the push).
+      if (owner_.contains(a.promise)) owner_[a.promise] = a.target;
+      break;
+    case ActionKind::Await: {
+      const auto it = owner_.find(a.promise);
+      if (it != owner_.end()) edges_[a.actor].insert(it->second);
+      break;
+    }
+  }
+}
+
+void OwpJudgment::push_all(const Trace& t) {
+  for (const Action& a : t.actions()) push(a);
+}
+
+bool OwpJudgment::reaches(TaskId from, TaskId to) const {
+  if (from == to) return true;
+  std::vector<TaskId> stack{from};
+  std::unordered_set<TaskId> visited{from};
+  while (!stack.empty()) {
+    const TaskId cur = stack.back();
+    stack.pop_back();
+    const auto it = edges_.find(cur);
+    if (it == edges_.end()) continue;
+    for (const TaskId next : it->second) {
+      if (next == to) return true;
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool OwpJudgment::valid_await(TaskId a, PromiseId p) const {
+  if (fulfilled_.contains(p)) return true;  // never blocks
+  const auto it = owner_.find(p);
+  if (it == owner_.end()) return false;  // unknown promise
+  // Blocking on a promise whose fulfilment obligation already reaches the
+  // waiter (including owner == a itself) could self-deadlock: reject.
+  return !reaches(it->second, a);
+}
+
+bool OwpJudgment::valid_join(TaskId a, TaskId b) const {
+  return !reaches(b, a);
+}
+
+bool OwpJudgment::valid_transfer(TaskId a, TaskId b, PromiseId p) const {
+  (void)b;
+  const auto it = owner_.find(p);
+  return it != owner_.end() && it->second == a;
+}
+
+bool OwpJudgment::valid_fulfill(TaskId a, PromiseId p) const {
+  const auto it = owner_.find(p);
+  return it != owner_.end() && it->second == a;
+}
+
+std::optional<TaskId> OwpJudgment::owner_of(PromiseId p) const {
+  const auto it = owner_.find(p);
+  if (it == owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace tj::trace

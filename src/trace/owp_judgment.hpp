@@ -1,0 +1,81 @@
+#pragma once
+// Reference implementation of the Ownership Policy judgment for promises,
+// after "An Ownership Policy and Deadlock Detector for Promises" (Voss &
+// Sarkar, arXiv:2101.01312). The policy maintains, for every unfulfilled
+// promise, exactly one *owning* task — the task responsible for fulfilling
+// it — and forbids a task from blocking in a way that (transitively) waits
+// on itself through ownership obligations.
+//
+// The judgment accumulates a history graph H over tasks:
+//   - join(a,b)  adds the edge a → b (a's completion waits on b; equivalently
+//     a awaits b's implicit completion-promise, owned by b itself);
+//   - await(a,p) on a promise p that is unfulfilled at that point adds the
+//     edge a → owner(p) (the fulfilment obligation rests with p's owner).
+// Edges are *frozen* at their insertion-time owner: later transfers do not
+// rewrite history. An await (or join) is OWP-valid iff adding its edge does
+// not close a cycle in H, i.e. the obligated task does not already reach the
+// waiter. This is deliberately conservative — a historical path may no longer
+// be live — which is exactly the shape the runtime's guarded WFG fallback is
+// built to refine, the same way it refines TJ's rejections.
+//
+// Ownership rules (valid-make / valid-fulfill / valid-transfer): a promise is
+// owned by its maker; only the current owner may fulfill or transfer it;
+// fulfilment is single-assignment. These mirror the follow-up paper's
+// requirement that an unfulfilled promise always has a well-defined task
+// responsible for it, which is what makes the blocked-on-owned-promise check
+// meaningful.
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/trace.hpp"
+
+namespace tj::trace {
+
+class OwpJudgment {
+ public:
+  OwpJudgment() = default;
+  explicit OwpJudgment(const Trace& t) { push_all(t); }
+
+  /// Extends the judgment with one more action. Learning is unconditional
+  /// (like the TJ/KJ judgments): even an OWP-invalid action, once present in
+  /// the trace, contributes its edges/ownership effects, so prefix replay of
+  /// structurally-valid-but-policy-invalid traces stays well defined.
+  void push(const Action& a);
+  void push_all(const Trace& t);
+
+  /// OWP validity of the *next* action given the trace pushed so far.
+  /// valid_await: p is fulfilled, or its owner is a different task that does
+  /// not already reach `a` in H (adding a → owner(p) closes no cycle).
+  bool valid_await(TaskId a, PromiseId p) const;
+  /// valid_join: adding a → b closes no cycle in H (b does not reach a).
+  /// Joins are awaits on the target's implicit completion-promise.
+  bool valid_join(TaskId a, TaskId b) const;
+  /// valid_transfer: a currently owns the unfulfilled promise p.
+  bool valid_transfer(TaskId a, TaskId b, PromiseId p) const;
+  /// valid_fulfill: a currently owns the unfulfilled promise p.
+  bool valid_fulfill(TaskId a, PromiseId p) const;
+
+  /// Current owner of p (nullopt if p is unknown or already fulfilled).
+  std::optional<TaskId> owner_of(PromiseId p) const;
+  bool fulfilled(PromiseId p) const { return fulfilled_.contains(p); }
+  bool has_promise(PromiseId p) const {
+    return owner_.contains(p) || fulfilled_.contains(p);
+  }
+
+  /// True iff `from` reaches `to` in H (reflexively: reaches(x,x) is true).
+  bool reaches(TaskId from, TaskId to) const;
+
+  std::size_t promise_count() const {
+    return owner_.size() + fulfilled_.size();
+  }
+
+ private:
+  std::unordered_map<PromiseId, TaskId> owner_;  // unfulfilled promises only
+  std::unordered_set<PromiseId> fulfilled_;
+  std::unordered_map<TaskId, std::unordered_set<TaskId>> edges_;  // H
+};
+
+}  // namespace tj::trace

@@ -65,24 +65,38 @@ class Parser {
     return text_.substr(start, pos_ - start);
   }
 
-  TaskId number() {
+  TaskId number(const char* what = "task id") {
     skip_noise();
     if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
-      fail("expected a task id");
+      fail(std::string("expected a ") + what);
     }
     std::uint64_t v = 0;
     while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
       v = v * 10 + static_cast<std::uint64_t>(peek() - '0');
-      if (v > 0xffffffffull) fail("task id out of range");
+      if (v > 0xffffffffull) fail(std::string(what) + " out of range");
       ++pos_;
     }
     return static_cast<TaskId>(v);
+  }
+
+  /// A promise id: an integer with an optional 'p' prefix, e.g. "p3" or "3".
+  PromiseId promise_id() {
+    skip_noise();
+    if (peek() == 'p' || peek() == 'P') ++pos_;
+    return number("promise id (e.g. p3)");
   }
 
   void expect(char c) {
     skip_noise();
     if (peek() != c) fail(std::string("expected '") + c + "'");
     ++pos_;
+  }
+
+  bool accept(char c) {
+    skip_noise();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
   }
 
   Action action() {
@@ -92,6 +106,29 @@ class Parser {
     if (name == "init") {
       expect(')');
       return init(a);
+    }
+    if (name == "make" || name == "fulfill" || name == "await") {
+      expect(',');
+      const PromiseId p = promise_id();
+      expect(')');
+      if (name == "make") return make(a, p);
+      if (name == "fulfill") return fulfill(a, p);
+      return await(a, p);
+    }
+    if (name == "transfer") {
+      // transfer(from-task, to-task, promise) — diagnose the common
+      // two-argument mistake explicitly rather than with a bare "expected ','".
+      expect(',');
+      const TaskId b = number("to-task id");
+      skip_noise();
+      if (!accept(',')) {
+        fail(
+            "transfer takes three arguments: "
+            "transfer(from-task, to-task, promise), e.g. transfer(0,1,p2)");
+      }
+      const PromiseId p = promise_id();
+      expect(')');
+      return transfer(a, b, p);
     }
     expect(',');
     const TaskId b = number();

@@ -1,7 +1,9 @@
 #pragma once
 // Textual trace format: a ';'- or newline-separated list of actions in the
-// paper's notation, e.g. "init(0); fork(0,1); join(0,1)". Round-trips with
-// Trace::to_string() (modulo brackets and whitespace).
+// paper's notation, e.g. "init(0); fork(0,1); join(0,1)", plus the promise
+// actions "make(0,p1); transfer(0,1,p1); fulfill(1,p1); await(0,p1)" (the
+// 'p' prefix on promise ids is optional on input, always printed on output).
+// Round-trips with Trace::to_string() (modulo brackets and whitespace).
 
 #include <stdexcept>
 #include <string>

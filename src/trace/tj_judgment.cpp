@@ -44,6 +44,11 @@ void TjJudgment::push(const Action& act) {
     }
     case ActionKind::Join:
       break;  // no TJ rule consumes joins; TJ-mono preserves the relation
+    case ActionKind::Make:
+    case ActionKind::Fulfill:
+    case ActionKind::Transfer:
+    case ActionKind::Await:
+      break;  // TJ speaks only about the fork tree; promises are invisible
   }
 }
 

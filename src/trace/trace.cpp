@@ -20,6 +20,15 @@ std::ostream& operator<<(std::ostream& os, const Action& a) {
       return os << "fork(" << a.actor << "," << a.target << ")";
     case ActionKind::Join:
       return os << "join(" << a.actor << "," << a.target << ")";
+    case ActionKind::Make:
+      return os << "make(" << a.actor << ",p" << a.promise << ")";
+    case ActionKind::Fulfill:
+      return os << "fulfill(" << a.actor << ",p" << a.promise << ")";
+    case ActionKind::Transfer:
+      return os << "transfer(" << a.actor << "," << a.target << ",p"
+                << a.promise << ")";
+    case ActionKind::Await:
+      return os << "await(" << a.actor << ",p" << a.promise << ")";
   }
   return os << "<bad action>";
 }
@@ -46,7 +55,20 @@ std::vector<TaskId> Trace::tasks() const {
   };
   for (const Action& a : actions_) {
     add(a.actor);
-    if (a.kind == ActionKind::Fork) add(a.target);
+    if (a.kind == ActionKind::Fork || a.kind == ActionKind::Transfer) {
+      add(a.target);
+    }
+  }
+  return out;
+}
+
+std::vector<PromiseId> Trace::promises() const {
+  std::vector<PromiseId> out;
+  for (const Action& a : actions_) {
+    if (a.promise != kNoPromise &&
+        std::find(out.begin(), out.end(), a.promise) == out.end()) {
+      out.push_back(a.promise);
+    }
   }
   return out;
 }
@@ -61,6 +83,18 @@ std::size_t Trace::join_count() const {
   return static_cast<std::size_t>(
       std::count_if(actions_.begin(), actions_.end(),
                     [](const Action& a) { return a.kind == ActionKind::Join; }));
+}
+
+std::size_t Trace::make_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(actions_.begin(), actions_.end(),
+                    [](const Action& a) { return a.kind == ActionKind::Make; }));
+}
+
+std::size_t Trace::await_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      actions_.begin(), actions_.end(),
+      [](const Action& a) { return a.kind == ActionKind::Await; }));
 }
 
 Trace operator+(const Trace& t1, const Trace& t2) {

@@ -24,6 +24,12 @@ class Trace {
   Trace& push_init(TaskId a) { return push(init(a)); }
   Trace& push_fork(TaskId a, TaskId b) { return push(fork(a, b)); }
   Trace& push_join(TaskId a, TaskId b) { return push(join(a, b)); }
+  Trace& push_make(TaskId a, PromiseId p) { return push(make(a, p)); }
+  Trace& push_fulfill(TaskId a, PromiseId p) { return push(fulfill(a, p)); }
+  Trace& push_transfer(TaskId a, TaskId b, PromiseId p) {
+    return push(transfer(a, b, p));
+  }
+  Trace& push_await(TaskId a, PromiseId p) { return push(await(a, p)); }
 
   /// Removes the last action (no-op on an empty trace).
   void pop();
@@ -34,13 +40,23 @@ class Trace {
   const Action& operator[](std::size_t i) const { return actions_[i]; }
 
   /// All task ids mentioned as actor or (fork) target, in first-mention order.
+  /// Promise ids never appear here — they live in their own id space.
   std::vector<TaskId> tasks() const;
+
+  /// All promise ids mentioned by promise actions, in first-mention order.
+  std::vector<PromiseId> promises() const;
 
   /// Number of fork actions (== number of non-root tasks in a valid trace).
   std::size_t fork_count() const;
 
   /// Number of join actions.
   std::size_t join_count() const;
+
+  /// Number of make actions (== number of promises in a valid trace).
+  std::size_t make_count() const;
+
+  /// Number of await actions.
+  std::size_t await_count() const;
 
   /// Trace concatenation t1; t2.
   friend Trace operator+(const Trace& t1, const Trace& t2);

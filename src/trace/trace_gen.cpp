@@ -1,8 +1,10 @@
 #include "trace/trace_gen.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "trace/kj_judgment.hpp"
+#include "trace/owp_judgment.hpp"
 #include "trace/tj_judgment.hpp"
 
 namespace tj::trace {
@@ -180,6 +182,144 @@ Trace random_structural_trace(std::uint32_t n_tasks, std::uint32_t n_joins,
   };
   return interleaved_trace(n_tasks, n_joins, rng, depth_bias, pick_join,
                            [](const Action&) {});
+}
+
+namespace {
+
+// Shared skeleton of the two promise-trace generators: interleaves forks,
+// makes and `n_ops` promise/join operations, weighted by how many of each
+// remain. `valid_only` restricts every operation to what the ownership
+// judgment permits at that point.
+Trace promise_trace_impl(std::uint32_t n_tasks, std::uint32_t n_promises,
+                         std::uint32_t n_ops, Rng& rng, double depth_bias,
+                         bool valid_only) {
+  Trace t;
+  OwpJudgment owp;
+  auto emit = [&](const Action& a) {
+    t.push(a);
+    owp.push(a);
+  };
+  emit(init(0));
+  if (n_tasks == 0) n_tasks = 1;
+  const std::vector<TaskId> parents = fork_parents(n_tasks, rng, depth_bias);
+  TaskId next_fork = 1;
+  PromiseId next_make = 0;
+  std::vector<PromiseId> unfulfilled;
+  std::uint32_t ops_left = n_ops;
+
+  auto pick_task = [&] {
+    return std::uniform_int_distribution<TaskId>(0, next_fork - 1)(rng);
+  };
+  auto pick_unfulfilled = [&] {
+    return unfulfilled[std::uniform_int_distribution<std::size_t>(
+        0, unfulfilled.size() - 1)(rng)];
+  };
+  auto mark_fulfilled = [&](PromiseId p) {
+    unfulfilled.erase(std::find(unfulfilled.begin(), unfulfilled.end(), p));
+  };
+
+  // Emits one promise/join operation; false if none is currently possible.
+  auto emit_op = [&]() -> bool {
+    // Candidate kinds this round, feasibility-filtered.
+    ActionKind kinds[4];
+    std::size_t n_kinds = 0;
+    if (next_make > 0) kinds[n_kinds++] = ActionKind::Await;
+    if (!unfulfilled.empty()) {
+      kinds[n_kinds++] = ActionKind::Fulfill;
+      if (next_fork > 1) kinds[n_kinds++] = ActionKind::Transfer;
+    }
+    if (next_fork > 1) kinds[n_kinds++] = ActionKind::Join;
+    if (n_kinds == 0) return false;
+    for (int tries = 0; tries < 16; ++tries) {
+      const ActionKind k =
+          kinds[std::uniform_int_distribution<std::size_t>(0, n_kinds - 1)(
+              rng)];
+      switch (k) {
+        case ActionKind::Await: {
+          const TaskId a = pick_task();
+          const PromiseId p =
+              std::uniform_int_distribution<PromiseId>(0, next_make - 1)(rng);
+          if (valid_only && !owp.valid_await(a, p)) break;
+          emit(await(a, p));
+          return true;
+        }
+        case ActionKind::Fulfill: {
+          const PromiseId p = pick_unfulfilled();
+          const TaskId a = valid_only ? *owp.owner_of(p) : pick_task();
+          emit(fulfill(a, p));
+          mark_fulfilled(p);
+          return true;
+        }
+        case ActionKind::Transfer: {
+          const PromiseId p = pick_unfulfilled();
+          const TaskId a = valid_only ? *owp.owner_of(p) : pick_task();
+          const TaskId b = pick_task();
+          if (a == b) break;
+          emit(transfer(a, b, p));
+          return true;
+        }
+        case ActionKind::Join: {
+          const TaskId a = pick_task();
+          const TaskId b = pick_task();
+          if (a == b) break;
+          if (valid_only && !owp.valid_join(a, b)) break;
+          emit(join(a, b));
+          return true;
+        }
+        default:
+          break;
+      }
+    }
+    return false;
+  };
+
+  while (next_fork < n_tasks || next_make < n_promises || ops_left > 0) {
+    const std::uint64_t forks_rem = n_tasks - next_fork;
+    const std::uint64_t makes_rem = n_promises - next_make;
+    const std::uint64_t total = forks_rem + makes_rem + ops_left;
+    const std::uint64_t roll =
+        std::uniform_int_distribution<std::uint64_t>(0, total - 1)(rng);
+    if (roll < forks_rem) {
+      emit(fork(parents[next_fork], next_fork));
+      ++next_fork;
+    } else if (roll < forks_rem + makes_rem) {
+      const TaskId a = pick_task();
+      emit(make(a, next_make));
+      unfulfilled.push_back(next_make);
+      ++next_make;
+    } else if (emit_op()) {
+      --ops_left;
+    } else if (forks_rem > 0) {
+      emit(fork(parents[next_fork], next_fork));
+      ++next_fork;
+    } else if (makes_rem > 0) {
+      const TaskId a = pick_task();
+      emit(make(a, next_make));
+      unfulfilled.push_back(next_make);
+      ++next_make;
+    } else {
+      break;  // nothing feasible remains
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Trace random_promise_trace(std::uint32_t n_tasks, std::uint32_t n_promises,
+                           std::uint32_t n_ops, std::uint64_t seed,
+                           double depth_bias) {
+  Rng rng(seed);
+  return promise_trace_impl(n_tasks, n_promises, n_ops, rng, depth_bias,
+                            /*valid_only=*/false);
+}
+
+Trace random_owp_valid_trace(std::uint32_t n_tasks, std::uint32_t n_promises,
+                             std::uint32_t n_ops, std::uint64_t seed,
+                             double depth_bias) {
+  Rng rng(seed);
+  return promise_trace_impl(n_tasks, n_promises, n_ops, rng, depth_bias,
+                            /*valid_only=*/true);
 }
 
 Trace deadlocking_trace(std::uint32_t cycle_len) {

@@ -47,4 +47,21 @@ Trace random_structural_trace(std::uint32_t n_tasks, std::uint32_t n_joins,
 /// sibling tasks (guaranteed deadlock per Definition 3.9).
 Trace deadlocking_trace(std::uint32_t cycle_len);
 
+/// Random structurally-valid *promise* trace: forks interleaved with makes,
+/// owner-respecting-or-not transfers, fulfills, awaits and joins. May violate
+/// the ownership policy and may contain (extended) deadlock cycles. Drives
+/// the differential fuzzer's adversarial side.
+Trace random_promise_trace(std::uint32_t n_tasks, std::uint32_t n_promises,
+                           std::uint32_t n_ops, std::uint64_t seed,
+                           double depth_bias = 0.3);
+
+/// Random OWP-valid promise trace: every join/await/transfer/fulfill is drawn
+/// from the actions the ownership judgment permits at that point (transfers
+/// and fulfills by the current owner only; awaits/joins only when they close
+/// no obligation cycle). Such traces are extended-deadlock-free by the
+/// policy's soundness argument, which the property tests cross-check.
+Trace random_owp_valid_trace(std::uint32_t n_tasks, std::uint32_t n_promises,
+                             std::uint32_t n_ops, std::uint64_t seed,
+                             double depth_bias = 0.3);
+
 }  // namespace tj::trace

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "trace/kj_judgment.hpp"
+#include "trace/owp_judgment.hpp"
 #include "trace/tj_judgment.hpp"
 
 namespace tj::trace {
@@ -15,6 +16,8 @@ std::string to_string(PolicyKind k) {
       return "TJ";
     case PolicyKind::KJ:
       return "KJ";
+    case PolicyKind::OWP:
+      return "OWP";
   }
   return "<bad policy>";
 }
@@ -24,6 +27,7 @@ ValidityResult check_valid(const Trace& t, PolicyKind policy) {
   bool saw_init = false;
   TjJudgment tj;
   KjJudgment kj;
+  OwpJudgment owp;
 
   auto fail = [&](std::size_t i, std::string reason) {
     return ValidityResult{false, Violation{i, t[i], std::move(reason)}};
@@ -66,13 +70,69 @@ ValidityResult check_valid(const Trace& t, PolicyKind policy) {
               return fail(i, "valid-join-R: not t ⊢ a ≺ b (KJ)");
             }
             break;
+          case PolicyKind::OWP:
+            if (!owp.valid_join(a.actor, a.target)) {
+              return fail(i, "valid-join-OWP: b reaches a in H");
+            }
+            break;
+        }
+        break;
+      case ActionKind::Make:
+        if (!saw_init) return fail(i, "valid-make: trace must start with init");
+        if (!tasks.contains(a.actor)) {
+          return fail(i, "valid-make: making task not in A");
+        }
+        if (owp.has_promise(a.promise)) {
+          return fail(i, "valid-make: promise already in P");
+        }
+        break;
+      case ActionKind::Fulfill:
+        if (!tasks.contains(a.actor)) {
+          return fail(i, "valid-fulfill: fulfilling task not in A");
+        }
+        if (!owp.has_promise(a.promise)) {
+          return fail(i, "valid-fulfill: promise not in P");
+        }
+        if (owp.fulfilled(a.promise)) {
+          return fail(i, "valid-fulfill: promise already fulfilled");
+        }
+        if (policy == PolicyKind::OWP &&
+            !owp.valid_fulfill(a.actor, a.promise)) {
+          return fail(i, "valid-fulfill-OWP: only the owner may fulfill");
+        }
+        break;
+      case ActionKind::Transfer:
+        if (!tasks.contains(a.actor) || !tasks.contains(a.target)) {
+          return fail(i, "valid-transfer: tasks not in A");
+        }
+        if (!owp.has_promise(a.promise)) {
+          return fail(i, "valid-transfer: promise not in P");
+        }
+        if (owp.fulfilled(a.promise)) {
+          return fail(i, "valid-transfer: promise already fulfilled");
+        }
+        if (policy == PolicyKind::OWP &&
+            !owp.valid_transfer(a.actor, a.target, a.promise)) {
+          return fail(i, "valid-transfer-OWP: only the owner may transfer");
+        }
+        break;
+      case ActionKind::Await:
+        if (!tasks.contains(a.actor)) {
+          return fail(i, "valid-await: awaiting task not in A");
+        }
+        if (!owp.has_promise(a.promise)) {
+          return fail(i, "valid-await: promise not in P");
+        }
+        if (policy == PolicyKind::OWP && !owp.valid_await(a.actor, a.promise)) {
+          return fail(i, "valid-await-OWP: owner(p) reaches a in H");
         }
         break;
     }
     // Judgments track the trace-so-far regardless of which policy is active,
-    // so both are in sync when queried.
+    // so all are in sync when queried.
     tj.push(a);
     kj.push(a);
+    owp.push(a);
   }
   if (!saw_init && !t.empty()) {
     return fail(0, "valid-init: trace must start with init");

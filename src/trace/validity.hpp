@@ -16,6 +16,9 @@ enum class PolicyKind : std::uint8_t {
   Structural,  ///< R relates all pairs of existing tasks (shape checks only)
   TJ,          ///< Transitive Joins: R_t(a,b) := t ⊢ a < b
   KJ,          ///< Known Joins: R_t(a,b) := t ⊢ a ≺ b
+  OWP,         ///< Ownership Policy for promises (Voss & Sarkar 2021):
+               ///< joins/awaits must not close a cycle in the obligation
+               ///< history; fulfill/transfer restricted to the owner
 };
 
 std::string to_string(PolicyKind k);
@@ -45,6 +48,9 @@ inline bool is_kj_valid(const Trace& t) {
 }
 inline bool is_structurally_valid(const Trace& t) {
   return check_valid(t, PolicyKind::Structural).valid;
+}
+inline bool is_owp_valid(const Trace& t) {
+  return check_valid(t, PolicyKind::OWP).valid;
 }
 
 }  // namespace tj::trace

@@ -16,13 +16,21 @@ bool WaitsForGraph::closes_cycle(NodeId waiter, NodeId target) const {
   }
 }
 
+void WaitsForGraph::erase_edge_locked(NodeId from) {
+  const auto it = edges_.find(from);
+  if (it == edges_.end()) return;
+  if (it->second.kind == EdgeKind::Probation) --probation_;
+  if (it->second.kind == EdgeKind::Owner) --owner_edges_;
+  edges_.erase(it);
+}
+
 WaitVerdict WaitsForGraph::add_wait(NodeId waiter, NodeId target) {
   std::scoped_lock lock(mu_);
-  if (probation_ > 0) {
+  if (!fast_path()) {
     ++cycle_checks_;
     if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
   }
-  edges_[waiter] = Edge{target, false};
+  edges_[waiter] = Edge{target, EdgeKind::Approved};
   return WaitVerdict::Added;
 }
 
@@ -30,7 +38,7 @@ WaitVerdict WaitsForGraph::add_probation_wait(NodeId waiter, NodeId target) {
   std::scoped_lock lock(mu_);
   ++cycle_checks_;
   if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
-  edges_[waiter] = Edge{target, true};
+  edges_[waiter] = Edge{target, EdgeKind::Probation};
   ++probation_;
   return WaitVerdict::Added;
 }
@@ -39,16 +47,41 @@ WaitVerdict WaitsForGraph::add_checked_wait(NodeId waiter, NodeId target) {
   std::scoped_lock lock(mu_);
   ++cycle_checks_;
   if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
-  edges_[waiter] = Edge{target, false};
+  edges_[waiter] = Edge{target, EdgeKind::Approved};
   return WaitVerdict::Added;
 }
 
 void WaitsForGraph::remove_wait(NodeId waiter) {
   std::scoped_lock lock(mu_);
-  const auto it = edges_.find(waiter);
-  if (it == edges_.end()) return;
-  if (it->second.probation) --probation_;
-  edges_.erase(it);
+  erase_edge_locked(waiter);
+}
+
+void WaitsForGraph::add_owner_edge(NodeId promise, NodeId owner) {
+  std::scoped_lock lock(mu_);
+  edges_[promise] = Edge{owner, EdgeKind::Owner};
+  ++owner_edges_;
+}
+
+WaitVerdict WaitsForGraph::retarget_owner_edge(NodeId promise,
+                                               NodeId new_owner) {
+  std::scoped_lock lock(mu_);
+  const auto it = edges_.find(promise);
+  ++cycle_checks_;
+  // The chain from new_owner reaching the promise node means new_owner
+  // (transitively) waits on this very promise: re-pointing would deadlock it.
+  if (closes_cycle(promise, new_owner)) return WaitVerdict::WouldDeadlock;
+  if (it != edges_.end() && it->second.kind == EdgeKind::Owner) {
+    it->second.target = new_owner;
+  } else {
+    edges_[promise] = Edge{new_owner, EdgeKind::Owner};
+    ++owner_edges_;
+  }
+  return WaitVerdict::Added;
+}
+
+void WaitsForGraph::remove_owner_edge(NodeId promise) {
+  std::scoped_lock lock(mu_);
+  erase_edge_locked(promise);
 }
 
 bool WaitsForGraph::is_waiting(NodeId waiter) const {
@@ -64,6 +97,11 @@ std::size_t WaitsForGraph::edge_count() const {
 std::size_t WaitsForGraph::probation_count() const {
   std::scoped_lock lock(mu_);
   return probation_;
+}
+
+std::size_t WaitsForGraph::owner_edge_count() const {
+  std::scoped_lock lock(mu_);
+  return owner_edges_;
 }
 
 std::vector<std::vector<NodeId>> WaitsForGraph::find_all_cycles() const {

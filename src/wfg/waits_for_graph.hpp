@@ -14,6 +14,16 @@
 // at least one probation edge is live; when no probation edge exists,
 // insertions are unchecked O(1). Deadlock-free programs that never trip the
 // policy thus pay no cycle-detection cost, matching the paper's fast path.
+//
+// Promises add a second edge class: a persistent *owner edge* from a promise
+// node to the task currently obligated to fulfill it (Voss & Sarkar's
+// ownership model). Owner edges make mixed future/promise cycles visible to
+// the chain walk (waiter → promise → owner → ...), so the graph remains the
+// single source of truth for "would blocking deadlock". TJ's soundness
+// theorem covers futures only, so while any owner edge is live every
+// insertion is cycle-checked, exactly as with probation edges; futures-only
+// programs keep the unchecked fast path. Promise nodes share the NodeId
+// space via a reserved high bit (see promise_node_id).
 
 #include <cstddef>
 #include <cstdint>
@@ -25,6 +35,11 @@
 namespace tj::wfg {
 
 using NodeId = std::uint64_t;
+
+/// Maps a promise uid into the node-id space shared with task uids.
+constexpr NodeId promise_node_id(std::uint64_t promise_uid) {
+  return promise_uid | (NodeId{1} << 63);
+}
 
 /// Result of attempting to register a wait edge.
 enum class WaitVerdict : std::uint8_t {
@@ -53,11 +68,24 @@ class WaitsForGraph {
   /// Removes the waiter's edge once its join completed (or was aborted).
   void remove_wait(NodeId waiter);
 
+  /// Registers the persistent owner edge promise → owner for a freshly made
+  /// promise (cannot close a cycle: the promise node has no in-edges yet).
+  void add_owner_edge(NodeId promise, NodeId owner);
+
+  /// Re-points the owner edge at a new owner (ownership transfer). Cycle-
+  /// checked: transferring a promise to a task that (transitively) waits on
+  /// it would deadlock that task; on WouldDeadlock the edge is unchanged.
+  WaitVerdict retarget_owner_edge(NodeId promise, NodeId new_owner);
+
+  /// Drops the owner edge once the promise is fulfilled (or orphaned).
+  void remove_owner_edge(NodeId promise);
+
   /// True iff waiter currently has a registered edge.
   bool is_waiting(NodeId waiter) const;
 
   std::size_t edge_count() const;
   std::size_t probation_count() const;
+  std::size_t owner_edge_count() const;
 
   /// Total cycle checks performed (for evaluation counters).
   std::uint64_t cycle_checks() const { return cycle_checks_; }
@@ -72,17 +100,26 @@ class WaitsForGraph {
   std::vector<std::vector<NodeId>> find_all_cycles() const;
 
  private:
+  enum class EdgeKind : std::uint8_t { Approved, Probation, Owner };
+
   struct Edge {
     NodeId target;
-    bool probation;
+    EdgeKind kind;
   };
 
   // Pre: lock held. True iff target ⇝ waiter through current edges.
   bool closes_cycle(NodeId waiter, NodeId target) const;
 
+  // Pre: lock held. Approved insertions are unchecked only while the graph
+  // holds no edge class TJ's soundness does not cover.
+  bool fast_path() const { return probation_ == 0 && owner_edges_ == 0; }
+
+  void erase_edge_locked(NodeId from);
+
   mutable std::mutex mu_;
   std::unordered_map<NodeId, Edge> edges_;  // guarded by mu_
   std::size_t probation_ = 0;               // guarded by mu_
+  std::size_t owner_edges_ = 0;             // guarded by mu_
   std::uint64_t cycle_checks_ = 0;          // guarded by mu_
 };
 

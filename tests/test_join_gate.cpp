@@ -47,7 +47,7 @@ TEST(JoinGate, TjApprovedJoinProceedsAndRegisters) {
   EXPECT_EQ(g.gate->enter_join(0, 1, g.root, g.a, false),
             JoinDecision::Proceed);
   EXPECT_TRUE(g.gate->graph().is_waiting(0));
-  g.gate->leave_join(0, g.root, g.a, true);
+  g.gate->leave_join(0, 1, g.root, g.a, true);
   EXPECT_FALSE(g.gate->graph().is_waiting(0));
 }
 
@@ -60,7 +60,7 @@ TEST(JoinGate, TjRejectionClearedByFallbackIsFalsePositive) {
   EXPECT_EQ(s.policy_rejections, 1u);
   EXPECT_EQ(s.false_positives, 1u);
   EXPECT_EQ(s.deadlocks_averted, 0u);
-  g.gate->leave_join(1, g.a, g.b, true);
+  g.gate->leave_join(1, 2, g.a, g.b, true);
 }
 
 TEST(JoinGate, CrossJoinCycleIsAverted) {
@@ -129,11 +129,11 @@ TEST(JoinGate, KjLearnRunsOnCompletedJoinsOnly) {
   EXPECT_EQ(g.gate->enter_join(0, 3, g.root, grand, false),
             JoinDecision::ProceedFalsePositive);
   // Abandoned join (completed=false): no learning.
-  g.gate->leave_join(0, g.root, g.a, /*completed=*/false);
+  g.gate->leave_join(0, 1, g.root, g.a, /*completed=*/false);
   EXPECT_EQ(g.gate->enter_join(0, 3, g.root, grand, true),
             JoinDecision::ProceedFalsePositive);
   // Completed join on a: root learns the grandchild.
-  g.gate->leave_join(0, g.root, g.a, /*completed=*/true);
+  g.gate->leave_join(0, 1, g.root, g.a, /*completed=*/true);
   EXPECT_EQ(g.gate->enter_join(0, 3, g.root, grand, true),
             JoinDecision::Proceed);
 }

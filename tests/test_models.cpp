@@ -106,8 +106,11 @@ TEST(AsyncFinishModel, FinishAwaitsTransitiveAsyncs) {
   runtime::Runtime rt(recording());
   std::atomic<int> hits{0};
   rt.root([&hits] {
-    models::finish([&hits] {
-      std::function<void(int)> tree = [&hits, &tree](int depth) {
+    // Declared outside the finish body: spawned tasks call `tree` by
+    // reference while finish() drains, after the body frame is gone.
+    std::function<void(int)> tree;
+    models::finish([&hits, &tree] {
+      tree = [&hits, &tree](int depth) {
         hits.fetch_add(1);
         if (depth == 0) return;
         models::af_async([&tree, depth] { tree(depth - 1); });
@@ -122,8 +125,10 @@ TEST(AsyncFinishModel, FinishAwaitsTransitiveAsyncs) {
 TEST(AsyncFinishModel, TracesAreTerminallyStrict) {
   runtime::Runtime rt(recording());
   rt.root([] {
-    models::finish([] {
-      std::function<void(int)> tree = [&tree](int depth) {
+    // Outlives finish() — see FinishAwaitsTransitiveAsyncs.
+    std::function<void(int)> tree;
+    models::finish([&tree] {
+      tree = [&tree](int depth) {
         if (depth == 0) return;
         models::af_async([&tree, depth] { tree(depth - 1); });
         models::af_async([&tree, depth] { tree(depth - 1); });
@@ -168,8 +173,10 @@ TEST(AsyncFinishModel, AsyncOutsideFinishThrows) {
 TEST(AsyncFinishModel, NeverViolatesTjOnline) {
   runtime::Runtime rt({.policy = core::PolicyChoice::TJ_SP});
   rt.root([] {
-    models::finish([] {
-      std::function<void(int)> tree = [&tree](int depth) {
+    // Outlives finish() — see FinishAwaitsTransitiveAsyncs.
+    std::function<void(int)> tree;
+    models::finish([&tree] {
+      tree = [&tree](int depth) {
         if (depth == 0) return;
         for (int i = 0; i < 3; ++i) {
           models::af_async([&tree, depth] { tree(depth - 1); });

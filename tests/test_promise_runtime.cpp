@@ -1,0 +1,356 @@
+// Promise<T> runtime semantics under the Ownership Policy: fulfill/get in
+// both scheduler modes, multi-reader awaits, fulfill-before/after-await
+// races, ownership transfer (explicit and via async_owning), orphan
+// detection, fault modes, the unverified baseline, and trace recording.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "trace/owp_judgment.hpp"
+#include "trace/validity.hpp"
+
+namespace tj::runtime {
+namespace {
+
+Config owp_cfg(SchedulerMode m = SchedulerMode::Cooperative) {
+  Config cfg;
+  cfg.policy = core::PolicyChoice::TJ_SP;
+  cfg.promise_policy = core::PromisePolicy::OWP;
+  cfg.scheduler = m;
+  cfg.workers = 2;
+  return cfg;
+}
+
+// Spins until `waiter` has a registered wait edge (i.e. is blocked, or
+// faulted — callers pair this with an eventual wake-up).
+void spin_until_waiting(const Runtime& rt, std::uint64_t waiter) {
+  while (!rt.gate().graph().is_waiting(waiter)) {
+    std::this_thread::yield();
+  }
+}
+
+class PromiseBothModes : public ::testing::TestWithParam<SchedulerMode> {};
+
+TEST_P(PromiseBothModes, FulfillThenGet) {
+  Runtime rt(owp_cfg(GetParam()));
+  const int v = rt.root([] {
+    auto p = make_promise<int>();
+    p.fulfill(41);
+    return p.get() + 1;  // already-fulfilled await never blocks
+  });
+  EXPECT_EQ(v, 42);
+}
+
+TEST_P(PromiseBothModes, ChildFulfillsBlockedParent) {
+  Runtime rt(owp_cfg(GetParam()));
+  const std::string v = rt.root([] {
+    auto p = make_promise<std::string>();
+    auto f = async_owning(p, [p] { p.fulfill("hello"); });
+    const std::string got = p.get();  // blocks until the child fulfills
+    f.join();
+    return got;
+  });
+  EXPECT_EQ(v, "hello");
+}
+
+TEST_P(PromiseBothModes, ManyReadersOneFulfiller) {
+  Runtime rt(owp_cfg(GetParam()));
+  rt.root([] {
+    auto p = make_promise<int>();
+    std::vector<Future<int>> readers;
+    for (int i = 0; i < 8; ++i) {
+      readers.push_back(async([p] { return p.get(); }));
+    }
+    auto w = async_owning(p, [p] { p.fulfill(7); });
+    for (auto& r : readers) EXPECT_EQ(r.get(), 7);
+    w.join();
+  });
+  const core::GateStats s = rt.gate_stats();
+  EXPECT_GE(s.awaits_checked, 8u);
+  EXPECT_EQ(s.promises_orphaned, 0u);
+}
+
+TEST_P(PromiseBothModes, FulfillAfterAwaitRace) {
+  // The awaiter deterministically blocks first (observed via its WFG edge),
+  // then the owner fulfills: exercises the futex wake-up path.
+  Runtime rt(owp_cfg(GetParam()));
+  rt.root([&rt] {
+    auto p = make_promise<int>();
+    auto owner = async_owning(p, [&rt, p] {
+      spin_until_waiting(rt, /*root uid=*/0);
+      p.fulfill(13);
+    });
+    EXPECT_EQ(p.get(), 13);
+    owner.join();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PromiseBothModes,
+                         ::testing::Values(SchedulerMode::Blocking,
+                                           SchedulerMode::Cooperative));
+
+TEST(PromiseRuntime, DoubleFulfillIsUsageError) {
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    auto p = make_promise<int>();
+    p.fulfill(1);
+    EXPECT_THROW(p.fulfill(2), UsageError);
+    EXPECT_EQ(p.get(), 1);
+  });
+}
+
+TEST(PromiseRuntime, SelfAwaitFaultsAsDeadlock) {
+  // Awaiting a promise you own: OWP rejects (reflexive obligation), and the
+  // WFG fallback confirms waiter → promise → owner(=waiter) as a real cycle.
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    auto p = make_promise<int>();
+    EXPECT_THROW(p.get(), DeadlockAvoidedError);
+    p.fulfill(3);  // the program recovers: avoidance, not detection
+    EXPECT_EQ(p.get(), 3);
+  });
+  const core::GateStats s = rt.gate_stats();
+  EXPECT_GE(s.owp_rejections, 1u);
+  EXPECT_GE(s.deadlocks_averted, 1u);
+}
+
+TEST(PromiseRuntime, SelfAwaitThrowModeFaultsAtPolicy) {
+  Config cfg = owp_cfg();
+  cfg.fault = core::FaultMode::Throw;
+  Runtime rt(cfg);
+  rt.root([] {
+    auto p = make_promise<int>();
+    EXPECT_THROW(p.get(), PolicyViolationError);
+  });
+  EXPECT_EQ(rt.gate_stats().cycle_checks, 0u);
+}
+
+TEST(PromiseRuntime, NonOwnerFulfillThrowMode) {
+  Config cfg = owp_cfg();
+  cfg.fault = core::FaultMode::Throw;
+  Runtime rt(cfg);
+  rt.root([] {
+    auto p = make_promise<int>();
+    auto f = async([p] { p.fulfill(1); });  // child never received ownership
+    EXPECT_THROW(f.get(), PolicyViolationError);
+    p.fulfill(2);
+  });
+}
+
+TEST(PromiseRuntime, NonOwnerFulfillFallbackProceedsButCounts) {
+  // In Fallback mode the violation is benign (the value still arrives) but
+  // the ownership discipline records it.
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    auto p = make_promise<int>();
+    auto f = async([p] { p.fulfill(9); });
+    f.join();
+    EXPECT_EQ(p.get(), 9);
+  });
+  EXPECT_GE(rt.gate_stats().ownership_violations, 1u);
+}
+
+TEST(PromiseRuntime, TransferMovesFulfilmentRight) {
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    auto p = make_promise<int>();
+    std::atomic<bool> handed{false};
+    auto f = async([p, &handed] {
+      // Fulfill only after ownership has arrived: no violation expected.
+      while (!handed.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      p.fulfill(5);
+    });
+    p.transfer_to(f.task());
+    handed.store(true, std::memory_order_release);
+    EXPECT_EQ(p.get(), 5);
+    f.join();
+  });
+  EXPECT_EQ(rt.gate_stats().ownership_violations, 0u);
+}
+
+TEST(PromiseRuntime, NonOwnerTransferIsViolation) {
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    auto p = make_promise<int>();
+    auto thief = async([p] {
+      // Keep the receiver alive until the transfer has been rejected, so
+      // the ownership check (not the terminated-receiver check) fires.
+      std::atomic<bool> release{false};
+      auto inner = async([&release] {
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      });
+      EXPECT_THROW(p.transfer_to(inner.task()), PolicyViolationError);
+      release.store(true, std::memory_order_release);
+      inner.join();
+    });
+    thief.join();
+    p.fulfill(0);
+  });
+  EXPECT_GE(rt.gate_stats().ownership_violations, 1u);
+}
+
+TEST(PromiseRuntime, TransferToTerminatedTaskIsUsageError) {
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    auto p = make_promise<int>();
+    auto f = async([] {});
+    f.join();  // f is done
+    EXPECT_THROW(p.transfer_to(f.task()), UsageError);
+    p.fulfill(0);
+  });
+}
+
+TEST(PromiseRuntime, CrossTransferDeadlockAverted) {
+  // Root owns p; a child blocks awaiting p. Transferring p *to that child*
+  // would make the child wait on its own obligation: the WFG retarget check
+  // catches the cycle and the transfer faults instead.
+  Runtime rt(owp_cfg());
+  rt.root([&rt] {
+    auto p = make_promise<int>();
+    auto f = async([p] { return p.get(); });
+    spin_until_waiting(rt, f.task().uid());
+    EXPECT_THROW(p.transfer_to(f.task()), DeadlockAvoidedError);
+    p.fulfill(11);  // recover: the blocked child wakes with the value
+    EXPECT_EQ(f.get(), 11);
+  });
+  EXPECT_GE(rt.gate_stats().deadlocks_averted, 1u);
+}
+
+TEST(PromiseRuntime, MixedFuturePromiseCycleAverted) {
+  // Child awaits root's promise (child → p → root in the shared WFG); root
+  // joining the child would close a mixed future/promise cycle — caught by
+  // the always-checked WFG insertion while owner edges are live.
+  Runtime rt(owp_cfg());
+  rt.root([&rt] {
+    auto p = make_promise<int>();
+    auto f = async([p] { return p.get(); });
+    spin_until_waiting(rt, f.task().uid());
+    EXPECT_THROW(f.get(), DeadlockAvoidedError);
+    p.fulfill(21);  // recover
+    EXPECT_EQ(f.get(), 21);
+  });
+  EXPECT_GE(rt.gate_stats().deadlocks_averted, 1u);
+}
+
+TEST(PromiseRuntime, OrphanedPromiseFaultsLaterAwaits) {
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    Promise<int> p;
+    auto f = async([&p] { p = make_promise<int>(); });  // maker exits owning
+    f.join();
+    EXPECT_THROW(p.get(), DeadlockAvoidedError);
+    EXPECT_THROW(p.fulfill(1), UsageError);  // orphaned promises are settled
+  });
+  const core::GateStats s = rt.gate_stats();
+  EXPECT_GE(s.promises_orphaned, 1u);
+  EXPECT_GE(s.deadlocks_averted, 1u);
+}
+
+TEST(PromiseRuntime, BlockedAwaiterWokenByOrphaning) {
+  // Root blocks on p; p's owner then terminates without fulfilling. The
+  // orphan sweep must wake the blocked awaiter, which faults instead of
+  // hanging forever.
+  Runtime rt(owp_cfg());
+  rt.root([&rt] {
+    auto p = make_promise<int>();
+    std::atomic<bool> release{false};
+    auto owner = async_owning(p, [&release] {
+      while (!release.load()) std::this_thread::yield();
+    });
+    auto trigger = async([&rt, &release] {
+      spin_until_waiting(rt, /*root uid=*/0);
+      release.store(true);
+    });
+    EXPECT_THROW(p.get(), DeadlockAvoidedError);
+    owner.join();
+    trigger.join();
+  });
+  EXPECT_GE(rt.gate_stats().promises_orphaned, 1u);
+}
+
+TEST(PromiseRuntime, UnverifiedBaselineIsUnchecked) {
+  Config cfg = owp_cfg();
+  cfg.promise_policy = core::PromisePolicy::Unverified;
+  Runtime rt(cfg);
+  rt.root([] {
+    auto p = make_promise<int>();
+    auto f = async([p] { p.fulfill(4); });  // non-owner fulfill: not checked
+    EXPECT_EQ(p.get(), 4);
+    f.join();
+  });
+  const core::GateStats s = rt.gate_stats();
+  EXPECT_EQ(s.ownership_violations, 0u);
+  EXPECT_EQ(s.owp_rejections, 0u);
+  EXPECT_EQ(rt.owp_bytes(), 0u);
+}
+
+TEST(PromiseRuntime, AllFuturesProgramUnchangedUnderOwp) {
+  // A promise-free program must behave identically with OWP configured:
+  // no OWP state, no extra graph work, fast path intact.
+  Runtime rt(owp_cfg());
+  const int v = rt.root([] {
+    auto f = async([] { return 2; });
+    auto g = async([] { return 3; });
+    return f.get() * g.get();
+  });
+  EXPECT_EQ(v, 6);
+  const core::GateStats s = rt.gate_stats();
+  EXPECT_EQ(s.awaits_checked, 0u);
+  EXPECT_EQ(s.owp_rejections, 0u);
+  EXPECT_EQ(rt.owp_bytes(), 0u);
+  EXPECT_EQ(rt.promises_made(), 0u);
+}
+
+TEST(PromiseRuntime, RecordedTraceHasPromiseActionsAndIsOwpValid) {
+  Config cfg = owp_cfg();
+  cfg.record_trace = true;
+  Runtime rt(cfg);
+  rt.root([] {
+    auto p = make_promise<int>();
+    auto f = async_owning(p, [p] { p.fulfill(1); });
+    (void)p.get();
+    auto q = make_promise<int>();
+    q.fulfill(2);
+    (void)q.get();
+    f.join();
+  });
+  const trace::Trace t = rt.recorded_trace();
+  EXPECT_EQ(t.make_count(), 2u);
+  EXPECT_GE(t.await_count(), 2u);
+  EXPECT_EQ(t.promises().size(), 2u);
+  EXPECT_TRUE(trace::is_owp_valid(t))
+      << "recorded trace violates OWP:\n"
+      << t;
+}
+
+TEST(PromiseRuntime, VoidPromise) {
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    auto p = make_promise<void>();
+    auto f = async_owning(p, [p] { p.fulfill(); });
+    p.await();
+    EXPECT_TRUE(p.ready());
+    f.join();
+  });
+}
+
+TEST(PromiseRuntime, EmptyHandleIsUsageError) {
+  Runtime rt(owp_cfg());
+  rt.root([] {
+    Promise<int> p;
+    EXPECT_THROW(p.get(), UsageError);
+    EXPECT_THROW(p.fulfill(0), UsageError);
+  });
+}
+
+}  // namespace
+}  // namespace tj::runtime

@@ -31,6 +31,11 @@ class TraceReplay {
       case trace::ActionKind::Join:
         v_.on_join_complete(nodes_.at(a.actor), nodes_.at(a.target));
         break;
+      case trace::ActionKind::Make:
+      case trace::ActionKind::Fulfill:
+      case trace::ActionKind::Transfer:
+      case trace::ActionKind::Await:
+        break;  // promise actions are invisible to the join verifiers
     }
   }
 

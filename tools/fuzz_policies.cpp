@@ -1,22 +1,28 @@
 // Differential fuzzer: generates random traces and cross-checks every online
 // verifier against the reference judgments, the preorder decision procedure,
-// and the metatheory (total order, deadlock-freedom, subsumption). On a
-// discrepancy it MINIMIZES the witness and prints it in parseable notation.
+// and the metatheory (total order, deadlock-freedom, subsumption). Promise
+// traces additionally cross-check the online OwpVerifier against the offline
+// ownership judgment, action by action. On a discrepancy it MINIMIZES the
+// witness and prints it in parseable notation.
 //
-//   fuzz_policies [--iterations=N] [--tasks=N] [--joins=N] [--seed=S]
+//   fuzz_policies [--iterations=N] [--tasks=N] [--joins=N] [--promises=N]
+//                 [--ops=N] [--seed=S]
 //
 // Runs forever-ish by default budget (10k traces); exit 0 = no discrepancy.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "core/owp_replay.hpp"
 #include "core/verifier.hpp"
 #include "trace/deadlock.hpp"
 #include "trace/fork_tree.hpp"
 #include "trace/kj_judgment.hpp"
 #include "trace/minimize.hpp"
+#include "trace/owp_judgment.hpp"
 #include "trace/tj_judgment.hpp"
 #include "trace/trace_gen.hpp"
 #include "trace/validity.hpp"
@@ -31,6 +37,8 @@ struct Options {
   std::uint64_t iterations = 10'000;
   std::uint32_t tasks = 24;
   std::uint32_t joins = 24;
+  std::uint32_t promises = 8;
+  std::uint32_t ops = 32;
   std::uint64_t seed = 12345;
 };
 
@@ -52,6 +60,11 @@ struct Replay {
         case trace::ActionKind::Join:
           verifier->on_join_complete(nodes[a.actor], nodes[a.target]);
           break;
+        case trace::ActionKind::Make:
+        case trace::ActionKind::Fulfill:
+        case trace::ActionKind::Transfer:
+        case trace::ActionKind::Await:
+          break;  // promise actions are invisible to the join verifiers
       }
     }
   }
@@ -118,10 +131,70 @@ std::string check_one(const Trace& t) {
       }
     }
   }
-  if (trace::is_tj_valid(t) && trace::contains_deadlock(t)) {
+  // TJ judges joins only, so its deadlock-freedom theorem is stated for
+  // promise-free traces; a lone `await` on an unfulfilled promise deadlocks
+  // without ever being visible to TJ. Promise traces get the analogous
+  // guarantee from OWP in check_owp() below.
+  const auto& acts = t.actions();
+  const bool promise_free =
+      std::none_of(acts.begin(), acts.end(), [](const trace::Action& a) {
+        return a.kind == trace::ActionKind::Make ||
+               a.kind == trace::ActionKind::Fulfill ||
+               a.kind == trace::ActionKind::Transfer ||
+               a.kind == trace::ActionKind::Await;
+      });
+  if (promise_free && trace::is_tj_valid(t) && trace::contains_deadlock(t)) {
     return "TJ-valid trace contains a deadlock";
   }
   return "";
+}
+
+// Differential check for the ownership policy: feeds the trace action by
+// action to the *online* OwpVerifier (via its replay shim) and the offline
+// OwpJudgment, requiring identical verdicts, then cross-checks soundness
+// against the extended deadlock definition.
+std::string check_owp(const Trace& t) {
+  core::OwpTraceReplay online;
+  trace::OwpJudgment offline;
+  char buf[160];
+  std::size_t idx = 0;
+  for (const trace::Action& a : t.actions()) {
+    bool offline_ok = true;
+    switch (a.kind) {
+      case trace::ActionKind::Join:
+        offline_ok = offline.valid_join(a.actor, a.target);
+        break;
+      case trace::ActionKind::Await:
+        offline_ok = offline.valid_await(a.actor, a.promise);
+        break;
+      case trace::ActionKind::Fulfill:
+        offline_ok = offline.valid_fulfill(a.actor, a.promise);
+        break;
+      case trace::ActionKind::Transfer:
+        offline_ok = offline.valid_transfer(a.actor, a.target, a.promise);
+        break;
+      default:
+        break;
+    }
+    if (online.feed(a) != offline_ok) {
+      std::snprintf(buf, sizeof buf,
+                    "OWP online/offline disagreement at action %zu", idx);
+      return buf;
+    }
+    offline.push(a);
+    ++idx;
+  }
+  if (trace::is_owp_valid(t) && trace::contains_deadlock(t)) {
+    return "OWP-valid trace contains a deadlock";
+  }
+  return "";
+}
+
+// Combined predicate: join-policy differential plus the ownership policy.
+std::string check_all(const Trace& t) {
+  std::string why = check_one(t);
+  if (why.empty()) why = check_owp(t);
+  return why;
 }
 
 }  // namespace
@@ -140,6 +213,10 @@ int main(int argc, char** argv) {
       o.tasks = static_cast<std::uint32_t>(std::atoi(v2));
     } else if (const char* v3 = val("--joins=")) {
       o.joins = static_cast<std::uint32_t>(std::atoi(v3));
+    } else if (const char* vp = val("--promises=")) {
+      o.promises = static_cast<std::uint32_t>(std::atoi(vp));
+    } else if (const char* vo = val("--ops=")) {
+      o.ops = static_cast<std::uint32_t>(std::atoi(vo));
     } else if (const char* v4 = val("--seed=")) {
       o.seed = std::strtoull(v4, nullptr, 10);
     } else {
@@ -150,25 +227,32 @@ int main(int argc, char** argv) {
 
   for (std::uint64_t i = 0; i < o.iterations; ++i) {
     const std::uint64_t seed = o.seed + i;
-    // Alternate the three generators for coverage.
+    // Alternate the five generators for coverage: three join-only shapes
+    // plus adversarial and OWP-valid promise traces.
     const double bias = 0.1 * static_cast<double>(i % 11);
     Trace t;
-    switch (i % 3) {
+    switch (i % 5) {
       case 0:
         t = trace::random_structural_trace(o.tasks, o.joins, seed, bias);
         break;
       case 1:
         t = trace::random_tj_valid_trace(o.tasks, o.joins, seed, bias);
         break;
-      default:
+      case 2:
         t = trace::random_kj_valid_trace(o.tasks, o.joins, seed, bias);
         break;
+      case 3:
+        t = trace::random_promise_trace(o.tasks, o.promises, o.ops, seed);
+        break;
+      default:
+        t = trace::random_owp_valid_trace(o.tasks, o.promises, o.ops, seed);
+        break;
     }
-    const std::string why = check_one(t);
+    const std::string why = check_all(t);
     if (!why.empty()) {
       // Shrink to the smallest trace that still shows a discrepancy.
       const Trace min = trace::minimize_trace(t, [](const Trace& c) {
-        return !check_one(c).empty();
+        return !check_all(c).empty();
       });
       std::fprintf(stderr, "DISCREPANCY after %llu traces: %s\n",
                    static_cast<unsigned long long>(i), why.c_str());
