@@ -69,7 +69,41 @@ void bench_sibling_join_chain(benchmark::State& state, PolicyChoice p) {
                           static_cast<std::int64_t>(kTasks));
 }
 
+// Watchdog-idle overhead: same fork-all-join-all workload with the stall
+// detector enabled but never firing (stall_ms far above any real wait). The
+// per-join cost is one mutex-guarded map insert/erase on the *blocking*
+// path only; completed-join fast paths pay nothing. Compare against
+// RuntimeOps/ForkAllJoinAll10k/tj-sp — the delta should be within noise.
+void bench_join_chain_watchdog_idle(benchmark::State& state) {
+  const std::size_t kTasks = 10'000;
+  Config cfg;
+  cfg.policy = PolicyChoice::TJ_SP;
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.poll_ms = 50;
+  cfg.watchdog.stall_ms = 60'000;  // idle: nothing stalls this long
+  Runtime rt(cfg);
+  rt.root([&state, kTasks] {
+    for (auto _ : state) {
+      std::vector<Future<int>> fs;
+      fs.reserve(kTasks);
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        fs.push_back(tj::runtime::async([] { return 1; }));
+      }
+      int acc = 0;
+      for (const auto& f : fs) acc += f.get();
+      benchmark::DoNotOptimize(acc);
+    }
+  });
+  state.SetLabel("tj-sp+watchdog-idle");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks));
+}
+
 void register_all() {
+  benchmark::RegisterBenchmark("RuntimeOps/ForkAllJoinAll10k/watchdog-idle",
+                               bench_join_chain_watchdog_idle)
+      ->Iterations(3)
+      ->Unit(benchmark::kMillisecond);
   for (PolicyChoice p : kPolicies) {
     const std::string name(tj::core::to_string(p));
     benchmark::RegisterBenchmark(

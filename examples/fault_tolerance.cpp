@@ -1,0 +1,108 @@
+// Recoverable faults end-to-end: the catch → cancel → retry pattern.
+//
+// A work unit is farmed out under a CancellationScope. One task hits a
+// deadlock-avoidance fault (a cross-sibling join cycle the policy rejects);
+// the scope reacts by cancelling the still-pending sibling tasks — their
+// futures fail fast with CancelledError carrying the originating fault
+// instead of computing results nobody will consume. The scope *owner*
+// survives, observes the fault at its joins, and retries the whole unit
+// with a corrected join structure, which succeeds.
+//
+// Build: cmake --build build --target fault_tolerance && build/examples/fault_tolerance
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "runtime/cancellation.hpp"
+
+namespace rt = tj::runtime;
+
+namespace {
+
+// Attempt 1: tasks 0 and 1 join *each other* — a genuine deadlock the
+// policy faults instead of blocking into. The remaining siblings would be
+// wasted work once the unit has failed; the scope cancels them.
+long attempt_with_cycle() {
+  rt::CancellationScope scope;
+  std::atomic<const rt::Future<long>*> slot0{nullptr};
+  std::atomic<const rt::Future<long>*> slot1{nullptr};
+  auto cross = [](std::atomic<const rt::Future<long>*>& other) -> long {
+    const rt::Future<long>* f;
+    while ((f = other.load(std::memory_order_acquire)) == nullptr) {
+      std::this_thread::yield();
+    }
+    return f->get() + 1;  // one of the two joins faults here
+  };
+  std::vector<rt::Future<long>> unit;
+  unit.push_back(rt::async([&slot1, &cross] { return cross(slot1); }));
+  unit.push_back(rt::async([&slot0, &cross] { return cross(slot0); }));
+  for (int i = 2; i < 8; ++i) {
+    unit.push_back(rt::async([i]() -> long {
+      // Straggler work that should NOT run once the unit has failed.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return i;
+    }));
+  }
+  slot0.store(&unit[0], std::memory_order_release);
+  slot1.store(&unit[1], std::memory_order_release);
+
+  long acc = 0;
+  std::exception_ptr fault;
+  for (auto& f : unit) {
+    try {
+      acc += f.get();
+    } catch (const rt::DeadlockAvoidedError& e) {
+      std::printf("  [fault]   %s\n", e.what());
+      fault = std::current_exception();
+      scope.cancel(fault);  // stop the rest of the unit, keep the cause
+    } catch (const rt::CancelledError& e) {
+      std::printf("  [cancel]  sibling failed fast: %s\n", e.what());
+    }
+  }
+  std::printf("  [scope]   cancelled=%s, queued tasks cancelled=%llu\n",
+              scope.cancelled() ? "yes" : "no",
+              static_cast<unsigned long long>(scope.tasks_cancelled()));
+  if (fault) std::rethrow_exception(fault);
+  return acc;
+}
+
+// Attempt 2: corrected join order — a one-directional chain (younger joins
+// older) computes the same unit without a cycle.
+long attempt_corrected() {
+  std::vector<rt::Future<long>> unit;
+  unit.push_back(rt::async([] { return 1L; }));
+  const rt::Future<long> first = unit[0];
+  unit.push_back(rt::async([first] { return first.get() + 1; }));
+  for (int i = 2; i < 8; ++i) {
+    unit.push_back(rt::async([i] { return static_cast<long>(i); }));
+  }
+  long acc = 0;
+  for (auto& f : unit) acc += f.get();
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  rt::Runtime runtime({.policy = tj::core::PolicyChoice::TJ_SP,
+                       .workers = 4});
+  const long result = runtime.root([]() -> long {
+    std::printf("attempt 1: cross-sibling join cycle under a "
+                "CancellationScope\n");
+    try {
+      return attempt_with_cycle();
+    } catch (const rt::DeadlockAvoidedError&) {
+      std::printf("attempt 2: retry with corrected join order\n");
+      return attempt_corrected();  // the scope owner is the recovery point
+    }
+  });
+  const auto s = runtime.gate_stats();
+  std::printf("result=%ld  (deadlocks averted: %llu)\n", result,
+              static_cast<unsigned long long>(s.deadlocks_averted));
+  return result == 30 ? 0 : 1;  // 1 + 2 + (2+3+4+5+6+7)
+}

@@ -6,10 +6,12 @@
 #
 # Usage: scripts/ci.sh                 # release + tsan
 #        PRESETS="release" scripts/ci.sh   # subset
+#        CHAOS=0 scripts/ci.sh         # skip the chaos stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 PRESETS="${PRESETS:-release tsan}"
+CHAOS="${CHAOS:-1}"
 
 for p in $PRESETS; do
   echo "== [$p] configure"
@@ -19,5 +21,18 @@ for p in $PRESETS; do
   echo "== [$p] test"
   ctest --preset "$p" --output-on-failure -j"$(nproc)"
 done
+
+# Chaos stage: re-run the randomized stress suites and the fault-plan seed
+# sweep under ThreadSanitizer. The plans inject policy rejections, perturbed
+# wakeups, fulfill failures and worker deaths; TSan watches the recovery
+# paths those faults drive (cancellation, poisoning, compensation spawning),
+# which a single green run of the functional suite does not stress.
+if [[ "$CHAOS" == "1" ]] && [[ " $PRESETS " == *" tsan "* ]]; then
+  echo "== [chaos] seed sweep under tsan"
+  ctest --preset tsan -R 'Chaos|FaultInjection|Cancellation|Watchdog' \
+        --output-on-failure -j"$(nproc)"
+  echo "== [chaos] fault-plan fuzz"
+  ./build-tsan/tools/fuzz_policies --fault-seed=1 --iterations=48
+fi
 
 echo "ci: all presets green ($PRESETS)"

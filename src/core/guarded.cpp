@@ -3,8 +3,9 @@
 namespace tj::core {
 
 JoinGate::JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode,
-                   OwpVerifier* owp)
-    : kind_(kind), verifier_(verifier), mode_(mode), owp_(owp) {}
+                   OwpVerifier* owp, GateFaultHooks* hooks)
+    : kind_(kind), verifier_(verifier), mode_(mode), owp_(owp),
+      hooks_(hooks) {}
 
 JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
                                   PolicyNode* waiter_state,
@@ -39,6 +40,12 @@ JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
   if (approved && owp_live && !owp_->permits_join(waiter, target)) {
     approved = false;
     owp_rejected = true;
+  }
+  // Fault injection: a spurious rejection takes the exact path a real one
+  // takes (counters, fallback, probation edge), so chaos tests exercise the
+  // recovery machinery and the stats still reconcile.
+  if (approved && hooks_ != nullptr && hooks_->inject_join_rejection()) {
+    approved = false;
   }
 
   if (approved) {
@@ -141,7 +148,14 @@ JoinDecision JoinGate::enter_await(std::uint64_t waiter_uid, PromiseNode* p,
   const wfg::NodeId pnode = wfg::promise_node_id(p->uid());
   // Check-and-insert must be atomic across both graphs (see await_mu_).
   std::lock_guard<std::mutex> lock(await_mu_);
-  switch (owp_->permits_await(waiter_uid, p)) {
+  AwaitVerdict verdict = owp_->permits_await(waiter_uid, p);
+  if (verdict == AwaitVerdict::Allow && hooks_ != nullptr &&
+      hooks_->inject_await_rejection()) {
+    // Injected spurious rejection: route through the probation path exactly
+    // like a conservative OWP rejection.
+    verdict = AwaitVerdict::RejectCycle;
+  }
+  switch (verdict) {
     case AwaitVerdict::RejectOrphaned:
       // Nobody is obligated to fulfill the promise: blocking on it is a
       // certain deadlock, and no WFG cycle can witness the absence of a

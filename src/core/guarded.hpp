@@ -62,6 +62,22 @@ enum class FulfillDecision : std::uint8_t {
   AlreadySettled,  ///< promise already fulfilled or orphaned (usage error)
 };
 
+/// Seam for the deterministic fault-injection layer (testing only; see
+/// runtime/fault_injection.hpp). When wired, the gate consults it on every
+/// join/await ruling and may flip an approved verdict into a *spurious*
+/// policy rejection — which then flows through the ordinary rejection
+/// accounting and fallback machinery, so injected rejections are
+/// indistinguishable from real ones to everything downstream (including the
+/// stats reconciliation `rejections == false_positives + deadlocks_averted`).
+class GateFaultHooks {
+ public:
+  virtual ~GateFaultHooks() = default;
+  /// True ⇒ treat the current (policy-approved) join as a policy rejection.
+  virtual bool inject_join_rejection() noexcept = 0;
+  /// True ⇒ treat the current (OWP-approved) await as an OWP rejection.
+  virtual bool inject_await_rejection() noexcept = 0;
+};
+
 /// Gate ruling on an ownership transfer.
 enum class TransferDecision : std::uint8_t {
   Ok,
@@ -79,8 +95,9 @@ class JoinGate {
   /// unchecked) and CycleOnly (every join cycle-checked). `owp` may be
   /// nullptr (PromisePolicy::Unverified): promise operations are then
   /// recorded but never checked.
+  /// `hooks` may be nullptr (no fault injection — the production setup).
   JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode,
-           OwpVerifier* owp = nullptr);
+           OwpVerifier* owp = nullptr, GateFaultHooks* hooks = nullptr);
 
   /// Rules on a join (waiter → target). Unless the target has already
   /// terminated (`target_done`, which cannot deadlock) or the verdict is a
@@ -139,7 +156,8 @@ class JoinGate {
   PolicyChoice kind_;
   Verifier* verifier_;  // not owned
   FaultMode mode_;
-  OwpVerifier* owp_;  // not owned; nullptr ⇒ promises unverified
+  OwpVerifier* owp_;        // not owned; nullptr ⇒ promises unverified
+  GateFaultHooks* hooks_;   // not owned; nullptr ⇒ no fault injection
   wfg::WaitsForGraph wfg_;
   // Serializes {permits_await, WFG edge insertion, on_await} so two racing
   // awaits cannot both observe a cycle-free obligation graph and insert the

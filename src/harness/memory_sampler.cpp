@@ -17,8 +17,12 @@ std::size_t current_rss_bytes() {
   return rss_pages * static_cast<std::size_t>(page > 0 ? page : 4096);
 }
 
-MemorySampler::MemorySampler(unsigned interval_ms)
-    : thread_([this, interval_ms] { loop(interval_ms); }) {}
+MemorySampler::MemorySampler(unsigned interval_ms) {
+  // Guaranteed pre-run sample, taken synchronously so the measured region
+  // can never observe zero samples no matter how fast it finishes.
+  sample_once();
+  thread_ = std::thread([this, interval_ms] { loop(interval_ms); });
+}
 
 MemorySampler::~MemorySampler() { stop(); }
 
@@ -26,18 +30,25 @@ void MemorySampler::stop() {
   bool expected = false;
   if (stop_.compare_exchange_strong(expected, true) && thread_.joinable()) {
     thread_.join();
+    // Guaranteed post-run sample: the peak reflects at least the RSS at the
+    // end of the measured region even if every periodic tick missed it.
+    sample_once();
+  }
+}
+
+void MemorySampler::sample_once() {
+  const std::size_t rss = current_rss_bytes();
+  sum_bytes_.fetch_add(rss, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (rss > peak && !peak_bytes_.compare_exchange_weak(
+                           peak, rss, std::memory_order_relaxed)) {
   }
 }
 
 void MemorySampler::loop(unsigned interval_ms) {
   while (!stop_.load(std::memory_order_relaxed)) {
-    const std::size_t rss = current_rss_bytes();
-    sum_bytes_.fetch_add(rss, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    std::size_t peak = peak_bytes_.load(std::memory_order_relaxed);
-    while (rss > peak && !peak_bytes_.compare_exchange_weak(
-                             peak, rss, std::memory_order_relaxed)) {
-    }
+    sample_once();
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }
 }

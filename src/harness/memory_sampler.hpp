@@ -18,12 +18,18 @@ std::size_t current_rss_bytes();
 
 class MemorySampler {
  public:
+  /// Takes one guaranteed sample synchronously before the sampling thread
+  /// starts, so even a measured region shorter than the interval records a
+  /// meaningful average/peak (short cold runs used to race the first tick
+  /// and report zero samples).
   explicit MemorySampler(unsigned interval_ms = 10);
   ~MemorySampler();
   MemorySampler(const MemorySampler&) = delete;
   MemorySampler& operator=(const MemorySampler&) = delete;
 
-  /// Stops sampling (idempotent); average/peak are stable afterwards.
+  /// Stops sampling (idempotent); takes one final guaranteed sample after
+  /// joining the thread, bracketing the run. Average/peak are stable
+  /// afterwards.
   void stop();
 
   double average_bytes() const;
@@ -31,6 +37,7 @@ class MemorySampler {
   std::uint64_t samples() const { return count_.load(); }
 
  private:
+  void sample_once();
   void loop(unsigned interval_ms);
 
   std::atomic<bool> stop_{false};

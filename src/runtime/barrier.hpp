@@ -20,6 +20,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -33,7 +34,7 @@ namespace tj::runtime {
 class BarrierDomain;
 
 /// A cyclic barrier over a dynamic set of parties.
-class CheckedBarrier {
+class CheckedBarrier : public std::enable_shared_from_this<CheckedBarrier> {
  public:
   /// Registers the calling task as a party.
   void register_party();
@@ -43,10 +44,20 @@ class CheckedBarrier {
 
   /// Blocks until every registered party arrived at the current phase.
   /// Verified against the domain's resource graph: if blocking would close
-  /// a cross-barrier cycle, throws DeadlockAvoidedError WITHOUT blocking
-  /// (and without consuming the arrival). Returns true for exactly one
-  /// party per phase (the releaser).
+  /// a cross-barrier cycle, throws DeadlockAvoidedError WITHOUT blocking —
+  /// and DROPS the faulted party from the barrier entirely (it must
+  /// re-register to rejoin), so its peers are released when everyone else
+  /// has arrived rather than stranded behind a party that faulted out.
+  /// Returns true for exactly one party per phase (the releaser).
   bool await();
+
+  /// Poisons the barrier (idempotent): every current and future await /
+  /// arrive / register throws CancelledError carrying `cause`, blocked
+  /// waiters are woken and their resource-graph wait entries cleared.
+  /// Invoked by a cancelling CancellationScope; also callable directly.
+  void poison(std::exception_ptr cause);
+
+  bool poisoned() const;
 
   /// Arrives at the current phase without waiting for it to complete.
   void arrive();
@@ -80,6 +91,8 @@ class CheckedBarrier {
   std::uint64_t phase_ = 0;
   std::vector<wfg::TaskUid> arrived_uids_;     // arrivals this phase
   std::vector<wfg::TaskUid> blocked_uids_;     // of those, the blocked ones
+  bool poisoned_ = false;                      // guarded by mu_
+  std::exception_ptr poison_cause_;            // guarded by mu_
 };
 
 /// Owns the shared resource graph and creates barriers bound to it.
@@ -89,7 +102,8 @@ class BarrierDomain {
   BarrierDomain(const BarrierDomain&) = delete;
   BarrierDomain& operator=(const BarrierDomain&) = delete;
 
-  /// Creates a barrier; the domain keeps ownership (stable addresses).
+  /// Creates a barrier; the domain keeps ownership (stable addresses —
+  /// shared_ptr storage so cancellation scopes can hold weak references).
   CheckedBarrier& create_barrier();
 
   const wfg::ResourceGraph& graph() const { return graph_; }
@@ -102,7 +116,7 @@ class BarrierDomain {
 
   wfg::ResourceGraph graph_;
   std::mutex barriers_mu_;
-  std::vector<std::unique_ptr<CheckedBarrier>> barriers_;
+  std::vector<std::shared_ptr<CheckedBarrier>> barriers_;
   std::atomic<wfg::ResId> next_id_{1};
   std::atomic<std::uint64_t> averted_{0};
 };

@@ -9,6 +9,8 @@
 
 #include "core/guarded.hpp"
 #include "core/policy_ids.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/watchdog.hpp"
 
 namespace tj::runtime {
 
@@ -47,6 +49,19 @@ struct Config {
   /// perturb interleavings (schedule fuzzing for tests). Different seeds
   /// explore different schedules; 0 disables injection entirely.
   std::uint64_t chaos_seed = 0;
+  /// When true, any task's uncaught failure cancels every still-pending task
+  /// in the runtime (the root cancellation scope cancels on fault): queued
+  /// siblings complete with CancelledError, their promises are poisoned, and
+  /// blocked dependents fail fast instead of waiting on work that will never
+  /// finish. Default preserves the fire-and-forget semantics: a failure
+  /// surfaces only at the failed task's own join.
+  bool cancel_on_fault = false;
+  /// Join watchdog (stall detector); disabled by default — joins then pay
+  /// no watchdog cost at all.
+  WatchdogConfig watchdog;
+  /// Deterministic fault injection for chaos testing; plan.seed == 0 (the
+  /// default) disables the layer entirely.
+  FaultPlan fault_plan;
 
   unsigned effective_workers() const {
     if (workers != 0) return workers;

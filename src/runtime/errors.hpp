@@ -4,8 +4,10 @@
 // program the chance to recover — the stated advantage of avoidance over
 // detection.
 
+#include <exception>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace tj::runtime {
 
@@ -32,6 +34,32 @@ class PolicyViolationError : public TjError {
 /// API misuse: e.g. async()/get() outside a runtime task context, or a
 /// second root task on one runtime.
 class UsageError : public TjError {
+ public:
+  using TjError::TjError;
+};
+
+/// The operation was abandoned because the enclosing CancellationScope was
+/// cancelled (usually in reaction to a sibling task's fault). Joins on a
+/// cancelled task, awaits on a poisoned promise, and waits on a poisoned
+/// barrier all raise this instead of blocking; `cause()` is the originating
+/// fault when one is known (e.g. the sibling's DeadlockAvoidedError).
+class CancelledError : public TjError {
+ public:
+  explicit CancelledError(const std::string& msg, std::exception_ptr cause = {})
+      : TjError(msg), cause_(std::move(cause)) {}
+
+  /// The fault that triggered the cancellation, or nullptr when the scope
+  /// was cancelled explicitly.
+  const std::exception_ptr& cause() const { return cause_; }
+
+ private:
+  std::exception_ptr cause_;
+};
+
+/// A fault injected by the deterministic fault-injection layer (testing
+/// only; see runtime/fault_injection.hpp). Behaves like any other task
+/// failure: captured in the faulting task and rethrown at joins.
+class InjectedFaultError : public TjError {
  public:
   using TjError::TjError;
 };

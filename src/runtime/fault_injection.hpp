@@ -1,0 +1,165 @@
+#pragma once
+// Deterministic fault-injection layer (chaos testing). A seeded FaultPlan
+// decides, at a handful of runtime seams, whether to perturb the execution:
+//
+//   * spurious policy rejections  — the join gate treats an approved join /
+//     await as if the policy had rejected it (core/guarded.cpp hooks), so
+//     the fallback path and its accounting get exercised on valid programs;
+//   * delayed wakeups             — the Done/fulfilled notification is
+//     published late, widening the race windows around joins;
+//   * dropped wakeups             — the notification is suppressed entirely
+//     and redelivered by the injector's repair thread a little later,
+//     modelling a lost futex wake (waiters must survive it, not hang);
+//   * fulfiller failures          — Promise::fulfill throws
+//     InjectedFaultError *before* the value is published, so the obligation
+//     machinery (orphaning, poisoning, awaiter faulting) has to recover;
+//   * worker-thread death         — a pool worker exits at a task boundary
+//     (never mid-task) and the scheduler must respawn a replacement.
+//
+// Decisions are functions of (seed, site, event-counter) only — replaying
+// the same seed against the same schedule injects the same faults, and a
+// seed sweep explores distinct fault schedules. seed == 0 disables the
+// whole layer; every hook then short-circuits on one relaxed load.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/guarded.hpp"
+
+namespace tj::runtime {
+
+/// What to inject and how often. Periods are 1-in-N odds per event at the
+/// site (hashed, not strictly periodic); 0 disables the site.
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< 0 ⇒ fault injection fully disabled
+
+  std::uint32_t join_rejection_period = 0;    ///< spurious join rejections
+  std::uint32_t await_rejection_period = 0;   ///< spurious await rejections
+  std::uint32_t delayed_wakeup_period = 0;    ///< late Done/fulfill notify
+  std::uint32_t delay_us = 200;               ///< how late
+  std::uint32_t dropped_wakeup_period = 0;    ///< suppressed Done notify
+  std::uint32_t redelivery_ms = 2;            ///< repair-thread redelivery lag
+  std::uint32_t fulfill_failure_period = 0;   ///< fulfill throws before value
+  std::uint32_t worker_death_period = 0;      ///< worker exits at boundary
+  std::uint32_t max_worker_deaths = 8;        ///< cap on respawn churn
+
+  bool enabled() const { return seed != 0; }
+
+  /// The canonical chaos-test plan: every site armed at moderate odds.
+  static FaultPlan chaos(std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed == 0 ? 1 : seed;  // seed 0 would disarm the plan
+    p.join_rejection_period = 5;
+    p.await_rejection_period = 4;
+    p.delayed_wakeup_period = 6;
+    p.dropped_wakeup_period = 7;
+    p.fulfill_failure_period = 6;
+    p.worker_death_period = 9;
+    return p;
+  }
+};
+
+/// Counts of faults actually injected (for test assertions).
+struct FaultStats {
+  std::uint64_t join_rejections = 0;
+  std::uint64_t await_rejections = 0;
+  std::uint64_t delayed_wakeups = 0;
+  std::uint64_t dropped_wakeups = 0;
+  std::uint64_t fulfill_failures = 0;
+  std::uint64_t worker_deaths = 0;
+
+  std::uint64_t total() const {
+    return join_rejections + await_rejections + delayed_wakeups +
+           dropped_wakeups + fulfill_failures + worker_deaths;
+  }
+};
+
+/// The live injector: owned by the Runtime when its config carries an
+/// enabled FaultPlan, consulted by the gate (as GateFaultHooks), the
+/// scheduler (worker death) and the task/promise publication paths
+/// (wakeup faults). Thread-safe; every decision is lock-free.
+class FaultInjector final : public core::GateFaultHooks {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  ~FaultInjector() override;  // joins the repair thread
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- gate hooks (core::GateFaultHooks) ---
+  bool inject_join_rejection() noexcept override;
+  bool inject_await_rejection() noexcept override;
+
+  // --- wakeup faults ---
+  /// Called with the Done/fulfilled store already published. Either delays
+  /// the calling thread briefly (delayed wakeup), or swallows this
+  /// notification and schedules `renotify` on the repair thread (dropped
+  /// wakeup, returns true — the caller must then NOT notify), or does
+  /// nothing. `renotify` must be safe to run as long as the injector lives;
+  /// the Runtime keeps the injector alive until quiescence.
+  bool perturb_wakeup(std::function<void()> renotify);
+
+  /// Delay-only variant for publication paths whose notification must not
+  /// be dropped (promise settling inside the kFulfilling window): sleeps
+  /// briefly when the plan's delayed-wakeup site fires.
+  void maybe_delay_publication() noexcept;
+
+  // --- fulfiller failure ---
+  /// Throws InjectedFaultError when the plan says this fulfill should fail.
+  /// Called before the fulfilment state machine advances, so a failed
+  /// fulfill leaves the promise unfulfilled (and later orphaned/poisoned).
+  void maybe_fail_fulfill();
+
+  // --- worker death ---
+  /// True ⇒ the calling worker should die at this task boundary (bounded by
+  /// max_worker_deaths; the scheduler respawns a replacement).
+  bool should_kill_worker() noexcept;
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultStats stats() const;
+
+ private:
+  // Deterministic 1-in-period decision for the n-th event at `site`.
+  bool decide(std::uint32_t period, std::uint32_t site,
+              std::atomic<std::uint64_t>& counter,
+              std::atomic<std::uint64_t>& injected) noexcept;
+
+  void repair_loop();
+
+  const FaultPlan plan_;
+
+  std::atomic<std::uint64_t> join_events_{0};
+  std::atomic<std::uint64_t> await_events_{0};
+  std::atomic<std::uint64_t> wakeup_events_{0};
+  std::atomic<std::uint64_t> publication_events_{0};
+  std::atomic<std::uint64_t> fulfill_events_{0};
+  std::atomic<std::uint64_t> boundary_events_{0};
+
+  std::atomic<std::uint64_t> join_rejections_{0};
+  std::atomic<std::uint64_t> await_rejections_{0};
+  std::atomic<std::uint64_t> delayed_wakeups_{0};
+  std::atomic<std::uint64_t> dropped_wakeups_{0};
+  std::atomic<std::uint64_t> fulfill_failures_{0};
+  std::atomic<std::uint64_t> worker_deaths_{0};
+
+  // Repair thread: redelivers dropped wakeups after redelivery_ms. Started
+  // lazily on the first drop; pending notifications are flushed on stop so
+  // no wakeup is ever lost for good.
+  struct PendingWake {
+    std::chrono::steady_clock::time_point due;
+    std::function<void()> renotify;
+  };
+  std::mutex repair_mu_;
+  std::condition_variable repair_cv_;
+  std::vector<PendingWake> pending_;  // guarded by repair_mu_
+  bool repair_started_ = false;       // guarded by repair_mu_
+  bool stop_ = false;                 // guarded by repair_mu_
+  std::thread repair_thread_;         // guarded by repair_mu_ (start only)
+};
+
+}  // namespace tj::runtime

@@ -11,17 +11,27 @@
 // (Shirako et al., cited as [30]): values returned by the spawned tasks are
 // combined with a user reducer as the joins complete.
 
+#include <exception>
 #include <functional>
+#include <optional>
 #include <utility>
 
 #include "runtime/api.hpp"
+#include "runtime/cancellation.hpp"
 #include "runtime/concurrent_queue.hpp"
 
 namespace tj::runtime {
 
 class FinishScope {
  public:
+  /// Tag: construct with FinishScope(CancelSiblingsOnFault{}) to tie the
+  /// finish scope to a CancellationScope — a fault in any spawned task then
+  /// cancels its still-pending siblings, and await() drains the cancelled
+  /// stragglers before rethrowing the *originating* fault.
+  struct CancelSiblingsOnFault {};
+
   FinishScope() = default;
+  explicit FinishScope(CancelSiblingsOnFault) : cscope_(std::in_place) {}
   FinishScope(const FinishScope&) = delete;
   FinishScope& operator=(const FinishScope&) = delete;
   /// Joining in the destructor would hide faults; call await() explicitly.
@@ -40,15 +50,40 @@ class FinishScope {
   /// registered) has terminated. Safe against tasks that keep spawning:
   /// each joined task registered its children before terminating, so an
   /// empty queue after draining means quiescence (Listing 1's invariant).
+  ///
+  /// Faults do not abandon the drain: every registered task is joined
+  /// regardless (no stragglers escape the scope), then the first *origin*
+  /// fault is rethrown — a non-CancelledError if one occurred, else the
+  /// first CancelledError.
   void await() {
+    std::exception_ptr first_fault;  // first non-cancellation error
+    std::exception_ptr first_any;
     while (auto f = tasks_.poll()) {
-      f->join();
+      try {
+        f->join();
+      } catch (const CancelledError&) {
+        if (!first_any) first_any = std::current_exception();
+      } catch (...) {
+        if (!first_fault) first_fault = std::current_exception();
+        if (!first_any) first_any = first_fault;
+      }
     }
+    if (first_fault) std::rethrow_exception(first_fault);
+    if (first_any) std::rethrow_exception(first_any);
   }
 
   std::size_t pending() const { return tasks_.size(); }
 
+  /// The attached cancellation scope, when constructed with
+  /// CancelSiblingsOnFault (nullptr otherwise).
+  CancellationScope* cancellation() {
+    return cscope_ ? &*cscope_ : nullptr;
+  }
+
  private:
+  // Declared before tasks_ so it outlives in-flight registrations; note the
+  // scope must be constructed inside a task context (as FinishScope is).
+  std::optional<CancellationScope> cscope_;
   ConcurrentQueue<Future<void>> tasks_;
 };
 

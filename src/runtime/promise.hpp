@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -107,6 +108,15 @@ class PromiseStateBase {
     }
   }
 
+  /// The poison cause, readable only once kOrphaned is observable (the
+  /// write happens-before the orphan CAS's release; nullptr otherwise).
+  /// A poisoned promise is an orphaned promise whose owner died of a known
+  /// fault — awaiters surface that fault instead of a bare deadlock error.
+  std::exception_ptr poison_cause() const {
+    return phase_.load(std::memory_order_acquire) == kOrphaned ? poison_
+                                                               : nullptr;
+  }
+
   std::uint64_t uid() const { return uid_; }
   Runtime* runtime() const { return rt_; }
 
@@ -118,10 +128,15 @@ class PromiseStateBase {
   friend void fulfill_committed(PromiseStateBase&);
   friend void transfer_promise_state(PromiseStateBase&, const TaskBase&);
 
+  /// Pre: called by the single thread about to orphan this promise, BEFORE
+  /// its try_orphan() — the CAS's release ordering publishes the write.
+  void set_poison(std::exception_ptr cause) { poison_ = std::move(cause); }
+
   std::uint64_t uid_ = 0;
   Runtime* rt_ = nullptr;
   core::PromiseNode* pnode_ = nullptr;  // owned by the runtime's OwpVerifier
   std::atomic<std::uint32_t> phase_{kUnfulfilled};
+  std::exception_ptr poison_;  // see poison_cause()
 };
 
 template <typename T>

@@ -26,18 +26,92 @@ TaskBase::~TaskBase() {
 }
 
 void TaskBase::run() {
-  try {
-    execute();
-  } catch (...) {
-    error_ = std::current_exception();
+  if (cancel_requested_.load(std::memory_order_acquire)) {
+    // Claimed after a cancellation request (e.g. a cooperative joiner won
+    // the claim race against the canceller): honour the request, skip the
+    // body.
+    error_ = std::make_exception_ptr(CancelledError(
+        "task cancelled before running (scope cancelled)", cancel_cause()));
+  } else {
+    try {
+      execute();
+    } catch (...) {
+      error_ = std::current_exception();
+    }
   }
   if (rt_ != nullptr) {
     // Must complete before the Done store: transfer_promise relies on
     // "done() implies the exit hook ran" (see Runtime::task_exiting).
-    rt_->task_exiting(*this);
+    // The hook must never unwind into the claimer's frame — a cooperative
+    // joiner inlining this task would otherwise see a foreign exception at
+    // its join site and Done would never be published, stranding every
+    // other joiner. Capture instead (the body's own error takes priority).
+    try {
+      rt_->task_exiting(*this);
+    } catch (...) {
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  if (error_ && scope_ != nullptr) {
+    // Structured recovery: a fault cancels the task's scope iff the scope
+    // asked for it (CancellationScope OnFault::Cancel, or the root scope
+    // under Config::cancel_on_fault).
+    try {
+      scope_->on_task_fault(error_);
+    } catch (...) {
+      // Cancellation delivery must not mask the original fault.
+    }
+  }
+  state_.store(TaskState::Done, std::memory_order_release);
+  FaultInjector* inj = rt_ != nullptr ? rt_->injector_.get() : nullptr;
+  if (inj == nullptr) {
+    state_.notify_all();
+    return;
+  }
+  // Fault injection may delay this notification, or drop it entirely and
+  // redeliver via the repair thread; the shared_ptr keeps the task alive
+  // until the redelivery lands.
+  auto self = shared_from_this();
+  if (!inj->perturb_wakeup([self] { self->state_.notify_all(); })) {
+    state_.notify_all();
+  }
+}
+
+bool TaskBase::cancel_requested() const {
+  if (cancel_requested_.load(std::memory_order_acquire)) return true;
+  // Scopes this task itself opened are exempt: their owner is the recovery
+  // point and must be able to drain the cancelled members (see
+  // CancelState::cancelled_for).
+  return scope_ != nullptr && scope_->cancelled_for(this);
+}
+
+std::exception_ptr TaskBase::cancel_cause() const {
+  return scope_ != nullptr ? scope_->cause() : nullptr;
+}
+
+bool TaskBase::deliver_cancel(const std::exception_ptr& cause) {
+  cancel_requested_.store(true, std::memory_order_release);
+  if (!try_claim()) {
+    return false;  // running (cooperative flag only) or already done
+  }
+  // Won the claim: the body never runs. Complete the task as cancelled so
+  // joiners fail fast; the exit hook orphans-and-poisons any promise the
+  // task already owned (e.g. via spawn_owning's pre-submit transfer).
+  error_ = std::make_exception_ptr(
+      CancelledError("task cancelled before running (scope cancelled)",
+                     cause));
+  if (rt_ != nullptr) {
+    try {
+      rt_->task_exiting(*this);
+    } catch (...) {
+    }
   }
   state_.store(TaskState::Done, std::memory_order_release);
   state_.notify_all();
+  if (rt_ != nullptr) {
+    rt_->task_cancelled_done();  // pairs with submit's live-task increment
+  }
+  return true;
 }
 
 namespace detail {
@@ -82,10 +156,20 @@ void fulfill_check(PromiseStateBase& s) {
     case core::FulfillDecision::Proceed:
       break;
   }
+  if (rt->injector_ != nullptr) {
+    // Chaos: the fulfiller dies *before* the value is published — the
+    // promise stays unfulfilled and is orphaned (and poisoned with this
+    // fault) when the owner's exit hook runs.
+    rt->injector_->maybe_fail_fulfill();
+  }
 }
 
 void fulfill_record(PromiseStateBase& s) {
   Runtime* rt = s.rt_;
+  if (rt->injector_ != nullptr) {
+    // Chaos: stretch the kFulfilling window so awaiters race settling.
+    rt->injector_->maybe_delay_publication();
+  }
   if (rt->cfg_.record_trace) {
     rt->record(trace::fulfill(
         static_cast<trace::TaskId>(current_task().uid()),
@@ -108,11 +192,21 @@ void transfer_promise_state(PromiseStateBase& s, const TaskBase& to) {
 }  // namespace detail
 
 Runtime::Runtime(Config cfg)
-    : cfg_(cfg),
-      verifier_(core::make_verifier(cfg.policy)),
-      owp_(core::make_ownership_verifier(cfg.promise_policy)),
-      gate_(cfg.policy, verifier_.get(), cfg.fault, owp_.get()),
-      sched_(cfg.scheduler, cfg.effective_workers(), cfg.max_threads) {}
+    : cfg_(std::move(cfg)),
+      verifier_(core::make_verifier(cfg_.policy)),
+      owp_(core::make_ownership_verifier(cfg_.promise_policy)),
+      injector_(cfg_.fault_plan.enabled()
+                    ? std::make_unique<FaultInjector>(cfg_.fault_plan)
+                    : nullptr),
+      gate_(cfg_.policy, verifier_.get(), cfg_.fault, owp_.get(),
+            injector_.get()),
+      sched_(cfg_.scheduler, cfg_.effective_workers(), cfg_.max_threads,
+             injector_.get()),
+      root_scope_(std::make_shared<detail::CancelState>(cfg_.cancel_on_fault,
+                                                        nullptr)),
+      watchdog_(cfg_.watchdog.enabled
+                    ? std::make_unique<JoinWatchdog>(cfg_.watchdog, gate_)
+                    : nullptr) {}
 
 Runtime::~Runtime() {
   // All spawned tasks must finish before the scheduler can be torn down;
@@ -136,6 +230,9 @@ void Runtime::register_task(TaskBase& t, const TaskBase* parent) {
   }
   t.uid_ = next_uid_.fetch_add(1, std::memory_order_relaxed);
   t.rt_ = this;
+  // Tasks inherit the spawning task's (innermost) cancellation scope; the
+  // root task lives in the runtime's root scope.
+  t.scope_ = parent != nullptr ? parent->scope_ : root_scope_;
   if (verifier_ != nullptr) {
     t.pnode_ =
         verifier_->add_child(parent != nullptr ? parent->policy_node()
@@ -165,6 +262,29 @@ void Runtime::release_node(core::PolicyNode* node) {
   }
 }
 
+void Runtime::throw_if_cancelled(const TaskBase& t) {
+  // Unlike the join/await checkpoints, spawning is NOT owner-exempt: a
+  // cancelled scope accepts no new work from anyone — the owner drains and
+  // recovers *outside* the failed scope.
+  if (t.cancel_requested() ||
+      (t.scope_ != nullptr && t.scope_->cancelled())) {
+    throw CancelledError("spawn abandoned: the spawning task was cancelled",
+                         t.cancel_cause());
+  }
+}
+
+void Runtime::track_in_scope(const std::shared_ptr<TaskBase>& t) {
+  if (t->scope_ != nullptr) {
+    t->scope_->track_task(t);
+  }
+}
+
+void Runtime::task_cancelled_done() { sched_.note_task_done(); }
+
+void Runtime::cancel_all(std::exception_ptr cause) {
+  root_scope_->cancel(std::move(cause));
+}
+
 void Runtime::join(TaskBase& target) {
   if (cfg_.chaos_seed != 0 && chaos_roll(cfg_.chaos_seed)) {
     std::this_thread::yield();
@@ -172,6 +292,12 @@ void Runtime::join(TaskBase& target) {
   TaskBase& cur = current_task();
   if (cur.runtime() != this) {
     throw UsageError("join: current task belongs to another runtime");
+  }
+  if (cur.cancel_requested()) {
+    // Cancellation checkpoint: a cancelled task must not start a new
+    // blocking wait.
+    throw CancelledError("join abandoned: the joining task was cancelled",
+                         cur.cancel_cause());
   }
   const bool was_done = target.done();
   const core::JoinDecision d =
@@ -189,6 +315,11 @@ void Runtime::join(TaskBase& target) {
   }
   try {
     if (!was_done) {
+      WatchdogBlockGuard guard(
+          watchdog_.get(), cur.uid(), target.uid(), /*on_promise=*/false,
+          d == core::JoinDecision::ProceedFalsePositive
+              ? "policy-rejected, fallback-cleared"
+              : "policy-approved");
       sched_.join_wait(target);
     }
   } catch (...) {
@@ -230,11 +361,22 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
   if (cur.runtime() != this) {
     throw UsageError("await: current task belongs to another runtime");
   }
+  if (cur.cancel_requested()) {
+    throw CancelledError("await abandoned: the awaiting task was cancelled",
+                         cur.cancel_cause());
+  }
   const bool was_fulfilled = s.fulfilled();
   const core::JoinDecision d =
       gate_.enter_await(cur.uid(), s.pnode_, was_fulfilled);
   switch (d) {
     case core::JoinDecision::FaultDeadlock:
+      if (auto cause = s.poison_cause(); cause) {
+        // The owner was cancelled (or died of a fault) before we blocked:
+        // surface the originating fault, not a bare orphan deadlock.
+        throw CancelledError(
+            "await aborted: the promise was poisoned by cancellation",
+            cause);
+      }
       throw DeadlockAvoidedError(
           "await aborted: the promise is orphaned or blocking on it would "
           "create a deadlock cycle");
@@ -249,9 +391,13 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
       // Awaits cannot be helped by cooperative inlining (no known fulfiller
       // task to run), so both scheduler modes treat them as a blocking
       // region and may grow a compensation worker.
-      sched_.enter_blocking_region();
+      detail::BlockingRegionGuard region(sched_);
+      WatchdogBlockGuard guard(
+          watchdog_.get(), cur.uid(), s.uid_, /*on_promise=*/true,
+          d == core::JoinDecision::ProceedFalsePositive
+              ? "owp-rejected, fallback-cleared"
+              : "owp-approved");
       s.wait_settled();
-      sched_.exit_blocking_region();
     } catch (...) {
       gate_.leave_await(cur.uid());
       throw;
@@ -259,6 +405,12 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
     gate_.leave_await(cur.uid());
   }
   if (!s.fulfilled()) {
+    if (auto cause = s.poison_cause(); cause) {
+      throw CancelledError(
+          "await aborted: the promise was poisoned while blocking (its "
+          "owner was cancelled)",
+          cause);
+    }
     // Woken by orphaning, not by a value: the promise's owner terminated
     // while we were blocked. Certain deadlock without the wake-up.
     throw DeadlockAvoidedError(
@@ -295,6 +447,7 @@ void Runtime::transfer_promise(detail::PromiseStateBase& s,
     case core::TransferDecision::OrphanedReceiverDead:
       // Ownership moved, but the receiver died in the handoff window: the
       // promise is orphaned exactly as if the receiver had died owning it.
+      if (to.error_) s.set_poison(to.error_);
       s.try_orphan();
       break;
     case core::TransferDecision::Ok:
@@ -318,15 +471,22 @@ void Runtime::promise_state_released(detail::PromiseStateBase& s) {
 void Runtime::task_exiting(TaskBase& t) {
   const std::vector<std::uint64_t> orphans = gate_.task_exited(t.uid());
   if (!orphans.empty()) {
-    orphan_states(orphans);
+    // A task that died of a fault (or was cancelled) poisons the promises
+    // it leaves behind: awaiters observe the originating fault instead of a
+    // bare orphan deadlock.
+    orphan_states(orphans, t.error_);
   }
 }
 
-void Runtime::orphan_states(const std::vector<std::uint64_t>& promise_uids) {
+void Runtime::orphan_states(const std::vector<std::uint64_t>& promise_uids,
+                            const std::exception_ptr& cause) {
   std::scoped_lock lock(promises_mu_);
   for (const std::uint64_t uid : promise_uids) {
     const auto it = promises_.find(uid);
     if (it == promises_.end()) continue;  // last handle already dropped
+    // Poison is written before the orphan CAS publishes (release), so any
+    // reader that observed kOrphaned sees the cause.
+    if (cause) it->second->set_poison(cause);
     it->second->try_orphan();  // loses to an in-flight (non-owner) fulfill
   }
 }

@@ -16,12 +16,15 @@
 #include "core/owp.hpp"
 #include "trace/trace.hpp"
 #include "core/verifier.hpp"
+#include "runtime/cancellation.hpp"
 #include "runtime/config.hpp"
 #include "runtime/errors.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/future.hpp"
 #include "runtime/promise.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
+#include "runtime/watchdog.hpp"
 
 namespace tj::runtime {
 
@@ -63,11 +66,15 @@ class Runtime {
     if (parent.runtime() != this) {
       throw UsageError("spawn: current task belongs to another runtime");
     }
+    throw_if_cancelled(parent);  // spawn is a cancellation checkpoint
     auto task = std::make_shared<detail::TaskImpl<T, std::decay_t<F>>>(
         std::forward<F>(fn));
     register_task(*task, &parent);
     std::shared_ptr<Task<T>> handle = task;
     sched_.submit(std::move(task));
+    // Tracked only after submit: a cancellation-driven force-complete must
+    // pair with submit's live-task accounting.
+    track_in_scope(handle);
     return Future<T>(std::move(handle));
   }
 
@@ -95,17 +102,30 @@ class Runtime {
     if (parent.runtime() != this) {
       throw UsageError("spawn: current task belongs to another runtime");
     }
+    throw_if_cancelled(parent);  // spawn is a cancellation checkpoint
     auto task = std::make_shared<detail::TaskImpl<R, std::decay_t<F>>>(
         std::forward<F>(fn));
     register_task(*task, &parent);
     p.transfer_to(*task);  // child not yet submitted: cannot race its exit
     std::shared_ptr<Task<R>> handle = task;
     sched_.submit(std::move(task));
+    track_in_scope(handle);
     return Future<R>(std::move(handle));
   }
 
+  /// Cancels every still-pending task in the runtime (the root cancellation
+  /// scope): structured shutdown after an external fault, or a watchdog
+  /// callback's big red button. Idempotent; safe from any thread.
+  void cancel_all(std::exception_ptr cause = {});
+
   const Config& config() const { return cfg_; }
   core::GateStats gate_stats() const { return gate_.stats(); }
+  /// Faults actually injected by the fault plan (all zero when disabled).
+  FaultStats fault_stats() const {
+    return injector_ != nullptr ? injector_->stats() : FaultStats{};
+  }
+  /// The join watchdog, or nullptr when not enabled.
+  const JoinWatchdog* watchdog() const { return watchdog_.get(); }
   /// The gate itself (diagnostics/tests: e.g. polling graph().is_waiting()).
   const core::JoinGate& gate() const { return gate_; }
   core::Verifier* verifier() { return verifier_.get(); }
@@ -156,6 +176,11 @@ class Runtime {
   void release_node(core::PolicyNode* node);
   void record(const trace::Action& a);
 
+  // Cancellation plumbing (implementations in runtime.cpp).
+  void throw_if_cancelled(const TaskBase& t);
+  void track_in_scope(const std::shared_ptr<TaskBase>& t);
+  void task_cancelled_done();  // live-task accounting for force-completes
+
   // Promise plumbing (implementations in runtime.cpp).
   void init_promise_state(detail::PromiseStateBase& s);
   void await_promise(detail::PromiseStateBase& s);
@@ -166,13 +191,23 @@ class Runtime {
   /// dead set; one that committed before is swept here. Either way no
   /// promise is stranded on a terminated owner.
   void task_exiting(TaskBase& t);
-  void orphan_states(const std::vector<std::uint64_t>& promise_uids);
+  /// Orphans each listed promise; when `cause` is non-null (the owner died
+  /// of a fault / was cancelled) the promise is poisoned first so awaiters
+  /// observe CancelledError-with-cause rather than a bare orphan deadlock.
+  void orphan_states(const std::vector<std::uint64_t>& promise_uids,
+                     const std::exception_ptr& cause);
 
   Config cfg_;
   std::unique_ptr<core::Verifier> verifier_;
   std::unique_ptr<core::OwpVerifier> owp_;
+  // Declared before gate_/sched_ (they hold non-owning pointers to it) and
+  // destroyed after them, so pending dropped-wakeup redeliveries outlive
+  // every consumer.
+  std::unique_ptr<FaultInjector> injector_;
   core::JoinGate gate_;
   Scheduler sched_;
+  std::shared_ptr<detail::CancelState> root_scope_;
+  std::unique_ptr<JoinWatchdog> watchdog_;
   std::atomic<std::uint64_t> next_uid_{0};
   std::atomic<std::uint64_t> next_promise_uid_{0};
   std::atomic<bool> root_claimed_{false};

@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include "runtime/errors.hpp"
+#include "runtime/fault_injection.hpp"
 
 namespace tj::runtime {
 
@@ -28,10 +29,11 @@ CurrentTaskGuard::~CurrentTaskGuard() { t_current = prev_; }
 }  // namespace detail
 
 Scheduler::Scheduler(SchedulerMode mode, unsigned workers,
-                     unsigned max_threads)
+                     unsigned max_threads, FaultInjector* injector)
     : mode_(mode),
       target_parallelism_(workers),
-      max_threads_(std::max(max_threads, workers)) {
+      max_threads_(std::max(max_threads, workers)),
+      injector_(injector) {
   std::scoped_lock lock(mu_);
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) add_worker_locked();
@@ -95,6 +97,13 @@ void Scheduler::worker_loop() {
     // else: a cooperative joiner inlined it; nothing to do.
     task.reset();
     lock.lock();
+    if (injector_ != nullptr && !stop_ && injector_->should_kill_worker()) {
+      // Injected worker death — always at a task boundary, never mid-task.
+      // Spawn the replacement before exiting (crash + supervisor restart),
+      // so pool parallelism and liveness are preserved.
+      add_worker_locked();
+      return;
+    }
   }
 }
 

@@ -25,9 +25,15 @@
 
 namespace tj::runtime {
 
+class FaultInjector;
+
 class Scheduler {
  public:
-  Scheduler(SchedulerMode mode, unsigned workers, unsigned max_threads);
+  /// `injector` (may be nullptr) supplies worker-death faults: a worker
+  /// asked to die exits at a task boundary and the pool respawns a
+  /// replacement, modelling thread crash + supervisor restart.
+  Scheduler(SchedulerMode mode, unsigned workers, unsigned max_threads,
+            FaultInjector* injector = nullptr);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -65,6 +71,7 @@ class Scheduler {
   const SchedulerMode mode_;
   const unsigned target_parallelism_;
   const unsigned max_threads_;
+  FaultInjector* const injector_;  // not owned; nullptr ⇒ no fault injection
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -87,6 +94,22 @@ TaskBase* current_task_or_null();
 TaskBase& current_task();  // throws UsageError when not in a task
 
 namespace detail {
+/// RAII compensation bracket around a non-join blocking wait (promise
+/// awaits, barrier waits): exception-safe, unlike calling enter/exit by
+/// hand.
+class BlockingRegionGuard {
+ public:
+  explicit BlockingRegionGuard(Scheduler& s) : sched_(s) {
+    sched_.enter_blocking_region();
+  }
+  ~BlockingRegionGuard() { sched_.exit_blocking_region(); }
+  BlockingRegionGuard(const BlockingRegionGuard&) = delete;
+  BlockingRegionGuard& operator=(const BlockingRegionGuard&) = delete;
+
+ private:
+  Scheduler& sched_;
+};
+
 /// RAII swap of the thread-local current task.
 class CurrentTaskGuard {
  public:

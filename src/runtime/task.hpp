@@ -16,6 +16,11 @@
 namespace tj::runtime {
 
 class Runtime;
+class CancellationScope;
+
+namespace detail {
+class CancelState;
+}
 
 enum class TaskState : std::uint32_t {
   Queued,   ///< spawned, waiting in the scheduler queue
@@ -23,7 +28,7 @@ enum class TaskState : std::uint32_t {
   Done,     ///< terminated; result or error available
 };
 
-class TaskBase {
+class TaskBase : public std::enable_shared_from_this<TaskBase> {
  public:
   virtual ~TaskBase();  // releases the policy node (defined in runtime.cpp)
   TaskBase(const TaskBase&) = delete;
@@ -69,18 +74,44 @@ class TaskBase {
   Runtime* runtime() const { return rt_; }
   core::PolicyNode* policy_node() const { return pnode_; }
 
+  /// True when this task has been asked to cancel (its cancellation scope
+  /// cancelled). Cooperative: the runtime checks it at spawn/join/await
+  /// checkpoints; long-running bodies may poll it. Defined in runtime.cpp.
+  bool cancel_requested() const;
+
+  /// The cancellation scope this task currently spawns into (the scope that
+  /// owns it, unless a nested CancellationScope is open). Internal plumbing
+  /// for the barrier/scope integration.
+  const std::shared_ptr<detail::CancelState>& cancel_scope() const {
+    return scope_;
+  }
+
  protected:
   TaskBase() = default;
   virtual void execute() = 0;
 
  private:
   friend class Runtime;
+  friend class CancellationScope;
+  friend class detail::CancelState;
+
+  /// Delivers a cancellation request. Sets the cooperative flag; when the
+  /// task is still Queued, additionally wins the claim CAS and
+  /// force-completes it with CancelledError (returning true) so its joiners
+  /// fail fast instead of waiting for a body that will never run.
+  /// Defined in runtime.cpp.
+  bool deliver_cancel(const std::exception_ptr& cause);
+
+  /// The scope's originating fault, if any. Defined in runtime.cpp.
+  std::exception_ptr cancel_cause() const;
 
   std::uint64_t uid_ = 0;
   Runtime* rt_ = nullptr;
   core::PolicyNode* pnode_ = nullptr;  // owned by the runtime's verifier
   std::atomic<TaskState> state_{TaskState::Queued};
   std::exception_ptr error_;
+  std::shared_ptr<detail::CancelState> scope_;  // set at registration
+  std::atomic<bool> cancel_requested_{false};
 };
 
 /// Typed task: adds the result slot.

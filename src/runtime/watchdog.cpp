@@ -1,0 +1,97 @@
+#include "runtime/watchdog.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "core/guarded.hpp"
+
+namespace tj::runtime {
+
+std::string StallReport::to_string() const {
+  std::ostringstream os;
+  os << "[tj watchdog] " << stalled.size() << " stalled wait(s):\n";
+  for (const BlockedJoin& b : stalled) {
+    os << "  task " << b.waiter << " blocked "
+       << (b.on_promise ? "awaiting promise " : "joining task ") << b.target
+       << " for " << b.blocked_for.count() << "ms (gate verdict: " << b.verdict
+       << ")\n";
+  }
+  if (cycles.empty()) {
+    os << "  waits-for graph: acyclic (stall is external to the runtime's "
+          "join structure)\n";
+  } else {
+    for (const auto& cycle : cycles) {
+      os << "  waits-for cycle:";
+      for (const std::uint64_t n : cycle) os << ' ' << n;
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+JoinWatchdog::JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate)
+    : cfg_(std::move(cfg)), gate_(gate) {
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+JoinWatchdog::~JoinWatchdog() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void JoinWatchdog::blocked(std::uint64_t waiter, std::uint64_t target,
+                           bool on_promise, const char* verdict) {
+  std::scoped_lock lock(mu_);
+  blocked_[waiter] =
+      Entry{target, on_promise, verdict, std::chrono::steady_clock::now()};
+}
+
+void JoinWatchdog::unblocked(std::uint64_t waiter) {
+  std::scoped_lock lock(mu_);
+  blocked_.erase(waiter);
+}
+
+std::uint64_t JoinWatchdog::stalls_reported() const {
+  std::scoped_lock lock(mu_);
+  return stalls_reported_;
+}
+
+void JoinWatchdog::poll_loop() {
+  std::unique_lock lock(mu_);
+  const auto poll = std::chrono::milliseconds(cfg_.poll_ms);
+  const auto stall = std::chrono::milliseconds(cfg_.stall_ms);
+  while (!stop_) {
+    cv_.wait_for(lock, poll, [this] { return stop_; });
+    if (stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    StallReport report;
+    for (auto& [waiter, e] : blocked_) {
+      const auto blocked_for =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - e.since);
+      if (blocked_for < stall || e.reported) continue;
+      e.reported = true;
+      report.stalled.push_back(
+          {waiter, e.target, e.on_promise, e.verdict, blocked_for});
+    }
+    if (report.stalled.empty()) continue;
+    ++stalls_reported_;
+    // The scan and the callback run unlocked: the gate has its own
+    // synchronisation, and a slow callback must not delay join bookkeeping.
+    lock.unlock();
+    report.cycles = gate_.graph().find_all_cycles();
+    if (cfg_.on_stall) {
+      cfg_.on_stall(report);
+    } else {
+      const std::string text = report.to_string();
+      std::fwrite(text.data(), 1, text.size(), stderr);
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace tj::runtime

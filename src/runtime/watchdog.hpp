@@ -1,0 +1,123 @@
+#pragma once
+// Join watchdog: a stall detector for the waits the avoidance policy
+// *admitted*. The policies guarantee no join closes a waits-for cycle, but a
+// join can still block forever for reasons outside the policy's model — a
+// target stuck on external I/O, a lost wakeup, a livelocked peer. The
+// watchdog samples the set of currently-blocked joins/awaits, and when one
+// has been blocked past the configured threshold it runs an on-demand WFG
+// cycle scan and hands a diagnostic report (blocked task uids, join targets,
+// the gate verdict that admitted each join, any cycles found) to a
+// configurable callback.
+//
+// Cost model: when disabled (the default) the runtime never touches the
+// watchdog — joins pay nothing. When enabled, a blocking join costs one
+// mutex-guarded map insert/erase, and a sampling thread wakes every poll_ms.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace tj::core {
+class JoinGate;
+}
+
+namespace tj::runtime {
+
+/// What the watchdog saw when it found stalled joins.
+struct StallReport {
+  struct BlockedJoin {
+    std::uint64_t waiter = 0;   ///< blocked task uid
+    std::uint64_t target = 0;   ///< joined task uid, or promise uid
+    bool on_promise = false;    ///< true: an await, target is a promise uid
+    const char* verdict = "";   ///< gate verdict that admitted the wait
+    std::chrono::milliseconds blocked_for{0};
+  };
+  std::vector<BlockedJoin> stalled;
+  /// Task-level waits-for cycles found by the on-demand scan (normally
+  /// empty: the policies prevent them; non-empty means the stall is a
+  /// genuine deadlock the gate could not see, e.g. through external locks).
+  std::vector<std::vector<std::uint64_t>> cycles;
+
+  std::string to_string() const;
+};
+
+/// Watchdog knobs (embedded in runtime::Config).
+struct WatchdogConfig {
+  bool enabled = false;
+  std::uint32_t poll_ms = 50;    ///< sampling cadence
+  std::uint32_t stall_ms = 500;  ///< blocked longer than this ⇒ stalled
+  /// Invoked (from the watchdog thread) for each newly stalled join batch.
+  /// Default (nullptr): write report.to_string() to stderr.
+  std::function<void(const StallReport&)> on_stall;
+};
+
+/// The sampler. Owned by the Runtime when cfg.watchdog.enabled.
+class JoinWatchdog {
+ public:
+  JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate);
+  ~JoinWatchdog();
+  JoinWatchdog(const JoinWatchdog&) = delete;
+  JoinWatchdog& operator=(const JoinWatchdog&) = delete;
+
+  /// Records that `waiter` is about to block (join on a task, or await on a
+  /// promise when `on_promise`). `verdict` must be a string literal.
+  void blocked(std::uint64_t waiter, std::uint64_t target, bool on_promise,
+               const char* verdict);
+
+  /// Removes the record (the wait ended, however it ended).
+  void unblocked(std::uint64_t waiter);
+
+  /// Stall batches reported so far (each batch = one callback invocation).
+  std::uint64_t stalls_reported() const;
+
+  const WatchdogConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    std::uint64_t target;
+    bool on_promise;
+    const char* verdict;
+    std::chrono::steady_clock::time_point since;
+    bool reported = false;  // each stalled join is reported once
+  };
+
+  void poll_loop();
+
+  const WatchdogConfig cfg_;
+  const core::JoinGate& gate_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, Entry> blocked_;  // guarded by mu_
+  bool stop_ = false;                                 // guarded by mu_
+  std::uint64_t stalls_reported_ = 0;                 // guarded by mu_
+  std::thread thread_;
+};
+
+/// RAII bracket for a blocking wait; tolerates a null watchdog (disabled).
+class WatchdogBlockGuard {
+ public:
+  WatchdogBlockGuard(JoinWatchdog* wd, std::uint64_t waiter,
+                     std::uint64_t target, bool on_promise,
+                     const char* verdict)
+      : wd_(wd), waiter_(waiter) {
+    if (wd_ != nullptr) wd_->blocked(waiter, target, on_promise, verdict);
+  }
+  ~WatchdogBlockGuard() {
+    if (wd_ != nullptr) wd_->unblocked(waiter_);
+  }
+  WatchdogBlockGuard(const WatchdogBlockGuard&) = delete;
+  WatchdogBlockGuard& operator=(const WatchdogBlockGuard&) = delete;
+
+ private:
+  JoinWatchdog* wd_;
+  std::uint64_t waiter_;
+};
+
+}  // namespace tj::runtime

@@ -1,0 +1,178 @@
+// Recovery paths: the paper's stated advantage of avoidance over detection
+// is that a rejected join faults *in the joining task*, which can catch and
+// retry with a corrected join structure. These tests exercise exactly that
+// for TJ-SP, KJ-SS and the OWP — and assert the gate leaks no WFG state
+// across the fault/recovery boundary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+
+#include "core/guarded.hpp"
+#include "runtime/api.hpp"
+#include "runtime/concurrent_queue.hpp"
+#include "wfg/waits_for_graph.hpp"
+
+namespace tj::runtime {
+namespace {
+
+void expect_clean_graph(const Runtime& rt) {
+  const wfg::WaitsForGraph& g = rt.gate().graph();
+  EXPECT_EQ(g.edge_count(), 0u) << "leaked wait edges after recovery";
+  EXPECT_EQ(g.probation_count(), 0u) << "leaked probation edges";
+  EXPECT_EQ(g.owner_edge_count(), 0u) << "leaked promise owner edges";
+}
+
+TEST(Recovery, TjSpCrossSiblingDeadlockCaughtAndRetried) {
+  // Attempt 1: two siblings join each other — a genuine cycle; exactly one
+  // join faults with DeadlockAvoidedError. The faulted task recovers by
+  // computing a fallback value. Attempt 2 (same runtime): the corrected
+  // join order (younger joins older, one direction only) succeeds with no
+  // further faults.
+  Runtime rt({.policy = core::PolicyChoice::TJ_SP, .workers = 4});
+  std::uint64_t averted_after_attempt1 = 0;
+  const int total = rt.root([&rt, &averted_after_attempt1] {
+    std::atomic<const Future<int>*> slot1{nullptr};
+    std::atomic<const Future<int>*> slot2{nullptr};
+    auto cross = [](std::atomic<const Future<int>*>& other) {
+      const Future<int>* f;
+      while ((f = other.load(std::memory_order_acquire)) == nullptr) {
+        std::this_thread::yield();
+      }
+      try {
+        return f->get() + 1;
+      } catch (const DeadlockAvoidedError&) {
+        return 100;  // recover: break the cycle with a local fallback
+      }
+    };
+    Future<int> t1 = async([&slot2, &cross] { return cross(slot2); });
+    Future<int> t2 = async([&slot1, &cross] { return cross(slot1); });
+    slot1.store(&t1, std::memory_order_release);
+    slot2.store(&t2, std::memory_order_release);
+    const int attempt1 = t1.get() + t2.get();
+    EXPECT_EQ(attempt1, 201);
+    averted_after_attempt1 = rt.gate_stats().deadlocks_averted;
+
+    // Attempt 2: corrected structure, same runtime, no further faults.
+    auto older = async([] { return 20; });
+    auto younger = async([older] { return older.get() + 1; });
+    return younger.get();
+  });
+  EXPECT_EQ(total, 21);
+  EXPECT_GE(averted_after_attempt1, 1u);
+  EXPECT_EQ(rt.gate_stats().deadlocks_averted, averted_after_attempt1)
+      << "the corrected join order must not fault";
+  expect_clean_graph(rt);
+}
+
+TEST(Recovery, KjSsThrowModeRetryWithCorrectedJoinOrder) {
+  // KJ-SS rejects a grandchild join the root never "learned". In Throw
+  // mode that surfaces as PolicyViolationError at the join; the corrected
+  // order — join the child first, *learning* its descendants — succeeds.
+  Runtime rt({.policy = core::PolicyChoice::KJ_SS,
+              .fault = core::FaultMode::Throw});
+  const int v = rt.root([] {
+    ConcurrentQueue<Future<int>> q;
+    auto child = async([&q] {
+      q.push(async([] { return 21; }));
+      return 0;
+    });
+    std::optional<Future<int>> grand;
+    while (!(grand = q.poll()).has_value()) std::this_thread::yield();
+    int g = -1;
+    try {
+      g = grand->get();  // KJ-unknown target: rejected
+    } catch (const PolicyViolationError&) {
+      // Corrected join order: learn the grandchild through the child.
+      child.join();
+      g = grand->get();  // now KJ-known: admitted
+    }
+    return g + 21;
+  });
+  EXPECT_EQ(v, 42);
+  const auto s = rt.gate_stats();
+  EXPECT_GE(s.policy_rejections, 1u);
+  EXPECT_EQ(s.deadlocks_averted, 0u);
+  expect_clean_graph(rt);
+}
+
+TEST(Recovery, KjSsFallbackModeClearsWithoutLeakingProbation) {
+  // Same shape under FaultMode::Fallback: the rejection is cleared by the
+  // WFG (false positive), the join completes, and the probation edge it
+  // planted is gone afterwards.
+  Runtime rt({.policy = core::PolicyChoice::KJ_SS,
+              .fault = core::FaultMode::Fallback});
+  const int v = rt.root([] {
+    ConcurrentQueue<Future<int>> q;
+    auto child = async([&q] {
+      q.push(async([] { return 21; }));
+      return 0;
+    });
+    std::optional<Future<int>> grand;
+    while (!(grand = q.poll()).has_value()) std::this_thread::yield();
+    const int g = grand->get();
+    child.join();
+    return g + 21;
+  });
+  EXPECT_EQ(v, 42);
+  const auto s = rt.gate_stats();
+  EXPECT_GE(s.policy_rejections, 1u);
+  EXPECT_EQ(s.policy_rejections, s.false_positives);
+  expect_clean_graph(rt);
+}
+
+TEST(Recovery, OwpSelfAwaitCaughtThenFulfilledAndRetried) {
+  // The owner awaiting its own unfulfilled promise is a certain deadlock
+  // (it would block the only task obligated to fulfill it): OWP + WFG fault
+  // the await. Recovery: the owner fulfills the promise itself, then the
+  // retried await succeeds immediately.
+  Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const int v = rt.root([] {
+    auto p = make_promise<int>();
+    int got = -1;
+    try {
+      got = p.get();  // owner awaiting its own obligation: faulted
+    } catch (const DeadlockAvoidedError&) {
+      p.fulfill(33);  // corrected: discharge the obligation first
+      got = p.get();  // retry succeeds
+    }
+    return got;
+  });
+  EXPECT_EQ(v, 33);
+  const auto s = rt.gate_stats();
+  EXPECT_GE(s.deadlocks_averted, 1u);
+  expect_clean_graph(rt);
+}
+
+TEST(Recovery, OwpOrphanedAwaitRecoversViaFreshPromise) {
+  // An await that faulted because the promise was orphaned (its owner died
+  // without fulfilling) recovers by re-issuing the work with a correctly
+  // owned promise.
+  Runtime rt({.policy = core::PolicyChoice::TJ_SP});
+  const int v = rt.root([] {
+    auto p = make_promise<int>();
+    auto negligent = async_owning(p, [] { /* exits without fulfilling */ });
+    negligent.join();
+    int got = -1;
+    try {
+      got = p.get();  // orphaned: certain deadlock, faulted
+    } catch (const DeadlockAvoidedError&) {
+      auto p2 = make_promise<int>();
+      auto diligent = async_owning(p2, [p2] { p2.fulfill(44); });
+      got = p2.get();
+      diligent.join();
+    }
+    return got;
+  });
+  EXPECT_EQ(v, 44);
+  const auto s = rt.gate_stats();
+  EXPECT_EQ(s.promises_orphaned, 1u);
+  EXPECT_GE(s.deadlocks_averted, 1u);  // the orphan-rejected await
+  expect_clean_graph(rt);
+}
+
+}  // namespace
+}  // namespace tj::runtime

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runtime/api.hpp"
@@ -30,14 +32,58 @@ TEST(Cooperative, JoinerInlinesQueuedTarget) {
              .workers = 1};
   Runtime rt(cfg);
   rt.root([] {
-    // With one busy worker, the root's joins must claim queued tasks inline.
+    // Pin the single worker on a spin-waiting blocker (spawned first, so
+    // FIFO order guarantees the worker can run nothing else meanwhile):
+    // every later task stays queued and the root's joins MUST claim them
+    // inline. Without the blocker the worker could drain all 64 trivial
+    // tasks before the first join, making the inline count flaky.
+    std::atomic<bool> release{false};
+    auto blocker = async([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
     std::vector<Future<int>> fs;
     for (int i = 0; i < 64; ++i) fs.push_back(async([i] { return i; }));
     int acc = 0;
     for (auto& f : fs) acc += f.get();
     EXPECT_EQ(acc, 64 * 63 / 2);
+    release.store(true, std::memory_order_release);
+    blocker.join();
   });
-  EXPECT_GT(rt.scheduler().tasks_inlined(), 0u);
+  // All 64 queued tasks were inlined; the blocker itself may add one more
+  // if the root's final join claims it before the worker does.
+  EXPECT_GE(rt.scheduler().tasks_inlined(), 64u);
+}
+
+TEST(Cooperative, InlineClaimPropagatesExceptionAtGet) {
+  // Regression: a task body's exception must be captured in the *target*
+  // task and rethrown at the joiner's get(), even when the joiner claims
+  // and runs the target inline — it must not unwind the joiner's frame from
+  // inside the inline run (which would also leave the task un-Done,
+  // stranding any other joiner).
+  Config cfg{.policy = core::PolicyChoice::TJ_SP,
+             .scheduler = SchedulerMode::Cooperative,
+             .workers = 1};
+  Runtime rt(cfg);
+  rt.root([] {
+    std::atomic<bool> release{false};
+    auto blocker = async([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    auto failing = async([]() -> int {
+      throw std::runtime_error("inline boom");
+    });
+    EXPECT_THROW(failing.get(), std::runtime_error);
+    // The joiner survived the inline run; the runtime keeps working.
+    auto ok = async([] { return 7; });
+    EXPECT_EQ(ok.get(), 7);
+    release.store(true, std::memory_order_release);
+    blocker.join();
+  });
+  EXPECT_GE(rt.scheduler().tasks_inlined(), 2u);
 }
 
 TEST(Cooperative, DeepInlineChainTerminates) {

@@ -9,15 +9,25 @@
 //                 [--ops=N] [--seed=S]
 //
 // Runs forever-ish by default budget (10k traces); exit 0 = no discrepancy.
+//
+// Chaos mode: --fault-seed=S switches from trace fuzzing to driving the
+// *live runtime* under the deterministic fault-injection layer
+// (runtime/fault_injection.hpp), sweeping FaultPlan::chaos(S), chaos(S+1),
+// ... across both scheduler modes (default 64 plans; override with
+// --iterations=N). Each run must terminate, resolve every future/promise,
+// and reconcile gate statistics — the same invariants the chaos tests
+// assert, fuzzable over an unbounded seed range.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/owp_replay.hpp"
 #include "core/verifier.hpp"
+#include "runtime/api.hpp"
 #include "trace/deadlock.hpp"
 #include "trace/fork_tree.hpp"
 #include "trace/kj_judgment.hpp"
@@ -197,10 +207,121 @@ std::string check_all(const Trace& t) {
   return why;
 }
 
+// Chaos mode: one live-runtime run under a deterministic FaultPlan.
+// Returns an explanation of the first violated invariant, or "".
+std::string check_fault_plan(std::uint64_t seed, runtime::SchedulerMode mode) {
+  runtime::Config cfg;
+  cfg.policy = core::PolicyChoice::TJ_SP;
+  cfg.fault = core::FaultMode::Fallback;
+  cfg.scheduler = mode;
+  cfg.workers = 3;
+  cfg.fault_plan = runtime::FaultPlan::chaos(seed);
+  runtime::Runtime rt(cfg);
+
+  constexpr int kFanout = 16;
+  constexpr int kPromises = 6;
+  unsigned futures_resolved = 0;
+  unsigned promises_resolved = 0;
+  rt.root([&] {
+    std::vector<runtime::Future<long>> fs;
+    for (int i = 0; i < kFanout; ++i) {
+      fs.push_back(runtime::async([i]() -> long {
+        auto inner = runtime::async([i] { return static_cast<long>(i); });
+        return inner.get() + 1;
+      }));
+    }
+    std::vector<runtime::Promise<long>> ps;
+    std::vector<runtime::Future<void>> owners;
+    for (int i = 0; i < kPromises; ++i) {
+      ps.push_back(runtime::make_promise<long>());
+      owners.push_back(runtime::async_owning(
+          ps.back(), [p = ps.back(), i] { p.fulfill(i); }));
+    }
+    for (auto& f : fs) {
+      try {
+        (void)f.get();
+        ++futures_resolved;
+      } catch (const runtime::TjError&) {
+        ++futures_resolved;
+      }
+    }
+    for (auto& p : ps) {
+      try {
+        (void)p.get();
+        ++promises_resolved;
+      } catch (const runtime::TjError&) {
+        ++promises_resolved;
+      }
+    }
+    for (auto& f : owners) {
+      try {
+        f.join();
+      } catch (const runtime::TjError&) {
+      }
+    }
+  });
+
+  char buf[160];
+  if (futures_resolved != kFanout || promises_resolved != kPromises) {
+    std::snprintf(buf, sizeof buf, "lost results: futures %u/%d promises %u/%d",
+                  futures_resolved, kFanout, promises_resolved, kPromises);
+    return buf;
+  }
+  const core::GateStats s = rt.gate_stats();
+  const runtime::FaultStats fi = rt.fault_stats();
+  if (s.policy_rejections != fi.join_rejections) {
+    std::snprintf(buf, sizeof buf, "join rejections %llu != injected %llu",
+                  static_cast<unsigned long long>(s.policy_rejections),
+                  static_cast<unsigned long long>(fi.join_rejections));
+    return buf;
+  }
+  if (s.policy_rejections + s.owp_rejections !=
+      s.false_positives + s.owp_false_positives + s.deadlocks_averted) {
+    std::snprintf(buf, sizeof buf,
+                  "unreconciled rejections: %llu+%llu != %llu+%llu+%llu",
+                  static_cast<unsigned long long>(s.policy_rejections),
+                  static_cast<unsigned long long>(s.owp_rejections),
+                  static_cast<unsigned long long>(s.false_positives),
+                  static_cast<unsigned long long>(s.owp_false_positives),
+                  static_cast<unsigned long long>(s.deadlocks_averted));
+    return buf;
+  }
+  return "";
+}
+
+int run_fault_plan_sweep(std::uint64_t first_seed, std::uint64_t plans) {
+  for (std::uint64_t i = 0; i < plans; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    for (const runtime::SchedulerMode mode :
+         {runtime::SchedulerMode::Cooperative,
+          runtime::SchedulerMode::Blocking}) {
+      const std::string why = check_fault_plan(seed, mode);
+      if (!why.empty()) {
+        std::fprintf(stderr,
+                     "FAULT-PLAN VIOLATION seed=%llu scheduler=%s: %s\n",
+                     static_cast<unsigned long long>(seed),
+                     std::string(to_string(mode)).c_str(), why.c_str());
+        return 1;
+      }
+    }
+    if ((i + 1) % 16 == 0) {
+      std::fprintf(stderr, "[chaos] %llu plans ok\n",
+                   static_cast<unsigned long long>(i + 1));
+    }
+  }
+  std::printf("fuzz_policies: %llu fault plans x 2 schedulers, "
+              "all invariants held\n",
+              static_cast<unsigned long long>(plans));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options o;
+  bool iterations_set = false;
+  std::uint64_t fault_seed = 0;
+  bool fault_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto val = [&arg](const char* key) -> const char* {
@@ -209,6 +330,10 @@ int main(int argc, char** argv) {
     };
     if (const char* v = val("--iterations=")) {
       o.iterations = std::strtoull(v, nullptr, 10);
+      iterations_set = true;
+    } else if (const char* vf = val("--fault-seed=")) {
+      fault_seed = std::strtoull(vf, nullptr, 10);
+      fault_mode = true;
     } else if (const char* v2 = val("--tasks=")) {
       o.tasks = static_cast<std::uint32_t>(std::atoi(v2));
     } else if (const char* v3 = val("--joins=")) {
@@ -223,6 +348,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (fault_mode) {
+    // Trace-fuzz iteration budgets are far too large for live runtime runs.
+    return run_fault_plan_sweep(fault_seed, iterations_set ? o.iterations : 64);
   }
 
   for (std::uint64_t i = 0; i < o.iterations; ++i) {
