@@ -99,9 +99,48 @@ void bench_join_chain_watchdog_idle(benchmark::State& state) {
                           static_cast<std::int64_t>(kTasks));
 }
 
+// Flight-recorder overhead: the same fork-all-join-all workload with the
+// recorder enabled. Each fork/join adds a handful of events (spawn, start,
+// verdict, complete, end), each costing one atomic fetch_add + clock read +
+// SPSC push. Compare against RuntimeOps/ForkAllJoinAll10k/tj-sp; the ratio
+// is the recorder-on overhead factor reported in docs/benchmarks.md. The
+// buffer is sized so nothing drops — a dropping run measures less work.
+void bench_join_chain_recorder_on(benchmark::State& state) {
+  const std::size_t kTasks = 10'000;
+  Config cfg;
+  cfg.policy = PolicyChoice::TJ_SP;
+  cfg.obs.enabled = true;
+  cfg.obs.buffer_capacity = std::size_t{1} << 20;
+  Runtime rt(cfg);
+  std::uint64_t dropped = 0;
+  rt.root([&state, kTasks] {
+    for (auto _ : state) {
+      std::vector<Future<int>> fs;
+      fs.reserve(kTasks);
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        fs.push_back(tj::runtime::async([] { return 1; }));
+      }
+      int acc = 0;
+      for (const auto& f : fs) acc += f.get();
+      benchmark::DoNotOptimize(acc);
+    }
+  });
+  dropped = rt.recorder()->events_dropped();
+  state.counters["events"] =
+      static_cast<double>(rt.recorder()->events_recorded());
+  state.counters["dropped"] = static_cast<double>(dropped);
+  state.SetLabel(dropped == 0 ? "tj-sp+recorder" : "tj-sp+recorder DROPPED");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks));
+}
+
 void register_all() {
   benchmark::RegisterBenchmark("RuntimeOps/ForkAllJoinAll10k/watchdog-idle",
                                bench_join_chain_watchdog_idle)
+      ->Iterations(3)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("RuntimeOps/ForkAllJoinAll10k/recorder-on",
+                               bench_join_chain_recorder_on)
       ->Iterations(3)
       ->Unit(benchmark::kMillisecond);
   for (PolicyChoice p : kPolicies) {

@@ -4,7 +4,8 @@
 // cell (the paper uses 30 post-warmup runs; default here is 8 to keep the
 // default bench sweep quick — pass --reps=30 for the full methodology).
 //
-// Flags: --size=..., --reps=N, --warmups=N, --apps=a,b,c (as table2).
+// Flags: --size=..., --reps=N, --warmups=N, --apps=a,b,c, --observe (as
+// table2).
 
 #include <algorithm>
 #include <cstdio>
@@ -49,6 +50,8 @@ int main(int argc, char** argv) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+    } else if (arg == "--observe") {
+      run.observe = true;  // flight recorder on in every cell; see runner.hpp
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;

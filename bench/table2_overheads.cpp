@@ -14,6 +14,9 @@
 //   --apps=a,b,c                     subset of benchmarks
 //   --policies=TJ-SP,KJ-VC,...       subset of verifiers (baseline implied)
 //   --scheduler=cooperative|blocking
+//   --observe                        flight recorder on in EVERY cell (its
+//                                    cost is measured; obs_events/obs_dropped
+//                                    appear in the CSV)
 //   --csv                            also dump machine-readable CSV
 
 #include <cstdio>
@@ -89,6 +92,8 @@ Options parse(int argc, char** argv) {
       o.run.scheduler = std::string(v6) == "blocking"
                             ? tj::runtime::SchedulerMode::Blocking
                             : tj::runtime::SchedulerMode::Cooperative;
+    } else if (arg == "--observe") {
+      o.run.observe = true;
     } else if (arg == "--csv") {
       o.csv = true;
     } else {

@@ -22,6 +22,25 @@ for p in $PRESETS; do
   ctest --preset "$p" --output-on-failure -j"$(nproc)"
 done
 
+# Observability stage: record a live benchmark run with the flight recorder,
+# bridge it to the offline notation, and replay it through the offline
+# checker. trace_dump exits nonzero on dropped events or a failed app
+# self-check; trace_check exits nonzero if the offline judgments disagree
+# with the verdicts the gate issued live (a live-admitted join that is not
+# TJ-valid offline, or a recorded deadlock cycle).
+if [[ " $PRESETS " == *" release "* ]]; then
+  echo "== [obs] record live run and replay through the offline checker"
+  obs_trace="$(mktemp /tmp/tj-obs-XXXXXX.trace)"
+  trap 'rm -f "$obs_trace"' EXIT
+  for app in series nqueens; do
+    for sched in cooperative blocking; do
+      ./build/tools/trace_dump --app="$app" --size=tiny \
+          --scheduler="$sched" --trace="$obs_trace"
+      ./build/examples/trace_check "$obs_trace"
+    done
+  done
+fi
+
 # Chaos stage: re-run the randomized stress suites and the fault-plan seed
 # sweep under ThreadSanitizer. The plans inject policy rejections, perturbed
 # wakeups, fulfill failures and worker deaths; TSan watches the recovery

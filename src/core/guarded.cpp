@@ -3,14 +3,67 @@
 namespace tj::core {
 
 JoinGate::JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode,
-                   OwpVerifier* owp, GateFaultHooks* hooks)
+                   OwpVerifier* owp, GateFaultHooks* hooks,
+                   obs::FlightRecorder* rec)
     : kind_(kind), verifier_(verifier), mode_(mode), owp_(owp),
-      hooks_(hooks) {}
+      hooks_(hooks), rec_(rec) {}
+
+template <typename F>
+wfg::WaitVerdict JoinGate::timed_scan(std::uint64_t waiter,
+                                      std::uint64_t target, F&& scan) {
+  if (rec_ == nullptr) return scan();
+  const std::uint64_t scans_before = wfg_.cycle_checks();
+  const std::uint64_t t0 = rec_->now_ns();
+  const wfg::WaitVerdict v = scan();
+  const std::uint64_t dt = rec_->now_ns() - t0;
+  if (wfg_.cycle_checks() != scans_before) {
+    rec_->metrics().cycle_scan_ns.record(dt);
+    obs::Event e;
+    e.kind = obs::EventKind::CycleScan;
+    e.actor = waiter;
+    e.target = target;
+    e.payload = dt;
+    e.detail = v == wfg::WaitVerdict::WouldDeadlock ? 1 : 0;
+    rec_->emit(e);
+  }
+  return v;
+}
+
+void JoinGate::record_injected(std::uint64_t actor, obs::InjectedFault site) {
+  if (rec_ == nullptr) return;
+  rec_->metrics().faults_injected.fetch_add(1, std::memory_order_relaxed);
+  obs::Event e;
+  e.kind = obs::EventKind::FaultInjected;
+  e.actor = actor;
+  e.detail = static_cast<std::uint8_t>(site);
+  rec_->emit(e);
+}
 
 JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
                                   PolicyNode* waiter_state,
                                   const PolicyNode* target_state,
                                   bool target_done) {
+  if (rec_ == nullptr) {
+    return rule_join(waiter, target, waiter_state, target_state, target_done);
+  }
+  const std::uint64_t t0 = rec_->now_ns();
+  const JoinDecision d =
+      rule_join(waiter, target, waiter_state, target_state, target_done);
+  rec_->metrics().policy_check_ns.record(rec_->now_ns() - t0);
+  obs::Event e;
+  e.kind = obs::EventKind::JoinVerdict;
+  e.actor = waiter;
+  e.target = target;
+  e.policy = static_cast<std::uint8_t>(kind_);
+  e.detail = static_cast<std::uint8_t>(d);
+  rec_->emit(e);
+  return d;
+}
+
+JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
+                                 PolicyNode* waiter_state,
+                                 const PolicyNode* target_state,
+                                 bool target_done) {
   joins_checked_.fetch_add(1, std::memory_order_relaxed);
   // TJ/KJ soundness covers futures only; once a promise exists, joins are
   // additionally screened by the ownership policy's obligation history.
@@ -26,8 +79,9 @@ JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
     // Owner edges are visible to the chain walk, so mixed future/promise
     // cycles are covered with no extra OWP consultation.
     if (target_done) return JoinDecision::Proceed;
-    if (wfg_.add_checked_wait(waiter, target) ==
-        wfg::WaitVerdict::WouldDeadlock) {
+    if (timed_scan(waiter, target, [&] {
+          return wfg_.add_checked_wait(waiter, target);
+        }) == wfg::WaitVerdict::WouldDeadlock) {
       deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
       return JoinDecision::FaultDeadlock;
     }
@@ -46,13 +100,16 @@ JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
   // recovery machinery and the stats still reconcile.
   if (approved && hooks_ != nullptr && hooks_->inject_join_rejection()) {
     approved = false;
+    record_injected(waiter, obs::InjectedFault::JoinRejection);
   }
 
   if (approved) {
     if (target_done) return JoinDecision::Proceed;
     // Approved blocking joins still register their edge: a probation edge
     // elsewhere may need it to witness (or rule out) a cycle.
-    if (wfg_.add_wait(waiter, target) == wfg::WaitVerdict::WouldDeadlock) {
+    if (timed_scan(waiter, target, [&] {
+          return wfg_.add_wait(waiter, target);
+        }) == wfg::WaitVerdict::WouldDeadlock) {
       deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
       return JoinDecision::FaultDeadlock;
     }
@@ -71,8 +128,9 @@ JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
     cleared.fetch_add(1, std::memory_order_relaxed);
     return JoinDecision::ProceedFalsePositive;
   }
-  if (wfg_.add_probation_wait(waiter, target) ==
-      wfg::WaitVerdict::WouldDeadlock) {
+  if (timed_scan(waiter, target, [&] {
+        return wfg_.add_probation_wait(waiter, target);
+      }) == wfg::WaitVerdict::WouldDeadlock) {
     deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
     return JoinDecision::FaultDeadlock;
   }
@@ -140,6 +198,25 @@ TransferDecision JoinGate::promise_transfer(PromiseNode* p,
 
 JoinDecision JoinGate::enter_await(std::uint64_t waiter_uid, PromiseNode* p,
                                    bool fulfilled) {
+  if (rec_ == nullptr) {
+    return rule_await(waiter_uid, p, fulfilled);
+  }
+  const std::uint64_t t0 = rec_->now_ns();
+  const JoinDecision d = rule_await(waiter_uid, p, fulfilled);
+  rec_->metrics().policy_check_ns.record(rec_->now_ns() - t0);
+  obs::Event e;
+  e.kind = obs::EventKind::AwaitVerdict;
+  e.actor = waiter_uid;
+  e.target = p != nullptr ? p->uid() : 0;
+  e.policy = static_cast<std::uint8_t>(kind_);
+  e.detail = static_cast<std::uint8_t>(d);
+  e.flags = obs::kFlagPromise;
+  rec_->emit(e);
+  return d;
+}
+
+JoinDecision JoinGate::rule_await(std::uint64_t waiter_uid, PromiseNode* p,
+                                  bool fulfilled) {
   awaits_checked_.fetch_add(1, std::memory_order_relaxed);
   if (fulfilled || owp_ == nullptr) {
     // A settled promise cannot block; unverified promises are never checked.
@@ -154,6 +231,7 @@ JoinDecision JoinGate::enter_await(std::uint64_t waiter_uid, PromiseNode* p,
     // Injected spurious rejection: route through the probation path exactly
     // like a conservative OWP rejection.
     verdict = AwaitVerdict::RejectCycle;
+    record_injected(waiter_uid, obs::InjectedFault::AwaitRejection);
   }
   switch (verdict) {
     case AwaitVerdict::RejectOrphaned:
@@ -164,8 +242,9 @@ JoinDecision JoinGate::enter_await(std::uint64_t waiter_uid, PromiseNode* p,
       deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
       return JoinDecision::FaultDeadlock;
     case AwaitVerdict::Allow:
-      if (wfg_.add_wait(waiter_uid, pnode) ==
-          wfg::WaitVerdict::WouldDeadlock) {
+      if (timed_scan(waiter_uid, pnode, [&] {
+            return wfg_.add_wait(waiter_uid, pnode);
+          }) == wfg::WaitVerdict::WouldDeadlock) {
         deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
         return JoinDecision::FaultDeadlock;
       }
@@ -178,8 +257,9 @@ JoinDecision JoinGate::enter_await(std::uint64_t waiter_uid, PromiseNode* p,
   if (mode_ == FaultMode::Throw) {
     return JoinDecision::FaultPolicy;
   }
-  if (wfg_.add_probation_wait(waiter_uid, pnode) ==
-      wfg::WaitVerdict::WouldDeadlock) {
+  if (timed_scan(waiter_uid, pnode, [&] {
+        return wfg_.add_probation_wait(waiter_uid, pnode);
+      }) == wfg::WaitVerdict::WouldDeadlock) {
     deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
     return JoinDecision::FaultDeadlock;
   }
@@ -196,20 +276,33 @@ void JoinGate::leave_await(std::uint64_t waiter_uid) {
 }
 
 FulfillDecision JoinGate::enter_fulfill(PromiseNode* p, std::uint64_t by_uid) {
-  if (owp_ == nullptr) return FulfillDecision::Proceed;
+  const auto ruled = [&](FulfillDecision d) {
+    if (rec_ != nullptr) {
+      obs::Event e;
+      e.kind = obs::EventKind::FulfillVerdict;
+      e.actor = by_uid;
+      e.target = p != nullptr ? p->uid() : 0;
+      e.policy = static_cast<std::uint8_t>(kind_);
+      e.detail = static_cast<std::uint8_t>(d);
+      e.flags = obs::kFlagPromise;
+      rec_->emit(e);
+    }
+    return d;
+  };
+  if (owp_ == nullptr) return ruled(FulfillDecision::Proceed);
   switch (owp_->check_fulfill(p, by_uid)) {
     case FulfillResult::Settled:
-      return FulfillDecision::AlreadySettled;
+      return ruled(FulfillDecision::AlreadySettled);
     case FulfillResult::NotOwner:
       // The value still gets published either way (the fulfilment itself is
       // benign); the *violation* is what the policy reports.
       ownership_violations_.fetch_add(1, std::memory_order_relaxed);
-      return mode_ == FaultMode::Throw ? FulfillDecision::FaultNotOwner
-                                       : FulfillDecision::Proceed;
+      return ruled(mode_ == FaultMode::Throw ? FulfillDecision::FaultNotOwner
+                                             : FulfillDecision::Proceed);
     case FulfillResult::Ok:
       break;
   }
-  return FulfillDecision::Proceed;
+  return ruled(FulfillDecision::Proceed);
 }
 
 void JoinGate::fulfill_committed(PromiseNode* p) {

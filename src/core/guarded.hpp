@@ -18,6 +18,7 @@
 
 #include "core/owp.hpp"
 #include "core/verifier.hpp"
+#include "obs/recorder.hpp"
 #include "wfg/waits_for_graph.hpp"
 
 namespace tj::core {
@@ -54,6 +55,23 @@ struct GateStats {
   std::uint64_t ownership_violations = 0;  ///< non-owner fulfill/transfer tries
   std::uint64_t promises_orphaned = 0;  ///< owner died holding them unfulfilled
 };
+
+/// Field-complete accumulation — the single shared definition of "add these
+/// stats up" (harness aggregation across reps, test assertions). Any new
+/// GateStats field must be added here too.
+inline GateStats& operator+=(GateStats& acc, const GateStats& s) {
+  acc.joins_checked += s.joins_checked;
+  acc.policy_rejections += s.policy_rejections;
+  acc.false_positives += s.false_positives;
+  acc.deadlocks_averted += s.deadlocks_averted;
+  acc.cycle_checks += s.cycle_checks;
+  acc.awaits_checked += s.awaits_checked;
+  acc.owp_rejections += s.owp_rejections;
+  acc.owp_false_positives += s.owp_false_positives;
+  acc.ownership_violations += s.ownership_violations;
+  acc.promises_orphaned += s.promises_orphaned;
+  return acc;
+}
 
 /// Gate ruling on a fulfill attempt.
 enum class FulfillDecision : std::uint8_t {
@@ -96,8 +114,11 @@ class JoinGate {
   /// nullptr (PromisePolicy::Unverified): promise operations are then
   /// recorded but never checked.
   /// `hooks` may be nullptr (no fault injection — the production setup).
+  /// `rec` may be nullptr (flight recording off — the default): every
+  /// instrumentation site then costs exactly one null-pointer branch.
   JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode,
-           OwpVerifier* owp = nullptr, GateFaultHooks* hooks = nullptr);
+           OwpVerifier* owp = nullptr, GateFaultHooks* hooks = nullptr,
+           obs::FlightRecorder* rec = nullptr);
 
   /// Rules on a join (waiter → target). Unless the target has already
   /// terminated (`target_done`, which cannot deadlock) or the verdict is a
@@ -151,13 +172,30 @@ class JoinGate {
   const wfg::WaitsForGraph& graph() const { return wfg_; }
   PolicyChoice kind() const { return kind_; }
   OwpVerifier* ownership_verifier() const { return owp_; }
+  obs::FlightRecorder* recorder() const { return rec_; }
 
  private:
+  /// The actual join ruling; enter_join wraps it with verdict recording.
+  JoinDecision rule_join(wfg::NodeId waiter, wfg::NodeId target,
+                         PolicyNode* waiter_state,
+                         const PolicyNode* target_state, bool target_done);
+  /// The actual await ruling; enter_await wraps it with verdict recording.
+  JoinDecision rule_await(std::uint64_t waiter_uid, PromiseNode* p,
+                          bool fulfilled);
+  /// Runs `scan()` (a WFG add_*_wait call), timing it and emitting a
+  /// CycleScan event when the graph actually performed a cycle detection.
+  template <typename F>
+  wfg::WaitVerdict timed_scan(std::uint64_t waiter, std::uint64_t target,
+                              F&& scan);
+  /// Records a fault-injection firing (event + metrics counter).
+  void record_injected(std::uint64_t actor, obs::InjectedFault site);
+
   PolicyChoice kind_;
   Verifier* verifier_;  // not owned
   FaultMode mode_;
   OwpVerifier* owp_;        // not owned; nullptr ⇒ promises unverified
   GateFaultHooks* hooks_;   // not owned; nullptr ⇒ no fault injection
+  obs::FlightRecorder* rec_;  // not owned; nullptr ⇒ recording off
   wfg::WaitsForGraph wfg_;
   // Serializes {permits_await, WFG edge insertion, on_await} so two racing
   // awaits cannot both observe a cycle-free obligation graph and insert the

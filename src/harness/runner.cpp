@@ -9,12 +9,14 @@ namespace tj::harness {
 
 namespace {
 
-void accumulate(core::GateStats& into, const core::GateStats& s) {
-  into.joins_checked += s.joins_checked;
-  into.policy_rejections += s.policy_rejections;
-  into.false_positives += s.false_positives;
-  into.deadlocks_averted += s.deadlocks_averted;
-  into.cycle_checks += s.cycle_checks;
+// Gate stats accumulate via the field-complete operator+= defined alongside
+// GateStats (core/guarded.hpp); recorder counters ride along here.
+void accumulate_run(Measurement& m, const runtime::Runtime& rt) {
+  m.gate += rt.gate_stats();
+  if (const obs::FlightRecorder* rec = rt.recorder(); rec != nullptr) {
+    m.obs_events += rec->events_recorded();
+    m.obs_dropped += rec->events_dropped();
+  }
 }
 
 }  // namespace
@@ -29,6 +31,8 @@ Measurement measure(const apps::AppInfo& app, core::PolicyChoice policy,
   rt_cfg.fault = core::FaultMode::Fallback;
   rt_cfg.scheduler = cfg.scheduler;
   rt_cfg.workers = cfg.workers;
+  rt_cfg.obs.enabled = cfg.observe;
+  rt_cfg.obs.buffer_capacity = cfg.observe_buffer;
 
   std::vector<double> times;
   std::vector<double> verifier_bytes;
@@ -50,7 +54,7 @@ Measurement measure(const apps::AppInfo& app, core::PolicyChoice policy,
     verifier_bytes.push_back(static_cast<double>(rt.policy_peak_bytes()));
     const std::size_t peak = std::max(sampler.peak_bytes(), rss_start);
     rss_deltas.push_back(static_cast<double>(peak - rss_start));
-    accumulate(m.gate, rt.gate_stats());
+    accumulate_run(m, rt);
     m.app_valid = m.app_valid && outcome.valid;
     m.tasks = outcome.tasks;
   }
@@ -69,14 +73,12 @@ BenchmarkRun measure_interleaved(
     std::vector<double> times;
     std::vector<double> verifier_bytes;
     std::vector<double> rss_deltas;
-    core::GateStats gate;
-    bool valid = true;
-    std::uint64_t tasks = 0;
+    Measurement acc;  ///< gate/recorder accumulation, validity, task count
   };
   std::vector<Cell> cells;
-  cells.push_back({core::PolicyChoice::None, {}, {}, {}, {}, true, 0});
+  cells.push_back({core::PolicyChoice::None, {}, {}, {}, {}});
   for (core::PolicyChoice p : policies) {
-    cells.push_back({p, {}, {}, {}, {}, true, 0});
+    cells.push_back({p, {}, {}, {}, {}});
   }
 
   // The app's memory footprint is captured on the very first (cold)
@@ -93,6 +95,8 @@ BenchmarkRun measure_interleaved(
       rt_cfg.fault = core::FaultMode::Fallback;
       rt_cfg.scheduler = cfg.scheduler;
       rt_cfg.workers = cfg.workers;
+      rt_cfg.obs.enabled = cfg.observe;
+      rt_cfg.obs.buffer_capacity = cfg.observe_buffer;
       const std::size_t rss_start = current_rss_bytes();
       MemorySampler sampler(/*interval_ms=*/5);
       runtime::Runtime rt(rt_cfg);
@@ -109,23 +113,20 @@ BenchmarkRun measure_interleaved(
           static_cast<double>(rt.policy_peak_bytes()));
       const std::size_t peak = std::max(sampler.peak_bytes(), rss_start);
       cell.rss_deltas.push_back(static_cast<double>(peak - rss_start));
-      accumulate(cell.gate, rt.gate_stats());
-      cell.valid = cell.valid && outcome.valid;
-      cell.tasks = outcome.tasks;
+      accumulate_run(cell.acc, rt);
+      cell.acc.app_valid = cell.acc.app_valid && outcome.valid;
+      cell.acc.tasks = outcome.tasks;
     }
   }
 
   auto finish = [](const Cell& cell) {
-    Measurement m;
+    Measurement m = cell.acc;
     m.policy = cell.policy;
     m.time_s = summarize(cell.times);
     m.verifier_peak_bytes =
         cell.verifier_bytes.empty() ? 0.0 : mean(cell.verifier_bytes);
     m.rss_peak_delta_bytes =
         cell.rss_deltas.empty() ? 0.0 : mean(cell.rss_deltas);
-    m.gate = cell.gate;
-    m.app_valid = cell.valid;
-    m.tasks = cell.tasks;
     return m;
   };
 

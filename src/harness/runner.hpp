@@ -20,6 +20,13 @@ struct RunConfig {
   unsigned warmups = 1;
   runtime::SchedulerMode scheduler = runtime::SchedulerMode::Cooperative;
   unsigned workers = 0;  ///< 0 → hardware concurrency
+  /// Run every cell with the flight recorder enabled; event/drop counts are
+  /// then reported per cell (obs_events/obs_dropped). The recorder's own
+  /// overhead is part of what gets measured — use the same flag across every
+  /// compared cell.
+  bool observe = false;
+  /// Per-thread event-buffer capacity when `observe` is set.
+  std::size_t observe_buffer = std::size_t{1} << 16;
 };
 
 struct Measurement {
@@ -30,6 +37,8 @@ struct Measurement {
   core::GateStats gate;            ///< accumulated across reps
   bool app_valid = true;           ///< every rep passed the app self-check
   std::uint64_t tasks = 0;         ///< tasks per rep (last rep)
+  std::uint64_t obs_events = 0;    ///< flight-recorder events (all reps)
+  std::uint64_t obs_dropped = 0;   ///< events dropped on full rings (all reps)
 };
 
 /// Runs `app` under `policy` per `cfg`. Throws only on harness misuse; app

@@ -144,7 +144,8 @@ std::string render_csv(const std::vector<BenchmarkRecord>& rows) {
   std::ostringstream os;
   os << "benchmark,policy,time_mean_s,time_ci95_s,time_factor,"
         "verifier_peak_bytes,rss_peak_delta_bytes,mem_factor,joins,"
-        "rejections,false_positives,cycle_checks,app_valid\n";
+        "rejections,false_positives,cycle_checks,app_valid,"
+        "obs_events,obs_dropped\n";
   for (const BenchmarkRecord& r : rows) {
     auto line = [&](const Measurement& m) {
       os << r.name << "," << core::to_string(m.policy) << ","
@@ -153,7 +154,8 @@ std::string render_csv(const std::vector<BenchmarkRecord>& rows) {
          << m.rss_peak_delta_bytes << "," << memory_factor(m, r.baseline)
          << "," << m.gate.joins_checked << "," << m.gate.policy_rejections
          << "," << m.gate.false_positives << "," << m.gate.cycle_checks << ","
-         << (m.app_valid ? 1 : 0) << "\n";
+         << (m.app_valid ? 1 : 0) << "," << m.obs_events << ","
+         << m.obs_dropped << "\n";
     };
     line(r.baseline);
     for (const Measurement& p : r.policies) line(p);

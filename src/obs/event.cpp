@@ -1,0 +1,108 @@
+#include "obs/event.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace tj::obs {
+
+std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::TaskInit: return "task-init";
+    case EventKind::TaskSpawn: return "task-spawn";
+    case EventKind::JoinComplete: return "join-complete";
+    case EventKind::PromiseMake: return "promise-make";
+    case EventKind::PromiseFulfill: return "promise-fulfill";
+    case EventKind::PromiseTransfer: return "promise-transfer";
+    case EventKind::AwaitComplete: return "await-complete";
+    case EventKind::TaskStart: return "task-start";
+    case EventKind::TaskEnd: return "task-end";
+    case EventKind::SchedInline: return "sched-inline";
+    case EventKind::SchedCompensate: return "sched-compensate";
+    case EventKind::WorkerDeath: return "worker-death";
+    case EventKind::JoinVerdict: return "join-verdict";
+    case EventKind::AwaitVerdict: return "await-verdict";
+    case EventKind::FulfillVerdict: return "fulfill-verdict";
+    case EventKind::CycleScan: return "cycle-scan";
+    case EventKind::JoinBlocked: return "join-blocked";
+    case EventKind::AwaitBlocked: return "await-blocked";
+    case EventKind::BarrierPhase: return "barrier-phase";
+    case EventKind::CancelAll: return "cancel-all";
+    case EventKind::FaultInjected: return "fault-injected";
+    case EventKind::WatchdogStall: return "watchdog-stall";
+  }
+  return "<bad event kind>";
+}
+
+std::string to_string(const Event& e) {
+  std::ostringstream os;
+  os << '[' << e.seq << " @" << e.t_ns << "ns] " << to_string(e.kind) << ' '
+     << e.actor;
+  const bool promise_target = (e.flags & kFlagPromise) != 0;
+  switch (e.kind) {
+    case EventKind::TaskSpawn:
+    case EventKind::JoinComplete:
+    case EventKind::SchedInline:
+    case EventKind::JoinVerdict:
+    case EventKind::CycleScan:
+    case EventKind::JoinBlocked:
+      os << " -> " << e.target;
+      break;
+    case EventKind::PromiseMake:
+    case EventKind::PromiseFulfill:
+    case EventKind::AwaitComplete:
+    case EventKind::AwaitVerdict:
+    case EventKind::FulfillVerdict:
+    case EventKind::AwaitBlocked:
+      os << " -> p" << e.target;
+      break;
+    case EventKind::PromiseTransfer:
+      os << " -> " << e.target << " (p" << e.payload << ')';
+      break;
+    case EventKind::BarrierPhase:
+      os << " barrier " << e.target << " phase " << e.payload;
+      break;
+    default:
+      if (promise_target && e.target != 0) os << " -> p" << e.target;
+      break;
+  }
+  switch (e.kind) {
+    case EventKind::JoinVerdict:
+    case EventKind::AwaitVerdict:
+      os << " verdict=" << static_cast<unsigned>(e.detail)
+         << " policy=" << static_cast<unsigned>(e.policy);
+      break;
+    case EventKind::FulfillVerdict:
+      os << " verdict=" << static_cast<unsigned>(e.detail);
+      break;
+    case EventKind::CycleScan:
+      os << ' ' << e.payload << "ns"
+         << (e.detail != 0 ? " CYCLE" : " clear");
+      break;
+    case EventKind::JoinBlocked:
+    case EventKind::AwaitBlocked:
+      os << " blocked " << e.payload << "ns";
+      break;
+    case EventKind::FaultInjected:
+      os << " site=" << static_cast<unsigned>(e.detail);
+      break;
+    case EventKind::SchedCompensate:
+    case EventKind::WorkerDeath:
+      os << " pool=" << e.payload;
+      break;
+    case EventKind::TaskEnd:
+      if (e.detail != 0) os << " FAULTED";
+      break;
+    case EventKind::WatchdogStall:
+      os << " stalled=" << e.payload;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  return os << to_string(e);
+}
+
+}  // namespace tj::obs

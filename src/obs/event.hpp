@@ -1,0 +1,89 @@
+#pragma once
+// Flight-recorder events. One fixed-size POD per runtime occurrence:
+// structural events (spawn/join/fulfill/... — these map 1:1 onto the offline
+// trace actions of Def. 3.1, see obs/replay_bridge.hpp), gate verdicts
+// (every JoinDecision/FulfillDecision with the ruling policy id), fallback
+// cycle scans with their duration, scheduler and fault-injection incidents,
+// and watchdog stall reports. Events carry a global sequence number (their
+// total order — timestamps from different threads are not comparable at ns
+// resolution) and a nanosecond timestamp relative to the recorder's epoch.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace tj::obs {
+
+enum class EventKind : std::uint8_t {
+  // --- structural events: map onto offline trace actions (Def. 3.1) ---
+  TaskInit,         ///< root task registered        → init(actor)
+  TaskSpawn,        ///< actor forked target         → fork(actor, target)
+  JoinComplete,     ///< actor's join on target done → join(actor, target)
+  PromiseMake,      ///< actor made promise target   → make(actor, p:target)
+  PromiseFulfill,   ///< actor fulfilled p:target    → fulfill(actor, p:target)
+  PromiseTransfer,  ///< actor gave p:payload to target → transfer(a,b,p)
+  AwaitComplete,    ///< actor's await on p:target done → await(actor, p)
+
+  // --- task lifecycle / scheduler ---
+  TaskStart,        ///< actor's body began executing (payload: worker flag)
+  TaskEnd,          ///< actor's body finished (detail: 1 iff it faulted)
+  SchedInline,      ///< cooperative help: actor inlined queued task target
+  SchedCompensate,  ///< pool grew a compensation worker (payload: pool size)
+  WorkerDeath,      ///< injected worker death at a task boundary
+
+  // --- join gate ---
+  JoinVerdict,      ///< gate ruled on actor join target (detail: JoinDecision)
+  AwaitVerdict,     ///< gate ruled on actor await p:target (detail: JoinDecision)
+  FulfillVerdict,   ///< gate ruled on actor fulfill p:target (detail: FulfillDecision)
+  CycleScan,        ///< WFG fallback scan for actor→target (payload: ns;
+                    ///< detail: 1 iff a cycle was found)
+  JoinBlocked,      ///< actor's join on target blocked (payload: ns blocked)
+  AwaitBlocked,     ///< actor's await on p:target blocked (payload: ns)
+
+  // --- robustness layers ---
+  BarrierPhase,     ///< actor completed barrier target's phase payload
+  CancelAll,        ///< runtime root scope cancelled (actor: requester, if any)
+  FaultInjected,    ///< fault plan fired (detail: InjectedFault site)
+  WatchdogStall,    ///< watchdog reported a stall batch (payload: batch size)
+};
+
+/// Which fault-injection site fired (Event::detail for FaultInjected).
+enum class InjectedFault : std::uint8_t {
+  JoinRejection,
+  AwaitRejection,
+  DroppedWakeup,
+};
+
+/// Set in Event::flags when `target` (and transfer's `payload`) names a
+/// promise uid rather than a task uid.
+inline constexpr std::uint8_t kFlagPromise = 1;
+
+struct Event {
+  std::uint64_t seq = 0;      ///< global total order (recorder-assigned)
+  std::uint64_t t_ns = 0;     ///< ns since recorder epoch (recorder-assigned)
+  std::uint64_t actor = 0;    ///< acting task uid (worker index for pool events)
+  std::uint64_t target = 0;   ///< join target / forked child / promise uid
+  std::uint64_t payload = 0;  ///< durations (ns), phase numbers, pool sizes
+  EventKind kind = EventKind::TaskInit;
+  std::uint8_t policy = 0;    ///< core::PolicyChoice of the ruling verifier
+  std::uint8_t detail = 0;    ///< verdict / fault-site enum value
+  std::uint8_t flags = 0;     ///< kFlagPromise etc.
+};
+
+/// True for the events replay_bridge turns into offline trace actions.
+constexpr bool is_structural(EventKind k) {
+  return k == EventKind::TaskInit || k == EventKind::TaskSpawn ||
+         k == EventKind::JoinComplete || k == EventKind::PromiseMake ||
+         k == EventKind::PromiseFulfill || k == EventKind::PromiseTransfer ||
+         k == EventKind::AwaitComplete;
+}
+
+std::string_view to_string(EventKind k);
+
+/// One human-readable line: "[seq @t_ns] kind actor→target (detail...)".
+std::string to_string(const Event& e);
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+}  // namespace tj::obs

@@ -1,0 +1,71 @@
+#include "obs/export_chrome.hpp"
+
+#include <sstream>
+
+namespace tj::obs {
+
+namespace {
+
+/// ts/dur fields are microseconds; emit fractional µs to keep ns precision.
+void write_us(std::ostringstream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << (ns % 1000) / 100 << (ns % 100) / 10 << ns % 10;
+}
+
+void write_common(std::ostringstream& os, const Event& e, const char* ph,
+                  std::uint64_t ts_ns) {
+  os << R"({"name":")" << to_string(e.kind) << R"(","cat":"tj","ph":")" << ph
+     << R"(","pid":1,"tid":)" << e.actor << R"(,"ts":)";
+  write_us(os, ts_ns);
+}
+
+void write_args(std::ostringstream& os, const Event& e) {
+  os << R"(,"args":{"seq":)" << e.seq << R"(,"target":)" << e.target
+     << R"(,"payload":)" << e.payload << R"(,"policy":)"
+     << static_cast<unsigned>(e.policy) << R"(,"detail":)"
+     << static_cast<unsigned>(e.detail) << R"(,"flags":)"
+     << static_cast<unsigned>(e.flags) << "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<Event>& events) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    switch (e.kind) {
+      case EventKind::TaskStart:
+        write_common(os, e, "B", e.t_ns);
+        write_args(os, e);
+        break;
+      case EventKind::TaskEnd:
+        write_common(os, e, "E", e.t_ns);
+        write_args(os, e);
+        break;
+      case EventKind::CycleScan:
+      case EventKind::JoinBlocked:
+      case EventKind::AwaitBlocked: {
+        // payload is the measured duration; the event is emitted at the end
+        // of the interval, so the slice starts payload ns earlier.
+        const std::uint64_t start =
+            e.t_ns >= e.payload ? e.t_ns - e.payload : 0;
+        write_common(os, e, "X", start);
+        os << R"(,"dur":)";
+        write_us(os, e.payload);
+        write_args(os, e);
+        break;
+      }
+      default:
+        write_common(os, e, "i", e.t_ns);
+        os << R"(,"s":"t")";
+        write_args(os, e);
+        break;
+    }
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace tj::obs

@@ -1,0 +1,20 @@
+#pragma once
+// Chrome Trace Event exporter: serializes a drained event stream as the
+// JSON array format understood by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev). Each task becomes a timeline row (tid = task
+// uid); TaskStart/TaskEnd pair into duration slices, blocked joins/awaits
+// and cycle scans become complete ("X") slices spanning their measured
+// duration, everything else is an instant.
+
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace tj::obs {
+
+/// Renders `events` (as returned by FlightRecorder::drain) as a
+/// self-contained Chrome Trace Event JSON document.
+std::string to_chrome_json(const std::vector<Event>& events);
+
+}  // namespace tj::obs

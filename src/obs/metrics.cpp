@@ -1,0 +1,52 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace tj::obs {
+
+std::uint64_t LatencyHistogram::approx_quantile_ns(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto want = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= want && seen > 0) return bucket_floor(i);
+  }
+  return bucket_floor(kBuckets - 1);
+}
+
+std::string LatencyHistogram::to_string() const {
+  std::ostringstream os;
+  os << "count=" << count();
+  if (count() > 0) {
+    os << " min=" << min_ns() << "ns p50~" << approx_quantile_ns(0.5)
+       << "ns p99~" << approx_quantile_ns(0.99) << "ns max=" << max_ns()
+       << "ns";
+    os << " buckets:";
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = bucket_count(i);
+      if (c == 0) continue;
+      os << " [" << bucket_floor(i)
+         << (i == kBuckets - 1 ? "ns..)=" : "ns)=") << c;
+    }
+  }
+  return os.str();
+}
+
+std::string Metrics::to_string() const {
+  std::ostringstream os;
+  for_each_histogram([&os](const char* name, const LatencyHistogram& h) {
+    os << "  " << name << ": " << h.to_string() << "\n";
+  });
+  os << "  faults_injected=" << faults_injected.load(std::memory_order_relaxed)
+     << " compensation_spawns="
+     << compensation_spawns.load(std::memory_order_relaxed)
+     << " stall_reports=" << stall_reports.load(std::memory_order_relaxed)
+     << "\n";
+  return os.str();
+}
+
+}  // namespace tj::obs

@@ -1,0 +1,114 @@
+#pragma once
+// Metrics registry: counters plus log-bucketed latency histograms for the
+// quantities the paper's evaluation discusses per join — policy-check time,
+// time spent blocked in an admitted join/await, and the cost of a WFG
+// fallback cycle scan. All updates are relaxed atomics: safe from any
+// thread, never a lock on the hot path.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace tj::obs {
+
+/// Log2-bucketed histogram of nanosecond latencies. Bucket 0 holds exact
+/// zeros; bucket i (1 ≤ i < kBuckets-1) holds values in [2^(i-1), 2^i);
+/// the last bucket is the explicit overflow bucket for everything at or
+/// above 2^(kBuckets-2) ns (≈ 4.6 minutes) — large values are counted, not
+/// silently clamped away.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  static constexpr std::size_t bucket_index(std::uint64_t ns) {
+    if (ns == 0) return 0;
+    const std::size_t w = static_cast<std::size_t>(std::bit_width(ns));
+    return w < kBuckets - 1 ? w : kBuckets - 1;
+  }
+
+  /// Lower bound (inclusive) of bucket i in ns.
+  static constexpr std::uint64_t bucket_floor(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void record(std::uint64_t ns) noexcept {
+    buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    update_min(ns);
+    update_max(ns);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Count in the overflow (last) bucket.
+  std::uint64_t overflow_count() const { return bucket_count(kBuckets - 1); }
+  /// Min/max recorded value; 0 when empty.
+  std::uint64_t min_ns() const {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == kEmptyMin ? 0 : m;
+  }
+  std::uint64_t max_ns() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  /// The smallest bucket floor F such that at least `q` (0..1) of recorded
+  /// values are < 2F — a log2-resolution upper percentile estimate.
+  std::uint64_t approx_quantile_ns(double q) const;
+
+  /// "count=… min=… p50≈… p99≈… max=…" plus the nonzero buckets.
+  std::string to_string() const;
+
+ private:
+  static constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
+
+  void update_min(std::uint64_t v) noexcept {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> min_{kEmptyMin};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// The recorder's fixed metric set. Histograms are updated by the gate and
+/// runtime only while recording is enabled; counters mirror incident events
+/// so they can be read without draining the event stream.
+struct Metrics {
+  LatencyHistogram policy_check_ns;   ///< gate policy evaluation (join+await)
+  LatencyHistogram blocked_join_ns;   ///< wall time blocked in admitted joins
+  LatencyHistogram blocked_await_ns;  ///< wall time blocked in admitted awaits
+  LatencyHistogram cycle_scan_ns;     ///< WFG fallback scan duration
+
+  std::atomic<std::uint64_t> faults_injected{0};
+  std::atomic<std::uint64_t> compensation_spawns{0};
+  std::atomic<std::uint64_t> stall_reports{0};
+
+  /// Visits (name, histogram) for each histogram in the registry.
+  template <typename F>
+  void for_each_histogram(F&& f) const {
+    f("policy_check_ns", policy_check_ns);
+    f("blocked_join_ns", blocked_join_ns);
+    f("blocked_await_ns", blocked_await_ns);
+    f("cycle_scan_ns", cycle_scan_ns);
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace tj::obs

@@ -1,0 +1,97 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace tj::obs {
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(ObsConfig cfg)
+    : cfg_(cfg),
+      id_(next_recorder_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder::ThreadLog& FlightRecorder::local_log() {
+  struct Cache {
+    std::uint64_t recorder_id = 0;
+    ThreadLog* log = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.recorder_id == id_) return *cache.log;
+
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  ThreadLog*& slot = by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    logs_.push_back(std::make_unique<ThreadLog>(cfg_.buffer_capacity));
+    slot = logs_.back().get();
+  }
+  cache = {id_, slot};
+  return *slot;
+}
+
+std::uint64_t FlightRecorder::events_recorded() const {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) {
+    total += log->pushed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::events_dropped() const {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) {
+    total += log->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t FlightRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  return logs_.size();
+}
+
+std::vector<Event> FlightRecorder::drain() {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::vector<Event> out;
+  for (auto& log : logs_) {
+    Event e;
+    while (log->ring.try_pop(e)) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::vector<Event> FlightRecorder::recent(std::uint64_t uid,
+                                          std::size_t max_events) const {
+  std::vector<Event> matched;
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    for (const auto& log : logs_) {
+      log->ring.for_each_live([&](const Event& e) {
+        if (e.actor == uid || (e.target == uid && (e.flags & kFlagPromise) == 0)) {
+          matched.push_back(e);
+        }
+      });
+    }
+  }
+  std::sort(matched.begin(), matched.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  if (matched.size() > max_events) {
+    matched.erase(matched.begin(),
+                  matched.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  return matched;
+}
+
+}  // namespace tj::obs

@@ -1,0 +1,108 @@
+#pragma once
+// The flight recorder: per-thread lock-free SPSC rings of timestamped
+// events plus the metrics registry. Always compiled, off by default — when
+// the runtime's config leaves it disabled no recorder exists at all and
+// every instrumentation site short-circuits on a single null-pointer
+// branch. When enabled, emitting an event costs one atomic fetch_add (the
+// global sequence number), one steady-clock read, and one SPSC push into
+// the calling thread's ring; memory is bounded by capacity × threads, and a
+// full ring drops the event into an explicit per-thread drop counter — loss
+// is always visible, never silent.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring_buffer.hpp"
+
+namespace tj::obs {
+
+/// Recorder knobs (embedded in runtime::Config as `obs`).
+struct ObsConfig {
+  bool enabled = false;
+  /// Events buffered per emitting thread (rounded up to a power of two).
+  /// 2^16 events ≈ 3 MiB/thread at 48 B/event.
+  std::size_t buffer_capacity = std::size_t{1} << 16;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(ObsConfig cfg);
+  ~FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Nanoseconds since this recorder's construction (event timestamps).
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records `e`, stamping its seq and t_ns. Thread-safe; lock-free after a
+  /// thread's first emit (which registers its ring under a mutex).
+  void emit(Event e) {
+    e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    e.t_ns = now_ns();
+    ThreadLog& log = local_log();
+    if (log.ring.try_push(e)) {
+      log.pushed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      log.dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Events successfully buffered / dropped on full rings, across threads.
+  std::uint64_t events_recorded() const;
+  std::uint64_t events_dropped() const;
+  /// Number of threads that have emitted at least one event.
+  std::size_t thread_count() const;
+
+  /// Pops every buffered event, merged and sorted by sequence number.
+  /// Call only while no thread is emitting (e.g. after the runtime
+  /// quiesced); concurrent emits may be missed, never corrupted.
+  std::vector<Event> drain();
+
+  /// Best-effort snapshot of the most recent still-buffered events naming
+  /// `uid` as actor or target, oldest-first, at most `max_events`. Safe
+  /// concurrently with emitters (the watchdog calls this mid-run).
+  std::vector<Event> recent(std::uint64_t uid, std::size_t max_events) const;
+
+ private:
+  struct ThreadLog {
+    explicit ThreadLog(std::size_t capacity) : ring(capacity) {}
+    SpscRing<Event> ring;
+    std::atomic<std::uint64_t> pushed{0};
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  /// This thread's ring, creating and registering it on first use. A
+  /// one-entry thread-local cache keyed by recorder id makes repeat emits
+  /// lock-free; the id (never reused) guards against a recorder being
+  /// destroyed and another allocated at the same address.
+  ThreadLog& local_log();
+
+  const ObsConfig cfg_;
+  const std::uint64_t id_;  ///< process-unique recorder id
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> seq_{0};
+  Metrics metrics_;
+
+  mutable std::mutex reg_mu_;
+  // Append-only while the recorder lives (stable ThreadLog addresses).
+  std::vector<std::unique_ptr<ThreadLog>> logs_;          // guarded by reg_mu_
+  std::map<std::thread::id, ThreadLog*> by_thread_;       // guarded by reg_mu_
+};
+
+}  // namespace tj::obs

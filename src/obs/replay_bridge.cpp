@@ -1,0 +1,150 @@
+#include "obs/replay_bridge.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace tj::obs {
+
+namespace {
+
+/// Dense-id allocator: runtime uid → first-mention-order TaskId/PromiseId.
+class IdMap {
+ public:
+  /// The dense id for `uid`, allocating on first sight.
+  std::uint32_t intern(std::uint64_t uid) {
+    auto [it, inserted] = map_.try_emplace(uid, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+  /// The dense id for `uid`, or nullopt-like sentinel if never seen.
+  bool lookup(std::uint64_t uid, std::uint32_t& out) const {
+    auto it = map_.find(uid);
+    if (it == map_.end()) return false;
+    out = it->second;
+    return true;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+  std::uint32_t next_ = 0;
+};
+
+}  // namespace
+
+RecordedRun extract_run(const std::vector<Event>& events) {
+  RecordedRun run;
+  IdMap tasks;
+  IdMap promises;
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::TaskInit:
+        run.trace.push_init(tasks.intern(e.actor));
+        break;
+      case EventKind::TaskSpawn: {
+        std::uint32_t a;
+        if (!tasks.lookup(e.actor, a)) {
+          ++run.skipped_events;
+          break;
+        }
+        run.trace.push_fork(a, tasks.intern(e.target));
+        break;
+      }
+      case EventKind::JoinComplete: {
+        std::uint32_t a, b;
+        if (!tasks.lookup(e.actor, a) || !tasks.lookup(e.target, b)) {
+          ++run.skipped_events;
+          break;
+        }
+        run.trace.push_join(a, b);
+        break;
+      }
+      case EventKind::PromiseMake: {
+        std::uint32_t a;
+        if (!tasks.lookup(e.actor, a)) {
+          ++run.skipped_events;
+          break;
+        }
+        run.trace.push_make(a, promises.intern(e.target));
+        break;
+      }
+      case EventKind::PromiseFulfill: {
+        std::uint32_t a, p;
+        if (!tasks.lookup(e.actor, a) || !promises.lookup(e.target, p)) {
+          ++run.skipped_events;
+          break;
+        }
+        run.trace.push_fulfill(a, p);
+        break;
+      }
+      case EventKind::PromiseTransfer: {
+        std::uint32_t a, b, p;
+        if (!tasks.lookup(e.actor, a) || !tasks.lookup(e.target, b) ||
+            !promises.lookup(e.payload, p)) {
+          ++run.skipped_events;
+          break;
+        }
+        run.trace.push_transfer(a, b, p);
+        break;
+      }
+      case EventKind::AwaitComplete: {
+        std::uint32_t a, p;
+        if (!tasks.lookup(e.actor, a) || !promises.lookup(e.target, p)) {
+          ++run.skipped_events;
+          break;
+        }
+        run.trace.push_await(a, p);
+        break;
+      }
+      case EventKind::JoinVerdict: {
+        RecordedRun::Verdict v;
+        std::uint32_t a, b;
+        if (!tasks.lookup(e.actor, a) || !tasks.lookup(e.target, b)) {
+          ++run.skipped_events;
+          break;
+        }
+        v.is_await = false;
+        v.waiter = a;
+        v.target = b;
+        v.decision = e.detail;
+        v.policy = e.policy;
+        run.verdicts.push_back(v);
+        break;
+      }
+      case EventKind::AwaitVerdict: {
+        RecordedRun::Verdict v;
+        std::uint32_t a, p;
+        if (!tasks.lookup(e.actor, a) || !promises.lookup(e.target, p)) {
+          ++run.skipped_events;
+          break;
+        }
+        v.is_await = true;
+        v.waiter = a;
+        v.promise = p;
+        v.decision = e.detail;
+        v.policy = e.policy;
+        run.verdicts.push_back(v);
+        break;
+      }
+      default:
+        break;  // non-structural: scheduler, metrics, faults, barriers
+    }
+  }
+  return run;
+}
+
+std::string to_trace_text(const trace::Trace& t, const std::string& header) {
+  std::ostringstream os;
+  if (!header.empty()) {
+    std::istringstream lines(header);
+    std::string line;
+    while (std::getline(lines, line)) os << "# " << line << "\n";
+  }
+  for (const trace::Action& a : t.actions()) {
+    os << trace::to_string(a) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tj::obs

@@ -1,0 +1,54 @@
+#pragma once
+// Runtime→formalism bridge: turns a drained flight-recorder stream back
+// into an offline trace (Definition 3.1 actions, the format accepted by
+// src/trace/parse), so a live run can be replayed through the offline
+// TJ/KJ/OWP judgments and cross-checked against the verdicts the gate
+// actually issued. Runtime uids are remapped to the dense TaskId/PromiseId
+// spaces the formalism uses, in first-mention order, so the root becomes
+// task 0 exactly as the paper's notation assumes.
+//
+// This header deliberately depends only on src/trace (not src/core): the
+// gate's decision enums travel through Event::detail as raw bytes and are
+// kept raw here, so tj_core can link tj_obs without a cycle.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "trace/trace.hpp"
+
+namespace tj::obs {
+
+/// A recorded run, re-expressed in the offline formalism.
+struct RecordedRun {
+  trace::Trace trace;
+
+  /// One entry per gate ruling (JoinVerdict/AwaitVerdict), in event order,
+  /// with ids remapped into the trace's dense spaces.
+  struct Verdict {
+    bool is_await = false;        ///< await(a,p) ruling vs join(a,b) ruling
+    trace::TaskId waiter = trace::kNoTask;
+    trace::TaskId target = trace::kNoTask;      ///< join target (tasks)
+    trace::PromiseId promise = trace::kNoPromise;  ///< await target
+    std::uint8_t decision = 0;    ///< raw core::JoinDecision value
+    std::uint8_t policy = 0;      ///< raw core::PolicyChoice of the ruling
+  };
+  std::vector<Verdict> verdicts;
+
+  /// Structural events that could not be translated because an id they
+  /// reference was never introduced (possible only if events were dropped).
+  std::uint64_t skipped_events = 0;
+};
+
+/// Extracts the offline trace and verdict list from a drained, seq-sorted
+/// event stream. Non-structural events (scheduler, metrics, faults) are
+/// ignored; structural events with unresolvable ids are counted in
+/// `skipped_events` instead of corrupting the trace.
+RecordedRun extract_run(const std::vector<Event>& events);
+
+/// Serializes a trace one action per line — the exact syntax parse_trace
+/// accepts — with an optional '#' comment header.
+std::string to_trace_text(const trace::Trace& t, const std::string& header = "");
+
+}  // namespace tj::obs

@@ -1,0 +1,84 @@
+#pragma once
+// Lock-free single-producer / single-consumer ring buffer, the per-thread
+// storage of the flight recorder. Capacity is rounded up to a power of two;
+// a full ring REJECTS the push (drop-newest) rather than overwriting — the
+// recorder counts the drop, so event loss is always explicit, and the
+// retained prefix stays contiguous from the start of the run (which is what
+// the runtime→formalism replay bridge needs).
+//
+// Concurrency contract:
+//   * try_push        — the single producer thread only;
+//   * try_pop         — one consumer at a time, and only while no concurrent
+//                       peek is running (in the recorder: after quiescence);
+//   * for_each_live   — any thread, concurrently with the producer: it reads
+//                       only slots published before its head load, and those
+//                       slots are immutable until a consumer pops them
+//                       (drop-newest means the producer never overwrites a
+//                       live slot).
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+namespace tj::obs {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// False iff the ring is full (the caller counts the drop).
+  bool try_push(const T& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) > mask_) {
+      return false;  // full
+    }
+    slots_[head & mask_] = v;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False iff the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return false;  // empty
+    }
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Entries currently buffered (racy snapshot under concurrency).
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Visits every live (published, unpopped) entry oldest-first. Safe
+  /// concurrently with the producer; see the concurrency contract above.
+  template <typename F>
+  void for_each_live(F&& f) const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    for (std::size_t i = tail; i != head; ++i) {
+      f(slots_[i & mask_]);
+    }
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace tj::obs

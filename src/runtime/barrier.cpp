@@ -91,6 +91,15 @@ void CheckedBarrier::release_phase_locked() {
   }
   arrived_uids_.clear();
   blocked_uids_.clear();
+  if (const TaskBase* cur = current_task_or_null(); cur != nullptr &&
+      cur->runtime() != nullptr && cur->runtime()->recorder() != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::BarrierPhase;
+    e.actor = cur->uid();
+    e.target = id_;
+    e.payload = phase_;  // the phase this release just completed
+    cur->runtime()->recorder()->emit(e);
+  }
   ++phase_;
   cv_.notify_all();
 }

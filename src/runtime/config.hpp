@@ -9,6 +9,7 @@
 
 #include "core/guarded.hpp"
 #include "core/policy_ids.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/watchdog.hpp"
 
@@ -62,6 +63,11 @@ struct Config {
   /// Deterministic fault injection for chaos testing; plan.seed == 0 (the
   /// default) disables the layer entirely.
   FaultPlan fault_plan;
+  /// Flight recorder (obs.enabled): per-thread ring buffers of every
+  /// fork/join/verdict/scheduler event plus the metrics registry,
+  /// retrievable via Runtime::recorder(). Off by default — instrumentation
+  /// sites then cost one null-pointer branch each.
+  obs::ObsConfig obs;
 
   unsigned effective_workers() const {
     if (workers != 0) return workers;

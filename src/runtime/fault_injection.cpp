@@ -19,7 +19,9 @@ std::uint64_t mix(std::uint64_t x) {
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {}
 
-FaultInjector::~FaultInjector() {
+FaultInjector::~FaultInjector() { shutdown(); }
+
+void FaultInjector::shutdown() {
   std::thread repair;
   std::vector<PendingWake> leftovers;
   {

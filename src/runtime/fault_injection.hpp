@@ -88,6 +88,15 @@ class FaultInjector final : public core::GateFaultHooks {
  public:
   explicit FaultInjector(FaultPlan plan);
   ~FaultInjector() override;  // joins the repair thread
+
+  /// Joins the repair thread and flushes undelivered wakeups inline on the
+  /// calling thread. Idempotent; the destructor calls it. The Runtime calls
+  /// it after quiescence, *before* its own members are torn down: a pending
+  /// renotify closure can hold the last reference to a task whose promise
+  /// release calls back into the runtime's promise-state map, so those
+  /// closures must not be destroyed on the repair thread while the runtime
+  /// destructor is already running.
+  void shutdown();
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 

@@ -26,6 +26,13 @@ TaskBase::~TaskBase() {
 }
 
 void TaskBase::run() {
+  obs::FlightRecorder* rec = rt_ != nullptr ? rt_->recorder() : nullptr;
+  if (rec != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::TaskStart;
+    e.actor = uid_;
+    rec->emit(e);
+  }
   if (cancel_requested_.load(std::memory_order_acquire)) {
     // Claimed after a cancellation request (e.g. a cooperative joiner won
     // the claim race against the canceller): honour the request, skip the
@@ -62,6 +69,13 @@ void TaskBase::run() {
       // Cancellation delivery must not mask the original fault.
     }
   }
+  if (rec != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::TaskEnd;
+    e.actor = uid_;
+    e.detail = error_ ? 1 : 0;
+    rec->emit(e);
+  }
   state_.store(TaskState::Done, std::memory_order_release);
   FaultInjector* inj = rt_ != nullptr ? rt_->injector_.get() : nullptr;
   if (inj == nullptr) {
@@ -72,7 +86,16 @@ void TaskBase::run() {
   // redeliver via the repair thread; the shared_ptr keeps the task alive
   // until the redelivery lands.
   auto self = shared_from_this();
-  if (!inj->perturb_wakeup([self] { self->state_.notify_all(); })) {
+  if (inj->perturb_wakeup([self] { self->state_.notify_all(); })) {
+    if (rec != nullptr) {
+      rec->metrics().faults_injected.fetch_add(1, std::memory_order_relaxed);
+      obs::Event e;
+      e.kind = obs::EventKind::FaultInjected;
+      e.actor = uid_;
+      e.detail = static_cast<std::uint8_t>(obs::InjectedFault::DroppedWakeup);
+      rec->emit(e);
+    }
+  } else {
     state_.notify_all();
   }
 }
@@ -175,6 +198,14 @@ void fulfill_record(PromiseStateBase& s) {
         static_cast<trace::TaskId>(current_task().uid()),
         static_cast<trace::PromiseId>(s.uid_)));
   }
+  if (rt->recorder_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::PromiseFulfill;
+    e.actor = current_task().uid();
+    e.target = s.uid_;
+    e.flags = obs::kFlagPromise;
+    rt->recorder_->emit(e);
+  }
 }
 
 void fulfill_committed(PromiseStateBase& s) {
@@ -195,23 +226,32 @@ Runtime::Runtime(Config cfg)
     : cfg_(std::move(cfg)),
       verifier_(core::make_verifier(cfg_.policy)),
       owp_(core::make_ownership_verifier(cfg_.promise_policy)),
+      recorder_(cfg_.obs.enabled
+                    ? std::make_unique<obs::FlightRecorder>(cfg_.obs)
+                    : nullptr),
       injector_(cfg_.fault_plan.enabled()
                     ? std::make_unique<FaultInjector>(cfg_.fault_plan)
                     : nullptr),
       gate_(cfg_.policy, verifier_.get(), cfg_.fault, owp_.get(),
-            injector_.get()),
+            injector_.get(), recorder_.get()),
       sched_(cfg_.scheduler, cfg_.effective_workers(), cfg_.max_threads,
-             injector_.get()),
+             injector_.get(), recorder_.get()),
       root_scope_(std::make_shared<detail::CancelState>(cfg_.cancel_on_fault,
                                                         nullptr)),
       watchdog_(cfg_.watchdog.enabled
-                    ? std::make_unique<JoinWatchdog>(cfg_.watchdog, gate_)
+                    ? std::make_unique<JoinWatchdog>(cfg_.watchdog, gate_,
+                                                     recorder_.get())
                     : nullptr) {}
 
 Runtime::~Runtime() {
   // All spawned tasks must finish before the scheduler can be torn down;
   // root() already quiesces, this covers error paths.
   sched_.quiesce();
+  // Stop the injector's repair thread while the promise-state map is still
+  // alive: an undelivered-wake closure can hold the last reference to a
+  // task whose promise release erases from that map (members are destroyed
+  // in reverse order, and promises_ is declared after injector_).
+  if (injector_ != nullptr) injector_->shutdown();
 }
 
 void Runtime::claim_root() {
@@ -243,6 +283,18 @@ void Runtime::register_task(TaskBase& t, const TaskBase* parent) {
     record(parent != nullptr
                ? trace::fork(static_cast<trace::TaskId>(parent->uid()), id)
                : trace::init(id));
+  }
+  if (recorder_ != nullptr) {
+    obs::Event e;
+    if (parent != nullptr) {
+      e.kind = obs::EventKind::TaskSpawn;
+      e.actor = parent->uid();
+      e.target = t.uid_;
+    } else {
+      e.kind = obs::EventKind::TaskInit;
+      e.actor = t.uid_;
+    }
+    recorder_->emit(e);
   }
 }
 
@@ -282,6 +334,13 @@ void Runtime::track_in_scope(const std::shared_ptr<TaskBase>& t) {
 void Runtime::task_cancelled_done() { sched_.note_task_done(); }
 
 void Runtime::cancel_all(std::exception_ptr cause) {
+  if (recorder_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::CancelAll;
+    const TaskBase* cur = current_task_or_null();
+    e.actor = cur != nullptr ? cur->uid() : 0;
+    recorder_->emit(e);
+  }
   root_scope_->cancel(std::move(cause));
 }
 
@@ -320,7 +379,19 @@ void Runtime::join(TaskBase& target) {
           d == core::JoinDecision::ProceedFalsePositive
               ? "policy-rejected, fallback-cleared"
               : "policy-approved");
+      const std::uint64_t t0 =
+          recorder_ != nullptr ? recorder_->now_ns() : 0;
       sched_.join_wait(target);
+      if (recorder_ != nullptr) {
+        const std::uint64_t blocked = recorder_->now_ns() - t0;
+        recorder_->metrics().blocked_join_ns.record(blocked);
+        obs::Event e;
+        e.kind = obs::EventKind::JoinBlocked;
+        e.actor = cur.uid();
+        e.target = target.uid();
+        e.payload = blocked;
+        recorder_->emit(e);
+      }
     }
   } catch (...) {
     gate_.leave_join(cur.uid(), target.uid(), cur.policy_node(),
@@ -332,6 +403,13 @@ void Runtime::join(TaskBase& target) {
   if (cfg_.record_trace) {
     record(trace::join(static_cast<trace::TaskId>(cur.uid()),
                        static_cast<trace::TaskId>(target.uid())));
+  }
+  if (recorder_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::JoinComplete;
+    e.actor = cur.uid();
+    e.target = target.uid();
+    recorder_->emit(e);
   }
 }
 
@@ -350,6 +428,14 @@ void Runtime::init_promise_state(detail::PromiseStateBase& s) {
   if (cfg_.record_trace) {
     record(trace::make(static_cast<trace::TaskId>(cur.uid()),
                        static_cast<trace::PromiseId>(s.uid_)));
+  }
+  if (recorder_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::PromiseMake;
+    e.actor = cur.uid();
+    e.target = s.uid_;
+    e.flags = obs::kFlagPromise;
+    recorder_->emit(e);
   }
 }
 
@@ -387,6 +473,7 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
       break;
   }
   if (!was_fulfilled) {
+    const std::uint64_t t0 = recorder_ != nullptr ? recorder_->now_ns() : 0;
     try {
       // Awaits cannot be helped by cooperative inlining (no known fulfiller
       // task to run), so both scheduler modes treat them as a blocking
@@ -403,6 +490,17 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
       throw;
     }
     gate_.leave_await(cur.uid());
+    if (recorder_ != nullptr) {
+      const std::uint64_t blocked = recorder_->now_ns() - t0;
+      recorder_->metrics().blocked_await_ns.record(blocked);
+      obs::Event e;
+      e.kind = obs::EventKind::AwaitBlocked;
+      e.actor = cur.uid();
+      e.target = s.uid_;
+      e.payload = blocked;
+      e.flags = obs::kFlagPromise;
+      recorder_->emit(e);
+    }
   }
   if (!s.fulfilled()) {
     if (auto cause = s.poison_cause(); cause) {
@@ -420,6 +518,14 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
   if (cfg_.record_trace) {
     record(trace::await(static_cast<trace::TaskId>(cur.uid()),
                         static_cast<trace::PromiseId>(s.uid_)));
+  }
+  if (recorder_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::AwaitComplete;
+    e.actor = cur.uid();
+    e.target = s.uid_;
+    e.flags = obs::kFlagPromise;
+    recorder_->emit(e);
   }
 }
 
@@ -457,6 +563,15 @@ void Runtime::transfer_promise(detail::PromiseStateBase& s,
     record(trace::transfer(static_cast<trace::TaskId>(cur.uid()),
                            static_cast<trace::TaskId>(to.uid()),
                            static_cast<trace::PromiseId>(s.uid_)));
+  }
+  if (recorder_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::PromiseTransfer;
+    e.actor = cur.uid();
+    e.target = to.uid();
+    e.payload = s.uid_;
+    e.flags = obs::kFlagPromise;
+    recorder_->emit(e);
   }
 }
 

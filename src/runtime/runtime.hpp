@@ -126,6 +126,8 @@ class Runtime {
   }
   /// The join watchdog, or nullptr when not enabled.
   const JoinWatchdog* watchdog() const { return watchdog_.get(); }
+  /// The flight recorder, or nullptr when Config::obs.enabled is false.
+  obs::FlightRecorder* recorder() const { return recorder_.get(); }
   /// The gate itself (diagnostics/tests: e.g. polling graph().is_waiting()).
   const core::JoinGate& gate() const { return gate_; }
   core::Verifier* verifier() { return verifier_.get(); }
@@ -200,6 +202,9 @@ class Runtime {
   Config cfg_;
   std::unique_ptr<core::Verifier> verifier_;
   std::unique_ptr<core::OwpVerifier> owp_;
+  // Declared before gate_/sched_/watchdog_ (they hold non-owning pointers to
+  // it) and destroyed after them; nullptr unless cfg_.obs.enabled.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   // Declared before gate_/sched_ (they hold non-owning pointers to it) and
   // destroyed after them, so pending dropped-wakeup redeliveries outlive
   // every consumer.

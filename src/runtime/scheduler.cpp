@@ -29,11 +29,13 @@ CurrentTaskGuard::~CurrentTaskGuard() { t_current = prev_; }
 }  // namespace detail
 
 Scheduler::Scheduler(SchedulerMode mode, unsigned workers,
-                     unsigned max_threads, FaultInjector* injector)
+                     unsigned max_threads, FaultInjector* injector,
+                     obs::FlightRecorder* rec)
     : mode_(mode),
       target_parallelism_(workers),
       max_threads_(std::max(max_threads, workers)),
-      injector_(injector) {
+      injector_(injector),
+      rec_(rec) {
   std::scoped_lock lock(mu_);
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) add_worker_locked();
@@ -58,6 +60,17 @@ Scheduler::~Scheduler() {
 
 void Scheduler::add_worker_locked() {
   threads_.emplace_back([this] { worker_loop(); });
+}
+
+void Scheduler::record_compensation_locked() {
+  if (rec_ == nullptr) return;
+  rec_->metrics().compensation_spawns.fetch_add(1, std::memory_order_relaxed);
+  obs::Event e;
+  e.kind = obs::EventKind::SchedCompensate;
+  const TaskBase* cur = current_task_or_null();
+  e.actor = cur != nullptr ? cur->uid() : 0;
+  e.payload = threads_.size();
+  rec_->emit(e);
 }
 
 unsigned Scheduler::thread_count() const {
@@ -102,6 +115,12 @@ void Scheduler::worker_loop() {
       // Spawn the replacement before exiting (crash + supervisor restart),
       // so pool parallelism and liveness are preserved.
       add_worker_locked();
+      if (rec_ != nullptr) {
+        obs::Event e;
+        e.kind = obs::EventKind::WorkerDeath;
+        e.payload = threads_.size();
+        rec_->emit(e);
+      }
       return;
     }
   }
@@ -127,6 +146,14 @@ void Scheduler::join_wait(TaskBase& target) {
   if (mode_ == SchedulerMode::Cooperative) {
     if (!target.done() && target.try_claim()) {
       inlined_.fetch_add(1, std::memory_order_relaxed);
+      if (rec_ != nullptr) {
+        obs::Event e;
+        e.kind = obs::EventKind::SchedInline;
+        const TaskBase* cur = current_task_or_null();
+        e.actor = cur != nullptr ? cur->uid() : 0;
+        e.target = target.uid();
+        rec_->emit(e);
+      }
       run_claimed(target);
       return;
     }
@@ -145,6 +172,7 @@ void Scheduler::join_wait(TaskBase& target) {
       if (!stop_ && threads_.size() - blocked_workers_ < target_parallelism_ &&
           threads_.size() < max_threads_) {
         add_worker_locked();
+        record_compensation_locked();
       }
     }
     target.wait_done();
@@ -162,6 +190,7 @@ void Scheduler::enter_blocking_region() {
   if (!stop_ && threads_.size() - blocked_workers_ < target_parallelism_ &&
       threads_.size() < max_threads_) {
     add_worker_locked();
+    record_compensation_locked();
   }
 }
 

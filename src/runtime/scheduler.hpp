@@ -32,8 +32,11 @@ class Scheduler {
   /// `injector` (may be nullptr) supplies worker-death faults: a worker
   /// asked to die exits at a task boundary and the pool respawns a
   /// replacement, modelling thread crash + supervisor restart.
+  /// `rec` (may be nullptr) records inline-help, compensation-growth and
+  /// worker-death incidents into the flight recorder.
   Scheduler(SchedulerMode mode, unsigned workers, unsigned max_threads,
-            FaultInjector* injector = nullptr);
+            FaultInjector* injector = nullptr,
+            obs::FlightRecorder* rec = nullptr);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -68,10 +71,14 @@ class Scheduler {
   void add_worker_locked();  // pre: mu_ held
   void note_task_done();
 
+  /// Records a compensation-worker spawn (pre: mu_ held, worker just added).
+  void record_compensation_locked();
+
   const SchedulerMode mode_;
   const unsigned target_parallelism_;
   const unsigned max_threads_;
   FaultInjector* const injector_;  // not owned; nullptr ⇒ no fault injection
+  obs::FlightRecorder* const rec_;  // not owned; nullptr ⇒ recording off
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -5,17 +5,32 @@
 #include <utility>
 
 #include "core/guarded.hpp"
+#include "core/policy_ids.hpp"
+#include "obs/recorder.hpp"
 
 namespace tj::runtime {
 
+namespace {
+/// Events quoted per stalled wait in a report.
+constexpr std::size_t kRecentEvents = 8;
+}  // namespace
+
 std::string StallReport::to_string() const {
   std::ostringstream os;
-  os << "[tj watchdog] " << stalled.size() << " stalled wait(s):\n";
+  os << "[tj watchdog] " << stalled.size() << " stalled wait(s)";
+  if (!policy_name.empty()) {
+    os << " under policy " << policy_name << " (id "
+       << static_cast<unsigned>(policy_id) << ")";
+  }
+  os << ":\n";
   for (const BlockedJoin& b : stalled) {
     os << "  task " << b.waiter << " blocked "
        << (b.on_promise ? "awaiting promise " : "joining task ") << b.target
        << " for " << b.blocked_for.count() << "ms (gate verdict: " << b.verdict
        << ")\n";
+    for (const std::string& ev : b.recent_events) {
+      os << "    " << ev << '\n';
+    }
   }
   if (cycles.empty()) {
     os << "  waits-for graph: acyclic (stall is external to the runtime's "
@@ -30,8 +45,9 @@ std::string StallReport::to_string() const {
   return os.str();
 }
 
-JoinWatchdog::JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate)
-    : cfg_(std::move(cfg)), gate_(gate) {
+JoinWatchdog::JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate,
+                           obs::FlightRecorder* rec)
+    : cfg_(std::move(cfg)), gate_(gate), rec_(rec) {
   thread_ = std::thread([this] { poll_loop(); });
 }
 
@@ -76,14 +92,36 @@ void JoinWatchdog::poll_loop() {
       if (blocked_for < stall || e.reported) continue;
       e.reported = true;
       report.stalled.push_back(
-          {waiter, e.target, e.on_promise, e.verdict, blocked_for});
+          {waiter, e.target, e.on_promise, e.verdict, blocked_for, {}});
     }
     if (report.stalled.empty()) continue;
     ++stalls_reported_;
     // The scan and the callback run unlocked: the gate has its own
     // synchronisation, and a slow callback must not delay join bookkeeping.
     lock.unlock();
+    report.policy_name = std::string(core::to_string(gate_.kind()));
+    report.policy_id = static_cast<std::uint8_t>(gate_.kind());
     report.cycles = gate_.graph().find_all_cycles();
+    if (rec_ != nullptr) {
+      // Quote the stalled parties' recent history: what the waiter (and,
+      // for task joins, the target) last did before going quiet.
+      for (StallReport::BlockedJoin& b : report.stalled) {
+        for (const obs::Event& e : rec_->recent(b.waiter, kRecentEvents)) {
+          b.recent_events.push_back(obs::to_string(e));
+        }
+        if (!b.on_promise) {
+          for (const obs::Event& e : rec_->recent(b.target, kRecentEvents)) {
+            b.recent_events.push_back(obs::to_string(e));
+          }
+        }
+      }
+      rec_->metrics().stall_reports.fetch_add(1, std::memory_order_relaxed);
+      obs::Event e;
+      e.kind = obs::EventKind::WatchdogStall;
+      e.actor = report.stalled.front().waiter;
+      e.payload = report.stalled.size();
+      rec_->emit(e);
+    }
     if (cfg_.on_stall) {
       cfg_.on_stall(report);
     } else {

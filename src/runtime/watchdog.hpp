@@ -27,6 +27,10 @@ namespace tj::core {
 class JoinGate;
 }
 
+namespace tj::obs {
+class FlightRecorder;
+}
+
 namespace tj::runtime {
 
 /// What the watchdog saw when it found stalled joins.
@@ -37,7 +41,15 @@ struct StallReport {
     bool on_promise = false;    ///< true: an await, target is a promise uid
     const char* verdict = "";   ///< gate verdict that admitted the wait
     std::chrono::milliseconds blocked_for{0};
+    /// Last recorded flight-recorder events naming the waiter or (for task
+    /// joins) the target, formatted one per entry. Empty when the flight
+    /// recorder is off.
+    std::vector<std::string> recent_events;
   };
+  /// Active join policy (core::to_string of the PolicyChoice) and its raw
+  /// enum value — which verifier's verdicts admitted the stalled waits.
+  std::string policy_name;
+  std::uint8_t policy_id = 0;
   std::vector<BlockedJoin> stalled;
   /// Task-level waits-for cycles found by the on-demand scan (normally
   /// empty: the policies prevent them; non-empty means the stall is a
@@ -60,7 +72,11 @@ struct WatchdogConfig {
 /// The sampler. Owned by the Runtime when cfg.watchdog.enabled.
 class JoinWatchdog {
  public:
-  JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate);
+  /// `rec` (may be nullptr) lets stall reports quote the last recorded
+  /// events of each stalled waiter/target, and mirrors every reported batch
+  /// into the event stream (EventKind::WatchdogStall).
+  JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate,
+               obs::FlightRecorder* rec = nullptr);
   ~JoinWatchdog();
   JoinWatchdog(const JoinWatchdog&) = delete;
   JoinWatchdog& operator=(const JoinWatchdog&) = delete;
@@ -91,6 +107,7 @@ class JoinWatchdog {
 
   const WatchdogConfig cfg_;
   const core::JoinGate& gate_;
+  obs::FlightRecorder* const rec_;  // not owned; nullptr ⇒ recording off
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -27,7 +27,7 @@ void WaitsForGraph::erase_edge_locked(NodeId from) {
 WaitVerdict WaitsForGraph::add_wait(NodeId waiter, NodeId target) {
   std::scoped_lock lock(mu_);
   if (!fast_path()) {
-    ++cycle_checks_;
+    cycle_checks_.fetch_add(1, std::memory_order_relaxed);
     if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
   }
   edges_[waiter] = Edge{target, EdgeKind::Approved};
@@ -36,7 +36,7 @@ WaitVerdict WaitsForGraph::add_wait(NodeId waiter, NodeId target) {
 
 WaitVerdict WaitsForGraph::add_probation_wait(NodeId waiter, NodeId target) {
   std::scoped_lock lock(mu_);
-  ++cycle_checks_;
+  cycle_checks_.fetch_add(1, std::memory_order_relaxed);
   if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
   edges_[waiter] = Edge{target, EdgeKind::Probation};
   ++probation_;
@@ -45,7 +45,7 @@ WaitVerdict WaitsForGraph::add_probation_wait(NodeId waiter, NodeId target) {
 
 WaitVerdict WaitsForGraph::add_checked_wait(NodeId waiter, NodeId target) {
   std::scoped_lock lock(mu_);
-  ++cycle_checks_;
+  cycle_checks_.fetch_add(1, std::memory_order_relaxed);
   if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
   edges_[waiter] = Edge{target, EdgeKind::Approved};
   return WaitVerdict::Added;
@@ -66,7 +66,7 @@ WaitVerdict WaitsForGraph::retarget_owner_edge(NodeId promise,
                                                NodeId new_owner) {
   std::scoped_lock lock(mu_);
   const auto it = edges_.find(promise);
-  ++cycle_checks_;
+  cycle_checks_.fetch_add(1, std::memory_order_relaxed);
   // The chain from new_owner reaching the promise node means new_owner
   // (transitively) waits on this very promise: re-pointing would deadlock it.
   if (closes_cycle(promise, new_owner)) return WaitVerdict::WouldDeadlock;

@@ -25,6 +25,7 @@
 // programs keep the unchecked fast path. Promise nodes share the NodeId
 // space via a reserved high bit (see promise_node_id).
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -87,8 +88,11 @@ class WaitsForGraph {
   std::size_t probation_count() const;
   std::size_t owner_edge_count() const;
 
-  /// Total cycle checks performed (for evaluation counters).
-  std::uint64_t cycle_checks() const { return cycle_checks_; }
+  /// Total cycle checks performed (for evaluation counters). Atomic so the
+  /// flight recorder can sample it before/after a scan without taking mu_.
+  std::uint64_t cycle_checks() const {
+    return cycle_checks_.load(std::memory_order_relaxed);
+  }
 
   /// The wait chain starting at `from` (follows out-edges until none).
   std::vector<NodeId> chain_from(NodeId from) const;
@@ -120,7 +124,7 @@ class WaitsForGraph {
   std::unordered_map<NodeId, Edge> edges_;  // guarded by mu_
   std::size_t probation_ = 0;               // guarded by mu_
   std::size_t owner_edges_ = 0;             // guarded by mu_
-  std::uint64_t cycle_checks_ = 0;          // guarded by mu_
+  std::atomic<std::uint64_t> cycle_checks_{0};  // relaxed; written under mu_
 };
 
 }  // namespace tj::wfg

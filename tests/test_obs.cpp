@@ -1,0 +1,368 @@
+// Unit tests for the flight-recorder building blocks: the SPSC ring
+// (wrap-around, drop-newest, concurrent peeking), the log2 latency
+// histogram (zero/max/overflow edges), the recorder itself (multi-thread
+// emission, drop accounting, drain ordering, recent()), the Chrome Trace
+// exporter, and the runtime integration (off by default; on-demand).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <chrono>
+
+#include "obs/export_chrome.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/ring_buffer.hpp"
+#include "runtime/api.hpp"
+#include "runtime/watchdog.hpp"
+
+namespace tj {
+namespace {
+
+// --- SpscRing -------------------------------------------------------------
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(obs::SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(obs::SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(obs::SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(obs::SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(obs::SpscRing<int>(9).capacity(), 16u);
+}
+
+TEST(SpscRing, RejectsWhenFullAndKeepsPrefix) {
+  obs::SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  // Drop-newest: the push fails, the buffered prefix is untouched.
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_EQ(ring.size(), 4u);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(SpscRing, WrapsAcrossManyPushPopCycles) {
+  obs::SpscRing<std::uint64_t> ring(8);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  // Interleave partial fills and drains so the indices wrap many times.
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    const std::size_t burst = 1 + static_cast<std::size_t>(cycle % 8);
+    for (std::size_t i = 0; i < burst; ++i) {
+      if (ring.try_push(next_push)) ++next_push;
+    }
+    const std::size_t drain = 1 + static_cast<std::size_t>((cycle * 3) % 8);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < drain && ring.try_pop(v); ++i) {
+      EXPECT_EQ(v, next_pop);  // FIFO order survives wrap-around
+      ++next_pop;
+    }
+  }
+  std::uint64_t v = 0;
+  while (ring.try_pop(v)) {
+    EXPECT_EQ(v, next_pop);
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, ForEachLiveSeesBufferedEntriesOldestFirst) {
+  obs::SpscRing<int> ring(4);
+  for (int i = 0; i < 3; ++i) ring.try_push(i);
+  int popped = 0;
+  ring.try_pop(popped);
+  std::vector<int> seen;
+  ring.for_each_live([&](const int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2}));
+}
+
+// --- LatencyHistogram -----------------------------------------------------
+
+TEST(LatencyHistogram, ZeroLandsInBucketZero) {
+  obs::LatencyHistogram h;
+  h.record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+}
+
+TEST(LatencyHistogram, BucketEdgesArePowersOfTwo) {
+  // bucket i covers [2^(i-1), 2^i): 1 → bucket 1, 2..3 → bucket 2, ...
+  EXPECT_EQ(obs::LatencyHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_index(2), 2u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_index(3), 2u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_index(4), 3u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_index((1u << 20) - 1), 20u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_index(1u << 20), 21u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_floor(0), 0u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_floor(1), 1u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_floor(21), 1u << 20);
+}
+
+TEST(LatencyHistogram, MaxValueCountsAsOverflowNotClamped) {
+  obs::LatencyHistogram h;
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  h.record(big);
+  h.record(std::uint64_t{1} << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.max_ns(), big);
+  EXPECT_EQ(h.min_ns(), std::uint64_t{1} << 62);
+}
+
+TEST(LatencyHistogram, QuantilesTrackTheDistribution) {
+  obs::LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(100);    // bucket 7: [64,128)
+  h.record(std::uint64_t{1} << 30);              // one outlier
+  EXPECT_EQ(h.approx_quantile_ns(0.5), 64u);
+  EXPECT_GE(h.approx_quantile_ns(1.0), std::uint64_t{1} << 29);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("count=100"), std::string::npos) << s;
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.approx_quantile_ns(0.99), 0u);
+}
+
+// --- FlightRecorder -------------------------------------------------------
+
+obs::Event make_event(obs::EventKind k, std::uint64_t actor,
+                      std::uint64_t target = 0) {
+  obs::Event e;
+  e.kind = k;
+  e.actor = actor;
+  e.target = target;
+  return e;
+}
+
+TEST(FlightRecorder, DrainMergesThreadsInSequenceOrder) {
+  obs::FlightRecorder rec({.enabled = true, .buffer_capacity = 1 << 12});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.emit(make_event(obs::EventKind::TaskStart,
+                            static_cast<std::uint64_t>(t)));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(rec.events_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(rec.events_dropped(), 0u);
+  EXPECT_EQ(rec.thread_count(), static_cast<std::size_t>(kThreads));
+  const std::vector<obs::Event> events = rec.drain();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);  // seqs are dense and sorted
+  }
+  // Drain consumed everything.
+  EXPECT_TRUE(rec.drain().empty());
+}
+
+TEST(FlightRecorder, FullRingDropsExplicitly) {
+  obs::FlightRecorder rec({.enabled = true, .buffer_capacity = 8});
+  for (int i = 0; i < 100; ++i) {
+    rec.emit(make_event(obs::EventKind::TaskStart, 1));
+  }
+  EXPECT_EQ(rec.events_recorded(), 8u);
+  EXPECT_EQ(rec.events_dropped(), 92u);
+  // The retained events are the oldest (drop-newest keeps the prefix).
+  const std::vector<obs::Event> events = rec.drain();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().seq, 0u);
+  EXPECT_EQ(events.back().seq, 7u);
+}
+
+TEST(FlightRecorder, RecentFiltersByActorOrTaskTarget) {
+  obs::FlightRecorder rec({.enabled = true, .buffer_capacity = 1 << 10});
+  rec.emit(make_event(obs::EventKind::TaskSpawn, 1, 2));
+  rec.emit(make_event(obs::EventKind::TaskStart, 2));
+  rec.emit(make_event(obs::EventKind::TaskStart, 3));
+  obs::Event pe = make_event(obs::EventKind::AwaitComplete, 4, 2);
+  pe.flags = obs::kFlagPromise;  // target is promise 2, not task 2
+  rec.emit(pe);
+  const std::vector<obs::Event> hits = rec.recent(2, 8);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].kind, obs::EventKind::TaskSpawn);
+  EXPECT_EQ(hits[1].kind, obs::EventKind::TaskStart);
+  // max_events keeps the MOST RECENT matches.
+  const std::vector<obs::Event> last = rec.recent(2, 1);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].kind, obs::EventKind::TaskStart);
+}
+
+TEST(FlightRecorder, TimestampsAreMonotonicPerThread) {
+  obs::FlightRecorder rec({.enabled = true, .buffer_capacity = 64});
+  for (int i = 0; i < 10; ++i) {
+    rec.emit(make_event(obs::EventKind::TaskStart, 1));
+  }
+  const std::vector<obs::Event> events = rec.drain();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t_ns, events[i - 1].t_ns);
+  }
+}
+
+// --- Chrome Trace export --------------------------------------------------
+
+TEST(ChromeExport, EmitsSlicesAndInstants) {
+  std::vector<obs::Event> events;
+  obs::Event start = make_event(obs::EventKind::TaskStart, 7);
+  start.seq = 0;
+  start.t_ns = 1000;
+  obs::Event blocked = make_event(obs::EventKind::JoinBlocked, 7, 9);
+  blocked.seq = 1;
+  blocked.t_ns = 5000;
+  blocked.payload = 2500;  // blocked for 2.5 µs ending at t_ns
+  obs::Event end = make_event(obs::EventKind::TaskEnd, 7);
+  end.seq = 2;
+  end.t_ns = 9000;
+  events = {start, blocked, end};
+  const std::string json = obs::to_chrome_json(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos) << json;
+  // The X slice starts when blocking began, not when it ended.
+  EXPECT_NE(json.find("\"ts\":2.500"), std::string::npos) << json;
+}
+
+// --- Runtime integration --------------------------------------------------
+
+TEST(RecorderRuntime, OffByDefaultCostsNothing) {
+  runtime::Runtime rt(runtime::Config{});
+  EXPECT_EQ(rt.recorder(), nullptr);
+  rt.root([] { runtime::async([] {}).join(); });
+}
+
+TEST(RecorderRuntime, RecordsLifecycleAndVerdicts) {
+  runtime::Config cfg;
+  cfg.policy = core::PolicyChoice::TJ_SP;
+  cfg.obs.enabled = true;
+  runtime::Runtime rt(cfg);
+  ASSERT_NE(rt.recorder(), nullptr);
+  rt.root([] {
+    auto a = runtime::async([] { return 1; });
+    auto b = runtime::async([] { return 2; });
+    (void)a.get();
+    (void)b.get();
+  });
+  const std::vector<obs::Event> events = rt.recorder()->drain();
+  ASSERT_FALSE(events.empty());
+  std::uint64_t inits = 0, spawns = 0, joins = 0, verdicts = 0, starts = 0;
+  for (const obs::Event& e : events) {
+    switch (e.kind) {
+      case obs::EventKind::TaskInit: ++inits; break;
+      case obs::EventKind::TaskSpawn: ++spawns; break;
+      case obs::EventKind::JoinComplete: ++joins; break;
+      case obs::EventKind::JoinVerdict: ++verdicts; break;
+      case obs::EventKind::TaskStart: ++starts; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(inits, 1u);
+  EXPECT_EQ(spawns, 2u);
+  EXPECT_EQ(joins, 2u);
+  EXPECT_EQ(verdicts, rt.gate_stats().joins_checked);
+  EXPECT_GE(starts, 3u);  // root + two children
+  EXPECT_EQ(rt.recorder()->events_dropped(), 0u);
+  // Verdict events carry the ruling policy id.
+  for (const obs::Event& e : events) {
+    if (e.kind == obs::EventKind::JoinVerdict) {
+      EXPECT_EQ(e.policy,
+                static_cast<std::uint8_t>(core::PolicyChoice::TJ_SP));
+      EXPECT_EQ(e.detail,
+                static_cast<std::uint8_t>(core::JoinDecision::Proceed));
+    }
+  }
+  // Blocked-join wall time lands in the metrics registry, not just events.
+  const obs::Metrics& m = rt.recorder()->metrics();
+  EXPECT_EQ(m.policy_check_ns.count(), rt.gate_stats().joins_checked);
+}
+
+TEST(RecorderRuntime, StallReportCarriesPolicyAndRecentEvents) {
+  runtime::StallReport report;
+  report.policy_name = "TJ-SP";
+  report.policy_id = static_cast<std::uint8_t>(core::PolicyChoice::TJ_SP);
+  report.stalled.push_back(
+      {1, 2, false, "proceed", std::chrono::milliseconds(250),
+       {"[12 @95000] join-blocked 1->2"}});
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("under policy TJ-SP (id"), std::string::npos) << text;
+  EXPECT_NE(text.find("join-blocked 1->2"), std::string::npos) << text;
+}
+
+TEST(RecorderRuntime, WatchdogReportQuotesRecordedHistoryLive) {
+  // Synthetic external stall (as in test_watchdog) with the recorder on:
+  // the report must name the active policy and quote the stalled parties'
+  // recorded events, pulled concurrently from the live rings.
+  std::mutex mu;
+  std::vector<runtime::StallReport> reports;
+  std::atomic<bool> release{false};
+
+  runtime::Config cfg;
+  cfg.policy = core::PolicyChoice::TJ_SP;
+  cfg.scheduler = runtime::SchedulerMode::Blocking;
+  cfg.workers = 2;
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.poll_ms = 5;
+  cfg.watchdog.stall_ms = 25;
+  cfg.watchdog.on_stall = [&](const runtime::StallReport& r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reports.push_back(r);
+    }
+    release.store(true, std::memory_order_release);
+  };
+  cfg.obs.enabled = true;
+  runtime::Runtime rt(cfg);
+
+  std::thread safety([&release] {
+    for (int i = 0; i < 2000 && !release.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    release.store(true, std::memory_order_release);
+  });
+  rt.root([&] {
+    auto stuck = runtime::async([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      return 9;
+    });
+    EXPECT_EQ(stuck.get(), 9);
+  });
+  safety.join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(reports.size(), 1u);
+  EXPECT_EQ(reports[0].policy_name, "TJ-SP");
+  EXPECT_EQ(reports[0].policy_id,
+            static_cast<std::uint8_t>(core::PolicyChoice::TJ_SP));
+  ASSERT_GE(reports[0].stalled.size(), 1u);
+  // The waiter forked the stuck task and the stuck task started: at least
+  // those events name the stalled parties.
+  EXPECT_FALSE(reports[0].stalled[0].recent_events.empty());
+  const obs::Metrics& m = rt.recorder()->metrics();
+  EXPECT_GE(m.stall_reports.load(), 1u);
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,151 @@
+// The record→export→parse→replay round-trip property: a live run recorded
+// by the flight recorder, bridged back to the offline notation
+// (obs/replay_bridge), serialized as text and re-parsed, must (a) lose no
+// events, (b) re-parse to the identical trace, and (c) replay through the
+// offline judgments with the same verdicts the gate issued live. TJ and KJ
+// judgments are monotone in the trace prefix, so a join the gate admitted
+// live (Proceed) must be valid at its position in the completed trace —
+// live-Proceed everywhere ⇒ offline TJ-valid. Checked for all six paper
+// benchmarks under both scheduler modes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "obs/replay_bridge.hpp"
+#include "runtime/api.hpp"
+#include "trace/deadlock.hpp"
+#include "trace/owp_judgment.hpp"
+#include "trace/parse.hpp"
+#include "trace/validity.hpp"
+
+namespace tj {
+namespace {
+
+runtime::Config observed(runtime::SchedulerMode mode) {
+  runtime::Config cfg;
+  cfg.policy = core::PolicyChoice::TJ_SP;
+  cfg.scheduler = mode;
+  cfg.obs.enabled = true;
+  return cfg;
+}
+
+void expect_reparses_identically(const trace::Trace& t) {
+  const std::string text = obs::to_trace_text(t, "round-trip test");
+  const trace::Trace reparsed = trace::parse_trace(text);
+  ASSERT_EQ(reparsed.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(reparsed[i], t[i]) << "action " << i << " of:\n" << text;
+  }
+}
+
+using AppCase = std::tuple<const char*, runtime::SchedulerMode>;
+
+class ObsRoundTrip : public ::testing::TestWithParam<AppCase> {};
+
+TEST_P(ObsRoundTrip, LiveVerdictsAgreeWithOfflineJudgments) {
+  const auto& [name, mode] = GetParam();
+  const apps::AppInfo* app = apps::find_app(name);
+  ASSERT_NE(app, nullptr);
+
+  runtime::Runtime rt(observed(mode));
+  const apps::AppOutcome out = app->run(rt, apps::AppSize::Tiny);
+  EXPECT_TRUE(out.valid) << out.detail;
+
+  ASSERT_NE(rt.recorder(), nullptr);
+  EXPECT_EQ(rt.recorder()->events_dropped(), 0u) << "event loss breaks replay";
+  const std::vector<obs::Event> events = rt.recorder()->drain();
+
+  // Every gate ruling was recorded, and (the paper's six apps are all
+  // TJ-admissible) every ruling admitted the join outright.
+  const core::GateStats stats = rt.gate_stats();
+  std::uint64_t verdict_events = 0;
+  for (const obs::Event& e : events) {
+    if (e.kind != obs::EventKind::JoinVerdict) continue;
+    ++verdict_events;
+    EXPECT_EQ(e.detail, static_cast<std::uint8_t>(core::JoinDecision::Proceed));
+    EXPECT_EQ(e.policy, static_cast<std::uint8_t>(core::PolicyChoice::TJ_SP));
+  }
+  EXPECT_EQ(verdict_events, stats.joins_checked);
+  EXPECT_EQ(stats.policy_rejections, 0u);
+
+  // Bridge to the offline notation: complete, and faithful through text.
+  const obs::RecordedRun run = obs::extract_run(events);
+  EXPECT_EQ(run.skipped_events, 0u);
+  EXPECT_EQ(run.trace.fork_count() + 1, rt.tasks_created());
+  EXPECT_EQ(run.trace.join_count(), stats.joins_checked);
+  ASSERT_EQ(run.verdicts.size(), stats.joins_checked);
+  for (const obs::RecordedRun::Verdict& v : run.verdicts) {
+    EXPECT_FALSE(v.is_await);
+    EXPECT_EQ(v.decision, static_cast<std::uint8_t>(core::JoinDecision::Proceed));
+  }
+  expect_reparses_identically(run.trace);
+
+  // Offline replay: the judgments must agree with the live verdicts. TJ
+  // validity of the whole trace certifies every live Proceed (monotonicity);
+  // Theorem 3.11 then promises the recorded joins contain no cycle.
+  EXPECT_TRUE(trace::is_structurally_valid(run.trace));
+  EXPECT_TRUE(trace::is_tj_valid(run.trace));
+  EXPECT_FALSE(trace::contains_deadlock(run.trace));
+  if (app->kj_valid) {
+    EXPECT_TRUE(trace::is_kj_valid(run.trace));
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<AppCase>& info) {
+  return std::string(std::get<0>(info.param)) + "_" +
+         std::string(runtime::to_string(std::get<1>(info.param)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SixApps, ObsRoundTrip,
+    ::testing::Combine(
+        ::testing::Values("jacobi", "smithwaterman", "crypt", "strassen",
+                          "series", "nqueens"),
+        ::testing::Values(runtime::SchedulerMode::Cooperative,
+                          runtime::SchedulerMode::Blocking)),
+    case_name);
+
+// Promise actions round-trip too: a deterministic dataflow run records
+// make/transfer/fulfill/await, bridges them into the extended notation, and
+// replays OWP-valid offline — agreeing with the live gate, which admitted
+// every await/fulfill.
+TEST(ObsRoundTripPromises, DataflowReplaysOwpValid) {
+  runtime::Runtime rt(observed(runtime::SchedulerMode::Cooperative));
+  rt.root([] {
+    auto p = runtime::make_promise<int>();
+    auto q = runtime::make_promise<int>();
+    auto owner_p = runtime::async_owning(p, [p] { p.fulfill(1); });
+    auto owner_q = runtime::async_owning(
+        q, [q, p] { q.fulfill(p.get() + 1); });
+    EXPECT_EQ(q.get(), 2);
+    owner_p.join();
+    owner_q.join();
+  });
+
+  EXPECT_EQ(rt.recorder()->events_dropped(), 0u);
+  const std::vector<obs::Event> events = rt.recorder()->drain();
+  std::uint64_t await_verdicts = 0, fulfill_verdicts = 0;
+  for (const obs::Event& e : events) {
+    if (e.kind == obs::EventKind::AwaitVerdict) ++await_verdicts;
+    if (e.kind == obs::EventKind::FulfillVerdict) ++fulfill_verdicts;
+  }
+  EXPECT_GE(await_verdicts, 2u);   // p.get() inside owner_q, q.get() in root
+  EXPECT_EQ(fulfill_verdicts, 2u);
+
+  const obs::RecordedRun run = obs::extract_run(events);
+  EXPECT_EQ(run.skipped_events, 0u);
+  const trace::Trace& t = run.trace;
+  EXPECT_EQ(t.make_count(), 2u);
+  EXPECT_GE(t.await_count(), 2u);
+  expect_reparses_identically(t);
+  EXPECT_TRUE(trace::is_structurally_valid(t));
+  EXPECT_TRUE(trace::is_owp_valid(t));
+  EXPECT_FALSE(trace::contains_deadlock(t));
+}
+
+}  // namespace
+}  // namespace tj

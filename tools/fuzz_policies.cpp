@@ -6,9 +6,11 @@
 // witness and prints it in parseable notation.
 //
 //   fuzz_policies [--iterations=N] [--tasks=N] [--joins=N] [--promises=N]
-//                 [--ops=N] [--seed=S]
+//                 [--ops=N] [--seed=S] [--record=DIR]
 //
 // Runs forever-ish by default budget (10k traces); exit 0 = no discrepancy.
+// With --record=DIR, any discrepancy is also dumped to DIR as parseable
+// trace files (full + minimized witness) replayable through trace_check.
 //
 // Chaos mode: --fault-seed=S switches from trace fuzzing to driving the
 // *live runtime* under the deterministic fault-injection layer
@@ -16,16 +18,21 @@
 // ... across both scheduler modes (default 64 plans; override with
 // --iterations=N). Each run must terminate, resolve every future/promise,
 // and reconcile gate statistics — the same invariants the chaos tests
-// assert, fuzzable over an unbounded seed range.
+// assert, fuzzable over an unbounded seed range. With --record=DIR the
+// runs execute under the flight recorder, and a violating run's event
+// stream is bridged back to the offline trace format and dumped to DIR.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/owp_replay.hpp"
+#include "obs/replay_bridge.hpp"
 #include "core/verifier.hpp"
 #include "runtime/api.hpp"
 #include "trace/deadlock.hpp"
@@ -50,7 +57,24 @@ struct Options {
   std::uint32_t promises = 8;
   std::uint32_t ops = 32;
   std::uint64_t seed = 12345;
+  std::string record_dir;  ///< non-empty: dump discrepancy witnesses here
 };
+
+// Writes a replayable witness file under the --record directory; failures
+// to record never mask the discrepancy exit code, they just warn.
+void record_witness(const std::string& dir, const std::string& name,
+                    const std::string& text) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path);
+  if (!out || !(out << text)) {
+    std::fprintf(stderr, "warning: could not record witness to %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "witness recorded: %s\n", path.c_str());
+}
 
 // Replays the trace through a verifier; returns per-task nodes.
 struct Replay {
@@ -208,14 +232,18 @@ std::string check_all(const Trace& t) {
 }
 
 // Chaos mode: one live-runtime run under a deterministic FaultPlan.
-// Returns an explanation of the first violated invariant, or "".
-std::string check_fault_plan(std::uint64_t seed, runtime::SchedulerMode mode) {
+// Returns an explanation of the first violated invariant, or "". With a
+// record dir, the run executes under the flight recorder and a violating
+// run's recorded events are bridged into an offline trace file.
+std::string check_fault_plan(std::uint64_t seed, runtime::SchedulerMode mode,
+                             const std::string& record_dir) {
   runtime::Config cfg;
   cfg.policy = core::PolicyChoice::TJ_SP;
   cfg.fault = core::FaultMode::Fallback;
   cfg.scheduler = mode;
   cfg.workers = 3;
   cfg.fault_plan = runtime::FaultPlan::chaos(seed);
+  cfg.obs.enabled = !record_dir.empty();
   runtime::Runtime rt(cfg);
 
   constexpr int kFanout = 16;
@@ -262,21 +290,23 @@ std::string check_fault_plan(std::uint64_t seed, runtime::SchedulerMode mode) {
   });
 
   char buf[160];
+  std::string why;
   if (futures_resolved != kFanout || promises_resolved != kPromises) {
     std::snprintf(buf, sizeof buf, "lost results: futures %u/%d promises %u/%d",
                   futures_resolved, kFanout, promises_resolved, kPromises);
-    return buf;
+    why = buf;
   }
   const core::GateStats s = rt.gate_stats();
   const runtime::FaultStats fi = rt.fault_stats();
-  if (s.policy_rejections != fi.join_rejections) {
+  if (why.empty() && s.policy_rejections != fi.join_rejections) {
     std::snprintf(buf, sizeof buf, "join rejections %llu != injected %llu",
                   static_cast<unsigned long long>(s.policy_rejections),
                   static_cast<unsigned long long>(fi.join_rejections));
-    return buf;
+    why = buf;
   }
-  if (s.policy_rejections + s.owp_rejections !=
-      s.false_positives + s.owp_false_positives + s.deadlocks_averted) {
+  if (why.empty() &&
+      s.policy_rejections + s.owp_rejections !=
+          s.false_positives + s.owp_false_positives + s.deadlocks_averted) {
     std::snprintf(buf, sizeof buf,
                   "unreconciled rejections: %llu+%llu != %llu+%llu+%llu",
                   static_cast<unsigned long long>(s.policy_rejections),
@@ -284,18 +314,30 @@ std::string check_fault_plan(std::uint64_t seed, runtime::SchedulerMode mode) {
                   static_cast<unsigned long long>(s.false_positives),
                   static_cast<unsigned long long>(s.owp_false_positives),
                   static_cast<unsigned long long>(s.deadlocks_averted));
-    return buf;
+    why = buf;
   }
-  return "";
+  if (!why.empty() && rt.recorder() != nullptr) {
+    // Bridge the recorded run back into the offline notation so the failing
+    // schedule can be replayed through trace_check / the offline judgments.
+    const obs::RecordedRun run = obs::extract_run(rt.recorder()->drain());
+    char name[96];
+    std::snprintf(name, sizeof name, "fault-%llu-%s.trace",
+                  static_cast<unsigned long long>(seed),
+                  std::string(to_string(mode)).c_str());
+    record_witness(record_dir, name,
+                   obs::to_trace_text(run.trace, "chaos violation: " + why));
+  }
+  return why;
 }
 
-int run_fault_plan_sweep(std::uint64_t first_seed, std::uint64_t plans) {
+int run_fault_plan_sweep(std::uint64_t first_seed, std::uint64_t plans,
+                         const std::string& record_dir) {
   for (std::uint64_t i = 0; i < plans; ++i) {
     const std::uint64_t seed = first_seed + i;
     for (const runtime::SchedulerMode mode :
          {runtime::SchedulerMode::Cooperative,
           runtime::SchedulerMode::Blocking}) {
-      const std::string why = check_fault_plan(seed, mode);
+      const std::string why = check_fault_plan(seed, mode, record_dir);
       if (!why.empty()) {
         std::fprintf(stderr,
                      "FAULT-PLAN VIOLATION seed=%llu scheduler=%s: %s\n",
@@ -344,6 +386,8 @@ int main(int argc, char** argv) {
       o.ops = static_cast<std::uint32_t>(std::atoi(vo));
     } else if (const char* v4 = val("--seed=")) {
       o.seed = std::strtoull(v4, nullptr, 10);
+    } else if (const char* vr = val("--record=")) {
+      o.record_dir = vr;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -352,7 +396,8 @@ int main(int argc, char** argv) {
 
   if (fault_mode) {
     // Trace-fuzz iteration budgets are far too large for live runtime runs.
-    return run_fault_plan_sweep(fault_seed, iterations_set ? o.iterations : 64);
+    return run_fault_plan_sweep(fault_seed, iterations_set ? o.iterations : 64,
+                                o.record_dir);
   }
 
   for (std::uint64_t i = 0; i < o.iterations; ++i) {
@@ -388,6 +433,17 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(i), why.c_str());
       std::fprintf(stderr, "minimized witness: %s\n",
                    min.to_string().c_str());
+      if (!o.record_dir.empty()) {
+        char name[96];
+        std::snprintf(name, sizeof name, "discrepancy-%llu.trace",
+                      static_cast<unsigned long long>(seed));
+        record_witness(o.record_dir, name,
+                       obs::to_trace_text(t, "discrepancy: " + why));
+        std::snprintf(name, sizeof name, "discrepancy-%llu-min.trace",
+                      static_cast<unsigned long long>(seed));
+        record_witness(o.record_dir, name,
+                       obs::to_trace_text(min, "minimized witness: " + why));
+      }
       return 1;
     }
     if ((i + 1) % 1000 == 0) {

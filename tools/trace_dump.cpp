@@ -1,0 +1,239 @@
+// trace_dump: run one benchmark app with the flight recorder enabled and
+// export what it saw — a Chrome Trace / Perfetto timeline, the offline
+// trace (Definition 3.1 notation, replayable through trace_check), the
+// metrics registry, or the raw event stream.
+//
+//   $ trace_dump --app=series --size=tiny --trace=-   | trace_check -
+//   $ trace_dump --app=nqueens --chrome=nqueens.json  # open in Perfetto
+//   $ trace_dump --app=jacobi --metrics --events
+//
+// Exit code: 0 on success, 1 if the app self-check fails or events were
+// dropped while an export needing a complete stream (--trace) was
+// requested, 2 on bad usage.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "core/policy_ids.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/replay_bridge.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+struct Options {
+  std::string app = "series";
+  tj::apps::AppSize size = tj::apps::AppSize::Tiny;
+  tj::core::PolicyChoice policy = tj::core::PolicyChoice::TJ_SP;
+  tj::runtime::SchedulerMode scheduler =
+      tj::runtime::SchedulerMode::Cooperative;
+  unsigned workers = 0;
+  std::size_t buffer = std::size_t{1} << 16;
+  std::string chrome_path;  ///< --chrome=<file>: Chrome Trace JSON
+  std::string trace_path;   ///< --trace=<file|->: offline trace text
+  bool print_metrics = false;
+  bool print_events = false;
+};
+
+int usage(std::ostream& os) {
+  os << "usage: trace_dump --app=<name> [options]\n"
+        "  --app=<name>          benchmark app (see --list)\n"
+        "  --size=tiny|small|medium|large   problem size (default tiny)\n"
+        "  --policy=<p>          TJ-GT|TJ-JP|TJ-SP|KJ-VC|KJ-SS|cycle-only|"
+        "none (default TJ-SP)\n"
+        "  --scheduler=cooperative|blocking (default cooperative)\n"
+        "  --workers=N           worker threads (default hardware)\n"
+        "  --buffer=N            per-thread event capacity (default 65536)\n"
+        "  --chrome=<file>       write Chrome Trace / Perfetto JSON\n"
+        "  --trace=<file|->      write the offline trace (trace_check "
+        "syntax)\n"
+        "  --metrics             print the metrics registry\n"
+        "  --events              print every recorded event\n"
+        "  --list                list available apps and exit\n";
+  return 2;
+}
+
+bool parse_policy(const std::string& s, tj::core::PolicyChoice& out) {
+  using tj::core::PolicyChoice;
+  for (PolicyChoice p :
+       {PolicyChoice::None, PolicyChoice::TJ_GT, PolicyChoice::TJ_JP,
+        PolicyChoice::TJ_SP, PolicyChoice::KJ_VC, PolicyChoice::KJ_SS,
+        PolicyChoice::CycleOnly}) {
+    if (s == tj::core::to_string(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_size(const std::string& s, tj::apps::AppSize& out) {
+  using tj::apps::AppSize;
+  for (AppSize z :
+       {AppSize::Tiny, AppSize::Small, AppSize::Medium, AppSize::Large}) {
+    if (s == tj::apps::to_string(z)) {
+      out = z;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "trace_dump: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") return usage(std::cout), 0;
+    if (arg == "--list") {
+      for (const tj::apps::AppInfo& a : tj::apps::all_apps()) {
+        std::cout << a.name << (a.extra ? " (extra)" : "") << " — "
+                  << a.description << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--metrics") {
+      opt.print_metrics = true;
+    } else if (arg == "--events") {
+      opt.print_events = true;
+    } else if (const char* v = val("--app=")) {
+      opt.app = v;
+    } else if (const char* v = val("--size=")) {
+      if (!parse_size(v, opt.size)) {
+        std::cerr << "trace_dump: unknown size '" << v << "'\n";
+        return 2;
+      }
+    } else if (const char* v = val("--policy=")) {
+      if (!parse_policy(v, opt.policy)) {
+        std::cerr << "trace_dump: unknown policy '" << v << "'\n";
+        return 2;
+      }
+    } else if (const char* v = val("--scheduler=")) {
+      const std::string s = v;
+      if (s == "cooperative") {
+        opt.scheduler = tj::runtime::SchedulerMode::Cooperative;
+      } else if (s == "blocking") {
+        opt.scheduler = tj::runtime::SchedulerMode::Blocking;
+      } else {
+        std::cerr << "trace_dump: unknown scheduler '" << s << "'\n";
+        return 2;
+      }
+    } else if (const char* v = val("--workers=")) {
+      opt.workers = static_cast<unsigned>(std::stoul(v));
+    } else if (const char* v = val("--buffer=")) {
+      opt.buffer = static_cast<std::size_t>(std::stoull(v));
+    } else if (const char* v = val("--chrome=")) {
+      opt.chrome_path = v;
+    } else if (const char* v = val("--trace=")) {
+      opt.trace_path = v;
+    } else {
+      std::cerr << "trace_dump: unknown flag " << arg << "\n";
+      return usage(std::cerr);
+    }
+  }
+
+  const tj::apps::AppInfo* app = tj::apps::find_app(opt.app);
+  if (app == nullptr) {
+    std::cerr << "trace_dump: unknown app '" << opt.app
+              << "' (try --list)\n";
+    return 2;
+  }
+
+  tj::runtime::Config cfg;
+  cfg.policy = opt.policy;
+  cfg.scheduler = opt.scheduler;
+  cfg.workers = opt.workers;
+  cfg.obs.enabled = true;
+  cfg.obs.buffer_capacity = opt.buffer;
+
+  tj::apps::AppOutcome outcome;
+  std::vector<tj::obs::Event> events;
+  std::uint64_t dropped = 0;
+  std::size_t threads = 0;
+  std::string metrics_text;
+  {
+    tj::runtime::Runtime rt(cfg);
+    outcome = app->run(rt, opt.size);
+    // The runtime quiesces between top-level calls, so the drain below sees
+    // the complete stream; destruction would discard it.
+    tj::obs::FlightRecorder* rec = rt.recorder();
+    events = rec->drain();
+    dropped = rec->events_dropped();
+    threads = rec->thread_count();
+    metrics_text = rec->metrics().to_string();
+  }
+
+  // Summary goes to stderr so `--trace=- | trace_check -` stays clean.
+  std::cerr << "trace_dump: " << app->name << "/" << tj::apps::to_string(opt.size)
+            << " policy=" << tj::core::to_string(opt.policy)
+            << " scheduler=" << tj::runtime::to_string(opt.scheduler)
+            << ": " << events.size() << " events from " << threads
+            << " thread(s), " << dropped << " dropped; app "
+            << (outcome.valid ? "valid" : "INVALID") << " (" << outcome.detail
+            << ")\n";
+
+  if (opt.print_events) {
+    for (const tj::obs::Event& e : events) {
+      std::cout << tj::obs::to_string(e) << "\n";
+    }
+  }
+  if (opt.print_metrics) std::cout << metrics_text;
+
+  if (!opt.chrome_path.empty() &&
+      !write_file(opt.chrome_path, tj::obs::to_chrome_json(events))) {
+    return 2;
+  }
+
+  if (!opt.trace_path.empty()) {
+    if (dropped != 0) {
+      // A trace with holes parses but lies; refuse rather than mislead the
+      // offline checker.
+      std::cerr << "trace_dump: refusing to bridge an incomplete stream ("
+                << dropped << " events dropped; raise --buffer)\n";
+      return 1;
+    }
+    const tj::obs::RecordedRun run = tj::obs::extract_run(events);
+    std::ostringstream header;
+    header << "recorded live run: app=" << app->name
+           << " size=" << tj::apps::to_string(opt.size)
+           << " policy=" << tj::core::to_string(opt.policy)
+           << " scheduler=" << tj::runtime::to_string(opt.scheduler)
+           << " events=" << events.size() << " verdicts="
+           << run.verdicts.size();
+    if (!write_file(opt.trace_path,
+                    tj::obs::to_trace_text(run.trace, header.str()))) {
+      return 2;
+    }
+    if (run.skipped_events != 0) {
+      std::cerr << "trace_dump: " << run.skipped_events
+                << " structural event(s) skipped during bridging\n";
+      return 1;
+    }
+  }
+
+  return outcome.valid ? 0 : 1;
+}
