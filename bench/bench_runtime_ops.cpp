@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <vector>
 
 #include "runtime/api.hpp"
@@ -134,7 +135,76 @@ void bench_join_chain_recorder_on(benchmark::State& state) {
                           static_cast<std::int64_t>(kTasks));
 }
 
+// Governor-idle overhead: the fork-all-join-all workload with the resource
+// governor enabled but every budget unlimited, so it polls (every 5 ms) and
+// never trips. The steady-state cost has two parts: the ladder verifier's
+// extra virtual hop + level/forest tag per node on every policy check, and
+// the sampler thread's periodic footprint probe. Compare against
+// RuntimeOps/ForkAllJoinAll10k/tj-gt — the ratio is the price of keeping
+// the degradation machinery armed.
+void bench_join_chain_governor_idle(benchmark::State& state) {
+  const std::size_t kTasks = 10'000;
+  Config cfg;
+  cfg.policy = PolicyChoice::TJ_GT;
+  cfg.governor.enabled = true;
+  cfg.governor.poll_ms = 5;  // budgets stay 0 = unlimited: never trips
+  Runtime rt(cfg);
+  rt.root([&state, kTasks] {
+    for (auto _ : state) {
+      std::vector<Future<int>> fs;
+      fs.reserve(kTasks);
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        fs.push_back(tj::runtime::async([] { return 1; }));
+      }
+      int acc = 0;
+      for (const auto& f : fs) acc += f.get();
+      benchmark::DoNotOptimize(acc);
+    }
+  });
+  state.SetLabel("tj-gt+governor-idle");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks));
+}
+
+// Deadline-join overhead: identical workload, but every join goes through
+// get_for() with a deadline that never expires. The completed-join fast
+// path is deadline-free; only joins that actually block pay for the timed
+// wait (a wait_for loop instead of wait, plus the withdraw-on-timeout
+// bookkeeping that never runs here). Compare against
+// RuntimeOps/ForkAllJoinAll10k/tj-sp: the delta is what `join_for` costs
+// when you use it everywhere as a hang-proofing idiom.
+void bench_join_chain_deadline_join(benchmark::State& state) {
+  const std::size_t kTasks = 10'000;
+  Runtime rt({.policy = PolicyChoice::TJ_SP});
+  rt.root([&state, kTasks] {
+    for (auto _ : state) {
+      std::vector<Future<int>> fs;
+      fs.reserve(kTasks);
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        fs.push_back(tj::runtime::async([] { return 1; }));
+      }
+      int acc = 0;
+      for (const auto& f : fs) {
+        auto v = f.get_for(std::chrono::seconds(60));
+        acc += v ? *v : 0;
+      }
+      benchmark::DoNotOptimize(acc);
+    }
+  });
+  state.SetLabel("tj-sp+join_for");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks));
+}
+
 void register_all() {
+  benchmark::RegisterBenchmark("RuntimeOps/ForkAllJoinAll10k/governor-idle",
+                               bench_join_chain_governor_idle)
+      ->Iterations(3)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("RuntimeOps/ForkAllJoinAll10k/join_for",
+                               bench_join_chain_deadline_join)
+      ->Iterations(3)
+      ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("RuntimeOps/ForkAllJoinAll10k/watchdog-idle",
                                bench_join_chain_watchdog_idle)
       ->Iterations(3)

@@ -7,11 +7,15 @@
 # Usage: scripts/ci.sh                 # release + tsan
 #        PRESETS="release" scripts/ci.sh   # subset
 #        CHAOS=0 scripts/ci.sh         # skip the chaos stage
+#        ASAN=0 scripts/ci.sh          # skip the asan stage
+#        SOAK=0 scripts/ci.sh          # skip the long-lived soak stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 PRESETS="${PRESETS:-release tsan}"
 CHAOS="${CHAOS:-1}"
+ASAN="${ASAN:-1}"
+SOAK="${SOAK:-1}"
 
 for p in $PRESETS; do
   echo "== [$p] configure"
@@ -52,6 +56,33 @@ if [[ "$CHAOS" == "1" ]] && [[ " $PRESETS " == *" tsan "* ]]; then
         --output-on-failure -j"$(nproc)"
   echo "== [chaos] fault-plan fuzz"
   ./build-tsan/tools/fuzz_policies --fault-seed=1 --iterations=48
+  echo "== [chaos] governor budget-chaos fuzz"
+  ./build-tsan/tools/fuzz_policies --fault-seed=1 --budget-chaos --iterations=8
+fi
+
+# Soak stage: every app plus the promise-dataflow pattern cycling through ONE
+# long-lived runtime under tight governor budgets and an armed chaos plan —
+# the graceful-degradation acceptance test (no hangs, no lost results,
+# monotone downgrades, reconciled gate stats, bounded RSS). ~25 s wall.
+if [[ "$SOAK" == "1" ]] && [[ " $PRESETS " == *" release "* ]]; then
+  echo "== [soak] degradation soak, both schedulers, chaos armed"
+  ./build/tools/soak --seconds=10 --fault-seed=7
+fi
+
+# ASan stage: a targeted address/UB-sanitizer pass over the subsystems that
+# juggle raw policy-node and promise-state lifetimes under faults and
+# degradation (governor/ladder downgrades, KJ-VC epoch GC compaction,
+# injected worker death + redelivery, inline-spawn accounting). The tsan
+# preset cannot see heap-use-after-free; this stage exists for exactly that.
+if [[ "$ASAN" == "1" ]]; then
+  echo "== [asan] configure + build"
+  cmake --preset asan
+  cmake --build --preset asan -j"$(nproc)"
+  echo "== [asan] governor + fault-injection + recovery tests"
+  ctest --preset asan -R 'Governor|Ladder|DeadlineJoin|Backpressure|WatchdogDegradation|FaultInjection|Recovery' \
+        --output-on-failure -j"$(nproc)"
+  echo "== [asan] soak smoke"
+  ./build-asan/tools/soak --seconds=6 --fault-seed=7
 fi
 
 echo "ci: all presets green ($PRESETS)"

@@ -30,7 +30,7 @@ void crypt_phase(std::vector<std::uint8_t>& data, std::size_t n_tasks,
 
 }  // namespace
 
-CryptResult run_crypt(runtime::Runtime& rt, const CryptParams& p) {
+CryptResult run_crypt_nested(const CryptParams& p) {
   std::vector<std::uint8_t> data(p.bytes - p.bytes % idea::kBlockBytes);
   std::mt19937_64 rng(p.seed);
   for (auto& b : data) b = static_cast<std::uint8_t>(rng());
@@ -42,17 +42,21 @@ CryptResult run_crypt(runtime::Runtime& rt, const CryptParams& p) {
   const idea::KeySchedule dec = idea::decrypt_schedule(enc);
 
   CryptResult out;
-  rt.root([&] {
-    crypt_phase(data, p.tasks_per_phase, enc);
-    // FNV-1a over the ciphertext so validation covers the encrypt phase too.
-    std::uint64_t h = 1469598103934665603ull;
-    for (std::uint8_t b : data) {
-      h = (h ^ b) * 1099511628211ull;
-    }
-    out.ciphertext_checksum = h;
-    crypt_phase(data, p.tasks_per_phase, dec);
-  });
+  crypt_phase(data, p.tasks_per_phase, enc);
+  // FNV-1a over the ciphertext so validation covers the encrypt phase too.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : data) {
+    h = (h ^ b) * 1099511628211ull;
+  }
+  out.ciphertext_checksum = h;
+  crypt_phase(data, p.tasks_per_phase, dec);
   out.roundtrip_ok = (data == original);
+  return out;
+}
+
+CryptResult run_crypt(runtime::Runtime& rt, const CryptParams& p) {
+  CryptResult out;
+  rt.root([&] { out = run_crypt_nested(p); });
   out.tasks = rt.tasks_created();
   return out;
 }

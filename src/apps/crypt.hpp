@@ -32,4 +32,7 @@ struct CryptResult {
 
 CryptResult run_crypt(runtime::Runtime& rt, const CryptParams& p);
 
+/// Same computation from within an existing task context (tasks left 0).
+CryptResult run_crypt_nested(const CryptParams& p);
+
 }  // namespace tj::apps

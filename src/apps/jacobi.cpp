@@ -44,14 +44,14 @@ double interior_sum(const std::vector<double>& g, std::size_t n) {
 
 }  // namespace
 
-JacobiResult run_jacobi(runtime::Runtime& rt, const JacobiParams& p) {
+JacobiResult run_jacobi_nested(const JacobiParams& p) {
   using runtime::Future;
   const std::size_t n = p.n;
   const std::size_t nb = p.blocks;
   const std::size_t w = n + 2;
 
   JacobiResult out;
-  out.checksum = rt.root([&] {
+  out.checksum = [&] {
     std::vector<double> a = initial_grid(n);
     std::vector<double> b = a;
     std::vector<Future<void>> prev;  // empty before the first iteration
@@ -92,7 +92,13 @@ JacobiResult run_jacobi(runtime::Runtime& rt, const JacobiParams& p) {
     for (const Future<void>& f : prev) f.join();
     const std::vector<double>& final_grid = (p.iterations % 2 == 0) ? a : b;
     return interior_sum(final_grid, n);
-  });
+  }();
+  return out;
+}
+
+JacobiResult run_jacobi(runtime::Runtime& rt, const JacobiParams& p) {
+  JacobiResult out;
+  rt.root([&] { out = run_jacobi_nested(p); });
   out.tasks = rt.tasks_created();
   return out;
 }

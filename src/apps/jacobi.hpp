@@ -33,6 +33,9 @@ struct JacobiResult {
 
 JacobiResult run_jacobi(runtime::Runtime& rt, const JacobiParams& p);
 
+/// Same computation from within an existing task context (tasks left 0).
+JacobiResult run_jacobi_nested(const JacobiParams& p);
+
 /// Sequential reference computing the identical relaxation.
 double jacobi_reference(const JacobiParams& p);
 

@@ -59,27 +59,31 @@ std::uint64_t expand(std::size_t board, std::size_t cutoff, Placement rows,
 
 }  // namespace
 
+NQueensResult run_nqueens_nested(const NQueensParams& p) {
+  NQueensResult out;
+  TaskQueue tasks;
+  std::uint64_t total = expand(p.board, p.parallel_depth, Placement{}, tasks);
+  // The spawner joins all tasks "in any order" (Sec. 6.1): drain both queue
+  // ends pseudo-randomly. Joining a late-pushed task typically reaches a
+  // descendant before its parent — the nondeterministic KJ violation the
+  // paper reports (always TJ-valid: the spawner precedes every task in <T).
+  // Quiescence on empty still holds: each joined task pushed its children
+  // before terminating.
+  std::uint64_t lcg = 0x243f6a8885a308d3ull ^ (p.board << 8);
+  auto next_from_back = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return (lcg >> 62) & 1;
+  };
+  while (auto f = next_from_back() ? tasks.poll_back() : tasks.poll()) {
+    total += f->get();
+  }
+  out.solutions = total;
+  return out;
+}
+
 NQueensResult run_nqueens(runtime::Runtime& rt, const NQueensParams& p) {
   NQueensResult out;
-  out.solutions = rt.root([&] {
-    TaskQueue tasks;
-    std::uint64_t total = expand(p.board, p.parallel_depth, Placement{}, tasks);
-    // The root joins all tasks "in any order" (Sec. 6.1): drain both queue
-    // ends pseudo-randomly. Joining a late-pushed task typically reaches a
-    // descendant before its parent — the nondeterministic KJ violation the
-    // paper reports (always TJ-valid: the root precedes every task in <T).
-    // Quiescence on empty still holds: each joined task pushed its children
-    // before terminating.
-    std::uint64_t lcg = 0x243f6a8885a308d3ull ^ (p.board << 8);
-    auto next_from_back = [&lcg] {
-      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
-      return (lcg >> 62) & 1;
-    };
-    while (auto f = next_from_back() ? tasks.poll_back() : tasks.poll()) {
-      total += f->get();
-    }
-    return total;
-  });
+  rt.root([&] { out = run_nqueens_nested(p); });
   out.tasks = rt.tasks_created();
   return out;
 }

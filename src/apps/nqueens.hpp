@@ -33,6 +33,11 @@ struct NQueensResult {
 
 NQueensResult run_nqueens(runtime::Runtime& rt, const NQueensParams& p);
 
+/// Same computation from within an existing task context (tasks left 0).
+/// NOTE: the drain order makes the *calling task* the any-order joiner, so
+/// the KJ-invalid joins target the caller, exactly as the root variant.
+NQueensResult run_nqueens_nested(const NQueensParams& p);
+
 /// Sequential reference count.
 std::uint64_t nqueens_reference(std::size_t board);
 

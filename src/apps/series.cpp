@@ -36,25 +36,29 @@ CoefficientPair series_coefficient(std::size_t k,
           integrate(integration_steps, [w](double x) { return std::sin(w * x); })};
 }
 
+SeriesResult run_series_nested(const SeriesParams& p) {
+  SeriesResult out;
+  std::vector<runtime::Future<CoefficientPair>> tasks;
+  tasks.reserve(p.coefficients);
+  for (std::size_t k = 0; k < p.coefficients; ++k) {
+    tasks.push_back(runtime::async(
+        [k, steps = p.integration_steps] {
+          return series_coefficient(k, steps);
+        }));
+  }
+  double sum = 0.0;
+  for (std::size_t k = 0; k < p.coefficients; ++k) {
+    const CoefficientPair c = tasks[k].get();
+    if (k == 0) out.a0 = c.a;
+    sum += c.a + c.b;
+  }
+  out.checksum = sum;
+  return out;
+}
+
 SeriesResult run_series(runtime::Runtime& rt, const SeriesParams& p) {
   SeriesResult out;
-  out.checksum = rt.root([&] {
-    std::vector<runtime::Future<CoefficientPair>> tasks;
-    tasks.reserve(p.coefficients);
-    for (std::size_t k = 0; k < p.coefficients; ++k) {
-      tasks.push_back(runtime::async(
-          [k, steps = p.integration_steps] {
-            return series_coefficient(k, steps);
-          }));
-    }
-    double sum = 0.0;
-    for (std::size_t k = 0; k < p.coefficients; ++k) {
-      const CoefficientPair c = tasks[k].get();
-      if (k == 0) out.a0 = c.a;
-      sum += c.a + c.b;
-    }
-    return sum;
-  });
+  rt.root([&] { out = run_series_nested(p); });
   out.tasks = rt.tasks_created();
   return out;
 }

@@ -34,6 +34,11 @@ struct SeriesResult {
 
 SeriesResult run_series(runtime::Runtime& rt, const SeriesParams& p);
 
+/// Same computation from within an existing task context (tasks left 0 —
+/// the hosting runtime's counter is shared). For soak tests that cycle many
+/// app iterations through one long-lived Runtime.
+SeriesResult run_series_nested(const SeriesParams& p);
+
 /// Sequential reference: the (a_k, b_k) pair for one k (k = 0 → (a_0, 0)).
 struct CoefficientPair {
   double a;

@@ -43,8 +43,7 @@ std::string random_dna(std::size_t length, std::uint64_t seed) {
   return s;
 }
 
-SmithWatermanResult run_smith_waterman(runtime::Runtime& rt,
-                                       const SmithWatermanParams& p) {
+SmithWatermanResult run_smith_waterman_nested(const SmithWatermanParams& p) {
   using runtime::Future;
   const std::string s1 = random_dna(p.length, p.seed);
   const std::string s2 = random_dna(p.length, p.seed ^ 0x5eed);
@@ -53,7 +52,7 @@ SmithWatermanResult run_smith_waterman(runtime::Runtime& rt,
   const std::size_t w = n + 1;
 
   SmithWatermanResult out;
-  out.best_score = rt.root([&] {
+  out.best_score = [&] {
     std::vector<int> h(w * w, 0);
     std::vector<Future<int>> chunk(nb * nb);
     // Fork all chunk tasks in wavefront-compatible row-major order; each
@@ -79,7 +78,14 @@ SmithWatermanResult run_smith_waterman(runtime::Runtime& rt,
     int best = 0;
     for (const Future<int>& f : chunk) best = std::max(best, f.get());
     return best;
-  });
+  }();
+  return out;
+}
+
+SmithWatermanResult run_smith_waterman(runtime::Runtime& rt,
+                                       const SmithWatermanParams& p) {
+  SmithWatermanResult out;
+  rt.root([&] { out = run_smith_waterman_nested(p); });
   out.tasks = rt.tasks_created();
   return out;
 }

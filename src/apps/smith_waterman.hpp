@@ -37,6 +37,9 @@ struct SmithWatermanResult {
 SmithWatermanResult run_smith_waterman(runtime::Runtime& rt,
                                        const SmithWatermanParams& p);
 
+/// Same computation from within an existing task context (tasks left 0).
+SmithWatermanResult run_smith_waterman_nested(const SmithWatermanParams& p);
+
 /// Sequential reference DP (same scoring) for validation.
 int smith_waterman_reference(const SmithWatermanParams& p);
 

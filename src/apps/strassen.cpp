@@ -104,6 +104,14 @@ Matrix strassen_sequential(const Matrix& a, const Matrix& b,
                   strassen_combine_22(m1, m2, m3, m6));
 }
 
+StrassenResult run_strassen_nested(const StrassenParams& p) {
+  const Matrix a = Matrix::random(p.n, p.seed);
+  const Matrix b = Matrix::random(p.n, p.seed ^ 0xabcdef);
+  StrassenResult out;
+  out.checksum = strassen_par(a, b, p.cutoff).checksum();
+  return out;
+}
+
 StrassenResult run_strassen(runtime::Runtime& rt, const StrassenParams& p) {
   const Matrix a = Matrix::random(p.n, p.seed);
   const Matrix b = Matrix::random(p.n, p.seed ^ 0xabcdef);

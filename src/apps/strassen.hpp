@@ -34,6 +34,9 @@ struct StrassenResult {
 /// Parallel Strassen under the given (already-configured) runtime.
 StrassenResult run_strassen(runtime::Runtime& rt, const StrassenParams& p);
 
+/// Same computation from within an existing task context (tasks left 0).
+StrassenResult run_strassen_nested(const StrassenParams& p);
+
 /// Sequential Strassen (same arithmetic, no tasks) for cross-checking.
 Matrix strassen_sequential(const Matrix& a, const Matrix& b,
                            std::size_t cutoff);

@@ -54,7 +54,7 @@ JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
   e.kind = obs::EventKind::JoinVerdict;
   e.actor = waiter;
   e.target = target;
-  e.policy = static_cast<std::uint8_t>(kind_);
+  e.policy = static_cast<std::uint8_t>(active_kind());
   e.detail = static_cast<std::uint8_t>(d);
   rec_->emit(e);
   return d;
@@ -83,6 +83,7 @@ JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
           return wfg_.add_checked_wait(waiter, target);
         }) == wfg::WaitVerdict::WouldDeadlock) {
       deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+      deadlocks_averted_approved_.fetch_add(1, std::memory_order_relaxed);
       return JoinDecision::FaultDeadlock;
     }
     return JoinDecision::Proceed;
@@ -111,6 +112,7 @@ JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
           return wfg_.add_wait(waiter, target);
         }) == wfg::WaitVerdict::WouldDeadlock) {
       deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+      deadlocks_averted_approved_.fetch_add(1, std::memory_order_relaxed);
       return JoinDecision::FaultDeadlock;
     }
     return JoinDecision::Proceed;
@@ -185,6 +187,7 @@ TransferDecision JoinGate::promise_transfer(PromiseNode* p,
   if (wfg_.retarget_owner_edge(pnode, to_uid) ==
       wfg::WaitVerdict::WouldDeadlock) {
     deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+    deadlocks_averted_approved_.fetch_add(1, std::memory_order_relaxed);
     return TransferDecision::FaultWouldDeadlock;
   }
   if (owp_->commit_transfer(p, to_uid)) {
@@ -208,7 +211,7 @@ JoinDecision JoinGate::enter_await(std::uint64_t waiter_uid, PromiseNode* p,
   e.kind = obs::EventKind::AwaitVerdict;
   e.actor = waiter_uid;
   e.target = p != nullptr ? p->uid() : 0;
-  e.policy = static_cast<std::uint8_t>(kind_);
+  e.policy = static_cast<std::uint8_t>(active_kind());
   e.detail = static_cast<std::uint8_t>(d);
   e.flags = obs::kFlagPromise;
   rec_->emit(e);
@@ -246,6 +249,7 @@ JoinDecision JoinGate::rule_await(std::uint64_t waiter_uid, PromiseNode* p,
             return wfg_.add_wait(waiter_uid, pnode);
           }) == wfg::WaitVerdict::WouldDeadlock) {
         deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+        deadlocks_averted_approved_.fetch_add(1, std::memory_order_relaxed);
         return JoinDecision::FaultDeadlock;
       }
       owp_->on_await(waiter_uid, p);
@@ -332,6 +336,8 @@ GateStats JoinGate::stats() const {
   s.policy_rejections = policy_rejections_.load(std::memory_order_relaxed);
   s.false_positives = false_positives_.load(std::memory_order_relaxed);
   s.deadlocks_averted = deadlocks_averted_.load(std::memory_order_relaxed);
+  s.deadlocks_averted_approved =
+      deadlocks_averted_approved_.load(std::memory_order_relaxed);
   s.cycle_checks = wfg_.cycle_checks();
   s.awaits_checked = awaits_checked_.load(std::memory_order_relaxed);
   s.owp_rejections = owp_rejections_.load(std::memory_order_relaxed);

@@ -47,6 +47,12 @@ struct GateStats {
   std::uint64_t policy_rejections = 0;
   std::uint64_t false_positives = 0;    ///< rejections cleared by the fallback
   std::uint64_t deadlocks_averted = 0;  ///< joins faulted on a real cycle
+  /// Of deadlocks_averted: cycles caught on an edge the policy/OWP had
+  /// APPROVED (no rejection involved — an allowed wait closed the cycle, or
+  /// a transfer's retarget would have). The exact reconciliation invariant
+  /// is then: policy_rejections + owp_rejections == false_positives +
+  /// owp_false_positives + (deadlocks_averted - deadlocks_averted_approved).
+  std::uint64_t deadlocks_averted_approved = 0;
   std::uint64_t cycle_checks = 0;       ///< WFG cycle detections performed
   // Promise / ownership-policy counters (zero unless promises are in play).
   std::uint64_t awaits_checked = 0;
@@ -64,6 +70,7 @@ inline GateStats& operator+=(GateStats& acc, const GateStats& s) {
   acc.policy_rejections += s.policy_rejections;
   acc.false_positives += s.false_positives;
   acc.deadlocks_averted += s.deadlocks_averted;
+  acc.deadlocks_averted_approved += s.deadlocks_averted_approved;
   acc.cycle_checks += s.cycle_checks;
   acc.awaits_checked += s.awaits_checked;
   acc.owp_rejections += s.owp_rejections;
@@ -171,6 +178,14 @@ class JoinGate {
   GateStats stats() const;
   const wfg::WaitsForGraph& graph() const { return wfg_; }
   PolicyChoice kind() const { return kind_; }
+  /// The policy actually ruling right now. Differs from kind() only when the
+  /// verifier is a degradation ladder that has been stepped down (its kind()
+  /// reports the active level); diagnostics (watchdog stall reports, verdict
+  /// events) use this so a degraded gate is never misattributed to the
+  /// configured policy.
+  PolicyChoice active_kind() const {
+    return verifier_ != nullptr ? verifier_->kind() : kind_;
+  }
   OwpVerifier* ownership_verifier() const { return owp_; }
   obs::FlightRecorder* recorder() const { return rec_; }
 
@@ -207,6 +222,7 @@ class JoinGate {
   std::atomic<std::uint64_t> policy_rejections_{0};
   std::atomic<std::uint64_t> false_positives_{0};
   std::atomic<std::uint64_t> deadlocks_averted_{0};
+  std::atomic<std::uint64_t> deadlocks_averted_approved_{0};
   std::atomic<std::uint64_t> awaits_checked_{0};
   std::atomic<std::uint64_t> owp_rejections_{0};
   std::atomic<std::uint64_t> owp_false_positives_{0};

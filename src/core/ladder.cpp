@@ -1,0 +1,124 @@
+#include "core/ladder.hpp"
+
+namespace tj::core {
+
+LadderVerifier::LadderVerifier(PolicyChoice configured) {
+  auto push = [this](PolicyChoice p) {
+    kinds_.push_back(p);
+    levels_.push_back(make_verifier(p));  // nullptr for CycleOnly (the floor)
+  };
+  switch (configured) {
+    case PolicyChoice::TJ_GT:
+      push(PolicyChoice::TJ_GT);
+      push(PolicyChoice::TJ_SP);
+      break;
+    case PolicyChoice::TJ_JP:
+      push(PolicyChoice::TJ_JP);
+      push(PolicyChoice::TJ_SP);
+      break;
+    case PolicyChoice::TJ_SP:
+      push(PolicyChoice::TJ_SP);
+      break;
+    case PolicyChoice::KJ_VC:
+      push(PolicyChoice::KJ_VC);
+      break;
+    case PolicyChoice::KJ_SS:
+      push(PolicyChoice::KJ_SS);
+      break;
+    case PolicyChoice::None:
+    case PolicyChoice::CycleOnly:
+      break;  // make_ladder_verifier never builds these; floor-only ladder
+  }
+  push(PolicyChoice::CycleOnly);
+}
+
+PolicyNode* LadderVerifier::add_child(PolicyNode* parent) {
+  const auto* u = static_cast<const Node*>(parent);
+  const std::size_t cur = level_.load(std::memory_order_acquire);
+  auto* v = new Node;
+  v->level = static_cast<std::uint32_t>(cur);
+  Verifier* lv = levels_[cur].get();
+  if (u != nullptr && u->level == cur) {
+    // Same level: extend the parent's forest inside that level's verifier.
+    v->forest = u->forest;
+    if (lv != nullptr) v->inner = lv->add_child(u->inner);
+  } else {
+    // Root task, or the parent predates the current level: start a fresh
+    // forest. The level verifier sees a new root (add_child(nullptr)); the
+    // forest tag keeps its partial order from ever being asked to compare
+    // across forests, where its soundness theorem does not speak.
+    v->forest = next_forest_.fetch_add(1, std::memory_order_relaxed);
+    if (lv != nullptr) v->inner = lv->add_child(nullptr);
+  }
+  alloc_.add(sizeof(Node));
+  alloc_.note_node_created();
+  return v;
+}
+
+bool LadderVerifier::permits_join(const PolicyNode* joiner,
+                                  const PolicyNode* joinee) {
+  const auto* a = static_cast<const Node*>(joiner);
+  const auto* b = static_cast<const Node*>(joinee);
+  // Delegate only when the pair lives entirely inside one level verifier's
+  // world; everything else is conservatively rejected into the WFG probation
+  // path (which rules precisely). The WFG-only floor has no verifier, so all
+  // of its joins land here too — Armus's check-every-join baseline.
+  if (a->level != b->level || a->forest != b->forest) return false;
+  Verifier* lv = levels_[a->level].get();
+  if (lv == nullptr) return false;
+  return lv->permits_join(a->inner, b->inner);
+}
+
+void LadderVerifier::on_join_complete(PolicyNode* joiner,
+                                      const PolicyNode* joinee) {
+  auto* a = static_cast<Node*>(joiner);
+  const auto* b = static_cast<const Node*>(joinee);
+  // KJ-learn stays sound for any really-completed join, but only nodes of
+  // the same level share a verifier to learn through. (TJ levels no-op.)
+  if (a->level != b->level) return;
+  Verifier* lv = levels_[a->level].get();
+  if (lv != nullptr) lv->on_join_complete(a->inner, b->inner);
+}
+
+void LadderVerifier::release(PolicyNode* node) {
+  auto* v = static_cast<Node*>(node);
+  Verifier* lv = levels_[v->level].get();
+  if (lv != nullptr && v->inner != nullptr) lv->release(v->inner);
+  alloc_.sub(sizeof(Node));
+  alloc_.note_node_released();
+  delete v;
+}
+
+std::size_t LadderVerifier::state_bytes() const {
+  std::size_t total = alloc_.live_bytes();
+  for (const auto& lv : levels_) {
+    if (lv != nullptr) total += lv->state_bytes();
+  }
+  return total;
+}
+
+std::size_t LadderVerifier::state_nodes() const {
+  std::size_t total = alloc_.live_nodes();
+  for (const auto& lv : levels_) {
+    if (lv != nullptr) total += lv->state_nodes();
+  }
+  return total;
+}
+
+bool LadderVerifier::downgrade() {
+  std::size_t cur = level_.load(std::memory_order_relaxed);
+  while (cur + 1 < levels_.size()) {
+    if (level_.compare_exchange_weak(cur, cur + 1, std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<LadderVerifier> make_ladder_verifier(PolicyChoice p) {
+  if (p == PolicyChoice::None || p == PolicyChoice::CycleOnly) return nullptr;
+  return std::make_unique<LadderVerifier>(p);
+}
+
+}  // namespace tj::core

@@ -1,0 +1,100 @@
+#pragma once
+// Degradation ladder: a composite Verifier that can be stepped down through a
+// sequence of ever-cheaper policies at runtime — the adaptive analogue of the
+// paper's offline "pick a cheaper policy" answer to Table 1's blow-ups
+// (KJ-VC's O(n²) space on NQueens) and of Armus's runtime graph-model
+// switching. Ladders per configured policy:
+//
+//   TJ-GT: TJ-GT → TJ-SP → WFG-only        TJ-JP: TJ-JP → TJ-SP → WFG-only
+//   TJ-SP: TJ-SP → WFG-only                KJ-VC: KJ-VC → WFG-only
+//   KJ-SS: KJ-SS → WFG-only
+//
+// The final level is always WFG-only (PolicyChoice::CycleOnly): permits_join
+// answers false unconditionally, so every join takes the gate's probation
+// path and is precisely ruled by cycle detection — Armus's baseline.
+//
+// Soundness (the full argument lives in docs/robustness.md §"Degradation
+// ladder"): every node is tagged with the (level, forest) it was created
+// under, and permits_join delegates to a level verifier ONLY for two nodes of
+// the same level and forest — a pair for which that verifier's standalone
+// soundness theorem applies verbatim. Every other pair (cross-level,
+// cross-forest, or final-level) is answered `false`, which routes the join
+// through the WFG probation path; while any probation edge is live the WFG
+// cycle-checks *every* insertion (see wfg/waits_for_graph.hpp), so a cycle
+// that mixes levels cannot slip through an unchecked approved edge: its
+// cycle-closing insertion happens while the mixed (rejected ⇒ probation)
+// edge is live. Downgrading therefore only ever makes the policy MORE
+// conservative — it rejects more, never approves more — and rejections are
+// refined, not trusted. No quiescent point is needed: a verdict never reads
+// the current level, only the immutable tags of the two nodes involved, so a
+// downgrade concurrent with a join cannot produce a mixed-logic verdict.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace tj::core {
+
+class LadderVerifier final : public Verifier {
+ public:
+  /// Builds the ladder for `configured` (must be a real policy, not
+  /// None/CycleOnly — see make_ladder_verifier).
+  explicit LadderVerifier(PolicyChoice configured);
+
+  PolicyNode* add_child(PolicyNode* parent) override;
+  bool permits_join(const PolicyNode* joiner,
+                    const PolicyNode* joinee) override;
+  void on_join_complete(PolicyNode* joiner, const PolicyNode* joinee) override;
+  void release(PolicyNode* node) override;
+
+  /// The ACTIVE policy — what the gate is effectively running right now.
+  PolicyChoice kind() const override {
+    return level_kind(level_.load(std::memory_order_relaxed));
+  }
+  /// The policy the ladder was configured with (level 0).
+  PolicyChoice configured() const { return level_kind(0); }
+
+  /// Aggregated across all level verifiers plus the ladder's own wrappers.
+  std::size_t state_bytes() const override;
+  std::size_t state_nodes() const override;
+
+  // ---- governor interface ----
+
+  std::size_t level() const { return level_.load(std::memory_order_relaxed); }
+  std::size_t level_count() const { return kinds_.size(); }
+  PolicyChoice level_kind(std::size_t i) const { return kinds_[i]; }
+
+  /// Steps down one level. Returns false (and does nothing) when already at
+  /// the WFG-only floor. Thread-safe; monotone (there is no way back up —
+  /// nodes created under an abandoned level keep their tags, and recovery
+  /// simply means pressure subsides and no further downgrades happen).
+  bool downgrade();
+
+  /// The verifier backing level `i` (nullptr for the WFG-only floor). The
+  /// governor uses this to reach policy-specific pressure valves (KJ-VC's
+  /// epoch GC) before resorting to a downgrade.
+  Verifier* level_verifier(std::size_t i) const { return levels_[i].get(); }
+  Verifier* active_verifier() const {
+    return levels_[level_.load(std::memory_order_relaxed)].get();
+  }
+
+  struct Node final : PolicyNode {
+    PolicyNode* inner = nullptr;  // node in levels_[level]; null on the floor
+    std::uint32_t level = 0;      // immutable: level active at creation
+    std::uint64_t forest = 0;     // immutable: which root this descends from
+  };
+
+ private:
+  std::vector<std::unique_ptr<Verifier>> levels_;  // back() == nullptr (floor)
+  std::vector<PolicyChoice> kinds_;                // parallel to levels_
+  std::atomic<std::size_t> level_{0};
+  std::atomic<std::uint64_t> next_forest_{0};
+};
+
+/// nullptr for None/CycleOnly (nothing to degrade), a ladder otherwise.
+std::unique_ptr<LadderVerifier> make_ladder_verifier(PolicyChoice p);
+
+}  // namespace tj::core

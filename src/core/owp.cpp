@@ -32,6 +32,7 @@ PromiseNode* OwpVerifier::on_make(std::uint64_t owner_uid,
   active_.store(true, std::memory_order_relaxed);
   auto* node = new PromiseNode(promise_uid, owner_uid);
   alloc_.add(node_bytes());
+  alloc_.note_node_created();
   std::scoped_lock lock(mu_);
   owned_[owner_uid].insert(node);
   return node;
@@ -151,6 +152,7 @@ void OwpVerifier::release(PromiseNode* p) {
     }
   }
   alloc_.sub(node_bytes());
+  alloc_.note_node_released();
   delete p;
 }
 

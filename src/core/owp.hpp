@@ -137,6 +137,10 @@ class OwpVerifier {
   std::size_t bytes_in_use() const { return alloc_.live_bytes(); }
   std::size_t peak_bytes() const { return alloc_.peak_bytes(); }
 
+  /// Governance hooks mirroring Verifier::state_bytes()/state_nodes().
+  std::size_t state_bytes() const { return alloc_.live_bytes(); }
+  std::size_t state_nodes() const { return alloc_.live_nodes(); }
+
   std::string_view name() const { return to_string(PromisePolicy::OWP); }
 
  private:

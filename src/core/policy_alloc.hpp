@@ -37,10 +37,24 @@ class PolicyAllocator {
     return total_.load(std::memory_order_relaxed);
   }
 
+  /// Node accounting: one count per live PolicyNode. The resource governor
+  /// polls live_nodes() alongside live_bytes(); both are relaxed counters,
+  /// cheap enough to update on every node create/release.
+  void note_node_created() {
+    nodes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_node_released() {
+    nodes_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  std::size_t live_nodes() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::size_t> live_{0};
   std::atomic<std::size_t> peak_{0};
   std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::size_t> nodes_{0};
 };
 
 }  // namespace tj::core

@@ -21,6 +21,7 @@ PolicyNode* TjGtVerifier::add_child(PolicyNode* parent) {
     u->children += 1;
   }
   alloc_.add(sizeof(Node));
+  alloc_.note_node_created();  // GT nodes live for the verifier's lifetime
   // Thread v onto the ownership chain (lock-free push).
   Node* head = alloc_head_.load(std::memory_order_relaxed);
   do {

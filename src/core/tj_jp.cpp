@@ -31,6 +31,7 @@ PolicyNode* TjJpVerifier::add_child(PolicyNode* parent) {
     }
   }
   alloc_.add(sizeof(Node) + v->jump_count * sizeof(const Node*));
+  alloc_.note_node_created();  // JP nodes live for the verifier's lifetime
   Node* head = alloc_head_.load(std::memory_order_relaxed);
   do {
     v->next_alloc = head;

@@ -13,12 +13,14 @@ PolicyNode* TjSpVerifier::add_child(PolicyNode* parent) {
     u->children += 1;
   }
   alloc_.add(node_bytes(*v));
+  alloc_.note_node_created();
   return v;
 }
 
 void TjSpVerifier::release(PolicyNode* node) {
   auto* v = static_cast<Node*>(node);
   alloc_.sub(node_bytes(*v));
+  alloc_.note_node_released();
   delete v;  // spawn paths are task-local: reclaimed with the task
 }
 

@@ -71,6 +71,14 @@ class Verifier {
   std::size_t bytes_in_use() const { return alloc_.live_bytes(); }
   std::size_t peak_bytes() const { return alloc_.peak_bytes(); }
 
+  /// Resource-governance hooks: cheap (two relaxed loads) snapshots of the
+  /// verifier's live footprint, polled by the ResourceGovernor to decide
+  /// degradation. state_bytes() == bytes_in_use() for every current policy;
+  /// it is a distinct virtual so composite verifiers (the degradation
+  /// ladder) can aggregate across levels.
+  virtual std::size_t state_bytes() const { return alloc_.live_bytes(); }
+  virtual std::size_t state_nodes() const { return alloc_.live_nodes(); }
+
  protected:
   PolicyAllocator alloc_;
 };

@@ -7,6 +7,7 @@ core::PolicyNode* KjSsVerifier::add_child(core::PolicyNode* parent) {
   auto* v = new Node;
   v->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   alloc_.add(sizeof(Node));
+  alloc_.note_node_created();
   if (u != nullptr) {
     // KJ-inherit: the child snapshots the parent's set (pre KJ-child) —
     // a pointer copy thanks to persistence.
@@ -36,6 +37,7 @@ void KjSsVerifier::on_join_complete(core::PolicyNode* joiner,
 void KjSsVerifier::release(core::PolicyNode* node) {
   auto* v = static_cast<Node*>(node);
   alloc_.sub(sizeof(Node));
+  alloc_.note_node_released();
   delete v;  // drops this version's references; shared trie nodes die with
              // their last referencing task
 }

@@ -6,6 +6,7 @@ namespace tj::kj {
 
 core::PolicyNode* KjVcVerifier::add_child(core::PolicyNode* parent) {
   auto* u = static_cast<Node*>(parent);
+  if (u != nullptr) maybe_compact(u);  // before the child copies the clock
   auto* v = new Node;
   v->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   if (u != nullptr) {
@@ -24,6 +25,17 @@ core::PolicyNode* KjVcVerifier::add_child(core::PolicyNode* parent) {
     }
   }
   alloc_.add(node_bytes(*v));
+  alloc_.note_node_created();
+  {
+    std::scoped_lock lock(gc_mu_);
+    if (info_.size() <= v->id) info_.resize(v->id + 1);
+    IdInfo& vi = info_[v->id];
+    vi.has_parent = u != nullptr;
+    if (u != nullptr) {
+      vi.parent_id = u->id;
+      info_[u->id].live_children += 1;
+    }
+  }
   return v;
 }
 
@@ -54,12 +66,60 @@ void KjVcVerifier::on_join_complete(core::PolicyNode* joiner,
   if (a->clock.capacity() != old_cap) {
     alloc_.add((a->clock.capacity() - old_cap) * sizeof(std::uint32_t));
   }
+  maybe_compact(a);  // after the merge: the joinee's death may have retired
+                     // components the merge just copied in
 }
 
 void KjVcVerifier::release(core::PolicyNode* node) {
   auto* v = static_cast<Node*>(node);
+  {
+    std::scoped_lock lock(gc_mu_);
+    if (info_.size() <= v->id) info_.resize(v->id + 1);
+    IdInfo& vi = info_[v->id];
+    vi.dead = true;
+    if (vi.live_children == 0) retire_locked(v->id);
+    if (vi.has_parent) {
+      IdInfo& pi = info_[vi.parent_id];
+      pi.live_children -= 1;
+      if (pi.dead && pi.live_children == 0) retire_locked(vi.parent_id);
+    }
+  }
   alloc_.sub(node_bytes(*v));
+  alloc_.note_node_released();
   delete v;
+}
+
+void KjVcVerifier::retire_locked(std::uint32_t id) {
+  if (retired_.size() <= id) retired_.resize(id + 1, false);
+  if (retired_[id]) return;
+  retired_[id] = true;
+  retired_count_ += 1;
+  gc_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void KjVcVerifier::maybe_compact(Node* n) {
+  if (!gc_active_.load(std::memory_order_relaxed)) return;
+  if (n->gc_epoch == gc_epoch_.load(std::memory_order_acquire)) return;
+  std::scoped_lock lock(gc_mu_);
+  const std::uint64_t epoch = gc_epoch_.load(std::memory_order_relaxed);
+  const std::size_t old_cap = n->clock.capacity();
+  const std::size_t bound = std::min(n->clock.size(), retired_.size());
+  for (std::size_t i = 0; i < bound; ++i) {
+    if (retired_[i]) n->clock[i] = 0;
+  }
+  while (!n->clock.empty() && n->clock.back() == 0) n->clock.pop_back();
+  n->clock.shrink_to_fit();
+  const std::size_t new_cap = n->clock.capacity();
+  if (new_cap < old_cap) {
+    alloc_.sub((old_cap - new_cap) * sizeof(std::uint32_t));
+  }
+  n->gc_epoch = epoch;
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t KjVcVerifier::retired_components() const {
+  std::scoped_lock lock(gc_mu_);
+  return retired_count_;
 }
 
 }  // namespace tj::kj

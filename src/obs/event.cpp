@@ -29,6 +29,10 @@ std::string_view to_string(EventKind k) {
     case EventKind::CancelAll: return "cancel-all";
     case EventKind::FaultInjected: return "fault-injected";
     case EventKind::WatchdogStall: return "watchdog-stall";
+    case EventKind::PolicyDowngrade: return "policy-downgrade";
+    case EventKind::KjGcEnabled: return "kj-gc-enabled";
+    case EventKind::SpawnInlined: return "spawn-inlined";
+    case EventKind::JoinTimeout: return "join-timeout";
   }
   return "<bad event kind>";
 }
@@ -45,6 +49,8 @@ std::string to_string(const Event& e) {
     case EventKind::JoinVerdict:
     case EventKind::CycleScan:
     case EventKind::JoinBlocked:
+    case EventKind::SpawnInlined:
+    case EventKind::JoinTimeout:
       os << " -> " << e.target;
       break;
     case EventKind::PromiseMake:
@@ -94,6 +100,16 @@ std::string to_string(const Event& e) {
       break;
     case EventKind::WatchdogStall:
       os << " stalled=" << e.payload;
+      break;
+    case EventKind::PolicyDowngrade:
+      os << " level=" << e.payload << " policy=" << static_cast<unsigned>(e.policy)
+         << " was=" << static_cast<unsigned>(e.detail);
+      break;
+    case EventKind::SpawnInlined:
+      os << " live=" << e.payload;
+      break;
+    case EventKind::JoinTimeout:
+      os << " after " << e.payload << "ns";
       break;
     default:
       break;

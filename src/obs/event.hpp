@@ -46,6 +46,16 @@ enum class EventKind : std::uint8_t {
   CancelAll,        ///< runtime root scope cancelled (actor: requester, if any)
   FaultInjected,    ///< fault plan fired (detail: InjectedFault site)
   WatchdogStall,    ///< watchdog reported a stall batch (payload: batch size)
+
+  // --- resource governance ---
+  PolicyDowngrade,  ///< governor stepped the degradation ladder (policy: new
+                    ///< active PolicyChoice; detail: previous PolicyChoice;
+                    ///< payload: new level index)
+  KjGcEnabled,      ///< governor enabled KJ-VC epoch GC under memory pressure
+  SpawnInlined,     ///< backpressure: actor ran child target inline at spawn
+                    ///< (payload: live tasks at the decision)
+  JoinTimeout,      ///< actor's join_for/get_for on target expired
+                    ///< (payload: timeout ns; kFlagPromise unused — futures only)
 };
 
 /// Which fault-injection site fired (Event::detail for FaultInjected).

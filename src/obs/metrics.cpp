@@ -46,6 +46,12 @@ std::string Metrics::to_string() const {
      << compensation_spawns.load(std::memory_order_relaxed)
      << " stall_reports=" << stall_reports.load(std::memory_order_relaxed)
      << "\n";
+  os << "  policy_downgrades="
+     << policy_downgrades.load(std::memory_order_relaxed)
+     << " spawn_inlines=" << spawn_inlines.load(std::memory_order_relaxed)
+     << " join_timeouts=" << join_timeouts.load(std::memory_order_relaxed)
+     << " kj_compactions=" << kj_compactions.load(std::memory_order_relaxed)
+     << "\n";
   return os.str();
 }
 

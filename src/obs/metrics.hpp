@@ -98,6 +98,11 @@ struct Metrics {
   std::atomic<std::uint64_t> faults_injected{0};
   std::atomic<std::uint64_t> compensation_spawns{0};
   std::atomic<std::uint64_t> stall_reports{0};
+  // Resource-governance counters (zero unless the governor is enabled).
+  std::atomic<std::uint64_t> policy_downgrades{0};  ///< ladder steps taken
+  std::atomic<std::uint64_t> spawn_inlines{0};      ///< backpressure inlines
+  std::atomic<std::uint64_t> join_timeouts{0};      ///< join_for expirations
+  std::atomic<std::uint64_t> kj_compactions{0};     ///< KJ-VC clock compactions
 
   /// Visits (name, histogram) for each histogram in the registry.
   template <typename F>

@@ -1,0 +1,65 @@
+#pragma once
+// Caller-driven exponential backoff with deterministic jitter, for retry
+// loops around deadline-aware joins:
+//
+//   Backoff b(std::chrono::milliseconds(1));
+//   while (f.join_for(b.next()) == JoinOutcome::Timeout) {
+//     do_something_useful();  // shed load, poll cancellation, log, ...
+//   }
+//
+// The delay doubles per call up to `max`, with ±25% jitter from a seeded
+// xorshift stream so synchronized waiters de-correlate without pulling in
+// <random> or nondeterminism (the same seed replays the same delays —
+// matching the repo's deterministic-chaos testing discipline).
+
+#include <chrono>
+#include <cstdint>
+
+namespace tj::runtime {
+
+class Backoff {
+ public:
+  explicit Backoff(
+      std::chrono::nanoseconds initial = std::chrono::milliseconds(1),
+      std::chrono::nanoseconds max = std::chrono::milliseconds(100),
+      std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : initial_(initial), max_(max), cur_(initial), state_(seed | 1) {}
+
+  /// The next delay: current step ±25% jitter; the step then doubles,
+  /// saturating at `max`.
+  std::chrono::nanoseconds next() {
+    const std::int64_t base = cur_.count();
+    // Jitter in [-base/4, +base/4], from the xorshift stream.
+    const std::int64_t quarter = base / 4;
+    const std::int64_t jitter =
+        quarter > 0 ? static_cast<std::int64_t>(xorshift() %
+                                                (2 * quarter + 1)) -
+                          quarter
+                    : 0;
+    const auto delay = std::chrono::nanoseconds(base + jitter);
+    cur_ = cur_ * 2 <= max_ ? cur_ * 2 : max_;
+    return delay;
+  }
+
+  /// Back to the initial step (e.g. after a successful operation).
+  void reset() { cur_ = initial_; }
+
+  std::uint32_t steps_taken() const { return steps_; }
+
+ private:
+  std::uint64_t xorshift() {
+    ++steps_;
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  std::chrono::nanoseconds initial_;
+  std::chrono::nanoseconds max_;
+  std::chrono::nanoseconds cur_;
+  std::uint64_t state_;
+  std::uint32_t steps_ = 0;
+};
+
+}  // namespace tj::runtime

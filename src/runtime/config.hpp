@@ -11,6 +11,7 @@
 #include "core/policy_ids.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/fault_injection.hpp"
+#include "runtime/governor.hpp"
 #include "runtime/watchdog.hpp"
 
 namespace tj::runtime {
@@ -68,6 +69,13 @@ struct Config {
   /// retrievable via Runtime::recorder(). Off by default — instrumentation
   /// sites then cost one null-pointer branch each.
   obs::ObsConfig obs;
+  /// Resource governance (governor.enabled): the configured policy becomes a
+  /// degradation ladder whose levels a background governor can step down
+  /// under verifier-footprint / WFG-size / latency pressure (see
+  /// runtime/governor.hpp). governor.spawn_inline_watermark additionally
+  /// enables spawn backpressure regardless of `enabled`. Off by default —
+  /// joins then pay no governance cost at all.
+  GovernorConfig governor;
 
   unsigned effective_workers() const {
     if (workers != 0) return workers;

@@ -4,13 +4,21 @@
 // runtime's active policy and may fault with DeadlockAvoidedError /
 // PolicyViolationError instead of blocking.
 
+#include <chrono>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "runtime/errors.hpp"
 #include "runtime/task.hpp"
 
 namespace tj::runtime {
+
+/// Outcome of a deadline-aware join (join_for / get_for).
+enum class JoinOutcome : std::uint8_t {
+  Ready,    ///< the task terminated within the deadline; result available
+  Timeout,  ///< deadline expired; the join was withdrawn and may be retried
+};
 
 template <typename T>
 class Future {
@@ -39,6 +47,42 @@ class Future {
 
   /// Alias for get() discarding the value — the paper's join().
   void join() const { (void)get(); }
+
+  /// Deadline-aware join: verified by the active policy exactly like get(),
+  /// but waits at most `timeout` (honoured to ~1ms granularity — see
+  /// TaskBase::wait_done_for). On Timeout the wait edge is withdrawn and the
+  /// task keeps running; the caller may retry (e.g. with runtime/backoff.hpp)
+  /// or move on. Policy faults (DeadlockAvoidedError etc.) still throw.
+  /// A cooperative joiner that inline-claims the task runs it to completion
+  /// and returns Ready regardless of the deadline.
+  template <typename Rep, typename Period>
+  JoinOutcome join_for(std::chrono::duration<Rep, Period> timeout) const {
+    require_valid();
+    return detail::join_current_on_for(
+               *task_,
+               std::chrono::duration_cast<std::chrono::nanoseconds>(timeout))
+               ? JoinOutcome::Ready
+               : JoinOutcome::Timeout;
+  }
+
+  /// join_for + result retrieval: std::optional<T> (empty on timeout), or
+  /// bool for Future<void> (false on timeout). Rethrows the task's exception
+  /// when it completed with a fault.
+  template <typename Rep, typename Period>
+  auto get_for(std::chrono::duration<Rep, Period> timeout) const {
+    require_valid();
+    const bool ready = detail::join_current_on_for(
+        *task_, std::chrono::duration_cast<std::chrono::nanoseconds>(timeout));
+    if constexpr (std::is_void_v<T>) {
+      if (!ready) return false;
+      task_->rethrow_if_error();
+      return true;
+    } else {
+      if (!ready) return std::optional<T>();
+      task_->rethrow_if_error();
+      return std::optional<T>(task_->result());
+    }
+  }
 
   /// The underlying task record (for diagnostics/tests).
   const TaskBase& task() const {

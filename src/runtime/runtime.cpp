@@ -2,9 +2,24 @@
 
 #include <thread>
 
+#include "core/ladder.hpp"
+
 namespace tj::runtime {
 
 namespace {
+// When the governor is enabled the configured policy is built as a
+// degradation ladder (TJ-GT → ... → WFG-only) so the governor has levels to
+// step down; policies with no ladder (None/CycleOnly) fall through to the
+// plain verifier, as does the governor-off default.
+std::unique_ptr<core::Verifier> build_verifier(const Config& cfg) {
+  if (cfg.governor.enabled) {
+    if (auto ladder = core::make_ladder_verifier(cfg.policy)) {
+      return ladder;
+    }
+  }
+  return core::make_verifier(cfg.policy);
+}
+
 // Cheap per-thread xorshift for chaos scheduling; distinct streams per
 // thread via the TLS address, reproducibility comes from the seed salt.
 bool chaos_roll(std::uint64_t seed) {
@@ -147,6 +162,14 @@ void join_current_on(TaskBase& target) {
   rt->join(target);
 }
 
+bool join_current_on_for(TaskBase& target, std::chrono::nanoseconds timeout) {
+  Runtime* rt = target.runtime();
+  if (rt == nullptr) {
+    throw UsageError("join: task was never registered with a runtime");
+  }
+  return rt->join_for(target, timeout);
+}
+
 PromiseStateBase::~PromiseStateBase() {
   if (rt_ != nullptr) {
     rt_->promise_state_released(*this);
@@ -224,7 +247,7 @@ void transfer_promise_state(PromiseStateBase& s, const TaskBase& to) {
 
 Runtime::Runtime(Config cfg)
     : cfg_(std::move(cfg)),
-      verifier_(core::make_verifier(cfg_.policy)),
+      verifier_(build_verifier(cfg_)),
       owp_(core::make_ownership_verifier(cfg_.promise_policy)),
       recorder_(cfg_.obs.enabled
                     ? std::make_unique<obs::FlightRecorder>(cfg_.obs)
@@ -238,9 +261,18 @@ Runtime::Runtime(Config cfg)
              injector_.get(), recorder_.get()),
       root_scope_(std::make_shared<detail::CancelState>(cfg_.cancel_on_fault,
                                                         nullptr)),
+      governor_(cfg_.governor.enabled
+                    ? std::make_unique<ResourceGovernor>(
+                          cfg_.governor,
+                          dynamic_cast<core::LadderVerifier*>(verifier_.get()),
+                          &gate_.graph(),
+                          [this] { return sched_.live_tasks(); },
+                          recorder_.get())
+                    : nullptr),
       watchdog_(cfg_.watchdog.enabled
                     ? std::make_unique<JoinWatchdog>(cfg_.watchdog, gate_,
-                                                     recorder_.get())
+                                                     recorder_.get(),
+                                                     governor_.get())
                     : nullptr) {}
 
 Runtime::~Runtime() {
@@ -411,6 +443,113 @@ void Runtime::join(TaskBase& target) {
     e.target = target.uid();
     recorder_->emit(e);
   }
+}
+
+bool Runtime::join_for(TaskBase& target, std::chrono::nanoseconds timeout) {
+  if (cfg_.chaos_seed != 0 && chaos_roll(cfg_.chaos_seed)) {
+    std::this_thread::yield();
+  }
+  TaskBase& cur = current_task();
+  if (cur.runtime() != this) {
+    throw UsageError("join: current task belongs to another runtime");
+  }
+  if (cur.cancel_requested()) {
+    throw CancelledError("join abandoned: the joining task was cancelled",
+                         cur.cancel_cause());
+  }
+  const bool was_done = target.done();
+  // Same gate ruling as join(): a deadline does not weaken the policy — a
+  // join the policy would reject still faults rather than timing out.
+  const core::JoinDecision d =
+      gate_.enter_join(cur.uid(), target.uid(), cur.policy_node(),
+                       target.policy_node(), was_done);
+  switch (d) {
+    case core::JoinDecision::FaultDeadlock:
+      throw DeadlockAvoidedError(
+          "join aborted: blocking would create a deadlock cycle");
+    case core::JoinDecision::FaultPolicy:
+      throw PolicyViolationError("join rejected by the active policy");
+    case core::JoinDecision::Proceed:
+    case core::JoinDecision::ProceedFalsePositive:
+      break;
+  }
+  bool completed = was_done;
+  try {
+    if (!was_done) {
+      WatchdogBlockGuard guard(
+          watchdog_.get(), cur.uid(), target.uid(), /*on_promise=*/false,
+          d == core::JoinDecision::ProceedFalsePositive
+              ? "policy-rejected, fallback-cleared"
+              : "policy-approved");
+      const std::uint64_t t0 =
+          recorder_ != nullptr ? recorder_->now_ns() : 0;
+      completed = sched_.join_wait_for(target, timeout);
+      if (recorder_ != nullptr && completed) {
+        const std::uint64_t blocked = recorder_->now_ns() - t0;
+        recorder_->metrics().blocked_join_ns.record(blocked);
+        obs::Event e;
+        e.kind = obs::EventKind::JoinBlocked;
+        e.actor = cur.uid();
+        e.target = target.uid();
+        e.payload = blocked;
+        recorder_->emit(e);
+      }
+    }
+  } catch (...) {
+    gate_.leave_join(cur.uid(), target.uid(), cur.policy_node(),
+                     target.policy_node(), /*completed=*/false);
+    throw;
+  }
+  if (!completed) {
+    // Deadline expired: withdraw the wait edge. No KJ-learn, no trace join
+    // record — from the formalism's view this join never happened, so a
+    // later retry is a fresh join.
+    gate_.leave_join(cur.uid(), target.uid(), cur.policy_node(),
+                     target.policy_node(), /*completed=*/false);
+    if (recorder_ != nullptr) {
+      recorder_->metrics().join_timeouts.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      obs::Event e;
+      e.kind = obs::EventKind::JoinTimeout;
+      e.actor = cur.uid();
+      e.target = target.uid();
+      e.payload = static_cast<std::uint64_t>(timeout.count());
+      recorder_->emit(e);
+    }
+    return false;
+  }
+  gate_.leave_join(cur.uid(), target.uid(), cur.policy_node(),
+                   target.policy_node(), /*completed=*/true);
+  if (cfg_.record_trace) {
+    record(trace::join(static_cast<trace::TaskId>(cur.uid()),
+                       static_cast<trace::TaskId>(target.uid())));
+  }
+  if (recorder_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::JoinComplete;
+    e.actor = cur.uid();
+    e.target = target.uid();
+    recorder_->emit(e);
+  }
+  return true;
+}
+
+void Runtime::run_inline(TaskBase& t) {
+  // Spawn-backpressure path: the caller claimed the task; run it here, in
+  // the caller's context, exactly as a cooperative joiner would inline it.
+  // The task was never submitted, so no live-task accounting applies.
+  if (recorder_ != nullptr) {
+    recorder_->metrics().spawn_inlines.fetch_add(1, std::memory_order_relaxed);
+    obs::Event e;
+    e.kind = obs::EventKind::SpawnInlined;
+    const TaskBase* cur = current_task_or_null();
+    e.actor = cur != nullptr ? cur->uid() : 0;
+    e.target = t.uid();
+    e.payload = sched_.live_tasks();
+    recorder_->emit(e);
+  }
+  detail::CurrentTaskGuard guard(&t);
+  t.run();
 }
 
 void Runtime::init_promise_state(detail::PromiseStateBase& s) {

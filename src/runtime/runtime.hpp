@@ -21,6 +21,7 @@
 #include "runtime/errors.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/future.hpp"
+#include "runtime/governor.hpp"
 #include "runtime/promise.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
@@ -71,6 +72,17 @@ class Runtime {
         std::forward<F>(fn));
     register_task(*task, &parent);
     std::shared_ptr<Task<T>> handle = task;
+    if (spawn_backpressure()) {
+      // Admission control: past the live-task watermark the child runs
+      // inline in the caller instead of growing the queue/pool. Claimed
+      // BEFORE it is visible to the cancellation scope, so a concurrent
+      // cancel sees it Running and cannot force-complete it (whose
+      // accounting assumes a submitted task).
+      task->try_claim();
+      track_in_scope(handle);
+      run_inline(*handle);
+      return Future<T>(std::move(handle));
+    }
     sched_.submit(std::move(task));
     // Tracked only after submit: a cancellation-driven force-complete must
     // pair with submit's live-task accounting.
@@ -81,6 +93,13 @@ class Runtime {
   /// Instrumented join of the current task on `target` (Algorithm 1 Join):
   /// policy check, fault or wait, then completion bookkeeping.
   void join(TaskBase& target);
+
+  /// Deadline-aware join: same gate ruling as join(), but the wait is
+  /// bounded by `timeout`. True iff the target terminated (full join
+  /// bookkeeping ran); false iff the deadline expired — the wait edge is
+  /// withdrawn, no KJ-learn / trace join is recorded (the join did not
+  /// happen), and the caller may retry. Used through Future::join_for.
+  bool join_for(TaskBase& target, std::chrono::nanoseconds timeout);
 
   /// Makes a promise owned by the current task. Used through make_promise()
   /// in api.hpp.
@@ -108,6 +127,12 @@ class Runtime {
     register_task(*task, &parent);
     p.transfer_to(*task);  // child not yet submitted: cannot race its exit
     std::shared_ptr<Task<R>> handle = task;
+    if (spawn_backpressure()) {
+      task->try_claim();
+      track_in_scope(handle);
+      run_inline(*handle);
+      return Future<R>(std::move(handle));
+    }
     sched_.submit(std::move(task));
     track_in_scope(handle);
     return Future<R>(std::move(handle));
@@ -126,6 +151,12 @@ class Runtime {
   }
   /// The join watchdog, or nullptr when not enabled.
   const JoinWatchdog* watchdog() const { return watchdog_.get(); }
+  /// The resource governor, or nullptr unless Config::governor.enabled.
+  ResourceGovernor* governor() { return governor_.get(); }
+  const ResourceGovernor* governor() const { return governor_.get(); }
+  /// The policy currently ruling joins: equals config().policy until the
+  /// governor downgrades the ladder, then the active (lower) level.
+  core::PolicyChoice active_policy() const { return gate_.active_kind(); }
   /// The flight recorder, or nullptr when Config::obs.enabled is false.
   obs::FlightRecorder* recorder() const { return recorder_.get(); }
   /// The gate itself (diagnostics/tests: e.g. polling graph().is_waiting()).
@@ -165,6 +196,7 @@ class Runtime {
  private:
   friend class TaskBase;
   friend void detail::join_current_on(TaskBase&);
+  friend bool detail::join_current_on_for(TaskBase&, std::chrono::nanoseconds);
   friend class detail::PromiseStateBase;
   friend void detail::await_promise_state(detail::PromiseStateBase&);
   friend void detail::fulfill_check(detail::PromiseStateBase&);
@@ -177,6 +209,14 @@ class Runtime {
   void register_task(TaskBase& t, const TaskBase* parent);
   void release_node(core::PolicyNode* node);
   void record(const trace::Action& a);
+
+  // Spawn backpressure (admission control): past the live-task watermark,
+  // async() runs the child inline in the caller instead of submitting it.
+  bool spawn_backpressure() const {
+    const std::size_t wm = cfg_.governor.spawn_inline_watermark;
+    return wm != 0 && sched_.live_tasks() >= wm;
+  }
+  void run_inline(TaskBase& t);  // pre: claimed + tracked; in runtime.cpp
 
   // Cancellation plumbing (implementations in runtime.cpp).
   void throw_if_cancelled(const TaskBase& t);
@@ -212,6 +252,11 @@ class Runtime {
   core::JoinGate gate_;
   Scheduler sched_;
   std::shared_ptr<detail::CancelState> root_scope_;
+  // After root_scope_, before watchdog_: the watchdog holds a non-owning
+  // pointer to the governor (stall reports name the active level), so the
+  // governor must outlive it; the governor's poll thread reads the ladder
+  // verifier and the gate's WFG, so it is destroyed before them.
+  std::unique_ptr<ResourceGovernor> governor_;
   std::unique_ptr<JoinWatchdog> watchdog_;
   std::atomic<std::uint64_t> next_uid_{0};
   std::atomic<std::uint64_t> next_promise_uid_{0};

@@ -69,7 +69,7 @@ void Scheduler::record_compensation_locked() {
   e.kind = obs::EventKind::SchedCompensate;
   const TaskBase* cur = current_task_or_null();
   e.actor = cur != nullptr ? cur->uid() : 0;
-  e.payload = threads_.size();
+  e.payload = live_workers_locked();
   rec_->emit(e);
 }
 
@@ -113,12 +113,15 @@ void Scheduler::worker_loop() {
     if (injector_ != nullptr && !stop_ && injector_->should_kill_worker()) {
       // Injected worker death — always at a task boundary, never mid-task.
       // Spawn the replacement before exiting (crash + supervisor restart),
-      // so pool parallelism and liveness are preserved.
+      // so pool parallelism and liveness are preserved. Our std::thread
+      // object stays in threads_ until shutdown; dead_workers_ keeps the
+      // live count honest for compensation decisions.
+      ++dead_workers_;
       add_worker_locked();
       if (rec_ != nullptr) {
         obs::Event e;
         e.kind = obs::EventKind::WorkerDeath;
-        e.payload = threads_.size();
+        e.payload = live_workers_locked();
         rec_->emit(e);
       }
       return;
@@ -169,8 +172,9 @@ void Scheduler::join_wait(TaskBase& target) {
     {
       std::scoped_lock lock(mu_);
       ++blocked_workers_;
-      if (!stop_ && threads_.size() - blocked_workers_ < target_parallelism_ &&
-          threads_.size() < max_threads_) {
+      if (!stop_ &&
+          live_workers_locked() - blocked_workers_ < target_parallelism_ &&
+          live_workers_locked() < max_threads_) {
         add_worker_locked();
         record_compensation_locked();
       }
@@ -183,12 +187,54 @@ void Scheduler::join_wait(TaskBase& target) {
   }
 }
 
+bool Scheduler::join_wait_for(TaskBase& target,
+                              std::chrono::nanoseconds timeout) {
+  if (mode_ == SchedulerMode::Cooperative) {
+    if (!target.done() && target.try_claim()) {
+      // Inline help ignores the deadline on purpose: the joiner is executing
+      // the very work it wants, so there is nothing to time out on.
+      inlined_.fetch_add(1, std::memory_order_relaxed);
+      if (rec_ != nullptr) {
+        obs::Event e;
+        e.kind = obs::EventKind::SchedInline;
+        const TaskBase* cur = current_task_or_null();
+        e.actor = cur != nullptr ? cur->uid() : 0;
+        e.target = target.uid();
+        rec_->emit(e);
+      }
+      run_claimed(target);
+      return true;
+    }
+    return target.wait_done_for(timeout);
+  }
+
+  // Blocking mode: same compensation bracket as join_wait, bounded wait.
+  if (t_is_worker) {
+    {
+      std::scoped_lock lock(mu_);
+      ++blocked_workers_;
+      if (!stop_ &&
+          live_workers_locked() - blocked_workers_ < target_parallelism_ &&
+          live_workers_locked() < max_threads_) {
+        add_worker_locked();
+        record_compensation_locked();
+      }
+    }
+    const bool done = target.wait_done_for(timeout);
+    std::scoped_lock lock(mu_);
+    --blocked_workers_;
+    return done;
+  }
+  return target.wait_done_for(timeout);
+}
+
 void Scheduler::enter_blocking_region() {
   if (!t_is_worker) return;
   std::scoped_lock lock(mu_);
   ++blocked_workers_;
-  if (!stop_ && threads_.size() - blocked_workers_ < target_parallelism_ &&
-      threads_.size() < max_threads_) {
+  if (!stop_ &&
+      live_workers_locked() - blocked_workers_ < target_parallelism_ &&
+      live_workers_locked() < max_threads_) {
     add_worker_locked();
     record_compensation_locked();
   }

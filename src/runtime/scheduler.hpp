@@ -48,6 +48,18 @@ class Scheduler {
   /// the joining task's context current; the policy check already passed.
   void join_wait(TaskBase& target);
 
+  /// Deadline variant: waits at most `timeout`; true iff the target
+  /// terminated. A cooperative joiner that wins the inline claim runs the
+  /// target to completion regardless of the deadline (it is making progress,
+  /// not blocked — the timeout bounds *waiting*, not work) and returns true.
+  bool join_wait_for(TaskBase& target, std::chrono::nanoseconds timeout);
+
+  /// Live (submitted, not yet terminated) task count — the governor's and
+  /// the spawn-backpressure watermark's admission signal.
+  std::size_t live_tasks() const {
+    return live_tasks_.load(std::memory_order_relaxed);
+  }
+
   /// Blocks until every submitted task has terminated.
   void quiesce();
 
@@ -71,6 +83,15 @@ class Scheduler {
   void add_worker_locked();  // pre: mu_ held
   void note_task_done();
 
+  /// Workers alive right now (pre: mu_ held). `threads_` keeps dead workers'
+  /// std::thread objects until shutdown, so its size overcounts by
+  /// `dead_workers_`; every liveness/compensation decision must use this, or
+  /// after enough injected deaths the pool believes it has idle workers while
+  /// every live one is blocked in a join — and queued tasks starve.
+  std::size_t live_workers_locked() const {
+    return threads_.size() - dead_workers_;
+  }
+
   /// Records a compensation-worker spawn (pre: mu_ held, worker just added).
   void record_compensation_locked();
 
@@ -84,6 +105,7 @@ class Scheduler {
   std::condition_variable cv_;
   std::deque<std::shared_ptr<TaskBase>> queue_;  // guarded by mu_
   std::vector<std::thread> threads_;             // guarded by mu_
+  std::size_t dead_workers_ = 0;                 // guarded by mu_
   unsigned blocked_workers_ = 0;                 // guarded by mu_
   bool stop_ = false;                            // guarded by mu_
 

@@ -5,10 +5,12 @@
 // machine used both by the scheduler (claiming) and by joiners (waiting).
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "core/verifier.hpp"
@@ -59,6 +61,30 @@ class TaskBase : public std::enable_shared_from_this<TaskBase> {
     while (s != TaskState::Done) {
       state_.wait(s, std::memory_order_acquire);
       s = state_.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Timed variant for deadline-aware joins: waits until Done or `timeout`
+  /// elapses; true iff the task completed. std::atomic has no timed wait, so
+  /// this polls with capped exponential backoff (50µs → 1ms) — the deadline
+  /// is honoured to ~1ms granularity, which the join_for API documents. A
+  /// task that is already Done returns immediately without sleeping.
+  bool wait_done_for(std::chrono::nanoseconds timeout) const {
+    if (state_.load(std::memory_order_acquire) == TaskState::Done) return true;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    auto nap = std::chrono::microseconds(50);
+    while (true) {
+      if (state_.load(std::memory_order_acquire) == TaskState::Done) {
+        return true;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return state_.load(std::memory_order_acquire) == TaskState::Done;
+      }
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+      std::this_thread::sleep_for(nap < remaining ? nap : remaining);
+      if (nap < std::chrono::microseconds(1000)) nap *= 2;
     }
   }
 
@@ -165,6 +191,12 @@ class TaskImpl<void, F> final : public Task<void> {
 /// (policy check → fault or wait → completion bookkeeping).
 /// Defined in runtime.cpp.
 void join_current_on(TaskBase& target);
+
+/// Deadline variant: same gate ruling, bounded wait. True iff the target
+/// terminated (the join completed); false iff the deadline expired — the
+/// wait edge is then withdrawn and no join bookkeeping (KJ-learn, trace
+/// record) happens, so the caller may retry later. Defined in runtime.cpp.
+bool join_current_on_for(TaskBase& target, std::chrono::nanoseconds timeout);
 
 }  // namespace detail
 

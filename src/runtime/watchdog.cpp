@@ -7,6 +7,7 @@
 #include "core/guarded.hpp"
 #include "core/policy_ids.hpp"
 #include "obs/recorder.hpp"
+#include "runtime/governor.hpp"
 
 namespace tj::runtime {
 
@@ -21,6 +22,10 @@ std::string StallReport::to_string() const {
   if (!policy_name.empty()) {
     os << " under policy " << policy_name << " (id "
        << static_cast<unsigned>(policy_id) << ")";
+  }
+  if (degradation_level > 0) {
+    os << " [degraded: level " << degradation_level << ", "
+       << degradation_history << "]";
   }
   os << ":\n";
   for (const BlockedJoin& b : stalled) {
@@ -46,8 +51,9 @@ std::string StallReport::to_string() const {
 }
 
 JoinWatchdog::JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate,
-                           obs::FlightRecorder* rec)
-    : cfg_(std::move(cfg)), gate_(gate), rec_(rec) {
+                           obs::FlightRecorder* rec,
+                           const ResourceGovernor* governor)
+    : cfg_(std::move(cfg)), gate_(gate), rec_(rec), governor_(governor) {
   thread_ = std::thread([this] { poll_loop(); });
 }
 
@@ -99,8 +105,14 @@ void JoinWatchdog::poll_loop() {
     // The scan and the callback run unlocked: the gate has its own
     // synchronisation, and a slow callback must not delay join bookkeeping.
     lock.unlock();
-    report.policy_name = std::string(core::to_string(gate_.kind()));
-    report.policy_id = static_cast<std::uint8_t>(gate_.kind());
+    // active_kind(), not kind(): when a governor downgraded the ladder, the
+    // report must name the policy whose verdicts admitted these waits.
+    report.policy_name = std::string(core::to_string(gate_.active_kind()));
+    report.policy_id = static_cast<std::uint8_t>(gate_.active_kind());
+    if (governor_ != nullptr) {
+      report.degradation_level = governor_->level();
+      report.degradation_history = governor_->history_string();
+    }
     report.cycles = gate_.graph().find_all_cycles();
     if (rec_ != nullptr) {
       // Quote the stalled parties' recent history: what the waiter (and,

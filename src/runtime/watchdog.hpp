@@ -33,6 +33,8 @@ class FlightRecorder;
 
 namespace tj::runtime {
 
+class ResourceGovernor;
+
 /// What the watchdog saw when it found stalled joins.
 struct StallReport {
   struct BlockedJoin {
@@ -46,10 +48,18 @@ struct StallReport {
     /// recorder is off.
     std::vector<std::string> recent_events;
   };
-  /// Active join policy (core::to_string of the PolicyChoice) and its raw
+  /// ACTIVE join policy (core::to_string of the PolicyChoice) and its raw
   /// enum value — which verifier's verdicts admitted the stalled waits.
+  /// Under a governor this is the current (possibly downgraded) ladder
+  /// level, not the configured policy.
   std::string policy_name;
   std::uint8_t policy_id = 0;
+  /// Degradation ladder level at report time (0 = configured policy; only
+  /// meaningful when a governor is attached).
+  std::uint32_t degradation_level = 0;
+  /// Comma-joined governor transition history ("tj-gt->tj-sp@12ms(bytes)");
+  /// empty when no governor is attached or nothing degraded yet.
+  std::string degradation_history;
   std::vector<BlockedJoin> stalled;
   /// Task-level waits-for cycles found by the on-demand scan (normally
   /// empty: the policies prevent them; non-empty means the stall is a
@@ -74,9 +84,12 @@ class JoinWatchdog {
  public:
   /// `rec` (may be nullptr) lets stall reports quote the last recorded
   /// events of each stalled waiter/target, and mirrors every reported batch
-  /// into the event stream (EventKind::WatchdogStall).
+  /// into the event stream (EventKind::WatchdogStall). `governor` (may be
+  /// nullptr) lets reports name the current degradation level and the
+  /// transition history that led to it.
   JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate,
-               obs::FlightRecorder* rec = nullptr);
+               obs::FlightRecorder* rec = nullptr,
+               const ResourceGovernor* governor = nullptr);
   ~JoinWatchdog();
   JoinWatchdog(const JoinWatchdog&) = delete;
   JoinWatchdog& operator=(const JoinWatchdog&) = delete;
@@ -108,6 +121,7 @@ class JoinWatchdog {
   const WatchdogConfig cfg_;
   const core::JoinGate& gate_;
   obs::FlightRecorder* const rec_;  // not owned; nullptr ⇒ recording off
+  const ResourceGovernor* const governor_;  // not owned; may be nullptr
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

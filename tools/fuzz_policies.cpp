@@ -7,6 +7,7 @@
 //
 //   fuzz_policies [--iterations=N] [--tasks=N] [--joins=N] [--promises=N]
 //                 [--ops=N] [--seed=S] [--record=DIR]
+//                 [--fault-seed=S [--budget-chaos]]
 //
 // Runs forever-ish by default budget (10k traces); exit 0 = no discrepancy.
 // With --record=DIR, any discrepancy is also dumped to DIR as parseable
@@ -21,6 +22,17 @@
 // assert, fuzzable over an unbounded seed range. With --record=DIR the
 // runs execute under the flight recorder, and a violating run's event
 // stream is bridged back to the offline trace format and dumped to DIR.
+//
+// Budget chaos: --budget-chaos (with --fault-seed=S) additionally arms the
+// resource governor with per-seed randomized — typically hostile — budgets,
+// so each run may degrade its policy ladder partway or all the way to
+// WFG-only at an arbitrary point in the schedule, concurrently with the
+// injected faults. A degraded run may accept strictly more joins (the WFG
+// fallback is the precision backstop at every level), so the injected-vs-
+// observed rejection equality is relaxed to >=; what must still hold is
+// termination, no lost results, exact gate-stat reconciliation, and a
+// deadlock-free recorded trace (record_trace is forced on and the run's
+// Def. 3.1 trace is checked with trace::contains_deadlock).
 
 #include <algorithm>
 #include <cstdio>
@@ -231,90 +243,142 @@ std::string check_all(const Trace& t) {
   return why;
 }
 
+// splitmix64 — deterministic per-seed budget randomization for budget chaos.
+std::uint64_t mix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 // Chaos mode: one live-runtime run under a deterministic FaultPlan.
 // Returns an explanation of the first violated invariant, or "". With a
 // record dir, the run executes under the flight recorder and a violating
 // run's recorded events are bridged into an offline trace file.
+// With `budget_chaos`, the governor is armed with seed-randomized budgets
+// (see the file header for the relaxed invariants that implies).
 std::string check_fault_plan(std::uint64_t seed, runtime::SchedulerMode mode,
-                             const std::string& record_dir) {
+                             const std::string& record_dir,
+                             bool budget_chaos) {
   runtime::Config cfg;
-  cfg.policy = core::PolicyChoice::TJ_SP;
+  cfg.policy = budget_chaos ? core::PolicyChoice::TJ_GT  // full 3-level ladder
+                            : core::PolicyChoice::TJ_SP;
   cfg.fault = core::FaultMode::Fallback;
   cfg.scheduler = mode;
   cfg.workers = 3;
   cfg.fault_plan = runtime::FaultPlan::chaos(seed);
   cfg.obs.enabled = !record_dir.empty();
+  if (budget_chaos) {
+    std::uint64_t s = seed * 0x2545f4914f6cdd1dULL + 1;
+    cfg.record_trace = true;  // enables the recorded-trace deadlock check
+    cfg.governor.enabled = true;
+    cfg.governor.poll_ms = 1 + static_cast<std::uint32_t>(mix64(s) % 3);
+    // Byte budget from "trips instantly" (256B) to "never trips" (1MB).
+    cfg.governor.max_verifier_bytes = std::size_t{256} << (mix64(s) % 13);
+    if (mix64(s) % 3 == 0) {
+      cfg.governor.max_verifier_nodes = std::size_t{8} << (mix64(s) % 6);
+    }
+    if (mix64(s) % 3 == 0) {
+      cfg.governor.max_wfg_edges = std::size_t{8} << (mix64(s) % 5);
+    }
+    cfg.governor.trip_polls = 1 + static_cast<std::uint32_t>(mix64(s) % 3);
+    cfg.governor.cooldown_polls =
+        1 + static_cast<std::uint32_t>(mix64(s) % 6);
+    if (mix64(s) % 2 == 0) {
+      cfg.governor.spawn_inline_watermark = 8 + (mix64(s) % 40);
+    }
+  }
   runtime::Runtime rt(cfg);
 
   constexpr int kFanout = 16;
   constexpr int kPromises = 6;
+  // Budget chaos runs a few rounds so governor trips land mid-schedule, not
+  // only after the interesting work is done.
+  const int rounds = budget_chaos ? 3 : 1;
   unsigned futures_resolved = 0;
   unsigned promises_resolved = 0;
   rt.root([&] {
-    std::vector<runtime::Future<long>> fs;
-    for (int i = 0; i < kFanout; ++i) {
-      fs.push_back(runtime::async([i]() -> long {
-        auto inner = runtime::async([i] { return static_cast<long>(i); });
-        return inner.get() + 1;
-      }));
-    }
-    std::vector<runtime::Promise<long>> ps;
-    std::vector<runtime::Future<void>> owners;
-    for (int i = 0; i < kPromises; ++i) {
-      ps.push_back(runtime::make_promise<long>());
-      owners.push_back(runtime::async_owning(
-          ps.back(), [p = ps.back(), i] { p.fulfill(i); }));
-    }
-    for (auto& f : fs) {
-      try {
-        (void)f.get();
-        ++futures_resolved;
-      } catch (const runtime::TjError&) {
-        ++futures_resolved;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<runtime::Future<long>> fs;
+      for (int i = 0; i < kFanout; ++i) {
+        fs.push_back(runtime::async([i]() -> long {
+          auto inner = runtime::async([i] { return static_cast<long>(i); });
+          return inner.get() + 1;
+        }));
       }
-    }
-    for (auto& p : ps) {
-      try {
-        (void)p.get();
-        ++promises_resolved;
-      } catch (const runtime::TjError&) {
-        ++promises_resolved;
+      std::vector<runtime::Promise<long>> ps;
+      std::vector<runtime::Future<void>> owners;
+      for (int i = 0; i < kPromises; ++i) {
+        ps.push_back(runtime::make_promise<long>());
+        owners.push_back(runtime::async_owning(
+            ps.back(), [p = ps.back(), i] { p.fulfill(i); }));
       }
-    }
-    for (auto& f : owners) {
-      try {
-        f.join();
-      } catch (const runtime::TjError&) {
+      for (auto& f : fs) {
+        try {
+          (void)f.get();
+          ++futures_resolved;
+        } catch (const runtime::TjError&) {
+          ++futures_resolved;
+        }
+      }
+      for (auto& p : ps) {
+        try {
+          (void)p.get();
+          ++promises_resolved;
+        } catch (const runtime::TjError&) {
+          ++promises_resolved;
+        }
+      }
+      for (auto& f : owners) {
+        try {
+          f.join();
+        } catch (const runtime::TjError&) {
+        }
       }
     }
   });
 
   char buf[160];
   std::string why;
-  if (futures_resolved != kFanout || promises_resolved != kPromises) {
-    std::snprintf(buf, sizeof buf, "lost results: futures %u/%d promises %u/%d",
-                  futures_resolved, kFanout, promises_resolved, kPromises);
+  const unsigned want_futures = static_cast<unsigned>(kFanout * rounds);
+  const unsigned want_promises = static_cast<unsigned>(kPromises * rounds);
+  if (futures_resolved != want_futures || promises_resolved != want_promises) {
+    std::snprintf(buf, sizeof buf, "lost results: futures %u/%u promises %u/%u",
+                  futures_resolved, want_futures, promises_resolved,
+                  want_promises);
     why = buf;
   }
   const core::GateStats s = rt.gate_stats();
   const runtime::FaultStats fi = rt.fault_stats();
-  if (why.empty() && s.policy_rejections != fi.join_rejections) {
-    std::snprintf(buf, sizeof buf, "join rejections %llu != injected %llu",
+  // Without a ladder every rejection is injected (the workload is TJ-valid);
+  // a degrading ladder adds genuine cross-level rejections on top.
+  if (why.empty() && (budget_chaos
+                          ? s.policy_rejections < fi.join_rejections
+                          : s.policy_rejections != fi.join_rejections)) {
+    std::snprintf(buf, sizeof buf, "join rejections %llu %s injected %llu",
                   static_cast<unsigned long long>(s.policy_rejections),
+                  budget_chaos ? "<" : "!=",
                   static_cast<unsigned long long>(fi.join_rejections));
     why = buf;
   }
   if (why.empty() &&
       s.policy_rejections + s.owp_rejections !=
-          s.false_positives + s.owp_false_positives + s.deadlocks_averted) {
+          s.false_positives + s.owp_false_positives +
+              (s.deadlocks_averted - s.deadlocks_averted_approved)) {
     std::snprintf(buf, sizeof buf,
-                  "unreconciled rejections: %llu+%llu != %llu+%llu+%llu",
+                  "unreconciled rejections: %llu+%llu != %llu+%llu+(%llu-%llu)",
                   static_cast<unsigned long long>(s.policy_rejections),
                   static_cast<unsigned long long>(s.owp_rejections),
                   static_cast<unsigned long long>(s.false_positives),
                   static_cast<unsigned long long>(s.owp_false_positives),
-                  static_cast<unsigned long long>(s.deadlocks_averted));
+                  static_cast<unsigned long long>(s.deadlocks_averted),
+                  static_cast<unsigned long long>(s.deadlocks_averted_approved));
     why = buf;
+  }
+  if (why.empty() && budget_chaos &&
+      trace::contains_deadlock(rt.recorded_trace())) {
+    why = "budget-chaos run recorded a deadlocked trace";
   }
   if (!why.empty() && rt.recorder() != nullptr) {
     // Bridge the recorded run back into the offline notation so the failing
@@ -331,18 +395,20 @@ std::string check_fault_plan(std::uint64_t seed, runtime::SchedulerMode mode,
 }
 
 int run_fault_plan_sweep(std::uint64_t first_seed, std::uint64_t plans,
-                         const std::string& record_dir) {
+                         const std::string& record_dir, bool budget_chaos) {
   for (std::uint64_t i = 0; i < plans; ++i) {
     const std::uint64_t seed = first_seed + i;
     for (const runtime::SchedulerMode mode :
          {runtime::SchedulerMode::Cooperative,
           runtime::SchedulerMode::Blocking}) {
-      const std::string why = check_fault_plan(seed, mode, record_dir);
+      const std::string why =
+          check_fault_plan(seed, mode, record_dir, budget_chaos);
       if (!why.empty()) {
         std::fprintf(stderr,
-                     "FAULT-PLAN VIOLATION seed=%llu scheduler=%s: %s\n",
+                     "FAULT-PLAN VIOLATION seed=%llu scheduler=%s%s: %s\n",
                      static_cast<unsigned long long>(seed),
-                     std::string(to_string(mode)).c_str(), why.c_str());
+                     std::string(to_string(mode)).c_str(),
+                     budget_chaos ? " budget-chaos" : "", why.c_str());
         return 1;
       }
     }
@@ -351,9 +417,10 @@ int run_fault_plan_sweep(std::uint64_t first_seed, std::uint64_t plans,
                    static_cast<unsigned long long>(i + 1));
     }
   }
-  std::printf("fuzz_policies: %llu fault plans x 2 schedulers, "
+  std::printf("fuzz_policies: %llu fault plans x 2 schedulers%s, "
               "all invariants held\n",
-              static_cast<unsigned long long>(plans));
+              static_cast<unsigned long long>(plans),
+              budget_chaos ? " under randomized governor budgets" : "");
   return 0;
 }
 
@@ -364,6 +431,7 @@ int main(int argc, char** argv) {
   bool iterations_set = false;
   std::uint64_t fault_seed = 0;
   bool fault_mode = false;
+  bool budget_chaos = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto val = [&arg](const char* key) -> const char* {
@@ -388,16 +456,22 @@ int main(int argc, char** argv) {
       o.seed = std::strtoull(v4, nullptr, 10);
     } else if (const char* vr = val("--record=")) {
       o.record_dir = vr;
+    } else if (arg == "--budget-chaos") {
+      budget_chaos = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
 
+  if (budget_chaos && !fault_mode) {
+    std::fprintf(stderr, "--budget-chaos requires --fault-seed=S\n");
+    return 2;
+  }
   if (fault_mode) {
     // Trace-fuzz iteration budgets are far too large for live runtime runs.
     return run_fault_plan_sweep(fault_seed, iterations_set ? o.iterations : 64,
-                                o.record_dir);
+                                o.record_dir, budget_chaos);
   }
 
   for (std::uint64_t i = 0; i < o.iterations; ++i) {
