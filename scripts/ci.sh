@@ -43,6 +43,18 @@ if [[ " $PRESETS " == *" release "* ]]; then
       ./build/examples/trace_check "$obs_trace"
     done
   done
+
+  # Critical-path attribution must reconcile: per overhead category, the
+  # on-path + off-path split computed from the event stream has to equal the
+  # metrics histograms' totals (exactly, when no events were dropped).
+  # --check makes any mismatch (or a failed app self-check) a nonzero exit.
+  echo "== [obs] critical-path attribution reconciles with the histograms"
+  for app in series nqueens; do
+    for sched in cooperative blocking; do
+      ./build/tools/critical_path --app="$app" --size=tiny \
+          --scheduler="$sched" --check
+    done
+  done
 fi
 
 # Chaos stage: re-run the randomized stress suites and the fault-plan seed

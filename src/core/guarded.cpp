@@ -1,6 +1,24 @@
 #include "core/guarded.hpp"
 
+#include <utility>
+
 namespace tj::core {
+
+namespace {
+// A WFG-fallback witness: the concrete cycle the rejected edge would close.
+// `attributed` is the join policy whose rejection routed the edge into the
+// fallback (active_kind() on the probation path), CycleOnly when the cycle
+// was found on an edge no policy had rejected (pure WFG evidence), or None
+// when the rejection originated from the ownership policy.
+Witness wfg_witness(PolicyChoice attributed,
+                    std::vector<wfg::NodeId>&& cycle) {
+  Witness w;
+  w.kind = WitnessKind::WfgCycle;
+  w.policy = attributed;
+  w.chain = std::move(cycle);
+  return w;
+}
+}  // namespace
 
 JoinGate::JoinGate(PolicyChoice kind, Verifier* verifier, FaultMode mode,
                    OwpVerifier* owp, GateFaultHooks* hooks,
@@ -42,28 +60,36 @@ void JoinGate::record_injected(std::uint64_t actor, obs::InjectedFault site) {
 JoinDecision JoinGate::enter_join(wfg::NodeId waiter, wfg::NodeId target,
                                   PolicyNode* waiter_state,
                                   const PolicyNode* target_state,
-                                  bool target_done) {
+                                  bool target_done, Witness* why) {
+  Witness local;
+  Witness* w = why != nullptr ? why : &local;
   if (rec_ == nullptr) {
-    return rule_join(waiter, target, waiter_state, target_state, target_done);
+    const JoinDecision d =
+        rule_join(waiter, target, waiter_state, target_state, target_done, w);
+    if (!w->empty()) record_witness(*w, waiter, target, d, false);
+    return d;
   }
   const std::uint64_t t0 = rec_->now_ns();
   const JoinDecision d =
-      rule_join(waiter, target, waiter_state, target_state, target_done);
-  rec_->metrics().policy_check_ns.record(rec_->now_ns() - t0);
+      rule_join(waiter, target, waiter_state, target_state, target_done, w);
+  const std::uint64_t dt = rec_->now_ns() - t0;
+  rec_->metrics().policy_check_ns.record(dt);
   obs::Event e;
   e.kind = obs::EventKind::JoinVerdict;
   e.actor = waiter;
   e.target = target;
+  e.payload = dt;  // ruling duration: the critical-path profiler attributes it
   e.policy = static_cast<std::uint8_t>(active_kind());
   e.detail = static_cast<std::uint8_t>(d);
   rec_->emit(e);
+  if (!w->empty()) record_witness(*w, waiter, target, d, false);
   return d;
 }
 
 JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
                                  PolicyNode* waiter_state,
                                  const PolicyNode* target_state,
-                                 bool target_done) {
+                                 bool target_done, Witness* why) {
   joins_checked_.fetch_add(1, std::memory_order_relaxed);
   // TJ/KJ soundness covers futures only; once a promise exists, joins are
   // additionally screened by the ownership policy's obligation history.
@@ -79,11 +105,13 @@ JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
     // Owner edges are visible to the chain walk, so mixed future/promise
     // cycles are covered with no extra OWP consultation.
     if (target_done) return JoinDecision::Proceed;
+    std::vector<wfg::NodeId> cycle;
     if (timed_scan(waiter, target, [&] {
-          return wfg_.add_checked_wait(waiter, target);
+          return wfg_.add_checked_wait(waiter, target, &cycle);
         }) == wfg::WaitVerdict::WouldDeadlock) {
       deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
       deadlocks_averted_approved_.fetch_add(1, std::memory_order_relaxed);
+      *why = wfg_witness(PolicyChoice::CycleOnly, std::move(cycle));
       return JoinDecision::FaultDeadlock;
     }
     return JoinDecision::Proceed;
@@ -99,8 +127,10 @@ JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
   // Fault injection: a spurious rejection takes the exact path a real one
   // takes (counters, fallback, probation edge), so chaos tests exercise the
   // recovery machinery and the stats still reconcile.
+  bool injected = false;
   if (approved && hooks_ != nullptr && hooks_->inject_join_rejection()) {
     approved = false;
+    injected = true;
     record_injected(waiter, obs::InjectedFault::JoinRejection);
   }
 
@@ -108,14 +138,27 @@ JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
     if (target_done) return JoinDecision::Proceed;
     // Approved blocking joins still register their edge: a probation edge
     // elsewhere may need it to witness (or rule out) a cycle.
+    std::vector<wfg::NodeId> cycle;
     if (timed_scan(waiter, target, [&] {
-          return wfg_.add_wait(waiter, target);
+          return wfg_.add_wait(waiter, target, &cycle);
         }) == wfg::WaitVerdict::WouldDeadlock) {
       deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
       deadlocks_averted_approved_.fetch_add(1, std::memory_order_relaxed);
+      // No policy rejected this edge: the cycle is pure WFG evidence.
+      *why = wfg_witness(PolicyChoice::CycleOnly, std::move(cycle));
       return JoinDecision::FaultDeadlock;
     }
     return JoinDecision::Proceed;
+  }
+
+  // Rejection provenance (cold path — the edge is already off the fast path).
+  if (injected) {
+    why->kind = WitnessKind::Injected;
+    why->policy = active_kind();
+  } else if (owp_rejected) {
+    *why = owp_->explain_join(waiter, target);
+  } else if (verifier_ != nullptr) {
+    *why = verifier_->explain(waiter_state, target_state);
   }
 
   auto& rejections = owp_rejected ? owp_rejections_ : policy_rejections_;
@@ -130,14 +173,57 @@ JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
     cleared.fetch_add(1, std::memory_order_relaxed);
     return JoinDecision::ProceedFalsePositive;
   }
+  std::vector<wfg::NodeId> cycle;
   if (timed_scan(waiter, target, [&] {
-        return wfg_.add_probation_wait(waiter, target);
+        return wfg_.add_probation_wait(waiter, target, &cycle);
       }) == wfg::WaitVerdict::WouldDeadlock) {
     deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+    // The fallback confirmed the rejection: the concrete cycle supersedes
+    // the policy's conservative evidence, attributed to the rejecting policy.
+    *why = wfg_witness(owp_rejected ? PolicyChoice::None : active_kind(),
+                       std::move(cycle));
     return JoinDecision::FaultDeadlock;
   }
   cleared.fetch_add(1, std::memory_order_relaxed);
   return JoinDecision::ProceedFalsePositive;
+}
+
+void JoinGate::record_witness(Witness& w, std::uint64_t waiter,
+                              std::uint64_t target, JoinDecision d,
+                              bool on_promise) {
+  w.waiter = waiter;
+  w.target = target;
+  w.outcome = static_cast<std::uint8_t>(d);
+  w.on_promise = w.on_promise || on_promise;
+  if (rec_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::VerdictExplained;
+    e.actor = waiter;
+    e.target = target;
+    e.payload = w.chain.size();  // evidence-chain length (0 for local facts)
+    e.policy = static_cast<std::uint8_t>(w.policy);
+    e.detail = static_cast<std::uint8_t>(w.kind);
+    if (w.on_promise) e.flags = obs::kFlagPromise;
+    rec_->emit(e);
+  }
+  std::scoped_lock lock(witness_mu_);
+  if (witness_log_.size() < kWitnessLogCap) {
+    witness_log_.push_back(w);
+  } else {
+    witness_log_[witness_head_] = w;
+    witness_head_ = (witness_head_ + 1) % kWitnessLogCap;
+    witnesses_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Witness> JoinGate::witnesses() const {
+  std::scoped_lock lock(witness_mu_);
+  std::vector<Witness> out;
+  out.reserve(witness_log_.size());
+  for (std::size_t i = 0; i < witness_log_.size(); ++i) {
+    out.push_back(witness_log_[(witness_head_ + i) % witness_log_.size()]);
+  }
+  return out;
 }
 
 void JoinGate::leave_join(wfg::NodeId waiter, wfg::NodeId target,
@@ -200,26 +286,34 @@ TransferDecision JoinGate::promise_transfer(PromiseNode* p,
 }
 
 JoinDecision JoinGate::enter_await(std::uint64_t waiter_uid, PromiseNode* p,
-                                   bool fulfilled) {
+                                   bool fulfilled, Witness* why) {
+  Witness local;
+  Witness* w = why != nullptr ? why : &local;
+  const std::uint64_t pr_uid = p != nullptr ? p->uid() : 0;
   if (rec_ == nullptr) {
-    return rule_await(waiter_uid, p, fulfilled);
+    const JoinDecision d = rule_await(waiter_uid, p, fulfilled, w);
+    if (!w->empty()) record_witness(*w, waiter_uid, pr_uid, d, true);
+    return d;
   }
   const std::uint64_t t0 = rec_->now_ns();
-  const JoinDecision d = rule_await(waiter_uid, p, fulfilled);
-  rec_->metrics().policy_check_ns.record(rec_->now_ns() - t0);
+  const JoinDecision d = rule_await(waiter_uid, p, fulfilled, w);
+  const std::uint64_t dt = rec_->now_ns() - t0;
+  rec_->metrics().policy_check_ns.record(dt);
   obs::Event e;
   e.kind = obs::EventKind::AwaitVerdict;
   e.actor = waiter_uid;
-  e.target = p != nullptr ? p->uid() : 0;
+  e.target = pr_uid;
+  e.payload = dt;  // ruling duration: the critical-path profiler attributes it
   e.policy = static_cast<std::uint8_t>(active_kind());
   e.detail = static_cast<std::uint8_t>(d);
   e.flags = obs::kFlagPromise;
   rec_->emit(e);
+  if (!w->empty()) record_witness(*w, waiter_uid, pr_uid, d, true);
   return d;
 }
 
 JoinDecision JoinGate::rule_await(std::uint64_t waiter_uid, PromiseNode* p,
-                                  bool fulfilled) {
+                                  bool fulfilled, Witness* why) {
   awaits_checked_.fetch_add(1, std::memory_order_relaxed);
   if (fulfilled || owp_ == nullptr) {
     // A settled promise cannot block; unverified promises are never checked.
@@ -229,11 +323,13 @@ JoinDecision JoinGate::rule_await(std::uint64_t waiter_uid, PromiseNode* p,
   // Check-and-insert must be atomic across both graphs (see await_mu_).
   std::lock_guard<std::mutex> lock(await_mu_);
   AwaitVerdict verdict = owp_->permits_await(waiter_uid, p);
+  bool injected = false;
   if (verdict == AwaitVerdict::Allow && hooks_ != nullptr &&
       hooks_->inject_await_rejection()) {
     // Injected spurious rejection: route through the probation path exactly
     // like a conservative OWP rejection.
     verdict = AwaitVerdict::RejectCycle;
+    injected = true;
     record_injected(waiter_uid, obs::InjectedFault::AwaitRejection);
   }
   switch (verdict) {
@@ -243,28 +339,43 @@ JoinDecision JoinGate::rule_await(std::uint64_t waiter_uid, PromiseNode* p,
       // fulfiller — fault directly.
       owp_rejections_.fetch_add(1, std::memory_order_relaxed);
       deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+      *why = owp_->explain_await(waiter_uid, p);
       return JoinDecision::FaultDeadlock;
-    case AwaitVerdict::Allow:
+    case AwaitVerdict::Allow: {
+      std::vector<wfg::NodeId> cycle;
       if (timed_scan(waiter_uid, pnode, [&] {
-            return wfg_.add_wait(waiter_uid, pnode);
+            return wfg_.add_wait(waiter_uid, pnode, &cycle);
           }) == wfg::WaitVerdict::WouldDeadlock) {
         deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
         deadlocks_averted_approved_.fetch_add(1, std::memory_order_relaxed);
+        *why = wfg_witness(PolicyChoice::CycleOnly, std::move(cycle));
+        why->on_promise = true;
         return JoinDecision::FaultDeadlock;
       }
       owp_->on_await(waiter_uid, p);
       return JoinDecision::Proceed;
+    }
     case AwaitVerdict::RejectCycle:
       break;
+  }
+  if (injected) {
+    why->kind = WitnessKind::Injected;
+    why->policy = PolicyChoice::None;
+    why->on_promise = true;
+  } else {
+    *why = owp_->explain_await(waiter_uid, p);
   }
   owp_rejections_.fetch_add(1, std::memory_order_relaxed);
   if (mode_ == FaultMode::Throw) {
     return JoinDecision::FaultPolicy;
   }
+  std::vector<wfg::NodeId> cycle;
   if (timed_scan(waiter_uid, pnode, [&] {
-        return wfg_.add_probation_wait(waiter_uid, pnode);
+        return wfg_.add_probation_wait(waiter_uid, pnode, &cycle);
       }) == wfg::WaitVerdict::WouldDeadlock) {
     deadlocks_averted_.fetch_add(1, std::memory_order_relaxed);
+    *why = wfg_witness(PolicyChoice::None, std::move(cycle));
+    why->on_promise = true;
     return JoinDecision::FaultDeadlock;
   }
   // A historical obligation path that is no longer live: proceed, but keep

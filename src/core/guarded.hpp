@@ -132,9 +132,13 @@ class JoinGate {
   /// fault, the wait edge is registered so later checks can see it. On a
   /// Proceed* verdict the caller MUST eventually call leave_join().
   /// The policy-state pointers may be nullptr when no verifier is active.
+  /// When `why` is non-null, any ruling other than a plain approval fills it
+  /// with the rejection's provenance (see core/witness.hpp) — cold path only;
+  /// approvals never touch it.
   JoinDecision enter_join(wfg::NodeId waiter, wfg::NodeId target,
                           PolicyNode* waiter_state,
-                          const PolicyNode* target_state, bool target_done);
+                          const PolicyNode* target_state, bool target_done,
+                          Witness* why = nullptr);
 
   /// Unregisters the wait edge and applies the policy's join rule (KJ-learn)
   /// plus, when promises are live, the OWP's obligation edge.
@@ -155,8 +159,9 @@ class JoinGate {
 
   /// Rules on a blocking await. `fulfilled` short-circuits (cannot block).
   /// On a Proceed* verdict the caller MUST eventually call leave_await().
+  /// `why` as in enter_join (Witness::on_promise is set; target is p's uid).
   JoinDecision enter_await(std::uint64_t waiter_uid, PromiseNode* p,
-                           bool fulfilled);
+                           bool fulfilled, Witness* why = nullptr);
 
   /// Unregisters the await's wait edge.
   void leave_await(std::uint64_t waiter_uid);
@@ -176,6 +181,16 @@ class JoinGate {
   void promise_released(PromiseNode* p);
 
   GateStats stats() const;
+
+  /// The most recent rejection witnesses (bounded ring, newest last). Each
+  /// non-approval ruling appends its witness; once full, the oldest is
+  /// dropped and witnesses_dropped() counts it. For introspection dumps and
+  /// tests — rejections are rare, so the lock here is uncontended.
+  std::vector<Witness> witnesses() const;
+  std::uint64_t witnesses_dropped() const {
+    return witnesses_dropped_.load(std::memory_order_relaxed);
+  }
+
   const wfg::WaitsForGraph& graph() const { return wfg_; }
   PolicyChoice kind() const { return kind_; }
   /// The policy actually ruling right now. Differs from kind() only when the
@@ -191,12 +206,19 @@ class JoinGate {
 
  private:
   /// The actual join ruling; enter_join wraps it with verdict recording.
+  /// `why` is never null here (enter_join supplies a local when the caller
+  /// passed none) and is filled on every non-approval ruling.
   JoinDecision rule_join(wfg::NodeId waiter, wfg::NodeId target,
                          PolicyNode* waiter_state,
-                         const PolicyNode* target_state, bool target_done);
+                         const PolicyNode* target_state, bool target_done,
+                         Witness* why);
   /// The actual await ruling; enter_await wraps it with verdict recording.
   JoinDecision rule_await(std::uint64_t waiter_uid, PromiseNode* p,
-                          bool fulfilled);
+                          bool fulfilled, Witness* why);
+  /// Stamps the ruling's endpoints/outcome on a freshly filled witness,
+  /// appends it to the bounded log, and emits a VerdictExplained event.
+  void record_witness(Witness& w, std::uint64_t waiter, std::uint64_t target,
+                      JoinDecision d, bool on_promise);
   /// Runs `scan()` (a WFG add_*_wait call), timing it and emitting a
   /// CycleScan event when the graph actually performed a cycle detection.
   template <typename F>
@@ -228,6 +250,12 @@ class JoinGate {
   std::atomic<std::uint64_t> owp_false_positives_{0};
   std::atomic<std::uint64_t> ownership_violations_{0};
   std::atomic<std::uint64_t> promises_orphaned_{0};
+
+  static constexpr std::size_t kWitnessLogCap = 256;
+  mutable std::mutex witness_mu_;
+  std::vector<Witness> witness_log_;  // ring, newest last; guarded above
+  std::size_t witness_head_ = 0;      // ring start index; guarded above
+  std::atomic<std::uint64_t> witnesses_dropped_{0};
 };
 
 }  // namespace tj::core

@@ -69,6 +69,28 @@ bool LadderVerifier::permits_join(const PolicyNode* joiner,
   return lv->permits_join(a->inner, b->inner);
 }
 
+Witness LadderVerifier::explain(const PolicyNode* joiner,
+                                const PolicyNode* joinee) {
+  const auto* a = static_cast<const Node*>(joiner);
+  const auto* b = static_cast<const Node*>(joinee);
+  // Mirror of permits_join: a same-level+forest pair was rejected by that
+  // level's verifier (delegate for its evidence); everything else — including
+  // the WFG-only floor — is the ladder's own conservative cross-world
+  // rejection, witnessed by the pair's immutable tags.
+  if (a->level == b->level && a->forest == b->forest) {
+    Verifier* lv = levels_[a->level].get();
+    if (lv != nullptr) return lv->explain(a->inner, b->inner);
+  }
+  Witness w;
+  w.kind = WitnessKind::LadderMixed;
+  w.policy = kind();
+  w.waiter_level = a->level;
+  w.target_level = b->level;
+  w.waiter_forest = a->forest;
+  w.target_forest = b->forest;
+  return w;
+}
+
 void LadderVerifier::on_join_complete(PolicyNode* joiner,
                                       const PolicyNode* joinee) {
   auto* a = static_cast<Node*>(joiner);

@@ -47,6 +47,7 @@ class LadderVerifier final : public Verifier {
   PolicyNode* add_child(PolicyNode* parent) override;
   bool permits_join(const PolicyNode* joiner,
                     const PolicyNode* joinee) override;
+  Witness explain(const PolicyNode* joiner, const PolicyNode* joinee) override;
   void on_join_complete(PolicyNode* joiner, const PolicyNode* joinee) override;
   void release(PolicyNode* node) override;
 

@@ -1,5 +1,6 @@
 #include "core/owp.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace tj::core {
@@ -121,6 +122,71 @@ bool OwpVerifier::permits_join(std::uint64_t waiter_uid,
 void OwpVerifier::on_join(std::uint64_t waiter_uid, std::uint64_t target_uid) {
   std::scoped_lock lock(mu_);
   add_edge_locked(waiter_uid, target_uid);
+}
+
+namespace {
+// BFS with parent links: the shortest path from ⇝ to over H, inclusive of
+// both endpoints ([from] when from == to). Empty when unreachable.
+std::vector<std::uint64_t> chain_locked(
+    const std::unordered_map<std::uint64_t,
+                             std::unordered_set<std::uint64_t>>& edges,
+    std::uint64_t from, std::uint64_t to) {
+  if (from == to) return {from};
+  std::unordered_map<std::uint64_t, std::uint64_t> parent;
+  std::vector<std::uint64_t> frontier{from};
+  parent.emplace(from, from);
+  while (!frontier.empty()) {
+    std::vector<std::uint64_t> next;
+    for (const std::uint64_t cur : frontier) {
+      const auto it = edges.find(cur);
+      if (it == edges.end()) continue;
+      for (const std::uint64_t succ : it->second) {
+        if (!parent.emplace(succ, cur).second) continue;
+        if (succ == to) {
+          std::vector<std::uint64_t> path{to};
+          for (std::uint64_t n = cur; ; n = parent.at(n)) {
+            path.push_back(n);
+            if (n == from) break;
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        next.push_back(succ);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return {};
+}
+}  // namespace
+
+Witness OwpVerifier::explain_join(std::uint64_t waiter_uid,
+                                  std::uint64_t target_uid) const {
+  Witness w;
+  w.kind = WitnessKind::OwpChain;
+  w.policy = PolicyChoice::None;  // OWP is the promise policy, not a join one
+  w.waiter = waiter_uid;
+  w.target = target_uid;
+  std::scoped_lock lock(mu_);
+  w.chain = chain_locked(edges_, target_uid, waiter_uid);
+  return w;
+}
+
+Witness OwpVerifier::explain_await(std::uint64_t waiter_uid,
+                                   const PromiseNode* p) const {
+  Witness w;
+  w.policy = PolicyChoice::None;
+  w.on_promise = true;
+  w.waiter = waiter_uid;
+  w.target = p->uid_;
+  std::scoped_lock lock(mu_);
+  if (p->state_ == PromiseNode::State::Orphaned) {
+    w.kind = WitnessKind::OwpOrphan;
+    return w;
+  }
+  w.kind = WitnessKind::OwpChain;
+  w.chain = chain_locked(edges_, p->owner_, waiter_uid);
+  return w;
 }
 
 std::vector<std::uint64_t> OwpVerifier::on_task_exit(std::uint64_t uid) {

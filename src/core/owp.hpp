@@ -34,6 +34,7 @@
 
 #include "core/policy_alloc.hpp"
 #include "core/policy_ids.hpp"
+#include "core/witness.hpp"
 
 namespace tj::core {
 
@@ -125,6 +126,17 @@ class OwpVerifier {
 
   /// Records the obligation edge waiter → target for a completed join.
   void on_join(std::uint64_t waiter_uid, std::uint64_t target_uid);
+
+  /// Rejection provenance: the obligation chain target ⇝ waiter in H that
+  /// made permits_join answer false (Witness::chain, task uids). Cold path
+  /// only; the chain is found by BFS under the verifier lock.
+  Witness explain_join(std::uint64_t waiter_uid,
+                       std::uint64_t target_uid) const;
+
+  /// Rejection provenance for an await: OwpOrphan when the promise is
+  /// orphaned, else the chain owner(p) ⇝ waiter that made permits_await
+  /// reject. Witness::target is the promise uid (on_promise set).
+  Witness explain_await(std::uint64_t waiter_uid, const PromiseNode* p) const;
 
   /// Marks `uid` dead and orphans every unfulfilled promise it still owns.
   /// Returns the orphaned promises' uids (ownership violations: the owner

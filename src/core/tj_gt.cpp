@@ -78,4 +78,27 @@ bool TjGtVerifier::permits_join(const PolicyNode* joiner,
               static_cast<const Node*>(joinee));
 }
 
+namespace {
+// The spawn path (sibling indices root → v); parent/ix are immutable after
+// add_child returns, so the rootward walk is safe from any thread.
+std::vector<std::uint32_t> gt_path(const TjGtVerifier::Node* v) {
+  std::vector<std::uint32_t> path(v->depth);
+  for (std::size_t i = v->depth; i > 0; --i) {
+    path[i - 1] = v->ix;
+    v = v->parent;
+  }
+  return path;
+}
+}  // namespace
+
+Witness TjGtVerifier::explain(const PolicyNode* joiner,
+                              const PolicyNode* joinee) {
+  Witness w;
+  w.kind = WitnessKind::TjPath;
+  w.policy = kind();
+  w.waiter_path = gt_path(static_cast<const Node*>(joiner));
+  w.target_path = gt_path(static_cast<const Node*>(joinee));
+  return w;
+}
+
 }  // namespace tj::core

@@ -18,6 +18,7 @@ class TjGtVerifier final : public Verifier {
   PolicyNode* add_child(PolicyNode* parent) override;
   bool permits_join(const PolicyNode* joiner,
                     const PolicyNode* joinee) override;
+  Witness explain(const PolicyNode* joiner, const PolicyNode* joinee) override;
   PolicyChoice kind() const override { return PolicyChoice::TJ_GT; }
 
   struct Node final : PolicyNode {

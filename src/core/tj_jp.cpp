@@ -80,4 +80,27 @@ bool TjJpVerifier::permits_join(const PolicyNode* joiner,
               static_cast<const Node*>(joinee));
 }
 
+namespace {
+// The spawn path via jumps[0] (= parent); all fields immutable after
+// add_child returns, so the rootward walk is safe from any thread.
+std::vector<std::uint32_t> jp_path(const TjJpVerifier::Node* v) {
+  std::vector<std::uint32_t> path(v->depth);
+  for (std::size_t i = v->depth; i > 0; --i) {
+    path[i - 1] = v->ix;
+    v = v->jumps[0];
+  }
+  return path;
+}
+}  // namespace
+
+Witness TjJpVerifier::explain(const PolicyNode* joiner,
+                              const PolicyNode* joinee) {
+  Witness w;
+  w.kind = WitnessKind::TjPath;
+  w.policy = kind();
+  w.waiter_path = jp_path(static_cast<const Node*>(joiner));
+  w.target_path = jp_path(static_cast<const Node*>(joinee));
+  return w;
+}
+
 }  // namespace tj::core

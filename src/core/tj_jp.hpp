@@ -24,6 +24,7 @@ class TjJpVerifier final : public Verifier {
   PolicyNode* add_child(PolicyNode* parent) override;
   bool permits_join(const PolicyNode* joiner,
                     const PolicyNode* joinee) override;
+  Witness explain(const PolicyNode* joiner, const PolicyNode* joinee) override;
   PolicyChoice kind() const override { return PolicyChoice::TJ_JP; }
 
   struct Node final : PolicyNode {

@@ -42,4 +42,14 @@ bool TjSpVerifier::permits_join(const PolicyNode* joiner,
               static_cast<const Node*>(joinee));
 }
 
+Witness TjSpVerifier::explain(const PolicyNode* joiner,
+                              const PolicyNode* joinee) {
+  Witness w;
+  w.kind = WitnessKind::TjPath;
+  w.policy = kind();
+  w.waiter_path = static_cast<const Node*>(joiner)->path;
+  w.target_path = static_cast<const Node*>(joinee)->path;
+  return w;
+}
+
 }  // namespace tj::core

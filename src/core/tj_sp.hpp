@@ -19,6 +19,7 @@ class TjSpVerifier final : public Verifier {
   PolicyNode* add_child(PolicyNode* parent) override;
   bool permits_join(const PolicyNode* joiner,
                     const PolicyNode* joinee) override;
+  Witness explain(const PolicyNode* joiner, const PolicyNode* joinee) override;
   void release(PolicyNode* node) override;
   PolicyChoice kind() const override { return PolicyChoice::TJ_SP; }
 

@@ -22,6 +22,7 @@
 
 #include "core/policy_alloc.hpp"
 #include "core/policy_ids.hpp"
+#include "core/witness.hpp"
 
 namespace tj::core {
 
@@ -66,6 +67,19 @@ class Verifier {
 
   virtual PolicyChoice kind() const = 0;
   std::string_view name() const { return to_string(kind()); }
+
+  /// Rejection provenance: explains why permits_join(joiner, joinee) answered
+  /// false, as self-contained evidence (core/witness.hpp). Only meaningful
+  /// right after a rejection, on the rejecting thread — called on the cold
+  /// path only, never per join. The default carries no evidence beyond the
+  /// policy id; every concrete verifier overrides it.
+  virtual Witness explain(const PolicyNode* joiner, const PolicyNode* joinee) {
+    (void)joiner;
+    (void)joinee;
+    Witness w;
+    w.policy = kind();
+    return w;
+  }
 
   /// Exact live bytes of verifier state (policy memory-overhead metric).
   std::size_t bytes_in_use() const { return alloc_.live_bytes(); }

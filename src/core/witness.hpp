@@ -1,0 +1,95 @@
+#pragma once
+// Rejection provenance: a Witness is the self-contained explanation a policy
+// (or the WFG fallback) produces for "why was this join/await not simply
+// approved". Every rejection path in the JoinGate captures one, attaches it
+// to the error it raises and to a VerdictExplained flight-recorder event, and
+// obs/witness.{hpp,cpp} renders it as text / Graphviz DOT and replays it
+// through the offline trace formalism for independent confirmation.
+//
+// The struct is a plain value: no pointers into verifier state, so a witness
+// outlives the run that produced it (it can be serialized next to a fuzzer's
+// minimized trace, or carried inside an in-flight exception while the
+// verifier is torn down).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/policy_ids.hpp"
+
+namespace tj::core {
+
+/// What kind of evidence the witness carries.
+enum class WitnessKind : std::uint8_t {
+  None,         ///< no explanation available (e.g. PolicyChoice::None)
+  TjPath,       ///< TJ: spawn paths whose comparison yields ¬(waiter <T target)
+  KjClock,      ///< KJ-VC: clock[parent(joinee)] < birth(joinee)
+  KjSet,        ///< KJ-SS: joinee's id is absent from the joiner's snapshot set
+  OwpChain,     ///< OWP: obligation chain target/owner ⇝ waiter in H
+  OwpOrphan,    ///< OWP: the promise is orphaned (owner died unfulfilled)
+  LadderMixed,  ///< ladder: cross-level/forest pair, conservatively rejected
+  WfgCycle,     ///< WFG: the concrete cycle the new edge would close
+  Injected,     ///< fault-injection flipped an approved verdict (no evidence)
+};
+
+constexpr std::string_view to_string(WitnessKind k) {
+  switch (k) {
+    case WitnessKind::None: return "none";
+    case WitnessKind::TjPath: return "tj-path";
+    case WitnessKind::KjClock: return "kj-clock";
+    case WitnessKind::KjSet: return "kj-set";
+    case WitnessKind::OwpChain: return "owp-chain";
+    case WitnessKind::OwpOrphan: return "owp-orphan";
+    case WitnessKind::LadderMixed: return "ladder-mixed";
+    case WitnessKind::WfgCycle: return "wfg-cycle";
+    case WitnessKind::Injected: return "injected";
+  }
+  return "<bad witness kind>";
+}
+
+struct Witness {
+  WitnessKind kind = WitnessKind::None;
+  /// The policy that produced the rejection (the ACTIVE policy under a
+  /// ladder; CycleOnly for pure WFG evidence).
+  PolicyChoice policy = PolicyChoice::None;
+  /// The gate's final ruling for the edge, as a raw core::JoinDecision value
+  /// (kept untyped to avoid a guarded.hpp dependency cycle).
+  std::uint8_t outcome = 0;
+  bool on_promise = false;  ///< target names a promise uid, not a task uid
+  std::uint64_t waiter = 0;
+  std::uint64_t target = 0;
+  /// Length of the runtime's recorded trace (Config::record_trace) at the
+  /// moment of rejection — the prefix at which the offline validator
+  /// evaluates prefix-sensitive judgments. 0 when no trace was recorded.
+  std::uint64_t trace_pos = 0;
+
+  // --- TjPath: sibling-index spawn paths, root → task (Algorithm 3). ---
+  std::vector<std::uint32_t> waiter_path;
+  std::vector<std::uint32_t> target_path;
+
+  // --- KjClock / KjSet evidence. ---
+  std::uint32_t joiner_id = 0;
+  std::uint32_t joinee_id = 0;
+  std::uint32_t joinee_parent = 0;   ///< parent(joinee)'s dense id
+  std::uint32_t joinee_birth = 0;    ///< 1-based fork index at the parent
+  std::uint32_t observed_clock = 0;  ///< joiner's clock[parent(joinee)]
+  bool set_member = false;           ///< KJ-SS membership actually observed
+
+  // --- LadderMixed: the immutable (level, forest) tags of the pair. ---
+  std::uint32_t waiter_level = 0;
+  std::uint32_t target_level = 0;
+  std::uint64_t waiter_forest = 0;
+  std::uint64_t target_forest = 0;
+
+  // --- OwpChain / WfgCycle: the node chain that is the evidence. ---
+  /// OwpChain: obligation path target (or owner(p)) ⇝ waiter over task uids.
+  /// WfgCycle: the cycle the rejected edge would close, in wait order
+  /// [waiter, target, …] with the closing edge back to waiter implicit, over
+  /// WFG node ids (promise nodes carry the reserved high bit, see
+  /// wfg::promise_node_id).
+  std::vector<std::uint64_t> chain;
+
+  bool empty() const { return kind == WitnessKind::None; }
+};
+
+}  // namespace tj::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/memory_sampler.hpp"
+#include "obs/causal.hpp"
 #include "runtime/runtime.hpp"
 
 namespace tj::harness {
@@ -10,12 +11,20 @@ namespace tj::harness {
 namespace {
 
 // Gate stats accumulate via the field-complete operator+= defined alongside
-// GateStats (core/guarded.hpp); recorder counters ride along here.
+// GateStats (core/guarded.hpp); recorder counters ride along here. When
+// observing, the rep's event stream is drained (the runtime is quiescent and
+// about to be destroyed) and the critical-path attribution of verifier
+// overhead accumulated — this happens after the app reported its wall time,
+// so the analysis never contaminates the measurement.
 void accumulate_run(Measurement& m, const runtime::Runtime& rt) {
   m.gate += rt.gate_stats();
-  if (const obs::FlightRecorder* rec = rt.recorder(); rec != nullptr) {
+  if (obs::FlightRecorder* rec = rt.recorder(); rec != nullptr) {
     m.obs_events += rec->events_recorded();
     m.obs_dropped += rec->events_dropped();
+    const obs::CriticalPathReport rep =
+        obs::analyze_critical_path(rec->drain());
+    m.verifier_on_path_ns += rep.verifier_on_path_ns();
+    m.verifier_off_path_ns += rep.verifier_off_path_ns();
   }
 }
 

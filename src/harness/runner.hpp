@@ -39,6 +39,12 @@ struct Measurement {
   std::uint64_t tasks = 0;         ///< tasks per rep (last rep)
   std::uint64_t obs_events = 0;    ///< flight-recorder events (all reps)
   std::uint64_t obs_dropped = 0;   ///< events dropped on full rings (all reps)
+  /// Critical-path attribution of verifier overhead (policy checks + WFG
+  /// cycle scans), accumulated across reps; zero unless `observe` is set.
+  /// on + off reconciles with the metrics histograms' sums per rep (see
+  /// obs/causal.hpp).
+  std::uint64_t verifier_on_path_ns = 0;
+  std::uint64_t verifier_off_path_ns = 0;
 };
 
 /// Runs `app` under `policy` per `cfg`. Throws only on harness misuse; app

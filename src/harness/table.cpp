@@ -145,7 +145,7 @@ std::string render_csv(const std::vector<BenchmarkRecord>& rows) {
   os << "benchmark,policy,time_mean_s,time_ci95_s,time_factor,"
         "verifier_peak_bytes,rss_peak_delta_bytes,mem_factor,joins,"
         "rejections,false_positives,cycle_checks,app_valid,"
-        "obs_events,obs_dropped\n";
+        "obs_events,obs_dropped,verifier_on_path_ns,verifier_off_path_ns\n";
   for (const BenchmarkRecord& r : rows) {
     auto line = [&](const Measurement& m) {
       os << r.name << "," << core::to_string(m.policy) << ","
@@ -155,7 +155,8 @@ std::string render_csv(const std::vector<BenchmarkRecord>& rows) {
          << "," << m.gate.joins_checked << "," << m.gate.policy_rejections
          << "," << m.gate.false_positives << "," << m.gate.cycle_checks << ","
          << (m.app_valid ? 1 : 0) << "," << m.obs_events << ","
-         << m.obs_dropped << "\n";
+         << m.obs_dropped << "," << m.verifier_on_path_ns << ","
+         << m.verifier_off_path_ns << "\n";
     };
     line(r.baseline);
     for (const Measurement& p : r.policies) line(p);

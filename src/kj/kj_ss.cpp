@@ -24,6 +24,21 @@ bool KjSsVerifier::permits_join(const core::PolicyNode* joiner,
                static_cast<const Node*>(joinee));
 }
 
+core::Witness KjSsVerifier::explain(const core::PolicyNode* joiner,
+                                    const core::PolicyNode* joinee) {
+  // Called on the rejecting joiner's own thread; its set pointer is owner-
+  // mutated only, so re-probing membership here races nothing.
+  const auto* a = static_cast<const Node*>(joiner);
+  const auto* b = static_cast<const Node*>(joinee);
+  core::Witness w;
+  w.kind = core::WitnessKind::KjSet;
+  w.policy = kind();
+  w.joiner_id = a->id;
+  w.joinee_id = b->id;
+  w.set_member = knows(a, b);
+  return w;
+}
+
 void KjSsVerifier::on_join_complete(core::PolicyNode* joiner,
                                     const core::PolicyNode* joinee) {
   auto* a = static_cast<Node*>(joiner);

@@ -52,6 +52,24 @@ bool KjVcVerifier::permits_join(const core::PolicyNode* joiner,
                static_cast<const Node*>(joinee));
 }
 
+core::Witness KjVcVerifier::explain(const core::PolicyNode* joiner,
+                                    const core::PolicyNode* joinee) {
+  // Called on the rejecting joiner's own thread, so reading its clock (owner-
+  // mutated only) races nothing; the joinee's id fields are immutable.
+  const auto* a = static_cast<const Node*>(joiner);
+  const auto* b = static_cast<const Node*>(joinee);
+  core::Witness w;
+  w.kind = core::WitnessKind::KjClock;
+  w.policy = kind();
+  w.joiner_id = a->id;
+  w.joinee_id = b->id;
+  w.joinee_parent = b->parent_id;
+  w.joinee_birth = b->birth;
+  w.observed_clock =
+      b->parent_id < a->clock.size() ? a->clock[b->parent_id] : 0;
+  return w;
+}
+
 void KjVcVerifier::on_join_complete(core::PolicyNode* joiner,
                                     const core::PolicyNode* joinee) {
   auto* a = static_cast<Node*>(joiner);

@@ -26,6 +26,8 @@ class KjVcVerifier final : public core::Verifier {
   core::PolicyNode* add_child(core::PolicyNode* parent) override;
   bool permits_join(const core::PolicyNode* joiner,
                     const core::PolicyNode* joinee) override;
+  core::Witness explain(const core::PolicyNode* joiner,
+                        const core::PolicyNode* joinee) override;
   void on_join_complete(core::PolicyNode* joiner,
                         const core::PolicyNode* joinee) override;
   void release(core::PolicyNode* node) override;

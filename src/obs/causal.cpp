@@ -1,0 +1,239 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tj::obs {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Spine events: the causal skeleton. One per structural/lifecycle step of
+/// a task, in that task's program order. Overhead intervals hang off the
+/// spine; they never carry the walk themselves (a JoinBlocked event is
+/// emitted *after* the wake, so using it as a predecessor would hide the
+/// joined child's chain behind its late timestamp).
+bool is_spine(EventKind k) {
+  switch (k) {
+    case EventKind::TaskInit:
+    case EventKind::TaskSpawn:
+    case EventKind::TaskStart:
+    case EventKind::TaskEnd:
+    case EventKind::JoinComplete:
+    case EventKind::PromiseMake:
+    case EventKind::PromiseFulfill:
+    case EventKind::PromiseTransfer:
+    case EventKind::AwaitComplete:
+    case EventKind::BarrierPhase:
+    case EventKind::SchedInline:
+    case EventKind::SpawnInlined:
+    case EventKind::JoinTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Measured overhead intervals: payload is the duration in ns.
+bool is_duration(EventKind k) {
+  switch (k) {
+    case EventKind::JoinVerdict:
+    case EventKind::AwaitVerdict:
+    case EventKind::CycleScan:
+    case EventKind::JoinBlocked:
+    case EventKind::AwaitBlocked:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when event `a` finishes later than `b` (predecessor comparison;
+/// seq breaks timestamp ties deterministically).
+bool later(const Event& a, const Event& b) {
+  return a.t_ns != b.t_ns ? a.t_ns > b.t_ns : a.seq > b.seq;
+}
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const std::vector<Event>& events) {
+  CriticalPathReport rep;
+
+  // Index the spine in seq order (drain() output is already seq-sorted, but
+  // the walk only needs per-pass monotonicity, which we re-establish here).
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&events](std::size_t a, std::size_t b) {
+    return events[a].seq < events[b].seq;
+  });
+
+  std::vector<std::size_t> prev_spine(events.size(), kNone);
+  std::vector<std::size_t> cross_pred(events.size(), kNone);
+  // Duration event -> the actor's next spine event (its attribution anchor).
+  std::vector<std::size_t> anchor(events.size(), kNone);
+
+  std::unordered_map<std::uint64_t, std::size_t> last_spine_of;  // actor → idx
+  std::unordered_map<std::uint64_t, std::size_t> spawn_of;       // child → idx
+  std::unordered_map<std::uint64_t, std::size_t> end_of;         // task → idx
+  std::unordered_map<std::uint64_t, std::size_t> fulfill_of;     // promise → idx
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> pending_of;
+
+  std::size_t terminal = kNone;
+  for (std::size_t i : order) {
+    const Event& e = events[i];
+    if (is_duration(e.kind)) {
+      ++rep.causal_events;
+      pending_of[e.actor].push_back(i);
+      continue;
+    }
+    if (!is_spine(e.kind)) continue;
+    ++rep.causal_events;
+
+    // Program order within the actor, and anchor any overhead measured
+    // since the actor's previous spine step to this one.
+    auto [it, fresh] = last_spine_of.try_emplace(e.actor, i);
+    if (!fresh) {
+      prev_spine[i] = it->second;
+      it->second = i;
+    }
+    if (auto p = pending_of.find(e.actor); p != pending_of.end()) {
+      for (std::size_t d : p->second) anchor[d] = i;
+      p->second.clear();
+    }
+
+    switch (e.kind) {
+      case EventKind::TaskSpawn:
+        spawn_of[e.target] = i;
+        break;
+      case EventKind::TaskStart:
+        if (auto s = spawn_of.find(e.actor); s != spawn_of.end()) {
+          cross_pred[i] = s->second;
+        }
+        break;
+      case EventKind::TaskEnd:
+        end_of[e.actor] = i;
+        break;
+      case EventKind::JoinComplete:
+        if (auto t = end_of.find(e.target); t != end_of.end()) {
+          cross_pred[i] = t->second;
+        }
+        break;
+      case EventKind::PromiseFulfill:
+        fulfill_of.try_emplace(e.target, i);  // first fulfill wins
+        break;
+      case EventKind::AwaitComplete:
+        if (auto f = fulfill_of.find(e.target); f != fulfill_of.end()) {
+          cross_pred[i] = f->second;
+        }
+        break;
+      default:
+        break;
+    }
+    terminal = i;
+  }
+
+  // Backward last-arrival walk: from the final spine event, repeatedly step
+  // to the latest-finishing causal predecessor.
+  std::vector<bool> on_walk(events.size(), false);
+  std::vector<std::size_t> path_idx;
+  for (std::size_t cur = terminal; cur != kNone;) {
+    on_walk[cur] = true;
+    path_idx.push_back(cur);
+    const std::size_t a = prev_spine[cur];
+    const std::size_t b = cross_pred[cur];
+    if (a == kNone) {
+      cur = b;
+    } else if (b == kNone) {
+      cur = a;
+    } else {
+      cur = later(events[a], events[b]) ? a : b;
+    }
+  }
+  std::reverse(path_idx.begin(), path_idx.end());
+  rep.path.reserve(path_idx.size());
+  for (std::size_t i : path_idx) rep.path.push_back(events[i]);
+  if (!rep.path.empty()) {
+    rep.span_ns = rep.path.back().t_ns - rep.path.front().t_ns;
+  }
+
+  // Attribute each overhead interval: on-path iff its anchor (the spine
+  // step it gated) lies on the walk. A blocked join's anchor is its
+  // JoinComplete, so "blocked time on the critical path" is the wait whose
+  // completion the path runs through — during which the path itself is
+  // inside the joined child. Verdicts share the anchor, which makes the
+  // on-path policy-check figure an upper bound: a ruling that overlapped
+  // the child's execution is charged as if serial. Unanchored intervals
+  // (the actor recorded no later spine event) count off-path.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (!is_duration(e.kind)) continue;
+    PathAttribution* cat = nullptr;
+    switch (e.kind) {
+      case EventKind::JoinVerdict:
+      case EventKind::AwaitVerdict:
+        cat = &rep.policy_check;
+        break;
+      case EventKind::CycleScan:
+        cat = &rep.cycle_scan;
+        break;
+      case EventKind::JoinBlocked:
+        cat = &rep.blocked_join;
+        break;
+      default:
+        cat = &rep.blocked_await;
+        break;
+    }
+    const bool on = anchor[i] != kNone && on_walk[anchor[i]];
+    ++cat->count;
+    if (on) {
+      ++cat->on_path_count;
+      cat->on_path_ns += e.payload;
+    } else {
+      cat->off_path_ns += e.payload;
+    }
+  }
+  return rep;
+}
+
+namespace {
+
+std::string ns_str(std::uint64_t ns) {
+  std::ostringstream os;
+  if (ns >= 10'000'000) {
+    os << ns / 1'000'000 << '.' << (ns / 100'000) % 10 << "ms";
+  } else if (ns >= 10'000) {
+    os << ns / 1'000 << '.' << (ns / 100) % 10 << "us";
+  } else {
+    os << ns << "ns";
+  }
+  return os.str();
+}
+
+void render(std::ostringstream& os, const char* name,
+            const PathAttribution& a) {
+  os << "  " << name << ": total " << ns_str(a.total_ns()) << ", on-path "
+     << ns_str(a.on_path_ns) << " (" << a.on_path_count << "/" << a.count
+     << " intervals), off-path " << ns_str(a.off_path_ns) << "\n";
+}
+
+}  // namespace
+
+std::string CriticalPathReport::to_string() const {
+  std::ostringstream os;
+  os << "critical path: " << path.size() << " spine events spanning "
+     << ns_str(span_ns) << " (" << causal_events << " causal events)\n";
+  render(os, "policy-check ", policy_check);
+  render(os, "cycle-scan   ", cycle_scan);
+  render(os, "blocked-join ", blocked_join);
+  render(os, "blocked-await", blocked_await);
+  os << "  verifier     : on-path " << ns_str(verifier_on_path_ns())
+     << ", off-path " << ns_str(verifier_off_path_ns()) << "\n";
+  return os.str();
+}
+
+}  // namespace tj::obs

@@ -1,0 +1,69 @@
+#pragma once
+// Critical-path profiler: reconstructs the causal DAG of a recorded run
+// from the drained event stream and attributes every measured overhead
+// interval (policy checks, WFG cycle scans, blocked joins/awaits) to the
+// critical path or off it. The causal edges are program order within each
+// task plus the three cross-task dependences the runtime exposes:
+// TaskSpawn→TaskStart, TaskEnd→JoinComplete, and
+// PromiseFulfill→AwaitComplete. The critical path is the chain found by
+// walking backward from the last task-scoped event, always stepping to the
+// latest-finishing causal predecessor — the classic last-arrival path.
+//
+// Attribution invariant: every duration event lands in exactly one of
+// on_path / off_path, so on + off equals the category total, which in turn
+// equals the matching metrics histogram's sum_ns() for the same run
+// (policy_check = JoinVerdict + AwaitVerdict payloads, etc.). ci.sh
+// asserts this reconciliation on real benchmark runs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace tj::obs {
+
+/// On-path vs off-path split of one overhead category. Counts and
+/// nanoseconds each partition the category's total exactly.
+struct PathAttribution {
+  std::uint64_t on_path_ns = 0;
+  std::uint64_t off_path_ns = 0;
+  std::uint64_t on_path_count = 0;
+  std::uint64_t count = 0;
+
+  std::uint64_t total_ns() const { return on_path_ns + off_path_ns; }
+};
+
+struct CriticalPathReport {
+  /// The critical path itself, oldest event first. Empty iff the stream
+  /// held no task-scoped events.
+  std::vector<Event> path;
+  /// Wall span from the path's first to its last event.
+  std::uint64_t span_ns = 0;
+  /// Task-scoped events that entered the DAG (diagnostic denominator).
+  std::uint64_t causal_events = 0;
+
+  PathAttribution policy_check;   ///< JoinVerdict + AwaitVerdict rulings
+  PathAttribution cycle_scan;     ///< WFG fallback scans
+  PathAttribution blocked_join;   ///< wall time blocked in admitted joins
+  PathAttribution blocked_await;  ///< wall time blocked in admitted awaits
+
+  /// Verifier overhead (ruling + fallback scan) on / off the path — the
+  /// pair the harness exports per benchmark cell.
+  std::uint64_t verifier_on_path_ns() const {
+    return policy_check.on_path_ns + cycle_scan.on_path_ns;
+  }
+  std::uint64_t verifier_off_path_ns() const {
+    return policy_check.off_path_ns + cycle_scan.off_path_ns;
+  }
+
+  /// Multi-line human-readable summary.
+  std::string to_string() const;
+};
+
+/// Analyzes a drained event stream (recorder seq order; `drain()` output is
+/// already sorted). Safe on incomplete streams — missing events can only
+/// shorten the reconstructed path, never crash the walk.
+CriticalPathReport analyze_critical_path(const std::vector<Event>& events);
+
+}  // namespace tj::obs

@@ -33,6 +33,7 @@ std::string_view to_string(EventKind k) {
     case EventKind::KjGcEnabled: return "kj-gc-enabled";
     case EventKind::SpawnInlined: return "spawn-inlined";
     case EventKind::JoinTimeout: return "join-timeout";
+    case EventKind::VerdictExplained: return "verdict-explained";
   }
   return "<bad event kind>";
 }
@@ -52,6 +53,9 @@ std::string to_string(const Event& e) {
     case EventKind::SpawnInlined:
     case EventKind::JoinTimeout:
       os << " -> " << e.target;
+      break;
+    case EventKind::VerdictExplained:
+      os << " -> " << (promise_target ? "p" : "") << e.target;
       break;
     case EventKind::PromiseMake:
     case EventKind::PromiseFulfill:
@@ -110,6 +114,11 @@ std::string to_string(const Event& e) {
       break;
     case EventKind::JoinTimeout:
       os << " after " << e.payload << "ns";
+      break;
+    case EventKind::VerdictExplained:
+      os << " witness=" << static_cast<unsigned>(e.detail)
+         << " policy=" << static_cast<unsigned>(e.policy)
+         << " chain=" << e.payload;
       break;
     default:
       break;

@@ -56,6 +56,9 @@ enum class EventKind : std::uint8_t {
                     ///< (payload: live tasks at the decision)
   JoinTimeout,      ///< actor's join_for/get_for on target expired
                     ///< (payload: timeout ns; kFlagPromise unused — futures only)
+  VerdictExplained, ///< a rejection's provenance witness was captured (policy:
+                    ///< Witness::policy; detail: WitnessKind; payload: chain
+                    ///< length; kFlagPromise mirrors Witness::on_promise)
 };
 
 /// Which fault-injection site fired (Event::detail for FaultInjected).

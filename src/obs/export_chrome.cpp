@@ -26,6 +26,24 @@ void write_args(std::ostringstream& os, const Event& e) {
      << static_cast<unsigned>(e.flags) << "}}";
 }
 
+/// Flow arrows ("s" start / "f" finish) make Perfetto draw the causal edges
+/// the critical-path profiler walks: TaskSpawn→TaskStart and
+/// TaskEnd→JoinComplete. Flow ids live in one namespace, so the two edge
+/// families interleave the task uid with a low bit.
+void write_flow(std::ostringstream& os, const char* name, const char* ph,
+                std::uint64_t tid, std::uint64_t ts_ns, std::uint64_t id) {
+  os << ",\n"
+     << R"({"name":")" << name << R"(","cat":"tj-flow","ph":")" << ph
+     << R"(","pid":1,"tid":)" << tid << R"(,"ts":)";
+  write_us(os, ts_ns);
+  os << R"(,"id":)" << id;
+  if (ph[0] == 'f') os << R"(,"bp":"e")";
+  os << "}";
+}
+
+std::uint64_t spawn_flow_id(std::uint64_t task_uid) { return task_uid * 2; }
+std::uint64_t join_flow_id(std::uint64_t task_uid) { return task_uid * 2 + 1; }
+
 }  // namespace
 
 std::string to_chrome_json(const std::vector<Event>& events) {
@@ -39,10 +57,25 @@ std::string to_chrome_json(const std::vector<Event>& events) {
       case EventKind::TaskStart:
         write_common(os, e, "B", e.t_ns);
         write_args(os, e);
+        write_flow(os, "spawn", "f", e.actor, e.t_ns, spawn_flow_id(e.actor));
         break;
       case EventKind::TaskEnd:
         write_common(os, e, "E", e.t_ns);
         write_args(os, e);
+        write_flow(os, "join", "s", e.actor, e.t_ns, join_flow_id(e.actor));
+        break;
+      case EventKind::TaskSpawn:
+        write_common(os, e, "i", e.t_ns);
+        os << R"(,"s":"t")";
+        write_args(os, e);
+        write_flow(os, "spawn", "s", e.actor, e.t_ns,
+                   spawn_flow_id(e.target));
+        break;
+      case EventKind::JoinComplete:
+        write_common(os, e, "i", e.t_ns);
+        os << R"(,"s":"t")";
+        write_args(os, e);
+        write_flow(os, "join", "f", e.actor, e.t_ns, join_flow_id(e.target));
         break;
       case EventKind::CycleScan:
       case EventKind::JoinBlocked:

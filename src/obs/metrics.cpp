@@ -18,6 +18,18 @@ std::uint64_t LatencyHistogram::approx_quantile_ns(double q) const {
   return bucket_floor(kBuckets - 1);
 }
 
+LatencyHistogram::Summary LatencyHistogram::summary() const {
+  Summary s;
+  s.count = count();
+  s.sum_ns = sum_ns();
+  s.min_ns = min_ns();
+  s.max_ns = max_ns();
+  s.p50_ns = approx_quantile_ns(0.5);
+  s.p90_ns = approx_quantile_ns(0.9);
+  s.p99_ns = approx_quantile_ns(0.99);
+  return s;
+}
+
 std::string LatencyHistogram::to_string() const {
   std::ostringstream os;
   os << "count=" << count();

@@ -36,12 +36,18 @@ class LatencyHistogram {
   void record(std::uint64_t ns) noexcept {
     buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
     update_min(ns);
     update_max(ns);
   }
 
   std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
+  }
+  /// Total of all recorded values — the reconciliation anchor the critical-
+  /// path profiler's on-path + off-path attribution must sum to.
+  std::uint64_t sum_ns() const {
+    return sum_ns_.load(std::memory_order_relaxed);
   }
   std::uint64_t bucket_count(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
@@ -60,6 +66,19 @@ class LatencyHistogram {
   /// The smallest bucket floor F such that at least `q` (0..1) of recorded
   /// values are < 2F — a log2-resolution upper percentile estimate.
   std::uint64_t approx_quantile_ns(double q) const;
+
+  /// One consistent-enough snapshot of the headline statistics (each field
+  /// is a relaxed read; a concurrent record() may skew them by one sample).
+  struct Summary {
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::uint64_t p50_ns = 0;  ///< log2-resolution estimates (bucket floors)
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
+  };
+  Summary summary() const;
 
   /// "count=… min=… p50≈… p99≈… max=…" plus the nonzero buckets.
   std::string to_string() const;
@@ -82,6 +101,7 @@ class LatencyHistogram {
 
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
   std::atomic<std::uint64_t> min_{kEmptyMin};
   std::atomic<std::uint64_t> max_{0};
 };

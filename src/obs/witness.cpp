@@ -1,0 +1,489 @@
+#include "obs/witness.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "trace/fork_tree.hpp"
+#include "trace/kj_judgment.hpp"
+#include "trace/owp_judgment.hpp"
+#include "trace/tj_judgment.hpp"
+
+namespace tj::obs {
+
+namespace {
+
+// Mirrors wfg::promise_node_id's reserved high bit without pulling the WFG
+// header into the obs layer.
+constexpr std::uint64_t kPromiseBit = std::uint64_t{1} << 63;
+
+// Raw core::JoinDecision values (Witness::outcome is kept untyped to avoid a
+// guarded.hpp dependency in the witness header).
+std::string_view outcome_name(std::uint8_t outcome) {
+  switch (outcome) {
+    case 0: return "proceed";
+    case 1: return "proceed-false-positive";
+    case 2: return "fault-policy";
+    case 3: return "fault-deadlock";
+  }
+  return "<bad outcome>";
+}
+
+// Replica of TjSpVerifier::less on raw spawn paths: p1 <T p2 by diverging
+// sibling index (later-forked subtree first), prefix ⇒ ancestor.
+bool sp_less(const std::vector<std::uint32_t>& p1,
+             const std::vector<std::uint32_t>& p2) {
+  const std::size_t common = std::min(p1.size(), p2.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (p1[i] != p2[i]) return p1[i] > p2[i];
+  }
+  return p1.size() < p2.size();
+}
+
+std::string path_str(const std::vector<std::uint32_t>& p) {
+  std::ostringstream os;
+  os << "root";
+  for (const std::uint32_t ix : p) os << '.' << ix;
+  return os.str();
+}
+
+std::string wfg_node_name(std::uint64_t n) {
+  std::ostringstream os;
+  if ((n & kPromiseBit) != 0) {
+    os << 'p' << (n & ~kPromiseBit);
+  } else {
+    os << 't' << n;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_text(const core::Witness& w) {
+  std::ostringstream os;
+  os << "witness[" << to_string(w.kind) << "] "
+     << (w.on_promise ? "await " : "join ") << w.waiter << " -> "
+     << (w.on_promise ? "p" : "") << w.target
+     << " outcome=" << outcome_name(w.outcome)
+     << " policy=" << core::to_string(w.policy);
+  if (w.trace_pos != 0) os << " trace_pos=" << w.trace_pos;
+  os << '\n';
+  switch (w.kind) {
+    case core::WitnessKind::TjPath:
+      os << "  waiter spawn path: " << path_str(w.waiter_path) << '\n'
+         << "  target spawn path: " << path_str(w.target_path) << '\n'
+         << "  evidence: the waiter does not precede the target in the fork "
+            "tree's newest-first preorder, so TJ forbids the join\n";
+      break;
+    case core::WitnessKind::KjClock:
+      os << "  joiner kj-id " << w.joiner_id << " observed clock["
+         << w.joinee_parent << "]=" << w.observed_clock
+         << "; joinee kj-id " << w.joinee_id << " was fork #"
+         << w.joinee_birth << " of parent " << w.joinee_parent << '\n'
+         << "  evidence: "
+         << (w.joinee_birth == 0
+                 ? "the joinee is the root (nothing ever knows the root)\n"
+                 : "the joiner's clock has not reached the joinee's birth, "
+                   "so the joiner does not know it\n");
+      break;
+    case core::WitnessKind::KjSet:
+      os << "  joiner kj-id " << w.joiner_id << " knowledge set "
+         << (w.set_member ? "CONTAINS" : "does not contain") << " joinee kj-id "
+         << w.joinee_id << '\n'
+         << "  evidence: an unknown joinee may not be joined under KJ\n";
+      break;
+    case core::WitnessKind::OwpChain: {
+      os << "  obligation chain in H:";
+      for (const std::uint64_t n : w.chain) os << ' ' << n;
+      os << '\n'
+         << "  evidence: the "
+         << (w.on_promise ? "promise owner's" : "target's")
+         << " obligation history already reaches the waiter — blocking could "
+            "wait on itself\n";
+      break;
+    }
+    case core::WitnessKind::OwpOrphan:
+      os << "  evidence: the promise's owner terminated without fulfilling "
+            "or transferring it; no task can ever wake the waiter\n";
+      break;
+    case core::WitnessKind::LadderMixed:
+      os << "  waiter tag: level " << w.waiter_level << ", forest "
+         << w.waiter_forest << "; target tag: level " << w.target_level
+         << ", forest " << w.target_forest << '\n'
+         << "  evidence: the pair is outside any single level verifier's "
+            "soundness theorem (or on the WFG-only floor); the ladder "
+            "conservatively rejects into the cycle-checked fallback\n";
+      break;
+    case core::WitnessKind::WfgCycle: {
+      os << "  wait cycle:";
+      for (const std::uint64_t n : w.chain) os << ' ' << wfg_node_name(n);
+      os << " -> " << wfg_node_name(w.chain.empty() ? w.waiter : w.chain[0])
+         << '\n'
+         << "  evidence: registering the wait edge would close this cycle in "
+            "the waits-for graph — every member would block forever\n";
+      break;
+    }
+    case core::WitnessKind::Injected:
+      os << "  evidence: none — deterministic fault injection flipped an "
+            "approved verdict into a spurious rejection\n";
+      break;
+    case core::WitnessKind::None:
+      os << "  no evidence captured\n";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_dot(const core::Witness& w) {
+  std::ostringstream os;
+  os << "digraph witness {\n"
+     << "  label=\"" << to_string(w.kind) << ": "
+     << (w.on_promise ? "await " : "join ") << w.waiter << " -> "
+     << (w.on_promise ? "p" : "") << w.target << " ("
+     << outcome_name(w.outcome) << ")\";\n"
+     << "  node [shape=ellipse];\n";
+  const auto rejected_edge = [&os](const std::string& from,
+                                   const std::string& to) {
+    os << "  " << from << " -> " << to
+       << " [style=dashed, color=red, label=\"rejected\"];\n";
+  };
+  switch (w.kind) {
+    case core::WitnessKind::TjPath: {
+      // The two spawn paths as branches of the fork tree, shared prefix
+      // rendered once. Node names encode the path prefix.
+      const auto node_id = [](const std::vector<std::uint32_t>& p,
+                              std::size_t len) {
+        std::string id = "n";
+        for (std::size_t i = 0; i < len; ++i) {
+          id += '_' + std::to_string(p[i]);
+        }
+        return id;
+      };
+      std::size_t common = 0;
+      while (common < w.waiter_path.size() && common < w.target_path.size() &&
+             w.waiter_path[common] == w.target_path[common]) {
+        ++common;
+      }
+      os << "  n [label=\"root\"];\n";
+      const auto emit_branch = [&](const std::vector<std::uint32_t>& p,
+                                   const char* who) {
+        for (std::size_t i = 0; i < p.size(); ++i) {
+          const std::string id = node_id(p, i + 1);
+          os << "  " << id << " [label=\"#" << p[i] << "\"];\n"
+             << "  " << node_id(p, i) << " -> " << id << ";\n";
+        }
+        os << "  " << node_id(p, p.size()) << " [label=\"" << who << "\"];\n";
+      };
+      // Emit the shared prefix once (via waiter's branch), then the suffixes.
+      emit_branch(w.waiter_path, "waiter");
+      for (std::size_t i = common; i < w.target_path.size(); ++i) {
+        const std::string id = node_id(w.target_path, i + 1);
+        os << "  " << id << " [label=\"#" << w.target_path[i] << "\"];\n"
+           << "  " << node_id(w.target_path, i) << " -> " << id << ";\n";
+      }
+      os << "  " << node_id(w.target_path, w.target_path.size())
+         << " [label=\"target\"];\n";
+      rejected_edge(node_id(w.waiter_path, w.waiter_path.size()),
+                    node_id(w.target_path, w.target_path.size()));
+      break;
+    }
+    case core::WitnessKind::KjClock:
+    case core::WitnessKind::KjSet:
+      os << "  t" << w.waiter << " [label=\"waiter " << w.waiter
+         << "\\nkj-id " << w.joiner_id;
+      if (w.kind == core::WitnessKind::KjClock) {
+        os << "\\nclock[" << w.joinee_parent << "]=" << w.observed_clock;
+      }
+      os << "\"];\n"
+         << "  t" << w.target << " [label=\"target " << w.target
+         << "\\nkj-id " << w.joinee_id;
+      if (w.kind == core::WitnessKind::KjClock) {
+        os << "\\nbirth #" << w.joinee_birth << " of " << w.joinee_parent;
+      }
+      os << "\"];\n";
+      rejected_edge("t" + std::to_string(w.waiter),
+                    "t" + std::to_string(w.target));
+      break;
+    case core::WitnessKind::OwpChain: {
+      for (std::size_t i = 0; i + 1 < w.chain.size(); ++i) {
+        os << "  t" << w.chain[i] << " -> t" << w.chain[i + 1]
+           << " [label=\"H\"];\n";
+      }
+      rejected_edge("t" + std::to_string(w.waiter),
+                    (w.on_promise ? "p" : "t") + std::to_string(w.target));
+      if (w.on_promise && !w.chain.empty()) {
+        os << "  p" << w.target << " -> t" << w.chain.front()
+           << " [label=\"owner\", style=dotted];\n";
+      }
+      break;
+    }
+    case core::WitnessKind::OwpOrphan:
+      os << "  p" << w.target << " [label=\"p" << w.target
+         << "\\norphaned\", color=red];\n";
+      rejected_edge("t" + std::to_string(w.waiter),
+                    "p" + std::to_string(w.target));
+      break;
+    case core::WitnessKind::LadderMixed:
+      os << "  t" << w.waiter << " [label=\"waiter " << w.waiter << "\\nlevel "
+         << w.waiter_level << ", forest " << w.waiter_forest << "\"];\n"
+         << "  t" << w.target << " [label=\"target " << w.target << "\\nlevel "
+         << w.target_level << ", forest " << w.target_forest << "\"];\n";
+      rejected_edge("t" + std::to_string(w.waiter),
+                    "t" + std::to_string(w.target));
+      break;
+    case core::WitnessKind::WfgCycle: {
+      for (std::size_t i = 0; i + 1 < w.chain.size(); ++i) {
+        os << "  " << wfg_node_name(w.chain[i]) << " -> "
+           << wfg_node_name(w.chain[i + 1])
+           << (i == 0 ? " [style=dashed, color=red, label=\"rejected\"]"
+                      : " [label=\"waits\"]")
+           << ";\n";
+      }
+      if (w.chain.size() >= 2) {
+        os << "  " << wfg_node_name(w.chain.back()) << " -> "
+           << wfg_node_name(w.chain.front()) << " [label=\"waits\"];\n";
+      }
+      break;
+    }
+    case core::WitnessKind::Injected:
+    case core::WitnessKind::None:
+      rejected_edge("t" + std::to_string(w.waiter),
+                    (w.on_promise ? "p" : "t") + std::to_string(w.target));
+      break;
+  }
+  os << "}\n";
+  return os.str();
+}
+
+WitnessValidation validate_witness(const core::Witness& w,
+                                   const trace::Trace& t) {
+  const auto result = [](WitnessVerdict v, std::string reason) {
+    return WitnessValidation{v, std::move(reason)};
+  };
+  const trace::Trace pre =
+      (w.trace_pos != 0 && w.trace_pos < t.size())
+          ? t.prefix(static_cast<std::size_t>(w.trace_pos))
+          : t;
+  const auto waiter = static_cast<trace::TaskId>(w.waiter);
+  const auto target = static_cast<trace::TaskId>(w.target);
+
+  switch (w.kind) {
+    case core::WitnessKind::None:
+      return result(WitnessVerdict::Invalid, "no evidence captured");
+
+    case core::WitnessKind::Injected:
+      return result(WitnessVerdict::Spurious,
+                    "fault injection flipped an approved verdict; by "
+                    "construction no evidence forbids the edge");
+
+    case core::WitnessKind::TjPath: {
+      if (sp_less(w.waiter_path, w.target_path)) {
+        return result(WitnessVerdict::Invalid,
+                      "the recorded spawn paths PERMIT the join — "
+                      "inconsistent with a TJ rejection");
+      }
+      if (pre.empty()) {
+        return result(WitnessVerdict::Confirmed,
+                      "spawn-path comparison forbids the join (no trace to "
+                      "cross-check)");
+      }
+      // Structural cross-check: when the paths are rooted at the real fork
+      // tree (not a ladder forest), they must match the tree's indices.
+      try {
+        const trace::ForkTree tree(pre);
+        if (tree.contains(waiter) && tree.contains(target) &&
+            tree.depth(waiter) == w.waiter_path.size() &&
+            tree.depth(target) == w.target_path.size()) {
+          for (trace::TaskId a : {waiter, target}) {
+            const auto& path =
+                a == waiter ? w.waiter_path : w.target_path;
+            trace::TaskId cur = a;
+            for (std::size_t i = path.size(); i > 0; --i) {
+              if (tree.child_index(cur) != path[i - 1]) {
+                return result(WitnessVerdict::Invalid,
+                              "spawn path disagrees with the recorded fork "
+                              "tree");
+              }
+              cur = tree.parent(cur);
+            }
+          }
+        }
+      } catch (const std::invalid_argument&) {
+        // Structurally unusable prefix: fall through to the judgment.
+      }
+      trace::TjJudgment j(pre);
+      if (!j.knows_task(waiter) || !j.knows_task(target)) {
+        return result(WitnessVerdict::Invalid,
+                      "waiter or target never appears in the trace");
+      }
+      if (j.less(waiter, target)) {
+        return result(WitnessVerdict::Spurious,
+                      "offline TJ judgment t |- waiter < target holds: the "
+                      "formalism permits the edge (conservative rejection, "
+                      "e.g. under a ladder forest)");
+      }
+      return result(WitnessVerdict::Confirmed,
+                    "offline TJ judgment does not derive waiter < target: "
+                    "the edge is forbidden");
+    }
+
+    case core::WitnessKind::KjClock:
+    case core::WitnessKind::KjSet: {
+      if (w.kind == core::WitnessKind::KjClock &&
+          w.joinee_birth != 0 && w.observed_clock >= w.joinee_birth) {
+        return result(WitnessVerdict::Invalid,
+                      "the recorded clock reaches the joinee's birth — the "
+                      "evidence PERMITS the join");
+      }
+      if (w.kind == core::WitnessKind::KjSet && w.set_member) {
+        return result(WitnessVerdict::Invalid,
+                      "the joiner's knowledge set contains the joinee — the "
+                      "evidence PERMITS the join");
+      }
+      if (pre.empty()) {
+        return result(WitnessVerdict::Confirmed,
+                      "the recorded knowledge evidence forbids the join (no "
+                      "trace to cross-check)");
+      }
+      trace::KjJudgment j(pre);
+      if (!j.knows_task(waiter) || !j.knows_task(target)) {
+        return result(WitnessVerdict::Invalid,
+                      "waiter or target never appears in the trace");
+      }
+      if (j.knows(waiter, target)) {
+        return result(WitnessVerdict::Spurious,
+                      "offline KJ judgment t |- waiter knows target holds: "
+                      "the formalism permits the edge");
+      }
+      return result(WitnessVerdict::Confirmed,
+                    "offline KJ judgment does not derive knowledge of the "
+                    "target: the edge is forbidden");
+    }
+
+    case core::WitnessKind::OwpChain: {
+      if (!w.chain.empty() && w.chain.back() != w.waiter) {
+        return result(WitnessVerdict::Invalid,
+                      "obligation chain does not end at the waiter");
+      }
+      if (!w.on_promise && !w.chain.empty() && w.chain.front() != w.target) {
+        return result(WitnessVerdict::Invalid,
+                      "obligation chain does not start at the join target");
+      }
+      if (pre.empty()) {
+        return result(w.chain.empty() ? WitnessVerdict::Spurious
+                                      : WitnessVerdict::Confirmed,
+                      w.chain.empty()
+                          ? "no obligation chain was reconstructed and no "
+                            "trace is available"
+                          : "obligation chain present (no trace to "
+                            "cross-check)");
+      }
+      trace::OwpJudgment j(pre);
+      bool forbids;
+      if (w.on_promise) {
+        const auto p = static_cast<trace::PromiseId>(w.target);
+        if (!j.has_promise(p)) {
+          return result(WitnessVerdict::Invalid,
+                        "the promise never appears in the trace");
+        }
+        forbids = !j.valid_await(waiter, p);
+      } else {
+        forbids = !j.valid_join(waiter, target);
+      }
+      if (!forbids) {
+        // In-flight awaits are invisible to the trace (await actions are
+        // recorded on completion), so the runtime's H can be ahead of the
+        // judgment's: the chain may be genuine yet offline-underivable.
+        return result(WitnessVerdict::Spurious,
+                      "offline OWP judgment permits the edge at this prefix "
+                      "(in-flight awaits are not yet in the trace)");
+      }
+      return result(WitnessVerdict::Confirmed,
+                    "offline OWP judgment forbids the edge: the obligation "
+                    "history reaches the waiter");
+    }
+
+    case core::WitnessKind::OwpOrphan: {
+      if (!w.on_promise) {
+        return result(WitnessVerdict::Invalid,
+                      "orphan witness without a promise target");
+      }
+      if (pre.empty()) {
+        return result(WitnessVerdict::Confirmed,
+                      "orphaned-promise claim (owner death is runtime state; "
+                      "no trace to cross-check)");
+      }
+      trace::OwpJudgment j(pre);
+      const auto p = static_cast<trace::PromiseId>(w.target);
+      if (!j.has_promise(p)) {
+        return result(WitnessVerdict::Invalid,
+                      "the promise never appears in the trace");
+      }
+      if (j.fulfilled(p)) {
+        return result(WitnessVerdict::Invalid,
+                      "the trace fulfills the promise before the rejection — "
+                      "it cannot have been orphaned");
+      }
+      // Task termination has no trace action, so orphaning itself is not
+      // offline-derivable; the structural facts are consistent with it.
+      return result(WitnessVerdict::Confirmed,
+                    "the promise is unfulfilled at the prefix and owner "
+                    "death is runtime-only: consistent orphan claim");
+    }
+
+    case core::WitnessKind::LadderMixed: {
+      const bool mixed = w.waiter_level != w.target_level ||
+                         w.waiter_forest != w.target_forest;
+      if (mixed) {
+        return result(WitnessVerdict::Confirmed,
+                      "cross-level or cross-forest pair: no level verifier's "
+                      "soundness theorem covers it, so the conservative "
+                      "rejection is sound by construction");
+      }
+      if (w.policy == core::PolicyChoice::CycleOnly) {
+        return result(WitnessVerdict::Confirmed,
+                      "WFG-only floor: every join is rejected into precise "
+                      "cycle detection by definition");
+      }
+      return result(WitnessVerdict::Invalid,
+                    "same level and forest above the floor: the ladder "
+                    "should have delegated, not rejected");
+    }
+
+    case core::WitnessKind::WfgCycle: {
+      if (w.chain.empty()) {
+        return result(WitnessVerdict::Invalid, "empty cycle");
+      }
+      if (w.chain.front() != w.waiter) {
+        return result(WitnessVerdict::Invalid,
+                      "cycle does not start at the waiter");
+      }
+      const std::uint64_t expect =
+          w.on_promise ? (w.target | kPromiseBit) : w.target;
+      if (w.chain.size() >= 2 && w.chain[1] != expect &&
+          w.chain[1] != w.target) {
+        return result(WitnessVerdict::Invalid,
+                      "cycle's second node is not the rejected edge's "
+                      "target");
+      }
+      for (std::size_t i = 0; i < w.chain.size(); ++i) {
+        for (std::size_t k = i + 1; k < w.chain.size(); ++k) {
+          if (w.chain[i] == w.chain[k]) {
+            return result(WitnessVerdict::Invalid,
+                          "cycle revisits a node before closing");
+          }
+        }
+      }
+      // Wait edges are runtime state: blocked joins/awaits are by definition
+      // not yet in the trace, so the cycle cannot be replayed offline — but a
+      // structurally well-formed closed wait chain is definitionally a
+      // deadlock for every member.
+      return result(WitnessVerdict::Confirmed,
+                    "well-formed wait cycle through the rejected edge: "
+                    "blocking would deadlock every member");
+    }
+  }
+  return result(WitnessVerdict::Invalid, "unknown witness kind");
+}
+
+}  // namespace tj::obs

@@ -1,0 +1,57 @@
+#pragma once
+// Rendering and offline validation of rejection-provenance witnesses
+// (core/witness.hpp). A witness is the gate's claim about WHY an edge was
+// forbidden; this module makes the claim inspectable (to_text / to_dot) and
+// checkable (validate_witness): the evidence is replayed through the trace
+// formalism (trace/{tj,kj,owp}_judgment) to confirm that it independently
+// forbids the edge — or, for conservative and injected rejections, that it
+// demonstrably fails to.
+
+#include <string>
+
+#include "core/witness.hpp"
+#include "trace/trace.hpp"
+
+namespace tj::obs {
+
+/// Outcome of replaying a witness through the trace formalism.
+enum class WitnessVerdict : std::uint8_t {
+  Confirmed,  ///< the evidence (and the offline judgment, when a trace is
+              ///< given) independently forbids the edge
+  Spurious,   ///< the evidence fails to forbid the edge — expected for
+              ///< injected rejections and for conservative false positives
+              ///< the fallback cleared
+  Invalid,    ///< the witness is internally inconsistent or contradicts the
+              ///< recorded trace: it explains nothing
+};
+
+constexpr std::string_view to_string(WitnessVerdict v) {
+  switch (v) {
+    case WitnessVerdict::Confirmed: return "confirmed";
+    case WitnessVerdict::Spurious: return "spurious";
+    case WitnessVerdict::Invalid: return "invalid";
+  }
+  return "<bad witness verdict>";
+}
+
+struct WitnessValidation {
+  WitnessVerdict verdict = WitnessVerdict::Invalid;
+  std::string reason;  ///< one line: what was checked and what it found
+};
+
+/// Human-readable multi-line rendering (header + per-kind evidence lines).
+std::string to_text(const core::Witness& w);
+
+/// Graphviz DOT rendering: the evidence as a graph, with the rejected edge
+/// dashed and red. Always a syntactically complete `digraph witness { ... }`.
+std::string to_dot(const core::Witness& w);
+
+/// Replays `w` through the offline formalism against `t` (the runtime's
+/// recorded trace; may be empty, in which case only the witness's
+/// self-contained evidence is checked). When w.trace_pos is nonzero the
+/// prefix of that length is used, so prefix-sensitive judgments (KJ, OWP)
+/// are evaluated exactly as of the rejection.
+WitnessValidation validate_witness(const core::Witness& w,
+                                   const trace::Trace& t);
+
+}  // namespace tj::obs

@@ -9,6 +9,8 @@
 #include <string>
 #include <utility>
 
+#include "core/witness.hpp"
+
 namespace tj::runtime {
 
 /// Base class of all runtime errors.
@@ -18,17 +20,36 @@ class TjError : public std::runtime_error {
 };
 
 /// The join was rejected by the policy and cycle detection confirmed that
-/// blocking would truly deadlock. Raised without blocking.
+/// blocking would truly deadlock. Raised without blocking. Carries the
+/// rejection's provenance witness (see core/witness.hpp) so a handler can
+/// render or validate exactly why the edge was forbidden; the witness is a
+/// plain value, safe to keep past the runtime's teardown.
 class DeadlockAvoidedError : public TjError {
  public:
   using TjError::TjError;
+  DeadlockAvoidedError(const std::string& msg, core::Witness why)
+      : TjError(msg), witness_(std::move(why)) {}
+
+  /// The captured provenance; empty() when none was recorded.
+  const core::Witness& witness() const { return witness_; }
+
+ private:
+  core::Witness witness_;
 };
 
 /// The join was rejected by the policy and FaultMode::Throw is active (no
-/// precise fallback requested): raised without blocking.
+/// precise fallback requested): raised without blocking. Carries the
+/// rejecting policy's witness like DeadlockAvoidedError.
 class PolicyViolationError : public TjError {
  public:
   using TjError::TjError;
+  PolicyViolationError(const std::string& msg, core::Witness why)
+      : TjError(msg), witness_(std::move(why)) {}
+
+  const core::Witness& witness() const { return witness_; }
+
+ private:
+  core::Witness witness_;
 };
 
 /// API misuse: e.g. async()/get() outside a runtime task context, or a

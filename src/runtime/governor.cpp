@@ -51,7 +51,7 @@ ResourceGovernor::Snapshot ResourceGovernor::snapshot() const {
   if (wfg_ != nullptr) s.wfg_edges = wfg_->edge_count();
   if (live_tasks_) s.live_tasks = live_tasks_();
   if (rec_ != nullptr) {
-    s.policy_check_p99_ns = rec_->metrics().policy_check_ns.approx_quantile_ns(0.99);
+    s.policy_check_p99_ns = rec_->metrics().policy_check_ns.summary().p99_ns;
   }
   return s;
 }

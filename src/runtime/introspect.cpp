@@ -1,0 +1,225 @@
+#include "runtime/introspect.hpp"
+
+#include <csignal>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "core/ladder.hpp"
+#include "obs/recorder.hpp"
+#include "obs/witness.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::runtime {
+
+namespace {
+
+/// How many recent events each blocked wait quotes in a snapshot.
+constexpr std::size_t kRecentEvents = 8;
+
+const char* edge_kind_name(wfg::WaitsForGraph::EdgeKind k) {
+  switch (k) {
+    case wfg::WaitsForGraph::EdgeKind::Approved:
+      return "approved";
+    case wfg::WaitsForGraph::EdgeKind::Probation:
+      return "probation";
+    default:
+      return "owner";
+  }
+}
+
+}  // namespace
+
+RuntimeSnapshot snapshot(const Runtime& rt) {
+  RuntimeSnapshot s;
+  s.configured = rt.config().policy;
+  s.active = rt.active_policy();
+  s.tasks_created = rt.tasks_created();
+  s.promises_made = rt.promises_made();
+  s.gate = rt.gate_stats();
+  s.verifier_bytes = rt.policy_bytes();
+  s.owp_bytes = rt.owp_bytes();
+
+  const core::JoinGate& gate = rt.gate();
+  s.wfg_edges = gate.graph().edges();
+  s.witnesses = gate.witnesses();
+  s.witnesses_dropped = gate.witnesses_dropped();
+
+  // The verifier is a ladder whenever a governor could act on it.
+  if (const auto* ladder = dynamic_cast<const core::LadderVerifier*>(
+          const_cast<Runtime&>(rt).verifier())) {
+    s.ladder_attached = true;
+    s.ladder_level = ladder->level();
+    s.ladder_levels = ladder->level_count();
+  }
+
+  if (const ResourceGovernor* gov = rt.governor()) {
+    s.governor_attached = true;
+    s.governor = gov->snapshot();
+    s.governor_pressure = gov->under_pressure();
+    s.degradation_history = gov->history_string();
+    s.live_tasks = s.governor.live_tasks;
+  }
+
+  obs::FlightRecorder* rec = rt.recorder();
+  if (rec != nullptr) {
+    s.recorder_attached = true;
+    s.obs_events = rec->events_recorded();
+    s.obs_dropped = rec->events_dropped();
+  }
+
+  if (const JoinWatchdog* wd = rt.watchdog()) {
+    s.watchdog_attached = true;
+    for (const JoinWatchdog::BlockedWait& b : wd->blocked_now()) {
+      RuntimeSnapshot::BlockedWait out;
+      out.waiter = b.waiter;
+      out.target = b.target;
+      out.on_promise = b.on_promise;
+      out.verdict = b.verdict;
+      out.blocked_ms = static_cast<std::uint64_t>(b.blocked_for.count());
+      if (rec != nullptr) {
+        for (const obs::Event& e : rec->recent(b.waiter, kRecentEvents)) {
+          out.recent_events.push_back(obs::to_string(e));
+        }
+      }
+      s.blocked.push_back(std::move(out));
+    }
+  }
+  return s;
+}
+
+std::string RuntimeSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "=== runtime snapshot ===\n";
+  os << "policy: configured=" << core::to_string(configured)
+     << " active=" << core::to_string(active);
+  if (ladder_attached) {
+    os << " ladder=" << ladder_level << "/" << (ladder_levels - 1);
+  }
+  os << "\n";
+  if (!degradation_history.empty()) {
+    os << "degradations: " << degradation_history << "\n";
+  }
+  os << "tasks=" << tasks_created << " promises=" << promises_made
+     << " live=" << live_tasks << " verifier_bytes=" << verifier_bytes
+     << " owp_bytes=" << owp_bytes << "\n";
+  os << "gate: joins=" << gate.joins_checked
+     << " rejections=" << gate.policy_rejections
+     << " false_positives=" << gate.false_positives
+     << " deadlocks_averted=" << gate.deadlocks_averted
+     << " cycle_checks=" << gate.cycle_checks
+     << " awaits=" << gate.awaits_checked
+     << " owp_rejections=" << gate.owp_rejections << "\n";
+  if (governor_attached) {
+    os << "governor: pressure=" << (governor_pressure ? "YES" : "no")
+       << " verifier_bytes=" << governor.verifier_bytes
+       << " nodes=" << governor.verifier_nodes
+       << " wfg_edges=" << governor.wfg_edges
+       << " p99_check=" << governor.policy_check_p99_ns << "ns\n";
+  }
+  if (recorder_attached) {
+    os << "recorder: events=" << obs_events << " dropped=" << obs_dropped
+       << "\n";
+  }
+  os << "wfg: " << wfg_edges.size() << " edge(s)\n";
+  for (const auto& e : wfg_edges) {
+    os << "  " << e.from << " -> ";
+    if (wfg::is_promise_node(e.to)) {
+      os << "p" << wfg::promise_uid_of(e.to);
+    } else {
+      os << e.to;
+    }
+    os << " [" << edge_kind_name(e.kind) << "]\n";
+  }
+  os << "witnesses: " << witnesses.size() << " recent, " << witnesses_dropped
+     << " dropped\n";
+  for (const core::Witness& w : witnesses) {
+    std::istringstream lines(obs::to_text(w));
+    for (std::string line; std::getline(lines, line);) {
+      os << "  " << line << "\n";
+    }
+  }
+  if (watchdog_attached) {
+    os << "blocked: " << blocked.size() << " wait(s)\n";
+    for (const BlockedWait& b : blocked) {
+      os << "  " << b.waiter << " on " << (b.on_promise ? "p" : "")
+         << b.target << " for " << b.blocked_ms << "ms (" << b.verdict
+         << ")\n";
+      for (const std::string& ev : b.recent_events) {
+        os << "    " << ev << "\n";
+      }
+    }
+  } else {
+    os << "blocked: unavailable (watchdog disabled)\n";
+  }
+  os << "=== end snapshot ===\n";
+  return os.str();
+}
+
+// ---- hooks ----
+
+namespace {
+/// The most recently constructed live hook — the signal target. A plain
+/// lock-free atomic so the signal handler's load is async-signal-safe.
+std::atomic<IntrospectionHook*> g_hook{nullptr};
+
+extern "C" void introspect_signal_handler(int) {
+  IntrospectionHook::request_current();
+}
+}  // namespace
+
+IntrospectionHook::IntrospectionHook(const Runtime& rt, std::uint32_t poll_ms,
+                                     Sink sink)
+    : rt_(rt), poll_ms_(poll_ms == 0 ? 1 : poll_ms), sink_(std::move(sink)) {
+  g_hook.store(this, std::memory_order_release);
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+IntrospectionHook::~IntrospectionHook() {
+  IntrospectionHook* self = this;
+  g_hook.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+  {
+    std::scoped_lock lock(mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+bool IntrospectionHook::request_current() {
+  IntrospectionHook* h = g_hook.load(std::memory_order_acquire);
+  if (h == nullptr) return false;
+  h->request();
+  return true;
+}
+
+bool IntrospectionHook::install_signal_handler() {
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, introspect_signal_handler);
+  return true;
+#else
+  return false;
+#endif
+}
+
+void IntrospectionHook::poll_loop() {
+  std::unique_lock lock(mu_);
+  const auto poll = std::chrono::milliseconds(poll_ms_);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    cv_.wait_for(lock, poll,
+                 [this] { return stop_.load(std::memory_order_relaxed); });
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (!want_.exchange(false, std::memory_order_relaxed)) continue;
+    lock.unlock();
+    const RuntimeSnapshot s = snapshot(rt_);
+    if (sink_) {
+      sink_(s);
+    } else {
+      std::cerr << s.to_string();
+    }
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace tj::runtime

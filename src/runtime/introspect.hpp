@@ -1,0 +1,135 @@
+#pragma once
+// Live runtime introspection: an on-demand snapshot of the deadlock-
+// avoidance machinery mid-run — what the WFG currently believes, which
+// ladder level is ruling, what the governor last measured, every counter,
+// the recent rejection witnesses, and each currently-blocked wait with its
+// last recorded events. Capturing a snapshot never stops the world: every
+// source is either atomic or guarded by its own short-lived lock, so the
+// result is a moment-in-time cut (fields may be skewed by in-flight
+// operations), which is exactly what a stuck-process diagnosis needs.
+//
+// Two triggers are provided on top of the direct snapshot() call: an
+// IntrospectionHook polling thread whose request() is safe from any
+// context, and a SIGUSR-style process signal routed to the most recently
+// armed hook (`kill -USR1 <pid>` dumps the snapshot to stderr).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/guarded.hpp"
+#include "core/policy_ids.hpp"
+#include "core/witness.hpp"
+#include "runtime/governor.hpp"
+#include "wfg/waits_for_graph.hpp"
+
+namespace tj::runtime {
+
+class Runtime;
+
+struct RuntimeSnapshot {
+  // --- policy / degradation ladder ---
+  core::PolicyChoice configured = core::PolicyChoice::None;
+  core::PolicyChoice active = core::PolicyChoice::None;
+  bool ladder_attached = false;
+  std::size_t ladder_level = 0;   ///< 0 = configured policy
+  std::size_t ladder_levels = 1;  ///< total rungs (1 when no ladder)
+  std::string degradation_history;  ///< governor transitions, "" when none
+
+  // --- counters ---
+  std::uint64_t tasks_created = 0;
+  std::uint64_t promises_made = 0;
+  std::size_t live_tasks = 0;
+  core::GateStats gate;
+  std::size_t verifier_bytes = 0;
+  std::size_t owp_bytes = 0;
+
+  // --- waits-for graph ---
+  std::vector<wfg::WaitsForGraph::EdgeView> wfg_edges;
+
+  // --- resource governor ---
+  bool governor_attached = false;
+  bool governor_pressure = false;
+  ResourceGovernor::Snapshot governor;
+
+  // --- rejection provenance ---
+  std::vector<core::Witness> witnesses;  ///< gate's recent ring, oldest first
+  std::uint64_t witnesses_dropped = 0;
+
+  // --- blocked waits (needs the watchdog; its bookkeeping is the only
+  // runtime-wide registry of who is blocked on what right now) ---
+  bool watchdog_attached = false;
+  struct BlockedWait {
+    std::uint64_t waiter = 0;
+    std::uint64_t target = 0;
+    bool on_promise = false;
+    std::string verdict;
+    std::uint64_t blocked_ms = 0;
+    /// Last flight-recorder events naming the waiter (formatted, oldest
+    /// first); empty when the recorder is off.
+    std::vector<std::string> recent_events;
+  };
+  std::vector<BlockedWait> blocked;
+
+  // --- flight recorder ---
+  bool recorder_attached = false;
+  std::uint64_t obs_events = 0;
+  std::uint64_t obs_dropped = 0;
+
+  /// Multi-line human-readable dump (the hooks' default sink).
+  std::string to_string() const;
+};
+
+/// Captures a snapshot of `rt`. Safe to call mid-run from any thread,
+/// including concurrently with joins, downgrades, and faults.
+RuntimeSnapshot snapshot(const Runtime& rt);
+
+/// A polling trigger: request() (async-signal-safe after construction: one
+/// relaxed atomic store) makes the poll thread capture a snapshot and hand
+/// it to the sink — stderr text when no sink is given. The most recently
+/// constructed hook is also the process-wide signal target.
+class IntrospectionHook {
+ public:
+  using Sink = std::function<void(const RuntimeSnapshot&)>;
+
+  explicit IntrospectionHook(const Runtime& rt, std::uint32_t poll_ms = 50,
+                             Sink sink = {});
+  ~IntrospectionHook();
+  IntrospectionHook(const IntrospectionHook&) = delete;
+  IntrospectionHook& operator=(const IntrospectionHook&) = delete;
+
+  /// Arms the next poll to dump. Async-signal-safe.
+  void request() { want_.store(true, std::memory_order_relaxed); }
+
+  /// Snapshots dumped so far.
+  std::uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+  /// Flags the most recently constructed live hook (async-signal-safe).
+  /// False when no hook is armed.
+  static bool request_current();
+
+  /// Installs a SIGUSR1 handler (where the platform has one) that routes to
+  /// request_current(). Returns false when the platform lacks SIGUSR1.
+  static bool install_signal_handler();
+
+ private:
+  void poll_loop();
+
+  const Runtime& rt_;
+  const std::uint32_t poll_ms_;
+  Sink sink_;
+  std::atomic<bool> want_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace tj::runtime

@@ -340,6 +340,11 @@ trace::Trace Runtime::recorded_trace() const {
   return trace::Trace(recorded_);
 }
 
+std::uint64_t Runtime::trace_position() const {
+  std::scoped_lock lock(trace_mu_);
+  return recorded_.size();
+}
+
 void Runtime::release_node(core::PolicyNode* node) {
   if (verifier_ != nullptr) {
     verifier_->release(node);
@@ -391,15 +396,20 @@ void Runtime::join(TaskBase& target) {
                          cur.cancel_cause());
   }
   const bool was_done = target.done();
+  core::Witness why;
   const core::JoinDecision d =
       gate_.enter_join(cur.uid(), target.uid(), cur.policy_node(),
-                       target.policy_node(), was_done);
+                       target.policy_node(), was_done, &why);
   switch (d) {
     case core::JoinDecision::FaultDeadlock:
+      if (cfg_.record_trace) why.trace_pos = trace_position();
       throw DeadlockAvoidedError(
-          "join aborted: blocking would create a deadlock cycle");
+          "join aborted: blocking would create a deadlock cycle",
+          std::move(why));
     case core::JoinDecision::FaultPolicy:
-      throw PolicyViolationError("join rejected by the active policy");
+      if (cfg_.record_trace) why.trace_pos = trace_position();
+      throw PolicyViolationError("join rejected by the active policy",
+                                 std::move(why));
     case core::JoinDecision::Proceed:
     case core::JoinDecision::ProceedFalsePositive:
       break;
@@ -460,15 +470,20 @@ bool Runtime::join_for(TaskBase& target, std::chrono::nanoseconds timeout) {
   const bool was_done = target.done();
   // Same gate ruling as join(): a deadline does not weaken the policy — a
   // join the policy would reject still faults rather than timing out.
+  core::Witness why;
   const core::JoinDecision d =
       gate_.enter_join(cur.uid(), target.uid(), cur.policy_node(),
-                       target.policy_node(), was_done);
+                       target.policy_node(), was_done, &why);
   switch (d) {
     case core::JoinDecision::FaultDeadlock:
+      if (cfg_.record_trace) why.trace_pos = trace_position();
       throw DeadlockAvoidedError(
-          "join aborted: blocking would create a deadlock cycle");
+          "join aborted: blocking would create a deadlock cycle",
+          std::move(why));
     case core::JoinDecision::FaultPolicy:
-      throw PolicyViolationError("join rejected by the active policy");
+      if (cfg_.record_trace) why.trace_pos = trace_position();
+      throw PolicyViolationError("join rejected by the active policy",
+                                 std::move(why));
     case core::JoinDecision::Proceed:
     case core::JoinDecision::ProceedFalsePositive:
       break;
@@ -591,8 +606,9 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
                          cur.cancel_cause());
   }
   const bool was_fulfilled = s.fulfilled();
+  core::Witness why;
   const core::JoinDecision d =
-      gate_.enter_await(cur.uid(), s.pnode_, was_fulfilled);
+      gate_.enter_await(cur.uid(), s.pnode_, was_fulfilled, &why);
   switch (d) {
     case core::JoinDecision::FaultDeadlock:
       if (auto cause = s.poison_cause(); cause) {
@@ -602,11 +618,15 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
             "await aborted: the promise was poisoned by cancellation",
             cause);
       }
+      if (cfg_.record_trace) why.trace_pos = trace_position();
       throw DeadlockAvoidedError(
           "await aborted: the promise is orphaned or blocking on it would "
-          "create a deadlock cycle");
+          "create a deadlock cycle",
+          std::move(why));
     case core::JoinDecision::FaultPolicy:
-      throw PolicyViolationError("await rejected by the ownership policy");
+      if (cfg_.record_trace) why.trace_pos = trace_position();
+      throw PolicyViolationError("await rejected by the ownership policy",
+                                 std::move(why));
     case core::JoinDecision::Proceed:
     case core::JoinDecision::ProceedFalsePositive:
       break;

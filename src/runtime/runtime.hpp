@@ -209,6 +209,10 @@ class Runtime {
   void register_task(TaskBase& t, const TaskBase* parent);
   void release_node(core::PolicyNode* node);
   void record(const trace::Action& a);
+  /// Length of the recorded trace right now — stamped into a rejection
+  /// witness as Witness::trace_pos so the offline validator evaluates
+  /// prefix-sensitive judgments at the rejection-time prefix.
+  std::uint64_t trace_position() const;
 
   // Spawn backpressure (admission control): past the live-task watermark,
   // async() runs the child inline in the caller instead of submitting it.

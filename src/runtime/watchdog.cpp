@@ -83,6 +83,24 @@ std::uint64_t JoinWatchdog::stalls_reported() const {
   return stalls_reported_;
 }
 
+std::vector<JoinWatchdog::BlockedWait> JoinWatchdog::blocked_now() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::scoped_lock lock(mu_);
+  std::vector<BlockedWait> out;
+  out.reserve(blocked_.size());
+  for (const auto& [waiter, e] : blocked_) {
+    BlockedWait w;
+    w.waiter = waiter;
+    w.target = e.target;
+    w.on_promise = e.on_promise;
+    w.verdict = e.verdict;
+    w.blocked_for =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - e.since);
+    out.push_back(w);
+  }
+  return out;
+}
+
 void JoinWatchdog::poll_loop() {
   std::unique_lock lock(mu_);
   const auto poll = std::chrono::milliseconds(cfg_.poll_ms);

@@ -105,6 +105,17 @@ class JoinWatchdog {
   /// Stall batches reported so far (each batch = one callback invocation).
   std::uint64_t stalls_reported() const;
 
+  /// Moment-in-time view of the currently-blocked admitted waits (for
+  /// introspection snapshots; the stall path has its own reporting).
+  struct BlockedWait {
+    std::uint64_t waiter = 0;
+    std::uint64_t target = 0;
+    bool on_promise = false;
+    const char* verdict = "";
+    std::chrono::milliseconds blocked_for{0};
+  };
+  std::vector<BlockedWait> blocked_now() const;
+
   const WatchdogConfig& config() const { return cfg_; }
 
  private:

@@ -68,6 +68,12 @@ class OwpJudgment {
   /// True iff `from` reaches `to` in H (reflexively: reaches(x,x) is true).
   bool reaches(TaskId from, TaskId to) const;
 
+  /// True iff H contains the direct edge from → to (witness chain replay).
+  bool has_edge(TaskId from, TaskId to) const {
+    const auto it = edges_.find(from);
+    return it != edges_.end() && it->second.contains(to);
+  }
+
   std::size_t promise_count() const {
     return owner_.size() + fulfilled_.size();
   }

@@ -4,12 +4,23 @@
 
 namespace tj::wfg {
 
-bool WaitsForGraph::closes_cycle(NodeId waiter, NodeId target) const {
+bool WaitsForGraph::closes_cycle(NodeId waiter, NodeId target,
+                                 std::vector<NodeId>* cycle) const {
   // Functional graph: follow the unique out-edge chain from `target`; the
   // new edge waiter → target closes a cycle iff the chain reaches `waiter`.
   NodeId cur = target;
   while (true) {
-    if (cur == waiter) return true;
+    if (cur == waiter) {
+      if (cycle != nullptr) {
+        cycle->clear();
+        cycle->push_back(waiter);
+        for (NodeId n = target; n != waiter;
+             n = edges_.find(n)->second.target) {
+          cycle->push_back(n);
+        }
+      }
+      return true;
+    }
     const auto it = edges_.find(cur);
     if (it == edges_.end()) return false;
     cur = it->second.target;
@@ -24,29 +35,34 @@ void WaitsForGraph::erase_edge_locked(NodeId from) {
   edges_.erase(it);
 }
 
-WaitVerdict WaitsForGraph::add_wait(NodeId waiter, NodeId target) {
+WaitVerdict WaitsForGraph::add_wait(NodeId waiter, NodeId target,
+                                    std::vector<NodeId>* cycle) {
   std::scoped_lock lock(mu_);
   if (!fast_path()) {
     cycle_checks_.fetch_add(1, std::memory_order_relaxed);
-    if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
+    if (closes_cycle(waiter, target, cycle)) {
+      return WaitVerdict::WouldDeadlock;
+    }
   }
   edges_[waiter] = Edge{target, EdgeKind::Approved};
   return WaitVerdict::Added;
 }
 
-WaitVerdict WaitsForGraph::add_probation_wait(NodeId waiter, NodeId target) {
+WaitVerdict WaitsForGraph::add_probation_wait(NodeId waiter, NodeId target,
+                                              std::vector<NodeId>* cycle) {
   std::scoped_lock lock(mu_);
   cycle_checks_.fetch_add(1, std::memory_order_relaxed);
-  if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
+  if (closes_cycle(waiter, target, cycle)) return WaitVerdict::WouldDeadlock;
   edges_[waiter] = Edge{target, EdgeKind::Probation};
   ++probation_;
   return WaitVerdict::Added;
 }
 
-WaitVerdict WaitsForGraph::add_checked_wait(NodeId waiter, NodeId target) {
+WaitVerdict WaitsForGraph::add_checked_wait(NodeId waiter, NodeId target,
+                                            std::vector<NodeId>* cycle) {
   std::scoped_lock lock(mu_);
   cycle_checks_.fetch_add(1, std::memory_order_relaxed);
-  if (closes_cycle(waiter, target)) return WaitVerdict::WouldDeadlock;
+  if (closes_cycle(waiter, target, cycle)) return WaitVerdict::WouldDeadlock;
   edges_[waiter] = Edge{target, EdgeKind::Approved};
   return WaitVerdict::Added;
 }
@@ -63,13 +79,16 @@ void WaitsForGraph::add_owner_edge(NodeId promise, NodeId owner) {
 }
 
 WaitVerdict WaitsForGraph::retarget_owner_edge(NodeId promise,
-                                               NodeId new_owner) {
+                                               NodeId new_owner,
+                                               std::vector<NodeId>* cycle) {
   std::scoped_lock lock(mu_);
   const auto it = edges_.find(promise);
   cycle_checks_.fetch_add(1, std::memory_order_relaxed);
   // The chain from new_owner reaching the promise node means new_owner
   // (transitively) waits on this very promise: re-pointing would deadlock it.
-  if (closes_cycle(promise, new_owner)) return WaitVerdict::WouldDeadlock;
+  if (closes_cycle(promise, new_owner, cycle)) {
+    return WaitVerdict::WouldDeadlock;
+  }
   if (it != edges_.end() && it->second.kind == EdgeKind::Owner) {
     it->second.target = new_owner;
   } else {
@@ -137,6 +156,16 @@ std::vector<std::vector<NodeId>> WaitsForGraph::find_all_cycles() const {
     }
   }
   return cycles;
+}
+
+std::vector<WaitsForGraph::EdgeView> WaitsForGraph::edges() const {
+  std::scoped_lock lock(mu_);
+  std::vector<EdgeView> out;
+  out.reserve(edges_.size());
+  for (const auto& [from, edge] : edges_) {
+    out.push_back(EdgeView{from, edge.target, edge.kind});
+  }
+  return out;
 }
 
 std::vector<NodeId> WaitsForGraph::chain_from(NodeId from) const {

@@ -42,6 +42,16 @@ constexpr NodeId promise_node_id(std::uint64_t promise_uid) {
   return promise_uid | (NodeId{1} << 63);
 }
 
+/// True when a node id names a promise rather than a task.
+constexpr bool is_promise_node(NodeId id) {
+  return (id & (NodeId{1} << 63)) != 0;
+}
+
+/// The promise uid a promise node id encodes.
+constexpr std::uint64_t promise_uid_of(NodeId id) {
+  return id & ~(NodeId{1} << 63);
+}
+
 /// Result of attempting to register a wait edge.
 enum class WaitVerdict : std::uint8_t {
   Added,          ///< edge registered; safe to block
@@ -50,21 +60,38 @@ enum class WaitVerdict : std::uint8_t {
 
 class WaitsForGraph {
  public:
+  enum class EdgeKind : std::uint8_t { Approved, Probation, Owner };
+
+  /// One edge of the edges() snapshot (live-introspection dump).
+  struct EdgeView {
+    NodeId from;
+    NodeId to;
+    EdgeKind kind;
+  };
+
   WaitsForGraph() = default;
   WaitsForGraph(const WaitsForGraph&) = delete;
   WaitsForGraph& operator=(const WaitsForGraph&) = delete;
 
+  // On every add_* method, `cycle` (when non-null) receives the concrete
+  // cycle a WouldDeadlock verdict found — the node sequence waiter → target
+  // → … back around, excluding the closing repeat of waiter — captured
+  // atomically under the graph lock. Untouched on Added (cold path only).
+
   /// Registers waiter → target for a policy-approved join. Checks for a cycle
   /// only if probation edges are live (see header comment).
-  WaitVerdict add_wait(NodeId waiter, NodeId target);
+  WaitVerdict add_wait(NodeId waiter, NodeId target,
+                       std::vector<NodeId>* cycle = nullptr);
 
   /// Registers waiter → target for a policy-rejected join; always cycle-checks
   /// and marks the edge as probation while it lasts.
-  WaitVerdict add_probation_wait(NodeId waiter, NodeId target);
+  WaitVerdict add_probation_wait(NodeId waiter, NodeId target,
+                                 std::vector<NodeId>* cycle = nullptr);
 
   /// Unconditionally cycle-checks and registers (the Armus-only baseline,
   /// where every join is verified by cycle detection).
-  WaitVerdict add_checked_wait(NodeId waiter, NodeId target);
+  WaitVerdict add_checked_wait(NodeId waiter, NodeId target,
+                               std::vector<NodeId>* cycle = nullptr);
 
   /// Removes the waiter's edge once its join completed (or was aborted).
   void remove_wait(NodeId waiter);
@@ -76,7 +103,8 @@ class WaitsForGraph {
   /// Re-points the owner edge at a new owner (ownership transfer). Cycle-
   /// checked: transferring a promise to a task that (transitively) waits on
   /// it would deadlock that task; on WouldDeadlock the edge is unchanged.
-  WaitVerdict retarget_owner_edge(NodeId promise, NodeId new_owner);
+  WaitVerdict retarget_owner_edge(NodeId promise, NodeId new_owner,
+                                  std::vector<NodeId>* cycle = nullptr);
 
   /// Drops the owner edge once the promise is fulfilled (or orphaned).
   void remove_owner_edge(NodeId promise);
@@ -97,6 +125,10 @@ class WaitsForGraph {
   /// The wait chain starting at `from` (follows out-edges until none).
   std::vector<NodeId> chain_from(NodeId from) const;
 
+  /// A consistent snapshot of every live edge (live introspection / verdict
+  /// witnesses). Takes the graph lock; not for hot paths.
+  std::vector<EdgeView> edges() const;
+
   /// Scans the whole graph for cycles among the currently blocked tasks —
   /// the *detection* flavour of the deadlock problem (Sec. 7.1 category 2),
   /// usable as a diagnostic sweep. Since each task waits on at most one
@@ -104,15 +136,16 @@ class WaitsForGraph {
   std::vector<std::vector<NodeId>> find_all_cycles() const;
 
  private:
-  enum class EdgeKind : std::uint8_t { Approved, Probation, Owner };
-
   struct Edge {
     NodeId target;
     EdgeKind kind;
   };
 
-  // Pre: lock held. True iff target ⇝ waiter through current edges.
-  bool closes_cycle(NodeId waiter, NodeId target) const;
+  // Pre: lock held. True iff target ⇝ waiter through current edges; when so
+  // and `cycle` is non-null, records [waiter, target, …] up to (excluding)
+  // the closing repeat of waiter.
+  bool closes_cycle(NodeId waiter, NodeId target,
+                    std::vector<NodeId>* cycle = nullptr) const;
 
   // Pre: lock held. Approved insertions are unchecked only while the graph
   // holds no edge class TJ's soundness does not cover.

@@ -16,6 +16,8 @@
 
 #include <chrono>
 
+#include "core/witness.hpp"
+#include "obs/causal.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -244,6 +246,123 @@ TEST(ChromeExport, EmitsSlicesAndInstants) {
   EXPECT_NE(json.find("\"ts\":2.500"), std::string::npos) << json;
 }
 
+TEST(ChromeExport, EmitsFlowArrowsForSpawnAndJoin) {
+  // One spawn→start and one end→join-complete pair: each contributes an
+  // "s"/"f" flow-event pair in the tj-flow category sharing one id.
+  std::vector<obs::Event> events;
+  obs::Event spawn = make_event(obs::EventKind::TaskSpawn, 1, 2);
+  spawn.seq = 0;
+  spawn.t_ns = 100;
+  obs::Event start = make_event(obs::EventKind::TaskStart, 2);
+  start.seq = 1;
+  start.t_ns = 200;
+  obs::Event end = make_event(obs::EventKind::TaskEnd, 2);
+  end.seq = 2;
+  end.t_ns = 300;
+  obs::Event join = make_event(obs::EventKind::JoinComplete, 1, 2);
+  join.seq = 3;
+  join.t_ns = 400;
+  events = {spawn, start, end, join};
+  const std::string json = obs::to_chrome_json(events);
+  EXPECT_NE(json.find("\"cat\":\"tj-flow\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+  // Binding-point "enclosing" on the finish side only.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos) << json;
+  const auto count = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  // Task uid 2: spawn flow id 4 ("s" at TaskSpawn, "f" at TaskStart), join
+  // flow id 5 ("s" at TaskEnd, "f" at JoinComplete).
+  EXPECT_EQ(count("\"id\":4"), 2u) << json;
+  EXPECT_EQ(count("\"id\":5"), 2u) << json;
+}
+
+// --- Critical-path attribution --------------------------------------------
+
+TEST(CriticalPath, AttributesDurationsOnAndOffTheLastArrivalPath) {
+  // Root (1) spawns child 2 (the long pole, joined last-arrival) and child 3
+  // (finishes early, off the path). Duration events anchor to their actor's
+  // next spine event: the root's ruling and scan are on-path, child 3's
+  // ruling is off-path.
+  const auto ev = [](std::uint64_t seq, obs::EventKind k, std::uint64_t actor,
+                     std::uint64_t target, std::uint64_t t_ns,
+                     std::uint64_t payload = 0) {
+    obs::Event e;
+    e.seq = seq;
+    e.kind = k;
+    e.actor = actor;
+    e.target = target;
+    e.t_ns = t_ns;
+    e.payload = payload;
+    return e;
+  };
+  const std::vector<obs::Event> events = {
+      ev(1, obs::EventKind::TaskInit, 1, 0, 0),
+      ev(2, obs::EventKind::JoinVerdict, 1, 2, 8, 5),
+      ev(3, obs::EventKind::TaskSpawn, 1, 2, 10),
+      ev(4, obs::EventKind::TaskSpawn, 1, 3, 12),
+      ev(5, obs::EventKind::TaskStart, 2, 0, 20),
+      ev(6, obs::EventKind::TaskStart, 3, 0, 30),
+      ev(7, obs::EventKind::JoinVerdict, 3, 9, 35, 9),
+      ev(8, obs::EventKind::TaskEnd, 3, 0, 40),
+      ev(9, obs::EventKind::CycleScan, 1, 2, 50, 7),
+      ev(10, obs::EventKind::TaskEnd, 2, 0, 100),
+      ev(11, obs::EventKind::JoinComplete, 1, 2, 110),
+      ev(12, obs::EventKind::JoinComplete, 1, 3, 115),
+  };
+  const obs::CriticalPathReport rep = obs::analyze_critical_path(events);
+
+  // The walk jumps into child 2's chain through TaskEnd(2)→JoinComplete.
+  ASSERT_EQ(rep.path.size(), 6u);
+  EXPECT_EQ(rep.path.front().kind, obs::EventKind::TaskInit);
+  EXPECT_EQ(rep.path[2].actor, 2u);  // TaskStart of the long pole
+  EXPECT_EQ(rep.path.back().kind, obs::EventKind::JoinComplete);
+  EXPECT_EQ(rep.span_ns, 115u);
+
+  EXPECT_EQ(rep.policy_check.on_path_ns, 5u);
+  EXPECT_EQ(rep.policy_check.off_path_ns, 9u);
+  EXPECT_EQ(rep.policy_check.count, 2u);
+  EXPECT_EQ(rep.policy_check.on_path_count, 1u);
+  EXPECT_EQ(rep.cycle_scan.on_path_ns, 7u);
+  EXPECT_EQ(rep.cycle_scan.off_path_ns, 0u);
+  EXPECT_EQ(rep.verifier_on_path_ns(), 12u);
+  EXPECT_EQ(rep.verifier_off_path_ns(), 9u);
+  // The attribution partitions each category's total exactly.
+  EXPECT_EQ(rep.policy_check.total_ns(), 14u);
+  EXPECT_FALSE(rep.to_string().empty());
+}
+
+TEST(CriticalPath, RealRunReconcilesWithTheMetricsHistogram) {
+  // On a live run with zero drops, on+off per category must equal the
+  // histogram's sum exactly (both sides record identical payloads).
+  runtime::Config cfg;
+  cfg.policy = core::PolicyChoice::TJ_SP;
+  cfg.obs.enabled = true;
+  runtime::Runtime rt(cfg);
+  rt.root([] {
+    for (int i = 0; i < 16; ++i) {
+      auto f = runtime::async([i] { return i; });
+      (void)f.get();
+    }
+  });
+  ASSERT_EQ(rt.recorder()->events_dropped(), 0u);
+  const obs::Metrics& m = rt.recorder()->metrics();
+  const std::uint64_t policy_sum = m.policy_check_ns.sum_ns();
+  const std::uint64_t scan_sum = m.cycle_scan_ns.sum_ns();
+  const obs::CriticalPathReport rep =
+      obs::analyze_critical_path(rt.recorder()->drain());
+  EXPECT_EQ(rep.policy_check.total_ns(), policy_sum);
+  EXPECT_EQ(rep.cycle_scan.total_ns(), scan_sum);
+  EXPECT_GT(rep.span_ns, 0u);
+  EXPECT_GE(rep.path.size(), 2u);
+}
+
 // --- Runtime integration --------------------------------------------------
 
 TEST(RecorderRuntime, OffByDefaultCostsNothing) {
@@ -295,6 +414,43 @@ TEST(RecorderRuntime, RecordsLifecycleAndVerdicts) {
   // Blocked-join wall time lands in the metrics registry, not just events.
   const obs::Metrics& m = rt.recorder()->metrics();
   EXPECT_EQ(m.policy_check_ns.count(), rt.gate_stats().joins_checked);
+}
+
+TEST(RecorderRuntime, RejectionEmitsVerdictExplainedEvent) {
+  // A self-await is deterministically rejected; the fallback confirms the
+  // concrete cycle, and the gate emits a VerdictExplained event quoting the
+  // witness kind, the promise flag, and the evidence-chain length.
+  runtime::Config cfg;
+  cfg.policy = core::PolicyChoice::TJ_SP;
+  cfg.promise_policy = core::PromisePolicy::OWP;
+  cfg.obs.enabled = true;
+  runtime::Runtime rt(cfg);
+  rt.root([] {
+    auto p = runtime::make_promise<int>();
+    EXPECT_THROW((void)p.get(), runtime::DeadlockAvoidedError);
+    p.fulfill(3);
+    EXPECT_EQ(p.get(), 3);
+  });
+  const std::vector<obs::Event> events = rt.recorder()->drain();
+  bool fault_verdict = false;
+  bool explained = false;
+  for (const obs::Event& e : events) {
+    if (e.kind == obs::EventKind::AwaitVerdict &&
+        e.detail ==
+            static_cast<std::uint8_t>(core::JoinDecision::FaultDeadlock)) {
+      fault_verdict = true;
+    }
+    if (e.kind == obs::EventKind::VerdictExplained) {
+      explained = true;
+      // The fallback's concrete cycle supersedes the OWP chain evidence.
+      EXPECT_EQ(e.detail,
+                static_cast<std::uint8_t>(core::WitnessKind::WfgCycle));
+      EXPECT_NE(e.flags & obs::kFlagPromise, 0);
+      EXPECT_GE(e.payload, 2u);  // waiter → promise node, closing implicit
+    }
+  }
+  EXPECT_TRUE(fault_verdict);
+  EXPECT_TRUE(explained);
 }
 
 TEST(RecorderRuntime, StallReportCarriesPolicyAndRecentEvents) {

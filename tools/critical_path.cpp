@@ -1,0 +1,200 @@
+// critical_path: run one benchmark app with the flight recorder enabled,
+// reconstruct the causal DAG from the event stream, and report how much of
+// the verifier's overhead (policy checks + WFG cycle scans) and of the
+// blocked-join/await time sat on the critical path vs off it.
+//
+//   $ critical_path --app=series --size=tiny
+//   $ critical_path --app=nqueens --policy=KJ-VC --scheduler=blocking --check
+//
+// --check additionally asserts the attribution reconciles against the
+// metrics histograms: for every category, on-path + off-path must equal the
+// histogram's sum_ns exactly when no events were dropped (both sides record
+// the same payloads), and be ≤ it when drops occurred. Exit code: 0 on
+// success, 1 if the app self-check or --check fails, 2 on bad usage.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "core/policy_ids.hpp"
+#include "obs/causal.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+struct Options {
+  std::string app = "series";
+  tj::apps::AppSize size = tj::apps::AppSize::Tiny;
+  tj::core::PolicyChoice policy = tj::core::PolicyChoice::TJ_SP;
+  tj::runtime::SchedulerMode scheduler =
+      tj::runtime::SchedulerMode::Cooperative;
+  unsigned workers = 0;
+  std::size_t buffer = std::size_t{1} << 18;
+  bool check = false;
+  bool print_path = false;
+};
+
+int usage(std::ostream& os) {
+  os << "usage: critical_path --app=<name> [options]\n"
+        "  --app=<name>          benchmark app (see trace_dump --list)\n"
+        "  --size=tiny|small|medium|large   problem size (default tiny)\n"
+        "  --policy=<p>          TJ-GT|TJ-JP|TJ-SP|KJ-VC|KJ-SS|cycle-only|"
+        "none (default TJ-SP)\n"
+        "  --scheduler=cooperative|blocking (default cooperative)\n"
+        "  --workers=N           worker threads (default hardware)\n"
+        "  --buffer=N            per-thread event capacity (default 262144)\n"
+        "  --path                print every event on the critical path\n"
+        "  --check               fail unless attribution reconciles with the"
+        " metrics histograms\n";
+  return 2;
+}
+
+bool parse_policy(const std::string& s, tj::core::PolicyChoice& out) {
+  using tj::core::PolicyChoice;
+  for (PolicyChoice p :
+       {PolicyChoice::None, PolicyChoice::TJ_GT, PolicyChoice::TJ_JP,
+        PolicyChoice::TJ_SP, PolicyChoice::KJ_VC, PolicyChoice::KJ_SS,
+        PolicyChoice::CycleOnly}) {
+    if (s == tj::core::to_string(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_size(const std::string& s, tj::apps::AppSize& out) {
+  using tj::apps::AppSize;
+  for (AppSize z :
+       {AppSize::Tiny, AppSize::Small, AppSize::Medium, AppSize::Large}) {
+    if (s == tj::apps::to_string(z)) {
+      out = z;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One category's reconciliation: the attribution partition vs the metrics
+/// histogram that timed the same intervals.
+bool reconcile(const char* name, const tj::obs::PathAttribution& a,
+               const tj::obs::LatencyHistogram& h, std::uint64_t dropped,
+               bool strict) {
+  const auto s = h.summary();
+  const bool exact = a.total_ns() == s.sum_ns && a.count == s.count;
+  const bool ok = dropped == 0 ? exact
+                               : a.total_ns() <= s.sum_ns && a.count <= s.count;
+  std::cout << "reconcile " << name << ": attributed " << a.total_ns()
+            << "ns/" << a.count << " vs histogram " << s.sum_ns << "ns/"
+            << s.count << (ok ? " OK" : " MISMATCH")
+            << (dropped != 0 && !exact ? " (events dropped)" : "") << "\n";
+  return ok || !strict;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") return usage(std::cout), 0;
+    if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--path") {
+      opt.print_path = true;
+    } else if (const char* v = val("--app=")) {
+      opt.app = v;
+    } else if (const char* v = val("--size=")) {
+      if (!parse_size(v, opt.size)) {
+        std::cerr << "critical_path: unknown size '" << v << "'\n";
+        return 2;
+      }
+    } else if (const char* v = val("--policy=")) {
+      if (!parse_policy(v, opt.policy)) {
+        std::cerr << "critical_path: unknown policy '" << v << "'\n";
+        return 2;
+      }
+    } else if (const char* v = val("--scheduler=")) {
+      const std::string s = v;
+      if (s == "cooperative") {
+        opt.scheduler = tj::runtime::SchedulerMode::Cooperative;
+      } else if (s == "blocking") {
+        opt.scheduler = tj::runtime::SchedulerMode::Blocking;
+      } else {
+        std::cerr << "critical_path: unknown scheduler '" << s << "'\n";
+        return 2;
+      }
+    } else if (const char* v = val("--workers=")) {
+      opt.workers = static_cast<unsigned>(std::stoul(v));
+    } else if (const char* v = val("--buffer=")) {
+      opt.buffer = static_cast<std::size_t>(std::stoull(v));
+    } else {
+      std::cerr << "critical_path: unknown flag " << arg << "\n";
+      return usage(std::cerr);
+    }
+  }
+
+  const tj::apps::AppInfo* app = tj::apps::find_app(opt.app);
+  if (app == nullptr) {
+    std::cerr << "critical_path: unknown app '" << opt.app << "'\n";
+    return 2;
+  }
+
+  tj::runtime::Config cfg;
+  cfg.policy = opt.policy;
+  cfg.scheduler = opt.scheduler;
+  cfg.workers = opt.workers;
+  cfg.obs.enabled = true;
+  cfg.obs.buffer_capacity = opt.buffer;
+
+  tj::apps::AppOutcome outcome;
+  std::vector<tj::obs::Event> events;
+  std::uint64_t dropped = 0;
+  tj::obs::LatencyHistogram::Summary hist_policy, hist_scan, hist_join,
+      hist_await;
+  bool ok = true;
+  {
+    tj::runtime::Runtime rt(cfg);
+    outcome = app->run(rt, opt.size);
+    tj::obs::FlightRecorder* rec = rt.recorder();
+    events = rec->drain();
+    dropped = rec->events_dropped();
+
+    const tj::obs::CriticalPathReport rep =
+        tj::obs::analyze_critical_path(events);
+    std::cout << app->name << "/" << tj::apps::to_string(opt.size)
+              << " policy=" << tj::core::to_string(opt.policy)
+              << " scheduler=" << tj::runtime::to_string(opt.scheduler)
+              << ": " << events.size() << " events, " << dropped
+              << " dropped\n"
+              << rep.to_string();
+    if (opt.print_path) {
+      for (const tj::obs::Event& e : rep.path) {
+        std::cout << "  | " << tj::obs::to_string(e) << "\n";
+      }
+    }
+
+    const tj::obs::Metrics& m = rec->metrics();
+    ok &= reconcile("policy-check", rep.policy_check, m.policy_check_ns,
+                    dropped, opt.check);
+    ok &= reconcile("cycle-scan", rep.cycle_scan, m.cycle_scan_ns, dropped,
+                    opt.check);
+    ok &= reconcile("blocked-join", rep.blocked_join, m.blocked_join_ns,
+                    dropped, opt.check);
+    ok &= reconcile("blocked-await", rep.blocked_await, m.blocked_await_ns,
+                    dropped, opt.check);
+  }
+
+  if (!outcome.valid) {
+    std::cerr << "critical_path: app self-check FAILED (" << outcome.detail
+              << ")\n";
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

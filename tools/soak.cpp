@@ -36,6 +36,7 @@
 #include "apps/strassen.hpp"
 #include "harness/memory_sampler.hpp"
 #include "runtime/api.hpp"
+#include "runtime/introspect.hpp"
 
 namespace rtj = tj::runtime;
 namespace apps = tj::apps;
@@ -50,6 +51,7 @@ struct Options {
   std::size_t max_verifier_kb = 64;      // tight by design
   std::size_t inline_watermark = 256;
   bool expect_floor = true;              // tight budgets must reach WFG-only
+  unsigned introspect_ms = 0;            // 0 = dump only on SIGUSR1
 };
 
 bool parse_arg(const char* arg, const char* name, std::string& out) {
@@ -78,6 +80,9 @@ Options parse(int argc, char** argv) {
       o.max_verifier_kb = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_arg(argv[i], "--inline-watermark", v)) {
       o.inline_watermark = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_arg(argv[i], "--introspect-ms", v)) {
+      o.introspect_ms =
+          static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (parse_arg(argv[i], "--no-floor-check", v) ||
                std::strcmp(argv[i], "--no-floor-check") == 0) {
       o.expect_floor = false;
@@ -213,11 +218,22 @@ ModeResult run_mode(rtj::SchedulerMode mode, const Options& o,
   };
 
   rtj::Runtime rt(cfg);
+  // Live introspection: `kill -USR1 <pid>` dumps a runtime snapshot (WFG
+  // edges, ladder level, governor state, recent witnesses, blocked waits) to
+  // stderr; --introspect-ms additionally dumps on a fixed cadence.
+  rtj::IntrospectionHook hook(rt);
+  auto last_dump = std::chrono::steady_clock::now();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(o.seconds);
   rt.root([&] {
     std::uint64_t i = 0;
     while (std::chrono::steady_clock::now() < deadline) {
+      if (o.introspect_ms != 0 &&
+          std::chrono::steady_clock::now() - last_dump >=
+              std::chrono::milliseconds(o.introspect_ms)) {
+        hook.request();
+        last_dump = std::chrono::steady_clock::now();
+      }
       bool ok = true;
       switch (i % 7) {
         case 0:
@@ -291,6 +307,7 @@ ModeResult run_mode(rtj::SchedulerMode mode, const Options& o,
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  rtj::IntrospectionHook::install_signal_handler();
   std::printf("soak: %us per mode, fault-seed=%llu, verifier budget %zuKB, "
               "inline watermark %zu\n",
               o.seconds, static_cast<unsigned long long>(o.fault_seed),
