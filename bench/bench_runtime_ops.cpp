@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/api.hpp"
@@ -234,7 +236,29 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
-  benchmark::Initialize(&argc, argv);
+  // `--json[=FILE]` is shorthand for Google Benchmark's JSON switches, so CI
+  // and the loadgen SLO tooling share one machine-readable flag convention.
+  std::vector<char*> args(argv, argv + argc);
+  std::string fmt_arg, out_arg, out_fmt_arg;
+  for (auto it = args.begin() + 1; it != args.end(); ++it) {
+    const std::string_view a = *it;
+    if (a == "--json") {
+      fmt_arg = "--benchmark_format=json";
+      it = args.erase(it);
+      args.push_back(fmt_arg.data());
+      break;
+    }
+    if (a.rfind("--json=", 0) == 0) {
+      out_arg = "--benchmark_out=" + std::string(a.substr(7));
+      out_fmt_arg = "--benchmark_out_format=json";
+      it = args.erase(it);
+      args.push_back(out_arg.data());
+      args.push_back(out_fmt_arg.data());
+      break;
+    }
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -9,6 +9,7 @@
 #        CHAOS=0 scripts/ci.sh         # skip the chaos stage
 #        ASAN=0 scripts/ci.sh          # skip the asan stage
 #        SOAK=0 scripts/ci.sh          # skip the long-lived soak stage
+#        LOADGEN=0 scripts/ci.sh       # skip the service-mode loadgen stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +17,12 @@ PRESETS="${PRESETS:-release tsan}"
 CHAOS="${CHAOS:-1}"
 ASAN="${ASAN:-1}"
 SOAK="${SOAK:-1}"
+LOADGEN="${LOADGEN:-1}"
+
+# Temp files shared across stages; one trap cleans them all up.
+tmpfiles=()
+cleanup() { rm -f "${tmpfiles[@]:-}"; }
+trap cleanup EXIT
 
 for p in $PRESETS; do
   echo "== [$p] configure"
@@ -35,7 +42,7 @@ done
 if [[ " $PRESETS " == *" release "* ]]; then
   echo "== [obs] record live run and replay through the offline checker"
   obs_trace="$(mktemp /tmp/tj-obs-XXXXXX.trace)"
-  trap 'rm -f "$obs_trace"' EXIT
+  tmpfiles+=("$obs_trace")
   for app in series nqueens; do
     for sched in cooperative blocking; do
       ./build/tools/trace_dump --app="$app" --size=tiny \
@@ -79,6 +86,22 @@ fi
 if [[ "$SOAK" == "1" ]] && [[ " $PRESETS " == *" release "* ]]; then
   echo "== [soak] degradation soak, both schedulers, chaos armed"
   ./build/tools/soak --seconds=10 --fault-seed=7
+fi
+
+# Service-mode stage: open-loop mixed-tenant traffic against one long-lived
+# runtime per scheduler, with chaos armed and hostile (tight) budgets — the
+# admission-control acceptance test. The tool itself exits nonzero unless
+# every mode conserves requests exactly (submitted == completed + shed +
+# timed_out), reconciles the gate's admission stats, and degrades
+# monotonically; on top of that the emitted SLO report must parse as JSON.
+if [[ "$LOADGEN" == "1" ]] && [[ " $PRESETS " == *" release "* ]]; then
+  echo "== [loadgen] open-loop service run, both schedulers, chaos + hostile budgets"
+  slo_json="$(mktemp /tmp/tj-slo-XXXXXX.json)"
+  tmpfiles+=("$slo_json")
+  ./build/tools/loadgen --seconds=6 --rate=120 --deadline-ms=250 \
+      --fault-seed=7 --hostile --json="$slo_json"
+  python3 -m json.tool "$slo_json" >/dev/null
+  echo "== [loadgen] SLO report is valid JSON"
 fi
 
 # ASan stage: a targeted address/UB-sanitizer pass over the subsystems that

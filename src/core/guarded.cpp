@@ -243,6 +243,21 @@ void JoinGate::leave_join(wfg::NodeId waiter, wfg::NodeId target,
   }
 }
 
+bool JoinGate::inline_run_begin(wfg::NodeId waiter, wfg::NodeId target) {
+  const bool owp_live = owp_ != nullptr && owp_->active();
+  if (kind_ == PolicyChoice::None && !owp_live) {
+    return false;  // baseline: no graph maintenance at all
+  }
+  std::vector<wfg::NodeId> cycle;
+  return timed_scan(waiter, target, [&] {
+           return wfg_.add_probation_wait(waiter, target, &cycle);
+         }) == wfg::WaitVerdict::Added;
+}
+
+void JoinGate::inline_run_end(wfg::NodeId waiter) {
+  wfg_.remove_wait(waiter);
+}
+
 PromiseNode* JoinGate::promise_made(std::uint64_t owner_uid,
                                     std::uint64_t promise_uid) {
   if (owp_ == nullptr) return nullptr;
@@ -457,6 +472,9 @@ GateStats JoinGate::stats() const {
   s.ownership_violations =
       ownership_violations_.load(std::memory_order_relaxed);
   s.promises_orphaned = promises_orphaned_.load(std::memory_order_relaxed);
+  s.requests_checked = requests_checked_.load(std::memory_order_relaxed);
+  s.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
+  s.requests_shed = requests_shed_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -60,6 +60,12 @@ struct GateStats {
   std::uint64_t owp_false_positives = 0;  ///< ...that the fallback cleared
   std::uint64_t ownership_violations = 0;  ///< non-owner fulfill/transfer tries
   std::uint64_t promises_orphaned = 0;  ///< owner died holding them unfulfilled
+  // Admission-control counters (zero unless per-tenant budgets are wired —
+  // see runtime/admission.hpp). The front-door invariant is exact:
+  // requests_checked == requests_admitted + requests_shed.
+  std::uint64_t requests_checked = 0;   ///< admission verdicts issued
+  std::uint64_t requests_admitted = 0;  ///< ...that let the request in
+  std::uint64_t requests_shed = 0;      ///< ...shed at the front door
 };
 
 /// Field-complete accumulation — the single shared definition of "add these
@@ -77,6 +83,9 @@ inline GateStats& operator+=(GateStats& acc, const GateStats& s) {
   acc.owp_false_positives += s.owp_false_positives;
   acc.ownership_violations += s.ownership_violations;
   acc.promises_orphaned += s.promises_orphaned;
+  acc.requests_checked += s.requests_checked;
+  acc.requests_admitted += s.requests_admitted;
+  acc.requests_shed += s.requests_shed;
   return acc;
 }
 
@@ -147,6 +156,21 @@ class JoinGate {
                   PolicyNode* waiter_state, const PolicyNode* target_state,
                   bool completed);
 
+  /// Registers a spawn-backpressure inline run as a waits-for edge
+  /// waiter → target: the inlining parent cannot proceed until the child
+  /// completes, exactly like a join — but with no policy ruling, KJ-learn,
+  /// or trace action (from the formalism's view no join happens). The edge
+  /// is registered as *probation* deliberately: while it lives, every
+  /// join/await ruling cycle-checks, so an inlined child that blocks on
+  /// something only its suspended parent's continuation can provide (e.g.
+  /// awaiting a promise the parent still owns) is faulted as an averted
+  /// deadlock instead of hanging on an acyclic-looking graph. Returns false
+  /// (registering nothing) when the gate maintains no graph or the edge
+  /// would itself close a cycle (unreachable for a fresh child: it has no
+  /// out-edges yet); pair a true return with inline_run_end().
+  bool inline_run_begin(wfg::NodeId waiter, wfg::NodeId target);
+  void inline_run_end(wfg::NodeId waiter);
+
   // ---- promise path (all no-ops / Proceed when no OwpVerifier is wired) ----
 
   /// Registers a fresh promise: OWP node + persistent WFG owner edge.
@@ -179,6 +203,16 @@ class JoinGate {
 
   /// Releases a promise's policy state when its last handle dies.
   void promise_released(PromiseNode* p);
+
+  /// Admission seam: the runtime's AdmissionController reports every
+  /// front-door verdict here, so request accounting lives beside the
+  /// join/await accounting and GateStats carries the exact invariant
+  /// requests_checked == requests_admitted + requests_shed.
+  void note_admission(bool admitted) {
+    requests_checked_.fetch_add(1, std::memory_order_relaxed);
+    (admitted ? requests_admitted_ : requests_shed_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
 
   GateStats stats() const;
 
@@ -250,6 +284,9 @@ class JoinGate {
   std::atomic<std::uint64_t> owp_false_positives_{0};
   std::atomic<std::uint64_t> ownership_violations_{0};
   std::atomic<std::uint64_t> promises_orphaned_{0};
+  std::atomic<std::uint64_t> requests_checked_{0};
+  std::atomic<std::uint64_t> requests_admitted_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
 
   static constexpr std::size_t kWitnessLogCap = 256;
   mutable std::mutex witness_mu_;

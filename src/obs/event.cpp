@@ -34,6 +34,7 @@ std::string_view to_string(EventKind k) {
     case EventKind::SpawnInlined: return "spawn-inlined";
     case EventKind::JoinTimeout: return "join-timeout";
     case EventKind::VerdictExplained: return "verdict-explained";
+    case EventKind::AdmissionShed: return "admission-shed";
   }
   return "<bad event kind>";
 }
@@ -119,6 +120,10 @@ std::string to_string(const Event& e) {
       os << " witness=" << static_cast<unsigned>(e.detail)
          << " policy=" << static_cast<unsigned>(e.policy)
          << " chain=" << e.payload;
+      break;
+    case EventKind::AdmissionShed:
+      os << " cause=" << static_cast<unsigned>(e.detail)
+         << " in_flight=" << e.payload;
       break;
     default:
       break;

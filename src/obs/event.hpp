@@ -59,6 +59,13 @@ enum class EventKind : std::uint8_t {
   VerdictExplained, ///< a rejection's provenance witness was captured (policy:
                     ///< Witness::policy; detail: WitnessKind; payload: chain
                     ///< length; kFlagPromise mirrors Witness::on_promise)
+
+  // --- per-tenant admission control ---
+  AdmissionShed,    ///< a request was shed at the front door (actor: tenant
+                    ///< index; detail: AdmissionCause; payload: tenant
+                    ///< in-flight count at the decision). Admits are counted
+                    ///< (metrics requests_admitted) but not per-event
+                    ///< recorded — they are the service's common case.
 };
 
 /// Which fault-injection site fired (Event::detail for FaultInjected).

@@ -64,6 +64,10 @@ std::string Metrics::to_string() const {
      << " join_timeouts=" << join_timeouts.load(std::memory_order_relaxed)
      << " kj_compactions=" << kj_compactions.load(std::memory_order_relaxed)
      << "\n";
+  os << "  requests_admitted="
+     << requests_admitted.load(std::memory_order_relaxed)
+     << " requests_shed=" << requests_shed.load(std::memory_order_relaxed)
+     << "\n";
   return os.str();
 }
 

@@ -123,6 +123,10 @@ struct Metrics {
   std::atomic<std::uint64_t> spawn_inlines{0};      ///< backpressure inlines
   std::atomic<std::uint64_t> join_timeouts{0};      ///< join_for expirations
   std::atomic<std::uint64_t> kj_compactions{0};     ///< KJ-VC clock compactions
+  // Per-tenant admission control (zero unless GovernorConfig::tenants is
+  // set); mirrors the gate's requests_admitted/requests_shed stats.
+  std::atomic<std::uint64_t> requests_admitted{0};  ///< front-door admits
+  std::atomic<std::uint64_t> requests_shed{0};      ///< front-door sheds
 
   /// Visits (name, histogram) for each histogram in the registry.
   template <typename F>

@@ -72,8 +72,10 @@ struct Config {
   /// Resource governance (governor.enabled): the configured policy becomes a
   /// degradation ladder whose levels a background governor can step down
   /// under verifier-footprint / WFG-size / latency pressure (see
-  /// runtime/governor.hpp). governor.spawn_inline_watermark additionally
-  /// enables spawn backpressure regardless of `enabled`. Off by default —
+  /// runtime/governor.hpp). Two GovernorConfig knobs are *inline* machinery
+  /// enforced regardless of `enabled`: spawn_inline_watermark (spawn
+  /// backpressure) and tenants (per-tenant admission control, wired as
+  /// Runtime::admission() — see runtime/admission.hpp). Off by default —
   /// joins then pay no governance cost at all.
   GovernorConfig governor;
 

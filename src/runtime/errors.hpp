@@ -4,9 +4,11 @@
 // program the chance to recover — the stated advantage of avoidance over
 // detection.
 
+#include <cstdint>
 #include <exception>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "core/witness.hpp"
@@ -57,6 +59,48 @@ class PolicyViolationError : public TjError {
 class UsageError : public TjError {
  public:
   using TjError::TjError;
+};
+
+/// Which admission budget shed a request (see runtime/admission.hpp).
+enum class AdmissionCause : std::uint8_t {
+  None,                ///< admitted (no budget tripped)
+  InFlightBudget,      ///< tenant's concurrent-request budget exhausted
+  LiveTaskBudget,      ///< runtime live-task count over the tenant's budget
+  VerifierBytesBudget, ///< verifier-state footprint over the tenant's budget
+  Cooldown,            ///< tenant still in its post-shed cooldown window
+};
+
+constexpr std::string_view to_string(AdmissionCause c) {
+  switch (c) {
+    case AdmissionCause::None: return "admitted";
+    case AdmissionCause::InFlightBudget: return "in-flight-budget";
+    case AdmissionCause::LiveTaskBudget: return "live-task-budget";
+    case AdmissionCause::VerifierBytesBudget: return "verifier-bytes-budget";
+    case AdmissionCause::Cooldown: return "cooldown";
+  }
+  return "<bad admission cause>";
+}
+
+/// The request was shed at the front door by per-tenant admission control
+/// (runtime/admission.hpp): one of the tenant's budgets — in-flight
+/// requests, runtime live tasks, verifier bytes — was exhausted, or the
+/// tenant is inside its post-shed cooldown. A shed is load shedding, not a
+/// fault: nothing was spawned, cancelled or poisoned, and the caller is
+/// expected to retry later (runtime/backoff.hpp) or drop the request.
+class AdmissionRejected : public TjError {
+ public:
+  AdmissionRejected(const std::string& msg, std::string tenant,
+                    AdmissionCause cause)
+      : TjError(msg), tenant_(std::move(tenant)), cause_(cause) {}
+
+  /// The shed tenant's configured name.
+  const std::string& tenant() const { return tenant_; }
+  /// The budget that tripped (never AdmissionCause::None).
+  AdmissionCause cause() const { return cause_; }
+
+ private:
+  std::string tenant_;
+  AdmissionCause cause_ = AdmissionCause::None;
 };
 
 /// The operation was abandoned because the enclosing CancellationScope was

@@ -39,6 +39,7 @@
 
 #include "core/ladder.hpp"
 #include "obs/recorder.hpp"
+#include "runtime/admission.hpp"
 #include "wfg/waits_for_graph.hpp"
 
 namespace tj::runtime {
@@ -61,9 +62,21 @@ struct GovernorConfig {
 
   /// Spawn backpressure: past this many live tasks, async() runs the child
   /// inline in the caller instead of growing the queue/pool. 0 = off.
-  /// Enforced by the runtime at spawn; listed here because it is the
-  /// admission-control half of the same degradation story.
+  ///
+  /// Contract: this watermark is enforced by the runtime at EVERY spawn
+  /// whenever it is non-zero — independently of `enabled`, which gates only
+  /// the background poll loop (downgrades / GC / snapshots). It is rung 2
+  /// of the service's admission ladder (docs/robustness.md): per-tenant
+  /// shedding at the front door, then spawn backpressure, then policy
+  /// downgrade. Regression-tested by
+  /// test_admission.GovernorOffBackpressureStillEnforced.
   std::size_t spawn_inline_watermark = 0;
+
+  /// Per-tenant admission budgets. Non-empty ⇒ the runtime constructs an
+  /// AdmissionController (Runtime::admission()) that sheds requests at the
+  /// front door before any task is spawned. Like spawn_inline_watermark,
+  /// this is inline machinery enforced regardless of `enabled`.
+  std::vector<TenantBudget> tenants;
 };
 
 class ResourceGovernor {

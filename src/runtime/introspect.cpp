@@ -61,6 +61,12 @@ RuntimeSnapshot snapshot(const Runtime& rt) {
     s.live_tasks = s.governor.live_tasks;
   }
 
+  if (const AdmissionController* adm = rt.admission()) {
+    s.admission_attached = true;
+    s.tenants = adm->snapshot();
+    s.requests_shed_total = adm->total_shed();
+  }
+
   obs::FlightRecorder* rec = rt.recorder();
   if (rec != nullptr) {
     s.recorder_attached = true;
@@ -110,12 +116,32 @@ std::string RuntimeSnapshot::to_string() const {
      << " cycle_checks=" << gate.cycle_checks
      << " awaits=" << gate.awaits_checked
      << " owp_rejections=" << gate.owp_rejections << "\n";
+  if (gate.requests_checked != 0) {
+    os << "admission (gate): checked=" << gate.requests_checked
+       << " admitted=" << gate.requests_admitted
+       << " shed=" << gate.requests_shed << "\n";
+  }
   if (governor_attached) {
     os << "governor: pressure=" << (governor_pressure ? "YES" : "no")
        << " verifier_bytes=" << governor.verifier_bytes
        << " nodes=" << governor.verifier_nodes
        << " wfg_edges=" << governor.wfg_edges
        << " p99_check=" << governor.policy_check_p99_ns << "ns\n";
+  }
+  if (admission_attached) {
+    os << "admission: " << tenants.size() << " tenant(s), "
+       << requests_shed_total << " shed total\n";
+    for (const auto& t : tenants) {
+      os << "  " << t.name << ": in_flight=" << t.in_flight
+         << " admitted=" << t.admitted << " shed=" << t.shed
+         << " released=" << t.released
+         << " verdict=" << tj::runtime::to_string(t.current_verdict);
+      if (t.in_cooldown) os << " COOLDOWN";
+      if (t.shed != 0) {
+        os << " last_shed=" << tj::runtime::to_string(t.last_shed_cause);
+      }
+      os << "\n";
+    }
   }
   if (recorder_attached) {
     os << "recorder: events=" << obs_events << " dropped=" << obs_dropped

@@ -58,6 +58,11 @@ struct RuntimeSnapshot {
   bool governor_pressure = false;
   ResourceGovernor::Snapshot governor;
 
+  // --- per-tenant admission control (service mode) ---
+  bool admission_attached = false;
+  std::vector<AdmissionController::TenantSnapshot> tenants;
+  std::uint64_t requests_shed_total = 0;
+
   // --- rejection provenance ---
   std::vector<core::Witness> witnesses;  ///< gate's recent ring, oldest first
   std::uint64_t witnesses_dropped = 0;

@@ -273,7 +273,14 @@ Runtime::Runtime(Config cfg)
                     ? std::make_unique<JoinWatchdog>(cfg_.watchdog, gate_,
                                                      recorder_.get(),
                                                      governor_.get())
-                    : nullptr) {}
+                    : nullptr),
+      admission_(!cfg_.governor.tenants.empty()
+                     ? std::make_unique<AdmissionController>(
+                           cfg_.governor.tenants, gate_,
+                           [this] { return sched_.live_tasks(); },
+                           [this] { return policy_bytes(); },
+                           recorder_.get())
+                     : nullptr) {}
 
 Runtime::~Runtime() {
   // All spawned tasks must finish before the scheduler can be torn down;
@@ -553,18 +560,31 @@ void Runtime::run_inline(TaskBase& t) {
   // Spawn-backpressure path: the caller claimed the task; run it here, in
   // the caller's context, exactly as a cooperative joiner would inline it.
   // The task was never submitted, so no live-task accounting applies.
+  const TaskBase* cur = current_task_or_null();
   if (recorder_ != nullptr) {
     recorder_->metrics().spawn_inlines.fetch_add(1, std::memory_order_relaxed);
     obs::Event e;
     e.kind = obs::EventKind::SpawnInlined;
-    const TaskBase* cur = current_task_or_null();
     e.actor = cur != nullptr ? cur->uid() : 0;
     e.target = t.uid();
     e.payload = sched_.live_tasks();
     recorder_->emit(e);
   }
-  detail::CurrentTaskGuard guard(&t);
-  t.run();
+  // Unlike a cooperative inline-claim (whose join registered a wait edge
+  // before claiming), a spawn-time inline has no edge yet — register one,
+  // or a child that blocks on work only this suspended caller's
+  // continuation can do (e.g. awaiting a sibling promise the caller has
+  // not yet routed) hangs on an acyclic-looking graph. With the edge, the
+  // gate's fallback sees the cycle and faults the child's wait instead.
+  const bool edged =
+      cur != nullptr && gate_.inline_run_begin(cur->uid(), t.uid());
+  {
+    detail::CurrentTaskGuard guard(&t);
+    t.run();
+  }
+  if (edged) {
+    gate_.inline_run_end(cur->uid());
+  }
 }
 
 void Runtime::init_promise_state(detail::PromiseStateBase& s) {

@@ -16,6 +16,7 @@
 #include "core/owp.hpp"
 #include "trace/trace.hpp"
 #include "core/verifier.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/cancellation.hpp"
 #include "runtime/config.hpp"
 #include "runtime/errors.hpp"
@@ -127,12 +128,12 @@ class Runtime {
     register_task(*task, &parent);
     p.transfer_to(*task);  // child not yet submitted: cannot race its exit
     std::shared_ptr<Task<R>> handle = task;
-    if (spawn_backpressure()) {
-      task->try_claim();
-      track_in_scope(handle);
-      run_inline(*handle);
-      return Future<R>(std::move(handle));
-    }
+    // No spawn-backpressure inlining here, ever: a promise-owning child's
+    // obligation structure routinely needs the parent's *continuation* (the
+    // canonical cross-owned pair spawns the second owner right after this
+    // call), and inlining serializes child-before-continuation. run_inline's
+    // WFG edge would detect the resulting cycle and fault the child — sound,
+    // but needlessly faulting the textbook idiom; submitting sidesteps it.
     sched_.submit(std::move(task));
     track_in_scope(handle);
     return Future<R>(std::move(handle));
@@ -154,6 +155,11 @@ class Runtime {
   /// The resource governor, or nullptr unless Config::governor.enabled.
   ResourceGovernor* governor() { return governor_.get(); }
   const ResourceGovernor* governor() const { return governor_.get(); }
+  /// The per-tenant admission controller, or nullptr unless
+  /// Config::governor.tenants is non-empty. Enforced inline (independent of
+  /// governor.enabled) — see runtime/admission.hpp.
+  AdmissionController* admission() { return admission_.get(); }
+  const AdmissionController* admission() const { return admission_.get(); }
   /// The policy currently ruling joins: equals config().policy until the
   /// governor downgrades the ladder, then the active (lower) level.
   core::PolicyChoice active_policy() const { return gate_.active_kind(); }
@@ -262,6 +268,10 @@ class Runtime {
   // verifier and the gate's WFG, so it is destroyed before them.
   std::unique_ptr<ResourceGovernor> governor_;
   std::unique_ptr<JoinWatchdog> watchdog_;
+  // Declared last: references gate_/sched_/verifier_ via callbacks but runs
+  // no background thread — calls happen only on request threads, which are
+  // quiescent before ~Runtime begins.
+  std::unique_ptr<AdmissionController> admission_;
   std::atomic<std::uint64_t> next_uid_{0};
   std::atomic<std::uint64_t> next_promise_uid_{0};
   std::atomic<bool> root_claimed_{false};
