@@ -10,6 +10,7 @@
 #        ASAN=0 scripts/ci.sh          # skip the asan stage
 #        SOAK=0 scripts/ci.sh          # skip the long-lived soak stage
 #        LOADGEN=0 scripts/ci.sh       # skip the service-mode loadgen stage
+#        BENCH=0 scripts/ci.sh         # skip the benchmark-artifact stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +19,7 @@ CHAOS="${CHAOS:-1}"
 ASAN="${ASAN:-1}"
 SOAK="${SOAK:-1}"
 LOADGEN="${LOADGEN:-1}"
+BENCH="${BENCH:-1}"
 
 # Temp files shared across stages; one trap cleans them all up.
 tmpfiles=()
@@ -69,6 +71,14 @@ fi
 # wakeups, fulfill failures and worker deaths; TSan watches the recovery
 # paths those faults drive (cancellation, poisoning, compensation spawning),
 # which a single green run of the functional suite does not stress.
+# Telemetry race stage: the TelemetrySink samples a live runtime from its
+# own thread while workers mutate every counter it reads, and RequestScope
+# stamps cross threads at spawn time — exactly the shapes TSan exists for.
+if [[ " $PRESETS " == *" tsan "* ]]; then
+  echo "== [telemetry] sink + request-span tests under tsan"
+  ctest --preset tsan -R 'Telemetry' --output-on-failure -j"$(nproc)"
+fi
+
 if [[ "$CHAOS" == "1" ]] && [[ " $PRESETS " == *" tsan "* ]]; then
   echo "== [chaos] seed sweep under tsan"
   ctest --preset tsan -R 'Chaos|FaultInjection|Cancellation|Watchdog' \
@@ -102,6 +112,66 @@ if [[ "$LOADGEN" == "1" ]] && [[ " $PRESETS " == *" release "* ]]; then
       --fault-seed=7 --hostile --json="$slo_json"
   python3 -m json.tool "$slo_json" >/dev/null
   echo "== [loadgen] SLO report is valid JSON"
+
+  # Telemetry smoke: the same service run with the continuous exporter and
+  # the declarative SLO gate armed. loadgen itself exits nonzero unless the
+  # final telemetry sample reconciles exactly with its end-of-run stats and
+  # every SLO rule holds (generous bounds — this gates wiring, not perf);
+  # afterwards the JSONL stream is schema-validated line by line and the
+  # dashboard must render it.
+  echo "== [telemetry] continuous export + SLO gate + dashboard render"
+  tel_jsonl="$(mktemp /tmp/tj-telemetry-XXXXXX.jsonl)"
+  tel_prom="$(mktemp /tmp/tj-telemetry-XXXXXX.prom)"
+  tmpfiles+=("$tel_jsonl" "$tel_prom")
+  ./build/tools/loadgen --seconds=6 --rate=120 --deadline-ms=250 \
+      --fault-seed=7 --hostile \
+      --telemetry="$tel_jsonl" --prom="$tel_prom" \
+      --slo='p99_ms<60000,shed_rate<=0.95,downgrade_level<=3,watchdog_cycles==0'
+  python3 - "$tel_jsonl" <<'EOF'
+import json, sys
+required = ["t_ms", "seq", "scheduler", "configured_policy", "active_policy",
+            "ladder_level", "gate", "counters", "obs", "governor", "tenants",
+            "hist", "delta"]
+gate_keys = ["joins_checked", "requests_checked", "requests_admitted",
+             "requests_shed"]
+n = 0
+for line in open(sys.argv[1]):
+    if not line.strip():
+        continue
+    s = json.loads(line)
+    for k in required:
+        assert k in s, f"sample {n}: missing {k}"
+    for k in gate_keys:
+        assert k in s["gate"], f"sample {n}: missing gate.{k}"
+    assert s["gate"]["requests_checked"] == (
+        s["gate"]["requests_admitted"] + s["gate"]["requests_shed"]), n
+    n += 1
+assert n >= 2, "telemetry stream too short"
+print(f"telemetry schema OK ({n} samples)")
+EOF
+  ./build/tools/tj_top --once --no-color "$tel_jsonl" >/dev/null
+  grep -q '^tj_joins_checked ' "$tel_prom"
+  echo "== [telemetry] JSONL schema, dashboard render, Prometheus dump OK"
+fi
+
+# Benchmark artifact: the canonical runtime-ops microbenchmark numbers
+# (spawn / completed-join / fork-join per policy, plus governor, watchdog
+# and recorder-on variants) published as BENCH_runtime_ops.json at the repo
+# root — docs/benchmarks.md documents the schema. The recorder-off vs
+# recorder-on pair in this file is the observability cost contract's
+# regression check.
+if [[ "$BENCH" == "1" ]] && [[ " $PRESETS " == *" release "* ]]; then
+  echo "== [bench] publish BENCH_runtime_ops.json"
+  ./build/bench/bench_runtime_ops --json=BENCH_runtime_ops.json >/dev/null
+  python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_runtime_ops.json"))
+names = {b["name"] for b in d["benchmarks"]}
+for needle in ["RuntimeOps/Spawn/none/iterations:50000",
+               "RuntimeOps/ForkAllJoinAll10k/recorder-on/iterations:3"]:
+    assert needle in names, f"missing benchmark {needle}"
+print(f"bench artifact OK ({len(names)} benchmarks)")
+EOF
 fi
 
 # ASan stage: a targeted address/UB-sanitizer pass over the subsystems that

@@ -169,6 +169,21 @@ CriticalPathReport analyze_critical_path(const std::vector<Event>& events) {
   // on-path policy-check figure an upper bound: a ruling that overlapped
   // the child's execution is charged as if serial. Unanchored intervals
   // (the actor recorded no later spine event) count off-path.
+  std::map<std::uint8_t, CriticalPathReport::TenantLane> lanes;
+  const auto category =
+      [](EventKind k) -> PathAttribution CriticalPathReport::TenantLane::* {
+    switch (k) {
+      case EventKind::JoinVerdict:
+      case EventKind::AwaitVerdict:
+        return &CriticalPathReport::TenantLane::policy_check;
+      case EventKind::CycleScan:
+        return &CriticalPathReport::TenantLane::cycle_scan;
+      case EventKind::JoinBlocked:
+        return &CriticalPathReport::TenantLane::blocked_join;
+      default:
+        return &CriticalPathReport::TenantLane::blocked_await;
+    }
+  };
   for (std::size_t i = 0; i < events.size(); ++i) {
     const Event& e = events[i];
     if (!is_duration(e.kind)) continue;
@@ -188,15 +203,26 @@ CriticalPathReport analyze_critical_path(const std::vector<Event>& events) {
         cat = &rep.blocked_await;
         break;
     }
+    // The same interval lands in exactly one tenant lane, so the lanes
+    // partition each category and per-tenant sums reconcile globally.
+    auto& lane = lanes[e.tenant];
+    lane.tenant = e.tenant;
+    PathAttribution& slice = lane.*category(e.kind);
     const bool on = anchor[i] != kNone && on_walk[anchor[i]];
     ++cat->count;
+    ++slice.count;
     if (on) {
       ++cat->on_path_count;
       cat->on_path_ns += e.payload;
+      ++slice.on_path_count;
+      slice.on_path_ns += e.payload;
     } else {
       cat->off_path_ns += e.payload;
+      slice.off_path_ns += e.payload;
     }
   }
+  rep.tenants.reserve(lanes.size());
+  for (auto& [tenant, lane] : lanes) rep.tenants.push_back(lane);
   return rep;
 }
 
@@ -233,6 +259,27 @@ std::string CriticalPathReport::to_string() const {
   render(os, "blocked-await", blocked_await);
   os << "  verifier     : on-path " << ns_str(verifier_on_path_ns())
      << ", off-path " << ns_str(verifier_off_path_ns()) << "\n";
+  // Skip the tenant table when everything is one unattributed lane — it
+  // would just repeat the global rows.
+  const bool sliced =
+      tenants.size() > 1 || (tenants.size() == 1 && tenants[0].tenant != 0);
+  if (sliced) {
+    for (const TenantLane& lane : tenants) {
+      if (lane.tenant == 0) {
+        os << "  tenant <unattributed>:\n";
+      } else {
+        os << "  tenant " << static_cast<unsigned>(lane.tenant - 1) << ":\n";
+      }
+      os << "  ";
+      render(os, "policy-check ", lane.policy_check);
+      os << "  ";
+      render(os, "cycle-scan   ", lane.cycle_scan);
+      os << "  ";
+      render(os, "blocked-join ", lane.blocked_join);
+      os << "  ";
+      render(os, "blocked-await", lane.blocked_await);
+    }
+  }
   return os.str();
 }
 

@@ -48,6 +48,21 @@ struct CriticalPathReport {
   PathAttribution blocked_join;   ///< wall time blocked in admitted joins
   PathAttribution blocked_await;  ///< wall time blocked in admitted awaits
 
+  /// Per-tenant slice of the same attribution (service runs with request
+  /// spans): answers "whose p999 is verifier-on-path vs queueing". Every
+  /// duration event carries exactly one tenant stamp (0 = unattributed), so
+  /// the lanes partition each global category exactly — summing a category
+  /// across lanes reproduces the global split above. One lane per tenant
+  /// value seen among duration events, ascending (unattributed first).
+  struct TenantLane {
+    std::uint8_t tenant = 0;  ///< Event::tenant encoding (0 = unattributed)
+    PathAttribution policy_check;
+    PathAttribution cycle_scan;
+    PathAttribution blocked_join;
+    PathAttribution blocked_await;
+  };
+  std::vector<TenantLane> tenants;
+
   /// Verifier overhead (ruling + fallback scan) on / off the path — the
   /// pair the harness exports per benchmark cell.
   std::uint64_t verifier_on_path_ns() const {

@@ -5,6 +5,11 @@
 
 namespace tj::obs {
 
+RequestContext& tls_request_context() noexcept {
+  thread_local RequestContext ctx;
+  return ctx;
+}
+
 std::string_view to_string(EventKind k) {
   switch (k) {
     case EventKind::TaskInit: return "task-init";
@@ -127,6 +132,10 @@ std::string to_string(const Event& e) {
       break;
     default:
       break;
+  }
+  if (e.request != 0) os << " req=" << e.request;
+  if (e.tenant != 0) {
+    os << " tenant=" << static_cast<unsigned>(e.tenant - 1);
   }
   return os.str();
 }

@@ -85,10 +85,47 @@ struct Event {
   std::uint64_t actor = 0;    ///< acting task uid (worker index for pool events)
   std::uint64_t target = 0;   ///< join target / forked child / promise uid
   std::uint64_t payload = 0;  ///< durations (ns), phase numbers, pool sizes
+  /// Request span this event belongs to; 0 = unattributed (no RequestScope
+  /// was installed on the emitting thread/task). Stamped by emit() from the
+  /// thread-local RequestContext unless the site set it explicitly.
+  std::uint64_t request = 0;
   EventKind kind = EventKind::TaskInit;
   std::uint8_t policy = 0;    ///< core::PolicyChoice of the ruling verifier
   std::uint8_t detail = 0;    ///< verdict / fault-site enum value
   std::uint8_t flags = 0;     ///< kFlagPromise etc.
+  /// Tenant lane: 0 = none, else admission tenant index + 1 (so a zero-
+  /// initialized event stays unattributed). Stamped like `request`.
+  std::uint8_t tenant = 0;
+};
+
+/// Thread-local request attribution: which request (and tenant) the current
+/// thread is working for. The runtime installs it around every task body
+/// from the task's inherited context; services install it explicitly at
+/// submission via RequestScope. Lives in the obs layer so the recorder can
+/// stamp events without depending on runtime headers.
+struct RequestContext {
+  std::uint64_t request = 0;  ///< 0 = no request
+  std::uint8_t tenant = 0;    ///< 0 = none, else tenant index + 1
+};
+
+/// This thread's current request context (mutable reference).
+RequestContext& tls_request_context() noexcept;
+
+/// RAII override of the thread-local request context. Install one around a
+/// request's submission (spawn + admission check) and every task spawned
+/// under it inherits the ids; destruction restores the previous context.
+class RequestScope {
+ public:
+  RequestScope(std::uint64_t request, std::uint8_t tenant) noexcept
+      : prev_(tls_request_context()) {
+    tls_request_context() = RequestContext{request, tenant};
+  }
+  ~RequestScope() { tls_request_context() = prev_; }
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  RequestContext prev_;
 };
 
 /// True for the events replay_bridge turns into offline trace actions.

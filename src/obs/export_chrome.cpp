@@ -1,10 +1,17 @@
 #include "obs/export_chrome.hpp"
 
+#include <set>
 #include <sstream>
 
 namespace tj::obs {
 
 namespace {
+
+/// Per-tenant swim lanes: each tenant renders as its own Chrome-trace
+/// "process" so a service trace separates cleanly by lane. pid 1 is the
+/// unattributed lane (no RequestScope / pre-service events); tenant t
+/// (Event::tenant = t+1) renders as pid 2+t.
+std::uint64_t lane_pid(const Event& e) { return 1 + e.tenant; }
 
 /// ts/dur fields are microseconds; emit fractional µs to keep ns precision.
 void write_us(std::ostringstream& os, std::uint64_t ns) {
@@ -14,7 +21,8 @@ void write_us(std::ostringstream& os, std::uint64_t ns) {
 void write_common(std::ostringstream& os, const Event& e, const char* ph,
                   std::uint64_t ts_ns) {
   os << R"({"name":")" << to_string(e.kind) << R"(","cat":"tj","ph":")" << ph
-     << R"(","pid":1,"tid":)" << e.actor << R"(,"ts":)";
+     << R"(","pid":)" << lane_pid(e) << R"(,"tid":)" << e.actor
+     << R"(,"ts":)";
   write_us(os, ts_ns);
 }
 
@@ -23,18 +31,23 @@ void write_args(std::ostringstream& os, const Event& e) {
      << R"(,"payload":)" << e.payload << R"(,"policy":)"
      << static_cast<unsigned>(e.policy) << R"(,"detail":)"
      << static_cast<unsigned>(e.detail) << R"(,"flags":)"
-     << static_cast<unsigned>(e.flags) << "}}";
+     << static_cast<unsigned>(e.flags) << R"(,"request":)" << e.request
+     << R"(,"tenant":)"
+     << (e.tenant == 0 ? -1 : static_cast<int>(e.tenant) - 1) << "}}";
 }
 
 /// Flow arrows ("s" start / "f" finish) make Perfetto draw the causal edges
 /// the critical-path profiler walks: TaskSpawn→TaskStart and
 /// TaskEnd→JoinComplete. Flow ids live in one namespace, so the two edge
-/// families interleave the task uid with a low bit.
+/// families interleave the task uid with a low bit. Arrows bind to the
+/// emitting event's own lane, so a cross-tenant spawn (e.g. untenanted root
+/// forking a request task) draws across lanes.
 void write_flow(std::ostringstream& os, const char* name, const char* ph,
-                std::uint64_t tid, std::uint64_t ts_ns, std::uint64_t id) {
+                std::uint64_t pid, std::uint64_t tid, std::uint64_t ts_ns,
+                std::uint64_t id) {
   os << ",\n"
      << R"({"name":")" << name << R"(","cat":"tj-flow","ph":")" << ph
-     << R"(","pid":1,"tid":)" << tid << R"(,"ts":)";
+     << R"(","pid":)" << pid << R"(,"tid":)" << tid << R"(,"ts":)";
   write_us(os, ts_ns);
   os << R"(,"id":)" << id;
   if (ph[0] == 'f') os << R"(,"bp":"e")";
@@ -50,6 +63,21 @@ std::string to_chrome_json(const std::vector<Event>& events) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
+  // Name each lane up front so viewers label them even before scrolling.
+  std::set<std::uint8_t> tenants_seen;
+  for (const Event& e : events) tenants_seen.insert(e.tenant);
+  for (std::uint8_t t : tenants_seen) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"name":"process_name","ph":"M","pid":)" << (1 + t)
+       << R"(,"args":{"name":")";
+    if (t == 0) {
+      os << "runtime (unattributed)";
+    } else {
+      os << "tenant " << static_cast<unsigned>(t - 1);
+    }
+    os << R"("}})";
+  }
   for (const Event& e : events) {
     if (!first) os << ",\n";
     first = false;
@@ -57,25 +85,28 @@ std::string to_chrome_json(const std::vector<Event>& events) {
       case EventKind::TaskStart:
         write_common(os, e, "B", e.t_ns);
         write_args(os, e);
-        write_flow(os, "spawn", "f", e.actor, e.t_ns, spawn_flow_id(e.actor));
+        write_flow(os, "spawn", "f", lane_pid(e), e.actor, e.t_ns,
+                   spawn_flow_id(e.actor));
         break;
       case EventKind::TaskEnd:
         write_common(os, e, "E", e.t_ns);
         write_args(os, e);
-        write_flow(os, "join", "s", e.actor, e.t_ns, join_flow_id(e.actor));
+        write_flow(os, "join", "s", lane_pid(e), e.actor, e.t_ns,
+                   join_flow_id(e.actor));
         break;
       case EventKind::TaskSpawn:
         write_common(os, e, "i", e.t_ns);
         os << R"(,"s":"t")";
         write_args(os, e);
-        write_flow(os, "spawn", "s", e.actor, e.t_ns,
+        write_flow(os, "spawn", "s", lane_pid(e), e.actor, e.t_ns,
                    spawn_flow_id(e.target));
         break;
       case EventKind::JoinComplete:
         write_common(os, e, "i", e.t_ns);
         os << R"(,"s":"t")";
         write_args(os, e);
-        write_flow(os, "join", "f", e.actor, e.t_ns, join_flow_id(e.target));
+        write_flow(os, "join", "f", lane_pid(e), e.actor, e.t_ns,
+                   join_flow_id(e.target));
         break;
       case EventKind::CycleScan:
       case EventKind::JoinBlocked:

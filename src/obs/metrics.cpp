@@ -27,6 +27,7 @@ LatencyHistogram::Summary LatencyHistogram::summary() const {
   s.p50_ns = approx_quantile_ns(0.5);
   s.p90_ns = approx_quantile_ns(0.9);
   s.p99_ns = approx_quantile_ns(0.99);
+  s.p999_ns = approx_quantile_ns(0.999);
   return s;
 }
 

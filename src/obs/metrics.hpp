@@ -77,6 +77,7 @@ class LatencyHistogram {
     std::uint64_t p50_ns = 0;  ///< log2-resolution estimates (bucket floors)
     std::uint64_t p90_ns = 0;
     std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;  ///< the service-level tail the SLOs gate on
   };
   Summary summary() const;
 

@@ -28,7 +28,7 @@ namespace tj::obs {
 struct ObsConfig {
   bool enabled = false;
   /// Events buffered per emitting thread (rounded up to a power of two).
-  /// 2^16 events ≈ 3 MiB/thread at 48 B/event.
+  /// 2^16 events ≈ 3.5 MiB/thread at 56 B/event.
   std::size_t buffer_capacity = std::size_t{1} << 16;
 };
 
@@ -47,11 +47,16 @@ class FlightRecorder {
             .count());
   }
 
-  /// Records `e`, stamping its seq and t_ns. Thread-safe; lock-free after a
+  /// Records `e`, stamping its seq and t_ns, plus the thread's current
+  /// request context for any attribution field the site left at zero (an
+  /// explicit site-set request/tenant wins). Thread-safe; lock-free after a
   /// thread's first emit (which registers its ring under a mutex).
   void emit(Event e) {
     e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     e.t_ns = now_ns();
+    const RequestContext& ctx = tls_request_context();
+    if (e.request == 0) e.request = ctx.request;
+    if (e.tenant == 0) e.tenant = ctx.tenant;
     ThreadLog& log = local_log();
     if (log.ring.try_push(e)) {
       log.pushed.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,432 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tj::obs::slo {
+
+// ---------------------------------------------------------------------------
+// JSON parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        Json v;
+        v.kind_ = Json::Kind::String;
+        v.str_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        {
+          Json v;
+          v.kind_ = Json::Kind::Bool;
+          v.num_ = 1;
+          return v;
+        }
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return [] {
+          Json v;
+          v.kind_ = Json::Kind::Bool;
+          return v;
+        }();
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json{};
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json v;
+    v.kind_ = Json::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json v;
+    v.kind_ = Json::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // The telemetry writer never emits \u escapes; accept and keep
+          // ASCII code points, reject the rest rather than mis-decode.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("bad number '" + tok + "'");
+    Json v;
+    v.kind_ = Json::Kind::Number;
+    v.num_ = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json* Json::at_path(std::string_view dotted) const {
+  const Json* cur = this;
+  while (!dotted.empty()) {
+    const std::size_t dot = dotted.find('.');
+    const std::string_view hop =
+        dot == std::string_view::npos ? dotted : dotted.substr(0, dot);
+    cur = cur->find(hop);
+    if (cur == nullptr) return nullptr;
+    dotted = dot == std::string_view::npos ? std::string_view{}
+                                           : dotted.substr(dot + 1);
+  }
+  return cur;
+}
+
+Json parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::vector<Json> parse_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<Json> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      out.push_back(parse_json(line));
+    } catch (const std::exception& ex) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
+                               ex.what());
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+
+namespace {
+
+std::string_view op_str(Rule::Op op) {
+  switch (op) {
+    case Rule::Op::LT: return "<";
+    case Rule::Op::LE: return "<=";
+    case Rule::Op::GT: return ">";
+    case Rule::Op::GE: return ">=";
+    case Rule::Op::EQ: return "==";
+    case Rule::Op::NE: return "!=";
+  }
+  return "?";
+}
+
+bool apply(Rule::Op op, double actual, double bound) {
+  switch (op) {
+    case Rule::Op::LT: return actual < bound;
+    case Rule::Op::LE: return actual <= bound;
+    case Rule::Op::GT: return actual > bound;
+    case Rule::Op::GE: return actual >= bound;
+    case Rule::Op::EQ: return actual == bound;
+    case Rule::Op::NE: return actual != bound;
+  }
+  return false;
+}
+
+std::string trimmed(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string_view::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+}  // namespace
+
+std::string Rule::to_string() const {
+  std::ostringstream os;
+  os << metric << op_str(op) << bound;
+  return os.str();
+}
+
+std::vector<Rule> parse_rules(std::string_view spec) {
+  std::vector<Rule> rules;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find_first_of(",;", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string item = trimmed(spec.substr(pos, end - pos));
+    pos = end + 1;
+    if (item.empty()) {
+      if (pos > spec.size()) break;
+      continue;
+    }
+    // Two-char operators first so "<=" is not read as "<" + "=3".
+    static constexpr std::pair<std::string_view, Rule::Op> kOps[] = {
+        {"<=", Rule::Op::LE}, {">=", Rule::Op::GE}, {"==", Rule::Op::EQ},
+        {"!=", Rule::Op::NE}, {"<", Rule::Op::LT},  {">", Rule::Op::GT},
+    };
+    Rule r;
+    std::size_t op_at = std::string::npos;
+    std::size_t op_len = 0;
+    for (const auto& [tok, op] : kOps) {
+      const std::size_t at = item.find(tok);
+      if (at != std::string::npos && (op_at == std::string::npos || at < op_at ||
+                                      (at == op_at && tok.size() > op_len))) {
+        op_at = at;
+        op_len = tok.size();
+        r.op = op;
+      }
+    }
+    if (op_at == std::string::npos || op_at == 0) {
+      throw std::runtime_error("slo rule '" + item +
+                               "': expected metric<op>value");
+    }
+    r.metric = trimmed(std::string_view(item).substr(0, op_at));
+    const std::string num = trimmed(
+        std::string_view(item).substr(op_at + op_len));
+    char* endp = nullptr;
+    r.bound = std::strtod(num.c_str(), &endp);
+    if (num.empty() || endp != num.c_str() + num.size()) {
+      throw std::runtime_error("slo rule '" + item + "': bad bound '" + num +
+                               "'");
+    }
+    rules.push_back(std::move(r));
+  }
+  if (rules.empty()) throw std::runtime_error("empty slo rule set");
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+
+namespace {
+
+/// Resolves a metric name against one telemetry sample; false when absent.
+bool resolve(const Json& sample, const std::string& metric, double* out) {
+  const auto quantile = [&](std::string_view field) -> bool {
+    const Json* v = sample.at_path(std::string("hist.request_latency_ns.") +
+                                   std::string(field));
+    if (v == nullptr || !v->is_number()) return false;
+    *out = v->number() / 1e6;
+    return true;
+  };
+  if (metric == "p50_ms") return quantile("p50_ns");
+  if (metric == "p90_ms") return quantile("p90_ns");
+  if (metric == "p99_ms") return quantile("p99_ns");
+  if (metric == "p999_ms") return quantile("p999_ns");
+  if (metric == "shed_rate") {
+    const Json* shed = sample.at_path("gate.requests_shed");
+    const Json* checked = sample.at_path("gate.requests_checked");
+    if (shed == nullptr || checked == nullptr) return false;
+    *out = shed->number() / std::max(1.0, checked->number());
+    return true;
+  }
+  if (metric == "downgrade_level") {
+    const Json* v = sample.find("ladder_level");
+    if (v == nullptr) return false;
+    *out = v->number();
+    return true;
+  }
+  const Json* v = sample.at_path(metric);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->number();
+  return true;
+}
+
+}  // namespace
+
+std::string RuleResult::to_string() const {
+  std::ostringstream os;
+  os << (pass ? "PASS " : "FAIL ") << rule.to_string();
+  if (missing) {
+    os << " (metric missing from stream)";
+  } else {
+    os << " (actual " << actual << ")";
+  }
+  return os.str();
+}
+
+Evaluation evaluate(const std::vector<Json>& samples,
+                    const std::vector<Rule>& rules) {
+  Evaluation ev;
+  ev.samples = samples.size();
+  ev.pass = true;
+  for (const Rule& r : rules) {
+    RuleResult res;
+    res.rule = r;
+    if (samples.empty() || !resolve(samples.back(), r.metric, &res.actual)) {
+      res.missing = true;
+      res.pass = false;
+    } else {
+      res.pass = apply(r.op, res.actual, r.bound);
+    }
+    ev.pass = ev.pass && res.pass;
+    ev.results.push_back(std::move(res));
+  }
+  return ev;
+}
+
+Evaluation evaluate_file(const std::string& path,
+                         const std::vector<Rule>& rules) {
+  return evaluate(parse_jsonl_file(path), rules);
+}
+
+std::string Evaluation::to_string() const {
+  std::ostringstream os;
+  os << "slo: " << (pass ? "PASS" : "FAIL") << " over " << samples
+     << " samples\n";
+  for (const RuleResult& r : results) os << "  " << r.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace tj::obs::slo

@@ -1,0 +1,115 @@
+#pragma once
+// Declarative SLO evaluation over the telemetry JSONL stream. A rule set
+// like "p99_ms<250,shed_rate<=0.6,downgrade_level<=2,watchdog_cycles==0"
+// is parsed once, then evaluated against the FINAL sample of a telemetry
+// time series (every counter and quantile in the stream is cumulative, so
+// the last sample is the end-of-run truth). Evaluation is deterministic:
+// a metric the stream does not carry fails its rule with an explicit
+// "missing" verdict instead of passing vacuously — CI gates on the exit
+// code, and a silently-skipped rule is how SLOs rot.
+//
+// The same header provides the minimal JSON DOM the telemetry consumers
+// (SLO gate, loadgen reconciliation, tj_top) share. No external JSON
+// dependency is available in this tree; the parser handles exactly the
+// JSON the TelemetrySink writes plus ordinary escapes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tj::obs::slo {
+
+/// Minimal immutable JSON value. Numbers are doubles (the telemetry
+/// stream's counters stay below 2^53, where doubles are exact).
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_number() const { return kind_ == Kind::Number; }
+
+  double number() const { return num_; }
+  bool boolean() const { return num_ != 0; }
+  const std::string& str() const { return str_; }
+  const std::vector<Json>& array() const { return arr_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Dotted-path lookup ("gate.requests_shed"); nullptr when any hop is
+  /// absent. Array hops are not supported — telemetry rules address scalars.
+  const Json* at_path(std::string_view dotted) const;
+
+  // Data members are public so the (file-local) parser can build values;
+  // consumers should stick to the accessors above.
+  Kind kind_ = Kind::Null;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Parses one JSON document. Throws std::runtime_error with a position on
+/// malformed input (CI surfaces it as a schema failure).
+Json parse_json(std::string_view text);
+
+/// Parses a JSONL file: one Json per non-empty line. Throws on I/O or
+/// parse failure.
+std::vector<Json> parse_jsonl_file(const std::string& path);
+
+/// One declarative rule: metric OP bound.
+struct Rule {
+  enum class Op { LT, LE, GT, GE, EQ, NE };
+  std::string metric;
+  Op op = Op::LT;
+  double bound = 0;
+
+  std::string to_string() const;
+};
+
+/// Parses "metric<bound,metric2>=bound2,..." (',' or ';' separated).
+/// Throws std::runtime_error on syntax errors.
+std::vector<Rule> parse_rules(std::string_view spec);
+
+struct RuleResult {
+  Rule rule;
+  double actual = 0;
+  bool missing = false;  ///< metric absent from the sample ⇒ fails
+  bool pass = false;
+
+  std::string to_string() const;
+};
+
+struct Evaluation {
+  bool pass = false;
+  std::size_t samples = 0;  ///< time-series length evaluated over
+  std::vector<RuleResult> results;
+
+  /// One line per rule, "PASS metric<bound (actual ...)" style.
+  std::string to_string() const;
+};
+
+/// Evaluates rules against the final sample of `samples`. An empty series
+/// fails every rule (missing). Built-in metric names resolve as:
+///   p50_ms/p90_ms/p99_ms/p999_ms  → hist.request_latency_ns.<q>_ns / 1e6
+///   shed_rate         → gate.requests_shed / max(1, gate.requests_checked)
+///   downgrade_level   → ladder_level
+///   watchdog_cycles   → watchdog_cycles
+/// Anything else is a dotted path into the sample object.
+Evaluation evaluate(const std::vector<Json>& samples,
+                    const std::vector<Rule>& rules);
+
+/// Convenience: parse_jsonl_file + evaluate.
+Evaluation evaluate_file(const std::string& path,
+                         const std::vector<Rule>& rules);
+
+}  // namespace tj::obs::slo

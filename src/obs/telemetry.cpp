@@ -1,0 +1,317 @@
+// TelemetrySink implementation. Compiled into tj_runtime (not tj_obs): it
+// consumes RuntimeSnapshot, and the obs library sits below the runtime.
+
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/policy_ids.hpp"
+#include "runtime/introspect.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tj::obs {
+
+namespace {
+
+/// Minimal JSON string escape; telemetry names are ASCII but tenant names
+/// come from user config.
+std::string jesc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_summary(std::ostringstream& os, const LatencyHistogram& h) {
+  const LatencyHistogram::Summary s = h.summary();
+  os << "{\"count\":" << s.count << ",\"sum_ns\":" << s.sum_ns
+     << ",\"min_ns\":" << s.min_ns << ",\"max_ns\":" << s.max_ns
+     << ",\"p50_ns\":" << s.p50_ns << ",\"p90_ns\":" << s.p90_ns
+     << ",\"p99_ns\":" << s.p99_ns << ",\"p999_ns\":" << s.p999_ns << "}";
+}
+
+}  // namespace
+
+TelemetrySink::TelemetrySink(const runtime::Runtime& rt, TelemetryConfig cfg)
+    : rt_(rt), cfg_(std::move(cfg)) {}
+
+TelemetrySink::~TelemetrySink() { stop(); }
+
+void TelemetrySink::register_histogram(std::string name,
+                                       const LatencyHistogram* h) {
+  extra_.push_back({std::move(name), h});
+}
+
+void TelemetrySink::start() {
+  std::scoped_lock lock(mu_);
+  if (started_) return;
+  // The recorder IS the obs on/off switch: no recorder, no telemetry —
+  // the same single null-pointer branch contract every emit site has.
+  if (rt_.recorder() == nullptr) return;
+  if (cfg_.jsonl_path.empty() && cfg_.prometheus_path.empty()) return;
+  if (!cfg_.jsonl_path.empty()) {
+    jsonl_.open(cfg_.jsonl_path, std::ios::app);
+    if (!jsonl_) return;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  // Delta slots: the fixed metrics registry first, then registered extras.
+  std::size_t fixed = 0;
+  rt_.recorder()->metrics().for_each_histogram(
+      [&fixed](const char*, const LatencyHistogram&) { ++fixed; });
+  hist_prev_.assign(fixed + extra_.size(), DeltaState{});
+  started_ = true;
+  active_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { sampler_loop(); });
+}
+
+void TelemetrySink::stop() {
+  {
+    std::scoped_lock lock(mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  {
+    std::scoped_lock lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final synchronous sample: the workload has quiesced by the time a
+  // service stops its sink, so this line carries the end-of-run truth the
+  // reconciliation check compares against gate_stats().
+  std::scoped_lock lock(mu_);
+  sample_locked();
+  if (jsonl_.is_open()) {
+    jsonl_.flush();
+    jsonl_.close();
+  }
+}
+
+void TelemetrySink::sample_now() {
+  if (!active()) return;
+  std::scoped_lock lock(mu_);
+  sample_locked();
+}
+
+void TelemetrySink::sampler_loop() {
+  const auto cadence = std::chrono::milliseconds(
+      cfg_.cadence_ms == 0 ? 1 : cfg_.cadence_ms);
+  std::unique_lock stop_lock(stop_mu_);
+  while (!stop_cv_.wait_for(stop_lock, cadence,
+                            [this] { return stop_requested_; })) {
+    stop_lock.unlock();
+    {
+      std::scoped_lock lock(mu_);
+      sample_locked();
+    }
+    stop_lock.lock();
+  }
+}
+
+void TelemetrySink::sample_locked() {
+  const runtime::RuntimeSnapshot s = runtime::snapshot(rt_);
+  const Metrics& m = rt_.recorder()->metrics();
+  const std::uint64_t t_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  const std::uint64_t seq = samples_.fetch_add(1, std::memory_order_relaxed);
+
+  std::ostringstream os;
+  os << "{\"t_ms\":" << t_ms << ",\"seq\":" << seq;
+  if (!cfg_.scheduler_label.empty()) {
+    os << ",\"scheduler\":\"" << jesc(cfg_.scheduler_label) << "\"";
+  }
+  os << ",\"configured_policy\":\"" << core::to_string(s.configured)
+     << "\",\"active_policy\":\"" << core::to_string(s.active)
+     << "\",\"ladder_level\":" << s.ladder_level
+     << ",\"ladder_levels\":" << s.ladder_levels
+     << ",\"tasks_created\":" << s.tasks_created
+     << ",\"promises_made\":" << s.promises_made
+     << ",\"live_tasks\":" << s.live_tasks
+     << ",\"watchdog_stalls\":" << s.watchdog_stalls
+     << ",\"watchdog_cycles\":" << s.watchdog_cycles;
+
+  os << ",\"gate\":{\"joins_checked\":" << s.gate.joins_checked
+     << ",\"policy_rejections\":" << s.gate.policy_rejections
+     << ",\"false_positives\":" << s.gate.false_positives
+     << ",\"deadlocks_averted\":" << s.gate.deadlocks_averted
+     << ",\"cycle_checks\":" << s.gate.cycle_checks
+     << ",\"awaits_checked\":" << s.gate.awaits_checked
+     << ",\"owp_rejections\":" << s.gate.owp_rejections
+     << ",\"ownership_violations\":" << s.gate.ownership_violations
+     << ",\"promises_orphaned\":" << s.gate.promises_orphaned
+     << ",\"requests_checked\":" << s.gate.requests_checked
+     << ",\"requests_admitted\":" << s.gate.requests_admitted
+     << ",\"requests_shed\":" << s.gate.requests_shed << "}";
+
+  os << ",\"counters\":{\"faults_injected\":"
+     << m.faults_injected.load(std::memory_order_relaxed)
+     << ",\"compensation_spawns\":"
+     << m.compensation_spawns.load(std::memory_order_relaxed)
+     << ",\"stall_reports\":"
+     << m.stall_reports.load(std::memory_order_relaxed)
+     << ",\"policy_downgrades\":"
+     << m.policy_downgrades.load(std::memory_order_relaxed)
+     << ",\"spawn_inlines\":"
+     << m.spawn_inlines.load(std::memory_order_relaxed)
+     << ",\"join_timeouts\":"
+     << m.join_timeouts.load(std::memory_order_relaxed)
+     << ",\"kj_compactions\":"
+     << m.kj_compactions.load(std::memory_order_relaxed)
+     << ",\"requests_admitted\":"
+     << m.requests_admitted.load(std::memory_order_relaxed)
+     << ",\"requests_shed\":"
+     << m.requests_shed.load(std::memory_order_relaxed) << "}";
+
+  os << ",\"obs\":{\"events\":" << s.obs_events
+     << ",\"dropped\":" << s.obs_dropped << "}";
+
+  os << ",\"governor\":{\"attached\":"
+     << (s.governor_attached ? "true" : "false")
+     << ",\"pressure\":" << (s.governor_pressure ? "true" : "false")
+     << ",\"verifier_bytes\":" << s.governor.verifier_bytes
+     << ",\"wfg_edges\":" << s.governor.wfg_edges << "}";
+
+  os << ",\"tenants\":[";
+  for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+    const auto& t = s.tenants[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << jesc(t.name) << "\",\"in_flight\":" << t.in_flight
+       << ",\"admitted\":" << t.admitted << ",\"shed\":" << t.shed
+       << ",\"released\":" << t.released
+       << ",\"in_cooldown\":" << (t.in_cooldown ? "true" : "false") << "}";
+  }
+  os << "]";
+
+  // Cumulative summaries plus per-tick deltas for every histogram, fixed
+  // registry first, then service-registered extras — one flat namespace.
+  os << ",\"hist\":{";
+  std::size_t slot = 0;
+  bool first_h = true;
+  std::ostringstream deltas;
+  const auto one = [&](const char* name, const LatencyHistogram& h) {
+    if (!first_h) os << ",";
+    first_h = false;
+    os << "\"" << name << "\":";
+    write_summary(os, h);
+    DeltaState& prev = hist_prev_[slot];
+    const std::uint64_t c = h.count();
+    const std::uint64_t sum = h.sum_ns();
+    if (slot != 0) deltas << ",";
+    deltas << "\"" << name << "\":{\"count\":" << (c - prev.count)
+           << ",\"sum_ns\":" << (sum - prev.sum_ns) << "}";
+    prev.count = c;
+    prev.sum_ns = sum;
+    ++slot;
+  };
+  m.for_each_histogram(one);
+  for (const ExtraHist& e : extra_) one(e.name.c_str(), *e.hist);
+  os << "}";
+
+  os << ",\"delta\":{" << deltas.str()
+     << ",\"joins_checked\":" << (s.gate.joins_checked - prev_joins_checked_)
+     << ",\"requests_checked\":"
+     << (s.gate.requests_checked - prev_requests_checked_) << "}}";
+  prev_joins_checked_ = s.gate.joins_checked;
+  prev_requests_checked_ = s.gate.requests_checked;
+
+  if (jsonl_.is_open()) jsonl_ << os.str() << "\n";
+
+  if (!cfg_.prometheus_path.empty()) {
+    const std::string text = render_prometheus(s);
+    const std::string tmp = cfg_.prometheus_path + ".tmp";
+    if (std::ofstream out(tmp, std::ios::trunc); out) {
+      out << text;
+      out.close();
+      std::rename(tmp.c_str(), cfg_.prometheus_path.c_str());
+    }
+  }
+}
+
+std::string TelemetrySink::render_prometheus(
+    const runtime::RuntimeSnapshot& s) {
+  const Metrics& m = rt_.recorder()->metrics();
+  std::ostringstream os;
+  const auto counter = [&os](const char* name, std::uint64_t v,
+                             const char* help) {
+    os << "# HELP " << name << ' ' << help << "\n# TYPE " << name
+       << " counter\n"
+       << name << ' ' << v << "\n";
+  };
+  const auto gauge = [&os](const char* name, std::uint64_t v,
+                           const char* help) {
+    os << "# HELP " << name << ' ' << help << "\n# TYPE " << name
+       << " gauge\n"
+       << name << ' ' << v << "\n";
+  };
+  counter("tj_joins_checked", s.gate.joins_checked, "gate join verdicts");
+  counter("tj_policy_rejections", s.gate.policy_rejections,
+          "joins the policy flagged");
+  counter("tj_deadlocks_averted", s.gate.deadlocks_averted,
+          "joins faulted on a real cycle");
+  counter("tj_cycle_checks", s.gate.cycle_checks, "WFG fallback scans");
+  counter("tj_awaits_checked", s.gate.awaits_checked, "gate await verdicts");
+  counter("tj_requests_checked", s.gate.requests_checked,
+          "admission verdicts");
+  counter("tj_requests_admitted", s.gate.requests_admitted,
+          "requests admitted");
+  counter("tj_requests_shed", s.gate.requests_shed, "requests shed");
+  counter("tj_watchdog_stalls", s.watchdog_stalls, "stall batches reported");
+  counter("tj_watchdog_cycles", s.watchdog_cycles,
+          "cycles found by stall scans");
+  counter("tj_faults_injected",
+          m.faults_injected.load(std::memory_order_relaxed),
+          "chaos faults fired");
+  counter("tj_policy_downgrades",
+          m.policy_downgrades.load(std::memory_order_relaxed),
+          "degradation ladder steps");
+  counter("tj_obs_events", s.obs_events, "flight-recorder events buffered");
+  counter("tj_obs_dropped", s.obs_dropped, "flight-recorder events dropped");
+  gauge("tj_live_tasks", s.live_tasks, "tasks submitted and not terminated");
+  gauge("tj_ladder_level", s.ladder_level, "active degradation level");
+  gauge("tj_governor_pressure", s.governor_pressure ? 1 : 0,
+        "governor over budget now");
+
+  os << "# HELP tj_tenant_requests per-tenant admission ledger\n"
+     << "# TYPE tj_tenant_requests counter\n";
+  for (const auto& t : s.tenants) {
+    os << "tj_tenant_requests{tenant=\"" << t.name
+       << "\",outcome=\"admitted\"} " << t.admitted << "\n"
+       << "tj_tenant_requests{tenant=\"" << t.name << "\",outcome=\"shed\"} "
+       << t.shed << "\n";
+  }
+
+  const auto hist = [&os](const char* name, const LatencyHistogram& h) {
+    const LatencyHistogram::Summary sum = h.summary();
+    os << "# TYPE tj_" << name << " summary\n";
+    os << "tj_" << name << "{quantile=\"0.5\"} " << sum.p50_ns << "\n"
+       << "tj_" << name << "{quantile=\"0.9\"} " << sum.p90_ns << "\n"
+       << "tj_" << name << "{quantile=\"0.99\"} " << sum.p99_ns << "\n"
+       << "tj_" << name << "{quantile=\"0.999\"} " << sum.p999_ns << "\n"
+       << "tj_" << name << "_sum " << sum.sum_ns << "\n"
+       << "tj_" << name << "_count " << sum.count << "\n";
+  };
+  m.for_each_histogram(hist);
+  for (const ExtraHist& e : extra_) hist(e.name.c_str(), *e.hist);
+  return os.str();
+}
+
+}  // namespace tj::obs

@@ -46,4 +46,14 @@ auto async_owning(const Promise<T>& p, F&& fn) {
   return cur.runtime()->spawn_owning(p, std::forward<F>(fn));
 }
 
+/// Request-span attribution (service telemetry). Install a RequestScope on
+/// the submitting thread around a request's admission check + spawn: every
+/// event the recorder emits on that thread, and every task spawned while
+/// the scope is live (transitively, through async/spawn_owning/promises),
+/// is stamped with the request id and tenant lane. Zero-cost while the
+/// recorder is off. `tenant` follows Event::tenant encoding: 0 = none,
+/// else admission tenant index + 1.
+using RequestScope = obs::RequestScope;
+using RequestContext = obs::RequestContext;
+
 }  // namespace tj::runtime

@@ -76,6 +76,8 @@ RuntimeSnapshot snapshot(const Runtime& rt) {
 
   if (const JoinWatchdog* wd = rt.watchdog()) {
     s.watchdog_attached = true;
+    s.watchdog_stalls = wd->stalls_reported();
+    s.watchdog_cycles = wd->cycles_found();
     for (const JoinWatchdog::BlockedWait& b : wd->blocked_now()) {
       RuntimeSnapshot::BlockedWait out;
       out.waiter = b.waiter;

@@ -70,6 +70,8 @@ struct RuntimeSnapshot {
   // --- blocked waits (needs the watchdog; its bookkeeping is the only
   // runtime-wide registry of who is blocked on what right now) ---
   bool watchdog_attached = false;
+  std::uint64_t watchdog_stalls = 0;  ///< stall batches reported so far
+  std::uint64_t watchdog_cycles = 0;  ///< cycles found by on-demand scans
   struct BlockedWait {
     std::uint64_t waiter = 0;
     std::uint64_t target = 0;

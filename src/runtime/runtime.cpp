@@ -324,6 +324,11 @@ void Runtime::register_task(TaskBase& t, const TaskBase* parent) {
                : trace::init(id));
   }
   if (recorder_ != nullptr) {
+    // Request spans: the child inherits the spawning thread's context — the
+    // parent task's (installed by CurrentTaskGuard) or an explicit
+    // RequestScope at a service's submission point. Recorder-off runs skip
+    // even the TLS read so the hot spawn path is untouched.
+    t.req_ctx_ = obs::tls_request_context();
     obs::Event e;
     if (parent != nullptr) {
       e.kind = obs::EventKind::TaskSpawn;

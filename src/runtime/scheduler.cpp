@@ -22,10 +22,16 @@ TaskBase& current_task() {
 }
 
 namespace detail {
-CurrentTaskGuard::CurrentTaskGuard(TaskBase* t) : prev_(t_current) {
+CurrentTaskGuard::CurrentTaskGuard(TaskBase* t)
+    : prev_(t_current), prev_ctx_(obs::tls_request_context()) {
   t_current = t;
+  obs::tls_request_context() =
+      t != nullptr ? t->request_context() : obs::RequestContext{};
 }
-CurrentTaskGuard::~CurrentTaskGuard() { t_current = prev_; }
+CurrentTaskGuard::~CurrentTaskGuard() {
+  t_current = prev_;
+  obs::tls_request_context() = prev_ctx_;
+}
 }  // namespace detail
 
 Scheduler::Scheduler(SchedulerMode mode, unsigned workers,

@@ -139,7 +139,10 @@ class BlockingRegionGuard {
   Scheduler& sched_;
 };
 
-/// RAII swap of the thread-local current task.
+/// RAII swap of the thread-local current task. Also swaps the obs-layer
+/// request context so events emitted while `t` runs (including inline runs
+/// on a joiner's stack) are attributed to t's request, not the host
+/// thread's.
 class CurrentTaskGuard {
  public:
   explicit CurrentTaskGuard(TaskBase* t);
@@ -149,6 +152,7 @@ class CurrentTaskGuard {
 
  private:
   TaskBase* prev_;
+  obs::RequestContext prev_ctx_;
 };
 }  // namespace detail
 

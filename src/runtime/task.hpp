@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "core/verifier.hpp"
+#include "obs/event.hpp"
 
 namespace tj::runtime {
 
@@ -100,6 +101,12 @@ class TaskBase : public std::enable_shared_from_this<TaskBase> {
   Runtime* runtime() const { return rt_; }
   core::PolicyNode* policy_node() const { return pnode_; }
 
+  /// Request attribution inherited from the spawning thread's RequestScope
+  /// (or the parent task's context) at registration; all-zero when the
+  /// recorder is off or no scope was installed. The scheduler re-installs it
+  /// as the thread-local context around every execution of this task.
+  const obs::RequestContext& request_context() const { return req_ctx_; }
+
   /// True when this task has been asked to cancel (its cancellation scope
   /// cancelled). Cooperative: the runtime checks it at spawn/join/await
   /// checkpoints; long-running bodies may poll it. Defined in runtime.cpp.
@@ -138,6 +145,7 @@ class TaskBase : public std::enable_shared_from_this<TaskBase> {
   std::exception_ptr error_;
   std::shared_ptr<detail::CancelState> scope_;  // set at registration
   std::atomic<bool> cancel_requested_{false};
+  obs::RequestContext req_ctx_;  // set at registration, immutable after
 };
 
 /// Typed task: adds the result slot.

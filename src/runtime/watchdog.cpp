@@ -132,6 +132,7 @@ void JoinWatchdog::poll_loop() {
       report.degradation_history = governor_->history_string();
     }
     report.cycles = gate_.graph().find_all_cycles();
+    cycles_found_.fetch_add(report.cycles.size(), std::memory_order_relaxed);
     if (rec_ != nullptr) {
       // Quote the stalled parties' recent history: what the waiter (and,
       // for task joins, the target) last did before going quiet.

@@ -13,6 +13,7 @@
 // watchdog — joins pay nothing. When enabled, a blocking join costs one
 // mutex-guarded map insert/erase, and a sampling thread wakes every poll_ms.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -105,6 +106,13 @@ class JoinWatchdog {
   /// Stall batches reported so far (each batch = one callback invocation).
   std::uint64_t stalls_reported() const;
 
+  /// Total waits-for cycles found by on-demand stall scans across all
+  /// reports — the `watchdog_cycles` signal the SLO evaluator gates on
+  /// (nonzero means a genuine deadlock slipped past the policy's model).
+  std::uint64_t cycles_found() const {
+    return cycles_found_.load(std::memory_order_relaxed);
+  }
+
   /// Moment-in-time view of the currently-blocked admitted waits (for
   /// introspection snapshots; the stall path has its own reporting).
   struct BlockedWait {
@@ -139,6 +147,7 @@ class JoinWatchdog {
   std::unordered_map<std::uint64_t, Entry> blocked_;  // guarded by mu_
   bool stop_ = false;                                 // guarded by mu_
   std::uint64_t stalls_reported_ = 0;                 // guarded by mu_
+  std::atomic<std::uint64_t> cycles_found_{0};
   std::thread thread_;
 };
 

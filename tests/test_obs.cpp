@@ -133,6 +133,21 @@ TEST(LatencyHistogram, QuantilesTrackTheDistribution) {
   EXPECT_NE(s.find("count=100"), std::string::npos) << s;
 }
 
+TEST(LatencyHistogram, SummaryCarriesP999Tail) {
+  obs::LatencyHistogram h;
+  // 9980 fast samples and 20 slow ones (0.2%): p99 stays in the fast
+  // bucket while p999 lands at the tail — the quantile the SLOs gate on.
+  for (int i = 0; i < 9980; ++i) h.record(100);  // bucket [64,128)
+  for (int i = 0; i < 20; ++i) h.record(std::uint64_t{1} << 20);
+  const obs::LatencyHistogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 10000u);
+  EXPECT_EQ(s.p99_ns, 64u);
+  EXPECT_GE(s.p999_ns, std::uint64_t{1} << 19);
+  EXPECT_EQ(s.p999_ns, h.approx_quantile_ns(0.999));
+  // Empty summary: every quantile, p999 included, reads zero.
+  EXPECT_EQ(obs::LatencyHistogram{}.summary().p999_ns, 0u);
+}
+
 TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
   obs::LatencyHistogram h;
   EXPECT_EQ(h.count(), 0u);

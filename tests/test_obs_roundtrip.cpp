@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "apps/app_registry.hpp"
+#include "obs/export_chrome.hpp"
 #include "obs/replay_bridge.hpp"
 #include "runtime/api.hpp"
 #include "trace/deadlock.hpp"
@@ -145,6 +146,67 @@ TEST(ObsRoundTripPromises, DataflowReplaysOwpValid) {
   EXPECT_TRUE(trace::is_structurally_valid(t));
   EXPECT_TRUE(trace::is_owp_valid(t));
   EXPECT_FALSE(trace::contains_deadlock(t));
+}
+
+// Service-mode streams round-trip too: AdmissionShed events and request/
+// tenant annotations ride along in the recorded stream without disturbing
+// the structural bridge — the offline trace is identical to a plain run's,
+// while the Chrome export keeps the service-facing detail.
+TEST(ObsRoundTripService, ShedAndRequestAnnotationsSurviveBridging) {
+  runtime::Config cfg = observed(runtime::SchedulerMode::Cooperative);
+  runtime::TenantBudget tight;
+  tight.name = "tiny";
+  tight.max_in_flight = 1;
+  cfg.governor.tenants = {tight};
+  runtime::Runtime rt(cfg);
+  ASSERT_NE(rt.admission(), nullptr);
+
+  rt.root([&] {
+    for (std::uint64_t req = 1; req <= 4; ++req) {
+      runtime::RequestScope span(req, 1);
+      const auto v = rt.admission()->try_admit(0);
+      // In-flight budget is 1 and we release immediately, so odd attempts
+      // admit; to force sheds, attempt once more while still in flight.
+      if (v.admitted) {
+        const auto nested = rt.admission()->try_admit(0);
+        EXPECT_FALSE(nested.admitted);
+        runtime::async([] {}).join();
+        rt.admission()->release(0);
+      }
+    }
+  });
+
+  EXPECT_EQ(rt.recorder()->events_dropped(), 0u);
+  const std::vector<obs::Event> events = rt.recorder()->drain();
+  std::uint64_t sheds = 0, annotated = 0;
+  for (const obs::Event& e : events) {
+    if (e.kind == obs::EventKind::AdmissionShed) {
+      ++sheds;
+      EXPECT_NE(e.request, 0u) << "shed events carry the request span";
+      EXPECT_EQ(e.tenant, 1u);
+    }
+    if (e.request != 0) ++annotated;
+  }
+  EXPECT_GE(sheds, 1u);
+  EXPECT_GT(annotated, sheds) << "spawn/join events are annotated too";
+  const core::GateStats stats = rt.gate_stats();
+  EXPECT_EQ(stats.requests_checked, stats.requests_admitted + sheds);
+
+  // The bridge ignores service events without counting them as losses, and
+  // the resulting trace still replays cleanly.
+  const obs::RecordedRun run = obs::extract_run(events);
+  EXPECT_EQ(run.skipped_events, 0u);
+  EXPECT_EQ(run.trace.join_count(), stats.joins_checked);
+  expect_reparses_identically(run.trace);
+  EXPECT_TRUE(trace::is_structurally_valid(run.trace));
+  EXPECT_TRUE(trace::is_tj_valid(run.trace));
+
+  // The Chrome export keeps what the bridge drops: the shed marker lands in
+  // the tenant's lane with its request id in the args.
+  const std::string chrome = obs::to_chrome_json(events);
+  EXPECT_NE(chrome.find("admission-shed"), std::string::npos);
+  EXPECT_NE(chrome.find("\"tenant 0\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"request\":1"), std::string::npos);
 }
 
 }  // namespace

@@ -54,6 +54,8 @@
 #include "apps/smith_waterman.hpp"
 #include "apps/strassen.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/api.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/introspect.hpp"
@@ -77,6 +79,11 @@ struct Options {
   unsigned introspect_ms = 0;    // 0 = dump only on SIGUSR1
   bool json = false;
   std::string json_file;  // empty = stdout
+  // Continuous telemetry + SLO gating (obs/telemetry.hpp, obs/slo.hpp).
+  std::string telemetry_file;   // JSONL time series; "" = off
+  std::string prom_file;        // Prometheus text dump; "" = off
+  unsigned telemetry_ms = 100;  // sampling cadence
+  std::string slo_rules;        // e.g. "p99_ms<250,shed_rate<=0.6"
 };
 
 bool parse_arg(const char* arg, const char* name, std::string& out) {
@@ -108,6 +115,15 @@ Options parse(int argc, char** argv) {
     } else if (parse_arg(argv[i], "--introspect-ms", v)) {
       o.introspect_ms =
           static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_arg(argv[i], "--telemetry", v)) {
+      o.telemetry_file = v;
+    } else if (parse_arg(argv[i], "--prom", v)) {
+      o.prom_file = v;
+    } else if (parse_arg(argv[i], "--telemetry-ms", v)) {
+      o.telemetry_ms =
+          static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_arg(argv[i], "--slo", v)) {
+      o.slo_rules = v;
     } else if (std::strcmp(argv[i], "--hostile") == 0) {
       o.hostile = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -125,6 +141,12 @@ Options parse(int argc, char** argv) {
                          "positive\n");
     std::exit(2);
   }
+  if (!o.slo_rules.empty() && o.telemetry_file.empty()) {
+    std::fprintf(stderr, "loadgen: --slo requires --telemetry=FILE (rules "
+                         "evaluate over the JSONL stream)\n");
+    std::exit(2);
+  }
+  if (o.telemetry_ms == 0) o.telemetry_ms = 100;
   return o;
 }
 
@@ -296,14 +318,15 @@ struct LatSummary {
 
 LatSummary summarize(const tj::obs::LatencyHistogram& h) {
   LatSummary s;
-  s.count = h.count();
+  const tj::obs::LatencyHistogram::Summary sum = h.summary();
+  s.count = sum.count;
   if (s.count == 0) return s;
-  s.p50_ms = static_cast<double>(h.approx_quantile_ns(0.5)) / 1e6;
-  s.p99_ms = static_cast<double>(h.approx_quantile_ns(0.99)) / 1e6;
-  s.p999_ms = static_cast<double>(h.approx_quantile_ns(0.999)) / 1e6;
-  s.max_ms = static_cast<double>(h.max_ns()) / 1e6;
-  s.mean_ms = static_cast<double>(h.sum_ns()) /
-              static_cast<double>(s.count) / 1e6;
+  s.p50_ms = static_cast<double>(sum.p50_ns) / 1e6;
+  s.p99_ms = static_cast<double>(sum.p99_ns) / 1e6;
+  s.p999_ms = static_cast<double>(sum.p999_ns) / 1e6;
+  s.max_ms = static_cast<double>(sum.max_ns) / 1e6;
+  s.mean_ms = static_cast<double>(sum.sum_ns) /
+              static_cast<double>(sum.count) / 1e6;
   return s;
 }
 
@@ -344,10 +367,16 @@ struct ModeResult {
   std::size_t final_level = 0, ladder_floor = 0;
   std::string history;
   tj::core::GateStats stats;
+  // Telemetry stream health (trivially true when --telemetry is off): the
+  // final JSONL sample's gate/admission counters must equal the end-of-run
+  // gate_stats() exactly — the time series ends on the truth.
+  bool telemetry_reconciled = true;
+  std::uint64_t telemetry_samples = 0;
 
   bool pass() const {
     return conservation && reconciled && admission_reconciled &&
-           admission_balanced && monotone && watchdog_cycles == 0 && lost == 0;
+           admission_balanced && monotone && watchdog_cycles == 0 &&
+           lost == 0 && telemetry_reconciled;
   }
 };
 
@@ -355,6 +384,7 @@ struct ModeResult {
 
 /// One in-flight or shed-retrying request.
 struct Request {
+  std::uint64_t id = 0;  ///< request-span id (stamped into obs events)
   std::size_t tenant = 0;
   int kind = 0;
   Clock::time_point arrival{};   // scheduled arrival: the latency epoch
@@ -413,6 +443,24 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
   tj::obs::LatencyHistogram lat_all;
   std::atomic<std::uint64_t> promise_recovered{0};
 
+  // Continuous telemetry: the sink samples RuntimeSnapshot + histogram
+  // summaries on its own thread while traffic runs; the request-latency
+  // histograms are registered so the stream carries the user-visible tail,
+  // not just verifier internals.
+  tj::obs::TelemetryConfig tcfg;
+  tcfg.jsonl_path = o.telemetry_file;
+  tcfg.prometheus_path = o.prom_file;
+  tcfg.cadence_ms = o.telemetry_ms;
+  tcfg.scheduler_label = r.scheduler;
+  tj::obs::TelemetrySink sink(rt, tcfg);
+  sink.register_histogram("request_latency_ns", &lat_all);
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    sink.register_histogram("request_latency_" + tenants[i].budget.name +
+                                "_ns",
+                            &lat[i]);
+  }
+  sink.start();
+
   Rng rng(o.seed ^ (mode == rtj::SchedulerMode::Cooperative ? 0xc0 : 0xb0));
   const auto start = Clock::now();
   const auto end = start + std::chrono::seconds(o.seconds);
@@ -432,6 +480,7 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
   };
 
   rt.root([&] {
+    std::uint64_t next_request_id = 1;  // 0 means "no request" in obs events
     std::vector<Request> in_flight;   // admission order: front = oldest
     std::vector<Request> retrying;    // shed, waiting out their backoff
     std::vector<rtj::Future<bool>> drain;  // timed out; joined at the end
@@ -465,8 +514,12 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
       adm.release(q.tenant);
     };
     // Admission attempt; on admit the request is spawned and tracked, on
-    // shed it is scheduled for a backoff retry (or finally shed).
+    // shed it is scheduled for a backoff retry (or finally shed). The
+    // RequestScope brackets the front door: the AdmissionShed event and the
+    // whole spawned task tree (transitively) carry this request's id and
+    // tenant lane in every flight-recorder event.
     auto attempt = [&](Request&& q) {
+      rtj::RequestScope span(q.id, static_cast<std::uint8_t>(q.tenant + 1));
       ++r.admit_attempts;
       const rtj::AdmissionController::Verdict v = adm.try_admit(q.tenant);
       if (v.admitted) {
@@ -537,6 +590,7 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
       //    request, whether or not the service kept up.
       while (next_arrival <= now && next_arrival < end) {
         Request q;
+        q.id = next_request_id++;
         q.tenant = pick_tenant();
         q.kind = static_cast<int>(rng.next() % kKinds);
         q.arrival = next_arrival;
@@ -589,6 +643,11 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
       }
     }
   });
+
+  // Stop telemetry FIRST: the workload has quiesced, so the sink's final
+  // synchronous sample and the gate_stats() read below see the same frozen
+  // counters — the reconciliation check compares them exactly.
+  sink.stop();
 
   r.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
   r.watchdog_cycles = cycles_seen;
@@ -649,6 +708,45 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
   if (auto* lad = dynamic_cast<tj::core::LadderVerifier*>(rt.verifier())) {
     r.ladder_floor = lad->level_count() - 1;
   }
+
+  // Telemetry reconciliation: re-read this mode's samples from the JSONL
+  // file and require the final one to agree with gate_stats() counter for
+  // counter. Going through the file (not the sink's memory) also proves the
+  // stream round-trips: schema-valid JSON, correct scheduler label, nothing
+  // truncated.
+  if (!o.telemetry_file.empty()) {
+    r.telemetry_reconciled = false;
+    try {
+      namespace slo = tj::obs::slo;
+      std::vector<slo::Json> mine;
+      for (slo::Json& s : slo::parse_jsonl_file(o.telemetry_file)) {
+        const slo::Json* sched = s.find("scheduler");
+        if (sched != nullptr && sched->str() == r.scheduler) {
+          mine.push_back(std::move(s));
+        }
+      }
+      r.telemetry_samples = mine.size();
+      if (!mine.empty()) {
+        const slo::Json& last = mine.back();
+        const auto eq = [&last](const char* path, std::uint64_t want) {
+          const slo::Json* v = last.at_path(path);
+          return v != nullptr && v->is_number() &&
+                 v->number() == static_cast<double>(want);
+        };
+        r.telemetry_reconciled =
+            eq("gate.requests_checked", r.stats.requests_checked) &&
+            eq("gate.requests_admitted", r.stats.requests_admitted) &&
+            eq("gate.requests_shed", r.stats.requests_shed) &&
+            eq("gate.joins_checked", r.stats.joins_checked) &&
+            eq("gate.awaits_checked", r.stats.awaits_checked) &&
+            eq("gate.policy_rejections", r.stats.policy_rejections) &&
+            eq("hist.request_latency_ns.count", lat_all.count());
+      }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "loadgen: telemetry stream unusable: %s\n",
+                   ex.what());
+    }
+  }
 }
 
 // ---- reporting ----
@@ -669,12 +767,18 @@ void print_mode(std::FILE* out, const ModeResult& r) {
       r.wall_s > 0 ? static_cast<double>(r.completed) / r.wall_s : 0.0);
   std::fprintf(out,
                "       checks: conservation=%d reconciled=%d admission=%d "
-               "balanced=%d monotone=%d cycles=%llu level=%zu/%zu\n",
+               "balanced=%d monotone=%d telemetry=%d cycles=%llu "
+               "level=%zu/%zu\n",
                r.conservation ? 1 : 0, r.reconciled ? 1 : 0,
                r.admission_reconciled ? 1 : 0, r.admission_balanced ? 1 : 0,
-               r.monotone ? 1 : 0,
+               r.monotone ? 1 : 0, r.telemetry_reconciled ? 1 : 0,
                static_cast<unsigned long long>(r.watchdog_cycles),
                r.final_level, r.ladder_floor);
+  if (r.telemetry_samples != 0) {
+    std::fprintf(out, "       telemetry: %llu samples, final reconciled=%d\n",
+                 static_cast<unsigned long long>(r.telemetry_samples),
+                 r.telemetry_reconciled ? 1 : 0);
+  }
   for (const TenantResult& t : r.tenants) {
     std::fprintf(out,
                  "       %-6s: slo=%.3f submitted=%llu completed=%llu "
@@ -742,7 +846,10 @@ std::string to_json(const Options& o, const std::vector<ModeResult>& modes,
        << ", \"admission_balanced\": "
        << (r.admission_balanced ? "true" : "false")
        << ", \"monotone_downgrades\": " << (r.monotone ? "true" : "false")
+       << ", \"telemetry_reconciled\": "
+       << (r.telemetry_reconciled ? "true" : "false")
        << ", \"watchdog_cycles\": " << r.watchdog_cycles << "},\n";
+    os << "      \"telemetry_samples\": " << r.telemetry_samples << ",\n";
     os << "      \"ladder\": {\"final_level\": " << r.final_level
        << ", \"floor\": " << r.ladder_floor << "},\n";
     os << "      \"admission\": {\"checked\": " << r.stats.requests_checked
@@ -785,6 +892,17 @@ int main(int argc, char** argv) {
   const Expected exp = compute_expected();
   const std::vector<TenantSpec> tenants = make_tenants(o);
 
+  // One telemetry stream per invocation: truncate up front, then each
+  // mode's sink appends its samples (distinguished by the scheduler field).
+  if (!o.telemetry_file.empty()) {
+    std::ofstream trunc(o.telemetry_file, std::ios::trunc);
+    if (!trunc) {
+      std::fprintf(stderr, "loadgen: cannot write --telemetry=%s\n",
+                   o.telemetry_file.c_str());
+      return 2;
+    }
+  }
+
   std::vector<rtj::SchedulerMode> modes;
   if (o.scheduler == "both" || o.scheduler == "blocking") {
     modes.push_back(rtj::SchedulerMode::Blocking);
@@ -803,6 +921,35 @@ int main(int argc, char** argv) {
     run_mode(modes[i], o, exp, tenants, results[i]);
     print_mode(out, results[i]);
     pass = pass && results[i].pass();
+  }
+
+  // Declarative SLO gate: every mode's final sample must satisfy every
+  // rule; a violated rule (or a metric the stream does not carry) fails
+  // the run with the same nonzero exit CI already watches.
+  if (!o.slo_rules.empty()) {
+    try {
+      namespace slo = tj::obs::slo;
+      const std::vector<slo::Rule> rules = slo::parse_rules(o.slo_rules);
+      std::vector<slo::Json> samples =
+          slo::parse_jsonl_file(o.telemetry_file);
+      for (const ModeResult& r : results) {
+        std::vector<slo::Json> mine;
+        for (const slo::Json& s : samples) {
+          const slo::Json* sched = s.find("scheduler");
+          if (sched != nullptr && sched->str() == r.scheduler) {
+            mine.push_back(s);
+          }
+        }
+        const slo::Evaluation ev = slo::evaluate(mine, rules);
+        std::fprintf(out, "[%s] slo %s:\n%s",
+                     ev.pass ? "PASS" : "FAIL", r.scheduler.c_str(),
+                     ev.to_string().c_str());
+        pass = pass && ev.pass;
+      }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "loadgen: slo evaluation failed: %s\n", ex.what());
+      pass = false;
+    }
   }
 
   if (o.json) {

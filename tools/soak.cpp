@@ -234,6 +234,10 @@ ModeResult run_mode(rtj::SchedulerMode mode, const Options& o,
         hook.request();
         last_dump = std::chrono::steady_clock::now();
       }
+      // Each iteration is one request span (ids from 1, tenants cycling
+      // over three lanes): tasks it spawns inherit the stamp, so the
+      // recorded stream slices per-iteration in trace_dump / export_chrome.
+      rtj::RequestScope span(i + 1, static_cast<std::uint8_t>(i % 3 + 1));
       bool ok = true;
       switch (i % 7) {
         case 0:

@@ -1,0 +1,311 @@
+// tj_top: a live top-style terminal dashboard over the telemetry JSONL
+// stream a TelemetrySink writes (tools/loadgen --telemetry=FILE, or any
+// service embedding the sink). Plain ANSI — clear-screen + a little color —
+// no curses dependency. Each refresh re-reads the file's new lines, keeps a
+// rolling window of samples, and renders gate stats, the degradation
+// ladder, per-tenant admission ledgers, every histogram's p50/p99/p999, and
+// ASCII sparklines of the request-latency tail and per-tick throughput.
+//
+//   ./build/tools/tj_top /tmp/tj-telemetry.jsonl            # follow live
+//   ./build/tools/tj_top --once /tmp/tj-telemetry.jsonl    # one frame
+//   ./build/tools/tj_top --selftest                         # CI smoke
+//
+// When the stream holds several schedulers' samples (loadgen runs one
+// runtime per mode into one file), the dashboard follows the most recent
+// scheduler's series so sparklines never mix modes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/slo.hpp"
+
+namespace slo = tj::obs::slo;
+
+namespace {
+
+struct Options {
+  std::string file;
+  bool once = false;
+  bool selftest = false;
+  bool color = true;
+  unsigned interval_ms = 500;
+  unsigned frames = 0;  // 0 = until interrupted
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--once") {
+      o.once = true;
+    } else if (a == "--selftest") {
+      o.selftest = true;
+    } else if (a == "--no-color") {
+      o.color = false;
+    } else if (a.rfind("--interval-ms=", 0) == 0) {
+      o.interval_ms = static_cast<unsigned>(
+          std::strtoul(a.c_str() + 14, nullptr, 10));
+    } else if (a.rfind("--frames=", 0) == 0) {
+      o.frames = static_cast<unsigned>(
+          std::strtoul(a.c_str() + 9, nullptr, 10));
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "tj_top: unknown flag %s\n", a.c_str());
+      std::exit(2);
+    } else {
+      o.file = a;
+    }
+  }
+  if (!o.selftest && o.file.empty()) {
+    std::fprintf(stderr,
+                 "usage: tj_top [--once] [--frames=N] [--interval-ms=N] "
+                 "[--no-color] TELEMETRY.jsonl\n");
+    std::exit(2);
+  }
+  return o;
+}
+
+double num_at(const slo::Json& s, const char* path) {
+  const slo::Json* v = s.at_path(path);
+  return v != nullptr && v->is_number() ? v->number() : 0.0;
+}
+
+std::string str_at(const slo::Json& s, const char* path) {
+  const slo::Json* v = s.at_path(path);
+  return v != nullptr ? v->str() : std::string{};
+}
+
+bool truthy_at(const slo::Json& s, const char* path) {
+  const slo::Json* v = s.at_path(path);
+  if (v == nullptr) return false;
+  if (v->kind() == slo::Json::Kind::Bool) return v->boolean();
+  return v->is_number() && v->number() != 0;
+}
+
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e7) {
+    std::snprintf(buf, sizeof buf, "%.1fms", ns / 1e6);
+  } else if (ns >= 1e4) {
+    std::snprintf(buf, sizeof buf, "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  }
+  return buf;
+}
+
+/// ASCII sparkline (10 levels, space = zero) over the given series, scaled
+/// to its own max — shape over absolute value, like any top-style gauge.
+std::string sparkline(const std::vector<double>& xs, std::size_t width) {
+  static const char kLevels[] = " .:-=+*#%@";
+  const std::size_t n = std::min(xs.size(), width);
+  if (n == 0) return "";
+  double mx = 0;
+  for (std::size_t i = xs.size() - n; i < xs.size(); ++i) {
+    mx = std::max(mx, xs[i]);
+  }
+  std::string out;
+  for (std::size_t i = xs.size() - n; i < xs.size(); ++i) {
+    const double f = mx > 0 ? xs[i] / mx : 0.0;
+    const int lvl = std::min(9, static_cast<int>(f * 9.0 + 0.5));
+    out.push_back(kLevels[lvl]);
+  }
+  return out;
+}
+
+struct Palette {
+  const char* bold = "";
+  const char* dim = "";
+  const char* red = "";
+  const char* yellow = "";
+  const char* green = "";
+  const char* reset = "";
+};
+
+Palette palette(bool color) {
+  Palette p;
+  if (color) {
+    p.bold = "\x1b[1m";
+    p.dim = "\x1b[2m";
+    p.red = "\x1b[31m";
+    p.yellow = "\x1b[33m";
+    p.green = "\x1b[32m";
+    p.reset = "\x1b[0m";
+  }
+  return p;
+}
+
+/// Renders one frame from the rolling same-scheduler sample window.
+std::string render(const std::vector<slo::Json>& win, const Palette& c) {
+  std::ostringstream os;
+  const slo::Json& s = win.back();
+
+  const std::string sched = str_at(s, "scheduler");
+  os << c.bold << "tj_top" << c.reset << "  t=" << num_at(s, "t_ms") << "ms"
+     << "  samples=" << win.size();
+  if (!sched.empty()) os << "  scheduler=" << sched;
+  os << "\n";
+
+  const double level = num_at(s, "ladder_level");
+  const double levels = num_at(s, "ladder_levels");
+  os << "policy " << c.bold << str_at(s, "active_policy") << c.reset
+     << " (configured " << str_at(s, "configured_policy") << ")"
+     << "  ladder " << (level > 0 ? c.yellow : c.green) << level << "/"
+     << (levels > 0 ? levels - 1 : 0) << c.reset
+     << "  live_tasks " << num_at(s, "live_tasks")
+     << "  pressure " << (truthy_at(s, "governor.pressure") ? "YES" : "no")
+     << "  watchdog stalls=" << num_at(s, "watchdog_stalls")
+     << " cycles=" << num_at(s, "watchdog_cycles") << "\n";
+
+  os << "gate   joins=" << num_at(s, "gate.joins_checked")
+     << " rejections=" << num_at(s, "gate.policy_rejections")
+     << " averted=" << num_at(s, "gate.deadlocks_averted")
+     << " scans=" << num_at(s, "gate.cycle_checks")
+     << " awaits=" << num_at(s, "gate.awaits_checked") << "\n";
+  os << "front  checked=" << num_at(s, "gate.requests_checked")
+     << " admitted=" << num_at(s, "gate.requests_admitted") << " shed="
+     << (num_at(s, "gate.requests_shed") > 0 ? c.red : c.green)
+     << num_at(s, "gate.requests_shed") << c.reset
+     << "  obs events=" << num_at(s, "obs.events")
+     << " dropped=" << num_at(s, "obs.dropped") << "\n";
+
+  if (const slo::Json* tenants = s.find("tenants");
+      tenants != nullptr && tenants->is_array() && !tenants->array().empty()) {
+    os << c.dim << "tenant       in_flight   admitted       shed   released"
+       << c.reset << "\n";
+    for (const slo::Json& t : tenants->array()) {
+      char line[128];
+      std::snprintf(line, sizeof line, "  %-10s %9.0f  %9.0f  %9.0f  %9.0f",
+                    str_at(t, "name").c_str(), num_at(t, "in_flight"),
+                    num_at(t, "admitted"), num_at(t, "shed"),
+                    num_at(t, "released"));
+      os << line;
+      if (truthy_at(t, "in_cooldown")) os << "  " << c.red << "COOLDOWN"
+                                            << c.reset;
+      os << "\n";
+    }
+  }
+
+  if (const slo::Json* hist = s.find("hist");
+      hist != nullptr && hist->is_object()) {
+    os << c.dim
+       << "histogram                     count        p50        p99       "
+          "p999        max"
+       << c.reset << "\n";
+    for (const auto& [name, h] : hist->members()) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "  %-26s %9.0f  %9s  %9s  %9s  %9s", name.c_str(),
+                    num_at(h, "count"), fmt_ns(num_at(h, "p50_ns")).c_str(),
+                    fmt_ns(num_at(h, "p99_ns")).c_str(),
+                    fmt_ns(num_at(h, "p999_ns")).c_str(),
+                    fmt_ns(num_at(h, "max_ns")).c_str());
+      os << line << "\n";
+    }
+  }
+
+  // Sparklines over the window: the latency tail's evolution plus per-tick
+  // completion rate (the request-latency histogram's count delta).
+  std::vector<double> p99s, p999s, rate;
+  for (const slo::Json& w : win) {
+    p99s.push_back(num_at(w, "hist.request_latency_ns.p99_ns"));
+    p999s.push_back(num_at(w, "hist.request_latency_ns.p999_ns"));
+    rate.push_back(num_at(w, "delta.request_latency_ns.count"));
+  }
+  constexpr std::size_t kWidth = 48;
+  if (p99s.back() > 0 || win.size() > 1) {
+    os << "p99  [" << sparkline(p99s, kWidth) << "] "
+       << fmt_ns(p99s.back()) << "\n";
+    os << "p999 [" << sparkline(p999s, kWidth) << "] "
+       << fmt_ns(p999s.back()) << "\n";
+    os << "rate [" << sparkline(rate, kWidth) << "] " << rate.back()
+       << "/tick\n";
+  }
+  return os.str();
+}
+
+int run(const Options& o) {
+  std::vector<slo::Json> samples;
+  std::ifstream in;
+  std::string carry;
+  unsigned frame = 0;
+
+  const auto read_new = [&] {
+    if (!in.is_open()) {
+      in.open(o.file);
+      if (!in) return false;
+    }
+    in.clear();  // past EOF from the previous poll
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      try {
+        samples.push_back(slo::parse_json(line));
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "tj_top: skipping bad line: %s\n", ex.what());
+      }
+    }
+    return true;
+  };
+
+  const Palette c = palette(o.color);
+  for (;;) {
+    const bool opened = read_new();
+    if (!opened && o.once) {
+      std::fprintf(stderr, "tj_top: cannot open %s\n", o.file.c_str());
+      return 1;
+    }
+    if (!samples.empty()) {
+      // Rolling window: the most recent scheduler's contiguous suffix.
+      const std::string sched = str_at(samples.back(), "scheduler");
+      std::vector<slo::Json> win;
+      for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+        if (str_at(*it, "scheduler") != sched) break;
+        win.insert(win.begin(), *it);
+      }
+      if (!o.once) std::fputs("\x1b[H\x1b[2J", stdout);
+      std::fputs(render(win, c).c_str(), stdout);
+      std::fflush(stdout);
+    } else if (o.once) {
+      std::fprintf(stderr, "tj_top: no samples in %s\n", o.file.c_str());
+      return 1;
+    }
+    ++frame;
+    if (o.once || (o.frames != 0 && frame >= o.frames)) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(o.interval_ms));
+  }
+}
+
+int selftest() {
+  // Two synthetic samples exercising every rendered section; any parse or
+  // render failure exits nonzero, so CI catches schema drift between the
+  // sink and the dashboard.
+  const char* kLines[] = {
+      R"({"t_ms":100,"seq":0,"scheduler":"cooperative","configured_policy":"TJ-GT","active_policy":"TJ-GT","ladder_level":0,"ladder_levels":3,"live_tasks":4,"watchdog_stalls":0,"watchdog_cycles":0,"gate":{"joins_checked":10,"policy_rejections":1,"deadlocks_averted":0,"cycle_checks":2,"awaits_checked":0,"requests_checked":5,"requests_admitted":5,"requests_shed":0},"obs":{"events":100,"dropped":0},"governor":{"attached":true,"pressure":false},"tenants":[{"name":"gold","in_flight":1,"admitted":3,"shed":0,"released":2,"in_cooldown":false}],"hist":{"request_latency_ns":{"count":3,"sum_ns":300,"p50_ns":1000,"p90_ns":2000,"p99_ns":4000,"p999_ns":8000,"max_ns":9000}},"delta":{"request_latency_ns":{"count":3,"sum_ns":300}}})",
+      R"({"t_ms":200,"seq":1,"scheduler":"cooperative","configured_policy":"TJ-GT","active_policy":"TJ-SP","ladder_level":1,"ladder_levels":3,"live_tasks":7,"watchdog_stalls":0,"watchdog_cycles":0,"gate":{"joins_checked":30,"policy_rejections":2,"deadlocks_averted":0,"cycle_checks":4,"awaits_checked":0,"requests_checked":9,"requests_admitted":8,"requests_shed":1},"obs":{"events":260,"dropped":0},"governor":{"attached":true,"pressure":true},"tenants":[{"name":"gold","in_flight":0,"admitted":5,"shed":1,"released":5,"in_cooldown":true}],"hist":{"request_latency_ns":{"count":8,"sum_ns":900,"p50_ns":1100,"p90_ns":2500,"p99_ns":5000,"p999_ns":16000,"max_ns":17000}},"delta":{"request_latency_ns":{"count":5,"sum_ns":600}}})",
+  };
+  std::vector<slo::Json> win;
+  for (const char* l : kLines) win.push_back(slo::parse_json(l));
+  const std::string frame = render(win, palette(false));
+  std::fputs(frame.c_str(), stdout);
+  const bool ok = frame.find("TJ-SP") != std::string::npos &&
+                  frame.find("gold") != std::string::npos &&
+                  frame.find("p999") != std::string::npos &&
+                  frame.find("COOLDOWN") != std::string::npos;
+  std::puts(ok ? "tj_top selftest OK" : "tj_top selftest FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.selftest) return selftest();
+  return run(o);
+}

@@ -11,9 +11,11 @@
 // dropped while an export needing a complete stream (--trace) was
 // requested, 2 on bad usage.
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "core/policy_ids.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/replay_bridge.hpp"
+#include "runtime/api.hpp"
 #include "runtime/runtime.hpp"
 
 namespace {
@@ -38,6 +41,9 @@ struct Options {
   std::string trace_path;   ///< --trace=<file|->: offline trace text
   bool print_metrics = false;
   bool print_events = false;
+  unsigned requests = 0;    ///< --requests=N: run app N times, each a span
+  long tenant = -1;         ///< --tenant=<idx>: event filter (see below)
+  long long request = -1;   ///< --request=<id>: event filter
 };
 
 int usage(std::ostream& os) {
@@ -54,6 +60,11 @@ int usage(std::ostream& os) {
         "syntax)\n"
         "  --metrics             print the metrics registry\n"
         "  --events              print every recorded event\n"
+        "  --requests=N          run the app N times, each under its own\n"
+        "                        request span (ids 1..N, alternating tenants)\n"
+        "  --tenant=<idx>        keep only events stamped with this tenant\n"
+        "                        index (affects --events and --chrome)\n"
+        "  --request=<id>        keep only events stamped with this request id\n"
         "  --list                list available apps and exit\n";
   return 2;
 }
@@ -150,6 +161,12 @@ int main(int argc, char** argv) {
       opt.chrome_path = v;
     } else if (const char* v = val("--trace=")) {
       opt.trace_path = v;
+    } else if (const char* v = val("--requests=")) {
+      opt.requests = static_cast<unsigned>(std::stoul(v));
+    } else if (const char* v = val("--tenant=")) {
+      opt.tenant = std::stol(v);
+    } else if (const char* v = val("--request=")) {
+      opt.request = std::stoll(v);
     } else {
       std::cerr << "trace_dump: unknown flag " << arg << "\n";
       return usage(std::cerr);
@@ -175,15 +192,38 @@ int main(int argc, char** argv) {
   std::uint64_t dropped = 0;
   std::size_t threads = 0;
   std::string metrics_text;
-  {
+  if (opt.requests > 0 && !opt.trace_path.empty()) {
+    // Each request is a separate runtime instance; the concatenated stream
+    // has N roots and would not bridge into one replayable trace.
+    std::cerr << "trace_dump: --requests and --trace are incompatible\n";
+    return 2;
+  }
+  // Each request span runs on its own runtime (a runtime hosts exactly one
+  // root task); streams are concatenated with rebased sequence numbers. Ids
+  // are 1..N with tenants alternating 0/1, so a single dump exercises
+  // several Chrome lanes.
+  const unsigned runs = std::max(1u, opt.requests);
+  for (unsigned i = 0; i < runs; ++i) {
     tj::runtime::Runtime rt(cfg);
-    outcome = app->run(rt, opt.size);
+    std::optional<tj::runtime::RequestScope> span;
+    if (opt.requests > 0) {
+      span.emplace(i + 1, static_cast<std::uint8_t>(i % 2 + 1));
+    }
+    tj::apps::AppOutcome one = app->run(rt, opt.size);
+    if (i == 0 || !one.valid) outcome = one;
     // The runtime quiesces between top-level calls, so the drain below sees
     // the complete stream; destruction would discard it.
     tj::obs::FlightRecorder* rec = rt.recorder();
-    events = rec->drain();
-    dropped = rec->events_dropped();
-    threads = rec->thread_count();
+    std::vector<tj::obs::Event> part = rec->drain();
+    const std::uint64_t base =
+        events.empty() ? 0 : events.back().seq + 1;
+    events.reserve(events.size() + part.size());
+    for (tj::obs::Event e : part) {
+      e.seq += base;
+      events.push_back(e);
+    }
+    dropped += rec->events_dropped();
+    threads = std::max(threads, rec->thread_count());
     metrics_text = rec->metrics().to_string();
   }
 
@@ -196,15 +236,49 @@ int main(int argc, char** argv) {
             << (outcome.valid ? "valid" : "INVALID") << " (" << outcome.detail
             << ")\n";
 
+  // Request/tenant slicing applies to the human-facing views (--events,
+  // --chrome); the offline-trace bridge below always gets the full stream,
+  // since a sliced trace would not replay.
+  std::vector<tj::obs::Event> view = events;
+  if (opt.tenant >= 0 || opt.request >= 0) {
+    const bool annotated =
+        std::any_of(events.begin(), events.end(),
+                    [](const tj::obs::Event& e) { return e.request != 0; });
+    if (!annotated) {
+      std::cerr << "trace_dump: stream carries no request annotations — "
+                   "recorded without request spans (pre-upgrade stream or no "
+                   "RequestScope installed; try --requests=N), so "
+                   "--tenant/--request cannot slice it\n";
+      return 1;
+    }
+    const auto keep = [&](const tj::obs::Event& e) {
+      // CLI takes the tenant *index*; events store index+1 (0 = none).
+      if (opt.tenant >= 0 &&
+          e.tenant != static_cast<std::uint8_t>(opt.tenant + 1)) {
+        return false;
+      }
+      if (opt.request >= 0 &&
+          e.request != static_cast<std::uint64_t>(opt.request)) {
+        return false;
+      }
+      return true;
+    };
+    view.erase(std::remove_if(view.begin(), view.end(),
+                              [&](const tj::obs::Event& e) { return !keep(e); }),
+               view.end());
+    std::cerr << "trace_dump: filter kept " << view.size() << "/"
+              << events.size() << " events\n";
+  }
+
   if (opt.print_events) {
-    for (const tj::obs::Event& e : events) {
+    for (const tj::obs::Event& e : view) {
       std::cout << tj::obs::to_string(e) << "\n";
     }
   }
   if (opt.print_metrics) std::cout << metrics_text;
 
   if (!opt.chrome_path.empty() &&
-      !write_file(opt.chrome_path, tj::obs::to_chrome_json(events))) {
+      !write_file(opt.chrome_path, tj::obs::to_chrome_json(view))) {
     return 2;
   }
 
