@@ -137,6 +137,85 @@ void bench_join_chain_recorder_on(benchmark::State& state) {
                           static_cast<std::int64_t>(kTasks));
 }
 
+// Async-mode (optimistic verification) hot-path cost. The gate approves
+// every join/await immediately — the per-operation policy work is zero by
+// construction — so what this column actually measures is the cost of the
+// machinery async mode keeps running: the flight recorder events each
+// fork/join emits (async implies recorder-on) plus the background detector
+// thread consuming them. Compare against ForkAllJoinAll10k/tj-sp (the
+// cheapest sound synchronous policy) and /recorder-on (same event traffic,
+// no detector): async vs recorder-on isolates the detector's share, and
+// async vs tj-sp is the headline "~1.0x" claim. The ring is sized so
+// nothing drops — a drop-induced failover would silently downgrade the
+// run to synchronous CycleOnly and measure the wrong mode; the `failover`
+// counter (and a poisoned label) make that impossible to miss.
+tj::runtime::Config async_config() {
+  Config cfg;
+  cfg.policy = PolicyChoice::Async;
+  cfg.obs.buffer_capacity = std::size_t{1} << 20;
+  return cfg;
+}
+
+void annotate_async(benchmark::State& state, const Runtime& rt,
+                    std::string_view label) {
+  const auto rs = rt.recovery()->status();
+  state.counters["events"] =
+      static_cast<double>(rt.recorder()->events_recorded());
+  state.counters["dropped"] =
+      static_cast<double>(rt.recorder()->events_dropped());
+  state.counters["failover"] = rs.detector.failed_over ? 1.0 : 0.0;
+  state.counters["recovered"] = static_cast<double>(rs.cycles_recovered);
+  state.SetLabel(rs.detector.failed_over ? std::string(label) + " FAILED-OVER"
+                                         : std::string(label));
+}
+
+void bench_spawn_async(benchmark::State& state) {
+  Config cfg = async_config();
+  cfg.workers = 2;
+  Runtime rt(cfg);
+  rt.root([&state] {
+    for (auto _ : state) {
+      auto f = tj::runtime::async([] {});
+      benchmark::DoNotOptimize(f);
+    }
+  });
+  annotate_async(state, rt, "async");
+}
+
+void bench_completed_join_async(benchmark::State& state) {
+  Config cfg = async_config();
+  cfg.workers = 2;
+  Runtime rt(cfg);
+  rt.root([&state] {
+    auto f = tj::runtime::async([] { return 1; });
+    f.join();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(f.get());
+    }
+  });
+  annotate_async(state, rt, "async");
+}
+
+void bench_join_chain_async(benchmark::State& state) {
+  const std::size_t kTasks = 10'000;
+  Runtime rt(async_config());
+  rt.root([&state, kTasks] {
+    for (auto _ : state) {
+      std::vector<Future<int>> fs;
+      fs.reserve(kTasks);
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        fs.push_back(tj::runtime::async([] { return 1; }));
+      }
+      int acc = 0;
+      for (const auto& f : fs) acc += f.get();
+      benchmark::DoNotOptimize(acc);
+    }
+  });
+  annotate_async(state, rt, "async");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks));
+}
+
 // Governor-idle overhead: the fork-all-join-all workload with the resource
 // governor enabled but every budget unlimited, so it polls (every 5 ms) and
 // never trips. The steady-state cost has two parts: the ladder verifier's
@@ -213,6 +292,14 @@ void register_all() {
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("RuntimeOps/ForkAllJoinAll10k/recorder-on",
                                bench_join_chain_recorder_on)
+      ->Iterations(3)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("RuntimeOps/Spawn/async", bench_spawn_async)
+      ->Iterations(50000);
+  benchmark::RegisterBenchmark("RuntimeOps/CompletedJoin/async",
+                               bench_completed_join_async);
+  benchmark::RegisterBenchmark("RuntimeOps/ForkAllJoinAll10k/async",
+                               bench_join_chain_async)
       ->Iterations(3)
       ->Unit(benchmark::kMillisecond);
   for (PolicyChoice p : kPolicies) {

@@ -1,0 +1,254 @@
+#include "core/async_detect.hpp"
+
+#include <chrono>
+
+#include "core/guarded.hpp"
+
+namespace tj::core {
+
+AsyncDetector::AsyncDetector(DetectorConfig cfg, const JoinGate& gate,
+                             obs::FlightRecorder& rec, DetectorSink& sink,
+                             DetectorFaultHooks* faults)
+    : cfg_(cfg), gate_(gate), rec_(rec), sink_(sink), faults_(faults) {}
+
+AsyncDetector::~AsyncDetector() { stop(); }
+
+void AsyncDetector::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { supervisor_loop(); });
+}
+
+void AsyncDetector::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+DetectorStatus AsyncDetector::status() const {
+  DetectorStatus s;
+  s.running = running_.load(std::memory_order_acquire);
+  s.failed_over = failed_over_.load(std::memory_order_acquire);
+  s.failover_reason = failover_reason_.load(std::memory_order_acquire);
+  s.lag_events = lag_events_.load(std::memory_order_relaxed);
+  s.events_lost = rec_.events_dropped() +
+                  injected_drops_.load(std::memory_order_relaxed);
+  s.events_applied = events_applied_.load(std::memory_order_relaxed);
+  s.ticks = ticks_.load(std::memory_order_relaxed);
+  s.authoritative_scans =
+      authoritative_scans_.load(std::memory_order_relaxed);
+  s.cycles_confirmed = cycles_confirmed_.load(std::memory_order_relaxed);
+  s.respawns = respawns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AsyncDetector::supervisor_loop() {
+  running_.store(true, std::memory_order_release);
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (run_incarnation() == RunEnd::Stopped) break;
+    // The incarnation was killed (injected death). Revive it: its in-memory
+    // shadow is gone, which the next incarnation repairs by resyncing from
+    // the live graph. Past the respawn budget the optimistic mode is no
+    // longer trustworthy — fail over — but keep reviving regardless so
+    // stale pre-failover cycles are still found and broken.
+    const std::uint32_t deaths =
+        respawns_.fetch_add(1, std::memory_order_relaxed) + 1;
+    rec_.metrics().detector_respawns.fetch_add(1, std::memory_order_relaxed);
+    if (deaths > cfg_.max_respawns) {
+      fail_over(obs::DetectorFailoverReason::Death,
+                lag_events_.load(std::memory_order_relaxed));
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+AsyncDetector::RunEnd AsyncDetector::run_incarnation() {
+  resync_shadow_from_graph();
+  lag_streak_ = 0;
+  ticks_since_scan_ = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (faults_ != nullptr && faults_->kill_detector()) {
+      record_injected(obs::InjectedFault::DetectorDeath);
+      return RunEnd::Killed;
+    }
+    tick();
+    std::this_thread::sleep_for(std::chrono::microseconds(cfg_.tick_us));
+  }
+  // Final drain so a run that stops right after forming a cycle (tests,
+  // shutdown) still sees it confirmed and reported.
+  tick();
+  authoritative_scan();
+  return RunEnd::Stopped;
+}
+
+void AsyncDetector::tick() {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (faults_ != nullptr) {
+    const std::uint64_t delay_us = faults_->detector_delay_us();
+    if (delay_us != 0) {
+      record_injected(obs::InjectedFault::DetectorDelay);
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+
+  // Lag is the backlog observed when the detector wakes — how stale the
+  // shadow is about to be. It must be read BEFORE the drain below: after
+  // consume() the residual is near-zero by construction (the drain empties
+  // the ring), which would make the lag budget unenforceable no matter how
+  // far behind the detector fell during its sleep or an injected stall.
+  const std::uint64_t recorded = rec_.events_recorded();
+  const std::uint64_t consumed = rec_.events_consumed();
+  const std::uint64_t lag = recorded > consumed ? recorded - consumed : 0;
+  lag_events_.store(lag, std::memory_order_relaxed);
+
+  batch_.clear();
+  rec_.consume(batch_);
+  if (!batch_.empty() && faults_ != nullptr &&
+      faults_->drop_detector_batch()) {
+    // The batch was consumed (the watermark advanced) but never applied —
+    // exactly what a crash between pop and apply would lose.
+    record_injected(obs::InjectedFault::DetectorDrop);
+    injected_drops_.fetch_add(batch_.size(), std::memory_order_relaxed);
+  } else {
+    for (const obs::Event& e : batch_) apply_event(e);
+    events_applied_.fetch_add(batch_.size(), std::memory_order_relaxed);
+  }
+  const std::uint64_t lost =
+      rec_.events_dropped() + injected_drops_.load(std::memory_order_relaxed);
+
+  if (!failed_over_.load(std::memory_order_acquire)) {
+    if (lag > cfg_.lag_budget_events) {
+      ++lag_streak_;
+      if (lag_streak_ == 1) {
+        obs::Event e;
+        e.kind = obs::EventKind::DetectorLag;
+        e.payload = lag;
+        e.target = lost;
+        rec_.emit(e);
+      }
+      if (lag_streak_ >= cfg_.lag_trips_to_failover) {
+        fail_over(obs::DetectorFailoverReason::Lag, lag);
+      }
+    } else {
+      lag_streak_ = 0;
+    }
+    if (!failed_over_.load(std::memory_order_acquire) &&
+        lost > cfg_.drop_budget_events) {
+      fail_over(obs::DetectorFailoverReason::Drops, lag);
+    }
+  }
+
+  ++ticks_since_scan_;
+  if (shadow_has_cycle() || ticks_since_scan_ >= cfg_.full_scan_ticks) {
+    authoritative_scan();
+    ticks_since_scan_ = 0;
+  }
+}
+
+void AsyncDetector::apply_event(const obs::Event& e) {
+  using obs::EventKind;
+  switch (e.kind) {
+    case EventKind::JoinVerdict:
+      if (!is_fault(static_cast<JoinDecision>(e.detail))) {
+        shadow_[e.actor] = e.target;
+      }
+      break;
+    case EventKind::AwaitVerdict:
+      if (!is_fault(static_cast<JoinDecision>(e.detail))) {
+        shadow_[e.actor] = wfg::promise_node_id(e.target);
+      }
+      break;
+    case EventKind::JoinComplete:
+    case EventKind::JoinTimeout:
+    case EventKind::AwaitComplete:
+      shadow_.erase(e.actor);
+      break;
+    case EventKind::PromiseMake:
+      shadow_[wfg::promise_node_id(e.target)] = e.actor;
+      break;
+    case EventKind::PromiseTransfer:
+      shadow_[wfg::promise_node_id(e.payload)] = e.target;
+      break;
+    case EventKind::PromiseFulfill:
+      shadow_.erase(wfg::promise_node_id(e.target));
+      break;
+    case EventKind::TaskEnd:
+      // The task's own wait edge (if a break/cancel unwound it without a
+      // completion event) dies with it; owner edges of promises it orphaned
+      // are repaired by the next resync.
+      shadow_.erase(e.actor);
+      break;
+    default:
+      break;  // not a graph-shaped event
+  }
+}
+
+bool AsyncDetector::shadow_has_cycle() const {
+  // Functional graph: colour nodes by the walk that first reached them; a
+  // walk re-entering its own trail found a cycle (same algorithm as
+  // WaitsForGraph::find_all_cycles, minus cycle extraction).
+  std::unordered_map<wfg::NodeId, std::size_t> colour;
+  std::size_t walk = 0;
+  for (const auto& [start, to] : shadow_) {
+    (void)to;
+    if (colour.contains(start)) continue;
+    ++walk;
+    wfg::NodeId cur = start;
+    while (true) {
+      const auto seen = colour.find(cur);
+      if (seen != colour.end()) {
+        if (seen->second == walk) return true;
+        break;
+      }
+      colour[cur] = walk;
+      const auto it = shadow_.find(cur);
+      if (it == shadow_.end()) break;
+      cur = it->second;
+    }
+  }
+  return false;
+}
+
+void AsyncDetector::authoritative_scan() {
+  authoritative_scans_.fetch_add(1, std::memory_order_relaxed);
+  // Ground truth: every cycle returned here is a set of edges registered in
+  // the gate's WFG at one instant under its lock — a real deadlock among
+  // currently blocked waiters, never a shadow artefact.
+  const auto cycles = gate_.graph().find_all_cycles();
+  for (const auto& cycle : cycles) {
+    cycles_confirmed_.fetch_add(1, std::memory_order_relaxed);
+    sink_.recover_cycle(cycle);
+  }
+  resync_shadow_from_graph();
+}
+
+void AsyncDetector::resync_shadow_from_graph() {
+  shadow_.clear();
+  for (const auto& ev : gate_.graph().edges()) {
+    shadow_[ev.from] = ev.to;
+  }
+}
+
+void AsyncDetector::record_injected(obs::InjectedFault site) {
+  rec_.metrics().faults_injected.fetch_add(1, std::memory_order_relaxed);
+  obs::Event e;
+  e.kind = obs::EventKind::FaultInjected;
+  e.detail = static_cast<std::uint8_t>(site);
+  rec_.emit(e);
+}
+
+void AsyncDetector::fail_over(obs::DetectorFailoverReason reason,
+                              std::uint64_t backlog) {
+  if (failed_over_.exchange(true, std::memory_order_acq_rel)) return;
+  failover_reason_.store(static_cast<std::uint8_t>(reason),
+                         std::memory_order_release);
+  rec_.metrics().detector_failovers.fetch_add(1, std::memory_order_relaxed);
+  obs::Event e;
+  e.kind = obs::EventKind::DetectorFailover;
+  e.payload = backlog;
+  e.detail = static_cast<std::uint8_t>(reason);
+  rec_.emit(e);
+  sink_.on_failover(reason, backlog);
+}
+
+}  // namespace tj::core

@@ -1,0 +1,163 @@
+#pragma once
+// Optimistic asynchronous deadlock detection (the bottom rung of the
+// overhead ladder, PolicyChoice::Async). The gate approves every join/await
+// immediately with zero policy work; this background detector consumes the
+// flight recorder's event stream, maintains a *shadow* waits-for graph, and
+// when the shadow suggests a cycle confirms it against the gate's live WFG —
+// the ground truth — before handing it to the recovery layer to break.
+// Confirmation against the live graph is what makes recoveries sound: a
+// reported cycle is a set of edges that are all simultaneously registered at
+// scan time, i.e. a real deadlock, never a stale-shadow artefact.
+//
+// Bounded latency is enforced, not hoped for: the detector tracks its
+// consumption watermark against the recorder's emit counter. If the backlog
+// exceeds the lag budget for too many consecutive ticks, if too many events
+// are lost (ring overflow or injected drops), or if the detector thread dies
+// more often than the respawn budget tolerates, the detector *fails over*:
+// it tells its sink to step the gate's degradation ladder down to a
+// synchronous level (monotone downgrade — no quiescent point needed; in-
+// flight optimistic approvals simply complete and their edges drain), then
+// keeps scanning for stale pre-failover cycles so nothing formed under
+// optimism is ever left hanging.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/recorder.hpp"
+#include "wfg/waits_for_graph.hpp"
+
+namespace tj::core {
+
+class JoinGate;
+
+/// Detector knobs (embedded in runtime::Config as `detector`).
+struct DetectorConfig {
+  /// Consumption tick period. Recovery latency is O(tick_us) in the common
+  /// case (shadow spots the cycle on the next tick after its last edge's
+  /// verdict event lands).
+  std::uint64_t tick_us = 200;
+  /// Backlog (events recorded but not yet consumed) considered "lagging".
+  std::uint64_t lag_budget_events = 65536;
+  /// Consecutive lagging ticks before the detector fails over.
+  std::uint32_t lag_trips_to_failover = 5;
+  /// Events lost (recorder ring drops + injected batch drops) tolerated
+  /// before failover. Loss is survivable in small doses because every
+  /// authoritative scan resyncs the shadow from the live graph.
+  std::uint64_t drop_budget_events = 4096;
+  /// Detector-thread deaths revived before failover.
+  std::uint32_t max_respawns = 3;
+  /// Run an authoritative ground-truth scan every this-many ticks even when
+  /// the shadow looks acyclic (safety net against shadow staleness).
+  std::uint32_t full_scan_ticks = 16;
+};
+
+/// Fault-injection seam for the detector (runtime/fault_injection.hpp
+/// implements it; nullptr in production). Mirrors GateFaultHooks.
+class DetectorFaultHooks {
+ public:
+  virtual ~DetectorFaultHooks() = default;
+  /// Microseconds to stall consumption this tick (0 = none).
+  virtual std::uint64_t detector_delay_us() noexcept = 0;
+  /// True ⇒ discard this tick's consumed batch without applying it.
+  virtual bool drop_detector_batch() noexcept = 0;
+  /// True ⇒ kill the detector incarnation (the supervisor respawns it).
+  virtual bool kill_detector() noexcept = 0;
+};
+
+/// Where the detector reports. Implemented by the runtime's
+/// RecoverySupervisor (victim selection and wait-breaking live there — the
+/// detector only finds and confirms).
+class DetectorSink {
+ public:
+  virtual ~DetectorSink() = default;
+  /// A confirmed cycle from the gate's live WFG (node ids; promise nodes
+  /// carry the high bit). May be reported again on later scans if it is
+  /// still unbroken — the sink dedups per incarnation and re-noisily
+  /// re-posts the break until the victim actually wakes.
+  virtual void recover_cycle(const std::vector<wfg::NodeId>& cycle) = 0;
+  /// Budget exhausted: the sink must step the ladder to a synchronous
+  /// level. Called at most once per detector lifetime.
+  virtual void on_failover(obs::DetectorFailoverReason reason,
+                           std::uint64_t backlog) = 0;
+};
+
+/// Point-in-time detector health (watchdog stall reports, introspection,
+/// telemetry).
+struct DetectorStatus {
+  bool running = false;      ///< thread alive (supervisor loop active)
+  bool failed_over = false;  ///< optimistic mode abandoned
+  std::uint8_t failover_reason = 0;  ///< DetectorFailoverReason when above
+  std::uint64_t lag_events = 0;      ///< recorded − consumed at last tick
+  std::uint64_t events_lost = 0;     ///< ring drops + injected batch drops
+  std::uint64_t events_applied = 0;  ///< events folded into the shadow
+  std::uint64_t ticks = 0;
+  std::uint64_t authoritative_scans = 0;
+  std::uint64_t cycles_confirmed = 0;  ///< cycles handed to the sink
+  std::uint32_t respawns = 0;          ///< injected deaths survived
+};
+
+class AsyncDetector {
+ public:
+  /// `faults` may be nullptr (no injection). The gate, recorder, and sink
+  /// must outlive the detector.
+  AsyncDetector(DetectorConfig cfg, const JoinGate& gate,
+                obs::FlightRecorder& rec, DetectorSink& sink,
+                DetectorFaultHooks* faults);
+  ~AsyncDetector();
+  AsyncDetector(const AsyncDetector&) = delete;
+  AsyncDetector& operator=(const AsyncDetector&) = delete;
+
+  void start();
+  void stop();
+
+  DetectorStatus status() const;
+  bool failed_over() const {
+    return failed_over_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Outcome of one detector incarnation's tick loop.
+  enum class RunEnd : std::uint8_t { Stopped, Killed };
+
+  void supervisor_loop();
+  RunEnd run_incarnation();
+  void tick();
+  void apply_event(const obs::Event& e);
+  bool shadow_has_cycle() const;
+  void authoritative_scan();
+  void resync_shadow_from_graph();
+  void record_injected(obs::InjectedFault site);
+  void fail_over(obs::DetectorFailoverReason reason, std::uint64_t backlog);
+
+  const DetectorConfig cfg_;
+  const JoinGate& gate_;
+  obs::FlightRecorder& rec_;
+  DetectorSink& sink_;
+  DetectorFaultHooks* faults_;  // not owned; nullptr ⇒ no injection
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> failed_over_{false};
+  std::atomic<std::uint8_t> failover_reason_{0};
+  std::atomic<std::uint64_t> lag_events_{0};
+  std::atomic<std::uint64_t> injected_drops_{0};  ///< events in dropped batches
+  std::atomic<std::uint64_t> events_applied_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> authoritative_scans_{0};
+  std::atomic<std::uint64_t> cycles_confirmed_{0};
+  std::atomic<std::uint32_t> respawns_{0};
+
+  // Detector-thread-only state (rebuilt on respawn — an incarnation that
+  // died loses its in-memory view and resyncs from the live graph).
+  std::unordered_map<wfg::NodeId, wfg::NodeId> shadow_;
+  std::vector<obs::Event> batch_;
+  std::uint32_t lag_streak_ = 0;
+  std::uint32_t ticks_since_scan_ = 0;
+};
+
+}  // namespace tj::core

@@ -14,7 +14,8 @@ std::unique_ptr<Verifier> make_verifier(PolicyChoice p) {
   switch (p) {
     case PolicyChoice::None:
     case PolicyChoice::CycleOnly:
-      return nullptr;  // no per-join policy check
+    case PolicyChoice::Async:
+      return nullptr;  // no per-join policy check (Async rules off-path)
     case PolicyChoice::TJ_GT:
       return std::make_unique<TjGtVerifier>();
     case PolicyChoice::TJ_JP:

@@ -100,6 +100,21 @@ JoinDecision JoinGate::rule_join(wfg::NodeId waiter, wfg::NodeId target,
     return JoinDecision::Proceed;
   }
 
+  if (kind_ == PolicyChoice::Async &&
+      active_kind() == PolicyChoice::Async) {
+    // Optimistic mode: approve immediately with zero policy work — no
+    // verifier, no OWP verdict, no cycle scan, no injection hook (detector
+    // faults are this mode's chaos surface). Blocking joins still register
+    // their edge UNCHECKED so the graph stays the ground truth the
+    // background detector confirms candidate cycles against; the cycles
+    // this may admit are the detector's job to recover. Once the ladder
+    // has failed over (active_kind() != Async) new joins fall through to
+    // the synchronous machinery below — no quiescent point needed.
+    if (target_done) return JoinDecision::Proceed;
+    wfg_.add_unchecked_wait(waiter, target);
+    return JoinDecision::Proceed;
+  }
+
   if (kind_ == PolicyChoice::CycleOnly) {
     // The Armus-alone baseline: every blocking join pays a cycle check.
     // Owner edges are visible to the chain walk, so mixed future/promise
@@ -248,6 +263,14 @@ bool JoinGate::inline_run_begin(wfg::NodeId waiter, wfg::NodeId target) {
   if (kind_ == PolicyChoice::None && !owp_live) {
     return false;  // baseline: no graph maintenance at all
   }
+  if (kind_ == PolicyChoice::Async &&
+      active_kind() == PolicyChoice::Async) {
+    // Optimistic mode: the inline-run edge enters unchecked like every
+    // other async edge; a child that blocks on its suspended parent's
+    // obligations becomes a detector-recovered cycle, not a sync scan.
+    wfg_.add_unchecked_wait(waiter, target);
+    return true;
+  }
   std::vector<wfg::NodeId> cycle;
   return timed_scan(waiter, target, [&] {
            return wfg_.add_probation_wait(waiter, target, &cycle);
@@ -335,6 +358,16 @@ JoinDecision JoinGate::rule_await(std::uint64_t waiter_uid, PromiseNode* p,
     return JoinDecision::Proceed;
   }
   const wfg::NodeId pnode = wfg::promise_node_id(p->uid());
+  if (kind_ == PolicyChoice::Async &&
+      active_kind() == PolicyChoice::Async) {
+    // Optimistic mode, await flavour: skip the OWP verdict and the
+    // check-and-insert lock entirely; the unchecked edge (plus the owner
+    // edges promise_made/transfer keep maintaining) makes promise cycles
+    // visible to the detector's ground-truth scan. An await on an already
+    // orphaned promise is caught by the runtime's post-wait settle check.
+    wfg_.add_unchecked_wait(waiter_uid, pnode);
+    return JoinDecision::Proceed;
+  }
   // Check-and-insert must be atomic across both graphs (see await_mu_).
   std::lock_guard<std::mutex> lock(await_mu_);
   AwaitVerdict verdict = owp_->permits_await(waiter_uid, p);
@@ -456,6 +489,12 @@ void JoinGate::promise_released(PromiseNode* p) {
   owp_->release(p);
 }
 
+void JoinGate::note_cycle_recovered(Witness w) {
+  cycles_recovered_.fetch_add(1, std::memory_order_relaxed);
+  record_witness(w, w.waiter, w.target, JoinDecision::FaultDeadlock,
+                 w.on_promise);
+}
+
 GateStats JoinGate::stats() const {
   GateStats s;
   s.joins_checked = joins_checked_.load(std::memory_order_relaxed);
@@ -475,6 +514,7 @@ GateStats JoinGate::stats() const {
   s.requests_checked = requests_checked_.load(std::memory_order_relaxed);
   s.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
   s.requests_shed = requests_shed_.load(std::memory_order_relaxed);
+  s.cycles_recovered = cycles_recovered_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -66,6 +66,13 @@ struct GateStats {
   std::uint64_t requests_checked = 0;   ///< admission verdicts issued
   std::uint64_t requests_admitted = 0;  ///< ...that let the request in
   std::uint64_t requests_shed = 0;      ///< ...shed at the front door
+  /// Async-mode recoveries: cycles the background detector confirmed against
+  /// this gate's WFG and broke by killing a victim — deadlocks that formed
+  /// BECAUSE the optimistic mode approved without checking. Disjoint from
+  /// deadlocks_averted (synchronous pre-block faults), so the async ledger is
+  /// deadlock_incidents == deadlocks_averted + cycles_recovered, and the
+  /// rejection identity above is untouched (a recovery rejects nothing).
+  std::uint64_t cycles_recovered = 0;
 };
 
 /// Field-complete accumulation — the single shared definition of "add these
@@ -86,6 +93,7 @@ inline GateStats& operator+=(GateStats& acc, const GateStats& s) {
   acc.requests_checked += s.requests_checked;
   acc.requests_admitted += s.requests_admitted;
   acc.requests_shed += s.requests_shed;
+  acc.cycles_recovered += s.cycles_recovered;
   return acc;
 }
 
@@ -214,6 +222,14 @@ class JoinGate {
         .fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Recovery seam: the async detector's supervisor confirmed a cycle in
+  /// this gate's WFG and is breaking it. Counts the recovery
+  /// (GateStats::cycles_recovered) and files the witness — whose chain is
+  /// the concrete confirmed cycle, rotated to start at the victim — into
+  /// the same bounded ring the rejection witnesses use, so introspection
+  /// and offline validation see recoveries exactly like avoidances.
+  void note_cycle_recovered(Witness w);
+
   GateStats stats() const;
 
   /// The most recent rejection witnesses (bounded ring, newest last). Each
@@ -287,6 +303,7 @@ class JoinGate {
   std::atomic<std::uint64_t> requests_checked_{0};
   std::atomic<std::uint64_t> requests_admitted_{0};
   std::atomic<std::uint64_t> requests_shed_{0};
+  std::atomic<std::uint64_t> cycles_recovered_{0};
 
   static constexpr std::size_t kWitnessLogCap = 256;
   mutable std::mutex witness_mu_;

@@ -25,6 +25,14 @@ LadderVerifier::LadderVerifier(PolicyChoice configured) {
     case PolicyChoice::KJ_SS:
       push(PolicyChoice::KJ_SS);
       break;
+    case PolicyChoice::Async:
+      // Optimistic level: no verifier at all (the gate approves without
+      // asking and a background detector watches the event stream). The
+      // floor below is where lag/drop failover lands — synchronous
+      // WFG-checked ruling, reached by the same monotone downgrade() every
+      // other rung uses.
+      push(PolicyChoice::Async);
+      break;
     case PolicyChoice::None:
     case PolicyChoice::CycleOnly:
       break;  // make_ladder_verifier never builds these; floor-only ladder

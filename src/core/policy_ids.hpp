@@ -14,6 +14,7 @@ enum class PolicyChoice : std::uint8_t {
   KJ_VC,      ///< Known Joins, vector clocks
   KJ_SS,      ///< Known Joins, snapshot sets
   CycleOnly,  ///< no policy; every join verified by cycle detection (Armus)
+  Async,      ///< optimistic: approve immediately, detect cycles off-path
 };
 
 /// Verification applied to *promise* operations (make/fulfill/transfer/
@@ -51,6 +52,8 @@ constexpr std::string_view to_string(PolicyChoice p) {
       return "KJ-SS";
     case PolicyChoice::CycleOnly:
       return "cycle-only";
+    case PolicyChoice::Async:
+      return "async";
   }
   return "<bad policy>";
 }

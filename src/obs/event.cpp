@@ -40,6 +40,9 @@ std::string_view to_string(EventKind k) {
     case EventKind::JoinTimeout: return "join-timeout";
     case EventKind::VerdictExplained: return "verdict-explained";
     case EventKind::AdmissionShed: return "admission-shed";
+    case EventKind::CycleRecovered: return "cycle-recovered";
+    case EventKind::DetectorLag: return "detector-lag";
+    case EventKind::DetectorFailover: return "detector-failover";
   }
   return "<bad event kind>";
 }
@@ -129,6 +132,16 @@ std::string to_string(const Event& e) {
     case EventKind::AdmissionShed:
       os << " cause=" << static_cast<unsigned>(e.detail)
          << " in_flight=" << e.payload;
+      break;
+    case EventKind::CycleRecovered:
+      os << " cycle_len=" << e.payload;
+      break;
+    case EventKind::DetectorLag:
+      os << " backlog=" << e.payload << " lost=" << e.target;
+      break;
+    case EventKind::DetectorFailover:
+      os << " reason=" << static_cast<unsigned>(e.detail)
+         << " backlog=" << e.payload;
       break;
     default:
       break;

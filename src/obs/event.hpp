@@ -66,6 +66,24 @@ enum class EventKind : std::uint8_t {
                     ///< in-flight count at the decision). Admits are counted
                     ///< (metrics requests_admitted) but not per-event
                     ///< recorded — they are the service's common case.
+
+  // --- async detection / bounded-latency recovery ---
+  CycleRecovered,   ///< detector broke a confirmed cycle (actor: victim uid;
+                    ///< target: node the victim waited on; payload: cycle
+                    ///< length; detail: victim's tenant lane)
+  DetectorLag,      ///< consumption watermark fell behind (payload: backlog
+                    ///< events; target: events lost so far — ring drops plus
+                    ///< injected batch drops)
+  DetectorFailover, ///< lag/drop/death budget exhausted: the runtime stepped
+                    ///< the ladder to a synchronous level (payload: backlog
+                    ///< at the decision; detail: DetectorFailoverReason)
+};
+
+/// Why the async detector failed over (Event::detail for DetectorFailover).
+enum class DetectorFailoverReason : std::uint8_t {
+  Lag,    ///< consumption backlog exceeded the lag budget
+  Drops,  ///< events lost (ring overflow or injected drop) past the budget
+  Death,  ///< detector thread died more times than max_respawns tolerates
 };
 
 /// Which fault-injection site fired (Event::detail for FaultInjected).
@@ -73,6 +91,9 @@ enum class InjectedFault : std::uint8_t {
   JoinRejection,
   AwaitRejection,
   DroppedWakeup,
+  DetectorDelay,  ///< detector consumption stalled for an injected interval
+  DetectorDrop,   ///< detector discarded one consumed batch unapplied
+  DetectorDeath,  ///< detector thread killed (the supervisor respawns it)
 };
 
 /// Set in Event::flags when `target` (and transfer's `payload`) names a

@@ -69,6 +69,12 @@ std::string Metrics::to_string() const {
      << requests_admitted.load(std::memory_order_relaxed)
      << " requests_shed=" << requests_shed.load(std::memory_order_relaxed)
      << "\n";
+  os << "  cycles_recovered="
+     << cycles_recovered.load(std::memory_order_relaxed)
+     << " detector_failovers="
+     << detector_failovers.load(std::memory_order_relaxed)
+     << " detector_respawns="
+     << detector_respawns.load(std::memory_order_relaxed) << "\n";
   return os.str();
 }
 

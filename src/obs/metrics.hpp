@@ -115,6 +115,10 @@ struct Metrics {
   LatencyHistogram blocked_join_ns;   ///< wall time blocked in admitted joins
   LatencyHistogram blocked_await_ns;  ///< wall time blocked in admitted awaits
   LatencyHistogram cycle_scan_ns;     ///< WFG fallback scan duration
+  /// Async-mode recovery latency: cycle formation (victim's wait edge
+  /// registered) → victim's wait broken. The bounded-latency promise the
+  /// recovery SLO (recovery_p99_ms) gates on. Empty outside Async mode.
+  LatencyHistogram recovery_ns;
 
   std::atomic<std::uint64_t> faults_injected{0};
   std::atomic<std::uint64_t> compensation_spawns{0};
@@ -128,6 +132,10 @@ struct Metrics {
   // set); mirrors the gate's requests_admitted/requests_shed stats.
   std::atomic<std::uint64_t> requests_admitted{0};  ///< front-door admits
   std::atomic<std::uint64_t> requests_shed{0};      ///< front-door sheds
+  // Async-detection counters (zero outside PolicyChoice::Async).
+  std::atomic<std::uint64_t> cycles_recovered{0};   ///< cycles broken
+  std::atomic<std::uint64_t> detector_failovers{0}; ///< optimistic→sync trips
+  std::atomic<std::uint64_t> detector_respawns{0};  ///< detector-thread revivals
 
   /// Visits (name, histogram) for each histogram in the registry.
   template <typename F>
@@ -136,6 +144,7 @@ struct Metrics {
     f("blocked_join_ns", blocked_join_ns);
     f("blocked_await_ns", blocked_await_ns);
     f("cycle_scan_ns", cycle_scan_ns);
+    f("recovery_ns", recovery_ns);
   }
 
   std::string to_string() const;

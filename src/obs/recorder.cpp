@@ -61,22 +61,43 @@ std::size_t FlightRecorder::thread_count() const {
 }
 
 std::vector<Event> FlightRecorder::drain() {
-  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::scoped_lock lk(consume_mu_, reg_mu_);
   std::vector<Event> out;
   for (auto& log : logs_) {
     Event e;
     while (log->ring.try_pop(e)) out.push_back(e);
   }
+  consumed_.fetch_add(out.size(), std::memory_order_relaxed);
   std::sort(out.begin(), out.end(),
             [](const Event& a, const Event& b) { return a.seq < b.seq; });
   return out;
+}
+
+std::size_t FlightRecorder::consume(std::vector<Event>& out) {
+  std::vector<ThreadLog*> logs;
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    logs.reserve(logs_.size());
+    for (const auto& log : logs_) logs.push_back(log.get());
+  }
+  std::lock_guard<std::mutex> lk(consume_mu_);
+  const std::size_t before = out.size();
+  for (ThreadLog* log : logs) {
+    Event e;
+    while (log->ring.try_pop(e)) out.push_back(e);
+  }
+  const std::size_t popped = out.size() - before;
+  consumed_.fetch_add(popped, std::memory_order_relaxed);
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return popped;
 }
 
 std::vector<Event> FlightRecorder::recent(std::uint64_t uid,
                                           std::size_t max_events) const {
   std::vector<Event> matched;
   {
-    std::lock_guard<std::mutex> lk(reg_mu_);
+    std::scoped_lock lk(consume_mu_, reg_mu_);
     for (const auto& log : logs_) {
       log->ring.for_each_live([&](const Event& e) {
         if (e.actor == uid || (e.target == uid && (e.flags & kFlagPromise) == 0)) {

@@ -84,6 +84,20 @@ class FlightRecorder {
   /// concurrently with emitters (the watchdog calls this mid-run).
   std::vector<Event> recent(std::uint64_t uid, std::size_t max_events) const;
 
+  /// Incremental consumption for the async detector: pops everything
+  /// currently buffered into `out` (appended, sorted by seq among this
+  /// batch) and returns the number popped. Safe concurrently with emitters.
+  /// Cross-ring ordering is approximate — a lower-seq event still in flight
+  /// on another thread can land in a later batch — which the detector
+  /// tolerates by confirming every candidate against the gate's live WFG.
+  std::size_t consume(std::vector<Event>& out);
+
+  /// Events handed out through consume() so far (the detector's watermark;
+  /// lag = events_recorded() - events_consumed()).
+  std::uint64_t events_consumed() const {
+    return consumed_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct ThreadLog {
     explicit ThreadLog(std::size_t capacity) : ring(capacity) {}
@@ -108,6 +122,15 @@ class FlightRecorder {
   // Append-only while the recorder lives (stable ThreadLog addresses).
   std::vector<std::unique_ptr<ThreadLog>> logs_;          // guarded by reg_mu_
   std::map<std::thread::id, ThreadLog*> by_thread_;       // guarded by reg_mu_
+
+  // Serializes the popping side of every ring (consume vs drain) AND keeps
+  // recent()'s peek from racing a concurrent pop: the rings are SPSC, so
+  // only one consumer may advance tails at a time, and a peeked slot is
+  // only immutable until popped. Taken together with reg_mu_ only via
+  // std::scoped_lock (deadlock-order safe); never nested one inside the
+  // other.
+  mutable std::mutex consume_mu_;
+  std::atomic<std::uint64_t> consumed_{0};
 };
 
 }  // namespace tj::obs

@@ -377,6 +377,14 @@ bool resolve(const Json& sample, const std::string& metric, double* out) {
     *out = v->number();
     return true;
   }
+  if (metric == "recovery_p99_ms") {
+    // Async mode: p99 of cycle-formation → victim-wait-broken latency — the
+    // bounded-recovery promise the optimistic mode is gated on.
+    const Json* v = sample.at_path("hist.recovery_ns.p99_ns");
+    if (v == nullptr || !v->is_number()) return false;
+    *out = v->number() / 1e6;
+    return true;
+  }
   const Json* v = sample.at_path(metric);
   if (v == nullptr || !v->is_number()) return false;
   *out = v->number();

@@ -104,6 +104,7 @@ struct Evaluation {
 ///   shed_rate         → gate.requests_shed / max(1, gate.requests_checked)
 ///   downgrade_level   → ladder_level
 ///   watchdog_cycles   → watchdog_cycles
+///   recovery_p99_ms   → hist.recovery_ns.p99_ns / 1e6 (async mode)
 /// Anything else is a dotted path into the sample object.
 Evaluation evaluate(const std::vector<Json>& samples,
                     const std::vector<Rule>& rules);

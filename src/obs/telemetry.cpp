@@ -160,7 +160,24 @@ void TelemetrySink::sample_locked() {
      << ",\"promises_orphaned\":" << s.gate.promises_orphaned
      << ",\"requests_checked\":" << s.gate.requests_checked
      << ",\"requests_admitted\":" << s.gate.requests_admitted
-     << ",\"requests_shed\":" << s.gate.requests_shed << "}";
+     << ",\"requests_shed\":" << s.gate.requests_shed
+     << ",\"cycles_recovered\":" << s.gate.cycles_recovered << "}";
+
+  if (s.recovery_attached) {
+    os << ",\"detector\":{\"running\":"
+       << (s.recovery.detector.running ? "true" : "false")
+       << ",\"failed_over\":"
+       << (s.recovery.detector.failed_over ? "true" : "false")
+       << ",\"lag_events\":" << s.recovery.detector.lag_events
+       << ",\"events_lost\":" << s.recovery.detector.events_lost
+       << ",\"events_applied\":" << s.recovery.detector.events_applied
+       << ",\"scans\":" << s.recovery.detector.authoritative_scans
+       << ",\"cycles_confirmed\":" << s.recovery.detector.cycles_confirmed
+       << ",\"respawns\":" << s.recovery.detector.respawns
+       << ",\"cycles_recovered\":" << s.recovery.cycles_recovered
+       << ",\"breaks_posted\":" << s.recovery.breaks_posted
+       << ",\"waits_registered\":" << s.recovery.waits_registered << "}";
+  }
 
   os << ",\"counters\":{\"faults_injected\":"
      << m.faults_injected.load(std::memory_order_relaxed)
@@ -274,6 +291,15 @@ std::string TelemetrySink::render_prometheus(
   counter("tj_requests_admitted", s.gate.requests_admitted,
           "requests admitted");
   counter("tj_requests_shed", s.gate.requests_shed, "requests shed");
+  counter("tj_cycles_recovered", s.gate.cycles_recovered,
+          "async-mode deadlock cycles broken by recovery");
+  if (s.recovery_attached) {
+    gauge("tj_detector_lag_events", s.recovery.detector.lag_events,
+          "async detector consumption backlog");
+    counter("tj_detector_failovers",
+            m.detector_failovers.load(std::memory_order_relaxed),
+            "async detector budget failovers");
+  }
   counter("tj_watchdog_stalls", s.watchdog_stalls, "stall batches reported");
   counter("tj_watchdog_cycles", s.watchdog_cycles,
           "cycles found by stall scans");

@@ -55,6 +55,12 @@ namespace tj::runtime {
 /// never shed.
 struct TenantBudget {
   std::string name;
+  /// Recovery priority: when the async detector must pick a deadlock victim
+  /// and the cycle spans tenants, lower-priority tenants are sacrificed
+  /// first (0 = lowest = victim first). Gold tenants set this high so a
+  /// noisy tenant's cycle participant dies instead of theirs. Ties fall to
+  /// the youngest participant.
+  std::uint32_t priority = 0;
   /// Concurrent admitted-but-not-released requests.
   std::size_t max_in_flight = 0;
   /// Runtime-wide live (submitted, unfinished) tasks at admission time —

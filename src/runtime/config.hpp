@@ -7,6 +7,7 @@
 #include <string_view>
 #include <thread>
 
+#include "core/async_detect.hpp"
 #include "core/guarded.hpp"
 #include "core/policy_ids.hpp"
 #include "obs/recorder.hpp"
@@ -78,11 +79,22 @@ struct Config {
   /// Runtime::admission() — see runtime/admission.hpp). Off by default —
   /// joins then pay no governance cost at all.
   GovernorConfig governor;
+  /// Async-detection knobs, meaningful only under PolicyChoice::Async (the
+  /// optimistic gate mode): tick period, lag/drop budgets, respawn budget.
+  core::DetectorConfig detector;
 
   unsigned effective_workers() const {
     if (workers != 0) return workers;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw != 0 ? hw : 4;
+  }
+
+  /// Canonicalizes dependent knobs; the Runtime constructor applies this.
+  /// PolicyChoice::Async REQUIRES the flight recorder (the detector consumes
+  /// its event stream), so obs.enabled is forced on.
+  static Config normalize(Config c) {
+    if (c.policy == core::PolicyChoice::Async) c.obs.enabled = true;
+    return c;
   }
 };
 

@@ -107,6 +107,28 @@ void FaultInjector::maybe_fail_fulfill() {
   }
 }
 
+std::uint64_t FaultInjector::detector_delay_us() noexcept {
+  if (decide(plan_.detector_delay_period, 7, detector_tick_events_,
+             detector_delays_)) {
+    return plan_.detector_delay_us;
+  }
+  return 0;
+}
+
+bool FaultInjector::drop_detector_batch() noexcept {
+  return decide(plan_.detector_drop_period, 8, detector_batch_events_,
+                detector_drops_);
+}
+
+bool FaultInjector::kill_detector() noexcept {
+  if (detector_deaths_.load(std::memory_order_relaxed) >=
+      plan_.max_detector_deaths) {
+    return false;
+  }
+  return decide(plan_.detector_death_period, 9, detector_life_events_,
+                detector_deaths_);
+}
+
 bool FaultInjector::should_kill_worker() noexcept {
   if (worker_deaths_.load(std::memory_order_relaxed) >=
       plan_.max_worker_deaths) {
@@ -152,6 +174,9 @@ FaultStats FaultInjector::stats() const {
   s.dropped_wakeups = dropped_wakeups_.load(std::memory_order_relaxed);
   s.fulfill_failures = fulfill_failures_.load(std::memory_order_relaxed);
   s.worker_deaths = worker_deaths_.load(std::memory_order_relaxed);
+  s.detector_delays = detector_delays_.load(std::memory_order_relaxed);
+  s.detector_drops = detector_drops_.load(std::memory_order_relaxed);
+  s.detector_deaths = detector_deaths_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/async_detect.hpp"
 #include "core/guarded.hpp"
 
 namespace tj::runtime {
@@ -49,6 +50,14 @@ struct FaultPlan {
   std::uint32_t worker_death_period = 0;      ///< worker exits at boundary
   std::uint32_t max_worker_deaths = 8;        ///< cap on respawn churn
 
+  // Async-detector sites (consulted only when PolicyChoice::Async runs a
+  // detector; dormant otherwise). Periods are per detector *tick*.
+  std::uint32_t detector_delay_period = 0;    ///< stalled consumption ticks
+  std::uint32_t detector_delay_us = 500;      ///< how long a stall lasts
+  std::uint32_t detector_drop_period = 0;     ///< consumed-batch drops
+  std::uint32_t detector_death_period = 0;    ///< detector-thread deaths
+  std::uint32_t max_detector_deaths = 16;     ///< cap on detector churn
+
   bool enabled() const { return seed != 0; }
 
   /// The canonical chaos-test plan: every site armed at moderate odds.
@@ -63,6 +72,18 @@ struct FaultPlan {
     p.worker_death_period = 9;
     return p;
   }
+
+  /// chaos() plus the detector sites armed — the async-mode chaos plan.
+  /// Delay/drop odds are moderate (the detector must mostly keep up, so
+  /// recoveries — not failovers — dominate); deaths are rarer than the
+  /// respawn budget so most runs exercise revival, some exercise failover.
+  static FaultPlan chaos_detector(std::uint64_t seed) {
+    FaultPlan p = chaos(seed);
+    p.detector_delay_period = 16;
+    p.detector_drop_period = 48;
+    p.detector_death_period = 512;
+    return p;
+  }
 };
 
 /// Counts of faults actually injected (for test assertions).
@@ -73,10 +94,14 @@ struct FaultStats {
   std::uint64_t dropped_wakeups = 0;
   std::uint64_t fulfill_failures = 0;
   std::uint64_t worker_deaths = 0;
+  std::uint64_t detector_delays = 0;
+  std::uint64_t detector_drops = 0;
+  std::uint64_t detector_deaths = 0;
 
   std::uint64_t total() const {
     return join_rejections + await_rejections + delayed_wakeups +
-           dropped_wakeups + fulfill_failures + worker_deaths;
+           dropped_wakeups + fulfill_failures + worker_deaths +
+           detector_delays + detector_drops + detector_deaths;
   }
 };
 
@@ -84,7 +109,8 @@ struct FaultStats {
 /// enabled FaultPlan, consulted by the gate (as GateFaultHooks), the
 /// scheduler (worker death) and the task/promise publication paths
 /// (wakeup faults). Thread-safe; every decision is lock-free.
-class FaultInjector final : public core::GateFaultHooks {
+class FaultInjector final : public core::GateFaultHooks,
+                            public core::DetectorFaultHooks {
  public:
   explicit FaultInjector(FaultPlan plan);
   ~FaultInjector() override;  // joins the repair thread
@@ -103,6 +129,11 @@ class FaultInjector final : public core::GateFaultHooks {
   // --- gate hooks (core::GateFaultHooks) ---
   bool inject_join_rejection() noexcept override;
   bool inject_await_rejection() noexcept override;
+
+  // --- detector hooks (core::DetectorFaultHooks) ---
+  std::uint64_t detector_delay_us() noexcept override;
+  bool drop_detector_batch() noexcept override;
+  bool kill_detector() noexcept override;
 
   // --- wakeup faults ---
   /// Called with the Done/fulfilled store already published. Either delays
@@ -148,6 +179,9 @@ class FaultInjector final : public core::GateFaultHooks {
   std::atomic<std::uint64_t> publication_events_{0};
   std::atomic<std::uint64_t> fulfill_events_{0};
   std::atomic<std::uint64_t> boundary_events_{0};
+  std::atomic<std::uint64_t> detector_tick_events_{0};
+  std::atomic<std::uint64_t> detector_batch_events_{0};
+  std::atomic<std::uint64_t> detector_life_events_{0};
 
   std::atomic<std::uint64_t> join_rejections_{0};
   std::atomic<std::uint64_t> await_rejections_{0};
@@ -155,6 +189,9 @@ class FaultInjector final : public core::GateFaultHooks {
   std::atomic<std::uint64_t> dropped_wakeups_{0};
   std::atomic<std::uint64_t> fulfill_failures_{0};
   std::atomic<std::uint64_t> worker_deaths_{0};
+  std::atomic<std::uint64_t> detector_delays_{0};
+  std::atomic<std::uint64_t> detector_drops_{0};
+  std::atomic<std::uint64_t> detector_deaths_{0};
 
   // Repair thread: redelivers dropped wakeups after redelivery_ms. Started
   // lazily on the first drop; pending notifications are flushed on stop so

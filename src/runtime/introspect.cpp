@@ -74,6 +74,11 @@ RuntimeSnapshot snapshot(const Runtime& rt) {
     s.obs_dropped = rec->events_dropped();
   }
 
+  if (const RecoverySupervisor* rs = rt.recovery()) {
+    s.recovery_attached = true;
+    s.recovery = rs->status();
+  }
+
   if (const JoinWatchdog* wd = rt.watchdog()) {
     s.watchdog_attached = true;
     s.watchdog_stalls = wd->stalls_reported();
@@ -148,6 +153,25 @@ std::string RuntimeSnapshot::to_string() const {
   if (recorder_attached) {
     os << "recorder: events=" << obs_events << " dropped=" << obs_dropped
        << "\n";
+  }
+  if (recovery_attached) {
+    os << "recovery: detector="
+       << (recovery.detector.running ? "running" : "DEAD")
+       << (recovery.detector.failed_over ? " FAILED-OVER" : "")
+       << " lag=" << recovery.detector.lag_events
+       << " lost=" << recovery.detector.events_lost
+       << " applied=" << recovery.detector.events_applied
+       << " scans=" << recovery.detector.authoritative_scans
+       << " confirmed=" << recovery.detector.cycles_confirmed
+       << " respawns=" << recovery.detector.respawns
+       << " recovered=" << recovery.cycles_recovered
+       << " breaks=" << recovery.breaks_posted
+       << " registered=" << recovery.waits_registered << "\n";
+    for (const RecoveryStatus::Incident& inc : recovery.recent) {
+      os << "  recovered: victim " << inc.victim << " waited on "
+         << (inc.on_promise ? "p" : "") << inc.waited_on << " (cycle len "
+         << inc.cycle_len << ")\n";
+    }
   }
   os << "wfg: " << wfg_edges.size() << " edge(s)\n";
   for (const auto& e : wfg_edges) {

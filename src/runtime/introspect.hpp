@@ -27,6 +27,7 @@
 #include "core/policy_ids.hpp"
 #include "core/witness.hpp"
 #include "runtime/governor.hpp"
+#include "runtime/recovery.hpp"
 #include "wfg/waits_for_graph.hpp"
 
 namespace tj::runtime {
@@ -88,6 +89,10 @@ struct RuntimeSnapshot {
   bool recorder_attached = false;
   std::uint64_t obs_events = 0;
   std::uint64_t obs_dropped = 0;
+
+  // --- async detection / recovery (PolicyChoice::Async only) ---
+  bool recovery_attached = false;
+  RecoveryStatus recovery;
 
   /// Multi-line human-readable dump (the hooks' default sink).
   std::string to_string() const;

@@ -76,6 +76,7 @@ class PromiseStateBase {
   void publish_fulfilled() {
     phase_.store(kFulfilled, std::memory_order_release);
     phase_.notify_all();
+    bump_wake_seq();
   }
 
   /// Marks the fulfill as failed (e.g. the value's copy threw): awaiters are
@@ -84,6 +85,7 @@ class PromiseStateBase {
   void publish_orphaned() {
     phase_.store(kOrphaned, std::memory_order_release);
     phase_.notify_all();
+    bump_wake_seq();
   }
 
   /// CAS Unfulfilled → Orphaned; loses to an in-flight fulfill (whose value
@@ -94,6 +96,7 @@ class PromiseStateBase {
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
       phase_.notify_all();
+      bump_wake_seq();
       return true;
     }
     return false;
@@ -107,6 +110,17 @@ class PromiseStateBase {
       p = phase_.load(std::memory_order_acquire);
     }
   }
+
+  /// wait_settled() variant that also wakes — and throws — when the
+  /// recovery supervisor posts a wait-break on `waiter` (null for external
+  /// threads → plain wait). Defined in runtime.cpp (needs TaskBase).
+  void wait_settled_interruptible(TaskBase* waiter) const;
+
+  /// Spuriously wakes every blocked awaiter so an interruptible one
+  /// rechecks its wait-break. Any thread. Bumps wake_seq_ rather than
+  /// notifying phase_: std::atomic::wait absorbs notifies whose watched
+  /// word is unchanged, so a phase_ notify would never reach an awaiter.
+  void nudge_awaiters() { bump_wake_seq(); }
 
   /// The poison cause, readable only once kOrphaned is observable (the
   /// write happens-before the orphan CAS's release; nullptr otherwise).
@@ -132,10 +146,19 @@ class PromiseStateBase {
   /// its try_orphan() — the CAS's release ordering publishes the write.
   void set_poison(std::exception_ptr cause) { poison_ = std::move(cause); }
 
+  /// Advances the interruptible-wait generation and wakes its parkers.
+  void bump_wake_seq() const {
+    wake_seq_.fetch_add(1, std::memory_order_release);
+    wake_seq_.notify_all();
+  }
+
   std::uint64_t uid_ = 0;
   Runtime* rt_ = nullptr;
   core::PromiseNode* pnode_ = nullptr;  // owned by the runtime's OwpVerifier
   std::atomic<std::uint32_t> phase_{kUnfulfilled};
+  // Interruptible-wait futex word; see wait_settled_interruptible(). Counts
+  // wake events, never read for its value — only for change detection.
+  mutable std::atomic<std::uint32_t> wake_seq_{0};
   std::exception_ptr poison_;  // see poison_cause()
 };
 

@@ -12,7 +12,10 @@ namespace {
 // step down; policies with no ladder (None/CycleOnly) fall through to the
 // plain verifier, as does the governor-off default.
 std::unique_ptr<core::Verifier> build_verifier(const Config& cfg) {
-  if (cfg.governor.enabled) {
+  // Async mode ALWAYS builds its ladder, governor or not: the detector's
+  // failover is a monotone downgrade to the synchronous WFG floor, which
+  // needs a level to step down to.
+  if (cfg.governor.enabled || cfg.policy == core::PolicyChoice::Async) {
     if (auto ladder = core::make_ladder_verifier(cfg.policy)) {
       return ladder;
     }
@@ -32,9 +35,19 @@ bool chaos_roll(std::uint64_t seed) {
   state ^= state << 17;
   return (state & 7) == 0;
 }
+
+// Per-tenant recovery priorities for the async-mode victim picker, in
+// admission tenant-index order (TenantBudget::priority).
+std::vector<std::uint32_t> tenant_priorities(const Config& cfg) {
+  std::vector<std::uint32_t> out;
+  out.reserve(cfg.governor.tenants.size());
+  for (const TenantBudget& t : cfg.governor.tenants) out.push_back(t.priority);
+  return out;
+}
 }  // namespace
 
 TaskBase::~TaskBase() {
+  clear_wait_break();  // free an unconsumed recovery break's heap cell
   if (rt_ != nullptr && pnode_ != nullptr) {
     rt_->release_node(pnode_);
   }
@@ -95,13 +108,17 @@ void TaskBase::run() {
   FaultInjector* inj = rt_ != nullptr ? rt_->injector_.get() : nullptr;
   if (inj == nullptr) {
     state_.notify_all();
+    bump_wake_seq();
     return;
   }
   // Fault injection may delay this notification, or drop it entirely and
   // redeliver via the repair thread; the shared_ptr keeps the task alive
   // until the redelivery lands.
   auto self = shared_from_this();
-  if (inj->perturb_wakeup([self] { self->state_.notify_all(); })) {
+  if (inj->perturb_wakeup([self] {
+        self->state_.notify_all();
+        self->bump_wake_seq();
+      })) {
     if (rec != nullptr) {
       rec->metrics().faults_injected.fetch_add(1, std::memory_order_relaxed);
       obs::Event e;
@@ -112,6 +129,7 @@ void TaskBase::run() {
     }
   } else {
     state_.notify_all();
+    bump_wake_seq();
   }
 }
 
@@ -146,6 +164,7 @@ bool TaskBase::deliver_cancel(const std::exception_ptr& cause) {
   }
   state_.store(TaskState::Done, std::memory_order_release);
   state_.notify_all();
+  bump_wake_seq();
   if (rt_ != nullptr) {
     rt_->task_cancelled_done();  // pairs with submit's live-task increment
   }
@@ -173,6 +192,25 @@ bool join_current_on_for(TaskBase& target, std::chrono::nanoseconds timeout) {
 PromiseStateBase::~PromiseStateBase() {
   if (rt_ != nullptr) {
     rt_->promise_state_released(*this);
+  }
+}
+
+void PromiseStateBase::wait_settled_interruptible(TaskBase* waiter) const {
+  if (waiter == nullptr) return wait_settled();
+  // Parks on wake_seq_, NOT phase_: std::atomic::wait only returns once the
+  // watched word differs from the captured value, so a recovery nudge (which
+  // changes no promise phase) would never wake a phase_ waiter — the library
+  // re-parks it internally and the posted break goes unobserved forever.
+  // Every wake source (settlement and nudge_awaiters) bumps wake_seq_.
+  while (true) {
+    waiter->throw_if_wait_broken();
+    const std::uint32_t seq = wake_seq_.load(std::memory_order_acquire);
+    const std::uint32_t p = phase_.load(std::memory_order_acquire);
+    if (p != kUnfulfilled && p != kFulfilling) return;
+    // A break or settlement after the seq read bumps wake_seq_, so the wait
+    // below returns immediately — no lost-wakeup window.
+    waiter->throw_if_wait_broken();
+    wake_seq_.wait(seq, std::memory_order_acquire);
   }
 }
 
@@ -246,7 +284,7 @@ void transfer_promise_state(PromiseStateBase& s, const TaskBase& to) {
 }  // namespace detail
 
 Runtime::Runtime(Config cfg)
-    : cfg_(std::move(cfg)),
+    : cfg_(Config::normalize(std::move(cfg))),
       verifier_(build_verifier(cfg_)),
       owp_(core::make_ownership_verifier(cfg_.promise_policy)),
       recorder_(cfg_.obs.enabled
@@ -269,10 +307,17 @@ Runtime::Runtime(Config cfg)
                           [this] { return sched_.live_tasks(); },
                           recorder_.get())
                     : nullptr),
+      recovery_(cfg_.policy == core::PolicyChoice::Async
+                    ? std::make_unique<RecoverySupervisor>(
+                          cfg_.detector, gate_, *recorder_,
+                          dynamic_cast<core::LadderVerifier*>(verifier_.get()),
+                          injector_.get(), tenant_priorities(cfg_))
+                    : nullptr),
       watchdog_(cfg_.watchdog.enabled
                     ? std::make_unique<JoinWatchdog>(cfg_.watchdog, gate_,
                                                      recorder_.get(),
-                                                     governor_.get())
+                                                     governor_.get(),
+                                                     recovery_.get())
                     : nullptr),
       admission_(!cfg_.governor.tenants.empty()
                      ? std::make_unique<AdmissionController>(
@@ -280,7 +325,9 @@ Runtime::Runtime(Config cfg)
                            [this] { return sched_.live_tasks(); },
                            [this] { return policy_bytes(); },
                            recorder_.get())
-                     : nullptr) {}
+                     : nullptr) {
+  if (recovery_ != nullptr) recovery_->start();
+}
 
 Runtime::~Runtime() {
   // All spawned tasks must finish before the scheduler can be torn down;
@@ -426,6 +473,13 @@ void Runtime::join(TaskBase& target) {
     case core::JoinDecision::ProceedFalsePositive:
       break;
   }
+  // Async mode: the wait is breakable — registered with the recovery
+  // supervisor for the guard's whole lifetime, which outlives the catch
+  // block's leave_join so a broken victim's WFG edge is withdrawn *before*
+  // its registry entry disappears (the detector then cannot re-confirm the
+  // broken cycle against a registry that no longer names the victim).
+  RecoveryWaitGuard rguard(!was_done ? recovery_.get() : nullptr, &cur,
+                           &target, nullptr, cur.request_context().tenant);
   try {
     if (!was_done) {
       WatchdogBlockGuard guard(
@@ -501,6 +555,8 @@ bool Runtime::join_for(TaskBase& target, std::chrono::nanoseconds timeout) {
       break;
   }
   bool completed = was_done;
+  RecoveryWaitGuard rguard(!was_done ? recovery_.get() : nullptr, &cur,
+                           &target, nullptr, cur.request_context().tenant);
   try {
     if (!was_done) {
       WatchdogBlockGuard guard(
@@ -658,6 +714,10 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
   }
   if (!was_fulfilled) {
     const std::uint64_t t0 = recorder_ != nullptr ? recorder_->now_ns() : 0;
+    // Breakable-wait bracket, outliving the catch block's leave_await (see
+    // the join() comment for the ordering argument).
+    RecoveryWaitGuard rguard(recovery_.get(), &cur, nullptr, &s,
+                             cur.request_context().tenant);
     try {
       // Awaits cannot be helped by cooperative inlining (no known fulfiller
       // task to run), so both scheduler modes treat them as a blocking
@@ -668,7 +728,7 @@ void Runtime::await_promise(detail::PromiseStateBase& s) {
           d == core::JoinDecision::ProceedFalsePositive
               ? "owp-rejected, fallback-cleared"
               : "owp-approved");
-      s.wait_settled();
+      s.wait_settled_interruptible(&cur);
     } catch (...) {
       gate_.leave_await(cur.uid());
       throw;

@@ -24,6 +24,7 @@
 #include "runtime/future.hpp"
 #include "runtime/governor.hpp"
 #include "runtime/promise.hpp"
+#include "runtime/recovery.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
 #include "runtime/watchdog.hpp"
@@ -152,6 +153,9 @@ class Runtime {
   }
   /// The join watchdog, or nullptr when not enabled.
   const JoinWatchdog* watchdog() const { return watchdog_.get(); }
+  /// The async-mode recovery supervisor, or nullptr unless
+  /// Config::policy == PolicyChoice::Async.
+  const RecoverySupervisor* recovery() const { return recovery_.get(); }
   /// The resource governor, or nullptr unless Config::governor.enabled.
   ResourceGovernor* governor() { return governor_.get(); }
   const ResourceGovernor* governor() const { return governor_.get(); }
@@ -267,6 +271,12 @@ class Runtime {
   // governor must outlive it; the governor's poll thread reads the ladder
   // verifier and the gate's WFG, so it is destroyed before them.
   std::unique_ptr<ResourceGovernor> governor_;
+  // Async (optimistic) mode only: owns the background detector and breaks
+  // victims' waits. After governor_ (failover steps the same ladder the
+  // governor owns transitions for) and before watchdog_ (stall reports read
+  // detector status, so the watchdog must die first); destroyed before
+  // gate_/recorder_/sched_, which its detector thread reads until stopped.
+  std::unique_ptr<RecoverySupervisor> recovery_;
   std::unique_ptr<JoinWatchdog> watchdog_;
   // Declared last: references gate_/sched_/verifier_ via callbacks but runs
   // no background thread — calls happen only on request threads, which are

@@ -168,7 +168,9 @@ void Scheduler::join_wait(TaskBase& target) {
     }
     // try_claim can only fail when the target is Running or Done; Done wakes
     // us via notify_all, Running will reach Done on its own thread.
-    target.wait_done();
+    // Interruptible: in async (optimistic) mode the recovery supervisor may
+    // break this wait — the throw propagates to the gate's leave_join.
+    target.wait_done_interruptible(current_task_or_null());
     return;
   }
 
@@ -185,11 +187,17 @@ void Scheduler::join_wait(TaskBase& target) {
         record_compensation_locked();
       }
     }
-    target.wait_done();
+    try {
+      target.wait_done_interruptible(current_task_or_null());
+    } catch (...) {
+      std::scoped_lock lock(mu_);
+      --blocked_workers_;
+      throw;
+    }
     std::scoped_lock lock(mu_);
     --blocked_workers_;
   } else {
-    target.wait_done();
+    target.wait_done_interruptible(current_task_or_null());
   }
 }
 
@@ -211,7 +219,7 @@ bool Scheduler::join_wait_for(TaskBase& target,
       run_claimed(target);
       return true;
     }
-    return target.wait_done_for(timeout);
+    return target.wait_done_for_interruptible(timeout, current_task_or_null());
   }
 
   // Blocking mode: same compensation bracket as join_wait, bounded wait.
@@ -226,12 +234,20 @@ bool Scheduler::join_wait_for(TaskBase& target,
         record_compensation_locked();
       }
     }
-    const bool done = target.wait_done_for(timeout);
+    bool done = false;
+    try {
+      done =
+          target.wait_done_for_interruptible(timeout, current_task_or_null());
+    } catch (...) {
+      std::scoped_lock lock(mu_);
+      --blocked_workers_;
+      throw;
+    }
     std::scoped_lock lock(mu_);
     --blocked_workers_;
     return done;
   }
-  return target.wait_done_for(timeout);
+  return target.wait_done_for_interruptible(timeout, current_task_or_null());
 }
 
 void Scheduler::enter_blocking_region() {

@@ -65,16 +65,48 @@ class TaskBase : public std::enable_shared_from_this<TaskBase> {
     }
   }
 
+  /// wait_done() variant for async (optimistic) mode: additionally wakes —
+  /// and throws — when the recovery supervisor posts a wait-break on
+  /// `waiter` (the task doing the joining; null for external threads, which
+  /// cannot be deadlock victims). Parks on wake_seq_, NOT state_:
+  /// std::atomic::wait only returns once the watched word differs from the
+  /// captured value, so a break nudge (which changes no task state) would
+  /// never wake a state_ waiter — the library re-parks it internally.
+  /// Every wake source (Done publication and nudge_waiters) bumps wake_seq_,
+  /// making each notify observable here.
+  void wait_done_interruptible(TaskBase* waiter) const {
+    if (waiter == nullptr) return wait_done();
+    while (true) {
+      waiter->throw_if_wait_broken();
+      const std::uint32_t seq = wake_seq_.load(std::memory_order_acquire);
+      if (state_.load(std::memory_order_acquire) == TaskState::Done) return;
+      // A break or Done published after the seq read bumps wake_seq_, so the
+      // wait below returns immediately — no lost-wakeup window.
+      waiter->throw_if_wait_broken();
+      wake_seq_.wait(seq, std::memory_order_acquire);
+    }
+  }
+
   /// Timed variant for deadline-aware joins: waits until Done or `timeout`
   /// elapses; true iff the task completed. std::atomic has no timed wait, so
   /// this polls with capped exponential backoff (50µs → 1ms) — the deadline
   /// is honoured to ~1ms granularity, which the join_for API documents. A
   /// task that is already Done returns immediately without sleeping.
   bool wait_done_for(std::chrono::nanoseconds timeout) const {
+    return wait_done_for_interruptible(timeout, nullptr);
+  }
+
+  /// Timed wait that also honours a recovery wait-break on `waiter` (see
+  /// wait_done_interruptible). The poll loop wakes at least every ~1ms, so
+  /// a posted break is observed without any extra notification. `waiter`
+  /// may be null (plain timed wait).
+  bool wait_done_for_interruptible(std::chrono::nanoseconds timeout,
+                                   TaskBase* waiter) const {
     if (state_.load(std::memory_order_acquire) == TaskState::Done) return true;
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     auto nap = std::chrono::microseconds(50);
     while (true) {
+      if (waiter != nullptr) waiter->throw_if_wait_broken();
       if (state_.load(std::memory_order_acquire) == TaskState::Done) {
         return true;
       }
@@ -119,6 +151,54 @@ class TaskBase : public std::enable_shared_from_this<TaskBase> {
     return scope_;
   }
 
+  // --- recovery wait-break (async detection mode) -------------------------
+  // The recovery supervisor terminates a deadlock victim's wait by posting
+  // an exception here and nudging whatever the victim is parked on; the
+  // victim's interruptible wait loop consumes and rethrows it. At most one
+  // break is live at a time (a second post while one is pending is dropped —
+  // the victim is already doomed). Stale breaks (posted but never consumed
+  // because the wait completed normally) are cleared by the supervisor's
+  // registry unregister path, so they can never kill a later wait.
+
+  /// Posts `ep` as this task's pending wait-break. True iff it was installed
+  /// (false: one is already pending). Any thread.
+  bool post_wait_break(std::exception_ptr ep) {
+    auto* fresh = new std::exception_ptr(std::move(ep));
+    std::exception_ptr* expected = nullptr;
+    if (wait_break_.compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      return true;
+    }
+    delete fresh;
+    return false;
+  }
+
+  /// Consumes and rethrows the pending wait-break, if any.
+  void throw_if_wait_broken() {
+    if (wait_break_.load(std::memory_order_acquire) == nullptr) return;
+    std::exception_ptr* p =
+        wait_break_.exchange(nullptr, std::memory_order_acq_rel);
+    if (p == nullptr) return;
+    std::exception_ptr ep = *p;
+    delete p;
+    std::rethrow_exception(ep);
+  }
+
+  /// Discards the pending wait-break, if any (supervisor unregister path).
+  void clear_wait_break() {
+    delete wait_break_.exchange(nullptr, std::memory_order_acq_rel);
+  }
+
+  /// True iff a wait-break is pending (supervisor repost bookkeeping).
+  bool wait_break_pending() const {
+    return wait_break_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Spuriously wakes every thread parked in a wait_done* on THIS task so
+  /// an interruptible waiter rechecks its wait-break. Any thread.
+  void nudge_waiters() { bump_wake_seq(); }
+
  protected:
   TaskBase() = default;
   virtual void execute() = 0;
@@ -138,14 +218,29 @@ class TaskBase : public std::enable_shared_from_this<TaskBase> {
   /// The scope's originating fault, if any. Defined in runtime.cpp.
   std::exception_ptr cancel_cause() const;
 
+  /// Advances the interruptible-wait generation and wakes its parkers.
+  /// Called by every wake source: Done publication, cancel completion, and
+  /// nudge_waiters().
+  void bump_wake_seq() const {
+    wake_seq_.fetch_add(1, std::memory_order_release);
+    wake_seq_.notify_all();
+  }
+
   std::uint64_t uid_ = 0;
   Runtime* rt_ = nullptr;
   core::PolicyNode* pnode_ = nullptr;  // owned by the runtime's verifier
   std::atomic<TaskState> state_{TaskState::Queued};
+  // Interruptible-wait futex word; see wait_done_interruptible(). Counts
+  // wake events, never read for its value — only for change detection.
+  mutable std::atomic<std::uint32_t> wake_seq_{0};
   std::exception_ptr error_;
   std::shared_ptr<detail::CancelState> scope_;  // set at registration
   std::atomic<bool> cancel_requested_{false};
   obs::RequestContext req_ctx_;  // set at registration, immutable after
+  // Pending recovery wait-break; heap cell so posting stays lock-free
+  // (std::exception_ptr itself is not atomic-able). Freed by the consumer,
+  // clear_wait_break(), or the destructor.
+  std::atomic<std::exception_ptr*> wait_break_{nullptr};
 };
 
 /// Typed task: adds the result slot.

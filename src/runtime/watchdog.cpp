@@ -8,6 +8,7 @@
 #include "core/policy_ids.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/governor.hpp"
+#include "runtime/recovery.hpp"
 
 namespace tj::runtime {
 
@@ -26,6 +27,14 @@ std::string StallReport::to_string() const {
   if (degradation_level > 0) {
     os << " [degraded: level " << degradation_level << ", "
        << degradation_history << "]";
+  }
+  if (async_mode) {
+    os << " [async detector: "
+       << (detector_running ? "running" : "DEAD")
+       << (detector_failed_over ? ", FAILED OVER" : "")
+       << ", lag=" << detector_lag_events
+       << " events, lost=" << detector_events_lost
+       << ", recovered=" << cycles_recovered << "]";
   }
   os << ":\n";
   for (const BlockedJoin& b : stalled) {
@@ -47,13 +56,21 @@ std::string StallReport::to_string() const {
       os << '\n';
     }
   }
+  for (const std::string& r : recovery_history) {
+    os << "  recovered: " << r << '\n';
+  }
   return os.str();
 }
 
 JoinWatchdog::JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate,
                            obs::FlightRecorder* rec,
-                           const ResourceGovernor* governor)
-    : cfg_(std::move(cfg)), gate_(gate), rec_(rec), governor_(governor) {
+                           const ResourceGovernor* governor,
+                           const RecoverySupervisor* recovery)
+    : cfg_(std::move(cfg)),
+      gate_(gate),
+      rec_(rec),
+      governor_(governor),
+      recovery_(recovery) {
   thread_ = std::thread([this] { poll_loop(); });
 }
 
@@ -130,6 +147,26 @@ void JoinWatchdog::poll_loop() {
     if (governor_ != nullptr) {
       report.degradation_level = governor_->level();
       report.degradation_history = governor_->history_string();
+    }
+    if (recovery_ != nullptr) {
+      const RecoveryStatus rs = recovery_->status();
+      report.async_mode = true;
+      report.detector_running = rs.detector.running;
+      report.detector_failed_over = rs.detector.failed_over;
+      report.detector_lag_events = rs.detector.lag_events;
+      report.detector_events_lost = rs.detector.events_lost;
+      report.cycles_recovered = rs.cycles_recovered;
+      for (const RecoveryStatus::Incident& inc : rs.recent) {
+        std::ostringstream line;
+        line << "victim " << inc.victim << " ("
+             << (inc.on_promise ? "awaiting promise " : "joining ")
+             << inc.waited_on << ", cycle len " << inc.cycle_len;
+        if (inc.tenant != 0) {
+          line << ", tenant " << static_cast<unsigned>(inc.tenant) - 1;
+        }
+        line << ")";
+        report.recovery_history.push_back(line.str());
+      }
     }
     report.cycles = gate_.graph().find_all_cycles();
     cycles_found_.fetch_add(report.cycles.size(), std::memory_order_relaxed);

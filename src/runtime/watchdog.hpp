@@ -35,6 +35,7 @@ class FlightRecorder;
 namespace tj::runtime {
 
 class ResourceGovernor;
+class RecoverySupervisor;
 
 /// What the watchdog saw when it found stalled joins.
 struct StallReport {
@@ -64,8 +65,20 @@ struct StallReport {
   std::vector<BlockedJoin> stalled;
   /// Task-level waits-for cycles found by the on-demand scan (normally
   /// empty: the policies prevent them; non-empty means the stall is a
-  /// genuine deadlock the gate could not see, e.g. through external locks).
+  /// genuine deadlock the gate could not see, e.g. through external locks —
+  /// or, in async mode, one the detector has confirmed but not yet broken).
   std::vector<std::vector<std::uint64_t>> cycles;
+  /// Async (optimistic) mode context: whether the background detector is
+  /// still trusted, how far behind the event stream it is, and what it has
+  /// recovered so far. All-default when no recovery supervisor is attached.
+  bool async_mode = false;
+  bool detector_running = false;
+  bool detector_failed_over = false;
+  std::uint64_t detector_lag_events = 0;
+  std::uint64_t detector_events_lost = 0;
+  std::uint64_t cycles_recovered = 0;
+  /// Recent recovery incidents, formatted one per entry ("victim 12 ...").
+  std::vector<std::string> recovery_history;
 
   std::string to_string() const;
 };
@@ -87,10 +100,14 @@ class JoinWatchdog {
   /// events of each stalled waiter/target, and mirrors every reported batch
   /// into the event stream (EventKind::WatchdogStall). `governor` (may be
   /// nullptr) lets reports name the current degradation level and the
-  /// transition history that led to it.
+  /// transition history that led to it. `recovery` (may be nullptr) lets
+  /// async-mode reports name the detector's health — lag, failover state,
+  /// recovery history — so a stall under optimistic verification is
+  /// attributable to a lagging/abandoned detector at a glance.
   JoinWatchdog(WatchdogConfig cfg, const core::JoinGate& gate,
                obs::FlightRecorder* rec = nullptr,
-               const ResourceGovernor* governor = nullptr);
+               const ResourceGovernor* governor = nullptr,
+               const RecoverySupervisor* recovery = nullptr);
   ~JoinWatchdog();
   JoinWatchdog(const JoinWatchdog&) = delete;
   JoinWatchdog& operator=(const JoinWatchdog&) = delete;
@@ -141,6 +158,7 @@ class JoinWatchdog {
   const core::JoinGate& gate_;
   obs::FlightRecorder* const rec_;  // not owned; nullptr ⇒ recording off
   const ResourceGovernor* const governor_;  // not owned; may be nullptr
+  const RecoverySupervisor* const recovery_;  // not owned; may be nullptr
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -8,8 +8,13 @@ bool WaitsForGraph::closes_cycle(NodeId waiter, NodeId target,
                                  std::vector<NodeId>* cycle) const {
   // Functional graph: follow the unique out-edge chain from `target`; the
   // new edge waiter → target closes a cycle iff the chain reaches `waiter`.
+  // The walk is step-bounded: once the optimistic (unchecked) insert mode
+  // exists the graph may already hold a cycle NOT involving `waiter`, and an
+  // unbounded walk would orbit it forever. More steps than live edges ⇒ the
+  // walk is trapped in such a foreign cycle ⇒ waiter is not on it.
   NodeId cur = target;
-  while (true) {
+  std::size_t steps = 0;
+  while (steps++ <= edges_.size()) {
     if (cur == waiter) {
       if (cycle != nullptr) {
         cycle->clear();
@@ -25,6 +30,7 @@ bool WaitsForGraph::closes_cycle(NodeId waiter, NodeId target,
     if (it == edges_.end()) return false;
     cur = it->second.target;
   }
+  return false;
 }
 
 void WaitsForGraph::erase_edge_locked(NodeId from) {
@@ -65,6 +71,13 @@ WaitVerdict WaitsForGraph::add_checked_wait(NodeId waiter, NodeId target,
   if (closes_cycle(waiter, target, cycle)) return WaitVerdict::WouldDeadlock;
   edges_[waiter] = Edge{target, EdgeKind::Approved};
   return WaitVerdict::Added;
+}
+
+void WaitsForGraph::add_unchecked_wait(NodeId waiter, NodeId target) {
+  std::scoped_lock lock(mu_);
+  // Deliberately no closes_cycle: the async gate mode trades the synchronous
+  // scan for bounded-latency recovery by the background detector.
+  edges_[waiter] = Edge{target, EdgeKind::Approved};
 }
 
 void WaitsForGraph::remove_wait(NodeId waiter) {

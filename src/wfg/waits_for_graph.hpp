@@ -93,6 +93,14 @@ class WaitsForGraph {
   WaitVerdict add_checked_wait(NodeId waiter, NodeId target,
                                std::vector<NodeId>* cycle = nullptr);
 
+  /// Registers waiter → target with NO cycle check whatsoever — the
+  /// optimistic (async-detection) gate mode, where insertion must stay O(1)
+  /// and a background detector is responsible for finding the cycles this
+  /// may create. The graph therefore tolerates live cycles: every other
+  /// entry point bounds its chain walks, and find_all_cycles() is the
+  /// authoritative ground-truth scan the detector confirms against.
+  void add_unchecked_wait(NodeId waiter, NodeId target);
+
   /// Removes the waiter's edge once its join completed (or was aborted).
   void remove_wait(NodeId waiter);
 

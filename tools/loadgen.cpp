@@ -37,6 +37,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +68,13 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
+/// SIGINT/SIGTERM request a graceful wind-down: arrivals stop, in-flight
+/// requests drain, and the --json report (marked "interrupted": true) is
+/// still emitted — an interrupted run must leave an artifact, not a corpse.
+std::atomic<bool> g_stop{false};
+
+extern "C" void on_interrupt(int) { g_stop.store(true); }
+
 struct Options {
   unsigned seconds = 10;
   double rate = 30.0;            // mean arrivals per second (all tenants)
@@ -75,6 +83,7 @@ struct Options {
   std::uint64_t fault_seed = 0;  // 0 = no chaos
   std::uint64_t seed = 42;       // arrival/mix RNG
   std::string scheduler = "both";
+  std::string policy = "tj-gt";  // tj-gt | tj-sp | cycle | async
   bool hostile = false;          // tight governor + shared-pressure budgets
   unsigned introspect_ms = 0;    // 0 = dump only on SIGUSR1
   bool json = false;
@@ -112,6 +121,8 @@ Options parse(int argc, char** argv) {
       o.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_arg(argv[i], "--scheduler", v)) {
       o.scheduler = v;
+    } else if (parse_arg(argv[i], "--policy", v)) {
+      o.policy = v;
     } else if (parse_arg(argv[i], "--introspect-ms", v)) {
       o.introspect_ms =
           static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
@@ -148,6 +159,17 @@ Options parse(int argc, char** argv) {
   }
   if (o.telemetry_ms == 0) o.telemetry_ms = 100;
   return o;
+}
+
+tj::core::PolicyChoice parse_policy(const std::string& p) {
+  if (p == "tj-gt") return tj::core::PolicyChoice::TJ_GT;
+  if (p == "tj-sp") return tj::core::PolicyChoice::TJ_SP;
+  if (p == "cycle") return tj::core::PolicyChoice::CycleOnly;
+  if (p == "async") return tj::core::PolicyChoice::Async;
+  std::fprintf(stderr,
+               "loadgen: unknown --policy=%s (tj-gt|tj-sp|cycle|async)\n",
+               p.c_str());
+  std::exit(2);
 }
 
 // ---- deterministic RNG (arrivals + request mix) ----
@@ -363,6 +385,7 @@ struct ModeResult {
   bool admission_reconciled = false;  // checked == admitted + shed, exactly
   bool admission_balanced = false;    // per tenant: admitted == released
   bool monotone = true;
+  bool interrupted = false;  // SIGINT/SIGTERM wound this mode down early
   std::uint64_t watchdog_cycles = 0;
   std::size_t final_level = 0, ladder_floor = 0;
   std::string history;
@@ -404,7 +427,7 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
   }
 
   rtj::Config cfg;
-  cfg.policy = tj::core::PolicyChoice::TJ_GT;  // full 3-level ladder
+  cfg.policy = parse_policy(o.policy);  // tj-gt = the full 3-level ladder
   cfg.scheduler = mode;
   cfg.workers = 4;
   cfg.obs.enabled = true;
@@ -546,6 +569,14 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
 
     for (;;) {
       auto now = Clock::now();
+      if (!r.interrupted && g_stop.load(std::memory_order_relaxed)) {
+        // Graceful wind-down: no new arrivals, and the backoff queue takes
+        // its terminal disposition NOW (final shed) so conservation stays
+        // exact; in-flight requests drain through the normal reap path.
+        r.interrupted = true;
+        for (const Request& q : retrying) ++r.tenants[q.tenant].shed;
+        retrying.clear();
+      }
       if (o.introspect_ms != 0 &&
           now - last_dump >= std::chrono::milliseconds(o.introspect_ms)) {
         hook.request();
@@ -588,7 +619,7 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
       }
       // 4. Open-loop arrivals: every interval the clock has passed yields a
       //    request, whether or not the service kept up.
-      while (next_arrival <= now && next_arrival < end) {
+      while (!r.interrupted && next_arrival <= now && next_arrival < end) {
         Request q;
         q.id = next_request_id++;
         q.tenant = pick_tenant();
@@ -604,14 +635,18 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
         attempt(std::move(q));
       }
 
-      if (next_arrival >= end && in_flight.empty() && retrying.empty()) break;
+      if ((next_arrival >= end || r.interrupted) && in_flight.empty() &&
+          retrying.empty()) {
+        break;
+      }
 
       // 5. Sleep until the next event — by joining the oldest in-flight
       //    request with exactly that budget (the deadline-aware join path:
       //    on Timeout the wait edge is withdrawn and we go around again).
       now = Clock::now();
-      auto wake = next_arrival < end ? next_arrival
-                                     : now + std::chrono::milliseconds(50);
+      auto wake = (next_arrival < end && !r.interrupted)
+                      ? next_arrival
+                      : now + std::chrono::milliseconds(50);
       for (const Request& q : in_flight) wake = std::min(wake, q.deadline);
       for (const Request& q : retrying) wake = std::min(wake, q.retry_at);
       if (wake <= now) continue;
@@ -754,9 +789,11 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
 void print_mode(std::FILE* out, const ModeResult& r) {
   std::fprintf(
       out,
-      "[%s] %s: %llu submitted = %llu completed + %llu shed + %llu timed_out "
-      "(%llu faulted, %llu retries, %llu lost) in %.1fs (%.1f done/s)\n",
+      "[%s] %s%s: %llu submitted = %llu completed + %llu shed + %llu "
+      "timed_out (%llu faulted, %llu retries, %llu lost) in %.1fs "
+      "(%.1f done/s)\n",
       r.pass() ? "PASS" : "FAIL", r.scheduler.c_str(),
+      r.interrupted ? " (INTERRUPTED)" : "",
       static_cast<unsigned long long>(r.submitted),
       static_cast<unsigned long long>(r.completed),
       static_cast<unsigned long long>(r.shed),
@@ -809,17 +846,23 @@ void json_lat(std::ostringstream& os, const LatSummary& l) {
 std::string to_json(const Options& o, const std::vector<ModeResult>& modes,
                     bool pass) {
   std::ostringstream os;
+  bool interrupted = false;
+  for (const ModeResult& r : modes) interrupted = interrupted || r.interrupted;
   os << "{\n  \"tool\": \"loadgen\",\n";
   os << "  \"seconds\": " << o.seconds << ",\n";
   os << "  \"rate_hz\": " << o.rate << ",\n";
   os << "  \"deadline_ms\": " << o.deadline_ms << ",\n";
   os << "  \"fault_seed\": " << o.fault_seed << ",\n";
+  os << "  \"policy\": \"" << o.policy << "\",\n";
   os << "  \"hostile\": " << (o.hostile ? "true" : "false") << ",\n";
+  os << "  \"interrupted\": " << (interrupted ? "true" : "false") << ",\n";
   os << "  \"modes\": [\n";
   for (std::size_t m = 0; m < modes.size(); ++m) {
     const ModeResult& r = modes[m];
     os << "    {\n";
     os << "      \"scheduler\": \"" << r.scheduler << "\",\n";
+    os << "      \"interrupted\": " << (r.interrupted ? "true" : "false")
+       << ",\n";
     os << "      \"wall_seconds\": " << r.wall_s << ",\n";
     os << "      \"throughput_rps\": "
        << (r.wall_s > 0 ? static_cast<double>(r.completed) / r.wall_s : 0.0)
@@ -881,12 +924,14 @@ std::string to_json(const Options& o, const std::vector<ModeResult>& modes,
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   rtj::IntrospectionHook::install_signal_handler();
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
   // Human-readable output goes to stderr when the JSON report owns stdout.
   std::FILE* out = (o.json && o.json_file.empty()) ? stderr : stdout;
   std::fprintf(out,
                "loadgen: %us per mode @ %.0f req/s, deadline %ums, "
-               "fault-seed=%llu%s\n",
-               o.seconds, o.rate, o.deadline_ms,
+               "policy=%s, fault-seed=%llu%s\n",
+               o.seconds, o.rate, o.deadline_ms, o.policy.c_str(),
                static_cast<unsigned long long>(o.fault_seed),
                o.hostile ? ", hostile budgets" : "");
   const Expected exp = compute_expected();
@@ -915,12 +960,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<ModeResult> results(modes.size());
+  std::vector<ModeResult> results;
+  results.reserve(modes.size());
   bool pass = true;
   for (std::size_t i = 0; i < modes.size(); ++i) {
-    run_mode(modes[i], o, exp, tenants, results[i]);
-    print_mode(out, results[i]);
-    pass = pass && results[i].pass();
+    results.emplace_back();
+    run_mode(modes[i], o, exp, tenants, results.back());
+    print_mode(out, results.back());
+    pass = pass && results.back().pass();
+    // An interrupt drains the current mode but skips the rest: the report
+    // below covers exactly the modes that ran.
+    if (g_stop.load(std::memory_order_relaxed)) break;
   }
 
   // Declarative SLO gate: every mode's final sample must satisfy every

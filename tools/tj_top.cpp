@@ -16,11 +16,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -230,10 +232,52 @@ std::string render(const std::vector<slo::Json>& win, const Palette& c) {
   return os.str();
 }
 
-int run(const Options& o) {
+/// Incremental JSONL decoder for a file a writer is still appending to.
+/// A poll may observe a line the writer has only half flushed; getline()
+/// would consume that fragment as a "complete" line, fail to parse it, and
+/// then misparse its remainder on the next poll. feed() therefore only
+/// consumes byte ranges terminated by '\n' and carries the unterminated
+/// tail to the next poll; finish() (final frame / --once) flushes whatever
+/// tail remains, since no more bytes are coming to complete it. Lines that
+/// still fail to parse are counted, never fatal — one torn write must not
+/// take the dashboard down.
+struct LineFeeder {
   std::vector<slo::Json> samples;
-  std::ifstream in;
+  std::uint64_t malformed = 0;
   std::string carry;
+
+  void feed(std::string_view chunk) {
+    carry.append(chunk.data(), chunk.size());
+    std::size_t start = 0;
+    for (std::size_t nl = carry.find('\n', start); nl != std::string::npos;
+         nl = carry.find('\n', start)) {
+      take_line(std::string_view(carry).substr(start, nl - start));
+      start = nl + 1;
+    }
+    carry.erase(0, start);
+  }
+
+  void finish() {
+    if (carry.empty()) return;
+    take_line(carry);
+    carry.clear();
+  }
+
+ private:
+  void take_line(std::string_view line) {
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) return;
+    try {
+      samples.push_back(slo::parse_json(std::string(line)));
+    } catch (const std::exception&) {
+      ++malformed;
+    }
+  }
+};
+
+int run(const Options& o) {
+  LineFeeder feed;
+  std::vector<slo::Json>& samples = feed.samples;
+  std::ifstream in;
   unsigned frame = 0;
 
   const auto read_new = [&] {
@@ -242,14 +286,9 @@ int run(const Options& o) {
       if (!in) return false;
     }
     in.clear();  // past EOF from the previous poll
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      try {
-        samples.push_back(slo::parse_json(line));
-      } catch (const std::exception& ex) {
-        std::fprintf(stderr, "tj_top: skipping bad line: %s\n", ex.what());
-      }
+    char buf[4096];
+    while (in.read(buf, sizeof buf), in.gcount() > 0) {
+      feed.feed(std::string_view(buf, static_cast<std::size_t>(in.gcount())));
     }
     return true;
   };
@@ -261,6 +300,10 @@ int run(const Options& o) {
       std::fprintf(stderr, "tj_top: cannot open %s\n", o.file.c_str());
       return 1;
     }
+    const bool last = o.once || (o.frames != 0 && frame + 1 >= o.frames);
+    // No more polls will complete a carried tail — parse it as-is (a fully
+    // written file may simply lack a trailing newline).
+    if (last) feed.finish();
     if (!samples.empty()) {
       // Rolling window: the most recent scheduler's contiguous suffix.
       const std::string sched = str_at(samples.back(), "scheduler");
@@ -271,13 +314,17 @@ int run(const Options& o) {
       }
       if (!o.once) std::fputs("\x1b[H\x1b[2J", stdout);
       std::fputs(render(win, c).c_str(), stdout);
+      if (feed.malformed > 0) {
+        std::printf("%sskipped %llu malformed line(s)%s\n", c.dim,
+                    static_cast<unsigned long long>(feed.malformed), c.reset);
+      }
       std::fflush(stdout);
     } else if (o.once) {
       std::fprintf(stderr, "tj_top: no samples in %s\n", o.file.c_str());
       return 1;
     }
     ++frame;
-    if (o.once || (o.frames != 0 && frame >= o.frames)) return 0;
+    if (last) return 0;
     std::this_thread::sleep_for(std::chrono::milliseconds(o.interval_ms));
   }
 }
@@ -294,10 +341,27 @@ int selftest() {
   for (const char* l : kLines) win.push_back(slo::parse_json(l));
   const std::string frame = render(win, palette(false));
   std::fputs(frame.c_str(), stdout);
-  const bool ok = frame.find("TJ-SP") != std::string::npos &&
-                  frame.find("gold") != std::string::npos &&
-                  frame.find("p999") != std::string::npos &&
-                  frame.find("COOLDOWN") != std::string::npos;
+  bool ok = frame.find("TJ-SP") != std::string::npos &&
+            frame.find("gold") != std::string::npos &&
+            frame.find("p999") != std::string::npos &&
+            frame.find("COOLDOWN") != std::string::npos;
+
+  // The follow-mode decoder: a line torn across two polls reassembles, a
+  // malformed line is counted and skipped (never fatal), and finish()
+  // flushes an unterminated-but-complete tail.
+  LineFeeder f;
+  const std::string l0 = std::string(kLines[0]) + "\n";
+  f.feed(std::string_view(l0).substr(0, 40));  // torn mid-line
+  ok = ok && f.samples.empty();                // fragment must NOT be consumed
+  f.feed(std::string_view(l0).substr(40));     // completed on the next poll
+  f.feed("{\"seq\": GARBAGE\n");               // malformed: counted, skipped
+  f.feed("not json at all\n");
+  f.feed(kLines[1]);  // complete line, but no trailing newline yet
+  ok = ok && f.samples.size() == 1 && f.malformed == 2;
+  f.finish();  // final frame: the tail is as complete as it will ever be
+  ok = ok && f.samples.size() == 2 && f.malformed == 2 &&
+       num_at(f.samples[1], "gate.joins_checked") == 30;
+
   std::puts(ok ? "tj_top selftest OK" : "tj_top selftest FAILED");
   return ok ? 0 : 1;
 }
