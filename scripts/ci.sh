@@ -78,6 +78,13 @@ if [[ " $PRESETS " == *" tsan "* ]]; then
   echo "== [telemetry] sink + request-span tests under tsan"
   ctest --preset tsan -R 'Telemetry' --output-on-failure -j"$(nproc)"
 
+  # Contention-observatory race stage: the profiled lock wrappers and the
+  # worker-state board are always-on concurrency primitives (every runtime
+  # lock acquisition crosses them), and their snapshot path reads counters
+  # other threads are mutating — the exact shape TSan exists for.
+  echo "== [contention] profiled locks + worker-state board under tsan"
+  ctest --preset tsan -R 'Contention' --output-on-failure -j"$(nproc)"
+
   # Async-detector race stage: the optimistic gate approves joins with zero
   # policy work while a background detector replays the event stream into a
   # shadow graph and the recovery supervisor posts wait-breaks into parked
@@ -202,6 +209,49 @@ for b in d["benchmarks"]:
     if "/async" in b["name"]:
         assert b.get("failover", 1) == 0, f"{b['name']}: detector failed over"
 print(f"bench artifact OK ({len(names)} benchmarks)")
+EOF
+fi
+
+# Scaling artifact: ops/sec vs thread count for every policy column, each
+# cell annotated with its measured lock-contention share — published as
+# BENCH_scaling.json at the repo root (schema "tj-scaling-v1", documented in
+# docs/benchmarks.md). BENCH=0 still runs a 2-thread smoke so the pipeline
+# (profiling guard, registry diff, poison detection, JSON schema) stays
+# gated even when the full sweep is skipped. The validator requires every
+# policy x thread cell to be present and unpoisoned.
+if [[ " $PRESETS " == *" release "* ]]; then
+  if [[ "$BENCH" == "1" ]]; then
+    echo "== [scaling] publish BENCH_scaling.json (full sweep)"
+    ./build/bench/bench_scaling --ops=1000 --json=BENCH_scaling.json >/dev/null
+    scaling_json=BENCH_scaling.json
+  else
+    echo "== [scaling] 2-thread smoke (BENCH=0: full sweep skipped)"
+    scaling_json="$(mktemp /tmp/tj-scaling-XXXXXX.json)"
+    tmpfiles+=("$scaling_json")
+    ./build/bench/bench_scaling --max-threads=2 --ops=100 \
+        --json="$scaling_json" >/dev/null
+  fi
+  python3 - "$scaling_json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "tj-scaling-v1", d.get("schema")
+policies = ["tj-gt", "tj-jp", "tj-sp", "kj-vc", "kj-ss", "owp", "cycle",
+            "async"]
+assert d["policies"] == policies, d["policies"]
+threads = d["threads"]
+assert threads, "no thread counts"
+cells = {(c["policy"], c["threads"]): c for c in d["cells"]}
+for p in policies:
+    for t in threads:
+        c = cells.get((p, t))
+        assert c is not None, f"missing cell {p}/{t}"
+        assert not c["poisoned"], f"cell {p}/{t}: {c['poison_reason']}"
+        assert c["ops_per_sec"] > 0, f"cell {p}/{t} has no throughput"
+        assert c["acquisitions"] >= c["contended"], f"cell {p}/{t} counters"
+        for k in ["contended_share", "lock_wait_share", "top_site",
+                  "effective_parallelism"]:
+            assert k in c, f"cell {p}/{t} missing {k}"
+print(f"scaling artifact OK ({len(d['cells'])} cells, threads={threads})")
 EOF
 fi
 

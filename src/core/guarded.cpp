@@ -369,7 +369,7 @@ JoinDecision JoinGate::rule_await(std::uint64_t waiter_uid, PromiseNode* p,
     return JoinDecision::Proceed;
   }
   // Check-and-insert must be atomic across both graphs (see await_mu_).
-  std::lock_guard<std::mutex> lock(await_mu_);
+  std::scoped_lock lock(await_mu_);
   AwaitVerdict verdict = owp_->permits_await(waiter_uid, p);
   bool injected = false;
   if (verdict == AwaitVerdict::Allow && hooks_ != nullptr &&

@@ -18,6 +18,7 @@
 
 #include "core/owp.hpp"
 #include "core/verifier.hpp"
+#include "obs/contention.hpp"
 #include "obs/recorder.hpp"
 #include "wfg/waits_for_graph.hpp"
 
@@ -288,8 +289,10 @@ class JoinGate {
   // awaits cannot both observe a cycle-free obligation graph and insert the
   // edges that jointly close a cycle. Without it the WFG still averts the
   // deadlock (it sees the union atomically) but attributes the fault to the
-  // fallback instead of an OWP rejection.
-  std::mutex await_mu_;
+  // fallback instead of an OWP rejection. Profiled: ROADMAP item 1 names
+  // this serialization as the scaling ceiling, so its contention is a
+  // first-class measurement ("gate.await" in the contention registry).
+  obs::ProfiledMutex await_mu_{"gate.await"};
   std::atomic<std::uint64_t> joins_checked_{0};
   std::atomic<std::uint64_t> policy_rejections_{0};
   std::atomic<std::uint64_t> false_positives_{0};
@@ -306,7 +309,7 @@ class JoinGate {
   std::atomic<std::uint64_t> cycles_recovered_{0};
 
   static constexpr std::size_t kWitnessLogCap = 256;
-  mutable std::mutex witness_mu_;
+  mutable obs::ProfiledMutex witness_mu_{"gate.witness"};
   std::vector<Witness> witness_log_;  // ring, newest last; guarded above
   std::size_t witness_head_ = 0;      // ring start index; guarded above
   std::atomic<std::uint64_t> witnesses_dropped_{0};

@@ -43,6 +43,7 @@ std::string_view to_string(EventKind k) {
     case EventKind::CycleRecovered: return "cycle-recovered";
     case EventKind::DetectorLag: return "detector-lag";
     case EventKind::DetectorFailover: return "detector-failover";
+    case EventKind::WorkerSample: return "worker-sample";
   }
   return "<bad event kind>";
 }
@@ -142,6 +143,12 @@ std::string to_string(const Event& e) {
     case EventKind::DetectorFailover:
       os << " reason=" << static_cast<unsigned>(e.detail)
          << " backlog=" << e.payload;
+      break;
+    case EventKind::WorkerSample:
+      os << " workers=" << e.actor;
+      for (unsigned i = 0; i < 5; ++i) {
+        os << (i == 0 ? " states=" : ",") << ((e.payload >> (12 * i)) & 0xfff);
+      }
       break;
     default:
       break;

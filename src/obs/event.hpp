@@ -77,6 +77,12 @@ enum class EventKind : std::uint8_t {
   DetectorFailover, ///< lag/drop/death budget exhausted: the runtime stepped
                     ///< the ladder to a synchronous level (payload: backlog
                     ///< at the decision; detail: DetectorFailoverReason)
+
+  // --- contention observatory ---
+  WorkerSample,     ///< telemetry tick: worker-state census (payload packs
+                    ///< the per-state worker counts, 12 bits per state in
+                    ///< WorkerState order; actor: total workers). Rendered
+                    ///< as Chrome counter tracks by export_chrome.
 };
 
 /// Why the async detector failed over (Event::detail for DetectorFailover).

@@ -108,6 +108,22 @@ std::string to_chrome_json(const std::vector<Event>& events) {
         write_flow(os, "join", "f", lane_pid(e), e.actor, e.t_ns,
                    join_flow_id(e.target));
         break;
+      case EventKind::WorkerSample: {
+        // Telemetry worker-state census → one counter track; Perfetto
+        // stacks the per-state series into an area chart of the pool.
+        os << R"({"name":"worker states","cat":"tj","ph":"C","pid":)"
+           << lane_pid(e) << R"(,"tid":0,"ts":)";
+        write_us(os, e.t_ns);
+        os << R"(,"args":{)";
+        for (unsigned i = 0; i < 5; ++i) {
+          static const char* kStates[] = {"idle", "stealing", "running",
+                                          "blocked_join", "blocked_lock"};
+          os << (i == 0 ? "" : ",") << '"' << kStates[i] << "\":"
+             << ((e.payload >> (12 * i)) & 0xfff);
+        }
+        os << "}}";
+        break;
+      }
       case EventKind::CycleScan:
       case EventKind::JoinBlocked:
       case EventKind::AwaitBlocked: {

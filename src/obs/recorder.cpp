@@ -27,7 +27,7 @@ FlightRecorder::ThreadLog& FlightRecorder::local_log() {
   thread_local Cache cache;
   if (cache.recorder_id == id_) return *cache.log;
 
-  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::scoped_lock lk(reg_mu_);
   ThreadLog*& slot = by_thread_[std::this_thread::get_id()];
   if (slot == nullptr) {
     logs_.push_back(std::make_unique<ThreadLog>(cfg_.buffer_capacity));
@@ -38,7 +38,7 @@ FlightRecorder::ThreadLog& FlightRecorder::local_log() {
 }
 
 std::uint64_t FlightRecorder::events_recorded() const {
-  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::scoped_lock lk(reg_mu_);
   std::uint64_t total = 0;
   for (const auto& log : logs_) {
     total += log->pushed.load(std::memory_order_relaxed);
@@ -47,7 +47,7 @@ std::uint64_t FlightRecorder::events_recorded() const {
 }
 
 std::uint64_t FlightRecorder::events_dropped() const {
-  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::scoped_lock lk(reg_mu_);
   std::uint64_t total = 0;
   for (const auto& log : logs_) {
     total += log->dropped.load(std::memory_order_relaxed);
@@ -56,7 +56,7 @@ std::uint64_t FlightRecorder::events_dropped() const {
 }
 
 std::size_t FlightRecorder::thread_count() const {
-  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::scoped_lock lk(reg_mu_);
   return logs_.size();
 }
 
@@ -76,11 +76,11 @@ std::vector<Event> FlightRecorder::drain() {
 std::size_t FlightRecorder::consume(std::vector<Event>& out) {
   std::vector<ThreadLog*> logs;
   {
-    std::lock_guard<std::mutex> lk(reg_mu_);
+    std::scoped_lock lk(reg_mu_);
     logs.reserve(logs_.size());
     for (const auto& log : logs_) logs.push_back(log.get());
   }
-  std::lock_guard<std::mutex> lk(consume_mu_);
+  std::scoped_lock lk(consume_mu_);
   const std::size_t before = out.size();
   for (ThreadLog* log : logs) {
     Event e;

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/contention.hpp"
 #include "obs/event.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ring_buffer.hpp"
@@ -118,7 +119,10 @@ class FlightRecorder {
   std::atomic<std::uint64_t> seq_{0};
   Metrics metrics_;
 
-  mutable std::mutex reg_mu_;
+  // Profiled ("recorder.registry"): cold after each thread's first emit,
+  // but every counter read crosses it — contention here means telemetry
+  // sampling is fighting the emit paths.
+  mutable obs::ProfiledMutex reg_mu_{"recorder.registry"};
   // Append-only while the recorder lives (stable ThreadLog addresses).
   std::vector<std::unique_ptr<ThreadLog>> logs_;          // guarded by reg_mu_
   std::map<std::thread::id, ThreadLog*> by_thread_;       // guarded by reg_mu_
@@ -129,7 +133,7 @@ class FlightRecorder {
   // only immutable until popped. Taken together with reg_mu_ only via
   // std::scoped_lock (deadlock-order safe); never nested one inside the
   // other.
-  mutable std::mutex consume_mu_;
+  mutable obs::ProfiledMutex consume_mu_{"recorder.consume"};
   std::atomic<std::uint64_t> consumed_{0};
 };
 

@@ -377,6 +377,28 @@ bool resolve(const Json& sample, const std::string& metric, double* out) {
     *out = v->number();
     return true;
   }
+  if (metric == "gate_contended_share") {
+    // Contention observatory: share of gate/WFG lock acquisitions that hit
+    // a contended slow path — the serialization-ceiling indicator (ROADMAP
+    // item 1). 0 when profiling was off or nothing was acquired.
+    const Json* sites = sample.at_path("contention.sites");
+    if (sites == nullptr || !sites->is_array()) return false;
+    double contended = 0;
+    double acquisitions = 0;
+    for (const Json& site : sites->array()) {
+      const Json* name = site.find("site");
+      if (name == nullptr) continue;
+      const std::string& n = name->str();
+      if (n.rfind("gate.", 0) != 0 && n.rfind("wfg.", 0) != 0) continue;
+      const Json* c = site.find("contended");
+      const Json* a = site.find("acquisitions");
+      if (c == nullptr || a == nullptr) return false;
+      contended += c->number();
+      acquisitions += a->number();
+    }
+    *out = acquisitions == 0 ? 0.0 : contended / acquisitions;
+    return true;
+  }
   if (metric == "recovery_p99_ms") {
     // Async mode: p99 of cycle-formation → victim-wait-broken latency — the
     // bounded-recovery promise the optimistic mode is gated on.

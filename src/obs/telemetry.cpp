@@ -201,6 +201,45 @@ void TelemetrySink::sample_locked() {
   os << ",\"obs\":{\"events\":" << s.obs_events
      << ",\"dropped\":" << s.obs_dropped << "}";
 
+  // Contention observatory: cumulative per-site counters + wait/hold
+  // summaries. The registry is process-global, so in multi-runtime
+  // processes (loadgen runs one runtime per mode) sites accumulate across
+  // runs — readers diff or read the final sample, whose per-site
+  // invariant acquisitions == uncontended + contended holds exactly.
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_contended = 0;
+  os << ",\"contention\":{\"enabled\":"
+     << (s.contention_enabled ? "true" : "false") << ",\"sites\":[";
+  for (std::size_t i = 0; i < s.lock_sites.size(); ++i) {
+    const SiteSnapshot& site = s.lock_sites[i];
+    lock_acquisitions += site.acquisitions;
+    lock_contended += site.contended;
+    if (i != 0) os << ",";
+    os << "{\"site\":\"" << jesc(site.name)
+       << "\",\"uncontended\":" << site.uncontended
+       << ",\"contended\":" << site.contended
+       << ",\"acquisitions\":" << site.acquisitions << ",\"wait\":{\"count\":"
+       << site.wait.count << ",\"sum_ns\":" << site.wait.sum_ns
+       << ",\"p50_ns\":" << site.wait.p50_ns << ",\"p99_ns\":"
+       << site.wait.p99_ns << ",\"max_ns\":" << site.wait.max_ns
+       << "},\"hold\":{\"count\":" << site.hold.count << ",\"sum_ns\":"
+       << site.hold.sum_ns << ",\"p99_ns\":" << site.hold.p99_ns
+       << ",\"max_ns\":" << site.hold.max_ns << "}}";
+  }
+  os << "]}";
+
+  // Worker-state timelines: census now + cumulative ns per state.
+  const WorkerStateBoard::Totals& w = s.workers;
+  os << ",\"workers\":{\"count\":" << w.workers
+     << ",\"transitions\":" << w.transitions
+     << ",\"effective_parallelism\":" << w.effective_parallelism();
+  for (std::size_t i = 0; i < kWorkerStateCount; ++i) {
+    const char* name = to_string(static_cast<WorkerState>(i));
+    os << ",\"" << name << "_now\":" << w.current[i] << ",\"" << name
+       << "_ns\":" << w.state_ns[i];
+  }
+  os << "}";
+
   os << ",\"governor\":{\"attached\":"
      << (s.governor_attached ? "true" : "false")
      << ",\"pressure\":" << (s.governor_pressure ? "true" : "false")
@@ -246,9 +285,32 @@ void TelemetrySink::sample_locked() {
   os << ",\"delta\":{" << deltas.str()
      << ",\"joins_checked\":" << (s.gate.joins_checked - prev_joins_checked_)
      << ",\"requests_checked\":"
-     << (s.gate.requests_checked - prev_requests_checked_) << "}}";
+     << (s.gate.requests_checked - prev_requests_checked_)
+     << ",\"lock_acquisitions\":"
+     << (lock_acquisitions - prev_lock_acquisitions_)
+     << ",\"lock_contended\":" << (lock_contended - prev_lock_contended_)
+     << "}}";
   prev_joins_checked_ = s.gate.joins_checked;
   prev_requests_checked_ = s.gate.requests_checked;
+  prev_lock_acquisitions_ = lock_acquisitions;
+  prev_lock_contended_ = lock_contended;
+
+  // One worker-census event per tick so export_chrome can draw the state
+  // counts as counter tracks alongside the event timeline. 12 bits per
+  // state caps each count at 4095 — far above any real pool.
+  if (s.workers.workers != 0) {
+    Event ev;
+    ev.kind = EventKind::WorkerSample;
+    ev.actor = s.workers.workers;
+    std::uint64_t packed = 0;
+    for (std::size_t i = 0; i < kWorkerStateCount; ++i) {
+      const std::uint64_t c =
+          s.workers.current[i] < 0xfff ? s.workers.current[i] : 0xfff;
+      packed |= c << (12 * i);
+    }
+    ev.payload = packed;
+    rt_.recorder()->emit(ev);
+  }
 
   if (jsonl_.is_open()) jsonl_ << os.str() << "\n";
 
@@ -315,6 +377,55 @@ std::string TelemetrySink::render_prometheus(
   gauge("tj_ladder_level", s.ladder_level, "active degradation level");
   gauge("tj_governor_pressure", s.governor_pressure ? 1 : 0,
         "governor over budget now");
+
+  // Contention observatory: per-site lock counters + wait quantiles, and
+  // the worker-state census/timelines.
+  if (!s.lock_sites.empty()) {
+    os << "# HELP tj_lock_acquisitions profiled lock acquisitions by site\n"
+       << "# TYPE tj_lock_acquisitions counter\n";
+    for (const auto& site : s.lock_sites) {
+      os << "tj_lock_acquisitions{site=\"" << site.name
+         << "\",outcome=\"uncontended\"} " << site.uncontended << "\n"
+         << "tj_lock_acquisitions{site=\"" << site.name
+         << "\",outcome=\"contended\"} " << site.contended << "\n";
+    }
+    os << "# TYPE tj_lock_wait_ns summary\n";
+    for (const auto& site : s.lock_sites) {
+      os << "tj_lock_wait_ns{site=\"" << site.name << "\",quantile=\"0.5\"} "
+         << site.wait.p50_ns << "\n"
+         << "tj_lock_wait_ns{site=\"" << site.name << "\",quantile=\"0.99\"} "
+         << site.wait.p99_ns << "\n"
+         << "tj_lock_wait_ns_sum{site=\"" << site.name << "\"} "
+         << site.wait.sum_ns << "\n"
+         << "tj_lock_wait_ns_count{site=\"" << site.name << "\"} "
+         << site.wait.count << "\n";
+    }
+    os << "# HELP tj_lock_long_holds contended holds at or above 100us\n"
+       << "# TYPE tj_lock_long_holds counter\n";
+    for (const auto& site : s.lock_sites) {
+      os << "tj_lock_long_holds{site=\"" << site.name << "\"} "
+         << site.hold.count << "\n";
+    }
+  }
+  gauge("tj_workers", s.workers.workers, "scheduler worker threads");
+  os << "# HELP tj_worker_state_now workers currently in each state\n"
+     << "# TYPE tj_worker_state_now gauge\n";
+  for (std::size_t i = 0; i < kWorkerStateCount; ++i) {
+    os << "tj_worker_state_now{state=\""
+       << to_string(static_cast<WorkerState>(i)) << "\"} "
+       << s.workers.current[i] << "\n";
+  }
+  os << "# HELP tj_worker_state_ns cumulative ns per worker state\n"
+     << "# TYPE tj_worker_state_ns counter\n";
+  for (std::size_t i = 0; i < kWorkerStateCount; ++i) {
+    os << "tj_worker_state_ns{state=\""
+       << to_string(static_cast<WorkerState>(i)) << "\"} "
+       << s.workers.state_ns[i] << "\n";
+  }
+  os << "# HELP tj_worker_effective_parallelism mean workers running\n"
+     << "# TYPE tj_worker_effective_parallelism gauge\n"
+     << "tj_worker_effective_parallelism "
+     << s.workers.effective_parallelism() << "\n";
 
   os << "# HELP tj_tenant_requests per-tenant admission ledger\n"
      << "# TYPE tj_tenant_requests counter\n";

@@ -116,6 +116,8 @@ class TelemetrySink {
   std::vector<DeltaState> hist_prev_;  // registry hists then extra_, in order
   std::uint64_t prev_joins_checked_ = 0;
   std::uint64_t prev_requests_checked_ = 0;
+  std::uint64_t prev_lock_acquisitions_ = 0;
+  std::uint64_t prev_lock_contended_ = 0;
   std::chrono::steady_clock::time_point epoch_{};
 
   std::mutex stop_mu_;

@@ -74,6 +74,10 @@ RuntimeSnapshot snapshot(const Runtime& rt) {
     s.obs_dropped = rec->events_dropped();
   }
 
+  s.contention_enabled = obs::contention_profiling_enabled();
+  s.lock_sites = obs::ContentionRegistry::instance().snapshot();
+  s.workers = rt.scheduler().worker_states().totals();
+
   if (const RecoverySupervisor* rs = rt.recovery()) {
     s.recovery_attached = true;
     s.recovery = rs->status();
@@ -153,6 +157,33 @@ std::string RuntimeSnapshot::to_string() const {
   if (recorder_attached) {
     os << "recorder: events=" << obs_events << " dropped=" << obs_dropped
        << "\n";
+  }
+  if (contention_enabled || !lock_sites.empty()) {
+    os << "locks: " << lock_sites.size() << " site(s)"
+       << (contention_enabled ? "" : " (profiling off)") << "\n";
+    for (const obs::SiteSnapshot& site : lock_sites) {
+      const double share =
+          site.acquisitions == 0
+              ? 0.0
+              : static_cast<double>(site.contended) /
+                    static_cast<double>(site.acquisitions);
+      os << "  " << site.name << ": acquisitions=" << site.acquisitions
+         << " contended=" << site.contended << " share=" << share
+         << " wait_p99=" << site.wait.p99_ns << "ns"
+         << " wait_max=" << site.wait.max_ns << "ns"
+         << " long_holds=" << site.hold.count << "\n";
+    }
+    os << "workers: " << workers.workers
+       << " effective_parallelism=" << workers.effective_parallelism() << "\n";
+    for (std::size_t i = 0; i < obs::kWorkerStateCount; ++i) {
+      const std::uint64_t total = workers.total_ns();
+      const double share =
+          total == 0 ? 0.0
+                     : static_cast<double>(workers.state_ns[i]) /
+                           static_cast<double>(total);
+      os << "  " << obs::to_string(static_cast<obs::WorkerState>(i))
+         << ": now=" << workers.current[i] << " share=" << share << "\n";
+    }
   }
   if (recovery_attached) {
     os << "recovery: detector="

@@ -26,6 +26,7 @@
 #include "core/guarded.hpp"
 #include "core/policy_ids.hpp"
 #include "core/witness.hpp"
+#include "obs/contention.hpp"
 #include "runtime/governor.hpp"
 #include "runtime/recovery.hpp"
 #include "wfg/waits_for_graph.hpp"
@@ -89,6 +90,16 @@ struct RuntimeSnapshot {
   bool recorder_attached = false;
   std::uint64_t obs_events = 0;
   std::uint64_t obs_dropped = 0;
+
+  // --- contention observatory ---
+  /// True while lock/worker profiling was enabled at capture time. The
+  /// registry is process-global and cumulative; when profiling never ran
+  /// it is empty (registry-inert contract).
+  bool contention_enabled = false;
+  std::vector<obs::SiteSnapshot> lock_sites;
+  /// Worker-state census + cumulative timelines from this runtime's
+  /// scheduler (zeros when profiling never ran).
+  obs::WorkerStateBoard::Totals workers;
 
   // --- async detection / recovery (PolicyChoice::Async only) ---
   bool recovery_attached = false;

@@ -38,7 +38,7 @@ std::uint64_t RecoverySupervisor::register_wait(
   r.tenant = tenant;
   r.tid = std::this_thread::get_id();
   r.since_ns = rec_.now_ns();
-  std::lock_guard<std::mutex> lk(mu_);
+  std::scoped_lock lk(mu_);
   r.entry_id = next_entry_id_++;
   const std::uint64_t id = r.entry_id;
   waits_.insert_or_assign(r.uid, r);
@@ -47,7 +47,7 @@ std::uint64_t RecoverySupervisor::register_wait(
 
 void RecoverySupervisor::unregister_wait(std::uint64_t waiter_uid,
                                          std::uint64_t entry_id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::scoped_lock lk(mu_);
   const auto it = waits_.find(waiter_uid);
   if (it == waits_.end() || it->second.entry_id != entry_id) return;
   if (it->second.broken) {
@@ -80,7 +80,7 @@ void RecoverySupervisor::recover_cycle(const std::vector<wfg::NodeId>& cycle) {
   if (cycle.empty()) return;
   std::unordered_set<std::uint64_t> members(cycle.begin(), cycle.end());
 
-  std::lock_guard<std::mutex> lk(mu_);
+  std::scoped_lock lk(mu_);
 
   // A cycle through a wait whose target has already settled is draining,
   // not deadlocked: the waiter just has not woken to withdraw its edge yet
@@ -231,7 +231,7 @@ RecoveryStatus RecoverySupervisor::status() const {
   s.detector = detector_.status();
   s.cycles_recovered = cycles_recovered_.load(std::memory_order_relaxed);
   s.breaks_posted = breaks_posted_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(mu_);
+  std::scoped_lock lk(mu_);
   s.waits_registered = waits_.size();
   s.recent = recent_;
   return s;

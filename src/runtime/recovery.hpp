@@ -46,6 +46,7 @@
 #include "core/async_detect.hpp"
 #include "core/guarded.hpp"
 #include "core/ladder.hpp"
+#include "obs/contention.hpp"
 
 namespace tj::runtime {
 
@@ -146,7 +147,9 @@ class RecoverySupervisor final : public core::DetectorSink {
   core::LadderVerifier* const ladder_;  // not owned; may be nullptr (tests)
   const std::vector<std::uint32_t> tenant_priorities_;
 
-  mutable std::mutex mu_;
+  // Profiled ("recovery.registry"): every async-mode blocking wait
+  // registers/unregisters here while the detector posts breaks.
+  mutable obs::ProfiledMutex mu_{"recovery.registry"};
   std::unordered_map<std::uint64_t, WaitRecord> waits_;  // by waiter uid
   std::uint64_t next_entry_id_ = 1;                      // guarded by mu_
   std::set<IncarnationKey> counted_;                     // guarded by mu_

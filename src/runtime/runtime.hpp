@@ -173,6 +173,7 @@ class Runtime {
   const core::JoinGate& gate() const { return gate_; }
   core::Verifier* verifier() { return verifier_.get(); }
   Scheduler& scheduler() { return sched_; }
+  const Scheduler& scheduler() const { return sched_; }
 
   /// Exact live/peak bytes of verifier state (0 when no policy is active).
   std::size_t policy_bytes() const {
@@ -254,6 +255,12 @@ class Runtime {
                      const std::exception_ptr& cause);
 
   Config cfg_;
+  // Retains process-wide lock/worker profiling while this runtime lives
+  // (iff obs is on). Declared right after cfg_ (it reads the normalized
+  // flag) and before every lock-owning member, so profiling is already
+  // enabled when their first acquisitions happen and stays enabled until
+  // after they are destroyed.
+  obs::ContentionEnableGuard contention_guard_{cfg_.obs.enabled};
   std::unique_ptr<core::Verifier> verifier_;
   std::unique_ptr<core::OwpVerifier> owp_;
   // Declared before gate_/sched_/watchdog_ (they hold non-owning pointers to

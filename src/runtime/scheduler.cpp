@@ -103,10 +103,20 @@ void Scheduler::submit(std::shared_ptr<TaskBase> task) {
 
 void Scheduler::worker_loop() {
   t_is_worker = true;
+  // Publish this worker's state word for the timeline profile. The TLS
+  // slot also lets profiled locks report BlockedLock while this thread
+  // waits on a contended runtime mutex.
+  obs::WorkerSlot* slot = worker_states_.register_worker();
+  obs::tls_worker_slot() = slot;
   std::unique_lock lock(mu_);
   while (true) {
+    slot->set_state(obs::WorkerState::Idle);
     cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (stop_) return;
+    if (stop_) {
+      slot->set_state(obs::WorkerState::Idle);
+      return;
+    }
+    slot->set_state(obs::WorkerState::Stealing);
     std::shared_ptr<TaskBase> task = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
@@ -130,6 +140,7 @@ void Scheduler::worker_loop() {
         e.payload = live_workers_locked();
         rec_->emit(e);
       }
+      slot->set_state(obs::WorkerState::Idle);
       return;
     }
   }
@@ -137,6 +148,11 @@ void Scheduler::worker_loop() {
 
 void Scheduler::run_claimed(TaskBase& task) {
   {
+    // Scoped so nesting composes: a cooperative joiner inlining a target
+    // stays Running, and the restore puts back whatever state the joiner
+    // was in (BlockedJoin when helping from inside a wait loop).
+    obs::ScopedWorkerState running(obs::tls_worker_slot(),
+                                   obs::WorkerState::Running);
     detail::CurrentTaskGuard guard(&task);
     task.run();
   }
@@ -170,6 +186,8 @@ void Scheduler::join_wait(TaskBase& target) {
     // us via notify_all, Running will reach Done on its own thread.
     // Interruptible: in async (optimistic) mode the recovery supervisor may
     // break this wait — the throw propagates to the gate's leave_join.
+    obs::ScopedWorkerState blocked(obs::tls_worker_slot(),
+                                   obs::WorkerState::BlockedJoin);
     target.wait_done_interruptible(current_task_or_null());
     return;
   }
@@ -188,6 +206,8 @@ void Scheduler::join_wait(TaskBase& target) {
       }
     }
     try {
+      obs::ScopedWorkerState blocked(obs::tls_worker_slot(),
+                                     obs::WorkerState::BlockedJoin);
       target.wait_done_interruptible(current_task_or_null());
     } catch (...) {
       std::scoped_lock lock(mu_);
@@ -219,6 +239,8 @@ bool Scheduler::join_wait_for(TaskBase& target,
       run_claimed(target);
       return true;
     }
+    obs::ScopedWorkerState blocked(obs::tls_worker_slot(),
+                                   obs::WorkerState::BlockedJoin);
     return target.wait_done_for_interruptible(timeout, current_task_or_null());
   }
 
@@ -236,6 +258,8 @@ bool Scheduler::join_wait_for(TaskBase& target,
     }
     bool done = false;
     try {
+      obs::ScopedWorkerState blocked(obs::tls_worker_slot(),
+                                     obs::WorkerState::BlockedJoin);
       done =
           target.wait_done_for_interruptible(timeout, current_task_or_null());
     } catch (...) {
@@ -252,6 +276,9 @@ bool Scheduler::join_wait_for(TaskBase& target,
 
 void Scheduler::enter_blocking_region() {
   if (!t_is_worker) return;
+  if (obs::WorkerSlot* slot = obs::tls_worker_slot()) {
+    slot->set_state(obs::WorkerState::BlockedJoin);
+  }
   std::scoped_lock lock(mu_);
   ++blocked_workers_;
   if (!stop_ &&
@@ -264,8 +291,15 @@ void Scheduler::enter_blocking_region() {
 
 void Scheduler::exit_blocking_region() {
   if (!t_is_worker) return;
-  std::scoped_lock lock(mu_);
-  --blocked_workers_;
+  {
+    std::scoped_lock lock(mu_);
+    --blocked_workers_;
+  }
+  if (obs::WorkerSlot* slot = obs::tls_worker_slot()) {
+    // A blocking region only brackets waits performed from inside a task
+    // body on a worker thread, so the state to restore is Running.
+    slot->set_state(obs::WorkerState::Running);
+  }
 }
 
 void Scheduler::quiesce() {

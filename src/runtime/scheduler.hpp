@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/contention.hpp"
 #include "runtime/config.hpp"
 #include "runtime/task.hpp"
 
@@ -75,6 +76,13 @@ class Scheduler {
   std::uint64_t tasks_executed() const;
   std::uint64_t tasks_inlined() const;
 
+  /// Per-worker state timelines (Running / BlockedJoin / BlockedLock /
+  /// Stealing / Idle). State words are always published; the timelines are
+  /// timed only while contention profiling is enabled (see obs/contention).
+  const obs::WorkerStateBoard& worker_states() const {
+    return worker_states_;
+  }
+
  private:
   friend class Runtime;
 
@@ -101,17 +109,23 @@ class Scheduler {
   FaultInjector* const injector_;  // not owned; nullptr ⇒ no fault injection
   obs::FlightRecorder* const rec_;  // not owned; nullptr ⇒ recording off
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Queue/compensation lock is profiled ("sched.queue"): every submit,
+  // dequeue and compensation decision serializes here, so its contended
+  // share is the scheduler half of the scaling ceiling. The condvars are
+  // condition_variable_any to wait on the wrapper type.
+  mutable obs::ProfiledMutex mu_{"sched.queue"};
+  std::condition_variable_any cv_;
   std::deque<std::shared_ptr<TaskBase>> queue_;  // guarded by mu_
   std::vector<std::thread> threads_;             // guarded by mu_
   std::size_t dead_workers_ = 0;                 // guarded by mu_
   unsigned blocked_workers_ = 0;                 // guarded by mu_
   bool stop_ = false;                            // guarded by mu_
 
-  std::mutex quiesce_mu_;
-  std::condition_variable quiesce_cv_;
+  obs::ProfiledMutex quiesce_mu_{"sched.quiesce"};
+  std::condition_variable_any quiesce_cv_;
   std::atomic<std::size_t> live_tasks_{0};
+
+  obs::WorkerStateBoard worker_states_;
 
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> inlined_{0};

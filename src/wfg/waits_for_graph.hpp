@@ -33,6 +33,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/contention.hpp"
+
 namespace tj::wfg {
 
 using NodeId = std::uint64_t;
@@ -161,7 +163,9 @@ class WaitsForGraph {
 
   void erase_edge_locked(NodeId from);
 
-  mutable std::mutex mu_;
+  // Profiled ("wfg.graph"): with the gate locks, the serialization ROADMAP
+  // item 1 targets — its contended share is the number to watch.
+  mutable obs::ProfiledMutex mu_{"wfg.graph"};
   std::unordered_map<NodeId, Edge> edges_;  // guarded by mu_
   std::size_t probation_ = 0;               // guarded by mu_
   std::size_t owner_edges_ = 0;             // guarded by mu_

@@ -84,6 +84,7 @@ struct Options {
   std::uint64_t seed = 42;       // arrival/mix RNG
   std::string scheduler = "both";
   std::string policy = "tj-gt";  // tj-gt | tj-sp | cycle | async
+  unsigned threads = 4;          // worker-pool size (recorded in the report)
   bool hostile = false;          // tight governor + shared-pressure budgets
   unsigned introspect_ms = 0;    // 0 = dump only on SIGUSR1
   bool json = false;
@@ -123,6 +124,8 @@ Options parse(int argc, char** argv) {
       o.scheduler = v;
     } else if (parse_arg(argv[i], "--policy", v)) {
       o.policy = v;
+    } else if (parse_arg(argv[i], "--threads", v)) {
+      o.threads = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (parse_arg(argv[i], "--introspect-ms", v)) {
       o.introspect_ms =
           static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
@@ -158,6 +161,10 @@ Options parse(int argc, char** argv) {
     std::exit(2);
   }
   if (o.telemetry_ms == 0) o.telemetry_ms = 100;
+  if (o.threads == 0) {
+    std::fprintf(stderr, "loadgen: --threads must be positive\n");
+    std::exit(2);
+  }
   return o;
 }
 
@@ -395,11 +402,18 @@ struct ModeResult {
   // gate_stats() exactly — the time series ends on the truth.
   bool telemetry_reconciled = true;
   std::uint64_t telemetry_samples = 0;
+  // Contention-registry health (trivially true when --telemetry is off):
+  // every lock site in the final sample must balance exactly —
+  // acquisitions == contended + uncontended, and the wait histogram never
+  // counted more events than the contended counter admits. A profiled
+  // mutex that drops or double-counts an acquisition fails the run.
+  bool contention_reconciled = true;
+  std::uint64_t contention_sites = 0;
 
   bool pass() const {
     return conservation && reconciled && admission_reconciled &&
            admission_balanced && monotone && watchdog_cycles == 0 &&
-           lost == 0 && telemetry_reconciled;
+           lost == 0 && telemetry_reconciled && contention_reconciled;
   }
 };
 
@@ -429,7 +443,7 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
   rtj::Config cfg;
   cfg.policy = parse_policy(o.policy);  // tj-gt = the full 3-level ladder
   cfg.scheduler = mode;
-  cfg.workers = 4;
+  cfg.workers = o.threads;
   cfg.obs.enabled = true;
   cfg.governor.enabled = true;
   cfg.governor.poll_ms = 2;
@@ -776,6 +790,38 @@ void run_mode(rtj::SchedulerMode mode, const Options& o, const Expected& exp,
             eq("gate.awaits_checked", r.stats.awaits_checked) &&
             eq("gate.policy_rejections", r.stats.policy_rejections) &&
             eq("hist.request_latency_ns.count", lat_all.count());
+
+        // Contention reconciliation over the final (post-quiesce) sample:
+        // the sink takes it synchronously in stop() after the workload has
+        // drained, so every site must balance exactly — not approximately.
+        const slo::Json* sites = last.at_path("contention.sites");
+        if (sites != nullptr && sites->is_array()) {
+          r.contention_sites = sites->array().size();
+          for (const slo::Json& site : sites->array()) {
+            const auto num = [&site](const char* key) -> double {
+              const slo::Json* v = site.find(key);
+              return v != nullptr && v->is_number() ? v->number() : -1.0;
+            };
+            const double acq = num("acquisitions");
+            const double con = num("contended");
+            const double unc = num("uncontended");
+            const slo::Json* wc = site.at_path("wait.count");
+            const double waits =
+                wc != nullptr && wc->is_number() ? wc->number() : -1.0;
+            const bool ok = acq >= 0 && con >= 0 && unc >= 0 && waits >= 0 &&
+                            acq == con + unc && waits <= con;
+            if (!ok) {
+              const slo::Json* name = site.find("site");
+              std::fprintf(stderr,
+                           "loadgen: lock site %s does not reconcile: "
+                           "acquisitions=%.0f contended=%.0f "
+                           "uncontended=%.0f wait.count=%.0f\n",
+                           name != nullptr ? name->str().c_str() : "?", acq,
+                           con, unc, waits);
+              r.contention_reconciled = false;
+            }
+          }
+        }
       }
     } catch (const std::exception& ex) {
       std::fprintf(stderr, "loadgen: telemetry stream unusable: %s\n",
@@ -804,17 +850,22 @@ void print_mode(std::FILE* out, const ModeResult& r) {
       r.wall_s > 0 ? static_cast<double>(r.completed) / r.wall_s : 0.0);
   std::fprintf(out,
                "       checks: conservation=%d reconciled=%d admission=%d "
-               "balanced=%d monotone=%d telemetry=%d cycles=%llu "
-               "level=%zu/%zu\n",
+               "balanced=%d monotone=%d telemetry=%d contention=%d "
+               "cycles=%llu level=%zu/%zu\n",
                r.conservation ? 1 : 0, r.reconciled ? 1 : 0,
                r.admission_reconciled ? 1 : 0, r.admission_balanced ? 1 : 0,
                r.monotone ? 1 : 0, r.telemetry_reconciled ? 1 : 0,
+               r.contention_reconciled ? 1 : 0,
                static_cast<unsigned long long>(r.watchdog_cycles),
                r.final_level, r.ladder_floor);
   if (r.telemetry_samples != 0) {
-    std::fprintf(out, "       telemetry: %llu samples, final reconciled=%d\n",
+    std::fprintf(out,
+                 "       telemetry: %llu samples, final reconciled=%d, "
+                 "%llu lock sites reconciled=%d\n",
                  static_cast<unsigned long long>(r.telemetry_samples),
-                 r.telemetry_reconciled ? 1 : 0);
+                 r.telemetry_reconciled ? 1 : 0,
+                 static_cast<unsigned long long>(r.contention_sites),
+                 r.contention_reconciled ? 1 : 0);
   }
   for (const TenantResult& t : r.tenants) {
     std::fprintf(out,
@@ -854,6 +905,7 @@ std::string to_json(const Options& o, const std::vector<ModeResult>& modes,
   os << "  \"deadline_ms\": " << o.deadline_ms << ",\n";
   os << "  \"fault_seed\": " << o.fault_seed << ",\n";
   os << "  \"policy\": \"" << o.policy << "\",\n";
+  os << "  \"threads\": " << o.threads << ",\n";
   os << "  \"hostile\": " << (o.hostile ? "true" : "false") << ",\n";
   os << "  \"interrupted\": " << (interrupted ? "true" : "false") << ",\n";
   os << "  \"modes\": [\n";
@@ -891,8 +943,11 @@ std::string to_json(const Options& o, const std::vector<ModeResult>& modes,
        << ", \"monotone_downgrades\": " << (r.monotone ? "true" : "false")
        << ", \"telemetry_reconciled\": "
        << (r.telemetry_reconciled ? "true" : "false")
+       << ", \"contention_reconciled\": "
+       << (r.contention_reconciled ? "true" : "false")
        << ", \"watchdog_cycles\": " << r.watchdog_cycles << "},\n";
     os << "      \"telemetry_samples\": " << r.telemetry_samples << ",\n";
+    os << "      \"contention_sites\": " << r.contention_sites << ",\n";
     os << "      \"ladder\": {\"final_level\": " << r.final_level
        << ", \"floor\": " << r.ladder_floor << "},\n";
     os << "      \"admission\": {\"checked\": " << r.stats.requests_checked

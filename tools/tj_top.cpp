@@ -212,13 +212,77 @@ std::string render(const std::vector<slo::Json>& win, const Palette& c) {
     }
   }
 
+  // Lock panel: the contention observatory's per-site registry, hottest
+  // sites first (by p99 wait, the tail a blocked worker actually feels).
+  if (const slo::Json* sites = s.at_path("contention.sites");
+      sites != nullptr && sites->is_array() && !sites->array().empty()) {
+    std::vector<const slo::Json*> hot;
+    for (const slo::Json& x : sites->array()) hot.push_back(&x);
+    std::sort(hot.begin(), hot.end(),
+              [](const slo::Json* a, const slo::Json* b) {
+                return num_at(*a, "wait.p99_ns") > num_at(*b, "wait.p99_ns");
+              });
+    os << c.dim
+       << "lock site              acquis  contended   share   wait_p99  "
+          "wait_max  long_holds"
+       << c.reset << "\n";
+    constexpr std::size_t kTopSites = 8;
+    for (std::size_t i = 0; i < std::min(hot.size(), kTopSites); ++i) {
+      const slo::Json& site = *hot[i];
+      const double acq = num_at(site, "acquisitions");
+      const double con = num_at(site, "contended");
+      const double share = acq > 0 ? con / acq : 0.0;
+      char line[192];
+      std::snprintf(line, sizeof line,
+                    "  %-20s %8.0f  %9.0f  %s%5.1f%%%s  %9s %9s  %10.0f",
+                    str_at(site, "site").c_str(), acq, con,
+                    share > 0.25 ? c.red : (share > 0.05 ? c.yellow : ""),
+                    100.0 * share, c.reset,
+                    fmt_ns(num_at(site, "wait.p99_ns")).c_str(),
+                    fmt_ns(num_at(site, "wait.max_ns")).c_str(),
+                    num_at(site, "hold.count"));
+      os << line << "\n";
+    }
+  }
+
+  // Worker-state strip: cumulative time shares rendered as a proportional
+  // bar (i=idle s=stealing R=running j=blocked-join l=blocked-lock), plus
+  // the instantaneous census.
+  if (const slo::Json* w = s.find("workers");
+      w != nullptr && w->is_object() && num_at(*w, "count") > 0) {
+    static const char* kStates[] = {"idle", "stealing", "running",
+                                    "blocked_join", "blocked_lock"};
+    static const char kGlyph[] = {'i', 's', 'R', 'j', 'l'};
+    double ns[5], total = 0;
+    for (int i = 0; i < 5; ++i) {
+      ns[i] = num_at(*w, (std::string(kStates[i]) + "_ns").c_str());
+      total += ns[i];
+    }
+    constexpr std::size_t kBar = 40;
+    std::string bar;
+    for (int i = 0; i < 5 && total > 0; ++i) {
+      bar.append(static_cast<std::size_t>(ns[i] / total * kBar + 0.5),
+                 kGlyph[i]);
+    }
+    bar.resize(kBar, ' ');
+    os << "workers " << num_at(*w, "count")
+       << "  eff_par=" << num_at(*w, "effective_parallelism") << "  [" << bar
+       << "]  now:";
+    for (int i = 0; i < 5; ++i) {
+      os << ' ' << kGlyph[i] << '='
+         << num_at(*w, (std::string(kStates[i]) + "_now").c_str());
+    }
+    os << "\n";
+  }
+
   // Sparklines over the window: the latency tail's evolution plus per-tick
   // completion rate (the request-latency histogram's count delta).
-  std::vector<double> p99s, p999s, rate;
+  std::vector<double> p99s, p999s, rate, lock;
   for (const slo::Json& w : win) {
     p99s.push_back(num_at(w, "hist.request_latency_ns.p99_ns"));
     p999s.push_back(num_at(w, "hist.request_latency_ns.p999_ns"));
     rate.push_back(num_at(w, "delta.request_latency_ns.count"));
+    lock.push_back(num_at(w, "delta.lock_contended"));
   }
   constexpr std::size_t kWidth = 48;
   if (p99s.back() > 0 || win.size() > 1) {
@@ -228,6 +292,10 @@ std::string render(const std::vector<slo::Json>& win, const Palette& c) {
        << fmt_ns(p999s.back()) << "\n";
     os << "rate [" << sparkline(rate, kWidth) << "] " << rate.back()
        << "/tick\n";
+  }
+  if (s.at_path("contention.sites") != nullptr && win.size() > 1) {
+    os << "lock [" << sparkline(lock, kWidth) << "] " << lock.back()
+       << " contended/tick\n";
   }
   return os.str();
 }
@@ -334,8 +402,8 @@ int selftest() {
   // render failure exits nonzero, so CI catches schema drift between the
   // sink and the dashboard.
   const char* kLines[] = {
-      R"({"t_ms":100,"seq":0,"scheduler":"cooperative","configured_policy":"TJ-GT","active_policy":"TJ-GT","ladder_level":0,"ladder_levels":3,"live_tasks":4,"watchdog_stalls":0,"watchdog_cycles":0,"gate":{"joins_checked":10,"policy_rejections":1,"deadlocks_averted":0,"cycle_checks":2,"awaits_checked":0,"requests_checked":5,"requests_admitted":5,"requests_shed":0},"obs":{"events":100,"dropped":0},"governor":{"attached":true,"pressure":false},"tenants":[{"name":"gold","in_flight":1,"admitted":3,"shed":0,"released":2,"in_cooldown":false}],"hist":{"request_latency_ns":{"count":3,"sum_ns":300,"p50_ns":1000,"p90_ns":2000,"p99_ns":4000,"p999_ns":8000,"max_ns":9000}},"delta":{"request_latency_ns":{"count":3,"sum_ns":300}}})",
-      R"({"t_ms":200,"seq":1,"scheduler":"cooperative","configured_policy":"TJ-GT","active_policy":"TJ-SP","ladder_level":1,"ladder_levels":3,"live_tasks":7,"watchdog_stalls":0,"watchdog_cycles":0,"gate":{"joins_checked":30,"policy_rejections":2,"deadlocks_averted":0,"cycle_checks":4,"awaits_checked":0,"requests_checked":9,"requests_admitted":8,"requests_shed":1},"obs":{"events":260,"dropped":0},"governor":{"attached":true,"pressure":true},"tenants":[{"name":"gold","in_flight":0,"admitted":5,"shed":1,"released":5,"in_cooldown":true}],"hist":{"request_latency_ns":{"count":8,"sum_ns":900,"p50_ns":1100,"p90_ns":2500,"p99_ns":5000,"p999_ns":16000,"max_ns":17000}},"delta":{"request_latency_ns":{"count":5,"sum_ns":600}}})",
+      R"({"t_ms":100,"seq":0,"scheduler":"cooperative","configured_policy":"TJ-GT","active_policy":"TJ-GT","ladder_level":0,"ladder_levels":3,"live_tasks":4,"watchdog_stalls":0,"watchdog_cycles":0,"gate":{"joins_checked":10,"policy_rejections":1,"deadlocks_averted":0,"cycle_checks":2,"awaits_checked":0,"requests_checked":5,"requests_admitted":5,"requests_shed":0},"obs":{"events":100,"dropped":0},"governor":{"attached":true,"pressure":false},"tenants":[{"name":"gold","in_flight":1,"admitted":3,"shed":0,"released":2,"in_cooldown":false}],"hist":{"request_latency_ns":{"count":3,"sum_ns":300,"p50_ns":1000,"p90_ns":2000,"p99_ns":4000,"p999_ns":8000,"max_ns":9000}},"contention":{"enabled":true,"sites":[{"site":"sched.queue","uncontended":90,"contended":10,"acquisitions":100,"wait":{"count":10,"sum_ns":5000,"p50_ns":300,"p99_ns":900,"max_ns":1200},"hold":{"count":1,"sum_ns":200000,"p99_ns":200000,"max_ns":200000}},{"site":"wfg.graph","uncontended":50,"contended":0,"acquisitions":50,"wait":{"count":0,"sum_ns":0,"p50_ns":0,"p99_ns":0,"max_ns":0},"hold":{"count":0,"sum_ns":0,"p99_ns":0,"max_ns":0}}]},"workers":{"count":4,"transitions":12,"effective_parallelism":1.5,"idle_now":1,"idle_ns":100,"stealing_now":0,"stealing_ns":10,"running_now":2,"running_ns":300,"blocked_join_now":1,"blocked_join_ns":50,"blocked_lock_now":0,"blocked_lock_ns":40},"delta":{"request_latency_ns":{"count":3,"sum_ns":300},"lock_acquisitions":100,"lock_contended":10}})",
+      R"({"t_ms":200,"seq":1,"scheduler":"cooperative","configured_policy":"TJ-GT","active_policy":"TJ-SP","ladder_level":1,"ladder_levels":3,"live_tasks":7,"watchdog_stalls":0,"watchdog_cycles":0,"gate":{"joins_checked":30,"policy_rejections":2,"deadlocks_averted":0,"cycle_checks":4,"awaits_checked":0,"requests_checked":9,"requests_admitted":8,"requests_shed":1},"obs":{"events":260,"dropped":0},"governor":{"attached":true,"pressure":true},"tenants":[{"name":"gold","in_flight":0,"admitted":5,"shed":1,"released":5,"in_cooldown":true}],"hist":{"request_latency_ns":{"count":8,"sum_ns":900,"p50_ns":1100,"p90_ns":2500,"p99_ns":5000,"p999_ns":16000,"max_ns":17000}},"contention":{"enabled":true,"sites":[{"site":"sched.queue","uncontended":150,"contended":50,"acquisitions":200,"wait":{"count":50,"sum_ns":90000,"p50_ns":700,"p99_ns":2100,"max_ns":4000},"hold":{"count":2,"sum_ns":400000,"p99_ns":300000,"max_ns":300000}},{"site":"wfg.graph","uncontended":80,"contended":1,"acquisitions":81,"wait":{"count":1,"sum_ns":500,"p50_ns":500,"p99_ns":500,"max_ns":500},"hold":{"count":0,"sum_ns":0,"p99_ns":0,"max_ns":0}}]},"workers":{"count":4,"transitions":40,"effective_parallelism":2.2,"idle_now":0,"idle_ns":150,"stealing_now":1,"stealing_ns":30,"running_now":3,"running_ns":800,"blocked_join_now":0,"blocked_join_ns":90,"blocked_lock_now":0,"blocked_lock_ns":60},"delta":{"request_latency_ns":{"count":5,"sum_ns":600},"lock_acquisitions":100,"lock_contended":40}})",
   };
   std::vector<slo::Json> win;
   for (const char* l : kLines) win.push_back(slo::parse_json(l));
@@ -344,7 +412,15 @@ int selftest() {
   bool ok = frame.find("TJ-SP") != std::string::npos &&
             frame.find("gold") != std::string::npos &&
             frame.find("p999") != std::string::npos &&
-            frame.find("COOLDOWN") != std::string::npos;
+            frame.find("COOLDOWN") != std::string::npos &&
+            // Contention observatory panels: both lock sites render (the
+            // hotter one first), the worker strip carries the census, and
+            // the contended-per-tick sparkline picks up the delta.
+            frame.find("sched.queue") != std::string::npos &&
+            frame.find("wfg.graph") != std::string::npos &&
+            frame.find("sched.queue") < frame.find("wfg.graph") &&
+            frame.find("eff_par=2.2") != std::string::npos &&
+            frame.find("40 contended/tick") != std::string::npos;
 
   // The follow-mode decoder: a line torn across two polls reassembles, a
   // malformed line is counted and skipped (never fatal), and finish()

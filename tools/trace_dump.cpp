@@ -22,6 +22,7 @@
 
 #include "apps/app_registry.hpp"
 #include "core/policy_ids.hpp"
+#include "obs/contention.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/replay_bridge.hpp"
 #include "runtime/api.hpp"
@@ -58,7 +59,8 @@ int usage(std::ostream& os) {
         "  --chrome=<file>       write Chrome Trace / Perfetto JSON\n"
         "  --trace=<file|->      write the offline trace (trace_check "
         "syntax)\n"
-        "  --metrics             print the metrics registry\n"
+        "  --metrics             print the metrics registry, lock-contention\n"
+        "                        histograms, and worker-state shares\n"
         "  --events              print every recorded event\n"
         "  --requests=N          run the app N times, each under its own\n"
         "                        request span (ids 1..N, alternating tenants)\n"
@@ -192,6 +194,8 @@ int main(int argc, char** argv) {
   std::uint64_t dropped = 0;
   std::size_t threads = 0;
   std::string metrics_text;
+  std::string contention_text;
+  std::string workers_text;
   if (opt.requests > 0 && !opt.trace_path.empty()) {
     // Each request is a separate runtime instance; the concatenated stream
     // has N roots and would not bridge into one replayable trace.
@@ -225,6 +229,11 @@ int main(int argc, char** argv) {
     dropped += rec->events_dropped();
     threads = std::max(threads, rec->thread_count());
     metrics_text = rec->metrics().to_string();
+    // Lock + worker-state profiles ride along with --metrics. The worker
+    // board dies with the runtime, so read it here; the contention registry
+    // is process-cumulative, so the last read covers every run.
+    contention_text = tj::obs::ContentionRegistry::instance().to_string();
+    workers_text = rt.scheduler().worker_states().to_string();
   }
 
   // Summary goes to stderr so `--trace=- | trace_check -` stays clean.
@@ -275,7 +284,11 @@ int main(int argc, char** argv) {
       std::cout << tj::obs::to_string(e) << "\n";
     }
   }
-  if (opt.print_metrics) std::cout << metrics_text;
+  if (opt.print_metrics) {
+    std::cout << metrics_text;
+    std::cout << contention_text;
+    std::cout << workers_text;
+  }
 
   if (!opt.chrome_path.empty() &&
       !write_file(opt.chrome_path, tj::obs::to_chrome_json(view))) {
